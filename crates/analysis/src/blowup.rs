@@ -1,0 +1,199 @@
+//! Output-size blowup families (Proposition 1(3) and 1(4)).
+//!
+//! * [`diamond_chain`] — the transducer τ1 of the appendix proof of
+//!   Proposition 1(3), in `PT(CQ, tuple, normal)`: it unfolds a graph into
+//!   a tree. On the "chain of diamonds" instance `I_n` (size `O(n)`) the
+//!   output has at least `2^n` nodes.
+//! * [`binary_counter`] — the transducer τ2 of Proposition 1(4), in
+//!   `PT(CQ, relation, normal)`: each node's relation register simulates an
+//!   n-digit binary counter (via a full-adder relation), every node spawns
+//!   two children, and the stop condition only fires when the counter
+//!   revisits a state — after `2^n` steps. On `J_n` (size `O(n)`) the
+//!   output has at least `2^(2^n)` nodes.
+
+use pt_core::Transducer;
+use pt_relational::{Instance, Relation, Schema, Value};
+
+/// The graph-unfolding transducer τ1 ∈ PT(CQ, tuple, normal).
+pub fn diamond_chain_transducer() -> Transducer {
+    let schema = Schema::with(&[("edge", 2), ("start", 1)]);
+    Transducer::builder(schema, "q0", "r")
+        .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
+        .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
+        .build()
+        .expect("τ1 is well-formed")
+}
+
+/// The chain-of-diamonds instance `I_n`: vertices
+/// `a_0 → {b^0_1, b^0_2} → a_1 → ... → a_n`, with `4n` edges. Every path
+/// from `a_0` to `a_n` chooses one of two middles per diamond, so the
+/// unfolding has `2^n` leaves.
+pub fn diamond_chain_instance(n: usize) -> Instance {
+    let a = |i: usize| Value::str(format!("a{i}"));
+    let b = |i: usize, j: usize| Value::str(format!("b{i}_{j}"));
+    let mut edges = Relation::new();
+    for i in 0..n {
+        for j in 1..=2 {
+            edges.insert(vec![a(i), b(i, j)]);
+            edges.insert(vec![b(i, j), a(i + 1)]);
+        }
+    }
+    Instance::new()
+        .with("start", Relation::singleton(vec![a(0)]))
+        .with("edge", edges)
+}
+
+/// The binary-counter transducer τ2 ∈ PT(CQ, relation, normal), verbatim
+/// from the appendix proof: each register holds the full `counter`
+/// relation; `φ1` performs one carry-propagating increment step; every node
+/// spawns two copies.
+pub fn binary_counter_transducer() -> Transducer {
+    let schema = Schema::with(&[("counter", 3), ("add", 5), ("next", 2)]);
+    let phi0 = "(; k, d, c) <- counter(k, d, c)";
+    let phi1 = "(; k, d, c) <- exists d1 c1 k2 d2 c2 d3 c3 (\
+                 Reg(k, d1, c1) and Reg(k2, d2, c2) and next(k2, k) and \
+                 counter(k, d3, c3) and add(d1, c2, c3, d, c))";
+    Transducer::builder(schema, "q0", "r")
+        .rule("q0", "r", &[("q", "a", phi0), ("q", "a", phi0)])
+        .rule("q", "a", &[("q", "a", phi1), ("q", "a", phi1)])
+        .build()
+        .expect("τ2 is well-formed")
+}
+
+/// The instance `J_n = (C_n, A_n, N_n)` of Proposition 1(4):
+/// `counter` holds the initial n-digit counter (digit 0 carries the
+/// increment seed), `add` is the full-adder table, and `next` is the cyclic
+/// successor on digit positions.
+pub fn binary_counter_instance(n: usize) -> Instance {
+    assert!(n >= 1);
+    let mut counter = Relation::new();
+    counter.insert(vec![Value::int(0), Value::int(0), Value::int(1)]);
+    for k in 1..n as i64 {
+        counter.insert(vec![Value::int(k), Value::int(0), Value::int(0)]);
+    }
+    let mut add = Relation::new();
+    for d1 in 0..=1i64 {
+        for d2 in 0..=1i64 {
+            for d3 in 0..=1i64 {
+                let sum = d1 + d2 + d3;
+                add.insert(vec![
+                    Value::int(d1),
+                    Value::int(d2),
+                    Value::int(d3),
+                    Value::int(sum % 2),
+                    Value::int(sum / 2),
+                ]);
+            }
+        }
+    }
+    let mut next = Relation::new();
+    for k in 0..n as i64 {
+        next.insert(vec![Value::int(k), Value::int((k + 1) % n as i64)]);
+    }
+    Instance::new()
+        .with("counter", counter)
+        .with("add", add)
+        .with("next", next)
+}
+
+/// The register-orbit length of τ2 on `J_n`: how many increments until the
+/// register relation repeats. This is the depth the output tree reaches
+/// before the stop condition fires, so the output size is at least
+/// `2^orbit`.
+pub fn counter_orbit_length(n: usize) -> usize {
+    let tau = binary_counter_transducer();
+    let inst = binary_counter_instance(n);
+    // extract φ1 and iterate it on the register directly
+    let phi1 = &tau.rule("q", "a")[1].query;
+    let phi0 = &tau.rule(tau.start_state(), tau.root_tag())[0].query;
+    let mut reg = phi0
+        .groups(&inst, Some(&Relation::new()))
+        .expect("φ0 evaluates")
+        .pop()
+        .expect("initial counter nonempty")
+        .1;
+    let mut seen = vec![reg.clone()];
+    loop {
+        let groups = phi1.groups(&inst, Some(&reg)).expect("φ1 evaluates");
+        assert_eq!(groups.len(), 1, "φ1 must produce a single group");
+        reg = groups.into_iter().next().unwrap().1;
+        if seen.contains(&reg) {
+            return seen.len();
+        }
+        seen.push(reg.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_core::EvalOptions;
+
+    #[test]
+    fn diamond_chain_instance_is_linear_size() {
+        for n in 1..=8 {
+            assert_eq!(diamond_chain_instance(n).size(), 4 * n + 1);
+        }
+    }
+
+    #[test]
+    fn diamond_chain_output_is_exponential() {
+        let tau = diamond_chain_transducer();
+        assert_eq!(tau.class().to_string(), "PT(CQ, tuple, normal)");
+        for n in 1..=6 {
+            let run = tau.run(&diamond_chain_instance(n)).unwrap();
+            let size = run.size();
+            assert!(
+                size >= 1 << n,
+                "n = {n}: size {size} < 2^{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_counter_class() {
+        let tau = binary_counter_transducer();
+        assert_eq!(tau.class().to_string(), "PT(CQ, relation, normal)");
+    }
+
+    #[test]
+    fn counter_orbit_is_exponential() {
+        // the register must not repeat for at least 2^n steps (the family
+        // kicks in at n = 2; a one-digit counter is degenerate)
+        for n in 2..=4 {
+            let orbit = counter_orbit_length(n);
+            assert!(
+                orbit >= 1 << n,
+                "n = {n}: orbit {orbit} < 2^{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_counter_output_is_doubly_exponential() {
+        let tau = binary_counter_transducer();
+        for n in 2..=2usize {
+            let run = tau
+                .run_with(
+                    &binary_counter_instance(n),
+                    EvalOptions { max_nodes: 1 << 22 },
+                )
+                .unwrap();
+            let size = run.size();
+            let bound = 1usize << (1usize << n);
+            assert!(
+                size >= bound,
+                "n = {n}: size {size} < 2^(2^{n}) = {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn instance_sizes_are_linear() {
+        for n in 1..=6 {
+            let j = binary_counter_instance(n);
+            // counter: n, add: 8, next: n
+            assert_eq!(j.size(), 2 * n + 8);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The emptiness problem: does `τ` produce a nontrivial tree on *some*
+//! instance?
+//!
+//! Theorem 1(1):
+//! * `PT(CQ, S, normal)` — PTIME: the output is nontrivial iff some
+//!   start-rule query is satisfiable (any satisfiable start query puts a
+//!   normal child under the root), tested with the equivalence-class
+//!   closure algorithm of [`pt_logic::cq`].
+//! * `PT(CQ, S, virtual)` — NP-complete: guess a simple path of the
+//!   dependency graph from `(q0, r)` to a non-virtual tag and check the
+//!   satisfiability of the queries composed along it. Implemented as a
+//!   depth-first search over simple paths with unsatisfiable prefixes
+//!   pruned.
+//! * `FO`/`IFP` logics — undecidable (Proposition 2); reported as
+//!   [`Decision::Unsupported`].
+
+use pt_core::Transducer;
+use pt_logic::compose::{
+    close_root_register, compose_relation_register, compose_tuple_register,
+};
+use pt_logic::cq::ConjunctiveQuery;
+use pt_logic::{Fragment, Query};
+
+use crate::Decision;
+
+/// Decide emptiness where the paper proves it decidable. Returns
+/// `Decided(true)` when `τ(I) = r` for every instance `I`.
+pub fn emptiness(tau: &Transducer) -> Decision<bool> {
+    if tau.logic() > Fragment::CQ {
+        return Decision::Unsupported(format!(
+            "emptiness is undecidable for PT({}, S, O) (Proposition 2)",
+            tau.logic()
+        ));
+    }
+    match tau.output_kind() {
+        pt_core::Output::Normal => Decision::Decided(!nonempty_normal(tau)),
+        pt_core::Output::Virtual => Decision::Decided(!nonempty_virtual(tau)),
+    }
+}
+
+/// The PTIME test for `PT(CQ, S, normal)`: some start-rule query
+/// satisfiable.
+fn nonempty_normal(tau: &Transducer) -> bool {
+    tau.rule(tau.start_state(), tau.root_tag())
+        .iter()
+        .any(|item| query_satisfiable_at_root(&item.query))
+}
+
+fn query_satisfiable_at_root(q: &Query) -> bool {
+    // the root register is the empty nullary relation: close Reg to false
+    let closed = close_root_register(q.body());
+    match ConjunctiveQuery::from_formula(
+        q.head_vars().into_iter().map(pt_logic::Term::Var).collect(),
+        &closed,
+    ) {
+        Ok(cq) => cq.is_satisfiable(),
+        Err(_) => false, // not CQ: caller guards against this
+    }
+}
+
+/// The NP search for `PT(CQ, S, virtual)`: a simple dependency-graph path
+/// from the root to a non-virtual tag whose composed query is satisfiable.
+fn nonempty_virtual(tau: &Transducer) -> bool {
+    let graph = tau.dependency_graph();
+    let mut found = false;
+    // composed queries along the current path, bottom of stack = start rule
+    let mut composed: Vec<Query> = Vec::new();
+    graph.for_each_simple_path(|path| {
+        if found {
+            return false;
+        }
+        // maintain the composition stack incrementally
+        composed.truncate(path.len() - 1);
+        let step = &path[path.len() - 1];
+        let q = match composed.last() {
+            None => step
+                .query
+                .with_body(close_root_register(step.query.body()))
+                .expect("closing the root register preserves heads"),
+            Some(parent) => {
+                let body = if parent.is_tuple_register() {
+                    compose_tuple_register(step.query.body(), parent)
+                } else {
+                    compose_relation_register(step.query.body(), parent)
+                };
+                step.query
+                    .with_body(body)
+                    .expect("composition preserves heads")
+            }
+        };
+        let sat = match ConjunctiveQuery::from_query(&q) {
+            Ok(cq) => cq.is_satisfiable(),
+            Err(_) => false,
+        };
+        composed.push(q);
+        if !sat {
+            return false; // prune: extensions stay unsatisfiable (CQ monotone in conjuncts)
+        }
+        if !tau.is_virtual(&step.tag) {
+            found = true;
+            return false;
+        }
+        true
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_relational::Schema;
+
+    fn schema() -> Schema {
+        Schema::with(&[("r", 2), ("s", 1)])
+    }
+
+    #[test]
+    fn satisfiable_start_rule_is_nonempty() {
+        let t = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+            .build()
+            .unwrap();
+        assert_eq!(emptiness(&t), Decision::Decided(false));
+    }
+
+    #[test]
+    fn unsatisfiable_start_rule_is_empty() {
+        let t = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x) and x = 1 and x = 2")])
+            .build()
+            .unwrap();
+        assert_eq!(emptiness(&t), Decision::Decided(true));
+    }
+
+    #[test]
+    fn no_start_rule_is_empty() {
+        let t = Transducer::builder(schema(), "q0", "root").build().unwrap();
+        assert_eq!(emptiness(&t), Decision::Decided(true));
+    }
+
+    #[test]
+    fn deeper_unsatisfiability_is_invisible_for_normal_output() {
+        // the child query can never fire, but the start rule already
+        // produces a normal node — nonempty
+        let t = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+            .rule("q", "a", &[("q", "b", "(y) <- s(y) and y = 1 and y = 2")])
+            .build()
+            .unwrap();
+        assert_eq!(emptiness(&t), Decision::Decided(false));
+    }
+
+    #[test]
+    fn virtual_needs_a_reachable_normal_tag() {
+        // only virtual nodes are ever produced → empty output tree
+        let t = Transducer::builder(schema(), "q0", "root")
+            .virtual_tag("v")
+            .rule("q0", "root", &[("q", "v", "(x) <- s(x)")])
+            .build()
+            .unwrap();
+        assert_eq!(emptiness(&t), Decision::Decided(true));
+    }
+
+    #[test]
+    fn virtual_path_to_normal_tag() {
+        let t = Transducer::builder(schema(), "q0", "root")
+            .virtual_tag("v")
+            .rule("q0", "root", &[("q", "v", "(x) <- s(x)")])
+            .rule("q", "v", &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+            .build()
+            .unwrap();
+        assert_eq!(emptiness(&t), Decision::Decided(false));
+    }
+
+    #[test]
+    fn virtual_path_with_contradictory_composition() {
+        // the composed constraints x = 1 (parent) and x = 2 (child via Reg)
+        // clash: no instance produces the normal node
+        let t = Transducer::builder(schema(), "q0", "root")
+            .virtual_tag("v")
+            .rule("q0", "root", &[("q", "v", "(x) <- s(x) and x = 1")])
+            .rule(
+                "q",
+                "v",
+                &[("q", "b", "(y) <- exists x (Reg(x) and x = 2 and r(x, y))")],
+            )
+            .build()
+            .unwrap();
+        assert_eq!(emptiness(&t), Decision::Decided(true));
+    }
+
+    #[test]
+    fn recursive_virtual_transducer() {
+        // normal node sits behind a virtual cycle; still reachable via a
+        // simple path
+        let t = Transducer::builder(schema(), "q0", "root")
+            .virtual_tag("v")
+            .rule("q0", "root", &[("q", "v", "(x) <- s(x)")])
+            .rule(
+                "q",
+                "v",
+                &[
+                    ("q", "v", "(y) <- exists x (Reg(x) and r(x, y))"),
+                    ("q", "b", "(y) <- Reg(y) and y = 3"),
+                ],
+            )
+            .build()
+            .unwrap();
+        assert_eq!(emptiness(&t), Decision::Decided(false));
+    }
+
+    #[test]
+    fn fo_is_unsupported() {
+        let t = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x) and not (r(x, x))")])
+            .build()
+            .unwrap();
+        assert!(matches!(emptiness(&t), Decision::Unsupported(_)));
+    }
+
+    /// Cross-validate the decision against actually running the transducer
+    /// on small instances: nonempty per the procedure ⇒ a witness instance
+    /// exists among small ones (for these little transducers).
+    #[test]
+    fn cross_validated_with_execution() {
+        use pt_relational::generate;
+        use rand::prelude::*;
+        let transducers = [
+            Transducer::builder(schema(), "q0", "root")
+                .virtual_tag("v")
+                .rule("q0", "root", &[("q", "v", "(x) <- s(x)")])
+                .rule("q", "v", &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+                .build()
+                .unwrap(),
+            Transducer::builder(schema(), "q0", "root")
+                .rule("q0", "root", &[("q", "a", "(x) <- s(x) and x != x")])
+                .build()
+                .unwrap(),
+        ];
+        let mut rng = StdRng::seed_from_u64(23);
+        for t in &transducers {
+            let says_empty = emptiness(t).unwrap();
+            let mut witnessed = false;
+            for _ in 0..40 {
+                let inst = generate::random_instance(&Schema::with(&[("r", 2), ("s", 1)]), 3, 4, &mut rng);
+                if !t.run(&inst).unwrap().output_tree().is_trivial() {
+                    witnessed = true;
+                    break;
+                }
+            }
+            assert_eq!(says_empty, !witnessed);
+        }
+    }
+}

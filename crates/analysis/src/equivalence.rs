@@ -1,0 +1,421 @@
+//! The equivalence problem: do `τ1` and `τ2` produce the same tree on every
+//! instance of their (shared) schema?
+//!
+//! Theorem 1(3) makes this undecidable already for `PT(CQ, tuple, normal)`
+//! (reduction from two-register-machine halting, see
+//! [`crate::reductions::two_register`]); Theorem 2(4) shows the
+//! *nonrecursive* classes `PTnr(CQ, tuple, O)` are Π₃ᵖ-complete via the
+//! Claim-4 characterization: the dependency graphs must match segment-wise,
+//! and along every root path the unions of composed queries per same-tag
+//! segment must be c-equivalent (`≡_c`, cardinality-preserving
+//! equivalence — Claim 3), or plainly equivalent for `text` segments whose
+//! registers are printed.
+//!
+//! [`equivalence`] implements that characterization (virtual tags are
+//! eliminated on the fly by splicing their composed queries, the
+//! construction of Theorem 2(4)); [`randomized_equivalence`] and
+//! [`exhaustive_equivalence`] are testing-based procedures used to
+//! cross-validate it and to probe classes where the problem is undecidable.
+
+use pt_core::{Store, Transducer};
+use pt_logic::compose::{close_root_register, compose_tuple_register};
+use pt_logic::cq::{c_equivalent, ucq_equivalent, ConjunctiveQuery};
+use pt_logic::{Fragment, Query};
+use pt_relational::{Instance, Value};
+use rand::prelude::*;
+
+use crate::membership::for_each_instance;
+use crate::Decision;
+
+/// Cap on the number of term-classes of a composed query before the exact
+/// procedure declines: the canonical-database enumeration underlying
+/// containment with `≠` is exponential in this count (it is a Π₂ᵖ-hard
+/// subproblem), so the guard keeps the decision procedure predictable.
+const CLASS_LIMIT: usize = 11;
+
+/// Exact equivalence for `PTnr(CQ, tuple, O)` per Theorem 2(4).
+///
+/// Declines (`Unsupported`) when either transducer is recursive, uses a
+/// logic beyond CQ, uses relation stores, or produces composed queries too
+/// large for the canonical-database test.
+pub fn equivalence(t1: &Transducer, t2: &Transducer) -> Decision<bool> {
+    for t in [t1, t2] {
+        if t.logic() > Fragment::CQ {
+            return Decision::Unsupported(format!(
+                "equivalence is undecidable for PT({}, S, O) (Proposition 2)",
+                t.logic()
+            ));
+        }
+        if t.is_recursive() {
+            return Decision::Unsupported(
+                "equivalence is undecidable for recursive PT(CQ, tuple, normal) \
+                 (Theorem 1(3)); use randomized/exhaustive testing"
+                    .to_string(),
+            );
+        }
+        if t.store() == Store::Relation {
+            return Decision::Unsupported(
+                "exact equivalence implemented for tuple stores only (Theorem 2 covers \
+                 PTnr(CQ, tuple, O))"
+                    .to_string(),
+            );
+        }
+    }
+    if t1.root_tag() != t2.root_tag() {
+        return Decision::Decided(false);
+    }
+    match compare(
+        t1,
+        t2,
+        (t1.start_state(), t1.root_tag()),
+        (t2.start_state(), t2.root_tag()),
+        None,
+        None,
+        0,
+    ) {
+        Ok(b) => Decision::Decided(b),
+        Err(why) => Decision::Unsupported(why),
+    }
+}
+
+/// An entry of the virtual-free expanded child list: a non-virtual target
+/// reached through zero or more virtual steps, with the query composed all
+/// the way from the root.
+struct Entry {
+    state: String,
+    tag: String,
+    composed: Query,
+}
+
+/// Expand the rule of `(state, tag)` into its virtual-free child list,
+/// splicing virtual children (Theorem 2(4)'s τ′ construction) and pruning
+/// unsatisfiable compositions (the paper's standing satisfiability
+/// assumption on path queries).
+fn expand(
+    tau: &Transducer,
+    state: &str,
+    tag: &str,
+    acc: Option<&Query>,
+) -> Result<Vec<Entry>, String> {
+    let mut out = Vec::new();
+    for item in tau.rule(state, tag) {
+        let body = match acc {
+            None => close_root_register(item.query.body()),
+            Some(parent) => compose_tuple_register(item.query.body(), parent),
+        };
+        let composed = item
+            .query
+            .with_body(body)
+            .map_err(|e| format!("composition failed: {e}"))?;
+        let cq = ConjunctiveQuery::from_query(&composed)
+            .map_err(|e| format!("not a CQ: {e}"))?;
+        if !cq.is_satisfiable() {
+            continue;
+        }
+        if tau.is_virtual(&item.tag) {
+            out.extend(expand(tau, &item.state, &item.tag, Some(&composed))?);
+        } else {
+            out.push(Entry {
+                state: item.state.clone(),
+                tag: item.tag.clone(),
+                composed,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Split an expanded child list into maximal same-tag segments (the
+/// partition `S_τ(q, a)` of Claim 4).
+fn segments(entries: &[Entry]) -> Vec<(String, Vec<&Entry>)> {
+    let mut out: Vec<(String, Vec<&Entry>)> = Vec::new();
+    for e in entries {
+        match out.last_mut() {
+            Some((tag, seg)) if *tag == e.tag => seg.push(e),
+            _ => out.push((e.tag.clone(), vec![e])),
+        }
+    }
+    out
+}
+
+fn to_cqs(seg: &[&Entry]) -> Result<Vec<ConjunctiveQuery>, String> {
+    seg.iter()
+        .map(|e| {
+            let cq = ConjunctiveQuery::from_query(&e.composed)
+                .map_err(|err| format!("not a CQ: {err}"))?;
+            let classes = cq.vars().len() + cq.constants().len();
+            if classes > CLASS_LIMIT {
+                return Err(format!(
+                    "composed query has {classes} term classes (> {CLASS_LIMIT}); \
+                     exact c-equivalence declined"
+                ));
+            }
+            Ok(cq)
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compare(
+    t1: &Transducer,
+    t2: &Transducer,
+    n1: (&str, &str),
+    n2: (&str, &str),
+    acc1: Option<&Query>,
+    acc2: Option<&Query>,
+    depth: usize,
+) -> Result<bool, String> {
+    if depth > 64 {
+        return Err("expansion depth exceeded (virtual cycle?)".to_string());
+    }
+    let e1 = expand(t1, n1.0, n1.1, acc1)?;
+    let e2 = expand(t2, n2.0, n2.1, acc2)?;
+    let s1 = segments(&e1);
+    let s2 = segments(&e2);
+    let tags1: Vec<&str> = s1.iter().map(|(t, _)| t.as_str()).collect();
+    let tags2: Vec<&str> = s2.iter().map(|(t, _)| t.as_str()).collect();
+    if tags1 != tags2 {
+        return Ok(false);
+    }
+    for ((tag, seg1), (_, seg2)) in s1.iter().zip(s2.iter()) {
+        let u1 = to_cqs(seg1)?;
+        let u2 = to_cqs(seg2)?;
+        // text nodes print their registers: plain equivalence; otherwise the
+        // register content is observable only through counts and children —
+        // cardinality-preserving equivalence suffices (Claim 4)
+        let same = if tag == "text" {
+            ucq_equivalent(&u1, &u2)
+        } else {
+            c_equivalent(&u1, &u2)
+        };
+        if !same {
+            return Ok(false);
+        }
+        // recurse into every aligned continuation
+        for a in seg1.iter() {
+            for b in seg2.iter() {
+                if !compare(
+                    t1,
+                    t2,
+                    (&a.state, &a.tag),
+                    (&b.state, &b.tag),
+                    Some(&a.composed),
+                    Some(&b.composed),
+                    depth + 1,
+                )? {
+                    return Ok(false);
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Randomized testing: run both transducers on `trials` random instances
+/// and return the first counterexample. Sound for *non*-equivalence; silence
+/// is evidence, not proof, of equivalence.
+pub fn randomized_equivalence(
+    t1: &Transducer,
+    t2: &Transducer,
+    domain_size: usize,
+    tuples_per_relation: usize,
+    trials: usize,
+    seed: u64,
+) -> Option<Instance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = t1.schema().union(t2.schema());
+    for _ in 0..trials {
+        let inst = pt_relational::generate::random_instance(
+            &schema,
+            domain_size,
+            tuples_per_relation,
+            &mut rng,
+        );
+        let o1 = t1.run(&inst).map(|r| r.output_tree());
+        let o2 = t2.run(&inst).map(|r| r.output_tree());
+        match (o1, o2) {
+            (Ok(a), Ok(b)) if a == b => {}
+            _ => return Some(inst),
+        }
+    }
+    None
+}
+
+/// Exhaustive testing over every instance with at most `max_tuples` tuples
+/// drawn from `domain`. Decides equivalence *restricted to that instance
+/// space* — which is exactly what the reduction-validation experiments
+/// need.
+pub fn exhaustive_equivalence(
+    t1: &Transducer,
+    t2: &Transducer,
+    domain: &[Value],
+    max_tuples: usize,
+) -> Option<Instance> {
+    let schema = t1.schema().union(t2.schema());
+    for_each_instance(&schema, domain, max_tuples, |inst| {
+        let o1 = t1.run(inst).map(|r| r.output_tree());
+        let o2 = t2.run(inst).map(|r| r.output_tree());
+        match (o1, o2) {
+            (Ok(a), Ok(b)) if a == b => None,
+            _ => Some(inst.clone()),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_relational::Schema;
+
+    fn schema() -> Schema {
+        Schema::with(&[("r", 2), ("s", 1)])
+    }
+
+    fn simple(q: &str) -> Transducer {
+        Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", q)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_transducers_equivalent() {
+        let t = simple("(x) <- s(x)");
+        assert_eq!(equivalence(&t, &t), Decision::Decided(true));
+    }
+
+    #[test]
+    fn renamed_variables_equivalent() {
+        let t1 = simple("(x) <- s(x)");
+        let t2 = simple("(y) <- s(y)");
+        assert_eq!(equivalence(&t1, &t2), Decision::Decided(true));
+    }
+
+    #[test]
+    fn different_tags_not_equivalent() {
+        let t1 = simple("(x) <- s(x)");
+        let t2 = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "b", "(x) <- s(x)")])
+            .build()
+            .unwrap();
+        assert_eq!(equivalence(&t1, &t2), Decision::Decided(false));
+    }
+
+    #[test]
+    fn count_differences_detected() {
+        // one child per s-tuple vs one child per (s-tuple, s-tuple) pair
+        let t1 = simple("(x) <- s(x)");
+        let t2 = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x, y) <- s(x) and s(y)")])
+            .build()
+            .unwrap();
+        assert_eq!(equivalence(&t1, &t2), Decision::Decided(false));
+        // cross-validate with a concrete counterexample
+        assert!(randomized_equivalence(&t1, &t2, 3, 3, 50, 7).is_some());
+    }
+
+    #[test]
+    fn c_equivalent_heads_are_equivalent() {
+        // same cardinality, different head decoration: (x, 1) vs (x)
+        let t1 = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x, k) <- s(x) and k = 1")])
+            .build()
+            .unwrap();
+        let t2 = simple("(x) <- s(x)");
+        assert_eq!(equivalence(&t1, &t2), Decision::Decided(true));
+        assert!(randomized_equivalence(&t1, &t2, 3, 3, 50, 7).is_none());
+    }
+
+    #[test]
+    fn text_exposes_registers() {
+        // identical shapes, but text renders different registers
+        let t1 = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+            .rule("q", "a", &[("q", "text", "(x) <- Reg(x)")])
+            .build()
+            .unwrap();
+        let t2 = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+            .rule("q", "a", &[("q", "text", "(k) <- exists x (Reg(x)) and k = 9")])
+            .build()
+            .unwrap();
+        assert_eq!(equivalence(&t1, &t2), Decision::Decided(false));
+        assert!(randomized_equivalence(&t1, &t2, 3, 3, 50, 11).is_some());
+    }
+
+    #[test]
+    fn unsatisfiable_items_pruned() {
+        let t1 = Transducer::builder(schema(), "q0", "root")
+            .rule(
+                "q0",
+                "root",
+                &[
+                    ("q", "a", "(x) <- s(x)"),
+                    ("q", "b", "(x) <- s(x) and x = 1 and x = 2"),
+                ],
+            )
+            .build()
+            .unwrap();
+        let t2 = simple("(x) <- s(x)");
+        assert_eq!(equivalence(&t1, &t2), Decision::Decided(true));
+    }
+
+    #[test]
+    fn virtual_splicing() {
+        // t1 reaches `b` through a virtual hop; t2 directly
+        let t1 = Transducer::builder(schema(), "q0", "root")
+            .virtual_tag("v")
+            .rule("q0", "root", &[("q", "v", "(x) <- s(x)")])
+            .rule("q", "v", &[("q", "b", "(x) <- Reg(x)")])
+            .build()
+            .unwrap();
+        let t2 = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "b", "(x) <- s(x)")])
+            .build()
+            .unwrap();
+        assert_eq!(equivalence(&t1, &t2), Decision::Decided(true));
+        assert!(randomized_equivalence(&t1, &t2, 3, 4, 50, 13).is_none());
+    }
+
+    #[test]
+    fn deeper_difference_found() {
+        let t1 = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+            .rule("q", "a", &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+            .build()
+            .unwrap();
+        let t2 = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+            .rule(
+                "q",
+                "a",
+                &[("q", "b", "(y) <- exists x (Reg(x) and r(y, x))")], // flipped
+            )
+            .build()
+            .unwrap();
+        assert_eq!(equivalence(&t1, &t2), Decision::Decided(false));
+        assert!(randomized_equivalence(&t1, &t2, 4, 5, 100, 17).is_some());
+    }
+
+    #[test]
+    fn recursive_inputs_unsupported() {
+        let t = Transducer::builder(schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+            .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and r(x, y))")])
+            .build()
+            .unwrap();
+        assert!(matches!(equivalence(&t, &t), Decision::Unsupported(_)));
+    }
+
+    #[test]
+    fn exhaustive_equivalence_finds_counterexamples() {
+        let t1 = simple("(x) <- s(x)");
+        let t2 = simple("(x) <- s(x) and x != 0");
+        let domain = [Value::int(0), Value::int(1)];
+        let cex = exhaustive_equivalence(&t1, &t2, &domain, 2).expect("counterexample");
+        // the counterexample must contain an s-tuple with value 0
+        assert!(cex.get("s").contains(&[Value::int(0)]));
+        // and the procedure agrees
+        assert_eq!(equivalence(&t1, &t2), Decision::Decided(false));
+    }
+}

@@ -1,0 +1,57 @@
+//! Static analysis of publishing transducers (Section 5 of the paper).
+//!
+//! The paper pins the complexity of three decision problems — *emptiness*,
+//! *membership* and *equivalence* — for every class `PT(L, S, O)`
+//! (Table II). This crate makes every entry of that table executable:
+//!
+//! * **Decidable entries** become decision procedures:
+//!   [`emptiness`] implements the PTIME algorithm for
+//!   `PT(CQ, S, normal)` and the NP path-search for `PT(CQ, S, virtual)`
+//!   (Theorem 1(1)); [`membership`] implements the Σ₂ᵖ guess-and-check of
+//!   Theorem 1(2)/Theorem 2(3) as a deterministic bounded search over the
+//!   certificate space (the small-model bound of Claim 2);
+//!   [`equivalence`] implements the Claim-4 characterization for
+//!   `PTnr(CQ, tuple, O)` (Theorem 2(4)) plus randomized and exhaustive
+//!   testers used to cross-validate everything.
+//! * **Undecidable entries** become *reductions* ([`reductions`]): the
+//!   gadget constructions from the proofs, validated against brute-force
+//!   oracles ([`oracles`]) on small inputs.
+//! * [`blowup`] holds the Proposition 1(3)/(4) families witnessing
+//!   exponential and doubly-exponential output sizes.
+
+pub mod blowup;
+pub mod emptiness;
+pub mod equivalence;
+pub mod membership;
+pub mod oracles;
+pub mod reductions;
+
+/// Outcome of a static-analysis procedure. `Unsupported` marks inputs whose
+/// class makes the problem undecidable (Proposition 2 / Theorem 1) or
+/// beyond this implementation's documented bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision<T> {
+    Decided(T),
+    Unsupported(String),
+}
+
+impl<T> Decision<T> {
+    /// The decided value.
+    ///
+    /// # Panics
+    /// Panics if the analysis declined the input.
+    pub fn unwrap(self) -> T {
+        match self {
+            Decision::Decided(v) => v,
+            Decision::Unsupported(why) => panic!("analysis unsupported: {why}"),
+        }
+    }
+
+    /// The decided value, if any.
+    pub fn decided(self) -> Option<T> {
+        match self {
+            Decision::Decided(v) => Some(v),
+            Decision::Unsupported(_) => None,
+        }
+    }
+}

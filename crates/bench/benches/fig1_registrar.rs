@@ -1,0 +1,36 @@
+//! FIG-1: evaluation cost of the three Figure 1 views as the registrar
+//! database grows (also covers Proposition 3's PTIME data complexity for
+//! the nonrecursive views).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pt_bench::{nonrecursive_ifp_view, scaled_registrar, wide_registrar};
+use pt_core::examples::registrar;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_registrar");
+    g.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let chain = scaled_registrar(n);
+        let wide = wide_registrar(n);
+        g.bench_with_input(BenchmarkId::new("tau1_chain", n), &chain, |b, db| {
+            let tau = registrar::tau1();
+            b.iter(|| tau.output(db).unwrap().size())
+        });
+        g.bench_with_input(BenchmarkId::new("tau2_flatten", n), &chain, |b, db| {
+            let tau = registrar::tau2();
+            b.iter(|| tau.output(db).unwrap().size())
+        });
+        g.bench_with_input(BenchmarkId::new("tau3_filter", n), &wide, |b, db| {
+            let tau = registrar::tau3();
+            b.iter(|| tau.output(db).unwrap().size())
+        });
+        g.bench_with_input(BenchmarkId::new("prop3_nonrecursive_ifp", n), &chain, |b, db| {
+            let tau = nonrecursive_ifp_view();
+            b.iter(|| tau.output(db).unwrap().size())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

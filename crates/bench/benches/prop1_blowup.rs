@@ -1,0 +1,41 @@
+//! PROP-1(3)/(4): exponential (tuple stores) and doubly-exponential
+//! (relation stores) output sizes from linear-size inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pt_analysis::blowup::{
+    binary_counter_instance, binary_counter_transducer, counter_orbit_length,
+    diamond_chain_instance, diamond_chain_transducer,
+};
+use pt_core::EvalOptions;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prop1_blowup");
+    g.sample_size(10);
+    let tau1 = diamond_chain_transducer();
+    for n in [4usize, 7, 10] {
+        let inst = diamond_chain_instance(n);
+        g.bench_with_input(BenchmarkId::new("diamond_2_pow_n", n), &inst, |b, i| {
+            b.iter(|| tau1.run(i).unwrap().size())
+        });
+    }
+    let tau2 = binary_counter_transducer();
+    for n in [2usize, 3] {
+        let inst = binary_counter_instance(n);
+        if n <= 2 {
+            g.bench_with_input(BenchmarkId::new("counter_2_pow_2_pow_n", n), &inst, |b, i| {
+                b.iter(|| {
+                    tau2.run_with(i, EvalOptions { max_nodes: 1 << 22 })
+                        .unwrap()
+                        .size()
+                })
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("counter_orbit", n), &n, |b, &n| {
+            b.iter(|| counter_orbit_length(n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

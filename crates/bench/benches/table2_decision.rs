@@ -1,0 +1,92 @@
+//! TAB-2: cost of the decision procedures across classes — PTIME emptiness
+//! (CQ/normal), NP emptiness via path search (CQ/virtual, on 3SAT gadgets),
+//! the determinized Σ₂ᵖ membership search, and Π₃ᵖ-style exact equivalence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pt_analysis::emptiness::emptiness;
+use pt_analysis::equivalence::equivalence;
+use pt_analysis::membership::member_boolean_domain;
+use pt_analysis::oracles::{Cnf, Lit};
+use pt_analysis::reductions::{qbf, three_sat};
+use pt_core::Transducer;
+use pt_relational::Schema;
+use rand::prelude::*;
+
+fn random_cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let mut vars: Vec<usize> = (0..num_vars).collect();
+            vars.shuffle(&mut rng);
+            [0, 1, 2].map(|i| Lit { var: vars[i], positive: rng.gen_bool(0.5) })
+        })
+        .collect();
+    Cnf { num_vars, clauses }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_decision");
+    g.sample_size(10);
+
+    // PTIME emptiness for PT(CQ, S, normal): linear chains of rules
+    for n in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("emptiness_ptime_normal", n), &n, |b, &n| {
+            let schema = Schema::with(&[("s", 1)]);
+            let mut builder = Transducer::builder(schema, "q0", "r")
+                .rule("q0", "r", &[("s1", "a1", "(x) <- s(x)")]);
+            for i in 1..n {
+                let q = format!("(y) <- exists x (Reg(x) and s(y) and x != y)");
+                builder = builder.rule(
+                    &format!("s{i}"),
+                    &format!("a{i}"),
+                    &[(&format!("s{}", i + 1), &format!("a{}", i + 1), &q)],
+                );
+            }
+            let tau = builder.build().unwrap();
+            b.iter(|| emptiness(&tau))
+        });
+    }
+
+    // NP emptiness for PT(CQ, tuple, virtual) on 3SAT gadgets
+    for clauses in [3usize, 5, 7] {
+        let cnf = random_cnf(4, clauses, 7);
+        let tau = three_sat::emptiness_gadget(&cnf);
+        g.bench_with_input(
+            BenchmarkId::new("emptiness_np_virtual_3sat", clauses),
+            &tau,
+            |b, tau| b.iter(|| emptiness(tau)),
+        );
+    }
+
+    // Σ₂ᵖ membership, determinized: certificate-space search on QBF gadgets
+    let q = qbf::Sigma2 {
+        n_exists: 1,
+        n_forall: 1,
+        clauses: vec![
+            [Lit::pos(0), Lit::pos(1), Lit::pos(1)],
+            [Lit::pos(0), Lit::neg(1), Lit::neg(1)],
+        ],
+    };
+    let (tau, tree) = qbf::membership_gadget(&q);
+    g.bench_function("membership_sigma2_search", |b| {
+        b.iter(|| member_boolean_domain(&tau, &tree).is_some())
+    });
+
+    // Exact PTnr(CQ, tuple) equivalence per Theorem 2(4)
+    let schema = Schema::with(&[("r", 2), ("s", 1)]);
+    let t1 = Transducer::builder(schema.clone(), "q0", "root")
+        .rule("q0", "root", &[("q", "a", "(x, k) <- s(x) and k = 1")])
+        .rule("q", "a", &[("q2", "b", "(y) <- exists x k (Reg(x, k) and r(x, y))")])
+        .build()
+        .unwrap();
+    let t2 = Transducer::builder(schema, "q0", "root")
+        .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+        .rule("q", "a", &[("q2", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+        .build()
+        .unwrap();
+    g.bench_function("equivalence_pi3_exact", |b| b.iter(|| equivalence(&t1, &t2)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

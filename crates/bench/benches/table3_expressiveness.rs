@@ -1,0 +1,53 @@
+//! TAB-3: the expressiveness bridges — transducer ⇄ LinDatalog
+//! (Theorem 3(2)) and the Proposition 6 path unions, comparing direct
+//! transducer evaluation against the compiled relational forms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pt_core::Transducer;
+use pt_express::lindatalog::to_lindatalog;
+use pt_express::path_queries::{eval_path_union, path_union};
+use pt_relational::{generate, Schema};
+use rand::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_expressiveness");
+    g.sample_size(10);
+    let schema = Schema::with(&[("edge", 2), ("start", 1)]);
+    let tau = Transducer::builder(schema.clone(), "q0", "r")
+        .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
+        .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
+        .build()
+        .unwrap();
+    let program = to_lindatalog(&tau, "a").unwrap();
+    for n in [6usize, 10, 14] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let inst = generate::random_instance(&schema, n, 2 * n, &mut rng);
+        g.bench_with_input(BenchmarkId::new("rtau_direct", n), &inst, |b, i| {
+            b.iter(|| tau.run_relational(i, "a").unwrap().len())
+        });
+        g.bench_with_input(BenchmarkId::new("rtau_lindatalog", n), &inst, |b, i| {
+            b.iter(|| program.eval_output(i).unwrap().len())
+        });
+    }
+
+    // Proposition 6: nonrecursive path unions
+    let tau_nr = Transducer::builder(schema.clone(), "q0", "r")
+        .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
+        .rule("q", "a", &[("q2", "b", "(y) <- exists x (Reg(x) and edge(x, y))")])
+        .rule("q2", "b", &[("q3", "c", "(z) <- exists y (Reg(y) and edge(y, z))")])
+        .build()
+        .unwrap();
+    let union = path_union(&tau_nr, "c").unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let inst = generate::random_instance(&schema, 8, 20, &mut rng);
+    g.bench_function("prop6_direct", |b| {
+        b.iter(|| tau_nr.run_relational(&inst, "c").unwrap().len())
+    });
+    g.bench_function("prop6_path_union", |b| {
+        b.iter(|| eval_path_union(&union, &inst).unwrap().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

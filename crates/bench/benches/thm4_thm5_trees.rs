@@ -1,0 +1,44 @@
+//! THM-4/THM-5: tree generation through transductions and DTD round trips,
+//! plus the Proposition 5(10) simple-path counter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pt_express::dtd_def::{dtd_generator, encode_tree};
+use pt_express::separations::count_simple_paths;
+use pt_relational::generate::layered_dag;
+use pt_xmltree::Dtd;
+use rand::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm4_thm5_trees");
+    g.sample_size(10);
+
+    let dtd = Dtd::new("db")
+        .rule("db", "course*")
+        .rule("course", "cno, title, prereq")
+        .rule("prereq", "course*");
+    let tau = dtd_generator(&dtd).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    for depth in [2usize, 3] {
+        let tree = dtd.generate(depth, &mut rng);
+        let inst = encode_tree(&tree);
+        g.bench_with_input(
+            BenchmarkId::new("thm5_dtd_regenerate", tree.size()),
+            &inst,
+            |b, i| b.iter(|| tau.output(i).unwrap().size()),
+        );
+    }
+
+    for layers in [3usize, 4, 5] {
+        let dag = layered_dag(layers, 2);
+        let target = ((layers - 1) * 2) as i64;
+        g.bench_with_input(
+            BenchmarkId::new("prop5_simple_paths", layers),
+            &dag,
+            |b, d| b.iter(|| count_simple_paths(d, 0, target)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

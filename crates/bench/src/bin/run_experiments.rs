@@ -1,0 +1,281 @@
+//! Regenerate every table and figure of the paper as text reports.
+//!
+//! Usage: `cargo run --release -p pt-bench --bin run_experiments [section]`
+//! with `section` in `{fig1, table1, table2, table3, prop1, all}`.
+
+use std::time::Instant;
+
+use pt_analysis::blowup;
+use pt_analysis::emptiness::emptiness;
+use pt_analysis::equivalence::{equivalence, exhaustive_equivalence};
+use pt_analysis::membership::member_boolean_domain;
+use pt_analysis::oracles::{Cnf, Lit};
+use pt_analysis::reductions::{qbf, three_sat};
+use pt_bench::scaled_registrar;
+use pt_core::examples::registrar;
+use pt_core::EvalOptions;
+use pt_express::lindatalog::to_lindatalog;
+use pt_express::path_queries::{eval_path_union, path_union};
+use pt_relational::{generate, Schema, Value};
+
+fn fig1() {
+    println!("== FIG-1: the three registrar views ==");
+    let db = registrar::registrar_instance();
+    for (name, tau) in [
+        ("tau1 (Fig 1a)", registrar::tau1()),
+        ("tau2 (Fig 1b)", registrar::tau2()),
+        ("tau3 (Fig 1c)", registrar::tau3()),
+    ] {
+        let start = Instant::now();
+        let run = tau.run(&db).unwrap();
+        let tree = run.output_tree();
+        println!(
+            "{name:<14} class={:<28} xi-nodes={:<5} output-nodes={:<5} depth={:<3} ({:?})",
+            tau.class().to_string(),
+            run.size(),
+            tree.size(),
+            tree.depth(),
+            start.elapsed()
+        );
+    }
+    println!("\nscaling tau1 on course chains:");
+    for n in [8usize, 16, 32, 64] {
+        let db = scaled_registrar(n);
+        let start = Instant::now();
+        let size = registrar::tau1().run(&db).unwrap().size();
+        println!("  |I| = {:<4} -> xi-nodes = {:<7} in {:?}", db.size(), size, start.elapsed());
+    }
+}
+
+fn table1() {
+    println!("== TAB-1 ==\n{}", pt_languages::table1::report());
+}
+
+fn table2() {
+    println!("== TAB-2: decision problems ==");
+    // PTIME emptiness scaling
+    println!("emptiness, PT(CQ, S, normal) [PTIME]:");
+    for n in [8usize, 32, 128] {
+        let schema = Schema::with(&[("s", 1)]);
+        let mut b = pt_core::Transducer::builder(schema, "q0", "r")
+            .rule("q0", "r", &[("s1", "a1", "(x) <- s(x)")]);
+        for i in 1..n {
+            b = b.rule(
+                &format!("s{i}"),
+                &format!("a{i}"),
+                &[(
+                    &format!("s{}", i + 1),
+                    &format!("a{}", i + 1),
+                    "(y) <- exists x (Reg(x) and s(y))",
+                )],
+            );
+        }
+        let tau = b.build().unwrap();
+        let start = Instant::now();
+        let d = emptiness(&tau);
+        println!("  |tau| = {n:<4} rules -> {d:?} in {:?}", start.elapsed());
+    }
+    // NP emptiness via 3SAT gadgets
+    println!("emptiness, PT(CQ, tuple, virtual) [NP-complete], 3SAT gadgets:");
+    for (name, cnf) in [
+        (
+            "satisfiable",
+            Cnf {
+                num_vars: 4,
+                clauses: vec![
+                    [Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                    [Lit::neg(0), Lit::pos(2), Lit::pos(3)],
+                ],
+            },
+        ),
+        (
+            "unsatisfiable",
+            Cnf {
+                num_vars: 1,
+                clauses: vec![
+                    [Lit::pos(0), Lit::pos(0), Lit::pos(0)],
+                    [Lit::neg(0), Lit::neg(0), Lit::neg(0)],
+                ],
+            },
+        ),
+    ] {
+        let tau = three_sat::emptiness_gadget(&cnf);
+        let start = Instant::now();
+        let d = emptiness(&tau);
+        println!(
+            "  {name:<14} SAT={:<5} -> emptiness {d:?} in {:?}",
+            cnf.satisfiable(),
+            start.elapsed()
+        );
+    }
+    // Σ₂ᵖ membership
+    println!("membership, PT(CQ, tuple, normal) [Σ2p-complete], ∃∀-3SAT gadgets:");
+    for (name, q) in [
+        (
+            "true",
+            qbf::Sigma2 {
+                n_exists: 1,
+                n_forall: 1,
+                clauses: vec![
+                    [Lit::pos(0), Lit::pos(1), Lit::pos(1)],
+                    [Lit::pos(0), Lit::neg(1), Lit::neg(1)],
+                ],
+            },
+        ),
+        (
+            "false",
+            qbf::Sigma2 {
+                n_exists: 1,
+                n_forall: 1,
+                clauses: vec![
+                    [Lit::pos(0), Lit::pos(1), Lit::pos(1)],
+                    [Lit::neg(0), Lit::neg(1), Lit::neg(1)],
+                    [Lit::neg(0), Lit::pos(1), Lit::pos(1)],
+                ],
+            },
+        ),
+    ] {
+        let (tau, tree) = qbf::membership_gadget(&q);
+        let start = Instant::now();
+        let member = member_boolean_domain(&tau, &tree).is_some();
+        println!(
+            "  QBF {name:<6} eval={:<5} -> member={member:<5} in {:?}",
+            q.eval(),
+            start.elapsed()
+        );
+    }
+    // Π₃ᵖ equivalence: exact procedure + reduction
+    println!("equivalence, PTnr(CQ, tuple, O) [Π3p-complete]:");
+    let schema = Schema::with(&[("s", 1)]);
+    let t1 = pt_core::Transducer::builder(schema.clone(), "q0", "r")
+        .rule("q0", "r", &[("q", "a", "(x, k) <- s(x) and k = 1")])
+        .build()
+        .unwrap();
+    let t2 = pt_core::Transducer::builder(schema, "q0", "r")
+        .rule("q0", "r", &[("q", "a", "(x) <- s(x)")])
+        .build()
+        .unwrap();
+    let start = Instant::now();
+    println!(
+        "  c-equivalent heads: {:?} in {:?}",
+        equivalence(&t1, &t2),
+        start.elapsed()
+    );
+    let pi3 = qbf::Pi3 {
+        n_outer_forall: 1,
+        n_exists: 1,
+        n_inner_forall: 0,
+        clauses: vec![
+            [Lit::neg(0), Lit::pos(1), Lit::pos(1)],
+            [Lit::pos(0), Lit::neg(1), Lit::neg(1)],
+        ],
+    };
+    let (g1, g2) = qbf::equivalence_gadget(&pi3);
+    let start = Instant::now();
+    let cex = exhaustive_equivalence(&g1, &g2, &[Value::int(0), Value::int(1)], usize::MAX);
+    println!(
+        "  ∀∃∀-3SAT gadget (true formula): counterexample={} in {:?}",
+        cex.is_some(),
+        start.elapsed()
+    );
+}
+
+fn table3() {
+    println!("== TAB-3: relational expressiveness ==");
+    let schema = Schema::with(&[("edge", 2), ("start", 1)]);
+    let tau = pt_core::Transducer::builder(schema.clone(), "q0", "r")
+        .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
+        .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
+        .build()
+        .unwrap();
+    let program = to_lindatalog(&tau, "a").unwrap();
+    println!("PT(CQ, tuple, normal) = LinDatalog (Thm 3(2)); compiled program:");
+    print!("{program}");
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut agree = 0;
+    for _ in 0..25 {
+        let inst = generate::random_instance(&schema, 5, 8, &mut rng);
+        if tau.run_relational(&inst, "a").unwrap() == program.eval_output(&inst).unwrap() {
+            agree += 1;
+        }
+    }
+    println!("agreement on random instances: {agree}/25");
+
+    let tau3 = registrar::tau3();
+    let union = path_union(&tau3, "course").unwrap();
+    println!(
+        "PTnr(FO, tuple, O) = FO (Prop 6): tau3 compiles to a union of {} path queries",
+        union.len()
+    );
+    let db = registrar::registrar_instance();
+    let direct = tau3.run_relational(&db, "course").unwrap();
+    let via = eval_path_union(&union, &db).unwrap();
+    println!("  R_tau3(I0) direct = {} rows, via path union = {} rows, equal = {}",
+        direct.len(), via.len(), direct == via);
+}
+
+fn prop1() {
+    println!("== PROP-1: output-size blowups ==");
+    let tau1 = blowup::diamond_chain_transducer();
+    println!("tau1 in {} on chain-of-diamonds I_n (|I_n| = 4n+1):", tau1.class());
+    for n in [2usize, 4, 6, 8, 10, 12] {
+        let inst = blowup::diamond_chain_instance(n);
+        let start = Instant::now();
+        let size = tau1
+            .run_with(&inst, EvalOptions { max_nodes: 1 << 24 })
+            .unwrap()
+            .size();
+        println!(
+            "  n = {n:<3} |I| = {:<4} output = {:<8} (>= 2^{n} = {:<6}) in {:?}",
+            inst.size(),
+            size,
+            1usize << n,
+            start.elapsed()
+        );
+    }
+    let tau2 = blowup::binary_counter_transducer();
+    println!("tau2 in {} on counter J_n (|J_n| = 2n+8):", tau2.class());
+    for n in [2usize, 3, 4] {
+        let orbit = blowup::counter_orbit_length(n);
+        let materialized = if n <= 2 {
+            let size = tau2
+                .run_with(&blowup::binary_counter_instance(n), EvalOptions { max_nodes: 1 << 24 })
+                .unwrap()
+                .size();
+            format!("output = {size}")
+        } else {
+            format!("output >= 2^{orbit} (not materialized)")
+        };
+        println!(
+            "  n = {n:<3} register orbit = {orbit:<4} (>= 2^{n} = {:<4}) {materialized}",
+            1usize << n
+        );
+    }
+}
+
+fn main() {
+    let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match section.as_str() {
+        "fig1" => fig1(),
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "prop1" => prop1(),
+        "all" => {
+            fig1();
+            println!();
+            table1();
+            println!();
+            table2();
+            println!();
+            table3();
+            println!();
+            prop1();
+        }
+        other => {
+            eprintln!("unknown section {other}; use fig1|table1|table2|table3|prop1|all");
+            std::process::exit(1);
+        }
+    }
+}

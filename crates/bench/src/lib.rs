@@ -1,0 +1,100 @@
+//! Shared workload builders for the experiment harness.
+//!
+//! Every table and figure of the paper maps to a bench target (see
+//! `benches/`) or a section of the `run_experiments` binary; DESIGN.md's
+//! experiment index records the correspondence.
+
+use pt_core::Transducer;
+use pt_relational::{Instance, Relation, Schema, Value};
+
+/// A registrar instance scaled to `n` CS courses in a prerequisite chain
+/// plus `n` unrelated courses — the data-complexity workload for Figure 1
+/// and Proposition 3.
+pub fn scaled_registrar(n: usize) -> Instance {
+    let mut course = Relation::new();
+    let mut prereq = Relation::new();
+    for i in 0..n {
+        course.insert(vec![
+            Value::str(format!("CS{i:04}")),
+            Value::str(format!("Topic {i}")),
+            Value::str("CS"),
+        ]);
+        if i > 0 {
+            prereq.insert(vec![
+                Value::str(format!("CS{i:04}")),
+                Value::str(format!("CS{:04}", i - 1)),
+            ]);
+        }
+        course.insert(vec![
+            Value::str(format!("MA{i:04}")),
+            Value::str(format!("Math {i}")),
+            Value::str("MATH"),
+        ]);
+    }
+    Instance::new().with("course", course).with("prereq", prereq)
+}
+
+/// A wide (non-chained) registrar instance: `n` independent CS courses,
+/// each with one prerequisite. Keeps τ1's output linear in `n`.
+pub fn wide_registrar(n: usize) -> Instance {
+    let mut course = Relation::new();
+    let mut prereq = Relation::new();
+    for i in 0..n {
+        course.insert(vec![
+            Value::str(format!("CS{i:04}")),
+            Value::str(format!("Topic {i}")),
+            Value::str("CS"),
+        ]);
+        course.insert(vec![
+            Value::str(format!("PR{i:04}")),
+            Value::str(format!("Pre {i}")),
+            Value::str("CS"),
+        ]);
+        prereq.insert(vec![
+            Value::str(format!("CS{i:04}")),
+            Value::str(format!("PR{i:04}")),
+        ]);
+    }
+    Instance::new().with("course", course).with("prereq", prereq)
+}
+
+/// The nonrecursive IFP transducer used for the Proposition 3 data
+/// complexity series: reachability folded into one fixpoint query.
+pub fn nonrecursive_ifp_view() -> Transducer {
+    let schema = Schema::with(&[("course", 3), ("prereq", 2)]);
+    Transducer::builder(schema, "q0", "db")
+        .rule(
+            "q0",
+            "db",
+            &[(
+                "q",
+                "course",
+                "(c, t) <- exists d (course(c, t, d)) and \
+                 fix T(u) { exists t2 d2 (course(u, t2, d2) and d2 = 'CS') or \
+                 exists v (T(v) and prereq(v, u)) }(c)",
+            )],
+        )
+        .rule("q", "course", &[("q2", "text", "(c, t) <- Reg(c, t)")])
+        .build()
+        .expect("IFP view is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_core::examples::registrar;
+
+    #[test]
+    fn scaled_instances_grow_linearly() {
+        assert_eq!(scaled_registrar(5).size(), 14); // 10 courses + 4 prereqs
+        assert!(wide_registrar(8).size() > scaled_registrar(8).size() - 8);
+    }
+
+    #[test]
+    fn views_run_on_scaled_instances() {
+        let db = scaled_registrar(6);
+        for tau in [registrar::tau1(), registrar::tau3(), nonrecursive_ifp_view()] {
+            assert!(!tau.output(&db).unwrap().is_trivial());
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The paper's running example: the registrar database and the three XML
+//! views of Figure 1.
+
+/// Example 1.1's registrar database and the transducers τ1 (Example 3.1),
+/// τ2 (Example 3.2) and τ3 (Figure 1(c) / Figure 2).
+pub mod registrar {
+    use pt_relational::{rel, Instance, Schema};
+
+    use crate::transducer::Transducer;
+
+    /// The schema `R0`: `course(cno, title, dept)`, `prereq(cno1, cno2)`.
+    pub fn schema() -> Schema {
+        Schema::with(&[("course", 3), ("prereq", 2)])
+    }
+
+    /// An instance `I0` with a four-level prerequisite hierarchy, a course
+    /// titled `DB` (for the τ3 filter), a non-CS course, and a course that
+    /// requires itself — the case Example 3.1 calls out as exercising the
+    /// stop condition.
+    pub fn registrar_instance() -> Instance {
+        Instance::new()
+            .with(
+                "course",
+                rel![
+                    ["CS100", "Programming", "CS"],
+                    ["CS140", "Data Structures", "CS"],
+                    ["CS240", "DB", "CS"],
+                    ["CS340", "Distributed Systems", "CS"],
+                    ["CS666", "Paradox", "CS"],
+                    ["MA100", "Calculus", "MATH"]
+                ],
+            )
+            .with(
+                "prereq",
+                rel![
+                    ["CS140", "CS100"],
+                    ["CS240", "CS140"],
+                    ["CS340", "CS240"],
+                    ["CS340", "CS140"],
+                    ["CS666", "CS666"]
+                ],
+            )
+    }
+
+    /// τ1 (Example 3.1) ∈ PT(CQ, tuple, normal): all CS courses with their
+    /// full (recursive) prerequisite hierarchies — the view of Fig. 1(a).
+    pub fn tau1() -> Transducer {
+        Transducer::builder(schema(), "q0", "db")
+            .rule(
+                "q0",
+                "db",
+                &[(
+                    "q",
+                    "course",
+                    "(cno, title) <- exists dept (course(cno, title, dept) and dept = 'CS')",
+                )],
+            )
+            .rule(
+                "q",
+                "course",
+                &[
+                    ("q", "cno", "(c) <- exists t (Reg(c, t))"),
+                    ("q", "title", "(t) <- exists c (Reg(c, t))"),
+                    ("q", "prereq", "(c) <- exists t (Reg(c, t))"),
+                ],
+            )
+            .rule(
+                "q",
+                "prereq",
+                &[(
+                    "q",
+                    "course",
+                    "(c, t) <- exists c0 d (Reg(c0) and prereq(c0, c) and course(c, t, d))",
+                )],
+            )
+            .rule("q", "cno", &[("q", "text", "(c) <- Reg(c)")])
+            .rule("q", "title", &[("q", "text", "(t) <- Reg(t)")])
+            .build()
+            .expect("τ1 is well-formed")
+    }
+
+    /// τ2 (Example 3.2) ∈ PT(FO, relation, virtual): the depth-three view of
+    /// Fig. 1(b) — under each course's `prereq`, the *set* of all cno's in
+    /// its prerequisite hierarchy, computed through a virtual tag `l` that
+    /// accumulates the hierarchy to a fixpoint.
+    ///
+    /// The child query for `cno` is the paper's
+    /// `ϕ2(c) = ϕ'1(c) ∧ ∀c' (Reg(c') ↔ ϕ'1(c'))` with the biconditional
+    /// simplified using `Reg ⊆ ϕ'1`: it is equivalent to
+    /// `Reg(c) ∧ ∀c' (ϕ'1(c') → Reg(c'))`.
+    pub fn tau2() -> Transducer {
+        let phi1_of = |v: &str| {
+            format!("(Reg({v}) or exists c0 (Reg(c0) and prereq(c0, {v})))")
+        };
+        let phi2 = format!(
+            "(c) <- Reg(c) and forall c2 ((not {}) or Reg(c2))",
+            phi1_of("c2")
+        );
+        let phi1_prime = format!("(; c) <- {}", phi1_of("c"));
+        Transducer::builder(schema(), "q0", "db")
+            .virtual_tag("l")
+            .rule(
+                "q0",
+                "db",
+                &[(
+                    "q",
+                    "course",
+                    "(cno, title) <- exists dept (course(cno, title, dept) and dept = 'CS')",
+                )],
+            )
+            .rule(
+                "q",
+                "course",
+                &[
+                    ("q", "cno", "(c) <- exists t (Reg(c, t))"),
+                    ("q", "title", "(t) <- exists c (Reg(c, t))"),
+                    ("q", "prereq", "(c) <- exists t (Reg(c, t))"),
+                ],
+            )
+            .rule(
+                "q",
+                "prereq",
+                &[("q", "l", "(; c) <- exists c0 (Reg(c0) and prereq(c0, c))")],
+            )
+            .rule(
+                "q",
+                "l",
+                &[
+                    ("q", "l", &phi1_prime as &str),
+                    ("q", "cno", &phi2 as &str),
+                ],
+            )
+            .rule("q", "cno", &[("q", "text", "(c) <- Reg(c)")])
+            .rule("q", "title", &[("q", "text", "(t) <- Reg(t)")])
+            .build()
+            .expect("τ2 is well-formed")
+    }
+
+    /// τ3 (Fig. 1(c), expressed in FOR XML in Fig. 2) ∈ PTnr(FO, tuple,
+    /// normal): the depth-two list of all courses that do *not* have a
+    /// course titled `DB` as an immediate prerequisite.
+    pub fn tau3() -> Transducer {
+        Transducer::builder(schema(), "q0", "db")
+            .rule(
+                "q0",
+                "db",
+                &[(
+                    "q",
+                    "course",
+                    "(cno, title) <- exists d (course(cno, title, d)) and \
+                     not (exists c2 d2 (prereq(cno, c2) and course(c2, 'DB', d2)))",
+                )],
+            )
+            .rule(
+                "q",
+                "course",
+                &[
+                    ("q", "cno", "(c) <- exists t (Reg(c, t))"),
+                    ("q", "title", "(t) <- exists c (Reg(c, t))"),
+                ],
+            )
+            .rule("q", "cno", &[("q", "text", "(c) <- Reg(c)")])
+            .rule("q", "title", &[("q", "text", "(t) <- Reg(t)")])
+            .build()
+            .expect("τ3 is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::registrar::*;
+    use pt_logic::Fragment;
+    use pt_xmltree::Tree;
+
+    fn find_course<'a>(db: &'a Tree, cno: &str) -> Option<&'a Tree> {
+        db.children().iter().find(|c| {
+            c.children()
+                .first()
+                .and_then(|n| n.children().first())
+                .and_then(Tree::pcdata)
+                == Some(cno)
+        })
+    }
+
+    #[test]
+    fn tau1_class_matches_paper() {
+        let t = tau1();
+        assert_eq!(t.class().to_string(), "PT(CQ, tuple, normal)");
+    }
+
+    #[test]
+    fn tau1_unfolds_prerequisite_hierarchy() {
+        let tree = tau1().output(&registrar_instance()).unwrap();
+        assert_eq!(tree.label(), "db");
+        // 5 CS courses
+        assert_eq!(tree.children().len(), 5);
+        // CS340's prereq hierarchy: CS240 (→ CS140 → CS100) and CS140 (→ CS100)
+        let cs340 = find_course(&tree, "CS340").expect("CS340 present");
+        let prereq = &cs340.children()[2];
+        assert_eq!(prereq.label(), "prereq");
+        assert_eq!(prereq.children().len(), 2);
+        // the deep chain: CS340 → CS240 → CS140 → CS100
+        let chain = find_course(prereq, "CS240").expect("CS240 under CS340");
+        let deeper = find_course(&chain.children()[2], "CS140").expect("CS140 under CS240");
+        assert!(find_course(&deeper.children()[2], "CS100").is_some());
+        // MA100 is not CS, so absent
+        assert!(find_course(&tree, "MA100").is_none());
+    }
+
+    #[test]
+    fn tau1_stop_condition_on_self_prerequisite() {
+        let tree = tau1().output(&registrar_instance()).unwrap();
+        let cs666 = find_course(&tree, "CS666").expect("CS666 present");
+        let prereq = &cs666.children()[2];
+        // one course child (CS666 again), sealed: a bare leaf
+        assert_eq!(prereq.children().len(), 1);
+        let inner = &prereq.children()[0];
+        assert_eq!(inner.label(), "course");
+        assert!(inner.children().is_empty());
+    }
+
+    #[test]
+    fn tau2_class_matches_paper() {
+        let t = tau2();
+        assert_eq!(t.logic(), Fragment::FO);
+        assert_eq!(t.class().to_string(), "PT(FO, relation, virtual)");
+    }
+
+    #[test]
+    fn tau2_flattens_hierarchy_to_depth_three() {
+        let tree = tau2().output(&registrar_instance()).unwrap();
+        let cs340 = find_course(&tree, "CS340").expect("CS340 present");
+        let prereq = &cs340.children()[2];
+        // all transitive prerequisites as flat cno children
+        let cnos: Vec<&str> = prereq
+            .children()
+            .iter()
+            .map(|c| c.children()[0].pcdata().unwrap())
+            .collect();
+        assert_eq!(cnos, vec!["CS100", "CS140", "CS240"]);
+        // no `l` tags survive anywhere
+        for node in tree.preorder() {
+            assert_ne!(node.label(), "l");
+        }
+        // CS100 has no prerequisites: empty prereq node
+        let cs100 = find_course(&tree, "CS100").unwrap();
+        assert!(cs100.children()[2].children().is_empty());
+        // the self-loop course lists itself, once
+        let cs666 = find_course(&tree, "CS666").unwrap();
+        let cnos666: Vec<&str> = cs666.children()[2]
+            .children()
+            .iter()
+            .map(|c| c.children()[0].pcdata().unwrap())
+            .collect();
+        assert_eq!(cnos666, vec!["CS666"]);
+    }
+
+    #[test]
+    fn tau3_class_matches_paper() {
+        let t = tau3();
+        assert!(!t.is_recursive());
+        assert_eq!(t.class().to_string(), "PTnr(FO, tuple, normal)");
+    }
+
+    #[test]
+    fn tau3_filters_db_prerequisites() {
+        let tree = tau3().output(&registrar_instance()).unwrap();
+        // all courses except CS340 (whose immediate prereq CS240 is titled DB)
+        let cnos: Vec<&str> = tree
+            .children()
+            .iter()
+            .map(|c| c.children()[0].children()[0].pcdata().unwrap())
+            .collect();
+        assert_eq!(cnos, vec!["CS100", "CS140", "CS240", "CS666", "MA100"]);
+        // depth two below the root: course → {cno, title} → text
+        assert_eq!(tree.depth(), 4);
+    }
+
+    #[test]
+    fn views_are_deterministic() {
+        let i = registrar_instance();
+        for t in [tau1(), tau2(), tau3()] {
+            assert_eq!(t.output(&i).unwrap(), t.output(&i).unwrap());
+        }
+    }
+}

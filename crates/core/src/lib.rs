@@ -1,0 +1,36 @@
+//! Publishing transducers `PT(L, S, O)`.
+//!
+//! The central formalism of *"Expressiveness and Complexity of XML Publishing
+//! Transducers"* (Fan, Geerts & Neven, PODS 2007 / TODS 2008): a
+//! deterministic top-down machine that generates an XML tree from a
+//! relational database. Starting from a root node, each leaf labeled with a
+//! state/tag pair `(q, a)` fires its unique transduction rule
+//!
+//! ```text
+//! (q, a) → (q1, a1, φ1(x̄1; ȳ1)), ..., (qk, ak, φk(x̄k; ȳk))
+//! ```
+//!
+//! evaluating each query over the database and the node's local register,
+//! grouping results by `x̄`, and spawning one child per group with the group
+//! as its register (Definition 3.1). A leaf stops when an ancestor repeats
+//! its state, tag and register content (the stop condition), when all
+//! queries return empty, or when the rule's right-hand side is empty.
+//! Virtual tags are spliced out of the final tree.
+//!
+//! Modules:
+//! * [`transducer`] — the type, a validating builder, dependency graphs,
+//!   and `PT(L, S, O)` class inference,
+//! * [`semantics`] — the transformation itself: [`Transducer::run`]
+//!   produces the result tree ξ, the output Σ-tree, and the induced
+//!   relational query `R_τ` of Section 6.1,
+//! * [`examples`] — the registrar database and the three views of Figure 1
+//!   (Examples 1.1, 3.1 and 3.2).
+
+pub mod examples;
+pub mod semantics;
+pub mod transducer;
+
+pub use semantics::{EvalOptions, ResultNode, RunError, RunResult};
+pub use transducer::{
+    DependencyGraph, Output, PathStep, PtClass, RuleItem, Store, Transducer, TransducerBuilder,
+};

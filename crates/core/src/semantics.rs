@@ -1,0 +1,491 @@
+//! The transformation semantics: running a transducer on an instance.
+//!
+//! The step relation of Section 3 expands leaves independently of one
+//! another, so the implementation expands depth-first; the resulting tree is
+//! identical to the fixpoint of `⇒τ,I`. Termination is guaranteed by the
+//! stop condition: register contents range over the active domain of the
+//! instance plus the transducer's constants, so no path can grow forever
+//! (Proposition 1(1)). A configurable node budget guards against
+//! accidentally huge outputs — the paper's own Proposition 1(3,4) shows
+//! outputs can be exponential (tuple stores) or doubly exponential
+//! (relation stores) in the input.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pt_logic::eval::EvalError;
+use pt_relational::{Instance, Relation};
+use pt_xmltree::Tree;
+
+use crate::transducer::Transducer;
+
+/// Evaluation limits.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Maximum number of nodes of the result tree ξ (virtual nodes
+    /// included).
+    pub max_nodes: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            max_nodes: 1_000_000,
+        }
+    }
+}
+
+/// A failed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A query failed to evaluate (malformed transducer).
+    Eval(EvalError),
+    /// The node budget was exhausted.
+    NodeLimit(usize),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Eval(e) => write!(f, "{e}"),
+            RunError::NodeLimit(n) => write!(f, "node budget of {n} exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<EvalError> for RunError {
+    fn from(e: EvalError) -> Self {
+        RunError::Eval(e)
+    }
+}
+
+/// A node of the result tree ξ ∈ Tree_{Q×Σ}: tag, creating state, register
+/// content, and ordered children.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultNode {
+    pub state: String,
+    pub tag: String,
+    pub register: Relation,
+    pub children: Vec<ResultNode>,
+    /// Whether the stop condition sealed this node (an ancestor repeated
+    /// its state, tag, and register).
+    pub stopped: bool,
+}
+
+impl ResultNode {
+    /// Number of nodes in this subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(ResultNode::size).sum::<usize>()
+    }
+
+    /// Depth of this subtree (a single node has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(ResultNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Visit every node, preorder.
+    pub fn visit(&self, f: &mut impl FnMut(&ResultNode)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+}
+
+/// The outcome of a τ-transformation: the full result tree ξ (with states
+/// and registers) plus everything derived from it.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    root: ResultNode,
+    virtual_tags: BTreeSet<String>,
+}
+
+impl RunResult {
+    /// The result tree ξ before stripping states/registers.
+    pub fn result_tree(&self) -> &ResultNode {
+        &self.root
+    }
+
+    /// Number of nodes of ξ (virtual nodes included).
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+
+    /// Depth of ξ.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// The output Σ-tree `τ(I)`: states and registers stripped, text nodes
+    /// rendered, virtual nodes spliced out (Section 3).
+    pub fn output_tree(&self) -> Tree {
+        strip(&self.root, &self.virtual_tags)
+    }
+
+    /// The relational query view `R_τ(I)` of Section 6.1: the union of the
+    /// registers of every node of ξ labeled with the designated output tag.
+    pub fn relational_output(&self, output_tag: &str) -> Relation {
+        let mut out = Relation::new();
+        self.root.visit(&mut |node| {
+            if node.tag == output_tag {
+                for t in node.register.iter() {
+                    out.insert(t.clone());
+                }
+            }
+        });
+        out
+    }
+}
+
+fn strip(node: &ResultNode, virtual_tags: &BTreeSet<String>) -> Tree {
+    if node.tag == "text" {
+        return Tree::text_node(node.register.render());
+    }
+    let mut children = Vec::new();
+    for c in &node.children {
+        collect_children(c, virtual_tags, &mut children);
+    }
+    Tree::node(&node.tag, children)
+}
+
+/// Virtual-node elimination: a virtual child is replaced by its own
+/// (recursively processed) children.
+fn collect_children(node: &ResultNode, virtual_tags: &BTreeSet<String>, out: &mut Vec<Tree>) {
+    if virtual_tags.contains(&node.tag) {
+        for c in &node.children {
+            collect_children(c, virtual_tags, out);
+        }
+    } else {
+        out.push(strip(node, virtual_tags));
+    }
+}
+
+impl Transducer {
+    /// Run the τ-transformation on `instance` with default limits.
+    pub fn run(&self, instance: &Instance) -> Result<RunResult, RunError> {
+        self.run_with(instance, EvalOptions::default())
+    }
+
+    /// Run with explicit limits.
+    pub fn run_with(
+        &self,
+        instance: &Instance,
+        opts: EvalOptions,
+    ) -> Result<RunResult, RunError> {
+        let mut count = 0usize;
+        let mut path: Vec<(String, String, Relation)> = Vec::new();
+        let root = self.expand(
+            instance,
+            self.start_state(),
+            self.root_tag(),
+            Relation::new(),
+            &mut path,
+            &mut count,
+            &opts,
+        )?;
+        Ok(RunResult {
+            root,
+            virtual_tags: self.virtual_tags().clone(),
+        })
+    }
+
+    /// Run on a dedicated thread with a large stack — for workloads whose
+    /// output trees are very deep (Proposition 1(4) reaches depth `2^(2^n)`).
+    pub fn run_with_stack(
+        &self,
+        instance: &Instance,
+        opts: EvalOptions,
+        stack_bytes: usize,
+    ) -> Result<RunResult, RunError> {
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .stack_size(stack_bytes)
+                .spawn_scoped(scope, || self.run_with(instance, opts))
+                .expect("spawning the evaluation thread")
+                .join()
+                .expect("the evaluation thread panicked")
+        })
+    }
+
+    /// Convenience: run and return the output Σ-tree.
+    pub fn output(&self, instance: &Instance) -> Result<Tree, RunError> {
+        Ok(self.run(instance)?.output_tree())
+    }
+
+    /// Convenience: run and return the relational query view `R_τ(I)`.
+    pub fn run_relational(
+        &self,
+        instance: &Instance,
+        output_tag: &str,
+    ) -> Result<Relation, RunError> {
+        Ok(self.run(instance)?.relational_output(output_tag))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &self,
+        instance: &Instance,
+        state: &str,
+        tag: &str,
+        register: Relation,
+        path: &mut Vec<(String, String, Relation)>,
+        count: &mut usize,
+        opts: &EvalOptions,
+    ) -> Result<ResultNode, RunError> {
+        *count += 1;
+        if *count > opts.max_nodes {
+            return Err(RunError::NodeLimit(opts.max_nodes));
+        }
+        // stop condition (Section 3, condition (1)): an ancestor with the
+        // same state, tag and register seals this leaf
+        if path
+            .iter()
+            .any(|(s, t, r)| s == state && t == tag && *r == register)
+        {
+            return Ok(ResultNode {
+                state: state.to_string(),
+                tag: tag.to_string(),
+                register,
+                children: Vec::new(),
+                stopped: true,
+            });
+        }
+        let items = self.rule(state, tag).to_vec();
+        let mut children = Vec::new();
+        if !items.is_empty() {
+            path.push((state.to_string(), tag.to_string(), register.clone()));
+            for item in &items {
+                // children grouped by x̄, ordered by the domain order
+                for (_, group) in item.query.groups(instance, Some(&register))? {
+                    children.push(self.expand(
+                        instance,
+                        &item.state,
+                        &item.tag,
+                        group,
+                        path,
+                        count,
+                        opts,
+                    )?);
+                }
+            }
+            path.pop();
+        }
+        Ok(ResultNode {
+            state: state.to_string(),
+            tag: tag.to_string(),
+            register,
+            children,
+            stopped: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transducer::Transducer;
+    use pt_relational::{rel, Schema, Value};
+
+    fn graph_schema() -> Schema {
+        Schema::with(&[("edge", 2), ("start", 1)])
+    }
+
+    /// Unfold a graph from its start nodes (the τ1 of Proposition 1(3)).
+    fn unfold() -> Transducer {
+        Transducer::builder(graph_schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- start(x)")])
+            .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_run_shape() {
+        let inst = Instance::new()
+            .with("start", rel![[0]])
+            .with("edge", rel![[0, 1], [0, 2], [1, 3]]);
+        let result = unfold().run(&inst).unwrap();
+        let tree = result.output_tree();
+        // root(a(a(a), a))
+        assert_eq!(format!("{tree:?}"), "root(a(a(a), a))");
+        assert_eq!(result.size(), 5);
+        assert_eq!(result.depth(), 4);
+    }
+
+    #[test]
+    fn children_ordered_by_domain_order() {
+        let inst = Instance::new().with("start", rel![[3], [1], [2]]);
+        let tree = unfold().output(&inst).unwrap();
+        // three a-children; registers were 1, 2, 3 in order — verify via ξ
+        let run = unfold().run(&inst).unwrap();
+        let regs: Vec<i64> = run.result_tree().children
+            [..]
+            .iter()
+            .map(|c| c.register.the_tuple()[0].as_int().unwrap())
+            .collect();
+        assert_eq!(regs, vec![1, 2, 3]);
+        assert_eq!(tree.children().len(), 3);
+    }
+
+    #[test]
+    fn stop_condition_on_cycles() {
+        let inst = Instance::new()
+            .with("start", rel![[0]])
+            .with("edge", rel![[0, 1], [1, 0]]);
+        let result = unfold().run(&inst).unwrap();
+        // path 0 → 1 → 0(stop): the repeated (q, a, {0}) leaf is sealed
+        let tree = result.output_tree();
+        assert_eq!(format!("{tree:?}"), "root(a(a(a)))");
+        let mut sealed = 0;
+        result.result_tree().visit(&mut |n| {
+            if n.stopped {
+                sealed += 1;
+            }
+        });
+        assert_eq!(sealed, 1);
+    }
+
+    #[test]
+    fn determinism() {
+        let inst = Instance::new()
+            .with("start", rel![[0], [5]])
+            .with("edge", rel![[0, 1], [5, 1], [1, 5]]);
+        let t = unfold();
+        let a = t.run(&inst).unwrap().output_tree();
+        let b = t.run(&inst).unwrap().output_tree();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let inst = Instance::new()
+            .with("start", rel![[0]])
+            .with("edge", rel![[0, 1], [1, 0]]);
+        let err = unfold()
+            .run_with(&inst, EvalOptions { max_nodes: 2 })
+            .unwrap_err();
+        assert_eq!(err, RunError::NodeLimit(2));
+    }
+
+    #[test]
+    fn virtual_nodes_spliced() {
+        let t = Transducer::builder(graph_schema(), "q0", "root")
+            .virtual_tag("v")
+            .rule("q0", "root", &[("q", "v", "(x) <- start(x)")])
+            .rule("q", "v", &[("q", "b", "(y) <- exists x (Reg(x) and edge(x, y))")])
+            .build()
+            .unwrap();
+        let inst = Instance::new()
+            .with("start", rel![[0]])
+            .with("edge", rel![[0, 7], [0, 8]]);
+        let tree = t.output(&inst).unwrap();
+        // v disappears; its b-children attach to root
+        assert_eq!(format!("{tree:?}"), "root(b, b)");
+        // but ξ still contains the v node
+        let run = t.run(&inst).unwrap();
+        assert_eq!(run.size(), 4);
+        assert_eq!(run.result_tree().children[0].tag, "v");
+    }
+
+    #[test]
+    fn nested_virtual_nodes_spliced_recursively() {
+        let t = Transducer::builder(graph_schema(), "q0", "root")
+            .virtual_tag("v")
+            .virtual_tag("w")
+            .rule("q0", "root", &[("q", "v", "(x) <- start(x)")])
+            .rule("q", "v", &[("q", "w", "(x) <- Reg(x)")])
+            .rule("q", "w", &[("q", "b", "(x) <- Reg(x)")])
+            .build()
+            .unwrap();
+        let inst = Instance::new().with("start", rel![[0]]);
+        let tree = t.output(&inst).unwrap();
+        assert_eq!(format!("{tree:?}"), "root(b)");
+    }
+
+    #[test]
+    fn text_nodes_render_registers() {
+        let t = Transducer::builder(graph_schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- start(x)")])
+            .rule("q", "a", &[("q", "text", "(x) <- Reg(x)")])
+            .build()
+            .unwrap();
+        let inst = Instance::new().with("start", rel![[42]]);
+        let tree = t.output(&inst).unwrap();
+        assert_eq!(tree.children()[0].children()[0].pcdata(), Some("42"));
+    }
+
+    #[test]
+    fn relational_output_unions_registers() {
+        let inst = Instance::new()
+            .with("start", rel![[0]])
+            .with("edge", rel![[0, 1], [1, 2]]);
+        let run = unfold().run(&inst).unwrap();
+        let out = run.relational_output("a");
+        // registers seen at a-nodes: {0}, {1}, {2}
+        assert_eq!(out.len(), 3);
+        assert!(out.contains(&[Value::int(2)]));
+    }
+
+    #[test]
+    fn empty_rule_means_leaf() {
+        let t = Transducer::builder(graph_schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- start(x)")])
+            // no rule for (q, a): empty rhs
+            .build()
+            .unwrap();
+        let inst = Instance::new()
+            .with("start", rel![[1]])
+            .with("edge", rel![[1, 2]]);
+        let tree = t.output(&inst).unwrap();
+        assert_eq!(format!("{tree:?}"), "root(a)");
+    }
+
+    #[test]
+    fn trivial_transducer_outputs_root_only() {
+        let t = Transducer::builder(graph_schema(), "q0", "root")
+            .build()
+            .unwrap();
+        let inst = Instance::new().with("start", rel![[1]]);
+        let tree = t.output(&inst).unwrap();
+        assert!(tree.is_trivial());
+        assert_eq!(tree.label(), "root");
+    }
+
+    #[test]
+    fn stop_condition_distinguishes_registers() {
+        // same (state, tag) but growing registers must NOT be sealed
+        let inst = Instance::new()
+            .with("start", rel![[0]])
+            .with("edge", rel![[0, 1], [1, 2], [2, 3]]);
+        let run = unfold().run(&inst).unwrap();
+        assert_eq!(run.depth(), 5); // root, 0, 1, 2, 3
+        let mut sealed = 0;
+        run.result_tree().visit(&mut |n| {
+            if n.stopped {
+                sealed += 1;
+            }
+        });
+        assert_eq!(sealed, 0);
+    }
+
+    #[test]
+    fn run_with_stack_agrees_with_run() {
+        let inst = Instance::new()
+            .with("start", rel![[0]])
+            .with("edge", rel![[0, 1], [1, 2]]);
+        let t = unfold();
+        let a = t.run(&inst).unwrap().output_tree();
+        let b = t
+            .run_with_stack(&inst, EvalOptions::default(), 8 << 20)
+            .unwrap()
+            .output_tree();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,726 @@
+//! The publishing transducer type, its builder, dependency graph and class
+//! inference.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use pt_logic::{parse_query, Fragment, Query};
+use pt_relational::Schema;
+
+/// One entry `(q_i, a_i, φ_i(x̄_i; ȳ_i))` on a rule's right-hand side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleItem {
+    /// Target state `q_i`.
+    pub state: String,
+    /// Target tag `a_i`.
+    pub tag: String,
+    /// The query spawning the `a_i` children.
+    pub query: Query,
+}
+
+/// A publishing transducer `τ = (Q, Σ, Θ, q0, δ, Σe)` over a relational
+/// schema (Definition 3.1 plus the virtual-tag extension of Section 3).
+///
+/// State/tag pairs without an explicit rule have an empty right-hand side —
+/// semantically identical to Definition 3.1's totality requirement, and how
+/// the paper itself writes `δ(q, text) = .`
+#[derive(Clone, Debug)]
+pub struct Transducer {
+    schema: Schema,
+    start_state: String,
+    root_tag: String,
+    arities: BTreeMap<String, usize>,
+    rules: BTreeMap<(String, String), Vec<RuleItem>>,
+    virtual_tags: BTreeSet<String>,
+}
+
+/// Register kind `S`: every query has `|ȳ| = 0` (tuple) or not (relation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord, Hash)]
+pub enum Store {
+    Tuple,
+    Relation,
+}
+
+impl fmt::Display for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Store::Tuple => write!(f, "tuple"),
+            Store::Relation => write!(f, "relation"),
+        }
+    }
+}
+
+/// Output kind `O`: whether virtual tags are used.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord, Hash)]
+pub enum Output {
+    Normal,
+    Virtual,
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Output::Normal => write!(f, "normal"),
+            Output::Virtual => write!(f, "virtual"),
+        }
+    }
+}
+
+/// The class `PT(L, S, O)` (or `PTnr(L, S, O)`) a transducer belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct PtClass {
+    pub logic: Fragment,
+    pub store: Store,
+    pub output: Output,
+    pub recursive: bool,
+}
+
+impl PtClass {
+    /// Whether `self` is (syntactically) a subclass of `other`:
+    /// smaller-or-equal logic, tuple ≤ relation, normal ≤ virtual,
+    /// nonrecursive ≤ recursive.
+    pub fn subclass_of(&self, other: &PtClass) -> bool {
+        self.logic <= other.logic
+            && self.store <= other.store
+            && self.output <= other.output
+            && (!self.recursive || other.recursive)
+    }
+}
+
+impl fmt::Display for PtClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.recursive { "PT" } else { "PTnr" };
+        write!(f, "{kind}({}, {}, {})", self.logic, self.store, self.output)
+    }
+}
+
+impl Transducer {
+    /// Start building a transducer for `schema` with the given start state
+    /// and root tag.
+    pub fn builder(
+        schema: Schema,
+        start_state: impl AsRef<str>,
+        root_tag: impl AsRef<str>,
+    ) -> TransducerBuilder {
+        TransducerBuilder {
+            schema,
+            start_state: start_state.as_ref().to_string(),
+            root_tag: root_tag.as_ref().to_string(),
+            arities: BTreeMap::new(),
+            rules: BTreeMap::new(),
+            virtual_tags: BTreeSet::new(),
+            error: None,
+        }
+    }
+
+    /// The relational schema the transducer is defined for.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The start state `q0`.
+    pub fn start_state(&self) -> &str {
+        &self.start_state
+    }
+
+    /// The root tag `r`.
+    pub fn root_tag(&self) -> &str {
+        &self.root_tag
+    }
+
+    /// Register arity `Θ(tag)`.
+    pub fn arity(&self, tag: &str) -> usize {
+        self.arities.get(tag).copied().unwrap_or(0)
+    }
+
+    /// The rule body for `(state, tag)` (empty slice when the rhs is empty).
+    pub fn rule(&self, state: &str, tag: &str) -> &[RuleItem] {
+        self.rules
+            .get(&(state.to_string(), tag.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterate over all explicit rules.
+    pub fn rules(&self) -> impl Iterator<Item = (&(String, String), &Vec<RuleItem>)> {
+        self.rules.iter()
+    }
+
+    /// The virtual tags Σe.
+    pub fn virtual_tags(&self) -> &BTreeSet<String> {
+        &self.virtual_tags
+    }
+
+    /// Whether `tag` is virtual.
+    pub fn is_virtual(&self, tag: &str) -> bool {
+        self.virtual_tags.contains(tag)
+    }
+
+    /// Every tag mentioned anywhere (Σ).
+    pub fn alphabet(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::from([self.root_tag.clone()]);
+        for ((_, tag), items) in &self.rules {
+            out.insert(tag.clone());
+            for item in items {
+                out.insert(item.tag.clone());
+            }
+        }
+        out.extend(self.virtual_tags.iter().cloned());
+        out
+    }
+
+    /// The store kind `S`: tuple iff every query has `|ȳ| = 0`.
+    pub fn store(&self) -> Store {
+        let all_tuple = self
+            .rules
+            .values()
+            .flatten()
+            .all(|item| item.query.is_tuple_register());
+        if all_tuple {
+            Store::Tuple
+        } else {
+            Store::Relation
+        }
+    }
+
+    /// The output kind `O`: virtual iff Σe is nonempty.
+    pub fn output_kind(&self) -> Output {
+        if self.virtual_tags.is_empty() {
+            Output::Normal
+        } else {
+            Output::Virtual
+        }
+    }
+
+    /// The logic `L`: the largest fragment used by any embedded query.
+    pub fn logic(&self) -> Fragment {
+        self.rules
+            .values()
+            .flatten()
+            .map(|item| item.query.fragment())
+            .max()
+            .unwrap_or(Fragment::CQ)
+    }
+
+    /// Whether the dependency graph `G_τ` has a cycle (Section 3,
+    /// "Recursive vs. Nonrecursive transducers").
+    pub fn is_recursive(&self) -> bool {
+        self.dependency_graph().has_cycle()
+    }
+
+    /// The smallest class `PT(L, S, O)` / `PTnr(L, S, O)` containing this
+    /// transducer.
+    pub fn class(&self) -> PtClass {
+        PtClass {
+            logic: self.logic(),
+            store: self.store(),
+            output: self.output_kind(),
+            recursive: self.is_recursive(),
+        }
+    }
+
+    /// The dependency graph `G_τ`: one node per reachable state/tag pair, an
+    /// edge `v(q,a) → v(q',a')` iff `(q',a')` occurs on the rhs of the rule
+    /// for `(q,a)`.
+    pub fn dependency_graph(&self) -> DependencyGraph {
+        let root = (self.start_state.clone(), self.root_tag.clone());
+        let mut nodes = vec![root.clone()];
+        let mut index: BTreeMap<(String, String), usize> = BTreeMap::new();
+        index.insert(root, 0);
+        let mut edges: Vec<(usize, usize, RuleItem)> = Vec::new();
+        let mut queue = vec![0usize];
+        while let Some(i) = queue.pop() {
+            let (state, tag) = nodes[i].clone();
+            for item in self.rule(&state, &tag) {
+                let key = (item.state.clone(), item.tag.clone());
+                let j = *index.entry(key.clone()).or_insert_with(|| {
+                    nodes.push(key.clone());
+                    queue.push(nodes.len() - 1);
+                    nodes.len() - 1
+                });
+                edges.push((i, j, item.clone()));
+            }
+        }
+        DependencyGraph { nodes, edges }
+    }
+}
+
+/// A step along a dependency-graph path: the rule item taken.
+#[derive(Clone, Debug)]
+pub struct PathStep {
+    pub state: String,
+    pub tag: String,
+    pub query: Query,
+}
+
+/// The dependency graph `G_τ` restricted to pairs reachable from
+/// `(q0, r)` (node 0).
+#[derive(Clone, Debug)]
+pub struct DependencyGraph {
+    nodes: Vec<(String, String)>,
+    edges: Vec<(usize, usize, RuleItem)>,
+}
+
+impl DependencyGraph {
+    /// The reachable state/tag pairs; index 0 is `(q0, r)`.
+    pub fn nodes(&self) -> &[(String, String)] {
+        &self.nodes
+    }
+
+    /// The edges as `(from, to, rule item)` index triples.
+    pub fn edges(&self) -> &[(usize, usize, RuleItem)] {
+        &self.edges
+    }
+
+    /// Whether the graph has a cycle.
+    pub fn has_cycle(&self) -> bool {
+        // iterative DFS with colors
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; self.nodes.len()];
+        let adj: Vec<Vec<usize>> = self.adjacency();
+        fn dfs(v: usize, color: &mut [Color], adj: &[Vec<usize>]) -> bool {
+            color[v] = Color::Gray;
+            for &w in &adj[v] {
+                match color[w] {
+                    Color::Gray => return true,
+                    Color::White => {
+                        if dfs(w, color, adj) {
+                            return true;
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+            color[v] = Color::Black;
+            false
+        }
+        (0..self.nodes.len()).any(|v| color[v] == Color::White && dfs(v, &mut color, &adj))
+    }
+
+    fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for (from, to, _) in &self.edges {
+            adj[*from].push(*to);
+        }
+        adj
+    }
+
+    /// Enumerate simple paths (no repeated node) starting at the root node
+    /// `(q0, r)`. `visit` receives each nonempty path as a slice of steps
+    /// and returns whether to keep extending it. The walk is depth-first.
+    pub fn for_each_simple_path(&self, mut visit: impl FnMut(&[PathStep]) -> bool) {
+        let mut path: Vec<PathStep> = Vec::new();
+        let mut on_path = vec![false; self.nodes.len()];
+        on_path[0] = true;
+        self.walk(0, &mut path, &mut on_path, &mut visit);
+    }
+
+    fn walk(
+        &self,
+        v: usize,
+        path: &mut Vec<PathStep>,
+        on_path: &mut Vec<bool>,
+        visit: &mut impl FnMut(&[PathStep]) -> bool,
+    ) {
+        for (from, to, item) in &self.edges {
+            if *from != v || on_path[*to] {
+                continue;
+            }
+            path.push(PathStep {
+                state: item.state.clone(),
+                tag: item.tag.clone(),
+                query: item.query.clone(),
+            });
+            let extend = visit(path);
+            if extend {
+                on_path[*to] = true;
+                self.walk(*to, path, on_path, visit);
+                on_path[*to] = false;
+            }
+            path.pop();
+        }
+    }
+
+    /// The depth `D`: length of the longest simple path from the root. For
+    /// nonrecursive transducers this bounds output-tree depth.
+    pub fn depth(&self) -> usize {
+        let mut best = 0;
+        self.for_each_simple_path(|p| {
+            best = best.max(p.len());
+            true
+        });
+        best
+    }
+}
+
+/// A validating builder for [`Transducer`].
+pub struct TransducerBuilder {
+    schema: Schema,
+    start_state: String,
+    root_tag: String,
+    arities: BTreeMap<String, usize>,
+    rules: BTreeMap<(String, String), Vec<RuleItem>>,
+    virtual_tags: BTreeSet<String>,
+    error: Option<String>,
+}
+
+impl TransducerBuilder {
+    /// Declare a register arity `Θ(tag)` explicitly (usually inferred from
+    /// the queries that produce the tag).
+    pub fn arity(mut self, tag: &str, arity: usize) -> Self {
+        if let Some(existing) = self.arities.insert(tag.to_string(), arity) {
+            if existing != arity {
+                self.fail(format!("conflicting arity for tag {tag}"));
+            }
+        }
+        self
+    }
+
+    /// Declare a rule `(state, tag) → items`, each item given as
+    /// `(state, tag, query-source)` with the query in the concrete syntax of
+    /// [`pt_logic::parse_query`].
+    pub fn rule(mut self, state: &str, tag: &str, items: &[(&str, &str, &str)]) -> Self {
+        let mut parsed = Vec::with_capacity(items.len());
+        for (s, t, qsrc) in items {
+            match parse_query(qsrc) {
+                Ok(query) => parsed.push(RuleItem {
+                    state: s.to_string(),
+                    tag: t.to_string(),
+                    query,
+                }),
+                Err(e) => {
+                    self.fail(format!("rule ({state}, {tag}): bad query {qsrc:?}: {e}"));
+                    return self;
+                }
+            }
+        }
+        self.rule_items(state, tag, parsed)
+    }
+
+    /// Declare a rule from already-built [`RuleItem`]s.
+    pub fn rule_items(mut self, state: &str, tag: &str, items: Vec<RuleItem>) -> Self {
+        let key = (state.to_string(), tag.to_string());
+        if self.rules.contains_key(&key) {
+            self.fail(format!(
+                "duplicate rule for ({state}, {tag}): δ must be a function"
+            ));
+            return self;
+        }
+        self.rules.insert(key, items);
+        self
+    }
+
+    /// Mark a tag as virtual (member of Σe).
+    pub fn virtual_tag(mut self, tag: &str) -> Self {
+        self.virtual_tags.insert(tag.to_string());
+        self
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.error.is_none() {
+            self.error = Some(msg);
+        }
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<Transducer, String> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut arities = self.arities.clone();
+        // the root register is nullary (Definition 3.1 fixes Θ(r) = 0)
+        if let Some(&a) = arities.get(&self.root_tag) {
+            if a != 0 {
+                return Err(format!("root tag {} must have arity 0", self.root_tag));
+            }
+        }
+        arities.insert(self.root_tag.clone(), 0);
+
+        // infer arities from producing queries and check consistency
+        for ((state, tag), items) in &self.rules {
+            for item in items {
+                let a = item.query.arity();
+                match arities.get(&item.tag) {
+                    Some(&declared) if declared != a => {
+                        return Err(format!(
+                            "rule ({state}, {tag}): query for tag {} has arity {a}, \
+                             but Θ({}) = {declared}",
+                            item.tag, item.tag
+                        ));
+                    }
+                    _ => {
+                        arities.insert(item.tag.clone(), a);
+                    }
+                }
+                if item.tag == self.root_tag {
+                    return Err(format!(
+                        "rule ({state}, {tag}): the root tag cannot be produced"
+                    ));
+                }
+                if item.state == self.start_state {
+                    return Err(format!(
+                        "rule ({state}, {tag}): the start state cannot be re-entered"
+                    ));
+                }
+            }
+        }
+
+        // register atoms inside a rule's queries read the parent register:
+        // their arity must equal Θ(tag of the rule)
+        for ((state, tag), items) in &self.rules {
+            let parent_arity = arities.get(tag).copied().unwrap_or(0);
+            for item in items {
+                for used in item.query.body().reg_arities() {
+                    if used != parent_arity {
+                        return Err(format!(
+                            "rule ({state}, {tag}): query uses Reg/{used}, but Θ({tag}) = \
+                             {parent_arity}"
+                        ));
+                    }
+                }
+                // queries may only reference schema relations
+                for rel in item.query.body().base_relations() {
+                    if !self.schema.contains(&rel) {
+                        return Err(format!(
+                            "rule ({state}, {tag}): query references {rel}, \
+                             which is not in the schema {}",
+                            self.schema
+                        ));
+                    }
+                }
+            }
+        }
+
+        if self.virtual_tags.contains(&self.root_tag) {
+            return Err("the root tag cannot be virtual".to_string());
+        }
+
+        // the start rule must exist (otherwise the transducer is trivial but
+        // legal — permit it, matching `τ(R) = {r}`)
+        Ok(Transducer {
+            schema: self.schema,
+            start_state: self.start_state,
+            root_tag: self.root_tag,
+            arities,
+            rules: self.rules,
+            virtual_tags: self.virtual_tags,
+        })
+    }
+}
+
+impl fmt::Display for Transducer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "transducer {} over {}", self.class(), self.schema)?;
+        for ((state, tag), items) in &self.rules {
+            write!(f, "  ({state}, {tag}) ->")?;
+            if items.is_empty() {
+                writeln!(f, " .")?;
+            } else {
+                writeln!(f)?;
+                for item in items {
+                    writeln!(f, "    ({}, {}, {})", item.state, item.tag, item.query)?;
+                }
+            }
+        }
+        if !self.virtual_tags.is_empty() {
+            let vt: Vec<&str> = self.virtual_tags.iter().map(String::as_str).collect();
+            writeln!(f, "  virtual: {}", vt.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_schema() -> Schema {
+        Schema::with(&[("r", 2), ("s", 1)])
+    }
+
+    fn linear() -> Transducer {
+        Transducer::builder(simple_schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+            .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and r(x, y))")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn classification_of_linear() {
+        let t = linear();
+        let c = t.class();
+        assert_eq!(c.logic, Fragment::CQ);
+        assert_eq!(c.store, Store::Tuple);
+        assert_eq!(c.output, Output::Normal);
+        assert!(c.recursive);
+        assert_eq!(c.to_string(), "PT(CQ, tuple, normal)");
+    }
+
+    #[test]
+    fn class_ordering() {
+        let small = PtClass {
+            logic: Fragment::CQ,
+            store: Store::Tuple,
+            output: Output::Normal,
+            recursive: false,
+        };
+        let big = PtClass {
+            logic: Fragment::IFP,
+            store: Store::Relation,
+            output: Output::Virtual,
+            recursive: true,
+        };
+        assert!(small.subclass_of(&big));
+        assert!(!big.subclass_of(&small));
+        assert!(small.subclass_of(&small));
+        assert_eq!(small.to_string(), "PTnr(CQ, tuple, normal)");
+    }
+
+    #[test]
+    fn arity_inference_and_conflicts() {
+        let t = linear();
+        assert_eq!(t.arity("root"), 0);
+        assert_eq!(t.arity("a"), 1);
+        // conflicting arities rejected
+        let bad = Transducer::builder(simple_schema(), "q0", "root")
+            .rule(
+                "q0",
+                "root",
+                &[("q", "a", "(x) <- s(x)"), ("q2", "a", "(x, y) <- r(x, y)")],
+            )
+            .build();
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn reg_arity_validated_against_parent() {
+        let bad = Transducer::builder(simple_schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+            // Reg has arity 1 at an `a` node, not 2
+            .rule("q", "a", &[("q", "b", "(y) <- exists u v (Reg(u, v) and s(y))")])
+            .build();
+        let err = bad.unwrap_err();
+        assert!(err.contains("Reg/2"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let bad = Transducer::builder(simple_schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- unknown(x)")])
+            .build();
+        assert!(bad.unwrap_err().contains("not in the schema"));
+    }
+
+    #[test]
+    fn root_constraints() {
+        let bad = Transducer::builder(simple_schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "root", "() <- true")])
+            .build();
+        assert!(bad.is_err());
+        let bad2 = Transducer::builder(simple_schema(), "q0", "root")
+            .rule("q0", "root", &[("q0", "a", "() <- true")])
+            .build();
+        assert!(bad2.is_err());
+        let bad3 = Transducer::builder(simple_schema(), "q0", "root")
+            .virtual_tag("root")
+            .build();
+        assert!(bad3.is_err());
+    }
+
+    #[test]
+    fn duplicate_rule_rejected() {
+        let bad = Transducer::builder(simple_schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+            .rule("q0", "root", &[("q", "b", "(x) <- s(x)")])
+            .build();
+        assert!(bad.unwrap_err().contains("duplicate rule"));
+    }
+
+    #[test]
+    fn dependency_graph_shape() {
+        let t = linear();
+        let g = t.dependency_graph();
+        assert_eq!(g.nodes().len(), 2); // (q0, root), (q, a)
+        assert_eq!(g.edges().len(), 2); // root→a, a→a
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn nonrecursive_graph_and_depth() {
+        let t = Transducer::builder(simple_schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+            .rule("q", "a", &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+            .build()
+            .unwrap();
+        assert!(!t.is_recursive());
+        assert_eq!(t.class().to_string(), "PTnr(CQ, tuple, normal)");
+        let g = t.dependency_graph();
+        assert_eq!(g.depth(), 2);
+    }
+
+    #[test]
+    fn simple_path_enumeration() {
+        let t = linear();
+        let g = t.dependency_graph();
+        let mut paths = Vec::new();
+        g.for_each_simple_path(|p| {
+            paths.push(
+                p.iter()
+                    .map(|s| format!("{}:{}", s.state, s.tag))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            );
+            true
+        });
+        // root→a and root→a→a (the second a-edge revisits (q,a): blocked)
+        assert_eq!(paths, vec!["q:a".to_string()]);
+    }
+
+    #[test]
+    fn simple_paths_in_dag() {
+        let t = Transducer::builder(simple_schema(), "q0", "root")
+            .rule(
+                "q0",
+                "root",
+                &[("q", "a", "(x) <- s(x)"), ("q", "b", "(x) <- s(x)")],
+            )
+            .rule("q", "a", &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+            .build()
+            .unwrap();
+        let g = t.dependency_graph();
+        let mut count = 0;
+        g.for_each_simple_path(|_| {
+            count += 1;
+            true
+        });
+        // paths: [a], [a,b], [b]
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn store_and_output_detection() {
+        let t = Transducer::builder(simple_schema(), "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(; x) <- s(x)")])
+            .virtual_tag("a")
+            .rule("q", "a", &[("q", "b", "(y) <- Reg(y)")])
+            .build()
+            .unwrap();
+        assert_eq!(t.store(), Store::Relation);
+        assert_eq!(t.output_kind(), Output::Virtual);
+        assert!(t.is_virtual("a"));
+        assert!(!t.is_virtual("b"));
+    }
+
+    #[test]
+    fn display_lists_rules() {
+        let s = linear().to_string();
+        assert!(s.contains("(q0, root) ->"));
+        assert!(s.contains("PT(CQ, tuple, normal)"));
+    }
+}

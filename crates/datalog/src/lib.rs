@@ -1,0 +1,723 @@
+//! Datalog engines for the expressiveness characterizations.
+//!
+//! Theorem 3 of the paper characterizes transducer classes through Datalog
+//! fragments: `PT(CQ, tuple, O)` equals **LinDatalog** (linear Datalog with
+//! `≠`), and `PT(FO, tuple, O)` equals **LinDatalog(FO)** (linear Datalog
+//! whose EDB literals may be arbitrary FO formulas, the fragment of
+//! [Grädel 1992] capturing NLOGSPACE on ordered structures). The
+//! transducer-equivalence procedure of Theorem 2(4) also rewrites composed
+//! queries into nonrecursive LinDatalog programs.
+//!
+//! This crate implements a generic Datalog engine with:
+//!
+//! * `=` / `≠` body literals and FO body literals over the EDB,
+//! * naive and semi-naive bottom-up evaluation (tested against each other),
+//! * linearity / recursion / fragment classification,
+//! * a small concrete syntax ([`parse_program`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use pt_logic::eval::EvalError;
+use pt_logic::{eval::Evaluator, Formula, Term, Var};
+use pt_relational::{Instance, Relation};
+
+/// A body literal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BodyAtom {
+    /// A positive predicate atom — EDB or IDB depending on the program.
+    Pred(String, Vec<Term>),
+    /// Equality.
+    Eq(Term, Term),
+    /// Inequality.
+    Neq(Term, Term),
+    /// An arbitrary FO formula over the EDB (LinDatalog(FO) literals).
+    Fo(Formula),
+}
+
+impl BodyAtom {
+    fn to_formula(&self) -> Formula {
+        match self {
+            BodyAtom::Pred(name, args) => Formula::Rel(name.clone(), args.clone()),
+            BodyAtom::Eq(a, b) => Formula::Eq(a.clone(), b.clone()),
+            BodyAtom::Neq(a, b) => Formula::Neq(a.clone(), b.clone()),
+            BodyAtom::Fo(f) => f.clone(),
+        }
+    }
+}
+
+/// A rule `head(t̄) ← body`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    pub head_pred: String,
+    pub head_args: Vec<Term>,
+    pub body: Vec<BodyAtom>,
+}
+
+/// A Datalog program with a designated output predicate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    pub rules: Vec<Rule>,
+    pub output: String,
+}
+
+/// The Datalog fragment a program belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DatalogFragment {
+    /// ≤1 IDB atom per body, only predicate/(in)equality literals.
+    LinDatalog,
+    /// ≤1 IDB atom per body, FO literals over the EDB allowed.
+    LinDatalogFo,
+    /// Anything else.
+    General,
+}
+
+impl fmt::Display for DatalogFragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogFragment::LinDatalog => write!(f, "LinDatalog"),
+            DatalogFragment::LinDatalogFo => write!(f, "LinDatalog(FO)"),
+            DatalogFragment::General => write!(f, "Datalog"),
+        }
+    }
+}
+
+impl Program {
+    /// The IDB predicates: everything occurring in a rule head.
+    pub fn idb_preds(&self) -> BTreeSet<String> {
+        self.rules.iter().map(|r| r.head_pred.clone()).collect()
+    }
+
+    /// The EDB predicates: positive predicate atoms that are not IDB.
+    /// FO literals contribute their base relations.
+    pub fn edb_preds(&self) -> BTreeSet<String> {
+        let idb = self.idb_preds();
+        let mut out = BTreeSet::new();
+        for rule in &self.rules {
+            for atom in &rule.body {
+                match atom {
+                    BodyAtom::Pred(name, _) if !idb.contains(name) => {
+                        out.insert(name.clone());
+                    }
+                    BodyAtom::Fo(f) => {
+                        out.extend(f.base_relations());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every rule body has at most one IDB atom.
+    pub fn is_linear(&self) -> bool {
+        let idb = self.idb_preds();
+        self.rules.iter().all(|rule| {
+            rule.body
+                .iter()
+                .filter(|a| matches!(a, BodyAtom::Pred(name, _) if idb.contains(name)))
+                .count()
+                <= 1
+        })
+    }
+
+    /// Whether any rule uses an FO literal.
+    pub fn uses_fo_literals(&self) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.body.iter().any(|a| matches!(a, BodyAtom::Fo(_))))
+    }
+
+    /// Whether the IDB dependency graph has a cycle.
+    pub fn is_recursive(&self) -> bool {
+        let idb = self.idb_preds();
+        let nodes: Vec<&String> = idb.iter().collect();
+        let index = |n: &str| nodes.iter().position(|m| *m == n).unwrap();
+        let mut adj = vec![Vec::new(); nodes.len()];
+        for rule in &self.rules {
+            let from = index(&rule.head_pred);
+            for atom in &rule.body {
+                if let BodyAtom::Pred(name, _) = atom {
+                    if idb.contains(name) {
+                        // edge body → head: head depends on body
+                        adj[index(name)].push(from);
+                    }
+                }
+            }
+        }
+        // DFS cycle detection
+        fn dfs(v: usize, color: &mut [u8], adj: &[Vec<usize>]) -> bool {
+            color[v] = 1;
+            for &w in &adj[v] {
+                if color[w] == 1 || (color[w] == 0 && dfs(w, color, adj)) {
+                    return true;
+                }
+            }
+            color[v] = 2;
+            false
+        }
+        let mut color = vec![0u8; nodes.len()];
+        (0..nodes.len()).any(|v| color[v] == 0 && dfs(v, &mut color, &adj))
+    }
+
+    /// Classify the program.
+    pub fn fragment(&self) -> DatalogFragment {
+        if !self.is_linear() {
+            return DatalogFragment::General;
+        }
+        // FO literals must only touch EDB relations
+        let idb = self.idb_preds();
+        for rule in &self.rules {
+            for atom in &rule.body {
+                if let BodyAtom::Fo(f) = atom {
+                    if f.base_relations().iter().any(|r| idb.contains(r)) {
+                        return DatalogFragment::General;
+                    }
+                }
+            }
+        }
+        if self.uses_fo_literals() {
+            DatalogFragment::LinDatalogFo
+        } else {
+            DatalogFragment::LinDatalog
+        }
+    }
+
+    /// Validate: range restriction (head variables bound by a positive body
+    /// literal or equality chain).
+    pub fn validate(&self) -> Result<(), String> {
+        for rule in &self.rules {
+            let mut bound: BTreeSet<Var> = BTreeSet::new();
+            for atom in &rule.body {
+                match atom {
+                    BodyAtom::Pred(_, args) => {
+                        bound.extend(args.iter().filter_map(Term::as_var).cloned());
+                    }
+                    BodyAtom::Fo(f) => bound.extend(f.free_vars()),
+                    BodyAtom::Eq(a, b) => {
+                        if let (Term::Var(v), Term::Const(_)) = (a, b) {
+                            bound.insert(v.clone());
+                        }
+                        if let (Term::Const(_), Term::Var(v)) = (a, b) {
+                            bound.insert(v.clone());
+                        }
+                    }
+                    BodyAtom::Neq(..) => {}
+                }
+            }
+            // equality chains x = y propagate binding
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for atom in &rule.body {
+                    if let BodyAtom::Eq(Term::Var(a), Term::Var(b)) = atom {
+                        if bound.contains(a) && bound.insert(b.clone()) {
+                            changed = true;
+                        }
+                        if bound.contains(b) && bound.insert(a.clone()) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            for v in rule.head_args.iter().filter_map(Term::as_var) {
+                if !bound.contains(v) {
+                    return Err(format!(
+                        "rule for {}: head variable {v} not range-restricted",
+                        rule.head_pred
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Naive bottom-up evaluation: iterate all rules to a simultaneous
+    /// fixpoint. Reference implementation used to validate semi-naive.
+    pub fn eval_naive(
+        &self,
+        instance: &Instance,
+    ) -> Result<BTreeMap<String, Relation>, EvalError> {
+        let mut idb: BTreeMap<String, Relation> = self
+            .idb_preds()
+            .into_iter()
+            .map(|p| (p, Relation::new()))
+            .collect();
+        loop {
+            let mut changed = false;
+            for rule in &self.rules {
+                let derived = self.eval_rule(rule, instance, &idb, None)?;
+                let target = idb.get_mut(&rule.head_pred).unwrap();
+                for t in derived.iter() {
+                    if target.insert(t.clone()) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Ok(idb);
+            }
+        }
+    }
+
+    /// Semi-naive bottom-up evaluation: per iteration, join each rule once
+    /// per IDB body occurrence with that occurrence restricted to the delta
+    /// of the previous round.
+    pub fn eval(&self, instance: &Instance) -> Result<BTreeMap<String, Relation>, EvalError> {
+        let idb_names = self.idb_preds();
+        let mut idb: BTreeMap<String, Relation> = idb_names
+            .iter()
+            .map(|p| (p.clone(), Relation::new()))
+            .collect();
+        // round 0: rules with no IDB atom
+        let mut delta: BTreeMap<String, Relation> = idb.clone();
+        for rule in &self.rules {
+            if self.idb_occurrences(rule).is_empty() {
+                let derived = self.eval_rule(rule, instance, &idb, None)?;
+                for t in derived.iter() {
+                    if idb.get_mut(&rule.head_pred).unwrap().insert(t.clone()) {
+                        delta.get_mut(&rule.head_pred).unwrap().insert(t.clone());
+                    }
+                }
+            }
+        }
+        loop {
+            let mut new_delta: BTreeMap<String, Relation> = idb_names
+                .iter()
+                .map(|p| (p.clone(), Relation::new()))
+                .collect();
+            let mut changed = false;
+            for rule in &self.rules {
+                for occ in self.idb_occurrences(rule) {
+                    let d = &delta[&occ.1];
+                    if d.is_empty() {
+                        continue;
+                    }
+                    let derived = self.eval_rule(rule, instance, &idb, Some((occ.0, d)))?;
+                    for t in derived.iter() {
+                        if !idb[&rule.head_pred].contains(t) {
+                            idb.get_mut(&rule.head_pred).unwrap().insert(t.clone());
+                            new_delta
+                                .get_mut(&rule.head_pred)
+                                .unwrap()
+                                .insert(t.clone());
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return Ok(idb);
+            }
+            delta = new_delta;
+        }
+    }
+
+    /// Evaluate to the output predicate's relation (semi-naive).
+    pub fn eval_output(&self, instance: &Instance) -> Result<Relation, EvalError> {
+        Ok(self
+            .eval(instance)?
+            .remove(&self.output)
+            .unwrap_or_default())
+    }
+
+    fn idb_occurrences(&self, rule: &Rule) -> Vec<(usize, String)> {
+        let idb = self.idb_preds();
+        rule.body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| match a {
+                BodyAtom::Pred(name, _) if idb.contains(name) => Some((i, name.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Evaluate one rule body over `instance` extended with the current IDB
+    /// relations. When `delta` is given, the body atom at that index reads
+    /// the delta relation instead of the full IDB relation.
+    fn eval_rule(
+        &self,
+        rule: &Rule,
+        instance: &Instance,
+        idb: &BTreeMap<String, Relation>,
+        delta: Option<(usize, &Relation)>,
+    ) -> Result<Relation, EvalError> {
+        const DELTA_NAME: &str = "@delta";
+        let mut merged = instance.clone();
+        for (name, rel) in idb {
+            merged.set(name, rel.clone());
+        }
+        let mut conjuncts = Vec::with_capacity(rule.body.len());
+        for (i, atom) in rule.body.iter().enumerate() {
+            match (atom, delta) {
+                (BodyAtom::Pred(_, args), Some((j, d))) if i == j => {
+                    merged.set(DELTA_NAME, d.clone());
+                    conjuncts.push(Formula::Rel(DELTA_NAME.to_string(), args.clone()));
+                }
+                _ => conjuncts.push(atom.to_formula()),
+            }
+        }
+        let body = Formula::and(conjuncts);
+        let head_vars: Vec<Var> = {
+            let mut seen = Vec::new();
+            for v in rule.head_args.iter().filter_map(Term::as_var) {
+                if !seen.contains(v) {
+                    seen.push(v.clone());
+                }
+            }
+            seen
+        };
+        let ev = Evaluator::for_formula(&merged, None, &body);
+        let bindings = ev.eval(&body)?.cylindrify(&head_vars, ev.adom());
+        // materialize the head, substituting constants
+        let mut out = Relation::new();
+        let positions: Vec<Option<usize>> = rule
+            .head_args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => Some(head_vars.iter().position(|u| u == v).unwrap()),
+                Term::Const(_) => None,
+            })
+            .collect();
+        let projected = bindings.to_relation(&head_vars);
+        for row in projected.iter() {
+            let tuple = rule
+                .head_args
+                .iter()
+                .zip(positions.iter())
+                .map(|(t, pos)| match (t, pos) {
+                    (_, Some(i)) => row[*i].clone(),
+                    (Term::Const(c), None) => c.clone(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            out.insert(tuple);
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            let head_args: Vec<String> =
+                rule.head_args.iter().map(|t| t.to_string()).collect();
+            write!(f, "{}({}) :- ", rule.head_pred, head_args.join(", "))?;
+            let parts: Vec<String> = rule
+                .body
+                .iter()
+                .map(|a| match a {
+                    BodyAtom::Pred(name, args) => {
+                        let args: Vec<String> = args.iter().map(|t| t.to_string()).collect();
+                        format!("{name}({})", args.join(", "))
+                    }
+                    BodyAtom::Eq(x, y) => format!("{x} = {y}"),
+                    BodyAtom::Neq(x, y) => format!("{x} != {y}"),
+                    BodyAtom::Fo(formula) => format!("{{ {formula} }}"),
+                })
+                .collect();
+            writeln!(f, "{}.", parts.join(", "))?;
+        }
+        writeln!(f, "output {}.", self.output)
+    }
+}
+
+/// Parse a program in the concrete syntax:
+///
+/// ```text
+/// tc(x, y) :- e(x, y).
+/// tc(x, y) :- tc(x, z), e(z, y), x != y.
+/// ans(x) :- tc(x, x), { exists y (e(x, y)) }.
+/// output tc.
+/// ```
+///
+/// FO literals go inside `{ ... }` using the formula syntax of
+/// [`pt_logic::parse_formula`]. The final `output NAME.` line designates
+/// the output predicate.
+pub fn parse_program(src: &str) -> Result<Program, String> {
+    let mut rules = Vec::new();
+    let mut output = None;
+    for (lineno, raw) in split_statements(src) {
+        let stmt = raw.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("output") {
+            output = Some(rest.trim().to_string());
+            continue;
+        }
+        let (head, body) = match stmt.split_once(":-") {
+            Some((h, b)) => (h.trim(), Some(b.trim())),
+            None => (stmt, None),
+        };
+        let (head_pred, head_args) = parse_atom(head)
+            .map_err(|e| format!("statement {lineno}: bad head {head:?}: {e}"))?;
+        let body = match body {
+            None => Vec::new(),
+            Some(b) => parse_body(b).map_err(|e| format!("statement {lineno}: {e}"))?,
+        };
+        rules.push(Rule {
+            head_pred,
+            head_args,
+            body,
+        });
+    }
+    let output = output.ok_or("missing `output NAME.` directive")?;
+    let program = Program { rules, output };
+    program.validate()?;
+    Ok(program)
+}
+
+/// Split on `.` at nesting depth 0 (so `{ ... }` formulas stay intact).
+fn split_statements(src: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    let mut count = 1;
+    for c in src.chars() {
+        match c {
+            '{' | '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            '}' | ')' => {
+                depth -= 1;
+                current.push(c);
+            }
+            '.' if depth == 0 => {
+                out.push((count, std::mem::take(&mut current)));
+                count += 1;
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push((count, current));
+    }
+    out
+}
+
+fn parse_atom(src: &str) -> Result<(String, Vec<Term>), String> {
+    let f = pt_logic::parse_formula(src).map_err(|e| e.to_string())?;
+    match f {
+        Formula::Rel(name, args) => Ok((name, args)),
+        other => Err(format!("expected a predicate atom, found {other}")),
+    }
+}
+
+fn parse_body(src: &str) -> Result<Vec<BodyAtom>, String> {
+    let mut out = Vec::new();
+    for part in split_body(src) {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err("empty body literal".to_string());
+        }
+        if let Some(inner) = part.strip_prefix('{') {
+            let inner = inner
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unclosed FO literal {part:?}"))?;
+            let f = pt_logic::parse_formula(inner).map_err(|e| e.to_string())?;
+            out.push(BodyAtom::Fo(f));
+            continue;
+        }
+        let f = pt_logic::parse_formula(part).map_err(|e| e.to_string())?;
+        match f {
+            Formula::Rel(name, args) => out.push(BodyAtom::Pred(name, args)),
+            Formula::Eq(a, b) => out.push(BodyAtom::Eq(a, b)),
+            Formula::Neq(a, b) => out.push(BodyAtom::Neq(a, b)),
+            other => return Err(format!("unsupported body literal {other}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Split a body on `,` at nesting depth 0.
+fn split_body(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in src.chars() {
+        match c {
+            '(' | '{' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' | '}' => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => out.push(std::mem::take(&mut current)),
+            _ => current.push(c),
+        }
+    }
+    out.push(current);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_relational::{generate, rel, Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tc_program() -> Program {
+        parse_program(
+            "tc(x, y) :- e(x, y).
+             tc(x, y) :- tc(x, z), e(z, y).
+             output tc.",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_classifies() {
+        let p = tc_program();
+        assert_eq!(p.fragment(), DatalogFragment::LinDatalog);
+        assert!(p.is_linear());
+        assert!(p.is_recursive());
+        assert_eq!(p.idb_preds(), BTreeSet::from(["tc".to_string()]));
+        assert_eq!(p.edb_preds(), BTreeSet::from(["e".to_string()]));
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let inst = Instance::new().with("e", rel![[1, 2], [2, 3], [3, 4]]);
+        let out = tc_program().eval_output(&inst).unwrap();
+        assert_eq!(out.len(), 6);
+        assert!(out.contains(&[Value::int(1), Value::int(4)]));
+        assert!(!out.contains(&[Value::int(4), Value::int(1)]));
+    }
+
+    #[test]
+    fn naive_equals_semi_naive() {
+        let schema = Schema::with(&[("e", 2)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = tc_program();
+        for _ in 0..20 {
+            let inst = generate::random_instance(&schema, 6, 10, &mut rng);
+            assert_eq!(
+                p.eval_naive(&inst).unwrap(),
+                p.eval(&inst).unwrap(),
+                "on {inst}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonlinear_program() {
+        // doubling rule: tc(x,y) :- tc(x,z), tc(z,y)
+        let p = parse_program(
+            "tc(x, y) :- e(x, y).
+             tc(x, y) :- tc(x, z), tc(z, y).
+             output tc.",
+        )
+        .unwrap();
+        assert!(!p.is_linear());
+        assert_eq!(p.fragment(), DatalogFragment::General);
+        let inst = Instance::new().with("e", rel![[1, 2], [2, 3], [3, 4], [4, 5]]);
+        let linear = tc_program().eval_output(&inst).unwrap();
+        let nonlinear = p.eval_output(&inst).unwrap();
+        assert_eq!(linear, nonlinear);
+    }
+
+    #[test]
+    fn inequality_literals() {
+        let p = parse_program(
+            "p(x, y) :- e(x, y), x != y.
+             output p.",
+        )
+        .unwrap();
+        let inst = Instance::new().with("e", rel![[1, 1], [1, 2]]);
+        let out = p.eval_output(&inst).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&[Value::int(1), Value::int(2)]));
+    }
+
+    #[test]
+    fn fo_literals() {
+        // nodes reachable along e-edges from a node with no incoming edge
+        let p = parse_program(
+            "src(x) :- e(x, y), { not (exists z (e(z, x))) }.
+             reach(x) :- src(x).
+             reach(y) :- reach(x), e(x, y).
+             output reach.",
+        )
+        .unwrap();
+        assert_eq!(p.fragment(), DatalogFragment::LinDatalogFo);
+        let inst = Instance::new().with("e", rel![[1, 2], [2, 3], [5, 5]]);
+        let out = p.eval_output(&inst).unwrap();
+        // 1 is a source; 5 is on a self-loop (has incoming), not a source
+        assert_eq!(out.len(), 3);
+        assert!(out.contains(&[Value::int(3)]));
+        assert!(!out.contains(&[Value::int(5)]));
+    }
+
+    #[test]
+    fn head_constants() {
+        let p = parse_program(
+            "flag('yes') :- e(x, y), x = y.
+             output flag.",
+        )
+        .unwrap();
+        let with_loop = Instance::new().with("e", rel![[1, 1]]);
+        let out = p.eval_output(&with_loop).unwrap();
+        assert!(out.contains(&[Value::str("yes")]));
+        let without = Instance::new().with("e", rel![[1, 2]]);
+        assert!(p.eval_output(&without).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_restriction_validated() {
+        let err = parse_program("p(x, y) :- e(x, x). output p.").unwrap_err();
+        assert!(err.contains("range-restricted"), "got {err}");
+        // equality chains count as binding
+        assert!(parse_program("p(y) :- e(x, x), y = x. output p.").is_ok());
+        assert!(parse_program("p(y) :- y = 7. output p.").is_ok());
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        let p = parse_program(
+            "even(x) :- zero(x).
+             even(y) :- odd(x), succ(x, y).
+             odd(y) :- even(x), succ(x, y).
+             output even.",
+        )
+        .unwrap();
+        assert!(p.is_recursive());
+        let inst = Instance::new()
+            .with("zero", rel![[0]])
+            .with("succ", rel![[0, 1], [1, 2], [2, 3], [3, 4]]);
+        let out = p.eval_output(&inst).unwrap();
+        let evens: Vec<i64> = out.iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(evens, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn nonrecursive_program_detected() {
+        let p = parse_program(
+            "a(x) :- e(x, y).
+             b(x) :- a(x), x != 0.
+             output b.",
+        )
+        .unwrap();
+        assert!(!p.is_recursive());
+        assert!(p.is_linear());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let p = tc_program();
+        let printed = p.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_program("p(x) :- e(x).").is_err()); // no output
+        assert!(parse_program(":- e(x). output p.").is_err());
+    }
+}

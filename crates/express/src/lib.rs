@@ -1,0 +1,24 @@
+//! Expressiveness constructions (Section 6, Table III).
+//!
+//! * [`lindatalog`] — the two compilers behind Theorem 3(2),
+//!   `PT(CQ, tuple, O) = LinDatalog`: transducer → linear Datalog program
+//!   (reachable register values as IDB facts) and linear Datalog program →
+//!   transducer (one tag per IDB predicate, recursion through the stop
+//!   condition),
+//! * [`path_queries`] — Proposition 6: the relational query of a
+//!   nonrecursive tuple-store transducer as the union of the queries
+//!   composed along dependency-graph paths (UCQ / FO / IFP for L = CQ / FO
+//!   / IFP),
+//! * [`transduction`] — first-order transductions and the Theorem 4(1)
+//!   compilation into `PT(FO, tuple, virtual)`,
+//! * [`dtd_def`] — Theorem 5: regenerating DTD trees from edge-encoded
+//!   instances through a transduction (so in `PT(FO, tuple, virtual)`),
+//! * [`separations`] — executable separation witnesses: the simple-path
+//!   counter of Proposition 5(10) and the monotonicity property grounding
+//!   Proposition 4(6) and the negative half of Theorem 5.
+
+pub mod dtd_def;
+pub mod lindatalog;
+pub mod path_queries;
+pub mod separations;
+pub mod transduction;

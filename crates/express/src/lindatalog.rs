@@ -1,0 +1,287 @@
+//! Theorem 3(2): `PT(CQ, tuple, O) = LinDatalog`, both directions as
+//! compilers validated by round-trip evaluation.
+
+use std::collections::BTreeMap;
+
+use pt_core::Transducer;
+use pt_datalog::{BodyAtom, Program, Rule};
+use pt_logic::cq::{ConjunctiveQuery, PredName};
+use pt_logic::{Formula, Query, Term, Var};
+
+/// Compile a `PT(CQ, tuple, normal/virtual)` transducer into a linear
+/// Datalog program computing `R_τ` for the designated output tag.
+///
+/// One IDB predicate per reachable dependency-graph node holds the register
+/// tuples of nodes created there; each edge becomes one linear rule whose
+/// body joins the parent predicate (through the register atoms) with the
+/// edge query's atoms. `R_τ`'s reachability semantics makes the stop
+/// condition transparent: a register value is collected iff it is reachable
+/// along some path, which is exactly the program's fixpoint.
+pub fn to_lindatalog(tau: &Transducer, output_tag: &str) -> Result<Program, String> {
+    if tau.logic() > pt_logic::Fragment::CQ {
+        return Err("to_lindatalog requires a CQ transducer".to_string());
+    }
+    if tau.store() != pt_core::Store::Tuple {
+        return Err("to_lindatalog requires tuple registers".to_string());
+    }
+    let graph = tau.dependency_graph();
+    let pred = |i: usize| -> String {
+        let (state, tag) = &graph.nodes()[i];
+        format!("n_{state}_{tag}")
+    };
+    let mut rules = Vec::new();
+    for (from, to, item) in graph.edges() {
+        let cq = ConjunctiveQuery::from_query(&item.query).map_err(|e| e.to_string())?;
+        let mut body: Vec<BodyAtom> = Vec::new();
+        let is_root_parent = *from == 0;
+        // the parent predicate (for non-root parents), bound to fresh vars
+        let parent_arity = tau.arity(&graph.nodes()[*from].1);
+        let zs: Vec<Term> = (0..parent_arity)
+            .map(|i| Term::Var(Var::new(format!("zz_{i}"))))
+            .collect();
+        if !is_root_parent {
+            body.push(BodyAtom::Pred(pred(*from), zs.clone()));
+        }
+        let mut reg_used = false;
+        for (name, args) in &cq.atoms {
+            match name {
+                PredName::Base(n) => body.push(BodyAtom::Pred(n.clone(), args.clone())),
+                PredName::Reg => {
+                    if is_root_parent {
+                        // the root register is empty: this rule never fires
+                        reg_used = true;
+                        break;
+                    }
+                    // tuple register: every Reg atom equals the parent tuple
+                    for (a, z) in args.iter().zip(zs.iter()) {
+                        body.push(BodyAtom::Eq(a.clone(), z.clone()));
+                    }
+                }
+            }
+        }
+        if is_root_parent && reg_used {
+            continue;
+        }
+        for (a, b) in &cq.eqs {
+            body.push(BodyAtom::Eq(a.clone(), b.clone()));
+        }
+        for (a, b) in &cq.neqs {
+            body.push(BodyAtom::Neq(a.clone(), b.clone()));
+        }
+        rules.push(Rule {
+            head_pred: pred(*to),
+            head_args: cq.head.clone(),
+            body,
+        });
+    }
+    // ans collects every node predicate labeled with the output tag
+    let out_arity = tau.arity(output_tag);
+    let ans_args: Vec<Term> = (0..out_arity)
+        .map(|i| Term::Var(Var::new(format!("a{i}"))))
+        .collect();
+    for (i, (_, tag)) in graph.nodes().iter().enumerate() {
+        if tag == output_tag && i != 0 {
+            rules.push(Rule {
+                head_pred: "ans".to_string(),
+                head_args: ans_args.clone(),
+                body: vec![BodyAtom::Pred(pred(i), ans_args.clone())],
+            });
+        }
+    }
+    let program = Program {
+        rules,
+        output: "ans".to_string(),
+    };
+    program.validate()?;
+    if !program.is_linear() {
+        return Err("internal: generated program is not linear".to_string());
+    }
+    Ok(program)
+}
+
+/// Compile a linear Datalog program into a `PT(CQ, tuple, normal)`
+/// transducer whose `R_τ` on tag `t_<output>` equals the program's output.
+///
+/// One tag/state pair per IDB predicate; initialization rules hang off the
+/// root, recursive rules off the node of their body IDB predicate, with the
+/// IDB atom replaced by the register. Minimal derivations of linear Datalog
+/// never repeat a fact, so the stop condition removes no reachable register
+/// value.
+pub fn from_lindatalog(
+    program: &Program,
+    schema: &pt_relational::Schema,
+) -> Result<Transducer, String> {
+    if !program.is_linear() {
+        return Err("from_lindatalog requires a linear program".to_string());
+    }
+    if program.uses_fo_literals() {
+        return Err("from_lindatalog requires pure CQ bodies".to_string());
+    }
+    let idb = program.idb_preds();
+    // rule items per source: None = root, Some(pred) = that predicate's node
+    let mut items: BTreeMap<Option<String>, Vec<pt_core::RuleItem>> = BTreeMap::new();
+    for rule in &program.rules {
+        let idb_occ: Vec<(usize, &String, &Vec<Term>)> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| match a {
+                BodyAtom::Pred(name, args) if idb.contains(name) => Some((i, name, args)),
+                _ => None,
+            })
+            .collect();
+        // build the query: body atoms with the IDB occurrence as Reg
+        let mut conjuncts: Vec<Formula> = Vec::new();
+        for (i, atom) in rule.body.iter().enumerate() {
+            let f = match atom {
+                BodyAtom::Pred(name, args) => {
+                    if idb_occ.first().is_some_and(|(j, _, _)| *j == i) {
+                        Formula::Reg(args.clone())
+                    } else if idb.contains(name) {
+                        unreachable!("linear program has one IDB occurrence")
+                    } else {
+                        Formula::Rel(name.clone(), args.clone())
+                    }
+                }
+                BodyAtom::Eq(a, b) => Formula::Eq(a.clone(), b.clone()),
+                BodyAtom::Neq(a, b) => Formula::Neq(a.clone(), b.clone()),
+                BodyAtom::Fo(_) => unreachable!("guarded above"),
+            };
+            conjuncts.push(f);
+        }
+        // normalize the head: distinct fresh head variables with equalities
+        let head_vars: Vec<Var> = (0..rule.head_args.len())
+            .map(|i| Var::new(format!("h{i}")))
+            .collect();
+        for (hv, t) in head_vars.iter().zip(rule.head_args.iter()) {
+            conjuncts.push(Formula::Eq(Term::Var(hv.clone()), t.clone()));
+        }
+        let query = Query::new(head_vars, vec![], Formula::and(conjuncts))
+            .map_err(|e| e.to_string())?;
+        let item = pt_core::RuleItem {
+            state: format!("s_{}", rule.head_pred),
+            tag: format!("t_{}", rule.head_pred),
+            query,
+        };
+        let source = idb_occ.first().map(|(_, name, _)| (*name).clone());
+        items.entry(source).or_default().push(item);
+    }
+    let mut builder = Transducer::builder(schema.clone(), "q0", "r");
+    if let Some(root_items) = items.remove(&None) {
+        builder = builder.rule_items("q0", "r", root_items);
+    }
+    for (source, rule_items) in items {
+        let p = source.expect("remaining sources are predicates");
+        builder = builder.rule_items(&format!("s_{p}"), &format!("t_{p}"), rule_items);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_datalog::parse_program;
+    use pt_relational::{generate, rel, Instance, Schema};
+    use rand::prelude::*;
+
+    fn unfold_transducer() -> Transducer {
+        let schema = Schema::with(&[("edge", 2), ("start", 1)]);
+        Transducer::builder(schema, "q0", "r")
+            .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
+            .rule(
+                "q",
+                "a",
+                &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y) and x != y)")],
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn transducer_to_program_roundtrip() {
+        let tau = unfold_transducer();
+        let program = to_lindatalog(&tau, "a").unwrap();
+        assert!(program.is_linear());
+        let schema = Schema::with(&[("edge", 2), ("start", 1)]);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..15 {
+            let inst = generate::random_instance(&schema, 5, 8, &mut rng);
+            let direct = tau.run_relational(&inst, "a").unwrap();
+            let via_datalog = program.eval_output(&inst).unwrap();
+            assert_eq!(direct, via_datalog, "on {inst}");
+        }
+    }
+
+    #[test]
+    fn program_to_transducer_roundtrip() {
+        let program = parse_program(
+            "tc(x, y) :- e(x, y).
+             tc(x, y) :- tc(x, z), e(z, y).
+             output tc.",
+        )
+        .unwrap();
+        let schema = Schema::with(&[("e", 2)]);
+        let tau = from_lindatalog(&program, &schema).unwrap();
+        assert_eq!(tau.class().to_string(), "PT(CQ, tuple, normal)");
+        let mut rng = StdRng::seed_from_u64(37);
+        for _ in 0..15 {
+            let inst = generate::random_instance(&schema, 5, 7, &mut rng);
+            let via_program = program.eval_output(&inst).unwrap();
+            let via_transducer = tau.run_relational(&inst, "t_tc").unwrap();
+            assert_eq!(via_program, via_transducer, "on {inst}");
+        }
+    }
+
+    #[test]
+    fn head_constants_survive_the_bridge() {
+        let program = parse_program(
+            "p(x, 'mark') :- e(x, y), x != y.
+             output p.",
+        )
+        .unwrap();
+        let schema = Schema::with(&[("e", 2)]);
+        let tau = from_lindatalog(&program, &schema).unwrap();
+        let inst = Instance::new().with("e", rel![[1, 2], [3, 3]]);
+        let got = tau.run_relational(&inst, "t_p").unwrap();
+        assert_eq!(got, program.eval_output(&inst).unwrap());
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn nonlinear_programs_rejected() {
+        let program = parse_program(
+            "tc(x, y) :- e(x, y).
+             tc(x, y) :- tc(x, z), tc(z, y).
+             output tc.",
+        )
+        .unwrap();
+        assert!(from_lindatalog(&program, &Schema::with(&[("e", 2)])).is_err());
+    }
+
+    #[test]
+    fn fo_transducers_rejected() {
+        let schema = Schema::with(&[("s", 1)]);
+        let tau = Transducer::builder(schema, "q0", "r")
+            .rule("q0", "r", &[("q", "a", "(x) <- s(x) and not (s(x))")])
+            .build()
+            .unwrap();
+        assert!(to_lindatalog(&tau, "a").is_err());
+    }
+
+    #[test]
+    fn double_bridge_preserves_semantics() {
+        // transducer → program → transducer: same relational query
+        let tau = unfold_transducer();
+        let program = to_lindatalog(&tau, "a").unwrap();
+        let schema = Schema::with(&[("edge", 2), ("start", 1)]);
+        let back = from_lindatalog(&program, &schema).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..10 {
+            let inst = generate::random_instance(&schema, 4, 6, &mut rng);
+            assert_eq!(
+                tau.run_relational(&inst, "a").unwrap(),
+                back.run_relational(&inst, "t_ans").unwrap()
+            );
+        }
+    }
+}

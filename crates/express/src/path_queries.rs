@@ -1,0 +1,182 @@
+//! Proposition 6: nonrecursive tuple-store transducers as unions of
+//! path-composed queries — `PTnr(CQ, tuple, O) = UCQ`,
+//! `PTnr(FO, tuple, O) = FO`, `PTnr(IFP, tuple, O) = IFP`.
+
+use pt_core::Transducer;
+use pt_logic::compose::{close_root_register, compose_tuple_register};
+use pt_logic::Query;
+
+/// The queries composed along every dependency-graph path from the root to
+/// a node labeled `output_tag`. Their union is the relational query `R_τ`
+/// (Proposition 6); for a CQ transducer each element is a CQ, so the union
+/// is a UCQ, and similarly FO / IFP.
+pub fn path_union(tau: &Transducer, output_tag: &str) -> Result<Vec<Query>, String> {
+    if tau.is_recursive() {
+        return Err("path_union requires a nonrecursive transducer".to_string());
+    }
+    if tau.store() != pt_core::Store::Tuple {
+        return Err("path_union requires tuple registers".to_string());
+    }
+    let graph = tau.dependency_graph();
+    let mut composed: Vec<Query> = Vec::new();
+    let mut out = Vec::new();
+    let mut error = None;
+    graph.for_each_simple_path(|path| {
+        composed.truncate(path.len() - 1);
+        let step = &path[path.len() - 1];
+        let q = match composed.last() {
+            None => step.query.with_body(close_root_register(step.query.body())),
+            Some(parent) => step
+                .query
+                .with_body(compose_tuple_register(step.query.body(), parent)),
+        };
+        match q {
+            Ok(q) => {
+                if step.tag == output_tag {
+                    out.push(q.clone());
+                }
+                composed.push(q);
+                true
+            }
+            Err(e) => {
+                error = Some(e);
+                false
+            }
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Evaluate the path union on an instance: the Proposition 6 view of
+/// `R_τ(I)`.
+pub fn eval_path_union(
+    queries: &[Query],
+    instance: &pt_relational::Instance,
+) -> Result<pt_relational::Relation, String> {
+    let mut out = pt_relational::Relation::new();
+    let empty = pt_relational::Relation::new();
+    for q in queries {
+        let rows = q.eval(instance, Some(&empty)).map_err(|e| e.to_string())?;
+        for t in rows.iter() {
+            out.insert(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_logic::Fragment;
+    use pt_relational::{generate, Schema};
+    use rand::prelude::*;
+
+    fn check_against_direct(tau: &Transducer, tag: &str, schema: &Schema, seed: u64) {
+        let queries = path_union(tau, tag).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..15 {
+            let inst = generate::random_instance(schema, 4, 6, &mut rng);
+            let direct = tau.run_relational(&inst, tag).unwrap();
+            let via_union = eval_path_union(&queries, &inst).unwrap();
+            assert_eq!(direct, via_union, "on {inst}");
+        }
+    }
+
+    #[test]
+    fn cq_transducer_equals_ucq() {
+        let schema = Schema::with(&[("r", 2), ("s", 1)]);
+        let tau = Transducer::builder(schema.clone(), "q0", "root")
+            .rule(
+                "q0",
+                "root",
+                &[("q", "a", "(x) <- s(x)"), ("q", "b", "(x, y) <- r(x, y)")],
+            )
+            .rule("q", "a", &[("q2", "b", "(x, y) <- Reg(x) and r(x, y)")])
+            .build()
+            .unwrap();
+        let queries = path_union(&tau, "b").unwrap();
+        assert_eq!(queries.len(), 2); // two paths reach b
+        assert!(queries.iter().all(|q| q.fragment() == Fragment::CQ));
+        check_against_direct(&tau, "b", &schema, 51);
+    }
+
+    #[test]
+    fn fo_transducer_equals_fo() {
+        let schema = Schema::with(&[("r", 2), ("s", 1)]);
+        let tau = Transducer::builder(schema.clone(), "q0", "root")
+            .rule(
+                "q0",
+                "root",
+                &[("q", "a", "(x) <- s(x) and not (exists y (r(x, y)))")],
+            )
+            .rule(
+                "q",
+                "a",
+                &[("q2", "b", "(y) <- exists x (Reg(x) and (r(y, x) or y = x))")],
+            )
+            .build()
+            .unwrap();
+        assert_eq!(tau.logic(), Fragment::FO);
+        check_against_direct(&tau, "b", &schema, 53);
+    }
+
+    #[test]
+    fn ifp_transducer_equals_ifp() {
+        let schema = Schema::with(&[("e", 2), ("s", 1)]);
+        let tau = Transducer::builder(schema.clone(), "q0", "root")
+            .rule(
+                "q0",
+                "root",
+                &[(
+                    "q",
+                    "a",
+                    "(x) <- s(x) and fix T(u) { s(u) or exists v (T(v) and e(v, u)) }(x)",
+                )],
+            )
+            .rule("q", "a", &[("q2", "b", "(y) <- Reg(y)")])
+            .build()
+            .unwrap();
+        assert_eq!(tau.logic(), Fragment::IFP);
+        check_against_direct(&tau, "b", &schema, 59);
+    }
+
+    #[test]
+    fn recursive_transducers_rejected() {
+        let schema = Schema::with(&[("e", 2), ("s", 1)]);
+        let tau = Transducer::builder(schema, "q0", "root")
+            .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
+            .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and e(x, y))")])
+            .build()
+            .unwrap();
+        assert!(path_union(&tau, "a").is_err());
+    }
+
+    #[test]
+    fn virtual_tags_do_not_change_the_relational_view() {
+        // Theorem 3(1): virtual vs normal is invisible relationally
+        let schema = Schema::with(&[("r", 2), ("s", 1)]);
+        let make = |virtual_v: bool| {
+            let mut b = Transducer::builder(schema.clone(), "q0", "root");
+            if virtual_v {
+                b = b.virtual_tag("v");
+            }
+            b.rule("q0", "root", &[("q", "v", "(x) <- s(x)")])
+                .rule("q", "v", &[("q2", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+                .build()
+                .unwrap()
+        };
+        let with_virtual = make(true);
+        let without = make(false);
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..10 {
+            let inst = generate::random_instance(&schema, 4, 6, &mut rng);
+            assert_eq!(
+                with_virtual.run_relational(&inst, "b").unwrap(),
+                without.run_relational(&inst, "b").unwrap()
+            );
+        }
+    }
+}

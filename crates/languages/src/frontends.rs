@@ -1,0 +1,813 @@
+//! The frontend ASTs and their compilers to publishing transducers.
+
+/// Microsoft SQL Server `FOR XML` (Figure 2) and, per Section 4, the same
+/// views as XPERANTO: nested select-where blocks with FO conditions,
+/// correlated through the tuple passed down from the enclosing block.
+pub mod for_xml {
+    use pt_core::{RuleItem, Transducer};
+    use pt_logic::{parse_formula, Query, Term, Var};
+    use pt_relational::Schema;
+
+    /// One `SELECT ... WHERE condition FOR XML PATH(element)` block.
+    ///
+    /// `columns` become child elements holding text; `condition` is an FO
+    /// formula whose free variables are this block's `vars` plus any
+    /// enclosing block's `vars` (correlation). `nested` blocks see this
+    /// block's tuple through their conditions.
+    #[derive(Clone, Debug)]
+    pub struct Block {
+        pub element: String,
+        /// The tuple variables this block binds, in register order.
+        pub vars: Vec<String>,
+        /// `(child element name, variable)` pairs rendered as text children.
+        pub columns: Vec<(String, String)>,
+        /// FO condition over the schema, this block's vars, and (via `Reg`)
+        /// the enclosing block's vars.
+        pub condition: String,
+        pub nested: Vec<Block>,
+    }
+
+    /// A full query: `... FOR XML ..., ROOT(root)`.
+    #[derive(Clone, Debug)]
+    pub struct ForXml {
+        pub root: String,
+        pub blocks: Vec<Block>,
+    }
+
+    impl ForXml {
+        /// Compile to a publishing transducer in `PTnr(FO, tuple, normal)`.
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+            let mut builder = Transducer::builder(schema.clone(), "q0", &self.root);
+            let mut items = Vec::new();
+            let mut counter = 0usize;
+            let mut pending: Vec<(String, Block, Vec<String>)> = Vec::new();
+            for block in &self.blocks {
+                let state = format!("s{counter}");
+                counter += 1;
+                items.push(block_item(&state, block, &[])?);
+                pending.push((state, block.clone(), block.vars.clone()));
+            }
+            builder = builder.rule_items("q0", &self.root, items);
+            while let Some((state, block, outer)) = pending.pop() {
+                let mut child_items = Vec::new();
+                // column children: tag with the column value, then text
+                for (tag, var) in &block.columns {
+                    let idx = block
+                        .vars
+                        .iter()
+                        .position(|v| v == var)
+                        .ok_or_else(|| format!("column {var} not among block vars"))?;
+                    let reg_args: Vec<Term> = block
+                        .vars
+                        .iter()
+                        .map(|v| Term::Var(Var::new(format!("c_{v}"))))
+                        .collect();
+                    let head = Var::new(format!("c_{}", block.vars[idx]));
+                    let q = Query::new(
+                        vec![head],
+                        vec![],
+                        pt_logic::Formula::Reg(reg_args),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    let col_state = format!("s{counter}");
+                    counter += 1;
+                    child_items.push(RuleItem {
+                        state: col_state.clone(),
+                        tag: tag.clone(),
+                        query: q,
+                    });
+                    // the text child under the column element
+                    let text_q = Query::new(
+                        vec![Var::new("t")],
+                        vec![],
+                        pt_logic::Formula::Reg(vec![Term::Var(Var::new("t"))]),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    builder = builder.rule_items(
+                        &col_state,
+                        tag,
+                        vec![RuleItem {
+                            state: format!("s{counter}"),
+                            tag: "text".to_string(),
+                            query: text_q,
+                        }],
+                    );
+                    counter += 1;
+                }
+                for nested in &block.nested {
+                    let nstate = format!("s{counter}");
+                    counter += 1;
+                    child_items.push(block_item(&nstate, nested, &block.vars)?);
+                    pending.push((nstate, nested.clone(), nested.vars.clone()));
+                }
+                let _ = outer;
+                builder = builder.rule_items(&state, &block.element, child_items);
+            }
+            let t = builder.build()?;
+            if t.is_recursive() {
+                return Err("FOR XML views are nonrecursive".to_string());
+            }
+            Ok(t)
+        }
+    }
+
+    /// Build the rule item spawning a block's element nodes: the condition
+    /// conjoined with the correlation to the enclosing register.
+    fn block_item(state: &str, block: &Block, outer: &[String]) -> Result<RuleItem, String> {
+        let condition = parse_formula(&block.condition).map_err(|e| e.to_string())?;
+        let correlation = if outer.is_empty() {
+            pt_logic::Formula::True
+        } else {
+            pt_logic::Formula::Reg(
+                outer
+                    .iter()
+                    .map(|v| Term::Var(Var::new(v.clone())))
+                    .collect(),
+            )
+        };
+        let head: Vec<Var> = block.vars.iter().map(Var::new).collect();
+        let q = Query::new(
+            head,
+            vec![],
+            pt_logic::Formula::and([correlation, condition]),
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(RuleItem {
+            state: state.to_string(),
+            tag: block.element.clone(),
+            query: q,
+        })
+    }
+
+    /// Figure 2: the τ3 view — all courses without an immediate
+    /// prerequisite titled `DB`.
+    pub fn figure2() -> ForXml {
+        ForXml {
+            root: "db".to_string(),
+            blocks: vec![Block {
+                element: "course".to_string(),
+                vars: vec!["cno".to_string(), "title".to_string()],
+                columns: vec![
+                    ("cno".to_string(), "cno".to_string()),
+                    ("title".to_string(), "title".to_string()),
+                ],
+                condition: "exists d (course(cno, title, d)) and \
+                            not (exists c2 d2 (prereq(cno, c2) and course(c2, 'DB', d2)))"
+                    .to_string(),
+                nested: vec![],
+            }],
+        }
+    }
+}
+
+/// Microsoft annotated XSD: a fixed tree template whose elements map to
+/// relations, correlated through parent-child key joins, with simple
+/// equality filters only (CQ).
+pub mod annotated_xsd {
+    use pt_core::{RuleItem, Transducer};
+    use pt_logic::{Formula, Query, Term, Var};
+    use pt_relational::{Schema, Value};
+
+    /// An annotated element: rows of `relation` (filtered by `filters`,
+    /// joined to the parent on `parent_join`) become `tag`-elements whose
+    /// `columns` surface as text-carrying children.
+    #[derive(Clone, Debug)]
+    pub struct Element {
+        pub tag: String,
+        pub relation: String,
+        pub arity: usize,
+        /// `(column index, child tag)` pairs.
+        pub columns: Vec<(usize, String)>,
+        /// `(parent column index, this column index)` key join.
+        pub parent_join: Option<(usize, usize)>,
+        /// `(column index, constant)` equality filters.
+        pub filters: Vec<(usize, Value)>,
+        pub children: Vec<Element>,
+    }
+
+    /// An annotated schema with a root element.
+    #[derive(Clone, Debug)]
+    pub struct AnnotatedXsd {
+        pub root: String,
+        pub elements: Vec<Element>,
+    }
+
+    impl AnnotatedXsd {
+        /// Compile to `PTnr(CQ, tuple, normal)`.
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+            let mut builder = Transducer::builder(schema.clone(), "q0", &self.root);
+            let mut counter = 0usize;
+            let mut top = Vec::new();
+            let mut pending: Vec<(String, Element, usize)> = Vec::new();
+            for e in &self.elements {
+                let state = format!("s{counter}");
+                counter += 1;
+                top.push(element_item(&state, e, None)?);
+                pending.push((state, e.clone(), 0));
+            }
+            builder = builder.rule_items("q0", &self.root, top);
+            while let Some((state, e, _)) = pending.pop() {
+                let mut items = Vec::new();
+                for (idx, tag) in &e.columns {
+                    let head = Var::new(format!("c{idx}"));
+                    let reg_args: Vec<Term> = (0..e.arity)
+                        .map(|i| Term::Var(Var::new(format!("c{i}"))))
+                        .collect();
+                    let q = Query::new(vec![head], vec![], Formula::Reg(reg_args))
+                        .map_err(|err| err.to_string())?;
+                    let col_state = format!("s{counter}");
+                    counter += 1;
+                    items.push(RuleItem {
+                        state: col_state.clone(),
+                        tag: tag.clone(),
+                        query: q,
+                    });
+                    let text_q = Query::new(
+                        vec![Var::new("t")],
+                        vec![],
+                        Formula::Reg(vec![Term::Var(Var::new("t"))]),
+                    )
+                    .map_err(|err| err.to_string())?;
+                    builder = builder.rule_items(
+                        &col_state,
+                        tag,
+                        vec![RuleItem {
+                            state: format!("s{counter}"),
+                            tag: "text".to_string(),
+                            query: text_q,
+                        }],
+                    );
+                    counter += 1;
+                }
+                for child in &e.children {
+                    let cstate = format!("s{counter}");
+                    counter += 1;
+                    items.push(element_item(&cstate, child, Some(e.arity))?);
+                    pending.push((cstate, child.clone(), 0));
+                }
+                builder = builder.rule_items(&state, &e.tag, items);
+            }
+            builder.build()
+        }
+    }
+
+    fn element_item(
+        state: &str,
+        e: &Element,
+        parent_arity: Option<usize>,
+    ) -> Result<RuleItem, String> {
+        let row: Vec<Var> = (0..e.arity).map(|i| Var::new(format!("c{i}"))).collect();
+        let mut conjuncts = vec![Formula::Rel(
+            e.relation.clone(),
+            row.iter().cloned().map(Term::Var).collect(),
+        )];
+        if let Some((pcol, ccol)) = e.parent_join {
+            let arity = parent_arity.ok_or("parent_join on a top-level element")?;
+            let preg: Vec<Var> = (0..arity).map(|i| Var::new(format!("p{i}"))).collect();
+            conjuncts.push(Formula::Reg(
+                preg.iter().cloned().map(Term::Var).collect(),
+            ));
+            conjuncts.push(Formula::Eq(
+                Term::Var(preg[pcol].clone()),
+                Term::Var(row[ccol].clone()),
+            ));
+        }
+        for (idx, value) in &e.filters {
+            conjuncts.push(Formula::Eq(
+                Term::Var(row[*idx].clone()),
+                Term::Const(value.clone()),
+            ));
+        }
+        let q = Query::new(row, vec![], Formula::and(conjuncts)).map_err(|e| e.to_string())?;
+        Ok(RuleItem {
+            state: state.to_string(),
+            tag: e.tag.clone(),
+            query: q,
+        })
+    }
+
+    /// A registrar example: the CS course list with cno/title children —
+    /// the deepest view annotated XSD can express over the registrar schema
+    /// (no negation, fixed depth).
+    pub fn cs_courses() -> AnnotatedXsd {
+        AnnotatedXsd {
+            root: "db".to_string(),
+            elements: vec![Element {
+                tag: "course".to_string(),
+                relation: "course".to_string(),
+                arity: 3,
+                columns: vec![(0, "cno".to_string()), (1, "title".to_string())],
+                parent_join: None,
+                filters: vec![(2, Value::str("CS"))],
+                children: vec![],
+            }],
+        }
+    }
+}
+
+/// IBM SQL/XML (Figure 3): XMLELEMENT/XMLFOREST over a select-where whose
+/// condition may use a recursive common table expression — compiled to an
+/// inflationary fixpoint subformula.
+pub mod sqlxml {
+    use pt_core::Transducer;
+    use pt_relational::Schema;
+
+    /// A recursive CTE `name(vars) AS (base ∪ step)`, where `step` may
+    /// reference `name`. Compiled into `fix name(vars) { base or step }`.
+    #[derive(Clone, Debug)]
+    pub struct RecursiveCte {
+        pub name: String,
+        pub vars: Vec<String>,
+        pub base: String,
+        pub step: String,
+    }
+
+    /// `SELECT XMLELEMENT(name element, XMLFOREST(col AS tag, ...)) WHERE
+    /// condition`, optionally `WITH RECURSIVE cte`.
+    #[derive(Clone, Debug)]
+    pub struct SqlXml {
+        pub root: String,
+        pub element: String,
+        pub vars: Vec<String>,
+        pub forest: Vec<(String, String)>,
+        pub condition: String,
+        pub cte: Option<RecursiveCte>,
+    }
+
+    impl SqlXml {
+        /// Compile to `PTnr(IFP, tuple, normal)` (FO when no CTE is used).
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+            // inline the CTE as a fixpoint: every occurrence `name(args)` in
+            // the condition is already a Rel atom; wrap the condition so the
+            // fixpoint binds it
+            let condition = match &self.cte {
+                None => self.condition.clone(),
+                Some(cte) => {
+                    // replace name(args) atoms by [fix name(vars){base or step}](args)
+                    let fix = format!(
+                        "fix {}({}) {{ {} or {} }}",
+                        cte.name,
+                        cte.vars.join(", "),
+                        cte.base,
+                        cte.step
+                    );
+                    replace_atom_with_fix(&self.condition, &cte.name, &fix)
+                }
+            };
+            let block = super::for_xml::ForXml {
+                root: self.root.clone(),
+                blocks: vec![super::for_xml::Block {
+                    element: self.element.clone(),
+                    vars: self.vars.clone(),
+                    columns: self.forest.clone(),
+                    condition,
+                    nested: vec![],
+                }],
+            };
+            block.compile(schema)
+        }
+    }
+
+    /// Textual rewrite `name(args)` → `fix …(args)`; adequate for the
+    /// frontend's controlled surface syntax.
+    fn replace_atom_with_fix(condition: &str, name: &str, fix: &str) -> String {
+        let mut out = String::new();
+        let mut rest = condition;
+        let pattern = format!("{name}(");
+        while let Some(pos) = rest.find(&pattern) {
+            // ensure this is a standalone identifier
+            let standalone = pos == 0
+                || !rest[..pos]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            out.push_str(&rest[..pos]);
+            if standalone {
+                out.push_str(fix);
+                out.push('(');
+            } else {
+                out.push_str(&pattern);
+            }
+            rest = &rest[pos + pattern.len()..];
+        }
+        out.push_str(rest);
+        out
+    }
+
+    /// Figure 3: the τ3 view in SQL/XML.
+    pub fn figure3() -> SqlXml {
+        SqlXml {
+            root: "db".to_string(),
+            element: "course".to_string(),
+            vars: vec!["cno".to_string(), "title".to_string()],
+            forest: vec![
+                ("cno".to_string(), "cno".to_string()),
+                ("title".to_string(), "title".to_string()),
+            ],
+            condition: "exists d (course(cno, title, d)) and \
+                        not (exists c2 d2 (prereq(cno, c2) and course(c2, 'DB', d2)))"
+                .to_string(),
+            cte: None,
+        }
+    }
+
+    /// A recursive-CTE variant: courses in the transitive prerequisite
+    /// hierarchy of CS340 (populating a flat element list through a
+    /// recursive SQL query, as Section 4 describes for SQL/XML).
+    pub fn recursive_example() -> SqlXml {
+        SqlXml {
+            root: "db".to_string(),
+            element: "course".to_string(),
+            vars: vec!["cno".to_string(), "title".to_string()],
+            forest: vec![
+                ("cno".to_string(), "cno".to_string()),
+                ("title".to_string(), "title".to_string()),
+            ],
+            condition: "reach(cno) and exists d (course(cno, title, d))".to_string(),
+            cte: Some(RecursiveCte {
+                name: "reach".to_string(),
+                vars: vec!["c".to_string()],
+                base: "prereq('CS340', c)".to_string(),
+                step: "exists p (reach(p) and prereq(p, c))".to_string(),
+            }),
+        }
+    }
+}
+
+/// IBM DAD: `sql-mapping` (one SQL query + nested group-by columns,
+/// Figure 4) and `rdb-mapping` (a CQ-annotated tree template).
+pub mod dad {
+    use pt_core::Transducer;
+    use pt_logic::parse_formula;
+    use pt_relational::Schema;
+
+    /// SQL mapping: the rows of one query (FO/IFP condition over `vars`),
+    /// organized into a hierarchy by grouping on successive column prefixes.
+    /// `levels[i]` names the element at depth `i+1`; level `i` groups by
+    /// the first `group_widths[i]` columns.
+    #[derive(Clone, Debug)]
+    pub struct SqlMapping {
+        pub root: String,
+        pub vars: Vec<String>,
+        pub condition: String,
+        pub levels: Vec<(String, usize)>,
+    }
+
+    impl SqlMapping {
+        /// Compile to `PTnr(IFP, tuple, normal)` (the condition may use
+        /// `fix`; plain FO/CQ conditions land lower).
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+            parse_formula(&self.condition).map_err(|e| e.to_string())?;
+            let mut builder = Transducer::builder(schema.clone(), "q0", &self.root);
+            let (first, rest) = self
+                .levels
+                .split_first()
+                .ok_or("sql-mapping needs at least one level")?;
+            // level 0: group the base query by its first group_width columns
+            let all = self.vars.join(", ");
+            let head0: Vec<&str> = self.vars[..first.1].iter().map(|s| s.as_str()).collect();
+            let rest0: Vec<&str> = self.vars[first.1..].iter().map(|s| s.as_str()).collect();
+            let q0 = format!(
+                "({}; {}) <- {}",
+                head0.join(", "),
+                rest0.join(", "),
+                self.condition
+            );
+            builder = builder.rule("q0", &self.root, &[("l0", &first.0, &q0)]);
+            // level i: regroup the parent register by a wider prefix
+            let mut prev = (first.0.clone(), first.1);
+            for (i, (tag, width)) in rest.iter().enumerate() {
+                let head: Vec<&str> = self.vars[..*width].iter().map(|s| s.as_str()).collect();
+                let tail: Vec<&str> = self.vars[*width..].iter().map(|s| s.as_str()).collect();
+                let q = format!(
+                    "({}; {}) <- Reg({})",
+                    head.join(", "),
+                    tail.join(", "),
+                    all
+                );
+                builder = builder.rule(
+                    &format!("l{i}"),
+                    &prev.0,
+                    &[(&format!("l{}", i + 1), tag, &q)],
+                );
+                prev = (tag.clone(), *width);
+            }
+            // final level: text rendering of the full tuple's last columns
+            let last_index = self.levels.len() - 1;
+            let text_q = format!("({all}) <- Reg({all})");
+            builder = builder.rule(
+                &format!("l{last_index}"),
+                &prev.0,
+                &[(&format!("l{}", last_index + 1), "text", &text_q)],
+            );
+            builder.build()
+        }
+    }
+
+    /// Figure 4: the τ3 rows grouped into `course` elements with their
+    /// `(cno, title)` pairs below.
+    pub fn figure4() -> SqlMapping {
+        SqlMapping {
+            root: "db".to_string(),
+            vars: vec!["cno".to_string(), "title".to_string()],
+            condition: "exists d (course(cno, title, d)) and \
+                        not (exists c2 d2 (prereq(cno, c2) and course(c2, 'DB', d2)))"
+                .to_string(),
+            levels: vec![("course".to_string(), 2)],
+        }
+    }
+
+    /// RDB mapping: a CQ tree template — structurally the same machine as
+    /// annotated XSD, re-exported to keep the Table I correspondence
+    /// explicit.
+    pub use super::annotated_xsd::AnnotatedXsd as RdbMapping;
+
+    /// An rdb-mapping registrar example.
+    pub fn rdb_example() -> RdbMapping {
+        super::annotated_xsd::cs_courses()
+    }
+}
+
+/// Oracle `DBMS_XMLGEN` (Figure 5): SQL/XML plus the linear-recursive
+/// `CONNECT BY PRIOR` construct, producing hierarchies of unbounded depth.
+pub mod xmlgen {
+    use pt_core::Transducer;
+    use pt_relational::Schema;
+
+    /// `SELECT XMLELEMENT(element, XMLFOREST(...)) CONNECT BY PRIOR
+    /// child = parent`.
+    #[derive(Clone, Debug)]
+    pub struct XmlGen {
+        pub root: String,
+        pub element: String,
+        pub vars: Vec<String>,
+        pub forest: Vec<(String, String)>,
+        /// FO condition selecting the top-level rows.
+        pub condition: String,
+        /// `CONNECT BY` join: an FO formula over `Reg` (the parent row) and
+        /// this row's `vars`, e.g. `exists p t (Reg(p, t) and prereq(p, cno))`.
+        pub connect_by: Option<String>,
+    }
+
+    impl XmlGen {
+        /// Compile. With `connect_by` the result is a *recursive*
+        /// transducer — the Table I row is `PT(IFP, tuple, normal)`, the
+        /// smallest class containing every `DBMS_XMLGEN` view; individual
+        /// views compile to recursive FO rules, which that class contains.
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+            let mut builder = Transducer::builder(schema.clone(), "q0", &self.root);
+            let head = self.vars.join(", ");
+            let q0 = format!("({head}) <- {}", self.condition);
+            builder = builder.rule("q0", &self.root, &[("e", &self.element, &q0)]);
+            let mut items: Vec<(String, String, String)> = Vec::new();
+            for (i, (tag, var)) in self.forest.iter().enumerate() {
+                let q = format!("({var}) <- Reg({head})");
+                items.push((format!("c{i}"), tag.clone(), q));
+            }
+            if let Some(cb) = &self.connect_by {
+                items.push(("e".to_string(), self.element.clone(), format!("({head}) <- {cb}")));
+            }
+            let refs: Vec<(&str, &str, &str)> = items
+                .iter()
+                .map(|(s, t, q)| (s.as_str(), t.as_str(), q.as_str()))
+                .collect();
+            builder = builder.rule("e", &self.element, &refs);
+            for (i, (tag, _)) in self.forest.iter().enumerate() {
+                let text_q = "(t) <- Reg(t)";
+                builder = builder.rule(
+                    &format!("c{i}"),
+                    tag,
+                    &[(&format!("t{i}"), "text", text_q)],
+                );
+            }
+            builder.build()
+        }
+    }
+
+    /// Figure 5: every course, with its full prerequisite hierarchy nested
+    /// below it via `CONNECT BY PRIOR course.cno = prereq.cno1`.
+    pub fn figure5() -> XmlGen {
+        XmlGen {
+            root: "db".to_string(),
+            element: "course".to_string(),
+            vars: vec!["cno".to_string(), "title".to_string()],
+            forest: vec![
+                ("cno".to_string(), "cno".to_string()),
+                ("title".to_string(), "title".to_string()),
+            ],
+            condition: "exists d (course(cno, title, d))".to_string(),
+            connect_by: Some(
+                "exists p pt d (Reg(p, pt) and prereq(p, cno) and course(cno, title, d))"
+                    .to_string(),
+            ),
+        }
+    }
+}
+
+/// TreeQL (SilkRoute, per the abstraction of [Alon et al. 2003]): a
+/// fixed-depth tree template annotated with CQ queries, supporting virtual
+/// nodes and tuple-based information passing via free-variable binding.
+pub mod treeql {
+    use pt_core::{RuleItem, Transducer};
+    use pt_logic::parse_query;
+    use pt_relational::Schema;
+
+    /// A template node: its query's free variables must include the parent
+    /// query's (free-variable binding — we realize it through `Reg`).
+    #[derive(Clone, Debug)]
+    pub struct Node {
+        pub tag: String,
+        /// CQ query in concrete syntax (may use `Reg` for the parent tuple).
+        pub query: String,
+        pub is_virtual: bool,
+        pub children: Vec<Node>,
+    }
+
+    /// A TreeQL view.
+    #[derive(Clone, Debug)]
+    pub struct TreeQl {
+        pub root: String,
+        pub children: Vec<Node>,
+    }
+
+    impl TreeQl {
+        /// Compile to `PTnr(CQ, tuple, virtual)`.
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+            let mut builder = Transducer::builder(schema.clone(), "q0", &self.root);
+            let mut counter = 0usize;
+            let mut virtuals = Vec::new();
+            let mut items = Vec::new();
+            let mut pending: Vec<(String, Node)> = Vec::new();
+            for node in &self.children {
+                let state = format!("s{counter}");
+                counter += 1;
+                items.push(node_item(&state, node)?);
+                if node.is_virtual {
+                    virtuals.push(node.tag.clone());
+                }
+                pending.push((state, node.clone()));
+            }
+            builder = builder.rule_items("q0", &self.root, items);
+            while let Some((state, node)) = pending.pop() {
+                let mut child_items = Vec::new();
+                for child in &node.children {
+                    let cstate = format!("s{counter}");
+                    counter += 1;
+                    child_items.push(node_item(&cstate, child)?);
+                    if child.is_virtual {
+                        virtuals.push(child.tag.clone());
+                    }
+                    pending.push((cstate, child.clone()));
+                }
+                builder = builder.rule_items(&state, &node.tag, child_items);
+            }
+            for v in virtuals {
+                builder = builder.virtual_tag(&v);
+            }
+            let t = builder.build()?;
+            if t.logic() > pt_logic::Fragment::CQ {
+                return Err("TreeQL queries must be conjunctive".to_string());
+            }
+            Ok(t)
+        }
+    }
+
+    fn node_item(state: &str, node: &Node) -> Result<RuleItem, String> {
+        let query = parse_query(&node.query).map_err(|e| e.to_string())?;
+        Ok(RuleItem {
+            state: state.to_string(),
+            tag: node.tag.clone(),
+            query,
+        })
+    }
+
+    /// A registrar example using a virtual wrapper: CS courses grouped
+    /// under a virtual `cs` node whose children (cno elements) surface
+    /// directly under the root after elimination.
+    pub fn registrar_example() -> TreeQl {
+        TreeQl {
+            root: "db".to_string(),
+            children: vec![Node {
+                tag: "cs".to_string(),
+                query: "(d) <- exists c t (course(c, t, d)) and d = 'CS'".to_string(),
+                is_virtual: true,
+                children: vec![Node {
+                    tag: "cno".to_string(),
+                    query: "(c) <- exists t (course(c, t, 'CS'))".to_string(),
+                    is_virtual: false,
+                    children: vec![Node {
+                        tag: "text".to_string(),
+                        query: "(c) <- Reg(c)".to_string(),
+                        is_virtual: false,
+                        children: vec![],
+                    }],
+                }],
+            }],
+        }
+    }
+}
+
+/// ATG (attribute transformation grammars, PRATA — Figure 6): a
+/// DTD-directed view with per-production FO queries, relation registers and
+/// virtual nodes; the only surveyed language beyond SQL vendors supporting
+/// recursive views.
+pub mod atg {
+    use pt_core::{RuleItem, Transducer};
+    use pt_logic::parse_query;
+    use pt_relational::Schema;
+
+    /// One production `element → children` with a query per child element.
+    #[derive(Clone, Debug)]
+    pub struct Production {
+        pub element: String,
+        /// `(child element, query)` pairs; queries may use `Reg` (the
+        /// inherited attribute of `element`) and may produce relation
+        /// registers (`(x̄; ȳ)` heads).
+        pub children: Vec<(String, String)>,
+    }
+
+    /// An ATG: a root element, productions, and virtual element types.
+    #[derive(Clone, Debug)]
+    pub struct Atg {
+        pub root: String,
+        pub productions: Vec<Production>,
+        pub virtual_tags: Vec<String>,
+    }
+
+    impl Atg {
+        /// Compile to `PT(FO, relation, virtual)`. Element types are
+        /// states: ATGs attach one inherited attribute per element type, so
+        /// a single state per tag suffices.
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+            let mut builder = Transducer::builder(schema.clone(), "q0", &self.root);
+            for p in &self.productions {
+                let mut items = Vec::new();
+                for (child, qsrc) in &p.children {
+                    let query = parse_query(qsrc).map_err(|e| e.to_string())?;
+                    items.push(RuleItem {
+                        state: format!("e_{child}"),
+                        tag: child.clone(),
+                        query,
+                    });
+                }
+                if p.element == self.root {
+                    builder = builder.rule_items("q0", &self.root, items);
+                } else {
+                    builder = builder.rule_items(&format!("e_{}", p.element), &p.element, items);
+                }
+            }
+            for v in &self.virtual_tags {
+                builder = builder.virtual_tag(v);
+            }
+            builder.build()
+        }
+    }
+
+    /// Figure 6: the recursive course/prereq ATG of PRATA. The `prereq`
+    /// production's query joins the inherited attribute with the `prereq`
+    /// table, exactly as `$course = select c.cno, c.title from prereq p,
+    /// $prereq cp, course c where cp.cno = p.cno1 and p.cno2 = c.cno`.
+    pub fn figure6() -> Atg {
+        Atg {
+            root: "db".to_string(),
+            productions: vec![
+                Production {
+                    element: "db".to_string(),
+                    children: vec![(
+                        "course".to_string(),
+                        "(cno, title) <- exists d (course(cno, title, d))".to_string(),
+                    )],
+                },
+                Production {
+                    element: "course".to_string(),
+                    children: vec![
+                        ("cno".to_string(), "(c) <- exists t (Reg(c, t))".to_string()),
+                        ("title".to_string(), "(t) <- exists c (Reg(c, t))".to_string()),
+                        (
+                            "prereq".to_string(),
+                            "(; c) <- exists c0 (Reg(c0, t0) and prereq(c0, c))".to_string(),
+                        ),
+                    ],
+                },
+                Production {
+                    element: "prereq".to_string(),
+                    children: vec![(
+                        "course".to_string(),
+                        "(cno, title) <- exists c0 d (Reg(c0) and prereq(c0, cno) \
+                         and course(cno, title, d))"
+                            .to_string(),
+                    )],
+                },
+                Production {
+                    element: "cno".to_string(),
+                    children: vec![("text".to_string(), "(c) <- Reg(c)".to_string())],
+                },
+                Production {
+                    element: "title".to_string(),
+                    children: vec![("text".to_string(), "(t) <- Reg(t)".to_string())],
+                },
+            ],
+            virtual_tags: vec![],
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Miniature XML publishing language frontends (Section 4, Table I).
+//!
+//! The paper surveys the XML publishing languages of the major vendors and
+//! two research prototypes, and identifies for each the smallest transducer
+//! class expressing it (Table I). This crate implements a faithful core of
+//! each surveyed language as an AST that *compiles to* a publishing
+//! transducer, making Table I executable: for every frontend,
+//! [`table1::claimed_class`] records the paper's row, and the tests assert
+//! that compiled programs land inside it (an individual program may of
+//! course land lower — Table I bounds the whole language).
+//!
+//! | Language | Module | Table I class |
+//! |---|---|---|
+//! | Microsoft FOR XML (Fig. 2) | [`for_xml`] | `PTnr(FO, tuple, normal)` |
+//! | Microsoft annotated XSD | [`annotated_xsd`] | `PTnr(CQ, tuple, normal)` |
+//! | IBM SQL/XML (Fig. 3) | [`sqlxml`] | `PTnr(IFP, tuple, normal)` |
+//! | IBM DAD sql-mapping (Fig. 4) | [`dad`] | `PTnr(IFP, tuple, normal)` |
+//! | IBM DAD rdb-mapping | [`dad`] | `PTnr(CQ, tuple, normal)` |
+//! | Oracle DBMS_XMLGEN (Fig. 5) | [`xmlgen`] | `PT(IFP, tuple, normal)` |
+//! | XPERANTO | [`for_xml`] (same views) | `PTnr(FO, tuple, normal)` |
+//! | TreeQL (SilkRoute) | [`treeql`] | `PTnr(CQ, tuple, virtual)` |
+//! | ATG (PRATA, Fig. 6) | [`atg`] | `PT(FO, relation, virtual)` |
+
+pub mod table1;
+
+mod frontends;
+
+pub use frontends::{annotated_xsd, atg, dad, for_xml, sqlxml, treeql, xmlgen};

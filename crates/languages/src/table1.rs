@@ -1,0 +1,216 @@
+//! Executable Table I: each surveyed language with its claimed class and a
+//! representative compiled program.
+
+use pt_core::{Output, PtClass, Store, Transducer};
+use pt_logic::Fragment;
+use pt_relational::Schema;
+
+/// A Table I row: the language, the paper's class, and a compiled example.
+pub struct Table1Row {
+    pub language: &'static str,
+    pub claimed: PtClass,
+    pub example: Transducer,
+}
+
+fn class(logic: Fragment, store: Store, output: Output, recursive: bool) -> PtClass {
+    PtClass {
+        logic,
+        store,
+        output,
+        recursive,
+    }
+}
+
+/// The registrar schema all examples compile against.
+pub fn registrar_schema() -> Schema {
+    Schema::with(&[("course", 3), ("prereq", 2)])
+}
+
+/// Build every Table I row with its example program compiled.
+pub fn rows() -> Vec<Table1Row> {
+    let schema = registrar_schema();
+    vec![
+        Table1Row {
+            language: "Microsoft SQL Server 2005 FOR XML",
+            claimed: class(Fragment::FO, Store::Tuple, Output::Normal, false),
+            example: crate::for_xml::figure2().compile(&schema).unwrap(),
+        },
+        Table1Row {
+            language: "Microsoft annotated XSD",
+            claimed: class(Fragment::CQ, Store::Tuple, Output::Normal, false),
+            example: crate::annotated_xsd::cs_courses().compile(&schema).unwrap(),
+        },
+        Table1Row {
+            language: "IBM DB2 SQL/XML",
+            claimed: class(Fragment::IFP, Store::Tuple, Output::Normal, false),
+            example: crate::sqlxml::recursive_example().compile(&schema).unwrap(),
+        },
+        Table1Row {
+            language: "IBM DAD (sql mapping)",
+            claimed: class(Fragment::IFP, Store::Tuple, Output::Normal, false),
+            example: crate::dad::figure4().compile(&schema).unwrap(),
+        },
+        Table1Row {
+            language: "IBM DAD (rdb mapping)",
+            claimed: class(Fragment::CQ, Store::Tuple, Output::Normal, false),
+            example: crate::dad::rdb_example().compile(&schema).unwrap(),
+        },
+        Table1Row {
+            language: "Oracle DBMS_XMLGEN",
+            claimed: class(Fragment::IFP, Store::Tuple, Output::Normal, true),
+            example: crate::xmlgen::figure5().compile(&schema).unwrap(),
+        },
+        Table1Row {
+            language: "XPERANTO",
+            claimed: class(Fragment::FO, Store::Tuple, Output::Normal, false),
+            example: crate::for_xml::figure2().compile(&schema).unwrap(),
+        },
+        Table1Row {
+            language: "TreeQL",
+            claimed: class(Fragment::CQ, Store::Tuple, Output::Virtual, false),
+            example: crate::treeql::registrar_example().compile(&schema).unwrap(),
+        },
+        Table1Row {
+            language: "ATG (PRATA)",
+            claimed: class(Fragment::FO, Store::Relation, Output::Virtual, true),
+            example: crate::atg::figure6().compile(&schema).unwrap(),
+        },
+    ]
+}
+
+/// Render the table with claimed vs compiled class per language.
+pub fn report() -> String {
+    let mut out = String::from(
+        "Table I — characterization of existing XML publishing languages\n",
+    );
+    out.push_str(&format!(
+        "{:<38} {:<28} {:<28} {}\n",
+        "language", "claimed class (paper)", "compiled example class", "contained"
+    ));
+    for row in rows() {
+        let compiled = row.example.class();
+        out.push_str(&format!(
+            "{:<38} {:<28} {:<28} {}\n",
+            row.language,
+            row.claimed.to_string(),
+            compiled.to_string(),
+            if compiled.subclass_of(&row.claimed) {
+                "yes"
+            } else {
+                "NO"
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_core::examples::registrar;
+
+    #[test]
+    fn every_example_lands_in_its_claimed_class() {
+        for row in rows() {
+            let compiled = row.example.class();
+            assert!(
+                compiled.subclass_of(&row.claimed),
+                "{}: compiled {} ⊄ claimed {}",
+                row.language,
+                compiled,
+                row.claimed
+            );
+        }
+    }
+
+    #[test]
+    fn figure_frontends_agree_on_the_tau3_view() {
+        // Figures 2 (FOR XML), 3 (SQL/XML) and 4 (DAD sql-mapping) all
+        // express the τ3 view; the first two must produce its exact tree.
+        let db = registrar::registrar_instance();
+        let schema = registrar_schema();
+        let reference = registrar::tau3().output(&db).unwrap();
+        let f2 = crate::for_xml::figure2()
+            .compile(&schema)
+            .unwrap()
+            .output(&db)
+            .unwrap();
+        assert_eq!(f2, reference, "FOR XML (Fig. 2) must equal τ3");
+        let f3 = crate::sqlxml::figure3()
+            .compile(&schema)
+            .unwrap()
+            .output(&db)
+            .unwrap();
+        assert_eq!(f3, reference, "SQL/XML (Fig. 3) must equal τ3");
+        // the DAD sql-mapping renders each course's row as one text blob —
+        // same courses, same order, different leaf encoding
+        let f4 = crate::dad::figure4()
+            .compile(&schema)
+            .unwrap()
+            .output(&db)
+            .unwrap();
+        assert_eq!(f4.label(), "db");
+        assert_eq!(f4.children().len(), reference.children().len());
+    }
+
+    #[test]
+    fn xmlgen_builds_recursive_hierarchies() {
+        let db = registrar::registrar_instance();
+        let t = crate::xmlgen::figure5().compile(&registrar_schema()).unwrap();
+        assert!(t.is_recursive());
+        let tree = t.output(&db).unwrap();
+        // all 6 courses at the top level
+        assert_eq!(tree.children().len(), 6);
+        // CS340 nests its prerequisite chain: depth beyond a flat list
+        assert!(tree.depth() > 4);
+    }
+
+    #[test]
+    fn atg_reproduces_figure6_hierarchy() {
+        let db = registrar::registrar_instance();
+        let t = crate::atg::figure6().compile(&registrar_schema()).unwrap();
+        assert!(t.is_recursive());
+        assert_eq!(t.store(), Store::Relation);
+        let tree = t.output(&db).unwrap();
+        assert_eq!(tree.children().len(), 6); // all courses (Fig. 6 lists all)
+        // every course has cno, title, prereq children
+        for course in tree.children() {
+            let labels: Vec<&str> = course.children().iter().map(|c| c.label()).collect();
+            assert!(labels.starts_with(&["cno", "title"]), "got {labels:?}");
+        }
+    }
+
+    #[test]
+    fn treeql_virtual_nodes_eliminated() {
+        let db = registrar::registrar_instance();
+        let t = crate::treeql::registrar_example()
+            .compile(&registrar_schema())
+            .unwrap();
+        assert_eq!(t.output_kind(), Output::Virtual);
+        let tree = t.output(&db).unwrap();
+        // the virtual `cs` wrapper disappears; cno elements are direct
+        // children of the root
+        assert!(tree.children().iter().all(|c| c.label() == "cno"));
+        assert_eq!(tree.children().len(), 5); // 5 CS courses
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report();
+        assert!(r.contains("TreeQL"));
+        assert!(!r.contains(" NO"), "a language broke its claimed class:\n{r}");
+    }
+
+    #[test]
+    fn sqlxml_recursive_cte_reaches_transitive_prerequisites() {
+        let db = registrar::registrar_instance();
+        let t = crate::sqlxml::recursive_example()
+            .compile(&registrar_schema())
+            .unwrap();
+        assert_eq!(t.logic(), Fragment::IFP);
+        assert!(!t.is_recursive(), "the recursion lives in the query, not the tree");
+        let tree = t.output(&db).unwrap();
+        // transitive prerequisites of CS340: CS240, CS140, CS100
+        assert_eq!(tree.children().len(), 3);
+    }
+}

@@ -1,0 +1,302 @@
+//! Query composition along transducer paths.
+//!
+//! Several constructions in the paper compose the queries encountered along
+//! a path of the dependency graph into a single query over the base schema:
+//! the emptiness test for virtual transducers (Theorem 1(1)), the
+//! LinDatalog encodings (Theorem 2(4), Theorem 3(2)), and the
+//! `PTnr(L, tuple, O) = UCQ/FO/IFP` characterizations (Proposition 6).
+//!
+//! Two composition operators arise, matching the two register kinds:
+//!
+//! * **tuple registers** — all `Reg` atoms of the child query denote *the
+//!   same single tuple* (Section 3), so composition introduces one shared
+//!   copy of the parent query and unifies every `Reg` atom with its head:
+//!   `∃z̄ (parent(z̄) ∧ child[Reg(t̄) ↦ t̄ = z̄])`.
+//! * **relation registers** — each `Reg` atom may match a different tuple of
+//!   the parent's result, so every occurrence receives its own fresh copy of
+//!   the parent body: `child[Reg(t̄) ↦ parent(t̄)]`.
+//!
+//! Both operators stay inside the CQ fragment when their inputs are CQ.
+
+use std::collections::BTreeMap;
+
+use crate::formula::Formula;
+use crate::query::Query;
+use crate::term::{Term, Var};
+
+use crate::formula::fresh_var;
+
+/// Instantiate the parent body with its head variables replaced by `targets`
+/// (bound variables renamed apart first).
+fn instantiate_parent(parent: &Query, targets: &[Term]) -> Formula {
+    assert_eq!(
+        parent.arity(),
+        targets.len(),
+        "register arity {} does not match parent query arity {}",
+        targets.len(),
+        parent.arity()
+    );
+    let body = parent.body().freshen_bound();
+    let map: BTreeMap<Var, Term> = parent
+        .head_vars()
+        .into_iter()
+        .zip(targets.iter().cloned())
+        .collect();
+    body.substitute(&map)
+}
+
+/// Tuple-register composition: `∃z̄ (parent(z̄) ∧ child[Reg(t̄) ↦ t̄ = z̄])`.
+///
+/// Sound when the child's register holds a single tuple — the defining
+/// property of `PT(L, tuple, O)`.
+pub fn compose_tuple_register(child_body: &Formula, parent: &Query) -> Formula {
+    let n = parent.arity();
+    let zs: Vec<Var> = (0..n).map(|i| fresh_var(&format!("z{i}_"))).collect();
+    let z_terms: Vec<Term> = zs.iter().cloned().map(Term::Var).collect();
+    let parent_inst = instantiate_parent(parent, &z_terms);
+    let rewritten = child_body.map_reg(&mut |args: &[Term]| {
+        assert_eq!(args.len(), n, "register atom arity mismatch in composition");
+        Formula::and(
+            args.iter()
+                .zip(z_terms.iter())
+                .map(|(a, z)| Formula::Eq(a.clone(), z.clone())),
+        )
+    });
+    Formula::exists(zs, Formula::and([parent_inst, rewritten]))
+}
+
+/// Relation-register composition, exact with respect to grouping.
+///
+/// A relation register holds one *group* `{d̄} × {ē | φ(d̄; ē)}` of the
+/// parent query's result (Section 3): all register tuples share the
+/// `x̄`-prefix `d̄`. Composition therefore (a) asserts the group exists
+/// (`∃w̄ v̄ parent(w̄ · v̄)` for the shared prefix `w̄`), and (b) rewrites each
+/// `Reg(t̄)` to "`t̄` has prefix `w̄` and is in the parent's result", with a
+/// fresh copy of the parent body per occurrence — different `Reg` atoms may
+/// bind different tuples of the same group.
+pub fn compose_relation_register(child_body: &Formula, parent: &Query) -> Formula {
+    let k = parent.group_vars().len();
+    let ws: Vec<Var> = (0..k).map(|i| fresh_var(&format!("w{i}_"))).collect();
+    let w_terms: Vec<Term> = ws.iter().cloned().map(Term::Var).collect();
+    // the group exists: some row of the parent result carries prefix w̄
+    let rest: Vec<Var> = (0..parent.rest_vars().len())
+        .map(|i| fresh_var(&format!("v{i}_")))
+        .collect();
+    let mut exist_terms = w_terms.clone();
+    exist_terms.extend(rest.iter().cloned().map(Term::Var));
+    let existence = Formula::exists(rest, instantiate_parent(parent, &exist_terms));
+    let rewritten = child_body.map_reg(&mut |args: &[Term]| {
+        assert_eq!(
+            args.len(),
+            parent.arity(),
+            "register atom arity mismatch in composition"
+        );
+        let prefix_eqs = args
+            .iter()
+            .zip(w_terms.iter())
+            .map(|(a, w)| Formula::Eq(a.clone(), w.clone()));
+        Formula::and(
+            prefix_eqs.chain(std::iter::once(instantiate_parent(parent, args))),
+        )
+    });
+    Formula::exists(ws, Formula::and([existence, rewritten]))
+}
+
+/// Replace every register atom by `false`: the root register is the empty
+/// nullary relation (Definition 3.1 fixes `Θ(r) = 0` and the root starts
+/// with empty storage), so start-rule queries can never draw from it.
+pub fn close_root_register(body: &Formula) -> Formula {
+    body.map_reg(&mut |_args: &[Term]| Formula::False)
+}
+
+/// Compose the queries along a root-to-node path into a single register-free
+/// query over the base schema.
+///
+/// `path[0]` is a start-rule query (its `Reg` atoms are closed to `false`);
+/// each subsequent query reads the register produced by its predecessor.
+/// `tuple_registers` selects the composition operator.
+pub fn compose_path(path: &[Query], tuple_registers: bool) -> Query {
+    assert!(!path.is_empty(), "cannot compose an empty path");
+    let mut acc = path[0]
+        .with_body(close_root_register(path[0].body()))
+        .expect("closing the root register preserves head variables");
+    for q in &path[1..] {
+        let body = if tuple_registers {
+            compose_tuple_register(q.body(), &acc)
+        } else {
+            compose_relation_register(q.body(), &acc)
+        };
+        acc = q
+            .with_body(body)
+            .expect("composition preserves head variables");
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use pt_relational::{rel, Instance, Relation, Value};
+
+    /// Run a query cascade directly: evaluate q1 on I, then for each result
+    /// group feed the register into q2, collecting all rows — the reference
+    /// semantics composition must match.
+    fn cascade(
+        q1: &Query,
+        q2: &Query,
+        inst: &Instance,
+        tuple_registers: bool,
+    ) -> Relation {
+        let root_reg = Relation::new();
+        let mut out = Relation::new();
+        let groups = q1.groups(inst, Some(&root_reg)).unwrap();
+        for (_, reg) in groups {
+            if tuple_registers {
+                // every group register is a single tuple in tuple mode
+                assert_eq!(reg.len(), 1);
+            }
+            for row in q2.eval(inst, Some(&reg)).unwrap().iter() {
+                out.insert(row.clone());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tuple_composition_matches_cascade() {
+        let q1 = parse_query("(c, t) <- exists d (course(c, t, d) and d = 'CS')").unwrap();
+        let q2 = parse_query("(p) <- exists c t (Reg(c, t) and prereq(c, p))").unwrap();
+        let inst = Instance::new()
+            .with(
+                "course",
+                rel![["c1", "DB", "CS"], ["c2", "AI", "CS"], ["c3", "Eth", "PH"]],
+            )
+            .with("prereq", rel![["c1", "c0"], ["c2", "c1"], ["c3", "c1"]]);
+        let composed = compose_path(&[q1.clone(), q2.clone()], true);
+        let direct = composed.eval(&inst, Some(&Relation::new())).unwrap();
+        let expected = cascade(&q1, &q2, &inst, true);
+        assert_eq!(direct, expected);
+        assert!(direct.contains(&[Value::str("c0")]));
+        assert!(direct.contains(&[Value::str("c1")]));
+        assert_eq!(direct.len(), 2);
+    }
+
+    #[test]
+    fn tuple_composition_shares_one_register_tuple() {
+        // child uses Reg twice: both must denote the same tuple
+        let q1 = parse_query("(x, y) <- r(x, y)").unwrap();
+        let q2 = parse_query(
+            "(u) <- exists a b c d (Reg(a, b) and Reg(c, d) and s(a, d, u))",
+        )
+        .unwrap();
+        let inst = Instance::new()
+            .with("r", rel![[1, 2], [3, 4]])
+            .with("s", rel![[1, 4, 99], [1, 2, 7], [3, 4, 8]]);
+        let composed = compose_path(&[q1.clone(), q2.clone()], true);
+        let direct = composed.eval(&inst, Some(&Relation::new())).unwrap();
+        // cascade: registers are (1,2) and (3,4); s(1,2,7) and s(3,4,8) fire,
+        // s(1,4,99) must NOT (it mixes two register tuples).
+        let expected = cascade(&q1, &q2, &inst, true);
+        assert_eq!(direct, expected);
+        assert!(!direct.contains(&[Value::int(99)]));
+        assert_eq!(direct.len(), 2);
+    }
+
+    #[test]
+    fn relation_composition_mixes_tuples() {
+        // same query, relation registers: one child whose register holds the
+        // WHOLE result of q1, so Reg atoms may bind different tuples.
+        let q1 = parse_query("(; x, y) <- r(x, y)").unwrap();
+        let q2 = parse_query(
+            "(u) <- exists a b c d (Reg(a, b) and Reg(c, d) and s(a, d, u))",
+        )
+        .unwrap();
+        let inst = Instance::new()
+            .with("r", rel![[1, 2], [3, 4]])
+            .with("s", rel![[1, 4, 99], [1, 2, 7], [3, 4, 8]]);
+        let composed = compose_path(&[q1.clone(), q2.clone()], false);
+        let direct = composed.eval(&inst, Some(&Relation::new())).unwrap();
+        let expected = cascade(&q1, &q2, &inst, false);
+        assert_eq!(direct, expected);
+        // now the mixed match fires
+        assert!(direct.contains(&[Value::int(99)]));
+        assert_eq!(direct.len(), 3);
+    }
+
+    #[test]
+    fn grouped_relation_composition_respects_groups() {
+        // parent groups by x: registers are {(1,2),(1,3)} and {(2,9)}.
+        // The child pairs register tuples: mixing across groups must NOT
+        // occur.
+        let q1 = parse_query("(x; y) <- r(x, y)").unwrap();
+        let q2 = parse_query(
+            "(u, v) <- exists a b c d (Reg(a, b) and Reg(c, d) and b != d and u = b and v = d)",
+        )
+        .unwrap();
+        let inst = Instance::new().with("r", rel![[1, 2], [1, 3], [2, 9]]);
+        let composed = compose_path(&[q1.clone(), q2.clone()], false);
+        let direct = composed.eval(&inst, Some(&Relation::new())).unwrap();
+        let expected = cascade(&q1, &q2, &inst, false);
+        assert_eq!(direct, expected);
+        // within group x=1: pairs (2,3) and (3,2); cross-group (2,9) etc. absent
+        assert!(direct.contains(&[Value::int(2), Value::int(3)]));
+        assert!(!direct.contains(&[Value::int(2), Value::int(9)]));
+        assert_eq!(direct.len(), 2);
+    }
+
+    #[test]
+    fn relation_composition_requires_parent_nonempty() {
+        // child query ignores Reg entirely; composition must still demand
+        // that the parent spawned a node at all
+        let q1 = parse_query("(; x) <- r(x)").unwrap();
+        let q2 = parse_query("(y) <- s(y)").unwrap();
+        let composed = compose_path(&[q1, q2], false);
+        let no_parent = Instance::new().with("s", rel![[7]]);
+        assert!(composed
+            .eval(&no_parent, Some(&Relation::new()))
+            .unwrap()
+            .is_empty());
+        let with_parent = Instance::new().with("r", rel![[1]]).with("s", rel![[7]]);
+        assert_eq!(
+            composed
+                .eval(&with_parent, Some(&Relation::new()))
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn root_register_closed() {
+        let q = parse_query("(x) <- Reg(x) or r(x)").unwrap();
+        let closed = close_root_register(q.body());
+        assert!(!closed.uses_reg());
+        let inst = Instance::new().with("r", rel![[5]]);
+        let q2 = q.with_body(closed).unwrap();
+        let out = q2.eval(&inst, Some(&Relation::new())).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn composition_stays_cq() {
+        let q1 = parse_query("(x) <- r(x)").unwrap();
+        let q2 = parse_query("(y) <- exists x (Reg(x) and s(x, y))").unwrap();
+        let composed = compose_path(&[q1, q2], true);
+        assert_eq!(composed.fragment(), crate::Fragment::CQ);
+    }
+
+    #[test]
+    fn three_level_composition() {
+        let q1 = parse_query("(x) <- r(x)").unwrap();
+        let q2 = parse_query("(y) <- exists x (Reg(x) and e(x, y))").unwrap();
+        let q3 = parse_query("(z) <- exists y (Reg(y) and e(y, z))").unwrap();
+        let inst = Instance::new()
+            .with("r", rel![[0]])
+            .with("e", rel![[0, 1], [1, 2], [2, 3]]);
+        let composed = compose_path(&[q1, q2, q3], true);
+        let out = composed.eval(&inst, Some(&Relation::new())).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&[Value::int(2)]));
+    }
+}

@@ -1,0 +1,738 @@
+//! Structural conjunctive queries with `=` and `≠`.
+//!
+//! This module implements the CQ-specific machinery the paper's decision
+//! procedures rely on:
+//!
+//! * [`ConjunctiveQuery`] — a flattened CQ: head terms, relational atoms,
+//!   equality and inequality constraints (all non-head variables implicitly
+//!   existential),
+//! * [`ConjunctiveQuery::is_satisfiable`] — the PTIME equivalence-class
+//!   algorithm of Theorem 1(1): close the equalities, then look for a class
+//!   with two distinct constants or an inequality inside a class,
+//! * [`ConjunctiveQuery::canonical_instances`] — all canonical databases of
+//!   the query, one per consistent identification of its terms (the
+//!   "order-preserving valuations" of Klug's containment criterion as
+//!   specialized to `=`/`≠` constraints),
+//! * [`contained_in_union`] / [`ucq_equivalent`] — containment and
+//!   equivalence of (unions of) CQs with `≠` via canonical databases,
+//! * [`ConjunctiveQuery::reduce`] and [`c_equivalent`] — the reduced query
+//!   `Q^r` and the cardinality-preserving equivalence `≡_c` of Claim 3,
+//!   used by the transducer-equivalence characterization (Claim 4).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use pt_relational::{Instance, Relation, Tuple, Value};
+
+use crate::eval::Evaluator;
+use crate::formula::Formula;
+use crate::query::Query;
+use crate::term::{Term, Var};
+
+/// Predicate of a CQ atom: a base relation or the register.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum PredName {
+    Base(String),
+    Reg,
+}
+
+/// A flattened conjunctive query with `=` and `≠`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    /// Distinguished (output) terms; variables or constants.
+    pub head: Vec<Term>,
+    /// Relational atoms.
+    pub atoms: Vec<(PredName, Vec<Term>)>,
+    /// Equality constraints.
+    pub eqs: Vec<(Term, Term)>,
+    /// Inequality constraints.
+    pub neqs: Vec<(Term, Term)>,
+}
+
+impl ConjunctiveQuery {
+    /// Flatten a CQ-fragment formula into structural form.
+    ///
+    /// Bound variables are renamed apart first, after which the binding
+    /// structure can be discarded: every non-head variable is existential.
+    /// Fails if the formula is not in the CQ fragment.
+    pub fn from_formula(head: Vec<Term>, body: &Formula) -> Result<Self, String> {
+        let body = body.freshen_bound();
+        let mut q = ConjunctiveQuery {
+            head,
+            atoms: Vec::new(),
+            eqs: Vec::new(),
+            neqs: Vec::new(),
+        };
+        fn walk(f: &Formula, q: &mut ConjunctiveQuery) -> Result<(), String> {
+            match f {
+                Formula::True => Ok(()),
+                Formula::False => {
+                    // inject an unsatisfiable constraint
+                    q.eqs.push((Term::Const(Value::int(0)), Term::Const(Value::int(1))));
+                    Ok(())
+                }
+                Formula::Rel(name, args) => {
+                    q.atoms.push((PredName::Base(name.clone()), args.clone()));
+                    Ok(())
+                }
+                Formula::Reg(args) => {
+                    q.atoms.push((PredName::Reg, args.clone()));
+                    Ok(())
+                }
+                Formula::Eq(a, b) => {
+                    q.eqs.push((a.clone(), b.clone()));
+                    Ok(())
+                }
+                Formula::Neq(a, b) => {
+                    q.neqs.push((a.clone(), b.clone()));
+                    Ok(())
+                }
+                Formula::And(fs) => fs.iter().try_for_each(|g| walk(g, q)),
+                Formula::Exists(_, g) => walk(g, q),
+                other => Err(format!("not in the CQ fragment: {other}")),
+            }
+        }
+        walk(&body, &mut q)?;
+        Ok(q)
+    }
+
+    /// Flatten a head-split [`Query`] (its `x̄ · ȳ` head becomes the CQ head).
+    pub fn from_query(q: &Query) -> Result<Self, String> {
+        let head = q.head_vars().into_iter().map(Term::Var).collect();
+        ConjunctiveQuery::from_formula(head, q.body())
+    }
+
+    /// Rebuild a formula `∃ nonhead (atoms ∧ eqs ∧ neqs)`.
+    pub fn to_formula(&self) -> Formula {
+        let mut parts: Vec<Formula> = Vec::new();
+        for (pred, args) in &self.atoms {
+            parts.push(match pred {
+                PredName::Base(name) => Formula::Rel(name.clone(), args.clone()),
+                PredName::Reg => Formula::Reg(args.clone()),
+            });
+        }
+        for (a, b) in &self.eqs {
+            parts.push(Formula::Eq(a.clone(), b.clone()));
+        }
+        for (a, b) in &self.neqs {
+            parts.push(Formula::Neq(a.clone(), b.clone()));
+        }
+        let body = Formula::and(parts);
+        let head_vars: BTreeSet<Var> =
+            self.head.iter().filter_map(Term::as_var).cloned().collect();
+        let bound: Vec<Var> = body
+            .free_vars()
+            .into_iter()
+            .filter(|v| !head_vars.contains(v))
+            .collect();
+        Formula::exists(bound, body)
+    }
+
+    /// Every variable occurring anywhere in the query.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        let mut add = |ts: &[Term]| {
+            out.extend(ts.iter().filter_map(Term::as_var).cloned());
+        };
+        add(&self.head);
+        for (_, args) in &self.atoms {
+            add(args);
+        }
+        for (a, b) in self.eqs.iter().chain(self.neqs.iter()) {
+            add(std::slice::from_ref(a));
+            add(std::slice::from_ref(b));
+        }
+        out
+    }
+
+    /// Every constant occurring anywhere in the query.
+    pub fn constants(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        let mut add = |ts: &[Term]| {
+            out.extend(ts.iter().filter_map(Term::as_const).cloned());
+        };
+        add(&self.head);
+        for (_, args) in &self.atoms {
+            add(args);
+        }
+        for (a, b) in self.eqs.iter().chain(self.neqs.iter()) {
+            add(std::slice::from_ref(a));
+            add(std::slice::from_ref(b));
+        }
+        out
+    }
+
+    /// Equivalence classes of terms induced by the equalities, or `None`
+    /// when the equalities merge two distinct constants.
+    fn eq_classes(&self) -> Option<Vec<TermClass>> {
+        let mut terms: Vec<Term> = Vec::new();
+        let mut index = BTreeMap::new();
+        let intern = |t: &Term, terms: &mut Vec<Term>, index: &mut BTreeMap<Term, usize>| {
+            *index.entry(t.clone()).or_insert_with(|| {
+                terms.push(t.clone());
+                terms.len() - 1
+            })
+        };
+        let mut all_terms: Vec<Term> = Vec::new();
+        all_terms.extend(self.head.iter().cloned());
+        for (_, args) in &self.atoms {
+            all_terms.extend(args.iter().cloned());
+        }
+        for (a, b) in self.eqs.iter().chain(self.neqs.iter()) {
+            all_terms.push(a.clone());
+            all_terms.push(b.clone());
+        }
+        for t in &all_terms {
+            intern(t, &mut terms, &mut index);
+        }
+
+        let mut uf = UnionFind::new(terms.len());
+        for (a, b) in &self.eqs {
+            let (i, j) = (index[a], index[b]);
+            uf.union(i, j);
+        }
+        // gather classes
+        let mut classes: BTreeMap<usize, TermClass> = BTreeMap::new();
+        for (i, t) in terms.iter().enumerate() {
+            let root = uf.find(i);
+            let class = classes.entry(root).or_default();
+            match t {
+                Term::Const(c) => {
+                    if let Some(existing) = &class.value {
+                        if existing != c {
+                            return None; // two distinct constants merged
+                        }
+                    } else {
+                        class.value = Some(c.clone());
+                    }
+                }
+                Term::Var(v) => {
+                    class.vars.insert(v.clone());
+                }
+            }
+        }
+        let order: Vec<usize> = classes.keys().copied().collect();
+        let mut result: Vec<TermClass> = order.into_iter().map(|k| classes[&k].clone()).collect();
+        // record which class each term belongs to
+        for (i, t) in terms.iter().enumerate() {
+            let root = uf.find(i);
+            let pos = classes.keys().position(|k| *k == root).unwrap();
+            result[pos].members.insert(t.clone());
+        }
+        Some(result)
+    }
+
+    /// The PTIME satisfiability test of Theorem 1(1): close equalities into
+    /// classes, then reject iff a class merges two distinct constants or an
+    /// inequality relates two terms of the same class.
+    pub fn is_satisfiable(&self) -> bool {
+        let Some(classes) = self.eq_classes() else {
+            return false;
+        };
+        let class_of = |t: &Term| classes.iter().position(|c| c.members.contains(t));
+        for (a, b) in &self.neqs {
+            match (class_of(a), class_of(b)) {
+                (Some(i), Some(j)) if i == j => return false,
+                (Some(i), Some(j)) => {
+                    // x ≠ y where both classes carry the same constant value
+                    if let (Some(u), Some(v)) = (&classes[i].value, &classes[j].value) {
+                        if u == v {
+                            return false;
+                        }
+                    }
+                }
+                _ => {
+                    // a term appearing only in a neq: intern missed it; treat
+                    // conservatively by direct comparison
+                    if a == b {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// All canonical databases of the query: one per consistent partition of
+    /// its equivalence classes (identifying classes the constraints allow to
+    /// coincide). Each entry carries the frozen instance, the image of the
+    /// head, and the image of the register atoms.
+    ///
+    /// `other_constants` lists the constants of the queries on the other
+    /// side of a containment test. They matter twice: fresh values must not
+    /// collide with them, and — crucially for completeness — each variable
+    /// class must also be *identifiable* with them, since a valuation may
+    /// map a variable of this query onto a constant the other query tests
+    /// for. They join the partition enumeration as value-bearing
+    /// pseudo-classes.
+    pub fn canonical_instances(&self, other_constants: &BTreeSet<Value>) -> Vec<CanonicalDb> {
+        let Some(mut classes) = self.eq_classes() else {
+            return Vec::new();
+        };
+        let avoid = other_constants;
+        let known: BTreeSet<Value> = classes
+            .iter()
+            .filter_map(|c| c.value.clone())
+            .collect();
+        for value in other_constants {
+            if !known.contains(value) {
+                classes.push(TermClass {
+                    members: BTreeSet::new(),
+                    vars: BTreeSet::new(),
+                    value: Some(value.clone()),
+                });
+            }
+        }
+        // inequality edges between base classes
+        let class_of = |t: &Term| classes.iter().position(|c| c.members.contains(t));
+        let mut neq_edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (a, b) in &self.neqs {
+            if let (Some(i), Some(j)) = (class_of(a), class_of(b)) {
+                if i == j {
+                    return Vec::new(); // unsatisfiable
+                }
+                neq_edges.insert((i.min(j), i.max(j)));
+            }
+        }
+
+        let n = classes.len();
+        let mut results = Vec::new();
+        // enumerate partitions of the n classes via restricted growth strings
+        let mut assignment: Vec<usize> = Vec::with_capacity(n);
+        enumerate_partitions(
+            n,
+            &mut assignment,
+            &mut |assignment: &[usize]| {
+                // constraint: no two classes with distinct constants merged;
+                // no neq edge within a merged group
+                let groups = assignment.iter().copied().max().map_or(0, |m| m + 1);
+                let mut group_value: Vec<Option<Value>> = vec![None; groups];
+                for (ci, &g) in assignment.iter().enumerate() {
+                    if let Some(v) = &classes[ci].value {
+                        match &group_value[g] {
+                            Some(existing) if existing != v => return false,
+                            _ => group_value[g] = Some(v.clone()),
+                        }
+                    }
+                }
+                for &(i, j) in &neq_edges {
+                    // `assignment` may be a prefix during pruning
+                    if i < assignment.len()
+                        && j < assignment.len()
+                        && assignment[i] == assignment[j]
+                    {
+                        return false;
+                    }
+                }
+                true
+            },
+            &mut |assignment: &[usize]| {
+                results.push(self.freeze(&classes, assignment, avoid));
+            },
+        );
+        results
+    }
+
+    /// Build the canonical database for one partition.
+    fn freeze(
+        &self,
+        classes: &[TermClass],
+        assignment: &[usize],
+        avoid: &BTreeSet<Value>,
+    ) -> CanonicalDb {
+        let groups = assignment.iter().copied().max().map_or(0, |m| m + 1);
+        let mut group_value: Vec<Option<Value>> = vec![None; groups];
+        for (ci, &g) in assignment.iter().enumerate() {
+            if let Some(v) = &classes[ci].value {
+                group_value[g] = Some(v.clone());
+            }
+        }
+        let mut taken: BTreeSet<Value> = avoid.clone();
+        taken.extend(self.constants());
+        let mut counter = 0usize;
+        let values: Vec<Value> = group_value
+            .into_iter()
+            .map(|gv| {
+                gv.unwrap_or_else(|| loop {
+                    let candidate = Value::str(format!("⟂{counter}"));
+                    counter += 1;
+                    if !taken.contains(&candidate) {
+                        taken.insert(candidate.clone());
+                        break candidate;
+                    }
+                })
+            })
+            .collect();
+        let valuate = |t: &Term| -> Value {
+            let ci = classes
+                .iter()
+                .position(|c| c.members.contains(t))
+                .expect("term must belong to a class");
+            values[assignment[ci]].clone()
+        };
+        let mut instance = Instance::new();
+        let mut reg = Relation::new();
+        for (pred, args) in &self.atoms {
+            let tuple: Tuple = args.iter().map(&valuate).collect();
+            match pred {
+                PredName::Base(name) => instance.insert(name, tuple),
+                PredName::Reg => {
+                    reg.insert(tuple);
+                }
+            }
+        }
+        let head: Tuple = self.head.iter().map(&valuate).collect();
+        CanonicalDb {
+            instance,
+            register: reg,
+            head,
+        }
+    }
+
+    /// The reduced query `Q^r` of Claim 3: drop head positions whose class is
+    /// *constant* — it has a value, or none of its variables occur in a
+    /// relational atom — and positions duplicating an earlier head class.
+    pub fn reduce(&self) -> ConjunctiveQuery {
+        let Some(classes) = self.eq_classes() else {
+            // unsatisfiable: reduction is irrelevant, return as-is
+            return self.clone();
+        };
+        let class_of = |t: &Term| classes.iter().position(|c| c.members.contains(t));
+        let atom_vars: BTreeSet<Var> = self
+            .atoms
+            .iter()
+            .flat_map(|(_, args)| args.iter().filter_map(Term::as_var).cloned())
+            .collect();
+        let is_constant_class = |ci: usize| -> bool {
+            classes[ci].value.is_some()
+                || classes[ci].vars.iter().all(|v| !atom_vars.contains(v))
+        };
+        let mut kept = Vec::new();
+        let mut seen_classes = BTreeSet::new();
+        for t in &self.head {
+            let Some(ci) = class_of(t) else { continue };
+            if is_constant_class(ci) || !seen_classes.insert(ci) {
+                continue;
+            }
+            kept.push(t.clone());
+        }
+        ConjunctiveQuery {
+            head: kept,
+            atoms: self.atoms.clone(),
+            eqs: self.eqs.clone(),
+            neqs: self.neqs.clone(),
+        }
+    }
+}
+
+/// A canonical database: the frozen atoms of a CQ under one valuation,
+/// together with the head image and the register image.
+#[derive(Clone, Debug)]
+pub struct CanonicalDb {
+    pub instance: Instance,
+    pub register: Relation,
+    pub head: Tuple,
+}
+
+#[derive(Clone, Default, Debug)]
+struct TermClass {
+    members: BTreeSet<Term>,
+    vars: BTreeSet<Var>,
+    value: Option<Value>,
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+    fn union(&mut self, i: usize, j: usize) {
+        let (ri, rj) = (self.find(i), self.find(j));
+        if ri != rj {
+            self.parent[ri] = rj;
+        }
+    }
+}
+
+/// Enumerate set partitions of `{0..n}` as restricted-growth strings,
+/// pruning with `ok` at every prefix and reporting complete partitions to
+/// `emit`.
+fn enumerate_partitions(
+    n: usize,
+    assignment: &mut Vec<usize>,
+    ok: &mut impl FnMut(&[usize]) -> bool,
+    emit: &mut impl FnMut(&[usize]),
+) {
+    if assignment.len() == n {
+        emit(assignment);
+        return;
+    }
+    let next_group = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    for g in 0..=next_group {
+        assignment.push(g);
+        if ok(assignment) {
+            enumerate_partitions(n, assignment, ok, emit);
+        }
+        assignment.pop();
+    }
+}
+
+/// Whether a single CQ is contained in a union of CQs (all with `≠`),
+/// by the canonical-database criterion: for every canonical database of
+/// `q`, some disjunct of `others` produces the head image.
+pub fn contained_in_union(q: &ConjunctiveQuery, others: &[ConjunctiveQuery]) -> bool {
+    let mut avoid: BTreeSet<Value> = BTreeSet::new();
+    for o in others {
+        avoid.extend(o.constants());
+    }
+    for db in q.canonical_instances(&avoid) {
+        let mut witnessed = false;
+        for o in others {
+            if o.head.len() != q.head.len() {
+                continue;
+            }
+            let formula = o.to_formula();
+            let head_vars: Vec<Var> = collect_head_vars(o);
+            let ev = Evaluator::for_formula(&db.instance, Some(&db.register), &formula);
+            let Ok(b) = ev.eval(&formula) else { continue };
+            let b = b.cylindrify(&head_vars, ev.adom());
+            // project in the order of o's head, materializing constants
+            let mut produced = false;
+            'rows: for row in b.rows() {
+                for (pos, t) in o.head.iter().enumerate() {
+                    let val = match t {
+                        Term::Const(c) => c.clone(),
+                        Term::Var(v) => {
+                            let i = head_vars.iter().position(|u| u == v).unwrap();
+                            row[i].clone()
+                        }
+                    };
+                    if val != db.head[pos] {
+                        continue 'rows;
+                    }
+                }
+                produced = true;
+                break;
+            }
+            if produced {
+                witnessed = true;
+                break;
+            }
+        }
+        if !witnessed {
+            return false;
+        }
+    }
+    true
+}
+
+fn collect_head_vars(q: &ConjunctiveQuery) -> Vec<Var> {
+    let mut out = Vec::new();
+    for t in &q.head {
+        if let Term::Var(v) = t {
+            if !out.contains(v) {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
+}
+
+/// UCQ containment: every disjunct of `lhs` is contained in the union `rhs`.
+pub fn ucq_contained(lhs: &[ConjunctiveQuery], rhs: &[ConjunctiveQuery]) -> bool {
+    lhs.iter().all(|q| contained_in_union(q, rhs))
+}
+
+/// UCQ equivalence: mutual containment.
+pub fn ucq_equivalent(lhs: &[ConjunctiveQuery], rhs: &[ConjunctiveQuery]) -> bool {
+    ucq_contained(lhs, rhs) && ucq_contained(rhs, lhs)
+}
+
+/// The cardinality-preserving equivalence `≡_c` of Claim 3, extended to
+/// unions as in Claim 4: reduce every disjunct, then test UCQ equivalence.
+pub fn c_equivalent(lhs: &[ConjunctiveQuery], rhs: &[ConjunctiveQuery]) -> bool {
+    let lr: Vec<ConjunctiveQuery> = lhs.iter().map(ConjunctiveQuery::reduce).collect();
+    let rr: Vec<ConjunctiveQuery> = rhs.iter().map(ConjunctiveQuery::reduce).collect();
+    ucq_equivalent(&lr, &rr)
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head: Vec<String> = self.head.iter().map(|t| t.to_string()).collect();
+        write!(f, "({}) <- {}", head.join(", "), self.to_formula())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_formula;
+    use crate::term::{cst, var};
+
+    fn cq(head: &[&str], body: &str) -> ConjunctiveQuery {
+        let head = head.iter().map(|h| var(h)).collect();
+        ConjunctiveQuery::from_formula(head, &parse_formula(body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn flattening_collects_parts() {
+        let q = cq(&["x"], "exists y (r(x, y) and x != y and y = 1)");
+        assert_eq!(q.atoms.len(), 1);
+        assert_eq!(q.eqs.len(), 1);
+        assert_eq!(q.neqs.len(), 1);
+    }
+
+    #[test]
+    fn flattening_rejects_fo() {
+        let head = vec![var("x")];
+        let f = parse_formula("not (r(x))").unwrap();
+        assert!(ConjunctiveQuery::from_formula(head, &f).is_err());
+    }
+
+    #[test]
+    fn satisfiability_basic() {
+        assert!(cq(&["x"], "r(x)").is_satisfiable());
+        assert!(!cq(&["x"], "r(x) and x = 1 and x = 2").is_satisfiable());
+        assert!(!cq(&["x"], "r(x) and x != x").is_satisfiable());
+        assert!(!cq(&["x"], "r(x, y) and x = y and x != y").is_satisfiable());
+        assert!(cq(&["x"], "r(x, y) and x != y").is_satisfiable());
+        // chained equalities propagate
+        assert!(!cq(&["x"], "x = y and y = z and x != z and r(x, y, z)").is_satisfiable());
+        // equalities to the same constant through different variables
+        assert!(!cq(&["x"], "x = 1 and y = 1 and x != y and r(x, y)").is_satisfiable());
+    }
+
+    #[test]
+    fn satisfiability_matches_canonical_instances() {
+        let sat = cq(&["x"], "r(x, y) and x != y");
+        assert!(!sat.canonical_instances(&BTreeSet::new()).is_empty());
+        let unsat = cq(&["x"], "r(x) and x = 1 and x != 1");
+        assert!(unsat.canonical_instances(&BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn canonical_instances_enumerate_identifications() {
+        // two free variables, no constraints: partitions {xy}, {x|y}
+        let q = cq(&["x", "y"], "r(x) and r(y)");
+        let dbs = q.canonical_instances(&BTreeSet::new());
+        assert_eq!(dbs.len(), 2);
+        // with x != y only the discrete partition remains
+        let q2 = cq(&["x", "y"], "r(x) and r(y) and x != y");
+        assert_eq!(q2.canonical_instances(&BTreeSet::new()).len(), 1);
+    }
+
+    #[test]
+    fn containment_plain() {
+        // r(x,y) ∧ y=1 ⊆ r(x,z)
+        let q1 = cq(&["x"], "r(x, y) and y = 1");
+        let q2 = cq(&["x"], "r(x, z)");
+        assert!(contained_in_union(&q1, &[q2.clone()]));
+        assert!(!contained_in_union(&q2, &[q1]));
+    }
+
+    #[test]
+    fn containment_with_neq_needs_all_identifications() {
+        // Classic: Q1(x,y) <- r(x),r(y) is NOT contained in
+        // Q2(x,y) <- r(x),r(y),x!=y (identify x=y to break it),
+        // but it IS contained in Q2 ∪ Q3 where Q3 has x=y.
+        let q1 = cq(&["x", "y"], "r(x) and r(y)");
+        let q2 = cq(&["x", "y"], "r(x) and r(y) and x != y");
+        let q3 = cq(&["x", "y"], "r(x) and r(y) and x = y");
+        assert!(!contained_in_union(&q1, &[q2.clone()]));
+        assert!(contained_in_union(&q1, &[q2.clone(), q3.clone()]));
+        assert!(ucq_equivalent(
+            &[q1],
+            &[q2, q3]
+        ));
+    }
+
+    #[test]
+    fn containment_respects_constants() {
+        let q1 = cq(&["x"], "r(x) and x = 'a'");
+        let q2 = cq(&["x"], "r(x) and x = 'b'");
+        assert!(!contained_in_union(&q1, &[q2.clone()]));
+        assert!(contained_in_union(&q1, &[q2, cq(&["x"], "r(x)")]));
+    }
+
+    #[test]
+    fn containment_identifies_vars_with_foreign_constants() {
+        // r(x) is NOT contained in r(x) ∧ x ≠ 0: the valuation x ↦ 0
+        // breaks it even though 0 never appears in the left query.
+        let q1 = cq(&["x"], "r(x)");
+        let q2 = cq(&["x"], "r(x) and x != 0");
+        assert!(!contained_in_union(&q1, &[q2.clone()]));
+        assert!(contained_in_union(&q2, &[q1.clone()]));
+        assert!(!ucq_equivalent(&[q1.clone()], &[q2.clone()]));
+        // with the x = 0 disjunct restored, containment holds again
+        let q3 = cq(&["x"], "r(x) and x = 0");
+        assert!(ucq_equivalent(&[q1], &[q2, q3]));
+    }
+
+    #[test]
+    fn containment_head_constants() {
+        let mut q1 = cq(&["x"], "r(x)");
+        q1.head = vec![cst("k")];
+        let mut q2 = cq(&["y"], "r(y)");
+        q2.head = vec![cst("k")];
+        assert!(contained_in_union(&q1, &[q2]));
+    }
+
+    #[test]
+    fn equivalence_modulo_renaming() {
+        let q1 = cq(&["x"], "exists y (r(x, y))");
+        let q2 = cq(&["u"], "exists w (r(u, w))");
+        assert!(ucq_equivalent(&[q1], &[q2]));
+    }
+
+    #[test]
+    fn reduce_drops_constant_and_duplicate_positions() {
+        // head (x, x, y, z) with y = 1: x duplicate, y constant
+        let q = cq(&["x", "w", "y", "z"], "r(x, z) and w = x and y = 1");
+        let r = q.reduce();
+        assert_eq!(r.head.len(), 2);
+        assert_eq!(r.head[0], var("x"));
+        assert_eq!(r.head[1], var("z"));
+    }
+
+    #[test]
+    fn reduce_drops_unrestricted_head_vars() {
+        // z appears in no atom: its class is "constant" per Claim 3 case (ii)
+        let q = cq(&["x", "z"], "r(x) and z != 5");
+        let r = q.reduce();
+        assert_eq!(r.head, vec![var("x")]);
+    }
+
+    #[test]
+    fn c_equivalence_ignores_constant_columns() {
+        // (x, 1) <- r(x)  vs  (2, x) <- r(x): same cardinality on every I
+        let mut q1 = cq(&["x"], "r(x)");
+        q1.head = vec![var("x"), cst(1)];
+        let mut q2 = cq(&["x"], "r(x)");
+        q2.head = vec![cst(2), var("x")];
+        assert!(c_equivalent(&[q1.clone()], &[q2]));
+        // but plain equivalence distinguishes them
+        let mut q3 = cq(&["x"], "r(x)");
+        q3.head = vec![var("x"), cst(1)];
+        assert!(ucq_equivalent(&[q1], &[q3]));
+    }
+
+    #[test]
+    fn roundtrip_to_formula() {
+        let q = cq(&["x"], "exists y (r(x, y) and y != 'z')");
+        let f = q.to_formula();
+        let q2 = ConjunctiveQuery::from_formula(vec![var("x")], &f).unwrap();
+        assert!(ucq_equivalent(&[q], &[q2]));
+    }
+}

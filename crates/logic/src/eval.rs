@@ -1,0 +1,942 @@
+//! Active-domain evaluation of CQ / FO / IFP formulas.
+//!
+//! A formula is evaluated over a database [`Instance`] plus an optional
+//! register relation (the local store `Reg_a(u)` of the node being expanded,
+//! Definition 3.1). Quantifiers range over the *active domain*: every value
+//! occurring in the instance, in the register, or as a constant of the
+//! formula. All queries in the paper are domain-independent, so this matches
+//! their semantics; it also keeps evaluation effective.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use pt_relational::{Instance, Relation, Tuple, Value};
+
+use crate::formula::Formula;
+use crate::term::{Term, Var};
+
+/// An evaluation failure (malformed query, missing register, arity clash).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, EvalError> {
+    Err(EvalError(msg.into()))
+}
+
+/// A finite set of variable assignments: the result of evaluating a formula.
+///
+/// Invariant: `vars` lists the formula's free variables (each exactly once);
+/// every row has `vars.len()` values.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Bindings {
+    vars: Vec<Var>,
+    rows: HashSet<Vec<Value>>,
+}
+
+impl Bindings {
+    /// The unit: no columns, one (empty) row. Identity for joins.
+    pub fn unit() -> Self {
+        Bindings {
+            vars: Vec::new(),
+            rows: HashSet::from([Vec::new()]),
+        }
+    }
+
+    /// No rows over the given columns.
+    pub fn empty(vars: Vec<Var>) -> Self {
+        Bindings {
+            vars,
+            rows: HashSet::new(),
+        }
+    }
+
+    /// The columns.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// The rows (unordered).
+    pub fn rows(&self) -> &HashSet<Vec<Value>> {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn col(&self, v: &Var) -> Option<usize> {
+        self.vars.iter().position(|u| u == v)
+    }
+
+    /// Natural join with `other` on shared columns.
+    pub fn join(&self, other: &Bindings) -> Bindings {
+        let shared: Vec<(usize, usize)> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| other.col(v).map(|j| (i, j)))
+            .collect();
+        let extra: Vec<usize> = (0..other.vars.len())
+            .filter(|j| !shared.iter().any(|(_, sj)| sj == j))
+            .collect();
+        let mut vars = self.vars.clone();
+        vars.extend(extra.iter().map(|&j| other.vars[j].clone()));
+
+        // index `other` by its shared-column values
+        let mut index: HashMap<Vec<&Value>, Vec<&Vec<Value>>> = HashMap::new();
+        for row in &other.rows {
+            let key: Vec<&Value> = shared.iter().map(|&(_, j)| &row[j]).collect();
+            index.entry(key).or_default().push(row);
+        }
+
+        let mut rows = HashSet::new();
+        for row in &self.rows {
+            let key: Vec<&Value> = shared.iter().map(|&(i, _)| &row[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for m in matches {
+                    let mut out = row.clone();
+                    out.extend(extra.iter().map(|&j| m[j].clone()));
+                    rows.insert(out);
+                }
+            }
+        }
+        Bindings { vars, rows }
+    }
+
+    /// Keep rows whose projection onto `other.vars ∩ self.vars` appears in
+    /// `other` (semi-join). `other`'s columns must all occur in `self`.
+    pub fn semi_join(&self, other: &Bindings, negated: bool) -> Bindings {
+        let positions: Vec<usize> = other
+            .vars
+            .iter()
+            .map(|v| self.col(v).expect("semi_join: column missing"))
+            .collect();
+        let keys: HashSet<Vec<&Value>> = other.rows.iter().map(|r| r.iter().collect()).collect();
+        let rows = self
+            .rows
+            .iter()
+            .filter(|row| {
+                let key: Vec<&Value> = positions.iter().map(|&i| &row[i]).collect();
+                keys.contains(&key) != negated
+            })
+            .cloned()
+            .collect();
+        Bindings {
+            vars: self.vars.clone(),
+            rows,
+        }
+    }
+
+    /// Project onto the given columns (deduplicating rows).
+    pub fn project(&self, keep: &[Var]) -> Bindings {
+        let positions: Vec<usize> = keep
+            .iter()
+            .map(|v| self.col(v).expect("project: column missing"))
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| positions.iter().map(|&i| row[i].clone()).collect())
+            .collect();
+        Bindings {
+            vars: keep.to_vec(),
+            rows,
+        }
+    }
+
+    /// Extend with every column of `target` not yet present, ranging over
+    /// `adom` (cylindrification).
+    pub fn cylindrify(&self, target: &[Var], adom: &[Value]) -> Bindings {
+        let missing: Vec<Var> = target
+            .iter()
+            .filter(|v| self.col(v).is_none())
+            .cloned()
+            .collect();
+        if missing.is_empty() {
+            return self.clone();
+        }
+        let mut vars = self.vars.clone();
+        vars.extend(missing.iter().cloned());
+        let mut rows: HashSet<Vec<Value>> = self.rows.clone();
+        for _ in &missing {
+            let mut next = HashSet::new();
+            for row in &rows {
+                for val in adom {
+                    let mut out = row.clone();
+                    out.push(val.clone());
+                    next.insert(out);
+                }
+            }
+            rows = next;
+        }
+        Bindings { vars, rows }
+    }
+
+    /// The complement: all assignments over `adom` for the same columns that
+    /// are not present.
+    pub fn complement(&self, adom: &[Value]) -> Bindings {
+        let all = Bindings::empty(Vec::new())
+            .with_unit_row()
+            .cylindrify(&self.vars, adom)
+            .project(&self.vars);
+        let rows = all.rows.difference(&self.rows).cloned().collect();
+        Bindings {
+            vars: self.vars.clone(),
+            rows,
+        }
+    }
+
+    fn with_unit_row(mut self) -> Bindings {
+        if self.vars.is_empty() {
+            self.rows.insert(Vec::new());
+        }
+        self
+    }
+
+    /// Union of two binding sets over the same column set (columns may be
+    /// ordered differently).
+    pub fn union(&self, other: &Bindings) -> Bindings {
+        let mut rows = self.rows.clone();
+        if other.vars == self.vars {
+            rows.extend(other.rows.iter().cloned());
+        } else {
+            let aligned = other.project(&self.vars);
+            rows.extend(aligned.rows);
+        }
+        Bindings {
+            vars: self.vars.clone(),
+            rows,
+        }
+    }
+
+    /// Extract the rows as a [`Relation`] with columns in `order`.
+    pub fn to_relation(&self, order: &[Var]) -> Relation {
+        let positions: Vec<usize> = order
+            .iter()
+            .map(|v| self.col(v).expect("to_relation: column missing"))
+            .collect();
+        let mut rel = Relation::new();
+        for row in &self.rows {
+            rel.insert(positions.iter().map(|&i| row[i].clone()).collect());
+        }
+        rel
+    }
+}
+
+/// Evaluator for formulas over a fixed instance, register, and active domain.
+pub struct Evaluator<'a> {
+    instance: &'a Instance,
+    register: Option<&'a Relation>,
+    adom: Vec<Value>,
+}
+
+type FixEnv = BTreeMap<String, Relation>;
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator whose active domain is the instance's values, the
+    /// register's values, and `formula`'s constants.
+    pub fn for_formula(
+        instance: &'a Instance,
+        register: Option<&'a Relation>,
+        formula: &Formula,
+    ) -> Self {
+        let mut adom: BTreeSet<Value> = instance.active_domain();
+        if let Some(reg) = register {
+            adom.extend(reg.active_domain());
+        }
+        adom.extend(formula.constants());
+        Evaluator {
+            instance,
+            register,
+            adom: adom.into_iter().collect(),
+        }
+    }
+
+    /// The active domain in sorted order.
+    pub fn adom(&self) -> &[Value] {
+        &self.adom
+    }
+
+    /// Evaluate the formula to its satisfying assignments.
+    pub fn eval(&self, f: &Formula) -> Result<Bindings, EvalError> {
+        self.eval_env(f, &FixEnv::new())
+    }
+
+    fn relation_for(&self, name: &str, env: &FixEnv) -> Relation {
+        if let Some(rel) = env.get(name) {
+            rel.clone()
+        } else {
+            self.instance.get(name)
+        }
+    }
+
+    fn eval_env(&self, f: &Formula, env: &FixEnv) -> Result<Bindings, EvalError> {
+        match f {
+            Formula::True => Ok(Bindings::unit()),
+            Formula::False => Ok(Bindings::empty(Vec::new())),
+            Formula::Rel(name, args) => {
+                let rel = self.relation_for(name, env);
+                self.from_atom(&rel, args, name)
+            }
+            Formula::Reg(args) => match self.register {
+                Some(reg) => self.from_atom(reg, args, "Reg"),
+                None => err("register atom used but no register supplied"),
+            },
+            Formula::Eq(a, b) => Ok(self.eval_eq(a, b)),
+            Formula::Neq(a, b) => Ok(self.eval_neq(a, b)),
+            Formula::And(fs) => self.eval_and(fs, env),
+            Formula::Or(fs) => {
+                let target: Vec<Var> = f.free_vars().into_iter().collect();
+                let mut acc = Bindings::empty(target.clone());
+                for g in fs {
+                    let b = self.eval_env(g, env)?.cylindrify(&target, &self.adom);
+                    acc = acc.union(&b);
+                }
+                Ok(acc)
+            }
+            Formula::Not(g) => {
+                let b = self.eval_env(g, env)?;
+                Ok(b.complement(&self.adom))
+            }
+            Formula::Exists(vs, g) => {
+                let b = self.eval_env(g, env)?;
+                let keep: Vec<Var> = b
+                    .vars()
+                    .iter()
+                    .filter(|v| !vs.contains(v))
+                    .cloned()
+                    .collect();
+                let mut out = b.project(&keep);
+                // a quantified variable absent from the body still ranges
+                // over the active domain; an empty domain falsifies ∃.
+                let vacuous = vs.iter().any(|v| !g.free_vars().contains(v));
+                if vacuous && self.adom.is_empty() {
+                    out = Bindings::empty(keep);
+                }
+                Ok(out)
+            }
+            Formula::Forall(vs, g) => {
+                let rewritten = Formula::not(Formula::exists(
+                    vs.iter().cloned(),
+                    Formula::not((**g).clone()),
+                ));
+                self.eval_env(&rewritten, env)
+            }
+            Formula::Fix {
+                pred,
+                vars,
+                body,
+                args,
+            } => {
+                let free = body.free_vars();
+                if !free.iter().all(|v| vars.contains(v)) {
+                    return err(format!(
+                        "fixpoint body of {pred} has free variables outside its tuple: {free:?}"
+                    ));
+                }
+                let fixed = self.eval_fix(pred, vars, body, env)?;
+                self.from_atom(&fixed, args, pred)
+            }
+        }
+    }
+
+    /// Inflationary fixpoint: J⁰ = ∅, Jⁱ⁺¹ = Jⁱ ∪ Fφ(Jⁱ) (Section 2).
+    fn eval_fix(
+        &self,
+        pred: &str,
+        vars: &[Var],
+        body: &Formula,
+        env: &FixEnv,
+    ) -> Result<Relation, EvalError> {
+        let mut current = Relation::new();
+        loop {
+            let mut inner = env.clone();
+            inner.insert(pred.to_string(), current.clone());
+            let b = self
+                .eval_env(body, &inner)?
+                .cylindrify(vars, &self.adom)
+                .to_relation(vars);
+            let next = current.union(&b);
+            if next == current {
+                return Ok(next);
+            }
+            current = next;
+        }
+    }
+
+    fn eval_eq(&self, a: &Term, b: &Term) -> Bindings {
+        match (a, b) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x == y {
+                    Bindings::unit()
+                } else {
+                    Bindings::empty(Vec::new())
+                }
+            }
+            (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => Bindings {
+                vars: vec![x.clone()],
+                rows: HashSet::from([vec![c.clone()]]),
+            },
+            (Term::Var(x), Term::Var(y)) if x == y => Bindings {
+                vars: vec![x.clone()],
+                rows: self.adom.iter().map(|v| vec![v.clone()]).collect(),
+            },
+            (Term::Var(x), Term::Var(y)) => Bindings {
+                vars: vec![x.clone(), y.clone()],
+                rows: self
+                    .adom
+                    .iter()
+                    .map(|v| vec![v.clone(), v.clone()])
+                    .collect(),
+            },
+        }
+    }
+
+    fn eval_neq(&self, a: &Term, b: &Term) -> Bindings {
+        match (a, b) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x != y {
+                    Bindings::unit()
+                } else {
+                    Bindings::empty(Vec::new())
+                }
+            }
+            (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => Bindings {
+                vars: vec![x.clone()],
+                rows: self
+                    .adom
+                    .iter()
+                    .filter(|v| *v != c)
+                    .map(|v| vec![v.clone()])
+                    .collect(),
+            },
+            (Term::Var(x), Term::Var(y)) if x == y => Bindings::empty(vec![x.clone()]),
+            (Term::Var(x), Term::Var(y)) => Bindings {
+                vars: vec![x.clone(), y.clone()],
+                rows: self
+                    .adom
+                    .iter()
+                    .flat_map(|u| {
+                        self.adom
+                            .iter()
+                            .filter(move |v| *v != u)
+                            .map(move |v| vec![u.clone(), v.clone()])
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    fn from_atom(
+        &self,
+        rel: &Relation,
+        args: &[Term],
+        name: &str,
+    ) -> Result<Bindings, EvalError> {
+        if let Some(arity) = rel.arity() {
+            if arity != args.len() {
+                return err(format!(
+                    "atom {name}/{} applied to relation of arity {arity}",
+                    args.len()
+                ));
+            }
+        }
+        // columns: first occurrence of each variable
+        let mut vars: Vec<Var> = Vec::new();
+        for t in args {
+            if let Term::Var(v) = t {
+                if !vars.contains(v) {
+                    vars.push(v.clone());
+                }
+            }
+        }
+        let mut rows = HashSet::new();
+        'tuples: for tuple in rel.iter() {
+            let mut asg: Vec<Option<&Value>> = vec![None; vars.len()];
+            for (t, val) in args.iter().zip(tuple.iter()) {
+                match t {
+                    Term::Const(c) => {
+                        if c != val {
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => {
+                        let i = vars.iter().position(|u| u == v).unwrap();
+                        match asg[i] {
+                            None => asg[i] = Some(val),
+                            Some(prev) => {
+                                if prev != val {
+                                    continue 'tuples;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            rows.insert(asg.into_iter().map(|v| v.unwrap().clone()).collect());
+        }
+        Ok(Bindings { vars, rows })
+    }
+
+    /// Greedy conjunction evaluation. Applies cheap filters first (bound
+    /// comparisons, semi/anti-joins of bound subformulas), then joins atoms,
+    /// and only materializes expensive subformulas when unavoidable — this
+    /// keeps guarded negation from ever computing a complement.
+    fn eval_and(&self, fs: &[Formula], env: &FixEnv) -> Result<Bindings, EvalError> {
+        let target: Vec<Var> = Formula::And(fs.to_vec())
+            .free_vars()
+            .into_iter()
+            .collect();
+        let mut pending: Vec<&Formula> = fs.iter().collect();
+        let mut acc = Bindings::unit();
+
+        while !pending.is_empty() {
+            let bound: BTreeSet<&Var> = acc.vars().iter().collect();
+            let is_bound =
+                |g: &Formula| g.free_vars().iter().all(|v| bound.contains(v));
+
+            // 1. bound comparison → direct filter
+            if let Some(i) = pending
+                .iter()
+                .position(|g| matches!(g, Formula::Eq(..) | Formula::Neq(..)) && is_bound(g))
+            {
+                let g = pending.remove(i);
+                acc = self.filter_cmp(acc, g);
+                continue;
+            }
+            // 2. bound positive subformula → semi-join; bound negation → anti-join
+            if let Some(i) = pending.iter().position(|g| is_bound(g)) {
+                let g = pending.remove(i);
+                acc = match g {
+                    Formula::Not(inner) => {
+                        let b = self.eval_env(inner, env)?;
+                        // inner's free vars equal g's, all bound
+                        acc.semi_join(&b, true)
+                    }
+                    _ => {
+                        let b = self.eval_env(g, env)?;
+                        acc.semi_join(&b, false)
+                    }
+                };
+                continue;
+            }
+            // 3. positive atom → join (pick the one sharing most columns)
+            let atom_idx = pending
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| matches!(g, Formula::Rel(..) | Formula::Reg(..)))
+                .max_by_key(|(_, g)| {
+                    g.free_vars().iter().filter(|v| bound.contains(v)).count()
+                })
+                .map(|(i, _)| i);
+            if let Some(i) = atom_idx {
+                let g = pending.remove(i);
+                let b = self.eval_env(g, env)?;
+                acc = acc.join(&b);
+                continue;
+            }
+            // 4. unbound comparison → materialize over adom and join
+            if let Some(i) = pending
+                .iter()
+                .position(|g| matches!(g, Formula::Eq(..) | Formula::Neq(..)))
+            {
+                let g = pending.remove(i);
+                let b = self.eval_env(g, env)?;
+                acc = acc.join(&b);
+                continue;
+            }
+            // 5. anything else → full evaluation and join
+            let g = pending.remove(0);
+            let b = self.eval_env(g, env)?;
+            acc = acc.join(&b);
+        }
+        Ok(acc.cylindrify(&target, &self.adom))
+    }
+
+    fn filter_cmp(&self, acc: Bindings, g: &Formula) -> Bindings {
+        let value = |row: &[Value], t: &Term| -> Value {
+            match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => {
+                    let i = acc.vars().iter().position(|u| u == v).unwrap();
+                    row[i].clone()
+                }
+            }
+        };
+        let rows = acc
+            .rows
+            .iter()
+            .filter(|row| match g {
+                Formula::Eq(a, b) => value(row, a) == value(row, b),
+                Formula::Neq(a, b) => value(row, a) != value(row, b),
+                _ => unreachable!("filter_cmp only handles comparisons"),
+            })
+            .cloned()
+            .collect();
+        Bindings {
+            vars: acc.vars.clone(),
+            rows,
+        }
+    }
+}
+
+/// Convenience: evaluate a closed (Boolean) formula.
+pub fn holds(
+    instance: &Instance,
+    register: Option<&Relation>,
+    f: &Formula,
+) -> Result<bool, EvalError> {
+    let ev = Evaluator::for_formula(instance, register, f);
+    Ok(!ev.eval(f)?.is_empty())
+}
+
+/// Convenience: evaluate a formula and return its rows over `order`.
+pub fn eval_to_relation(
+    instance: &Instance,
+    register: Option<&Relation>,
+    f: &Formula,
+    order: &[Var],
+) -> Result<Relation, EvalError> {
+    let ev = Evaluator::for_formula(instance, register, f);
+    let b = ev.eval(f)?.cylindrify(order, ev.adom());
+    Ok(b.to_relation(order))
+}
+
+/// Brute-force satisfaction check of a formula under an explicit assignment,
+/// quantifying over an explicit domain. Used as a test oracle against the
+/// relational evaluator.
+pub fn satisfied_under(
+    instance: &Instance,
+    register: Option<&Relation>,
+    domain: &[Value],
+    f: &Formula,
+    asg: &BTreeMap<Var, Value>,
+) -> Result<bool, EvalError> {
+    fn term_value(t: &Term, asg: &BTreeMap<Var, Value>) -> Result<Value, EvalError> {
+        match t {
+            Term::Const(c) => Ok(c.clone()),
+            Term::Var(v) => asg
+                .get(v)
+                .cloned()
+                .ok_or_else(|| EvalError(format!("unassigned variable {v}"))),
+        }
+    }
+    fn go(
+        instance: &Instance,
+        register: Option<&Relation>,
+        domain: &[Value],
+        f: &Formula,
+        asg: &BTreeMap<Var, Value>,
+        env: &FixEnv,
+    ) -> Result<bool, EvalError> {
+        match f {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Rel(name, args) => {
+                let vals: Result<Tuple, _> =
+                    args.iter().map(|t| term_value(t, asg)).collect();
+                let rel = env
+                    .get(name)
+                    .cloned()
+                    .unwrap_or_else(|| instance.get(name));
+                Ok(rel.contains(&vals?))
+            }
+            Formula::Reg(args) => {
+                let vals: Result<Tuple, _> =
+                    args.iter().map(|t| term_value(t, asg)).collect();
+                match register {
+                    Some(reg) => Ok(reg.contains(&vals?)),
+                    None => err("register atom used but no register supplied"),
+                }
+            }
+            Formula::Eq(a, b) => Ok(term_value(a, asg)? == term_value(b, asg)?),
+            Formula::Neq(a, b) => Ok(term_value(a, asg)? != term_value(b, asg)?),
+            Formula::And(fs) => {
+                for g in fs {
+                    if !go(instance, register, domain, g, asg, env)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(fs) => {
+                for g in fs {
+                    if go(instance, register, domain, g, asg, env)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Not(g) => Ok(!go(instance, register, domain, g, asg, env)?),
+            Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+                let want_all = matches!(f, Formula::Forall(..));
+                let mut stack = vec![asg.clone()];
+                for v in vs {
+                    let mut next = Vec::new();
+                    for a in &stack {
+                        for val in domain {
+                            let mut b = a.clone();
+                            b.insert(v.clone(), val.clone());
+                            next.push(b);
+                        }
+                    }
+                    stack = next;
+                }
+                for a in &stack {
+                    let sat = go(instance, register, domain, g, a, env)?;
+                    if want_all && !sat {
+                        return Ok(false);
+                    }
+                    if !want_all && sat {
+                        return Ok(true);
+                    }
+                }
+                Ok(want_all)
+            }
+            Formula::Fix {
+                pred,
+                vars,
+                body,
+                args,
+            } => {
+                // naive inflationary iteration over the explicit domain
+                let mut current = Relation::new();
+                loop {
+                    let mut inner = env.clone();
+                    inner.insert(pred.clone(), current.clone());
+                    let mut next = current.clone();
+                    let mut tuples = vec![Vec::new()];
+                    for _ in vars {
+                        let mut grown = Vec::new();
+                        for t in &tuples {
+                            for val in domain {
+                                let mut u: Tuple = t.clone();
+                                u.push(val.clone());
+                                grown.push(u);
+                            }
+                        }
+                        tuples = grown;
+                    }
+                    for t in tuples {
+                        let mut a = asg.clone();
+                        for (v, val) in vars.iter().zip(t.iter()) {
+                            a.insert(v.clone(), val.clone());
+                        }
+                        if go(instance, register, domain, body, &a, &inner)? {
+                            next.insert(t);
+                        }
+                    }
+                    if next == current {
+                        break;
+                    }
+                    current = next;
+                }
+                let vals: Result<Tuple, _> =
+                    args.iter().map(|t| term_value(t, asg)).collect();
+                Ok(current.contains(&vals?))
+            }
+        }
+    }
+    go(instance, register, domain, f, asg, &FixEnv::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_formula;
+    use pt_relational::rel;
+
+    fn db() -> Instance {
+        Instance::new()
+            .with(
+                "course",
+                rel![
+                    ["c1", "Databases", "CS"],
+                    ["c2", "Logic", "CS"],
+                    ["c3", "Ethics", "PHIL"]
+                ],
+            )
+            .with("prereq", rel![["c1", "c2"]])
+    }
+
+    fn eval_str(f: &str, inst: &Instance, reg: Option<&Relation>) -> Bindings {
+        let formula = parse_formula(f).unwrap();
+        let ev = Evaluator::for_formula(inst, reg, &formula);
+        ev.eval(&formula).unwrap()
+    }
+
+    #[test]
+    fn atom_evaluation() {
+        let b = eval_str("course(c, t, 'CS')", &db(), None);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.vars().len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let inst = Instance::new().with("r", rel![[1, 1], [1, 2]]);
+        let b = eval_str("r(x, x)", &inst, None);
+        assert_eq!(b.len(), 1);
+        assert!(b.rows().contains(&vec![Value::int(1)]));
+    }
+
+    #[test]
+    fn conjunction_with_join() {
+        let b = eval_str(
+            "exists d (course(c, t, d) and d = 'CS') and prereq(c, p)",
+            &db(),
+            None,
+        );
+        // only c1 has a prerequisite
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn negation_guarded() {
+        // courses with no prerequisite listed
+        let b = eval_str(
+            "exists t d (course(c, t, d)) and not (exists p (prereq(c, p)))",
+            &db(),
+            None,
+        );
+        assert_eq!(b.len(), 2); // c2, c3
+    }
+
+    #[test]
+    fn disjunction_cylindrifies() {
+        let inst = Instance::new().with("r", rel![[1]]).with("s", rel![[2]]);
+        let b = eval_str("r(x) or s(y)", &inst, None);
+        // free vars {x,y}, adom {1,2}: r(x) gives x=1 × y∈{1,2}; s(y) gives y=2 × x∈{1,2}
+        assert_eq!(b.vars().len(), 2);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn universal_quantifier() {
+        let inst = Instance::new().with("r", rel![[1], [2]]);
+        assert!(holds(
+            &inst,
+            None,
+            &parse_formula("forall x (r(x) or x = 3)").unwrap()
+        )
+        .unwrap());
+        // the active domain contains 3 (a constant of the formula), and r(3)
+        // fails, so the universal is falsified
+        assert!(!holds(
+            &inst,
+            None,
+            &parse_formula("forall x (x != 3 and r(x))").unwrap()
+        )
+        .unwrap());
+        // without the constant, the active domain is exactly r's values and
+        // the universal holds — active-domain semantics
+        assert!(holds(&inst, None, &parse_formula("forall x (r(x))").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn register_atoms() {
+        let reg = rel![["c1", "Databases"]];
+        let b = eval_str("Reg(c, t)", &db(), Some(&reg));
+        assert_eq!(b.len(), 1);
+        let missing = parse_formula("Reg(x)").unwrap();
+        let inst = db();
+        let ev = Evaluator::for_formula(&inst, None, &missing);
+        assert!(ev.eval(&missing).is_err());
+    }
+
+    #[test]
+    fn fixpoint_reachability() {
+        let inst = Instance::new().with("edge", rel![[0, 1], [1, 2], [2, 3], [5, 6]]);
+        let f = parse_formula(
+            "fix S(x) { edge(0, x) or exists y (S(y) and edge(y, x)) }(w)",
+        )
+        .unwrap();
+        let rel = eval_to_relation(&inst, None, &f, &[Var::new("w")]).unwrap();
+        // reachable from 0: 1, 2, 3
+        assert_eq!(rel.len(), 3);
+        assert!(rel.contains(&[Value::int(3)]));
+        assert!(!rel.contains(&[Value::int(6)]));
+    }
+
+    #[test]
+    fn eq_neq_cases() {
+        let inst = Instance::new().with("r", rel![[1], [2]]);
+        assert!(holds(&inst, None, &parse_formula("1 = 1").unwrap()).unwrap());
+        assert!(!holds(&inst, None, &parse_formula("1 = 2").unwrap()).unwrap());
+        assert!(holds(&inst, None, &parse_formula("1 != 2").unwrap()).unwrap());
+        let b = eval_str("x != 1 and r(x)", &inst, None);
+        assert_eq!(b.len(), 1);
+        let diag = eval_str("x = y and r(x)", &inst, None);
+        assert_eq!(diag.len(), 2);
+    }
+
+    #[test]
+    fn unsafe_head_ranges_over_adom() {
+        let inst = Instance::new().with("r", rel![[1], [2]]);
+        // x = x is satisfied by every active-domain value
+        let b = eval_str("x = x", &inst, None);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn empty_instance_quantification() {
+        let inst = Instance::new();
+        // no constants anywhere: adom is empty, ∃x(x = x) is false
+        assert!(!holds(&inst, None, &parse_formula("exists x (x = x)").unwrap()).unwrap());
+        // a constant enlarges the domain
+        assert!(holds(&inst, None, &parse_formula("exists x (x = 7)").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn relational_eval_matches_bruteforce_oracle() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        let schema = pt_relational::Schema::with(&[("r", 2), ("s", 1)]);
+        let formulas = [
+            "exists y (r(x, y) and not (s(y)))",
+            "forall y (r(x, y) or x = y)",
+            "s(x) and x != 0",
+            "exists y (r(x, y)) or s(x)",
+            "fix T(a) { s(a) or exists b (T(b) and r(b, a)) }(x)",
+        ];
+        for trial in 0..30 {
+            let inst =
+                pt_relational::generate::random_instance(&schema, 4, 5, &mut rng);
+            for ftext in &formulas {
+                let f = parse_formula(ftext).unwrap();
+                let ev = Evaluator::for_formula(&inst, None, &f);
+                let fast = ev.eval(&f).unwrap();
+                let domain: Vec<Value> = ev.adom().to_vec();
+                let x = Var::new("x");
+                for val in &domain {
+                    let mut asg = BTreeMap::new();
+                    asg.insert(x.clone(), val.clone());
+                    let slow =
+                        satisfied_under(&inst, None, &domain, &f, &asg).unwrap();
+                    let fast_has = fast
+                        .rows()
+                        .iter()
+                        .any(|row| row == &vec![val.clone()]);
+                    assert_eq!(
+                        fast_has, slow,
+                        "mismatch on trial {trial} formula {ftext} value {val}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,635 @@
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pt_relational::Value;
+
+use crate::term::{Term, Var};
+
+/// Global counter for capture-avoiding fresh variable names. Fresh names
+/// start with `~`, which the concrete syntax rejects, so user-written
+/// variables can never collide with generated ones.
+static FRESH: AtomicUsize = AtomicUsize::new(0);
+
+/// Generate a fresh variable that cannot clash with parsed input.
+pub(crate) fn fresh_var(hint: &str) -> Var {
+    let n = FRESH.fetch_add(1, Ordering::Relaxed);
+    Var::new(format!("~{hint}{n}"))
+}
+
+/// The logic a formula belongs to, ordered by expressiveness:
+/// `CQ ⊂ FO ⊂ IFP` (Section 2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Fragment {
+    /// Conjunctive queries with `=` and `≠`: atoms closed under `∧` and `∃`.
+    CQ,
+    /// First-order logic: adds `∨`, `¬`, `∀`.
+    FO,
+    /// Inflationary fixpoint logic: adds `[μ⁺S,x̄ φ](t̄)`.
+    IFP,
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fragment::CQ => write!(f, "CQ"),
+            Fragment::FO => write!(f, "FO"),
+            Fragment::IFP => write!(f, "IFP"),
+        }
+    }
+}
+
+/// A formula of CQ / FO / IFP over a relational schema, a distinguished
+/// register predicate `Reg`, and (inside fixpoints) fixpoint-bound
+/// predicates.
+///
+/// The AST is shared across all three logics; [`Formula::fragment`] reports
+/// the smallest logic containing a given formula. Quantifiers range over the
+/// active domain (values of the instance, the register, and the formula's
+/// constants) — the standard finite-model convention, which matches the
+/// paper's use of domain-independent queries.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Formula {
+    /// The true formula.
+    True,
+    /// The false formula.
+    False,
+    /// A relational atom `R(t̄)`. Inside a fixpoint body, `R` may be the
+    /// fixpoint-bound predicate.
+    Rel(String, Vec<Term>),
+    /// The register atom `Reg(t̄)` referring to the local store of the node
+    /// being expanded (Definition 3.1).
+    Reg(Vec<Term>),
+    /// Equality `t1 = t2`.
+    Eq(Term, Term),
+    /// Inequality `t1 ≠ t2`.
+    Neq(Term, Term),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Existential quantification over one or more variables.
+    Exists(Vec<Var>, Box<Formula>),
+    /// Universal quantification over one or more variables.
+    Forall(Vec<Var>, Box<Formula>),
+    /// Inflationary fixpoint `[μ⁺ pred(vars). body](args)` (Section 2).
+    ///
+    /// `body`'s free variables must be exactly `vars`; occurrences of `pred`
+    /// inside `body` are written as ordinary [`Formula::Rel`] atoms.
+    Fix {
+        pred: String,
+        vars: Vec<Var>,
+        body: Box<Formula>,
+        args: Vec<Term>,
+    },
+}
+
+impl Formula {
+    /// Conjunction, flattening nested conjunctions and dropping `true`.
+    pub fn and(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().unwrap(),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction, flattening nested disjunctions and dropping `false`.
+    pub fn or(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().unwrap(),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)] // the logical connective, not std::ops::Not
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Existential closure over `vars` (no-op for an empty list).
+    pub fn exists(vars: impl IntoIterator<Item = Var>, f: Formula) -> Formula {
+        let vars: Vec<Var> = vars.into_iter().collect();
+        if vars.is_empty() {
+            f
+        } else {
+            Formula::Exists(vars, Box::new(f))
+        }
+    }
+
+    /// Universal closure over `vars` (no-op for an empty list).
+    pub fn forall(vars: impl IntoIterator<Item = Var>, f: Formula) -> Formula {
+        let vars: Vec<Var> = vars.into_iter().collect();
+        if vars.is_empty() {
+            f
+        } else {
+            Formula::Forall(vars, Box::new(f))
+        }
+    }
+
+    /// A relational atom.
+    pub fn rel(name: impl AsRef<str>, args: impl IntoIterator<Item = Term>) -> Formula {
+        Formula::Rel(name.as_ref().to_string(), args.into_iter().collect())
+    }
+
+    /// A register atom.
+    pub fn reg(args: impl IntoIterator<Item = Term>) -> Formula {
+        Formula::Reg(args.into_iter().collect())
+    }
+
+    /// The free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        fn go(f: &Formula, out: &mut BTreeSet<Var>) {
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Rel(_, args) | Formula::Reg(args) => {
+                    out.extend(args.iter().filter_map(Term::as_var).cloned());
+                }
+                Formula::Eq(a, b) | Formula::Neq(a, b) => {
+                    out.extend(a.as_var().cloned());
+                    out.extend(b.as_var().cloned());
+                }
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| go(g, out)),
+                Formula::Not(g) => go(g, out),
+                Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+                    let mut inner = BTreeSet::new();
+                    go(g, &mut inner);
+                    for v in vs {
+                        inner.remove(v);
+                    }
+                    out.extend(inner);
+                }
+                Formula::Fix { args, .. } => {
+                    // body free vars are exactly `vars`, all bound; only args
+                    // contribute.
+                    out.extend(args.iter().filter_map(Term::as_var).cloned());
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// All constants appearing anywhere in the formula (they join the active
+    /// domain during evaluation).
+    pub fn constants(&self) -> BTreeSet<Value> {
+        fn terms<'a>(ts: impl IntoIterator<Item = &'a Term>, out: &mut BTreeSet<Value>) {
+            out.extend(ts.into_iter().filter_map(Term::as_const).cloned());
+        }
+        fn go(f: &Formula, out: &mut BTreeSet<Value>) {
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Rel(_, args) | Formula::Reg(args) => terms(args, out),
+                Formula::Eq(a, b) | Formula::Neq(a, b) => terms([a, b], out),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| go(g, out)),
+                Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => go(g, out),
+                Formula::Fix { body, args, .. } => {
+                    go(body, out);
+                    terms(args, out);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// Names of base relations referenced, excluding fixpoint-bound
+    /// predicates and the register.
+    pub fn base_relations(&self) -> BTreeSet<String> {
+        fn go(f: &Formula, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+            match f {
+                Formula::Rel(name, _) if !bound.iter().any(|b| b == name) => {
+                    out.insert(name.clone());
+                }
+                Formula::And(fs) | Formula::Or(fs) => {
+                    fs.iter().for_each(|g| go(g, bound, out))
+                }
+                Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
+                    go(g, bound, out)
+                }
+                Formula::Fix { pred, body, .. } => {
+                    bound.push(pred.clone());
+                    go(body, bound, out);
+                    bound.pop();
+                }
+                _ => {}
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Whether the formula mentions the register predicate.
+    pub fn uses_reg(&self) -> bool {
+        match self {
+            Formula::Reg(_) => true,
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().any(Formula::uses_reg),
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => g.uses_reg(),
+            Formula::Fix { body, .. } => body.uses_reg(),
+            _ => false,
+        }
+    }
+
+    /// Arities of register atoms used in the formula (should be a single
+    /// arity in a well-formed transducer query).
+    pub fn reg_arities(&self) -> BTreeSet<usize> {
+        fn go(f: &Formula, out: &mut BTreeSet<usize>) {
+            match f {
+                Formula::Reg(args) => {
+                    out.insert(args.len());
+                }
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| go(g, out)),
+                Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => go(g, out),
+                Formula::Fix { body, .. } => go(body, out),
+                _ => {}
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// The smallest logic containing this formula.
+    pub fn fragment(&self) -> Fragment {
+        match self {
+            Formula::True
+            | Formula::False
+            | Formula::Rel(..)
+            | Formula::Reg(..)
+            | Formula::Eq(..)
+            | Formula::Neq(..) => Fragment::CQ,
+            Formula::And(fs) => fs
+                .iter()
+                .map(Formula::fragment)
+                .max()
+                .unwrap_or(Fragment::CQ),
+            Formula::Exists(_, g) => g.fragment(),
+            Formula::Or(fs) => fs
+                .iter()
+                .map(Formula::fragment)
+                .max()
+                .unwrap_or(Fragment::CQ)
+                .max(Fragment::FO),
+            Formula::Not(g) | Formula::Forall(_, g) => g.fragment().max(Fragment::FO),
+            Formula::Fix { .. } => Fragment::IFP,
+        }
+    }
+
+    /// Capture-avoiding substitution of free variables by terms.
+    ///
+    /// Binders that would capture a variable occurring in a replacement term
+    /// are renamed with globally fresh names.
+    pub fn substitute(&self, map: &BTreeMap<Var, Term>) -> Formula {
+        fn sub_term(t: &Term, map: &BTreeMap<Var, Term>) -> Term {
+            match t {
+                Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| t.clone()),
+                Term::Const(_) => t.clone(),
+            }
+        }
+        fn sub_terms(ts: &[Term], map: &BTreeMap<Var, Term>) -> Vec<Term> {
+            ts.iter().map(|t| sub_term(t, map)).collect()
+        }
+        /// Rename binder variables that clash with variables of replacement
+        /// terms, then recurse with the narrowed map.
+        fn under_binder(
+            vs: &[Var],
+            g: &Formula,
+            map: &BTreeMap<Var, Term>,
+        ) -> (Vec<Var>, Formula) {
+            let mut inner: BTreeMap<Var, Term> = map
+                .iter()
+                .filter(|(k, _)| !vs.contains(k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            let replacement_vars: BTreeSet<Var> = inner
+                .values()
+                .filter_map(Term::as_var)
+                .cloned()
+                .collect();
+            let mut new_vs = Vec::with_capacity(vs.len());
+            let mut renames = BTreeMap::new();
+            for v in vs {
+                if replacement_vars.contains(v) {
+                    let fresh = fresh_var(v.name());
+                    renames.insert(v.clone(), Term::Var(fresh.clone()));
+                    new_vs.push(fresh);
+                } else {
+                    new_vs.push(v.clone());
+                }
+            }
+            inner.extend(renames);
+            (new_vs, g.substitute(&inner))
+        }
+        match self {
+            Formula::True | Formula::False => self.clone(),
+            Formula::Rel(name, args) => Formula::Rel(name.clone(), sub_terms(args, map)),
+            Formula::Reg(args) => Formula::Reg(sub_terms(args, map)),
+            Formula::Eq(a, b) => Formula::Eq(sub_term(a, map), sub_term(b, map)),
+            Formula::Neq(a, b) => Formula::Neq(sub_term(a, map), sub_term(b, map)),
+            Formula::And(fs) => Formula::And(fs.iter().map(|g| g.substitute(map)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|g| g.substitute(map)).collect()),
+            Formula::Not(g) => Formula::not(g.substitute(map)),
+            Formula::Exists(vs, g) => {
+                let (vs, g) = under_binder(vs, g, map);
+                Formula::Exists(vs, Box::new(g))
+            }
+            Formula::Forall(vs, g) => {
+                let (vs, g) = under_binder(vs, g, map);
+                Formula::Forall(vs, Box::new(g))
+            }
+            Formula::Fix {
+                pred,
+                vars,
+                body,
+                args,
+            } => Formula::Fix {
+                pred: pred.clone(),
+                vars: vars.clone(),
+                // body free vars are exactly `vars`: nothing to substitute
+                body: body.clone(),
+                args: sub_terms(args, map),
+            },
+        }
+    }
+
+    /// Rename every bound variable to a globally fresh name. After this,
+    /// substitutions can never capture, and distinct copies of the same
+    /// formula can be conjoined safely.
+    pub fn freshen_bound(&self) -> Formula {
+        match self {
+            Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+                let mut map = BTreeMap::new();
+                let mut new_vs = Vec::with_capacity(vs.len());
+                for v in vs {
+                    let fresh = fresh_var(v.name());
+                    map.insert(v.clone(), Term::Var(fresh.clone()));
+                    new_vs.push(fresh);
+                }
+                let inner = g.freshen_bound().substitute(&map);
+                match self {
+                    Formula::Exists(..) => Formula::Exists(new_vs, Box::new(inner)),
+                    _ => Formula::Forall(new_vs, Box::new(inner)),
+                }
+            }
+            Formula::And(fs) => Formula::And(fs.iter().map(Formula::freshen_bound).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(Formula::freshen_bound).collect()),
+            Formula::Not(g) => Formula::not(g.freshen_bound()),
+            Formula::Fix {
+                pred,
+                vars,
+                body,
+                args,
+            } => Formula::Fix {
+                pred: pred.clone(),
+                vars: vars.clone(),
+                body: Box::new(body.freshen_bound()),
+                args: args.clone(),
+            },
+            _ => self.clone(),
+        }
+    }
+
+    /// Replace every register atom `Reg(t̄)` via the supplied function.
+    pub fn map_reg(&self, f: &mut impl FnMut(&[Term]) -> Formula) -> Formula {
+        match self {
+            Formula::Reg(args) => f(args),
+            Formula::And(fs) => Formula::And(fs.iter().map(|g| g.map_reg(f)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|g| g.map_reg(f)).collect()),
+            Formula::Not(g) => Formula::not(g.map_reg(f)),
+            Formula::Exists(vs, g) => Formula::Exists(vs.clone(), Box::new(g.map_reg(f))),
+            Formula::Forall(vs, g) => Formula::Forall(vs.clone(), Box::new(g.map_reg(f))),
+            Formula::Fix {
+                pred,
+                vars,
+                body,
+                args,
+            } => Formula::Fix {
+                pred: pred.clone(),
+                vars: vars.clone(),
+                body: Box::new(body.map_reg(f)),
+                args: args.clone(),
+            },
+            _ => self.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn join(ts: &[Term]) -> String {
+            ts.iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+        fn vars(vs: &[Var]) -> String {
+            vs.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Rel(name, args) => write!(f, "{name}({})", join(args)),
+            Formula::Reg(args) => write!(f, "Reg({})", join(args)),
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Neq(a, b) => write!(f, "{a} != {b}"),
+            Formula::And(fs) => {
+                let parts: Vec<String> = fs.iter().map(|g| format!("({g})")).collect();
+                write!(f, "{}", parts.join(" and "))
+            }
+            Formula::Or(fs) => {
+                let parts: Vec<String> = fs.iter().map(|g| format!("({g})")).collect();
+                write!(f, "{}", parts.join(" or "))
+            }
+            Formula::Not(g) => write!(f, "not ({g})"),
+            Formula::Exists(vs, g) => write!(f, "exists {} ({g})", vars(vs)),
+            Formula::Forall(vs, g) => write!(f, "forall {} ({g})", vars(vs)),
+            Formula::Fix {
+                pred,
+                vars: vs,
+                body,
+                args,
+            } => write!(f, "fix {pred}({}) {{ {body} }}({})", vars(vs), join(args)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{cst, var};
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let f = Formula::exists(
+            [v("y")],
+            Formula::and([
+                Formula::rel("r", [var("x"), var("y")]),
+                Formula::Eq(var("x"), cst(1)),
+            ]),
+        );
+        let fv = f.free_vars();
+        assert!(fv.contains(&v("x")));
+        assert!(!fv.contains(&v("y")));
+    }
+
+    #[test]
+    fn fragment_classification() {
+        let cq = Formula::exists([v("y")], Formula::rel("r", [var("x"), var("y")]));
+        assert_eq!(cq.fragment(), Fragment::CQ);
+
+        let fo = Formula::not(cq.clone());
+        assert_eq!(fo.fragment(), Fragment::FO);
+
+        let ifp = Formula::Fix {
+            pred: "S".into(),
+            vars: vec![v("x")],
+            body: Box::new(Formula::rel("r", [var("x")])),
+            args: vec![cst(1)],
+        };
+        assert_eq!(ifp.fragment(), Fragment::IFP);
+
+        let or_is_fo = Formula::Or(vec![Formula::True, Formula::True]);
+        assert_eq!(or_is_fo.fragment(), Fragment::FO);
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let f = Formula::and([
+            Formula::True,
+            Formula::and([Formula::rel("r", [var("x")]), Formula::True]),
+        ]);
+        assert_eq!(f, Formula::rel("r", [var("x")]));
+        let g = Formula::or([Formula::False, Formula::False]);
+        assert_eq!(g, Formula::False);
+    }
+
+    #[test]
+    fn substitution_avoids_capture() {
+        // exists y (r(x, y)) with x := y must not capture y.
+        let f = Formula::exists([v("y")], Formula::rel("r", [var("x"), var("y")]));
+        let mut map = BTreeMap::new();
+        map.insert(v("x"), var("y"));
+        let g = f.substitute(&map);
+        match g {
+            Formula::Exists(vs, body) => {
+                assert_ne!(vs[0], v("y"), "binder must have been renamed");
+                match *body {
+                    Formula::Rel(_, args) => {
+                        assert_eq!(args[0], var("y"));
+                        assert_eq!(args[1], Term::Var(vs[0].clone()));
+                    }
+                    other => panic!("unexpected body {other}"),
+                }
+            }
+            other => panic!("unexpected formula {other}"),
+        }
+    }
+
+    #[test]
+    fn substitution_shadowing() {
+        // exists x (r(x)) with x := 1 leaves the bound x alone.
+        let f = Formula::exists([v("x")], Formula::rel("r", [var("x")]));
+        let mut map = BTreeMap::new();
+        map.insert(v("x"), cst(1));
+        assert_eq!(f.substitute(&map), f);
+    }
+
+    #[test]
+    fn constants_collected_through_fix() {
+        let f = Formula::Fix {
+            pred: "S".into(),
+            vars: vec![v("x")],
+            body: Box::new(Formula::or([
+                Formula::Eq(var("x"), cst(0)),
+                Formula::rel("r", [var("x"), cst("seed")]),
+            ])),
+            args: vec![cst(9)],
+        };
+        let cs = f.constants();
+        assert!(cs.contains(&Value::int(0)));
+        assert!(cs.contains(&Value::int(9)));
+        assert!(cs.contains(&Value::str("seed")));
+    }
+
+    #[test]
+    fn base_relations_exclude_fix_pred() {
+        let f = Formula::Fix {
+            pred: "S".into(),
+            vars: vec![v("x")],
+            body: Box::new(Formula::or([
+                Formula::rel("edge", [cst(0), var("x")]),
+                Formula::exists(
+                    [v("y")],
+                    Formula::and([
+                        Formula::rel("S", [var("y")]),
+                        Formula::rel("edge", [var("y"), var("x")]),
+                    ]),
+                ),
+            ])),
+            args: vec![var("z")],
+        };
+        let rels = f.base_relations();
+        assert!(rels.contains("edge"));
+        assert!(!rels.contains("S"));
+    }
+
+    #[test]
+    fn reg_arity_tracking() {
+        let f = Formula::and([
+            Formula::reg([var("x"), var("y")]),
+            Formula::rel("r", [var("x")]),
+        ]);
+        assert!(f.uses_reg());
+        assert_eq!(f.reg_arities(), BTreeSet::from([2]));
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let f = Formula::exists(
+            [v("y")],
+            Formula::and([
+                Formula::rel("r", [var("x"), var("y")]),
+                Formula::Neq(var("x"), cst("db")),
+            ]),
+        );
+        let printed = f.to_string();
+        let reparsed = crate::parse_formula(&printed).unwrap();
+        assert_eq!(f, reparsed);
+    }
+}

@@ -1,0 +1,34 @@
+//! Query logics for publishing transducers.
+//!
+//! The paper parameterizes transducers by a relational query language `L`
+//! ranging over conjunctive queries (CQ), first-order logic (FO) and
+//! inflationary fixpoint logic (IFP), all with equality `=` and inequality
+//! `≠` (Section 2). This crate implements:
+//!
+//! * [`Formula`] — a shared AST covering all three logics, with a
+//!   [`Fragment`] classifier,
+//! * a small concrete syntax ([`parse_formula`]) so that gadget
+//!   constructions and examples stay readable,
+//! * an active-domain [`eval`] module evaluating any formula over an
+//!   [`pt_relational::Instance`] plus an optional register relation,
+//! * [`Query`] — the head-split queries `φ(x̄; ȳ)` of Definition 3.1,
+//!   including the grouping semantics used to spawn children,
+//! * [`cq`] — structural conjunctive queries: satisfiability (the PTIME
+//!   algorithm of Theorem 1(1)), canonical databases, containment and
+//!   equivalence with `≠` (Klug's criterion, used by Theorem 2(4)),
+//!   reduction and c-equivalence (Claim 3),
+//! * [`compose`] — the two query-composition operators (tuple-register and
+//!   relation-register) used throughout Sections 5 and 6.
+
+pub mod compose;
+pub mod cq;
+pub mod eval;
+mod formula;
+mod parser;
+mod query;
+mod term;
+
+pub use formula::{Formula, Fragment};
+pub use parser::{parse_formula, parse_query, ParseError};
+pub use query::Query;
+pub use term::{cst, var, Term, Var};

@@ -1,0 +1,556 @@
+//! A small concrete syntax for formulas and head-split queries.
+//!
+//! Keeping gadget constructions readable matters: the paper's reductions are
+//! intricate, and quoting them nearly verbatim in source makes them
+//! checkable against the text. Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! formula := conj ("or" conj)*
+//! conj    := unary ("and" unary)*
+//! unary   := "not" unary
+//!          | "exists" var+ "(" formula ")"
+//!          | "forall" var+ "(" formula ")"
+//!          | "fix" NAME "(" var,* ")" "{" formula "}" "(" term,* ")"
+//!          | "true" | "false"
+//!          | NAME "(" term,* ")"          -- relational atom; name Reg is the register
+//!          | term ("=" | "!=") term
+//!          | "(" formula ")"
+//! term    := NAME | NUMBER | 'string'
+//! query   := "(" var,* (";" var,*)? ")" "<-" formula
+//! ```
+//!
+//! `Reg(...)` denotes the register atom. Variables are lower- or upper-case
+//! identifiers; quoted strings and integers are constants.
+
+use std::fmt;
+
+use pt_relational::Value;
+
+use crate::formula::Formula;
+use crate::query::Query;
+use crate::term::{Term, Var};
+
+/// A parse failure with a human-readable message and byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Eq,
+    Neq,
+    Arrow,
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            '{' => {
+                toks.push((Tok::LBrace, i));
+                i += 1;
+            }
+            '}' => {
+                toks.push((Tok::RBrace, i));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            ';' => {
+                toks.push((Tok::Semi, i));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Eq, i));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Neq, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected != after !".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    toks.push((Tok::Arrow, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected <- after <".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(ParseError {
+                        message: "unterminated string literal".into(),
+                        offset: i,
+                    });
+                }
+                toks.push((Tok::Str(input[start..j].to_string()), i));
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: i64 = text.parse().map_err(|_| ParseError {
+                    message: format!("bad integer literal {text}"),
+                    offset: start,
+                })?;
+                toks.push((Tok::Int(n), start));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(input[start..i].to_string()), start));
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(_, o)| *o)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            offset: self.offset().min(1_000_000_000),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "and", "or", "not", "exists", "forall", "fix", "true", "false",
+];
+
+fn parse_term(lx: &mut Lexer) -> Result<Term, ParseError> {
+    match lx.next() {
+        Some(Tok::Ident(name)) => {
+            if KEYWORDS.contains(&name.as_str()) {
+                return Err(lx.err(format!("keyword {name} cannot be a term")));
+            }
+            Ok(Term::Var(Var::new(name)))
+        }
+        Some(Tok::Int(n)) => Ok(Term::Const(Value::int(n))),
+        Some(Tok::Str(s)) => Ok(Term::Const(Value::str(s))),
+        _ => Err(lx.err("expected a term".into())),
+    }
+}
+
+fn parse_term_list(lx: &mut Lexer) -> Result<Vec<Term>, ParseError> {
+    let mut out = Vec::new();
+    if lx.peek() == Some(&Tok::RParen) {
+        return Ok(out);
+    }
+    loop {
+        out.push(parse_term(lx)?);
+        if lx.peek() == Some(&Tok::Comma) {
+            lx.next();
+        } else {
+            return Ok(out);
+        }
+    }
+}
+
+fn parse_var_list_commas(lx: &mut Lexer) -> Result<Vec<Var>, ParseError> {
+    let mut out = Vec::new();
+    if matches!(lx.peek(), Some(Tok::RParen) | Some(Tok::Semi)) {
+        return Ok(out);
+    }
+    loop {
+        match lx.next() {
+            Some(Tok::Ident(name)) if !KEYWORDS.contains(&name.as_str()) => {
+                out.push(Var::new(name));
+            }
+            _ => return Err(lx.err("expected a variable".into())),
+        }
+        if lx.peek() == Some(&Tok::Comma) {
+            lx.next();
+        } else {
+            return Ok(out);
+        }
+    }
+}
+
+fn parse_quantified_vars(lx: &mut Lexer) -> Result<Vec<Var>, ParseError> {
+    // One or more identifiers before the mandatory parenthesis.
+    let mut vars = Vec::new();
+    loop {
+        match lx.peek() {
+            Some(Tok::Ident(name)) if !KEYWORDS.contains(&name.as_str()) => {
+                vars.push(Var::new(name.clone()));
+                lx.next();
+                // allow optional commas between quantified variables
+                if lx.peek() == Some(&Tok::Comma) {
+                    lx.next();
+                }
+            }
+            _ => break,
+        }
+    }
+    if vars.is_empty() {
+        return Err(lx.err("expected at least one quantified variable".into()));
+    }
+    Ok(vars)
+}
+
+fn parse_unary(lx: &mut Lexer) -> Result<Formula, ParseError> {
+    match lx.peek() {
+        Some(Tok::Ident(kw)) if kw == "not" => {
+            lx.next();
+            Ok(Formula::not(parse_unary(lx)?))
+        }
+        Some(Tok::Ident(kw)) if kw == "exists" || kw == "forall" => {
+            let is_exists = kw == "exists";
+            lx.next();
+            let vars = parse_quantified_vars(lx)?;
+            lx.expect(&Tok::LParen, "( after quantifier")?;
+            let body = parse_formula_inner(lx)?;
+            lx.expect(&Tok::RParen, ") closing quantifier body")?;
+            Ok(if is_exists {
+                Formula::Exists(vars, Box::new(body))
+            } else {
+                Formula::Forall(vars, Box::new(body))
+            })
+        }
+        Some(Tok::Ident(kw)) if kw == "fix" => {
+            lx.next();
+            let pred = match lx.next() {
+                Some(Tok::Ident(p)) => p,
+                _ => return Err(lx.err("expected fixpoint predicate name".into())),
+            };
+            lx.expect(&Tok::LParen, "( after fixpoint predicate")?;
+            let vars = parse_var_list_commas(lx)?;
+            lx.expect(&Tok::RParen, ") after fixpoint variables")?;
+            lx.expect(&Tok::LBrace, "{ opening fixpoint body")?;
+            let body = parse_formula_inner(lx)?;
+            lx.expect(&Tok::RBrace, "} closing fixpoint body")?;
+            lx.expect(&Tok::LParen, "( opening fixpoint arguments")?;
+            let args = parse_term_list(lx)?;
+            lx.expect(&Tok::RParen, ") closing fixpoint arguments")?;
+            Ok(Formula::Fix {
+                pred,
+                vars,
+                body: Box::new(body),
+                args,
+            })
+        }
+        Some(Tok::Ident(kw)) if kw == "true" => {
+            lx.next();
+            Ok(Formula::True)
+        }
+        Some(Tok::Ident(kw)) if kw == "false" => {
+            lx.next();
+            Ok(Formula::False)
+        }
+        Some(Tok::Ident(_)) if lx.peek2() == Some(&Tok::LParen) => {
+            // relational atom
+            let name = match lx.next() {
+                Some(Tok::Ident(n)) => n,
+                _ => unreachable!(),
+            };
+            lx.expect(&Tok::LParen, "( after relation name")?;
+            let args = parse_term_list(lx)?;
+            lx.expect(&Tok::RParen, ") closing atom")?;
+            if name == "Reg" {
+                Ok(Formula::Reg(args))
+            } else {
+                Ok(Formula::Rel(name, args))
+            }
+        }
+        Some(Tok::LParen) => {
+            // Either a parenthesized formula. Terms never start with '(' so
+            // no ambiguity with comparisons.
+            lx.next();
+            let f = parse_formula_inner(lx)?;
+            lx.expect(&Tok::RParen, ") closing group")?;
+            Ok(f)
+        }
+        _ => {
+            // comparison: term (= | !=) term
+            let lhs = parse_term(lx)?;
+            match lx.next() {
+                Some(Tok::Eq) => Ok(Formula::Eq(lhs, parse_term(lx)?)),
+                Some(Tok::Neq) => Ok(Formula::Neq(lhs, parse_term(lx)?)),
+                _ => Err(lx.err("expected = or != in comparison".into())),
+            }
+        }
+    }
+}
+
+fn parse_conj(lx: &mut Lexer) -> Result<Formula, ParseError> {
+    let mut parts = vec![parse_unary(lx)?];
+    while matches!(lx.peek(), Some(Tok::Ident(kw)) if kw == "and") {
+        lx.next();
+        parts.push(parse_unary(lx)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().unwrap()
+    } else {
+        Formula::And(parts)
+    })
+}
+
+fn parse_formula_inner(lx: &mut Lexer) -> Result<Formula, ParseError> {
+    let mut parts = vec![parse_conj(lx)?];
+    while matches!(lx.peek(), Some(Tok::Ident(kw)) if kw == "or") {
+        lx.next();
+        parts.push(parse_conj(lx)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().unwrap()
+    } else {
+        Formula::Or(parts)
+    })
+}
+
+/// Parse a formula from the concrete syntax.
+pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
+    let mut lx = Lexer {
+        toks: lex(input)?,
+        pos: 0,
+    };
+    let f = parse_formula_inner(&mut lx)?;
+    if lx.peek().is_some() {
+        return Err(lx.err("trailing input after formula".into()));
+    }
+    Ok(f)
+}
+
+/// Parse a head-split query `(x̄; ȳ) <- body` from the concrete syntax.
+///
+/// The `; ȳ` part may be omitted, which declares a tuple-register query
+/// (`|ȳ| = 0`, Section 3).
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut lx = Lexer {
+        toks: lex(input)?,
+        pos: 0,
+    };
+    lx.expect(&Tok::LParen, "( opening query head")?;
+    let group_vars = parse_var_list_commas(&mut lx)?;
+    let rest_vars = if lx.peek() == Some(&Tok::Semi) {
+        lx.next();
+        parse_var_list_commas(&mut lx)?
+    } else {
+        Vec::new()
+    };
+    lx.expect(&Tok::RParen, ") closing query head")?;
+    lx.expect(&Tok::Arrow, "<- between head and body")?;
+    let body = parse_formula_inner(&mut lx)?;
+    if lx.peek().is_some() {
+        return Err(lx.err("trailing input after query".into()));
+    }
+    Query::new(group_vars, rest_vars, body).map_err(|message| ParseError {
+        message,
+        offset: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{cst, var};
+
+    #[test]
+    fn parses_atoms_and_comparisons() {
+        let f = parse_formula("course(c, t, d) and d = 'CS'").unwrap();
+        assert_eq!(
+            f,
+            Formula::and([
+                Formula::rel("course", [var("c"), var("t"), var("d")]),
+                Formula::Eq(var("d"), cst("CS")),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        let f = parse_formula("exists d (course(c, t, d) and d != 'CS')").unwrap();
+        match f {
+            Formula::Exists(vs, _) => assert_eq!(vs, vec![Var::new("d")]),
+            other => panic!("unexpected {other}"),
+        }
+        let g = parse_formula("forall x y (r(x, y) or x = y)").unwrap();
+        match g {
+            Formula::Forall(vs, _) => assert_eq!(vs.len(), 2),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_reg_atom() {
+        let f = parse_formula("Reg(c, t)").unwrap();
+        assert_eq!(f, Formula::reg([var("c"), var("t")]));
+        assert!(f.uses_reg());
+    }
+
+    #[test]
+    fn parses_fixpoint() {
+        let f = parse_formula(
+            "fix S(x) { edge(0, x) or exists y (S(y) and edge(y, x)) }(z)",
+        )
+        .unwrap();
+        match &f {
+            Formula::Fix { pred, vars, args, .. } => {
+                assert_eq!(pred, "S");
+                assert_eq!(vars.len(), 1);
+                assert_eq!(args, &vec![var("z")]);
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert_eq!(f.fragment(), crate::Fragment::IFP);
+    }
+
+    #[test]
+    fn parses_precedence() {
+        // and binds tighter than or
+        let f = parse_formula("a(x) or b(x) and c(x)").unwrap();
+        match f {
+            Formula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Formula::And(_)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_negative_numbers_and_strings() {
+        let f = parse_formula("x = -3 or x = 'a b'").unwrap();
+        assert_eq!(
+            f,
+            Formula::or([
+                Formula::Eq(var("x"), cst(-3)),
+                Formula::Eq(var("x"), cst("a b")),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_query_heads() {
+        let q = parse_query("(c, t) <- exists d (course(c, t, d))").unwrap();
+        assert_eq!(q.group_vars().len(), 2);
+        assert!(q.rest_vars().is_empty());
+        assert!(q.is_tuple_register());
+
+        let q2 = parse_query("(; c) <- exists p (Reg(p) and prereq(p, c))").unwrap();
+        assert!(q2.group_vars().is_empty());
+        assert_eq!(q2.rest_vars().len(), 1);
+        assert!(!q2.is_tuple_register());
+
+        let q3 = parse_query("() <- true").unwrap();
+        assert_eq!(q3.arity(), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_formula("exists (r(x))").is_err());
+        assert!(parse_formula("r(x) extra").is_err());
+        assert!(parse_formula("x ==").is_err());
+        assert!(parse_formula("'unterminated").is_err());
+        assert!(parse_query("(x <- r(x)").is_err());
+    }
+
+    #[test]
+    fn reports_offsets() {
+        let err = parse_formula("r(x) and !").unwrap_err();
+        assert!(err.offset >= 9);
+        assert!(err.to_string().contains("parse error"));
+    }
+}

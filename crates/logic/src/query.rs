@@ -1,0 +1,274 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pt_relational::{Instance, Relation, Tuple};
+
+use crate::eval::{EvalError, Evaluator};
+use crate::formula::{Formula, Fragment};
+use crate::term::Var;
+
+/// A head-split query `φ(x̄; ȳ)` from Definition 3.1.
+///
+/// * `x̄` (the *group variables*) drive child creation: the query result is
+///   grouped by distinct `x̄`-values and one child is spawned per nonempty
+///   group, ordered by the domain order on the `x̄`-tuples.
+/// * `ȳ` (the *rest variables*) fill the child's register: the child for
+///   group `d̄` carries `{d̄} × {ē | φ(d̄; ē)}`.
+///
+/// `|ȳ| = 0` makes every register a single tuple (a *tuple register*);
+/// `|x̄| = 0` produces at most one child carrying the entire query result
+/// (Section 3).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Query {
+    group_vars: Vec<Var>,
+    rest_vars: Vec<Var>,
+    body: Formula,
+}
+
+impl Query {
+    /// Build and validate a query.
+    ///
+    /// Rules enforced:
+    /// * head variables are pairwise distinct,
+    /// * every head variable occurs free in the body (safety),
+    /// * body free variables not in the head are implicitly
+    ///   existentially quantified (the paper always writes them under `∃`;
+    ///   auto-closing keeps call sites readable).
+    pub fn new(
+        group_vars: Vec<Var>,
+        rest_vars: Vec<Var>,
+        body: Formula,
+    ) -> Result<Self, String> {
+        let mut seen = BTreeSet::new();
+        for v in group_vars.iter().chain(rest_vars.iter()) {
+            if !seen.insert(v.clone()) {
+                return Err(format!("duplicate head variable {v}"));
+            }
+        }
+        let free = body.free_vars();
+        for v in &seen {
+            if !free.contains(v) {
+                return Err(format!("head variable {v} is not free in the body"));
+            }
+        }
+        let extra: Vec<Var> = free.into_iter().filter(|v| !seen.contains(v)).collect();
+        let body = Formula::exists(extra, body);
+        Ok(Query {
+            group_vars,
+            rest_vars,
+            body,
+        })
+    }
+
+    /// The group variables `x̄`.
+    pub fn group_vars(&self) -> &[Var] {
+        &self.group_vars
+    }
+
+    /// The rest variables `ȳ`.
+    pub fn rest_vars(&self) -> &[Var] {
+        &self.rest_vars
+    }
+
+    /// The body formula.
+    pub fn body(&self) -> &Formula {
+        &self.body
+    }
+
+    /// All head variables, `x̄` then `ȳ`.
+    pub fn head_vars(&self) -> Vec<Var> {
+        self.group_vars
+            .iter()
+            .chain(self.rest_vars.iter())
+            .cloned()
+            .collect()
+    }
+
+    /// Output arity `|x̄| + |ȳ|` — must equal `Θ(a)` of the produced tag.
+    pub fn arity(&self) -> usize {
+        self.group_vars.len() + self.rest_vars.len()
+    }
+
+    /// Whether this query produces tuple registers (`|ȳ| = 0`).
+    pub fn is_tuple_register(&self) -> bool {
+        self.rest_vars.is_empty()
+    }
+
+    /// The smallest logic containing the body.
+    pub fn fragment(&self) -> Fragment {
+        self.body.fragment()
+    }
+
+    /// Replace the body (head unchanged). The new body must have the same
+    /// free variables.
+    pub fn with_body(&self, body: Formula) -> Result<Query, String> {
+        Query::new(self.group_vars.clone(), self.rest_vars.clone(), body)
+    }
+
+    /// Evaluate to the full result relation of arity [`Query::arity`],
+    /// columns ordered `x̄ · ȳ`.
+    pub fn eval(
+        &self,
+        instance: &Instance,
+        register: Option<&Relation>,
+    ) -> Result<Relation, EvalError> {
+        let ev = Evaluator::for_formula(instance, register, &self.body);
+        let head = self.head_vars();
+        let b = ev.eval(&self.body)?.cylindrify(&head, ev.adom());
+        Ok(b.to_relation(&head))
+    }
+
+    /// Evaluate and group by `x̄` per the child-spawning semantics: returns
+    /// `(d̄, {d̄} × {ē})` pairs sorted by `d̄` in the domain order.
+    ///
+    /// An empty overall result yields no groups (no children). With
+    /// `|x̄| = 0` a nonempty result yields exactly one group keyed by the
+    /// empty tuple.
+    pub fn groups(
+        &self,
+        instance: &Instance,
+        register: Option<&Relation>,
+    ) -> Result<Vec<(Tuple, Relation)>, EvalError> {
+        let rows = self.eval(instance, register)?;
+        let k = self.group_vars.len();
+        let mut out: Vec<(Tuple, Relation)> = Vec::new();
+        for row in rows.iter() {
+            let key: Tuple = row[..k].to_vec();
+            match out.last_mut() {
+                Some((last_key, rel)) if *last_key == key => {
+                    rel.insert(row.clone());
+                }
+                _ => {
+                    out.push((key, Relation::singleton(row.clone())));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let gs: Vec<String> = self.group_vars.iter().map(|v| v.to_string()).collect();
+        let rs: Vec<String> = self.rest_vars.iter().map(|v| v.to_string()).collect();
+        if rs.is_empty() {
+            write!(f, "({}) <- {}", gs.join(", "), self.body)
+        } else {
+            write!(f, "({}; {}) <- {}", gs.join(", "), rs.join(", "), self.body)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_query, term::var};
+    use pt_relational::{rel, Value};
+
+    fn db() -> Instance {
+        Instance::new()
+            .with(
+                "course",
+                rel![
+                    ["c1", "Databases", "CS"],
+                    ["c2", "Logic", "CS"],
+                    ["c3", "Ethics", "PHIL"]
+                ],
+            )
+            .with("prereq", rel![["c1", "c2"], ["c1", "c3"]])
+    }
+
+    #[test]
+    fn validation_rejects_duplicates_and_unsafe_heads() {
+        let body = crate::parse_formula("r(x, y)").unwrap();
+        assert!(Query::new(vec![Var::new("x"), Var::new("x")], vec![], body.clone()).is_err());
+        assert!(Query::new(vec![Var::new("z")], vec![], body).is_err());
+    }
+
+    #[test]
+    fn auto_existential_closure() {
+        let q = Query::new(
+            vec![Var::new("x")],
+            vec![],
+            crate::parse_formula("r(x, y)").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(q.body().free_vars().len(), 1);
+        assert_eq!(q.to_string().matches("exists").count(), 1);
+    }
+
+    #[test]
+    fn eval_projects_head_order() {
+        let q = parse_query("(t, c) <- course(c, t, 'CS')").unwrap();
+        let r = q.eval(&db(), None).unwrap();
+        assert!(r.contains(&[Value::str("Databases"), Value::str("c1")]));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn grouping_tuple_register() {
+        // |ȳ|=0: one group per tuple
+        let q = parse_query("(c, t) <- exists d (course(c, t, d) and d = 'CS')").unwrap();
+        let gs = q.groups(&db(), None).unwrap();
+        assert_eq!(gs.len(), 2);
+        assert!(gs.iter().all(|(_, rel)| rel.len() == 1));
+        // sorted by group key
+        assert!(gs[0].0 < gs[1].0);
+    }
+
+    #[test]
+    fn grouping_relation_register() {
+        // |x̄|=0: single child holding the whole result
+        let q = parse_query("(; p) <- prereq('c1', p)").unwrap();
+        let gs = q.groups(&db(), None).unwrap();
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].0, Vec::<Value>::new());
+        assert_eq!(gs[0].1.len(), 2);
+    }
+
+    #[test]
+    fn grouping_mixed() {
+        let inst = Instance::new().with("r", rel![[1, 10], [1, 11], [2, 20]]);
+        let q = parse_query("(x; y) <- r(x, y)").unwrap();
+        let gs = q.groups(&inst, None).unwrap();
+        assert_eq!(gs.len(), 2);
+        assert_eq!(gs[0].0, vec![Value::int(1)]);
+        assert_eq!(gs[0].1.len(), 2);
+        // register holds full (x̄,ȳ) tuples
+        assert!(gs[0].1.contains(&[Value::int(1), Value::int(10)]));
+        assert_eq!(gs[1].1.len(), 1);
+    }
+
+    #[test]
+    fn empty_result_spawns_no_groups() {
+        let q = parse_query("(; p) <- prereq('c9', p)").unwrap();
+        assert!(q.groups(&db(), None).unwrap().is_empty());
+        let q0 = parse_query("(x) <- course(x, 'Nothing', 'CS')").unwrap();
+        assert!(q0.groups(&db(), None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_arity_query() {
+        let q = parse_query("() <- exists c t d (course(c, t, d))").unwrap();
+        let gs = q.groups(&db(), None).unwrap();
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].1.len(), 1);
+        assert!(gs[0].1.contains(&[]));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let q = parse_query("(x; y) <- r(x, y)").unwrap();
+        let q2 = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+        assert_eq!(q.head_vars(), vec![Var::new("x"), Var::new("y")]);
+        assert!(!q.is_tuple_register());
+        let _ = var("x");
+    }
+}

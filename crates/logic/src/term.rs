@@ -1,0 +1,124 @@
+use std::fmt;
+use std::sync::Arc;
+
+use pt_relational::Value;
+
+/// A variable name.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Build a variable from a name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// A term: a variable or a constant from the data domain.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    Var(Var),
+    Const(Value),
+}
+
+impl Term {
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this term is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            // single quotes: the concrete syntax the parser reads back
+            Term::Const(Value::Str(s)) => write!(f, "'{s}'"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(c: Value) -> Self {
+        Term::Const(c)
+    }
+}
+
+/// Shorthand for a variable term.
+pub fn var(name: impl AsRef<str>) -> Term {
+    Term::Var(Var::new(name))
+}
+
+/// Shorthand for a constant term.
+pub fn cst(v: impl Into<Value>) -> Term {
+    Term::Const(v.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_accessors() {
+        let t = var("x");
+        assert_eq!(t.as_var().unwrap().name(), "x");
+        assert!(t.as_const().is_none());
+        let c = cst(3);
+        assert_eq!(c.as_const(), Some(&Value::int(3)));
+        assert!(c.as_var().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(var("abc").to_string(), "abc");
+        assert_eq!(cst("s").to_string(), "'s'");
+        assert_eq!(cst(7).to_string(), "7");
+    }
+}

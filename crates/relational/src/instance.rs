@@ -1,0 +1,166 @@
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::{Relation, Schema, Tuple, Value};
+
+/// A database instance: one finite relation per schema relation.
+///
+/// Relations absent from the map are treated as empty, so instances can be
+/// built incrementally. [`Instance::conforms_to`] checks arity agreement with
+/// a [`Schema`].
+#[derive(Clone, PartialEq, Eq, Debug, Default, Hash, PartialOrd, Ord)]
+pub struct Instance {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Self {
+        Instance::default()
+    }
+
+    /// Replace the contents of relation `name`.
+    pub fn set(&mut self, name: &str, rel: Relation) {
+        self.relations.insert(name.to_string(), rel);
+    }
+
+    /// Builder-style [`Instance::set`].
+    pub fn with(mut self, name: &str, rel: Relation) -> Self {
+        self.set(name, rel);
+        self
+    }
+
+    /// Insert a single tuple into relation `name`.
+    pub fn insert(&mut self, name: &str, t: Tuple) {
+        self.relations.entry(name.to_string()).or_default().insert(t);
+    }
+
+    /// The contents of relation `name` (empty if never set).
+    pub fn get(&self, name: &str) -> Relation {
+        self.relations.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Borrow the contents of relation `name`, if present.
+    pub fn get_ref(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Iterate over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn size(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// The active domain: every value occurring in any relation.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut adom = BTreeSet::new();
+        for rel in self.relations.values() {
+            adom.extend(rel.active_domain());
+        }
+        adom
+    }
+
+    /// Check that every non-empty relation matches the schema's arity and is
+    /// declared by the schema.
+    pub fn conforms_to(&self, schema: &Schema) -> Result<(), String> {
+        for (name, rel) in self.iter() {
+            let Some(expected) = schema.arity(name) else {
+                return Err(format!("relation {name} not declared in schema"));
+            };
+            if let Some(actual) = rel.arity() {
+                if actual != expected {
+                    return Err(format!(
+                        "relation {name}: arity {actual} does not match schema arity {expected}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Tuple-wise union of two instances (the `I1 ∪ I2` of monotonicity
+    /// arguments such as Prop 4(6) and Theorem 5).
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut out = self.clone();
+        for (name, rel) in other.iter() {
+            let merged = out.get(name).union(rel);
+            out.set(name, merged);
+        }
+        out
+    }
+
+    /// Whether every tuple of `self` occurs in `other`.
+    pub fn subset_of(&self, other: &Instance) -> bool {
+        self.iter().all(|(name, rel)| {
+            let theirs = other.get(name);
+            rel.iter().all(|t| theirs.contains(t))
+        })
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in self.iter() {
+            writeln!(f, "{name} = {rel:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel;
+
+    #[test]
+    fn get_of_missing_is_empty() {
+        let i = Instance::new();
+        assert!(i.get("r").is_empty());
+        assert_eq!(i.size(), 0);
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut i = Instance::new();
+        i.insert("r", vec![Value::int(1), Value::int(2)]);
+        i.insert("r", vec![Value::int(3), Value::int(4)]);
+        assert_eq!(i.get("r").len(), 2);
+        assert_eq!(i.size(), 2);
+    }
+
+    #[test]
+    fn conformance() {
+        let schema = Schema::with(&[("r", 2)]);
+        let good = Instance::new().with("r", rel![[1, 2]]);
+        assert!(good.conforms_to(&schema).is_ok());
+        let bad_arity = Instance::new().with("r", rel![[1]]);
+        assert!(bad_arity.conforms_to(&schema).is_err());
+        let undeclared = Instance::new().with("s", rel![[1]]);
+        assert!(undeclared.conforms_to(&schema).is_err());
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a = Instance::new().with("r", rel![[1]]);
+        let b = Instance::new().with("r", rel![[2]]).with("s", rel![[5, 6]]);
+        let u = a.union(&b);
+        assert_eq!(u.get("r").len(), 2);
+        assert_eq!(u.get("s").len(), 1);
+        assert!(a.subset_of(&u));
+        assert!(b.subset_of(&u));
+        assert!(!u.subset_of(&a));
+    }
+
+    #[test]
+    fn active_domain_spans_relations() {
+        let i = Instance::new()
+            .with("r", rel![[1, "x"]])
+            .with("s", rel![["y"]]);
+        let adom = i.active_domain();
+        assert_eq!(adom.len(), 3);
+    }
+}

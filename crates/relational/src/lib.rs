@@ -1,0 +1,29 @@
+//! Relational substrate for publishing transducers.
+//!
+//! The paper ("Expressiveness and Complexity of XML Publishing Transducers",
+//! Fan, Geerts & Neven, PODS 2007 / TODS 2008) assumes a recursively
+//! enumerable, totally ordered domain `D` of data values that serves both as
+//! the domain of the relational source and of the local registers attached to
+//! nodes of the generated tree (Section 2). The implicit order `<=` on `D` is
+//! used only to order sibling nodes in the output tree; it is *not* visible to
+//! the query logics.
+//!
+//! This crate provides:
+//!
+//! * [`Value`] — an ordered data value (integer or string),
+//! * [`Tuple`] and [`Relation`] — tuples and finite relations over `D`,
+//!   with the canonical extension of `<=` to tuples,
+//! * [`Schema`] and [`Instance`] — relational schemas and database instances,
+//! * [`generate`] — deterministic pseudo-random instance generators used by
+//!   workload drivers and property tests.
+
+pub mod generate;
+mod instance;
+mod relation;
+mod schema;
+mod value;
+
+pub use instance::Instance;
+pub use relation::{Relation, Tuple};
+pub use schema::Schema;
+pub use value::Value;

@@ -1,0 +1,235 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::Value;
+
+/// A tuple over the data domain `D`.
+pub type Tuple = Vec<Value>;
+
+/// A finite relation over `D`: a set of equal-arity tuples.
+///
+/// Stored as a `BTreeSet` so iteration follows the canonical extension of the
+/// domain order `<=` to tuples — exactly the order the transducer semantics
+/// uses to arrange sibling nodes (Section 3). The empty relation reports
+/// whatever arity it was created with; [`Relation::arity`] is `None` until the
+/// first insertion for relations created with [`Relation::new`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Relation {
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation.
+    pub fn new() -> Self {
+        Relation::default()
+    }
+
+    /// A relation holding exactly one tuple (a "tuple register").
+    pub fn singleton(t: Tuple) -> Self {
+        let mut r = Relation::new();
+        r.insert(t);
+        r
+    }
+
+    /// Build a relation from an iterator of tuples.
+    ///
+    /// # Panics
+    /// Panics if the tuples do not all have the same arity.
+    pub fn from_tuples<I: IntoIterator<Item = Tuple>>(tuples: I) -> Self {
+        let mut r = Relation::new();
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// Insert a tuple, enforcing arity consistency.
+    ///
+    /// # Panics
+    /// Panics if `t`'s arity differs from tuples already present.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        if let Some(a) = self.arity() {
+            assert_eq!(
+                a,
+                t.len(),
+                "arity mismatch: relation has arity {a}, tuple has arity {}",
+                t.len()
+            );
+        }
+        self.tuples.insert(t)
+    }
+
+    /// Remove a tuple, reporting whether it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// Whether the tuple is present.
+    pub fn contains(&self, t: &[Value]) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Arity of the stored tuples, or `None` if empty.
+    pub fn arity(&self) -> Option<usize> {
+        self.tuples.iter().next().map(Vec::len)
+    }
+
+    /// Iterate over tuples in the canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The set union of two relations of equal arity.
+    pub fn union(&self, other: &Relation) -> Relation {
+        let mut r = self.clone();
+        for t in other.iter() {
+            r.insert(t.clone());
+        }
+        r
+    }
+
+    /// All values appearing in any tuple (the active domain of the relation).
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.tuples.iter().flatten().cloned().collect()
+    }
+
+    /// The single tuple of a tuple register.
+    ///
+    /// # Panics
+    /// Panics if the relation does not contain exactly one tuple.
+    pub fn the_tuple(&self) -> &Tuple {
+        assert_eq!(self.len(), 1, "expected a tuple register (one tuple)");
+        self.tuples.iter().next().unwrap()
+    }
+
+    /// Render the relation as a canonical string, following the domain order.
+    ///
+    /// This is the "function that maps relations over D to strings, based on
+    /// the order <=" that text nodes use (Section 3, step relation, case
+    /// `a = text`). A single unary tuple renders as the bare value so that
+    /// `cno` text nodes print `CS101` rather than `(CS101)`.
+    pub fn render(&self) -> String {
+        if self.len() == 1 {
+            let t = self.the_tuple();
+            if t.len() == 1 {
+                return t[0].render();
+            }
+        }
+        let rows: Vec<String> = self
+            .tuples
+            .iter()
+            .map(|t| {
+                let cells: Vec<String> = t.iter().map(Value::render).collect();
+                format!("({})", cells.join(","))
+            })
+            .collect();
+        rows.join(";")
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Relation::from_tuples(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+/// Convenience macro for building a relation from row literals.
+///
+/// ```
+/// use pt_relational::{rel, Value};
+/// let r = rel![[1, "a"], [2, "b"]];
+/// assert_eq!(r.len(), 2);
+/// assert!(r.contains(&[Value::int(1), Value::str("a")]));
+/// ```
+#[macro_export]
+macro_rules! rel {
+    ($([$($v:expr),* $(,)?]),* $(,)?) => {{
+        let mut r = $crate::Relation::new();
+        $( r.insert(vec![$($crate::Value::from($v)),*]); )*
+        r
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_iteration() {
+        let r = rel![[2, "b"], [1, "z"], [1, "a"]];
+        let rows: Vec<&Tuple> = r.iter().collect();
+        assert_eq!(rows[0], &vec![Value::int(1), Value::str("a")]);
+        assert_eq!(rows[1], &vec![Value::int(1), Value::str("z")]);
+        assert_eq!(rows[2], &vec![Value::int(2), Value::str("b")]);
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new();
+        assert!(r.insert(vec![Value::int(1)]));
+        assert!(!r.insert(vec![Value::int(1)]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_enforced() {
+        let mut r = rel![[1, 2]];
+        r.insert(vec![Value::int(1)]);
+    }
+
+    #[test]
+    fn render_special_cases() {
+        assert_eq!(rel![["db"]].render(), "db");
+        assert_eq!(rel![[1, 2]].render(), "(1,2)");
+        assert_eq!(rel![[2], [1]].render(), "(1);(2)");
+    }
+
+    #[test]
+    fn union_and_adom() {
+        let a = rel![[1], [2]];
+        let b = rel![[2], [3]];
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        let adom = u.active_domain();
+        assert_eq!(adom.len(), 3);
+        assert!(adom.contains(&Value::int(3)));
+    }
+
+    #[test]
+    fn the_tuple_of_singleton() {
+        let r = Relation::singleton(vec![Value::str("x")]);
+        assert_eq!(r.the_tuple(), &vec![Value::str("x")]);
+    }
+}

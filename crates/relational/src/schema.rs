@@ -1,0 +1,122 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relational schema: a finite collection of relation names with arities
+/// (Section 2, "Relational query languages").
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schema {
+    relations: BTreeMap<String, usize>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Build a schema from `(name, arity)` pairs.
+    ///
+    /// # Panics
+    /// Panics if a name occurs twice with different arities.
+    pub fn with(pairs: &[(&str, usize)]) -> Self {
+        let mut s = Schema::new();
+        for (name, arity) in pairs {
+            s.add(name, *arity);
+        }
+        s
+    }
+
+    /// Add a relation name with its arity.
+    ///
+    /// # Panics
+    /// Panics if the name already exists with a different arity.
+    pub fn add(&mut self, name: &str, arity: usize) {
+        if let Some(existing) = self.relations.get(name) {
+            assert_eq!(
+                *existing, arity,
+                "relation {name} re-declared with different arity"
+            );
+        }
+        self.relations.insert(name.to_string(), arity);
+    }
+
+    /// The arity of `name`, if declared.
+    pub fn arity(&self, name: &str) -> Option<usize> {
+        self.relations.get(name).copied()
+    }
+
+    /// Whether `name` is declared.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterate over `(name, arity)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.relations.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the schema declares no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The union of two schemas.
+    ///
+    /// # Panics
+    /// Panics on conflicting arities.
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut s = self.clone();
+        for (name, arity) in other.iter() {
+            s.add(name, arity);
+        }
+        s
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let items: Vec<String> = self.iter().map(|(n, a)| format!("{n}/{a}")).collect();
+        write!(f, "{{{}}}", items.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let s = Schema::with(&[("course", 3), ("prereq", 2)]);
+        assert_eq!(s.arity("course"), Some(3));
+        assert_eq!(s.arity("prereq"), Some(2));
+        assert_eq!(s.arity("missing"), None);
+        assert!(s.contains("course"));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different arity")]
+    fn conflicting_arity_rejected() {
+        let mut s = Schema::with(&[("r", 2)]);
+        s.add("r", 3);
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = Schema::with(&[("r", 1)]);
+        let b = Schema::with(&[("s", 2), ("r", 1)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Schema::with(&[("b", 2), ("a", 1)]);
+        assert_eq!(s.to_string(), "{a/1, b/2}");
+    }
+}

@@ -1,0 +1,123 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// A data value from the ordered domain `D` of the paper (Section 2).
+///
+/// The domain is totally ordered; the order is used by the transducer
+/// semantics to arrange sibling nodes deterministically (Section 3,
+/// "Transformations") but is never exposed to the query logics.
+///
+/// Integers sort before strings; within each kind the natural order applies.
+/// Strings are reference-counted so that cloning values while building large
+/// trees stays cheap.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An integer value. The constants `0` and `1` that several lower-bound
+    /// constructions assume present in `D` are represented this way.
+    Int(i64),
+    /// A string value (pcdata, course numbers, ...).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// The string payload, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Render the value the way text nodes print it: without quotes.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Str(s) => s.to_string(),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_sort_before_strings() {
+        assert!(Value::int(99) < Value::str("a"));
+        assert!(Value::int(-5) < Value::int(3));
+        assert!(Value::str("a") < Value::str("b"));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Value::str("db"), Value::from("db"));
+        assert_ne!(Value::int(0), Value::str("0"));
+    }
+
+    #[test]
+    fn render_drops_quotes() {
+        assert_eq!(Value::str("CS101").render(), "CS101");
+        assert_eq!(Value::int(7).render(), "7");
+        assert_eq!(format!("{}", Value::str("x")), "x");
+        assert_eq!(format!("{:?}", Value::str("x")), "\"x\"");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(4).as_int(), Some(4));
+        assert_eq!(Value::int(4).as_str(), None);
+        assert_eq!(Value::str("s").as_str(), Some("s"));
+        assert_eq!(Value::str("s").as_int(), None);
+    }
+}

@@ -1,0 +1,744 @@
+//! DTDs with regular-expression content models.
+//!
+//! A DTD `d` over Σ maps each tag to a regular expression over Σ; a Σ-tree
+//! conforms iff at every `a`-node the sequence of children labels belongs to
+//! `L(d(a))` (Section 6.3). Matching uses Brzozowski derivatives, which also
+//! generalize smoothly to the set-labeled matching that extended DTDs need.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::tree::Tree;
+
+/// A regular expression over tags.
+#[derive(Clone, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum ContentModel {
+    /// The empty language (matches nothing). Arises internally from
+    /// derivatives; writable for completeness.
+    Void,
+    /// The empty word ε.
+    Epsilon,
+    /// A single tag.
+    Tag(String),
+    /// Concatenation.
+    Seq(Vec<ContentModel>),
+    /// Alternation (the paper writes `b1 + b2`; the concrete syntax uses `|`).
+    Alt(Vec<ContentModel>),
+    /// Kleene star.
+    Star(Box<ContentModel>),
+    /// One or more.
+    Plus(Box<ContentModel>),
+    /// Zero or one.
+    Opt(Box<ContentModel>),
+}
+
+impl ContentModel {
+    /// Parse a content model: tags, `,` for sequence, `|` for alternation,
+    /// postfix `*`, `+`, `?`, parentheses, and `#eps` for ε.
+    pub fn parse(input: &str) -> Result<ContentModel, String> {
+        Parser {
+            chars: input.chars().collect(),
+            pos: 0,
+        }
+        .parse_top()
+    }
+
+    /// Whether ε ∈ L(self).
+    pub fn nullable(&self) -> bool {
+        match self {
+            ContentModel::Void | ContentModel::Tag(_) => false,
+            ContentModel::Epsilon | ContentModel::Star(_) | ContentModel::Opt(_) => true,
+            ContentModel::Plus(inner) => inner.nullable(),
+            ContentModel::Seq(parts) => parts.iter().all(ContentModel::nullable),
+            ContentModel::Alt(parts) => parts.iter().any(ContentModel::nullable),
+        }
+    }
+
+    /// Whether L(self) = ∅.
+    pub fn is_void(&self) -> bool {
+        match self {
+            ContentModel::Void => true,
+            ContentModel::Epsilon | ContentModel::Tag(_) => false,
+            ContentModel::Seq(parts) => parts.iter().any(ContentModel::is_void),
+            ContentModel::Alt(parts) => parts.iter().all(ContentModel::is_void),
+            ContentModel::Star(_) | ContentModel::Opt(_) => false,
+            ContentModel::Plus(inner) => inner.is_void(),
+        }
+    }
+
+    /// Brzozowski derivative with respect to tag `a`.
+    pub fn derive(&self, a: &str) -> ContentModel {
+        match self {
+            ContentModel::Void | ContentModel::Epsilon => ContentModel::Void,
+            ContentModel::Tag(t) => {
+                if t == a {
+                    ContentModel::Epsilon
+                } else {
+                    ContentModel::Void
+                }
+            }
+            ContentModel::Seq(parts) => {
+                // d(rs) = d(r)s | [r nullable] d(s)
+                let mut alts = Vec::new();
+                for i in 0..parts.len() {
+                    let mut seq = vec![parts[i].derive(a)];
+                    seq.extend(parts[i + 1..].iter().cloned());
+                    alts.push(simplify_seq(seq));
+                    if !parts[i].nullable() {
+                        break;
+                    }
+                }
+                simplify_alt(alts)
+            }
+            ContentModel::Alt(parts) => {
+                simplify_alt(parts.iter().map(|p| p.derive(a)).collect())
+            }
+            ContentModel::Star(inner) => {
+                simplify_seq(vec![inner.derive(a), self.clone()])
+            }
+            ContentModel::Plus(inner) => simplify_seq(vec![
+                inner.derive(a),
+                ContentModel::Star(inner.clone()),
+            ]),
+            ContentModel::Opt(inner) => inner.derive(a),
+        }
+    }
+
+    /// Whether the word (sequence of tags) belongs to the language.
+    pub fn matches<S: AsRef<str>>(&self, word: &[S]) -> bool {
+        let mut current = self.clone();
+        for a in word {
+            current = current.derive(a.as_ref());
+            if current.is_void() {
+                return false;
+            }
+        }
+        current.nullable()
+    }
+
+    /// All tags mentioned.
+    pub fn tags(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn go(cm: &ContentModel, out: &mut Vec<String>) {
+            match cm {
+                ContentModel::Tag(t) if !out.contains(t) => {
+                    out.push(t.clone());
+                }
+                ContentModel::Seq(ps) | ContentModel::Alt(ps) => {
+                    ps.iter().for_each(|p| go(p, out))
+                }
+                ContentModel::Star(p) | ContentModel::Plus(p) | ContentModel::Opt(p) => {
+                    go(p, out)
+                }
+                _ => {}
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// Generate a random word, biased short when `budget` is low.
+    pub fn generate(&self, budget: usize, rng: &mut impl Rng) -> Vec<String> {
+        match self {
+            ContentModel::Void => panic!("cannot generate from the empty language"),
+            ContentModel::Epsilon => Vec::new(),
+            ContentModel::Tag(t) => vec![t.clone()],
+            ContentModel::Seq(parts) => parts
+                .iter()
+                .flat_map(|p| p.generate(budget, rng))
+                .collect(),
+            ContentModel::Alt(parts) => {
+                let viable: Vec<&ContentModel> =
+                    parts.iter().filter(|p| !p.is_void()).collect();
+                let pick = if budget == 0 {
+                    // prefer a nullable or short alternative
+                    viable
+                        .iter()
+                        .find(|p| p.nullable())
+                        .copied()
+                        .unwrap_or(viable[rng.gen_range(0..viable.len())])
+                } else {
+                    viable[rng.gen_range(0..viable.len())]
+                };
+                pick.generate(budget, rng)
+            }
+            ContentModel::Star(inner) => {
+                let reps = if budget == 0 { 0 } else { rng.gen_range(0..3) };
+                (0..reps).flat_map(|_| inner.generate(budget, rng)).collect()
+            }
+            ContentModel::Plus(inner) => {
+                let reps = if budget == 0 { 1 } else { rng.gen_range(1..3) };
+                (0..reps).flat_map(|_| inner.generate(budget, rng)).collect()
+            }
+            ContentModel::Opt(inner) => {
+                if budget > 0 && rng.gen_bool(0.5) {
+                    inner.generate(budget, rng)
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+fn simplify_seq(parts: Vec<ContentModel>) -> ContentModel {
+    if parts.iter().any(ContentModel::is_void) {
+        return ContentModel::Void;
+    }
+    let mut out = Vec::new();
+    for p in parts {
+        match p {
+            ContentModel::Epsilon => {}
+            ContentModel::Seq(inner) => out.extend(inner),
+            other => out.push(other),
+        }
+    }
+    match out.len() {
+        0 => ContentModel::Epsilon,
+        1 => out.pop().unwrap(),
+        _ => ContentModel::Seq(out),
+    }
+}
+
+fn simplify_alt(parts: Vec<ContentModel>) -> ContentModel {
+    let mut out: Vec<ContentModel> = Vec::new();
+    for p in parts {
+        match p {
+            ContentModel::Void => {}
+            ContentModel::Alt(inner) => {
+                for q in inner {
+                    if !out.contains(&q) {
+                        out.push(q);
+                    }
+                }
+            }
+            other => {
+                if !out.contains(&other) {
+                    out.push(other);
+                }
+            }
+        }
+    }
+    match out.len() {
+        0 => ContentModel::Void,
+        1 => out.pop().unwrap(),
+        _ => ContentModel::Alt(out),
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn parse_top(&mut self) -> Result<ContentModel, String> {
+        let cm = self.parse_alt()?;
+        self.skip_ws();
+        if self.pos != self.chars.len() {
+            return Err(format!("trailing input at {}", self.pos));
+        }
+        Ok(cm)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<ContentModel, String> {
+        let mut parts = vec![self.parse_seq()?];
+        loop {
+            self.skip_ws();
+            if self.pos < self.chars.len() && self.chars[self.pos] == '|' {
+                self.pos += 1;
+                parts.push(self.parse_seq()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            ContentModel::Alt(parts)
+        })
+    }
+
+    fn parse_seq(&mut self) -> Result<ContentModel, String> {
+        let mut parts = vec![self.parse_postfix()?];
+        loop {
+            self.skip_ws();
+            if self.pos < self.chars.len() && self.chars[self.pos] == ',' {
+                self.pos += 1;
+                parts.push(self.parse_postfix()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            ContentModel::Seq(parts)
+        })
+    }
+
+    fn parse_postfix(&mut self) -> Result<ContentModel, String> {
+        let mut base = self.parse_atom()?;
+        loop {
+            self.skip_ws();
+            match self.chars.get(self.pos) {
+                Some('*') => {
+                    base = ContentModel::Star(Box::new(base));
+                    self.pos += 1;
+                }
+                Some('+') => {
+                    base = ContentModel::Plus(Box::new(base));
+                    self.pos += 1;
+                }
+                Some('?') => {
+                    base = ContentModel::Opt(Box::new(base));
+                    self.pos += 1;
+                }
+                _ => return Ok(base),
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<ContentModel, String> {
+        self.skip_ws();
+        match self.chars.get(self.pos) {
+            Some('(') => {
+                self.pos += 1;
+                let inner = self.parse_alt()?;
+                self.skip_ws();
+                if self.chars.get(self.pos) != Some(&')') {
+                    return Err("expected )".to_string());
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some('#') => {
+                let rest: String = self.chars[self.pos..].iter().collect();
+                if rest.starts_with("#eps") {
+                    self.pos += 4;
+                    Ok(ContentModel::Epsilon)
+                } else {
+                    Err("expected #eps".to_string())
+                }
+            }
+            Some(c) if c.is_alphanumeric() || *c == '_' => {
+                let start = self.pos;
+                while self.pos < self.chars.len()
+                    && (self.chars[self.pos].is_alphanumeric() || self.chars[self.pos] == '_')
+                {
+                    self.pos += 1;
+                }
+                Ok(ContentModel::Tag(
+                    self.chars[start..self.pos].iter().collect(),
+                ))
+            }
+            other => Err(format!("unexpected {other:?} at {}", self.pos)),
+        }
+    }
+}
+
+impl fmt::Display for ContentModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentModel::Void => write!(f, "#void"),
+            ContentModel::Epsilon => write!(f, "#eps"),
+            ContentModel::Tag(t) => write!(f, "{t}"),
+            ContentModel::Seq(ps) => {
+                let parts: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", parts.join(", "))
+            }
+            ContentModel::Alt(ps) => {
+                let parts: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", parts.join(" | "))
+            }
+            ContentModel::Star(p) => write!(f, "{p}*"),
+            ContentModel::Plus(p) => write!(f, "{p}+"),
+            ContentModel::Opt(p) => write!(f, "{p}?"),
+        }
+    }
+}
+
+/// A DTD: a root tag plus one content model per tag. Tags without a rule are
+/// required to be leaves (content model ε).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dtd {
+    root: String,
+    rules: BTreeMap<String, ContentModel>,
+}
+
+impl Dtd {
+    /// A DTD with the given root tag and no rules yet.
+    pub fn new(root: impl AsRef<str>) -> Dtd {
+        Dtd {
+            root: root.as_ref().to_string(),
+            rules: BTreeMap::new(),
+        }
+    }
+
+    /// Add (or replace) a rule, parsing the content model.
+    ///
+    /// # Panics
+    /// Panics on a malformed content-model expression.
+    pub fn rule(mut self, tag: &str, content: &str) -> Dtd {
+        let cm = ContentModel::parse(content)
+            .unwrap_or_else(|e| panic!("bad content model {content:?}: {e}"));
+        self.rules.insert(tag.to_string(), cm);
+        self
+    }
+
+    /// Add a rule with an already-built content model.
+    pub fn rule_cm(mut self, tag: &str, cm: ContentModel) -> Dtd {
+        self.rules.insert(tag.to_string(), cm);
+        self
+    }
+
+    /// The root tag.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// The content model for `tag` (ε when absent).
+    pub fn content_model(&self, tag: &str) -> ContentModel {
+        self.rules
+            .get(tag)
+            .cloned()
+            .unwrap_or(ContentModel::Epsilon)
+    }
+
+    /// Iterate over explicit `(tag, content model)` rules.
+    pub fn rules(&self) -> impl Iterator<Item = (&str, &ContentModel)> {
+        self.rules.iter().map(|(t, cm)| (t.as_str(), cm))
+    }
+
+    /// Every tag mentioned anywhere in the DTD.
+    pub fn alphabet(&self) -> Vec<String> {
+        let mut out = vec![self.root.clone()];
+        for (tag, cm) in &self.rules {
+            if !out.contains(tag) {
+                out.push(tag.clone());
+            }
+            for t in cm.tags() {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the tree conforms: root tag matches and every node's children
+    /// sequence is in its content model.
+    pub fn conforms(&self, tree: &Tree) -> bool {
+        if tree.label() != self.root {
+            return false;
+        }
+        self.conforms_at(tree)
+    }
+
+    fn conforms_at(&self, node: &Tree) -> bool {
+        let labels: Vec<&str> = node.children().iter().map(Tree::label).collect();
+        if !self.content_model(node.label()).matches(&labels) {
+            return false;
+        }
+        node.children().iter().all(|c| self.conforms_at(c))
+    }
+
+    /// Whether every rule is in the *normal form* of the Theorem 5 proof:
+    /// a concatenation of tags, an alternation of tags, or `b*`.
+    pub fn is_normalized(&self) -> bool {
+        self.rules.values().all(|cm| match cm {
+            ContentModel::Epsilon | ContentModel::Tag(_) => true,
+            ContentModel::Seq(ps) | ContentModel::Alt(ps) => {
+                ps.iter().all(|p| matches!(p, ContentModel::Tag(_)))
+            }
+            ContentModel::Star(p) => matches!(**p, ContentModel::Tag(_)),
+            _ => false,
+        })
+    }
+
+    /// Normalize by introducing fresh intermediate tags, returning the
+    /// normalized DTD and the set of introduced (virtual) tags. Projecting
+    /// the fresh tags away from a conforming tree yields a tree conforming
+    /// to the original DTD — exactly how the Theorem 5 construction uses
+    /// virtual nodes.
+    pub fn normalize(&self) -> (Dtd, Vec<String>) {
+        let mut fresh = 0usize;
+        let mut introduced = Vec::new();
+        let mut new_rules: BTreeMap<String, ContentModel> = BTreeMap::new();
+        let existing = self.alphabet();
+
+        fn lower(
+            cm: &ContentModel,
+            fresh: &mut usize,
+            introduced: &mut Vec<String>,
+            new_rules: &mut BTreeMap<String, ContentModel>,
+            existing: &[String],
+        ) -> ContentModel {
+            // returns a cm whose direct operands are tags
+            match cm {
+                ContentModel::Void | ContentModel::Epsilon | ContentModel::Tag(_) => cm.clone(),
+                ContentModel::Seq(ps) => ContentModel::Seq(
+                    ps.iter()
+                        .map(|p| tagify(p, fresh, introduced, new_rules, existing))
+                        .collect(),
+                ),
+                ContentModel::Alt(ps) => ContentModel::Alt(
+                    ps.iter()
+                        .map(|p| tagify(p, fresh, introduced, new_rules, existing))
+                        .collect(),
+                ),
+                ContentModel::Star(p) => ContentModel::Star(Box::new(tagify(
+                    p, fresh, introduced, new_rules, existing,
+                ))),
+                ContentModel::Plus(p) => {
+                    // b+ = b, v where v -> b* (the star needs its own tag to
+                    // keep concatenations tag-only)
+                    let t = tagify(p, fresh, introduced, new_rules, existing);
+                    let star_tag = next_fresh(fresh, introduced, existing);
+                    new_rules.insert(star_tag.clone(), ContentModel::Star(Box::new(t.clone())));
+                    ContentModel::Seq(vec![t, ContentModel::Tag(star_tag)])
+                }
+                ContentModel::Opt(p) => {
+                    let t = tagify(p, fresh, introduced, new_rules, existing);
+                    // b? = b + ε: encode via a fresh tag with rule b | #eps?
+                    // normal form has no ε-alternative, so wrap: v -> (b | e)
+                    // where e is a fresh tag with rule ε.
+                    let eps_tag = next_fresh(fresh, introduced, existing);
+                    new_rules.insert(eps_tag.clone(), ContentModel::Epsilon);
+                    ContentModel::Alt(vec![t, ContentModel::Tag(eps_tag)])
+                }
+            }
+        }
+
+        fn tagify(
+            cm: &ContentModel,
+            fresh: &mut usize,
+            introduced: &mut Vec<String>,
+            new_rules: &mut BTreeMap<String, ContentModel>,
+            existing: &[String],
+        ) -> ContentModel {
+            if let ContentModel::Tag(_) = cm {
+                return cm.clone();
+            }
+            let name = next_fresh(fresh, introduced, existing);
+            let lowered = lower(cm, fresh, introduced, new_rules, existing);
+            new_rules.insert(name.clone(), lowered);
+            ContentModel::Tag(name)
+        }
+
+        fn next_fresh(
+            fresh: &mut usize,
+            introduced: &mut Vec<String>,
+            existing: &[String],
+        ) -> String {
+            loop {
+                let name = format!("_n{fresh}");
+                *fresh += 1;
+                if !existing.contains(&name) {
+                    introduced.push(name.clone());
+                    return name;
+                }
+            }
+        }
+
+        for (tag, cm) in &self.rules {
+            let lowered = lower(cm, &mut fresh, &mut introduced, &mut new_rules, &existing);
+            new_rules.insert(tag.clone(), lowered);
+        }
+        (
+            Dtd {
+                root: self.root.clone(),
+                rules: new_rules,
+            },
+            introduced,
+        )
+    }
+
+    /// Generate a random conforming tree with roughly the given depth budget.
+    pub fn generate(&self, depth_budget: usize, rng: &mut impl Rng) -> Tree {
+        self.generate_tag(&self.root, depth_budget, rng)
+    }
+
+    fn generate_tag(&self, tag: &str, budget: usize, rng: &mut impl Rng) -> Tree {
+        let cm = self.content_model(tag);
+        let word = cm.generate(budget, rng);
+        let children = word
+            .iter()
+            .map(|t| self.generate_tag(t, budget.saturating_sub(1), rng))
+            .collect();
+        Tree::node(tag, children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_and_match_basic() {
+        let cm = ContentModel::parse("cno, title, prereq").unwrap();
+        assert!(cm.matches(&["cno", "title", "prereq"]));
+        assert!(!cm.matches(&["cno", "prereq", "title"]));
+        assert!(!cm.matches(&["cno", "title"]));
+    }
+
+    #[test]
+    fn parse_alternation_and_star() {
+        let cm = ContentModel::parse("(b1 | b2)*").unwrap();
+        assert!(cm.matches::<&str>(&[]));
+        assert!(cm.matches(&["b1", "b2", "b1"]));
+        assert!(!cm.matches(&["b1", "c"]));
+    }
+
+    #[test]
+    fn parse_plus_opt_eps() {
+        let plus = ContentModel::parse("a+").unwrap();
+        assert!(!plus.matches::<&str>(&[]));
+        assert!(plus.matches(&["a", "a"]));
+        let opt = ContentModel::parse("a?").unwrap();
+        assert!(opt.matches::<&str>(&[]));
+        assert!(opt.matches(&["a"]));
+        assert!(!opt.matches(&["a", "a"]));
+        let eps = ContentModel::parse("#eps").unwrap();
+        assert!(eps.matches::<&str>(&[]));
+        assert!(!eps.matches(&["a"]));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ContentModel::parse("a,,b").is_err());
+        assert!(ContentModel::parse("(a").is_err());
+        assert!(ContentModel::parse("a)").is_err());
+    }
+
+    #[test]
+    fn derivative_algebra() {
+        let cm = ContentModel::parse("a, b | a, c").unwrap();
+        let da = cm.derive("a");
+        assert!(da.matches(&["b"]));
+        assert!(da.matches(&["c"]));
+        assert!(!da.matches(&["a"]));
+        assert!(cm.derive("z").is_void());
+    }
+
+    fn registrar_dtd() -> Dtd {
+        Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "cno, title, prereq")
+            .rule("prereq", "course*")
+            .rule("cno", "text")
+            .rule("title", "text")
+    }
+
+    #[test]
+    fn conformance_recursive_dtd() {
+        let d = registrar_dtd();
+        let course = |cno: &str, prereqs: Vec<Tree>| {
+            Tree::node(
+                "course",
+                vec![
+                    Tree::node("cno", vec![Tree::text_node(cno)]),
+                    Tree::node("title", vec![Tree::text_node("t")]),
+                    Tree::node("prereq", prereqs),
+                ],
+            )
+        };
+        let t = Tree::node("db", vec![course("c1", vec![course("c2", vec![])])]);
+        assert!(d.conforms(&t));
+        // wrong child order fails
+        let bad = Tree::node(
+            "db",
+            vec![Tree::node(
+                "course",
+                vec![
+                    Tree::node("title", vec![Tree::text_node("t")]),
+                    Tree::node("cno", vec![Tree::text_node("c")]),
+                    Tree::leaf("prereq"),
+                ],
+            )],
+        );
+        assert!(!d.conforms(&bad));
+        // wrong root fails
+        assert!(!d.conforms(&Tree::leaf("course")));
+    }
+
+    #[test]
+    fn generated_trees_conform() {
+        let d = registrar_dtd();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let t = d.generate(3, &mut rng);
+            assert!(d.conforms(&t), "generated tree must conform: {t:?}");
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_language_modulo_projection() {
+        let d = Dtd::new("r").rule("r", "(a, b)+ | c?");
+        assert!(!d.is_normalized());
+        let (nd, fresh) = d.normalize();
+        assert!(nd.is_normalized(), "normalized DTD: {nd:?}");
+        assert!(!fresh.is_empty());
+        // generate from the normalized DTD, project fresh tags away, check
+        // conformance to the original
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let t = nd.generate(4, &mut rng);
+            assert!(nd.conforms(&t));
+            let projected = project_tags(&t, &fresh);
+            assert!(
+                d.conforms(&projected),
+                "projected {projected:?} must conform to {d:?}"
+            );
+        }
+    }
+
+    /// Splice out nodes whose label is in `hidden` (same operation as
+    /// virtual-node elimination).
+    fn project_tags(t: &Tree, hidden: &[String]) -> Tree {
+        fn expand(t: &Tree, hidden: &[String], out: &mut Vec<Tree>) {
+            if hidden.contains(&t.label().to_string()) {
+                for c in t.children() {
+                    expand(c, hidden, out);
+                }
+            } else {
+                out.push(project_tags(t, hidden));
+            }
+        }
+        let mut children = Vec::new();
+        for c in t.children() {
+            expand(c, hidden, &mut children);
+        }
+        Tree::node(t.label(), children)
+    }
+
+    #[test]
+    fn alphabet_collects_tags() {
+        let d = registrar_dtd();
+        let alpha = d.alphabet();
+        for t in ["db", "course", "cno", "title", "prereq", "text"] {
+            assert!(alpha.contains(&t.to_string()), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let cm = ContentModel::parse("(a | b), c*, d?").unwrap();
+        let printed = cm.to_string();
+        let reparsed = ContentModel::parse(&printed).unwrap();
+        // language equality spot-check
+        for word in [vec!["a", "c", "d"], vec!["b"], vec!["b", "c", "c"]] {
+            assert_eq!(cm.matches(&word), reparsed.matches(&word));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Σ-trees and tree schemas for publishing transducers.
+//!
+//! Section 2 of the paper models XML documents as unranked, ordered,
+//! node-labeled trees over a finite tag alphabet Σ with a distinguished root
+//! tag and a `text` tag for pcdata leaves. Section 6.3 compares transducer
+//! classes against DTDs and *extended (specialized) DTDs*, the standard
+//! abstraction of regular unranked tree languages.
+//!
+//! This crate provides:
+//!
+//! * [`Tree`] — ordered unranked trees with optional pcdata, equality,
+//!   size/depth measures and XML serialization,
+//! * [`Dtd`] and [`ContentModel`] — DTDs with regular-expression content
+//!   models, conformance checking via Brzozowski derivatives, normalization
+//!   (the normal form used in the proof of Theorem 5), and random tree
+//!   generation for round-trip experiments,
+//! * [`ExtendedDtd`] — extended DTDs `(Σ', d, µ)` with the set-based
+//!   conformance check (a tree conforms iff some Σ'-relabeling conforms
+//!   to `d`).
+
+mod dtd;
+mod tree;
+mod xdtd;
+
+pub use dtd::{ContentModel, Dtd};
+pub use tree::Tree;
+pub use xdtd::ExtendedDtd;

@@ -1,0 +1,223 @@
+//! Extended (specialized) DTDs.
+//!
+//! An extended DTD `D = (Σ', d, µ)` consists of a larger alphabet Σ' with a
+//! DTD `d` over Σ' and a projection `µ : Σ' → Σ`. A Σ-tree `t` conforms to
+//! `D` iff some Σ'-tree `t'` satisfies `d` with `µ(t') = t` (Section 6.3,
+//! after [Papakonstantinou & Vianu 2000]). Extended DTDs capture exactly the
+//! regular unranked tree languages and thus the MSO-definable tree
+//! languages, which is why Theorem 5 phrases definability results through
+//! them.
+//!
+//! Conformance is decided bottom-up: for every node compute the set of
+//! Σ'-labels it may take; a parent may take `σ'` iff `µ(σ')` is its label
+//! and some word in `L(d(σ'))` can be spelled by choosing one possible label
+//! per child — a regular-expression match over *letter sets*, implemented on
+//! Brzozowski derivatives.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::Rng;
+
+use crate::dtd::{ContentModel, Dtd};
+use crate::tree::Tree;
+
+/// An extended DTD `(Σ', d, µ)`.
+#[derive(Clone, Debug)]
+pub struct ExtendedDtd {
+    dtd: Dtd,
+    mu: BTreeMap<String, String>,
+}
+
+impl ExtendedDtd {
+    /// Build from a DTD over Σ' and the projection µ. Tags of Σ' missing
+    /// from `mu` project to themselves.
+    pub fn new(dtd: Dtd, mu: impl IntoIterator<Item = (String, String)>) -> ExtendedDtd {
+        ExtendedDtd {
+            dtd,
+            mu: mu.into_iter().collect(),
+        }
+    }
+
+    /// View a plain DTD as an extended DTD with the identity projection.
+    pub fn from_dtd(dtd: Dtd) -> ExtendedDtd {
+        ExtendedDtd {
+            dtd,
+            mu: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying DTD over Σ'.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// Apply µ to a Σ'-tag.
+    pub fn project(&self, tag: &str) -> String {
+        self.mu.get(tag).cloned().unwrap_or_else(|| tag.to_string())
+    }
+
+    /// The Σ'-tags mapping to a given Σ-tag (µ⁻¹).
+    pub fn preimage(&self, sigma_tag: &str) -> Vec<String> {
+        self.dtd
+            .alphabet()
+            .into_iter()
+            .filter(|t| self.project(t) == sigma_tag)
+            .collect()
+    }
+
+    /// Apply µ to a whole Σ'-tree.
+    pub fn project_tree(&self, t: &Tree) -> Tree {
+        t.map_labels(&|l| self.project(l))
+    }
+
+    /// Whether the Σ-tree conforms: some Σ'-relabeling satisfies the DTD.
+    pub fn conforms(&self, tree: &Tree) -> bool {
+        let possible = self.possible_labels(tree);
+        self.preimage(tree.label())
+            .iter()
+            .any(|sigma| sigma == self.dtd.root() && possible.contains(sigma))
+    }
+
+    /// Bottom-up: the set of Σ'-labels this node can take.
+    fn possible_labels(&self, node: &Tree) -> BTreeSet<String> {
+        let child_sets: Vec<BTreeSet<String>> = node
+            .children()
+            .iter()
+            .map(|c| self.possible_labels(c))
+            .collect();
+        let mut out = BTreeSet::new();
+        for sigma in self.preimage(node.label()) {
+            let cm = self.dtd.content_model(&sigma);
+            if match_letter_sets(&cm, &child_sets) {
+                out.insert(sigma);
+            }
+        }
+        out
+    }
+
+    /// Generate a random conforming Σ-tree by generating from `d` and
+    /// projecting.
+    pub fn generate(&self, depth_budget: usize, rng: &mut impl Rng) -> Tree {
+        self.project_tree(&self.dtd.generate(depth_budget, rng))
+    }
+}
+
+/// Does some choice of one letter per position spell a word of `L(cm)`?
+/// Subset simulation over Brzozowski derivatives.
+fn match_letter_sets(cm: &ContentModel, letter_sets: &[BTreeSet<String>]) -> bool {
+    let mut states: Vec<ContentModel> = vec![cm.clone()];
+    for set in letter_sets {
+        let mut next: Vec<ContentModel> = Vec::new();
+        for st in &states {
+            for letter in set {
+                let d = st.derive(letter);
+                if !d.is_void() && !next.contains(&d) {
+                    next.push(d);
+                }
+            }
+        }
+        if next.is_empty() {
+            return false;
+        }
+        states = next;
+    }
+    states.iter().any(ContentModel::nullable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The classic non-local language: root with `a` children, where the
+    /// *last* `a` must contain a `b` and the others must not. Not definable
+    /// by a DTD (all `a`s share one content model) but easily an extended
+    /// DTD with two specializations of `a`.
+    fn specialized() -> ExtendedDtd {
+        let dtd = Dtd::new("r")
+            .rule("r", "a0*, a1")
+            .rule("a0", "#eps")
+            .rule("a1", "b");
+        ExtendedDtd::new(
+            dtd,
+            [("a0".to_string(), "a".to_string()), ("a1".to_string(), "a".to_string())],
+        )
+    }
+
+    #[test]
+    fn conformance_distinguishes_specializations() {
+        let d = specialized();
+        let good = Tree::node(
+            "r",
+            vec![
+                Tree::leaf("a"),
+                Tree::leaf("a"),
+                Tree::node("a", vec![Tree::leaf("b")]),
+            ],
+        );
+        assert!(d.conforms(&good));
+        // b in a non-final a
+        let bad = Tree::node(
+            "r",
+            vec![Tree::node("a", vec![Tree::leaf("b")]), Tree::leaf("a")],
+        );
+        assert!(!d.conforms(&bad));
+        // missing final b-carrier
+        let bad2 = Tree::node("r", vec![Tree::leaf("a")]);
+        assert!(!d.conforms(&bad2));
+    }
+
+    #[test]
+    fn identity_extended_dtd_matches_plain_conformance() {
+        let dtd = Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "cno, title");
+        let x = ExtendedDtd::from_dtd(dtd.clone());
+        let t = Tree::node(
+            "db",
+            vec![Tree::node(
+                "course",
+                vec![Tree::leaf("cno"), Tree::leaf("title")],
+            )],
+        );
+        assert_eq!(dtd.conforms(&t), x.conforms(&t));
+        let bad = Tree::node("db", vec![Tree::leaf("cno")]);
+        assert_eq!(dtd.conforms(&bad), x.conforms(&bad));
+    }
+
+    #[test]
+    fn generated_trees_conform() {
+        let d = specialized();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let t = d.generate(3, &mut rng);
+            assert!(d.conforms(&t), "generated: {t:?}");
+        }
+    }
+
+    #[test]
+    fn preimage_and_projection() {
+        let d = specialized();
+        let mut pre = d.preimage("a");
+        pre.sort();
+        assert_eq!(pre, vec!["a0".to_string(), "a1".to_string()]);
+        assert_eq!(d.project("a0"), "a");
+        assert_eq!(d.project("r"), "r");
+        let t = Tree::node("r", vec![Tree::leaf("a0"), Tree::leaf("a1")]);
+        let projected = d.project_tree(&t);
+        assert_eq!(projected.children()[0].label(), "a");
+        assert_eq!(projected.children()[1].label(), "a");
+    }
+
+    #[test]
+    fn letter_set_matching() {
+        let cm = ContentModel::parse("x, y | y, x").unwrap();
+        let both: BTreeSet<String> = ["x".to_string(), "y".to_string()].into();
+        let only_x: BTreeSet<String> = ["x".to_string()].into();
+        assert!(match_letter_sets(&cm, &[both.clone(), both.clone()]));
+        assert!(match_letter_sets(&cm, &[only_x.clone(), both.clone()]));
+        assert!(!match_letter_sets(&cm, &[only_x.clone(), only_x]));
+        assert!(!match_letter_sets(&cm, &[both]));
+    }
+}

@@ -1,0 +1,30 @@
+//! Table I, executable: the publishing-language frontends of Section 4
+//! (Figures 2–6) compiled to transducers and run on the registrar database.
+//!
+//! Run with `cargo run --example language_tour`.
+
+use publishing_transducers::core::examples::registrar;
+use publishing_transducers::languages::{atg, for_xml, sqlxml, table1, xmlgen};
+
+fn main() {
+    let db = registrar::registrar_instance();
+    let schema = table1::registrar_schema();
+
+    println!("{}", table1::report());
+
+    println!("== Fig. 2: FOR XML (Microsoft) ==");
+    let t = for_xml::figure2().compile(&schema).unwrap();
+    println!("{}", t.output(&db).unwrap().to_xml());
+
+    println!("== Fig. 3: SQL/XML (IBM) — same view ==");
+    let t = sqlxml::figure3().compile(&schema).unwrap();
+    println!("{}", t.output(&db).unwrap().to_xml());
+
+    println!("== Fig. 5: DBMS_XMLGEN (Oracle), CONNECT BY PRIOR ==");
+    let t = xmlgen::figure5().compile(&schema).unwrap();
+    println!("{}", t.output(&db).unwrap().to_xml());
+
+    println!("== Fig. 6: ATG (PRATA) ==");
+    let t = atg::figure6().compile(&schema).unwrap();
+    println!("{}", t.output(&db).unwrap().to_xml());
+}

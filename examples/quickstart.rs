@@ -1,0 +1,22 @@
+//! Quickstart: define the registrar database of Example 1.1, run the
+//! recursive view τ1 of Example 3.1 (Fig. 1(a)), and print the XML.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use publishing_transducers::core::examples::registrar;
+
+fn main() {
+    let db = registrar::registrar_instance();
+    println!("-- relational source --\n{db}");
+
+    let tau1 = registrar::tau1();
+    println!("-- transducer ({}) --\n{tau1}", tau1.class());
+
+    let run = tau1.run(&db).expect("τ1 runs on the registrar instance");
+    println!(
+        "-- result tree ξ: {} nodes, depth {} --",
+        run.size(),
+        run.depth()
+    );
+    println!("-- output XML (Fig. 1(a)) --\n{}", run.output_tree().to_xml());
+}

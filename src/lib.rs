@@ -1,0 +1,27 @@
+//! # publishing-transducers
+//!
+//! Umbrella crate re-exporting the full XML publishing transducer stack — an
+//! executable reproduction of *"Expressiveness and Complexity of XML
+//! Publishing Transducers"* (Fan, Geerts & Neven, PODS 2007 / TODS 2008).
+//!
+//! Start with [`core`] for the transducer model, [`relational`] and [`logic`]
+//! for the substrates, [`analysis`] for the decision problems of Section 5,
+//! and [`express`] for the expressiveness constructions of Section 6.
+//!
+//! ```
+//! use publishing_transducers::core::examples::registrar;
+//!
+//! let db = registrar::registrar_instance();
+//! let tau1 = registrar::tau1();
+//! let tree = tau1.run(&db).unwrap().output_tree();
+//! assert_eq!(tree.label(), "db");
+//! ```
+
+pub use pt_analysis as analysis;
+pub use pt_core as core;
+pub use pt_datalog as datalog;
+pub use pt_express as express;
+pub use pt_languages as languages;
+pub use pt_logic as logic;
+pub use pt_relational as relational;
+pub use pt_xmltree as xmltree;

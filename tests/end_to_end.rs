@@ -1,0 +1,104 @@
+//! Cross-crate integration tests: the registrar scenario end to end,
+//! frontend agreement, and the interplay of semantics, analysis and
+//! expressiveness layers.
+
+use publishing_transducers::analysis::emptiness::emptiness;
+use publishing_transducers::analysis::equivalence::{equivalence, randomized_equivalence};
+use publishing_transducers::analysis::Decision;
+use publishing_transducers::core::examples::registrar;
+use publishing_transducers::express::lindatalog::to_lindatalog;
+use publishing_transducers::express::path_queries::{eval_path_union, path_union};
+use publishing_transducers::languages::{for_xml, sqlxml, table1};
+use publishing_transducers::relational::generate;
+use publishing_transducers::xmltree::Dtd;
+use rand::prelude::*;
+
+#[test]
+fn registrar_views_validate_against_their_dtd() {
+    // τ1's output conforms to the recursive registrar DTD of Fig. 6
+    let dtd = Dtd::new("db")
+        .rule("db", "course*")
+        .rule("course", "cno, title, prereq | #eps")
+        .rule("prereq", "course*")
+        .rule("cno", "text")
+        .rule("title", "text");
+    let db = registrar::registrar_instance();
+    let tree = registrar::tau1().output(&db).unwrap();
+    assert!(dtd.conforms(&tree), "τ1 output must conform:\n{tree:?}");
+}
+
+#[test]
+fn frontends_and_core_views_agree() {
+    let db = registrar::registrar_instance();
+    let schema = table1::registrar_schema();
+    let reference = registrar::tau3().output(&db).unwrap();
+    for tree in [
+        for_xml::figure2().compile(&schema).unwrap().output(&db).unwrap(),
+        sqlxml::figure3().compile(&schema).unwrap().output(&db).unwrap(),
+    ] {
+        assert_eq!(tree, reference);
+    }
+}
+
+#[test]
+fn tau1_relational_view_through_three_pipelines() {
+    // direct R_τ, the LinDatalog bridge, and (for a nonrecursive variant)
+    // the Proposition 6 path union all agree on random instances
+    let tau1 = registrar::tau1();
+    let program = to_lindatalog(&tau1, "course").unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let schema = table1::registrar_schema();
+    for _ in 0..10 {
+        let inst = generate::random_instance(&schema, 4, 6, &mut rng);
+        let direct = tau1.run_relational(&inst, "course").unwrap();
+        let via_program = program.eval_output(&inst).unwrap();
+        assert_eq!(direct, via_program);
+    }
+
+    let tau3 = registrar::tau3();
+    let union = path_union(&tau3, "course").unwrap();
+    for _ in 0..10 {
+        let inst = generate::random_instance(&schema, 4, 6, &mut rng);
+        let direct = tau3.run_relational(&inst, "course").unwrap();
+        let via_union = eval_path_union(&union, &inst).unwrap();
+        assert_eq!(direct, via_union);
+    }
+}
+
+#[test]
+fn analysis_layers_agree_on_the_views() {
+    // τ1 is CQ: its emptiness is decidable and it is nonempty
+    assert_eq!(emptiness(&registrar::tau1()), Decision::Decided(false));
+    // τ2 and τ3 are FO: undecidable in general
+    assert!(matches!(
+        emptiness(&registrar::tau2()),
+        Decision::Unsupported(_)
+    ));
+    // τ1 vs τ2 produce different trees — the registrar instance separates
+    // them (random integer instances never satisfy dept = 'CS', so the
+    // randomized tester is blind here; a seeded witness is the right tool)
+    let db = registrar::registrar_instance();
+    assert_ne!(
+        registrar::tau1().output(&db).unwrap(),
+        registrar::tau2().output(&db).unwrap()
+    );
+    let _ = randomized_equivalence; // used in other tests
+    // exact equivalence declines recursive inputs, as documented
+    assert!(matches!(
+        equivalence(&registrar::tau1(), &registrar::tau1()),
+        Decision::Unsupported(_)
+    ));
+}
+
+#[test]
+fn determinism_across_the_stack() {
+    // Proposition 1(1): unique output regardless of evaluation order —
+    // exercised by running everything twice, including virtual elimination
+    let db = registrar::registrar_instance();
+    for tau in [registrar::tau1(), registrar::tau2(), registrar::tau3()] {
+        let a = tau.run(&db).unwrap();
+        let b = tau.run(&db).unwrap();
+        assert_eq!(a.output_tree(), b.output_tree());
+        assert_eq!(a.size(), b.size());
+    }
+}

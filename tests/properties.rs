@@ -1,0 +1,126 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use publishing_transducers::core::Transducer;
+use publishing_transducers::relational::{Instance, Relation, Schema, Value};
+
+fn graph_schema() -> Schema {
+    Schema::with(&[("edge", 2), ("start", 1)])
+}
+
+fn unfold() -> Transducer {
+    Transducer::builder(graph_schema(), "q0", "r")
+        .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
+        .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
+        .build()
+        .unwrap()
+}
+
+prop_compose! {
+    fn arb_instance()(edges in proptest::collection::vec((0i64..6, 0i64..6), 0..14),
+                      starts in proptest::collection::vec(0i64..6, 0..3)) -> Instance {
+        let mut inst = Instance::new();
+        for (a, b) in edges {
+            inst.insert("edge", vec![Value::int(a), Value::int(b)]);
+        }
+        for s in starts {
+            inst.insert("start", vec![Value::int(s)]);
+        }
+        inst
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proposition 1(1): the transformation always terminates with a unique
+    /// tree (checked via determinism + the node budget never tripping on
+    /// these bounded instances).
+    #[test]
+    fn termination_and_determinism(inst in arb_instance()) {
+        let tau = unfold();
+        let a = tau.run(&inst).unwrap().output_tree();
+        let b = tau.run(&inst).unwrap().output_tree();
+        prop_assert_eq!(a, b);
+    }
+
+    /// CQ transducers are monotone as relational queries (the fact behind
+    /// Proposition 4(6) and Theorem 5's negative half).
+    #[test]
+    fn cq_relational_monotonicity(inst in arb_instance(),
+                                  extra in arb_instance()) {
+        let tau = unfold();
+        let big = inst.union(&extra);
+        let small_out = tau.run_relational(&inst, "a").unwrap();
+        let big_out = tau.run_relational(&big, "a").unwrap();
+        for t in small_out.iter() {
+            prop_assert!(big_out.contains(t));
+        }
+    }
+
+    /// Virtual elimination never changes the relational view
+    /// (Theorem 3(1)).
+    #[test]
+    fn virtual_invisibility(inst in arb_instance()) {
+        let make = |virt: bool| {
+            let mut b = Transducer::builder(graph_schema(), "q0", "r");
+            if virt { b = b.virtual_tag("m"); }
+            b.rule("q0", "r", &[("q", "m", "(x) <- start(x)")])
+             .rule("q", "m", &[("q2", "b", "(y) <- exists x (Reg(x) and edge(x, y))")])
+             .build().unwrap()
+        };
+        let with_virtual = make(true).run_relational(&inst, "b").unwrap();
+        let without = make(false).run_relational(&inst, "b").unwrap();
+        prop_assert_eq!(with_virtual, without);
+    }
+
+    /// The output tree never contains a virtual tag, and ξ's size bounds
+    /// the output's size.
+    #[test]
+    fn virtual_tags_eliminated(inst in arb_instance()) {
+        let tau = Transducer::builder(graph_schema(), "q0", "r")
+            .virtual_tag("m")
+            .rule("q0", "r", &[("q", "m", "(x) <- start(x)")])
+            .rule("q", "m", &[
+                ("q", "m", "(y) <- exists x (Reg(x) and edge(x, y))"),
+                ("q2", "b", "(x) <- Reg(x)"),
+            ])
+            .build()
+            .unwrap();
+        let run = tau.run(&inst).unwrap();
+        let tree = run.output_tree();
+        for node in tree.preorder() {
+            prop_assert_ne!(node.label(), "m");
+        }
+        prop_assert!(tree.size() <= run.size());
+    }
+
+    /// Emptiness (decidable CQ case) agrees with execution on the tested
+    /// instances: if the analysis says empty, no instance produces output.
+    #[test]
+    fn emptiness_soundness(inst in arb_instance()) {
+        use publishing_transducers::analysis::emptiness::emptiness;
+        use publishing_transducers::analysis::Decision;
+        let tau = unfold();
+        if emptiness(&tau) == Decision::Decided(true) {
+            prop_assert!(tau.run(&inst).unwrap().output_tree().is_trivial());
+        }
+    }
+
+    /// Registers only ever hold active-domain values plus transducer
+    /// constants (the fact underlying termination, Proposition 1).
+    #[test]
+    fn registers_stay_in_the_active_domain(inst in arb_instance()) {
+        let tau = unfold();
+        let run = tau.run(&inst).unwrap();
+        let adom = inst.active_domain();
+        run.result_tree().visit(&mut |node| {
+            for tuple in node.register.iter() {
+                for v in tuple {
+                    assert!(adom.contains(v), "register value {v:?} outside adom");
+                }
+            }
+        });
+        let _ = Relation::new();
+    }
+}

@@ -1,0 +1,97 @@
+//! Randomized verification of the Section 5 reductions against their
+//! brute-force oracles — the executable content of Table II's hardness
+//! rows, exercised across a batch of random problem instances.
+
+use publishing_transducers::analysis::emptiness::emptiness;
+use publishing_transducers::analysis::membership::member_boolean_domain;
+use publishing_transducers::analysis::oracles::{Cnf, Lit};
+use publishing_transducers::analysis::reductions::{qbf, three_sat};
+use publishing_transducers::analysis::Decision;
+use rand::prelude::*;
+
+fn random_clause(num_vars: usize, rng: &mut impl Rng) -> [Lit; 3] {
+    let mut vars: Vec<usize> = (0..num_vars).collect();
+    vars.shuffle(rng);
+    [0, 1, 2].map(|i| Lit {
+        var: vars[i % num_vars.max(1)],
+        positive: rng.gen_bool(0.5),
+    })
+}
+
+#[test]
+fn three_sat_reduction_random_batch() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let mut sat_count = 0;
+    let total = 30;
+    for _ in 0..total {
+        // clause densities straddling the 3SAT threshold so both outcomes
+        // occur in the batch
+        let num_clauses = rng.gen_range(4..16);
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: (0..num_clauses).map(|_| random_clause(3, &mut rng)).collect(),
+        };
+        let tau = three_sat::emptiness_gadget(&cnf);
+        let expected = cnf.satisfiable();
+        sat_count += expected as usize;
+        assert_eq!(emptiness(&tau), Decision::Decided(!expected));
+    }
+    // both outcomes must actually occur for the batch to mean anything
+    assert!(
+        sat_count > 0 && sat_count < total,
+        "degenerate batch: {sat_count}"
+    );
+}
+
+#[test]
+fn sigma2_membership_reduction_random_batch() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let mut true_count = 0;
+    for _ in 0..8 {
+        let q = qbf::Sigma2 {
+            n_exists: 1,
+            n_forall: 1,
+            clauses: (0..2).map(|_| random_clause(2, &mut rng)).collect(),
+        };
+        let (tau, tree) = qbf::membership_gadget(&q);
+        let expected = q.eval();
+        true_count += expected as usize;
+        assert_eq!(
+            member_boolean_domain(&tau, &tree).is_some(),
+            expected,
+            "mismatch on {q:?}"
+        );
+    }
+    assert!(true_count > 0, "degenerate batch");
+}
+
+#[test]
+fn pi3_equivalence_reduction_both_polarities() {
+    use publishing_transducers::analysis::equivalence::exhaustive_equivalence;
+    use publishing_transducers::relational::Value;
+    let domain = [Value::int(0), Value::int(1)];
+    // true: ∀x ∃y: y = x (as CNF over x, y)
+    let yes = qbf::Pi3 {
+        n_outer_forall: 1,
+        n_exists: 1,
+        n_inner_forall: 0,
+        clauses: vec![
+            [Lit::neg(0), Lit::pos(1), Lit::pos(1)],
+            [Lit::pos(0), Lit::neg(1), Lit::neg(1)],
+        ],
+    };
+    assert!(yes.eval());
+    let (t1, t2) = qbf::equivalence_gadget(&yes);
+    assert_eq!(exhaustive_equivalence(&t1, &t2, &domain, usize::MAX), None);
+
+    // false: ∀x ∃y: x (y irrelevant)
+    let no = qbf::Pi3 {
+        n_outer_forall: 1,
+        n_exists: 1,
+        n_inner_forall: 0,
+        clauses: vec![[Lit::pos(0), Lit::pos(0), Lit::pos(0)]],
+    };
+    assert!(!no.eval());
+    let (t1, t2) = qbf::equivalence_gadget(&no);
+    assert!(exhaustive_equivalence(&t1, &t2, &domain, usize::MAX).is_some());
+}
