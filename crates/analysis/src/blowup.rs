@@ -176,7 +176,7 @@ mod tests {
             let run = tau
                 .run_with(
                     &binary_counter_instance(n),
-                    EvalOptions { max_nodes: 1 << 22 },
+                    EvalOptions::with_max_nodes(1 << 22),
                 )
                 .unwrap();
             let size = run.size();

@@ -78,9 +78,7 @@ pub fn search_witness(
     target: &Tree,
     bounds: &SearchBounds,
 ) -> Option<Instance> {
-    let opts = EvalOptions {
-        max_nodes: bounds.max_nodes,
-    };
+    let opts = EvalOptions::with_max_nodes(bounds.max_nodes);
     for_each_instance(tau.schema(), &bounds.domain, bounds.max_tuples, |inst| {
         match tau.run_with(inst, opts) {
             Ok(run) => (run.output_tree() == *target).then(|| inst.clone()),

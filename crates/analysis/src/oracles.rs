@@ -148,6 +148,13 @@ impl TwoRegisterMachine {
     }
 }
 
+/// A transition guard `(state, read1, read2)`; a read is `Some(bit)` or
+/// `None` for ε.
+pub type TransitionGuard = (usize, Option<bool>, Option<bool>);
+
+/// A transition target `(state', move1, move2)` with moves in `{0, 1}`.
+pub type TransitionTarget = (usize, u8, u8);
+
 /// A deterministic finite 2-head automaton over `{0, 1}` (Theorem 1(2)).
 ///
 /// Transitions are keyed by `(state, read1, read2)` where a read is
@@ -159,7 +166,7 @@ pub struct TwoHeadDfa {
     pub start: usize,
     pub accept: usize,
     /// `(state, read1, read2) → (state', move1, move2)` with moves in {0, 1}.
-    pub transitions: Vec<((usize, Option<bool>, Option<bool>), (usize, u8, u8))>,
+    pub transitions: Vec<(TransitionGuard, TransitionTarget)>,
 }
 
 impl TwoHeadDfa {

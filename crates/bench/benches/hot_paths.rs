@@ -1,0 +1,86 @@
+//! Hot-path microbenches isolating the three engine wins of the evaluation
+//! overhaul: hash joins over interned rows, semi-naive fixpoint iteration,
+//! and configuration-DAG expansion sharing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pt_bench::scaled_registrar;
+use pt_core::examples::registrar;
+use pt_core::EvalOptions;
+use pt_logic::eval::eval_to_relation;
+use pt_logic::{parse_formula, Var};
+use pt_relational::{generate, Instance, Relation, Value};
+
+/// A chain `edge(0,1), …, edge(n-1,n)` plus `start(0)`.
+fn chain_instance(n: usize) -> Instance {
+    let mut edge = Relation::new();
+    for i in 0..n as i64 {
+        edge.insert(vec![Value::int(i), Value::int(i + 1)]);
+    }
+    Instance::new()
+        .with("edge", edge)
+        .with("start", Relation::singleton(vec![Value::int(0)]))
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths/join");
+    g.sample_size(10);
+    // a two-hop join over a dense layered DAG: |r ⋈ s| = width² rows per
+    // layer pair, all produced through the build/probe hash join
+    for width in [8usize, 16, 24] {
+        let inst = Instance::new().with("edge", generate::layered_dag(4, width));
+        let f = parse_formula("exists y (edge(x, y) and edge(y, z))").unwrap();
+        let order = [Var::new("x"), Var::new("z")];
+        g.bench_with_input(BenchmarkId::new("two_hop", width), &inst, |b, inst| {
+            b.iter(|| eval_to_relation(inst, None, &f, &order).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fixpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths/fixpoint");
+    g.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let inst = chain_instance(n);
+        // linear and positive in S: iterated semi-naively
+        let linear = parse_formula(
+            "fix S(x) { start(x) or exists y (S(y) and edge(y, x)) }(w)",
+        )
+        .unwrap();
+        // two occurrences of T: falls back to naive inflationary rounds
+        let nonlinear = parse_formula(
+            "fix T(x, y) { edge(x, y) or exists z (T(x, z) and T(z, y)) }(v, w)",
+        )
+        .unwrap();
+        let w = [Var::new("w")];
+        let vw = [Var::new("v"), Var::new("w")];
+        g.bench_with_input(BenchmarkId::new("semi_naive_reach", n), &inst, |b, inst| {
+            b.iter(|| eval_to_relation(inst, None, &linear, &w).unwrap().len())
+        });
+        if n <= 256 {
+            g.bench_with_input(BenchmarkId::new("naive_closure", n), &inst, |b, inst| {
+                b.iter(|| eval_to_relation(inst, None, &nonlinear, &vw).unwrap().len())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_expansion_sharing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths/expansion");
+    g.sample_size(10);
+    for n in [16usize, 48] {
+        let db = scaled_registrar(n);
+        let tau = registrar::tau1();
+        g.bench_with_input(BenchmarkId::new("tau1_dag", n), &db, |b, db| {
+            b.iter(|| tau.run_with(db, EvalOptions::default()).unwrap().size())
+        });
+        g.bench_with_input(BenchmarkId::new("tau1_tree", n), &db, |b, db| {
+            b.iter(|| tau.run_with(db, EvalOptions::forced_tree()).unwrap().size())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join, bench_fixpoint, bench_expansion_sharing);
+criterion_main!(benches);

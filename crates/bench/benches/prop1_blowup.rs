@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
         if n <= 2 {
             g.bench_with_input(BenchmarkId::new("counter_2_pow_2_pow_n", n), &inst, |b, i| {
                 b.iter(|| {
-                    tau2.run_with(i, EvalOptions { max_nodes: 1 << 22 })
+                    tau2.run_with(i, EvalOptions::with_max_nodes(1 << 22))
                         .unwrap()
                         .size()
                 })

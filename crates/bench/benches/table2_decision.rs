@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
             let mut builder = Transducer::builder(schema, "q0", "r")
                 .rule("q0", "r", &[("s1", "a1", "(x) <- s(x)")]);
             for i in 1..n {
-                let q = format!("(y) <- exists x (Reg(x) and s(y) and x != y)");
+                let q = "(y) <- exists x (Reg(x) and s(y) and x != y)".to_string();
                 builder = builder.rule(
                     &format!("s{i}"),
                     &format!("a{i}"),

@@ -1,7 +1,10 @@
 //! Regenerate every table and figure of the paper as text reports.
 //!
 //! Usage: `cargo run --release -p pt-bench --bin run_experiments [section]`
-//! with `section` in `{fig1, table1, table2, table3, prop1, all}`.
+//! with `section` in `{fig1, table1, table2, table3, prop1, quick, all}`.
+//! The `quick` section (also spelled `--quick`) times the engine's hot
+//! paths and writes a machine-readable `BENCH_1.json` so later changes have
+//! a recorded perf trajectory.
 
 use std::time::Instant;
 
@@ -223,7 +226,7 @@ fn prop1() {
         let inst = blowup::diamond_chain_instance(n);
         let start = Instant::now();
         let size = tau1
-            .run_with(&inst, EvalOptions { max_nodes: 1 << 24 })
+            .run_with(&inst, EvalOptions::with_max_nodes(1 << 24))
             .unwrap()
             .size();
         println!(
@@ -240,7 +243,7 @@ fn prop1() {
         let orbit = blowup::counter_orbit_length(n);
         let materialized = if n <= 2 {
             let size = tau2
-                .run_with(&blowup::binary_counter_instance(n), EvalOptions { max_nodes: 1 << 24 })
+                .run_with(&blowup::binary_counter_instance(n), EvalOptions::with_max_nodes(1 << 24))
                 .unwrap()
                 .size();
             format!("output = {size}")
@@ -254,6 +257,166 @@ fn prop1() {
     }
 }
 
+/// One timed entry of the quick benchmark report.
+struct BenchEntry {
+    name: &'static str,
+    metric: &'static str,
+    value: f64,
+    note: String,
+}
+
+fn time_ms(mut f: impl FnMut() -> usize) -> (f64, usize) {
+    // one warm-up, then best of three (quick mode favors stability over
+    // statistics; the criterion benches do the careful measuring)
+    let mut out = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+/// The quick engine benchmark: end-to-end DAG vs. forced-tree (the pre-PR
+/// engine) on the Figure 1 data-complexity workload, the Proposition 1(3)
+/// blowup family, and the join/fixpoint microworkloads. Emits `BENCH_1.json`.
+fn quick() {
+    use pt_core::{EvalOptions, ExpansionMode};
+    use pt_logic::Var;
+
+    println!("== QUICK: engine hot-path benchmark ==");
+    let mut entries: Vec<BenchEntry> = Vec::new();
+
+    // end-to-end: τ1 on the chained registrar at n = 200
+    let db = scaled_registrar(200);
+    let tau = registrar::tau1();
+    let opts = |mode| EvalOptions {
+        max_nodes: 1 << 26,
+        mode,
+    };
+    let (dag_ms, nodes) = time_ms(|| tau.run_with(&db, opts(ExpansionMode::Dag)).unwrap().size());
+    println!("scaled_registrar(200) tau1 dag : {dag_ms:>10.1} ms  ({nodes} xi-nodes)");
+    // the tree baseline is slow (tens of seconds) — one measurement only
+    let start = Instant::now();
+    let tree_nodes = tau
+        .run_with(&db, opts(ExpansionMode::Tree))
+        .unwrap()
+        .size();
+    let tree_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(nodes, tree_nodes, "modes must agree on the unfolded size");
+    let speedup = tree_ms / dag_ms;
+    println!("scaled_registrar(200) tau1 tree: {tree_ms:>10.1} ms  (pre-PR engine baseline)");
+    println!("speedup: {speedup:.1}x");
+    entries.push(BenchEntry {
+        name: "scaled_registrar_n200_tau1_dag",
+        metric: "ms",
+        value: dag_ms,
+        note: format!("{nodes} xi-nodes"),
+    });
+    entries.push(BenchEntry {
+        name: "scaled_registrar_n200_tau1_tree_baseline",
+        metric: "ms",
+        value: tree_ms,
+        note: "forced tree expansion: the pre-PR engine".to_string(),
+    });
+    entries.push(BenchEntry {
+        name: "scaled_registrar_n200_speedup",
+        metric: "x",
+        value: speedup,
+        note: "dag vs tree end-to-end".to_string(),
+    });
+
+    // asymptotics: the Proposition 1(3) blowup family; tree mode is
+    // exponential in n while the DAG stays linear
+    let tau = blowup::diamond_chain_transducer();
+    for (n, tree_too) in [(14usize, true), (40, false)] {
+        let inst = blowup::diamond_chain_instance(n);
+        let (dag_ms, size) = time_ms(|| {
+            tau.run_with(&inst, EvalOptions { max_nodes: usize::MAX, mode: ExpansionMode::Dag })
+                .unwrap()
+                .size()
+        });
+        println!("prop1_diamond n={n:<3} dag : {dag_ms:>10.1} ms  (unfolded size {size})");
+        entries.push(BenchEntry {
+            name: if n == 14 { "prop1_diamond_n14_dag" } else { "prop1_diamond_n40_dag" },
+            metric: "ms",
+            value: dag_ms,
+            note: format!("unfolded size {size}"),
+        });
+        if tree_too {
+            let start = Instant::now();
+            tau.run_with(&inst, EvalOptions { max_nodes: 1 << 24, mode: ExpansionMode::Tree })
+                .unwrap();
+            let tree_ms = start.elapsed().as_secs_f64() * 1e3;
+            println!("prop1_diamond n={n:<3} tree: {tree_ms:>10.1} ms");
+            entries.push(BenchEntry {
+                name: "prop1_diamond_n14_tree_baseline",
+                metric: "ms",
+                value: tree_ms,
+                note: "exponential materialization".to_string(),
+            });
+        }
+    }
+
+    // microworkloads for the trajectory: hash join and semi-naive fixpoint
+    let join_inst =
+        pt_relational::Instance::new().with("edge", generate::layered_dag(4, 24));
+    let join_f =
+        pt_logic::parse_formula("exists y (edge(x, y) and edge(y, z))").unwrap();
+    let order = [Var::new("x"), Var::new("z")];
+    let (join_ms, join_rows) = time_ms(|| {
+        pt_logic::eval::eval_to_relation(&join_inst, None, &join_f, &order)
+            .unwrap()
+            .len()
+    });
+    println!("join two_hop w=24          : {join_ms:>10.1} ms  ({join_rows} rows)");
+    entries.push(BenchEntry {
+        name: "join_two_hop_w24",
+        metric: "ms",
+        value: join_ms,
+        note: format!("{join_rows} rows"),
+    });
+
+    let mut edge = pt_relational::Relation::new();
+    for i in 0..1024i64 {
+        edge.insert(vec![Value::int(i), Value::int(i + 1)]);
+    }
+    let fix_inst = pt_relational::Instance::new()
+        .with("edge", edge)
+        .with("start", pt_relational::Relation::singleton(vec![Value::int(0)]));
+    let fix_f = pt_logic::parse_formula(
+        "fix S(x) { start(x) or exists y (S(y) and edge(y, x)) }(w)",
+    )
+    .unwrap();
+    let w = [Var::new("w")];
+    let (fix_ms, fix_rows) = time_ms(|| {
+        pt_logic::eval::eval_to_relation(&fix_inst, None, &fix_f, &w)
+            .unwrap()
+            .len()
+    });
+    println!("fixpoint reach n=1024      : {fix_ms:>10.1} ms  ({fix_rows} rows)");
+    entries.push(BenchEntry {
+        name: "fixpoint_reach_n1024",
+        metric: "ms",
+        value: fix_ms,
+        note: format!("{fix_rows} rows, semi-naive"),
+    });
+
+    // hand-rolled JSON: the workspace is offline, no serde available
+    let mut json = String::from("{\n  \"bench\": 1,\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"metric\": \"{}\", \"value\": {:.3}, \"note\": \"{}\"}}{comma}\n",
+            e.name, e.metric, e.value, e.note
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_1.json", &json).expect("writing BENCH_1.json");
+    println!("wrote BENCH_1.json");
+}
+
 fn main() {
     let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match section.as_str() {
@@ -262,6 +425,7 @@ fn main() {
         "table2" => table2(),
         "table3" => table3(),
         "prop1" => prop1(),
+        "quick" | "--quick" => quick(),
         "all" => {
             fig1();
             println!();
@@ -274,7 +438,7 @@ fn main() {
             prop1();
         }
         other => {
-            eprintln!("unknown section {other}; use fig1|table1|table2|table3|prop1|all");
+            eprintln!("unknown section {other}; use fig1|table1|table2|table3|prop1|quick|all");
             std::process::exit(1);
         }
     }

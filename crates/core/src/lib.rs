@@ -30,7 +30,7 @@ pub mod examples;
 pub mod semantics;
 pub mod transducer;
 
-pub use semantics::{EvalOptions, ResultNode, RunError, RunResult};
+pub use semantics::{EvalOptions, ExpansionMode, ResultNode, RunError, RunResult};
 pub use transducer::{
     DependencyGraph, Output, PathStep, PtClass, RuleItem, Store, Transducer, TransducerBuilder,
 };

@@ -9,28 +9,90 @@
 //! accidentally huge outputs — the paper's own Proposition 1(3,4) shows
 //! outputs can be exponential (tuple stores) or doubly exponential
 //! (relation stores) in the input.
+//!
+//! # Configuration-DAG memoization
+//!
+//! A *configuration* is a `(state, tag, register)` triple. Registers range
+//! over the active domain (Proposition 1), so the configuration space of a
+//! run is finite, and the exponential outputs of Proposition 1(3,4) arise
+//! precisely from the same configuration being expanded over and over along
+//! different branches. The default [`ExpansionMode::Dag`] therefore interns
+//! configurations and memoizes [`Transducer::expand`]: identical subtrees
+//! are computed once and shared via [`Arc`], turning the result tree into a
+//! DAG whose *unfolding* is exactly the tree semantics.
+//!
+//! Memoization must respect the stop condition, which consults the
+//! *ancestor path*: an expansion of configuration `c` is a deterministic
+//! function of `c` and of `S ∩ E`, where `S` is the set of ancestor
+//! configurations and `E` is the expansion's *footprint* (every
+//! configuration encountered inside it — those are the only ancestors the
+//! stop condition can ever compare against). Each memo entry records its
+//! footprint and the ancestor intersection it was computed under, and is
+//! reused only when the current path has the same intersection. In the
+//! common case the intersection is empty and every entry is shared
+//! globally.
+//!
+//! [`ExpansionMode::Tree`] forces the pre-memoization behavior — every node
+//! expanded independently, one query evaluation per node — and exists as a
+//! differential-testing oracle and performance baseline.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 use pt_logic::eval::EvalError;
+use pt_logic::EvalContext;
+use pt_relational::intern::FxHashSet;
 use pt_relational::{Instance, Relation};
 use pt_xmltree::Tree;
 
 use crate::transducer::Transducer;
 
-/// Evaluation limits.
+/// How [`Transducer::run_with`] expands the result tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExpansionMode {
+    /// Intern configurations and share identical subtrees (the default).
+    #[default]
+    Dag,
+    /// Expand every node independently, re-evaluating queries per node —
+    /// the pre-memoization engine, kept as a differential oracle and
+    /// baseline.
+    Tree,
+}
+
+/// Evaluation limits and strategy.
 #[derive(Clone, Copy, Debug)]
 pub struct EvalOptions {
     /// Maximum number of nodes of the result tree ξ (virtual nodes
-    /// included).
+    /// included, counted over the *unfolded* tree in both modes).
     pub max_nodes: usize,
+    /// Expansion strategy.
+    pub mode: ExpansionMode,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
             max_nodes: 1_000_000,
+            mode: ExpansionMode::Dag,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Default limits with the given node budget.
+    pub fn with_max_nodes(max_nodes: usize) -> Self {
+        EvalOptions {
+            max_nodes,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// Default limits with [`ExpansionMode::Tree`] forced.
+    pub fn forced_tree() -> Self {
+        EvalOptions {
+            mode: ExpansionMode::Tree,
+            ..EvalOptions::default()
         }
     }
 }
@@ -63,39 +125,91 @@ impl From<EvalError> for RunError {
 
 /// A node of the result tree ξ ∈ Tree_{Q×Σ}: tag, creating state, register
 /// content, and ordered children.
+///
+/// Children are held behind [`Arc`] so that the DAG expansion can share
+/// identical subtrees; all tree-shaped observers ([`ResultNode::size`],
+/// [`ResultNode::depth`], [`ResultNode::visit`]) report on the *unfolded*
+/// tree, so sharing is semantically invisible.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ResultNode {
     pub state: String,
     pub tag: String,
     pub register: Relation,
-    pub children: Vec<ResultNode>,
+    pub children: Vec<Arc<ResultNode>>,
     /// Whether the stop condition sealed this node (an ancestor repeated
     /// its state, tag, and register).
     pub stopped: bool,
 }
 
 impl ResultNode {
-    /// Number of nodes in this subtree.
+    /// Number of nodes in the unfolded subtree. Computed with per-subtree
+    /// memoization, so it is linear in the number of *distinct* nodes even
+    /// when the unfolding is exponential.
     pub fn size(&self) -> usize {
-        1 + self.children.iter().map(ResultNode::size).sum::<usize>()
+        fn go(node: &ResultNode, cache: &mut HashMap<*const ResultNode, usize>) -> usize {
+            let key = node as *const ResultNode;
+            if let Some(&n) = cache.get(&key) {
+                return n;
+            }
+            let n = 1 + node
+                .children
+                .iter()
+                .map(|c| go(c, cache))
+                .sum::<usize>();
+            cache.insert(key, n);
+            n
+        }
+        go(self, &mut HashMap::new())
     }
 
-    /// Depth of this subtree (a single node has depth 1).
+    /// Depth of the unfolded subtree (a single node has depth 1), memoized
+    /// like [`ResultNode::size`].
     pub fn depth(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(ResultNode::depth)
-            .max()
-            .unwrap_or(0)
+        fn go(node: &ResultNode, cache: &mut HashMap<*const ResultNode, usize>) -> usize {
+            let key = node as *const ResultNode;
+            if let Some(&d) = cache.get(&key) {
+                return d;
+            }
+            let d = 1 + node
+                .children
+                .iter()
+                .map(|c| go(c, cache))
+                .max()
+                .unwrap_or(0);
+            cache.insert(key, d);
+            d
+        }
+        go(self, &mut HashMap::new())
     }
 
-    /// Visit every node, preorder.
+    /// Visit every node of the *unfolded* tree, preorder. A shared subtree
+    /// is visited once per occurrence; cost is proportional to the
+    /// unfolding.
     pub fn visit(&self, f: &mut impl FnMut(&ResultNode)) {
         f(self);
         for c in &self.children {
             c.visit(f);
         }
+    }
+
+    /// Visit every *distinct* node once (preorder on the DAG). Equivalent
+    /// to [`ResultNode::visit`] for observations that are insensitive to
+    /// multiplicity, at cost proportional to the DAG.
+    pub fn visit_distinct(&self, f: &mut impl FnMut(&ResultNode)) {
+        fn go(
+            node: &ResultNode,
+            seen: &mut FxHashSet<*const ResultNode>,
+            f: &mut impl FnMut(&ResultNode),
+        ) {
+            if !seen.insert(node as *const ResultNode) {
+                return;
+            }
+            f(node);
+            for c in &node.children {
+                go(c, seen, f);
+            }
+        }
+        go(self, &mut FxHashSet::default(), f);
     }
 }
 
@@ -103,7 +217,7 @@ impl ResultNode {
 /// and registers) plus everything derived from it.
 #[derive(Clone, Debug)]
 pub struct RunResult {
-    root: ResultNode,
+    root: Arc<ResultNode>,
     virtual_tags: BTreeSet<String>,
 }
 
@@ -124,7 +238,8 @@ impl RunResult {
     }
 
     /// The output Σ-tree `τ(I)`: states and registers stripped, text nodes
-    /// rendered, virtual nodes spliced out (Section 3).
+    /// rendered, virtual nodes spliced out (Section 3). Materializes the
+    /// full unfolding.
     pub fn output_tree(&self) -> Tree {
         strip(&self.root, &self.virtual_tags)
     }
@@ -133,7 +248,8 @@ impl RunResult {
     /// registers of every node of ξ labeled with the designated output tag.
     pub fn relational_output(&self, output_tag: &str) -> Relation {
         let mut out = Relation::new();
-        self.root.visit(&mut |node| {
+        // the union is multiplicity-insensitive: distinct nodes suffice
+        self.root.visit_distinct(&mut |node| {
             if node.tag == output_tag {
                 for t in node.register.iter() {
                     out.insert(t.clone());
@@ -167,6 +283,153 @@ fn collect_children(node: &ResultNode, virtual_tags: &BTreeSet<String>, out: &mu
     }
 }
 
+/// A hash-consed configuration id.
+type ConfigId = u32;
+
+/// One memoized expansion of a configuration.
+struct MemoEntry {
+    /// Every configuration encountered inside the expansion (including its
+    /// own): the only ancestors the stop condition could compare against.
+    footprint: FxHashSet<ConfigId>,
+    /// `ancestors ∩ footprint` at expansion time, sorted.
+    blocked: Vec<ConfigId>,
+    node: Arc<ResultNode>,
+    /// Unfolded ξ-node count of the subtree (for budget accounting).
+    size: usize,
+}
+
+/// A configuration key, shared between the intern table and the id-indexed
+/// store so each `(state, tag, register)` triple is kept once.
+type ConfigKey = std::rc::Rc<(String, String, Relation)>;
+
+/// Mutable state of one DAG-mode run.
+struct DagExpansion<'t, 'a> {
+    tau: &'t Transducer,
+    ctx: EvalContext<'a>,
+    opts: EvalOptions,
+    count: usize,
+    /// Intern table for configurations.
+    ids: HashMap<ConfigKey, ConfigId>,
+    configs: Vec<ConfigKey>,
+    entries: Vec<Vec<MemoEntry>>,
+}
+
+impl<'t, 'a> DagExpansion<'t, 'a> {
+    fn config_id(&mut self, state: &str, tag: &str, register: Relation) -> ConfigId {
+        let key = (state.to_string(), tag.to_string(), register);
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.configs.len() as ConfigId;
+        let key = ConfigKey::new(key);
+        self.configs.push(ConfigKey::clone(&key));
+        self.ids.insert(key, id);
+        self.entries.push(Vec::new());
+        id
+    }
+
+    fn charge(&mut self, nodes: usize) -> Result<(), RunError> {
+        self.count += nodes;
+        if self.count > self.opts.max_nodes {
+            return Err(RunError::NodeLimit(self.opts.max_nodes));
+        }
+        Ok(())
+    }
+
+    /// Expand configuration `cid` under the ancestor path `path` /
+    /// `on_path`, returning the (possibly shared) subtree, its footprint,
+    /// and its unfolded size.
+    fn expand(
+        &mut self,
+        cid: ConfigId,
+        path: &mut Vec<ConfigId>,
+        on_path: &mut FxHashSet<ConfigId>,
+    ) -> Result<(Arc<ResultNode>, FxHashSet<ConfigId>, usize), RunError> {
+        // memo lookup: an entry is reusable iff the current ancestors
+        // intersect its footprint exactly as the recorded ancestors did
+        for entry in &self.entries[cid as usize] {
+            let mut s_cap: Vec<ConfigId> = path
+                .iter()
+                .copied()
+                .filter(|c| entry.footprint.contains(c))
+                .collect();
+            s_cap.sort_unstable();
+            if s_cap == entry.blocked {
+                let (node, footprint, size) =
+                    (Arc::clone(&entry.node), entry.footprint.clone(), entry.size);
+                self.charge(size)?;
+                return Ok((node, footprint, size));
+            }
+        }
+
+        let (state, tag, register) = (*self.configs[cid as usize]).clone();
+
+        // stop condition (Section 3, condition (1)): an ancestor with the
+        // same state, tag and register seals this leaf
+        if on_path.contains(&cid) {
+            self.charge(1)?;
+            let node = Arc::new(ResultNode {
+                state,
+                tag,
+                register,
+                children: Vec::new(),
+                stopped: true,
+            });
+            let footprint: FxHashSet<ConfigId> = [cid].into_iter().collect();
+            self.entries[cid as usize].push(MemoEntry {
+                footprint: footprint.clone(),
+                blocked: vec![cid],
+                node: Arc::clone(&node),
+                size: 1,
+            });
+            return Ok((node, footprint, 1));
+        }
+
+        self.charge(1)?;
+        let tau = self.tau;
+        let items = tau.rule(&state, &tag);
+        let mut children = Vec::new();
+        let mut footprint: FxHashSet<ConfigId> = [cid].into_iter().collect();
+        let mut size = 1usize;
+        if !items.is_empty() {
+            path.push(cid);
+            on_path.insert(cid);
+            for item in items {
+                // children grouped by x̄, ordered by the domain order
+                for (_, group) in item.query.groups_with(&self.ctx, Some(&register))? {
+                    let child = self.config_id(&item.state, &item.tag, group);
+                    let (node, fp, sz) = self.expand(child, path, on_path)?;
+                    children.push(node);
+                    footprint.extend(fp);
+                    size += sz;
+                }
+            }
+            path.pop();
+            on_path.remove(&cid);
+        }
+        let node = Arc::new(ResultNode {
+            state,
+            tag,
+            register,
+            children,
+            stopped: false,
+        });
+        let mut blocked: Vec<ConfigId> = path
+            .iter()
+            .copied()
+            .filter(|c| footprint.contains(c))
+            .collect();
+        blocked.sort_unstable();
+        self.entries[cid as usize].push(MemoEntry {
+            footprint: footprint.clone(),
+            blocked,
+            node: Arc::clone(&node),
+            size,
+        });
+        Ok((node, footprint, size))
+    }
+}
+
 impl Transducer {
     /// Run the τ-transformation on `instance` with default limits.
     pub fn run(&self, instance: &Instance) -> Result<RunResult, RunError> {
@@ -179,17 +442,40 @@ impl Transducer {
         instance: &Instance,
         opts: EvalOptions,
     ) -> Result<RunResult, RunError> {
-        let mut count = 0usize;
-        let mut path: Vec<(String, String, Relation)> = Vec::new();
-        let root = self.expand(
-            instance,
-            self.start_state(),
-            self.root_tag(),
-            Relation::new(),
-            &mut path,
-            &mut count,
-            &opts,
-        )?;
+        let root = match opts.mode {
+            ExpansionMode::Dag => {
+                let mut exp = DagExpansion {
+                    tau: self,
+                    ctx: EvalContext::new(instance),
+                    opts,
+                    count: 0,
+                    ids: HashMap::new(),
+                    configs: Vec::new(),
+                    entries: Vec::new(),
+                };
+                let root_cid = exp.config_id(
+                    self.start_state(),
+                    self.root_tag(),
+                    Relation::new(),
+                );
+                let (root, _, _) =
+                    exp.expand(root_cid, &mut Vec::new(), &mut FxHashSet::default())?;
+                root
+            }
+            ExpansionMode::Tree => {
+                let mut count = 0usize;
+                let mut path: Vec<(String, String, Relation)> = Vec::new();
+                Arc::new(self.expand_tree(
+                    instance,
+                    self.start_state(),
+                    self.root_tag(),
+                    Relation::new(),
+                    &mut path,
+                    &mut count,
+                    &opts,
+                )?)
+            }
+        };
         Ok(RunResult {
             root,
             virtual_tags: self.virtual_tags().clone(),
@@ -228,8 +514,10 @@ impl Transducer {
         Ok(self.run(instance)?.relational_output(output_tag))
     }
 
+    /// The pre-memoization expansion: every node expanded independently
+    /// ([`ExpansionMode::Tree`]).
     #[allow(clippy::too_many_arguments)]
-    fn expand(
+    fn expand_tree(
         &self,
         instance: &Instance,
         state: &str,
@@ -257,14 +545,14 @@ impl Transducer {
                 stopped: true,
             });
         }
-        let items = self.rule(state, tag).to_vec();
+        let items = self.rule(state, tag);
         let mut children = Vec::new();
         if !items.is_empty() {
             path.push((state.to_string(), tag.to_string(), register.clone()));
-            for item in &items {
+            for item in items {
                 // children grouped by x̄, ordered by the domain order
                 for (_, group) in item.query.groups(instance, Some(&register))? {
-                    children.push(self.expand(
+                    children.push(Arc::new(self.expand_tree(
                         instance,
                         &item.state,
                         &item.tag,
@@ -272,7 +560,7 @@ impl Transducer {
                         path,
                         count,
                         opts,
-                    )?);
+                    )?));
                 }
             }
             path.pop();
@@ -368,10 +656,54 @@ mod tests {
         let inst = Instance::new()
             .with("start", rel![[0]])
             .with("edge", rel![[0, 1], [1, 0]]);
-        let err = unfold()
-            .run_with(&inst, EvalOptions { max_nodes: 2 })
-            .unwrap_err();
-        assert_eq!(err, RunError::NodeLimit(2));
+        for mode in [ExpansionMode::Dag, ExpansionMode::Tree] {
+            let err = unfold()
+                .run_with(&inst, EvalOptions { max_nodes: 2, mode })
+                .unwrap_err();
+            assert_eq!(err, RunError::NodeLimit(2));
+        }
+    }
+
+    #[test]
+    fn node_budget_counts_the_unfolding() {
+        // a diamond: both middles lead to the same tail configuration, so
+        // the DAG shares it — but the budget must still count the unfolded
+        // tree, exactly like tree mode
+        let inst = Instance::new()
+            .with("start", rel![[0]])
+            .with("edge", rel![[0, 1], [0, 2], [1, 3], [2, 3]]);
+        let tau = unfold();
+        let size = tau.run(&inst).unwrap().size(); // root, 0, 1, 2, 3, 3
+        assert_eq!(size, 6);
+        for mode in [ExpansionMode::Dag, ExpansionMode::Tree] {
+            assert!(tau
+                .run_with(&inst, EvalOptions { max_nodes: size, mode })
+                .is_ok());
+            assert_eq!(
+                tau.run_with(&inst, EvalOptions { max_nodes: size - 1, mode })
+                    .unwrap_err(),
+                RunError::NodeLimit(size - 1),
+                "budget must trip on the unfolded count in {mode:?} mode"
+            );
+        }
+    }
+
+    #[test]
+    fn dag_and_tree_modes_agree() {
+        let t = unfold();
+        // a shape with sharing, a cycle, and a self-loop
+        let inst = Instance::new()
+            .with("start", rel![[0], [5]])
+            .with(
+                "edge",
+                rel![[0, 1], [0, 2], [1, 3], [2, 3], [3, 0], [5, 5]],
+            );
+        let dag = t.run_with(&inst, EvalOptions::default()).unwrap();
+        let tree = t.run_with(&inst, EvalOptions::forced_tree()).unwrap();
+        assert_eq!(dag.output_tree(), tree.output_tree());
+        assert_eq!(dag.size(), tree.size());
+        assert_eq!(dag.depth(), tree.depth());
+        assert_eq!(dag.relational_output("a"), tree.relational_output("a"));
     }
 
     #[test]
@@ -487,5 +819,38 @@ mod tests {
             .unwrap()
             .output_tree();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dag_mode_shares_repeated_subtrees() {
+        // chain-of-diamonds: 2^n leaves in the unfolding, but only O(n)
+        // distinct configurations — DAG mode must materialize O(n) nodes
+        let mut edges = Relation::new();
+        let n = 12i64;
+        for i in 0..n {
+            for j in 0..2 {
+                edges.insert(vec![
+                    Value::str(format!("a{i}")),
+                    Value::str(format!("b{i}_{j}")),
+                ]);
+                edges.insert(vec![
+                    Value::str(format!("b{i}_{j}")),
+                    Value::str(format!("a{}", i + 1)),
+                ]);
+            }
+        }
+        let inst = Instance::new()
+            .with("start", rel![["a0"]])
+            .with("edge", edges);
+        let run = unfold().run(&inst).unwrap();
+        // unfolded size is exponential…
+        assert!(run.size() > 1 << n);
+        // …but the DAG holds one node per distinct configuration
+        let mut distinct = 0usize;
+        run.result_tree().visit_distinct(&mut |_| distinct += 1);
+        assert!(
+            distinct <= 4 * (n as usize) + 3,
+            "expected O(n) distinct nodes, got {distinct}"
+        );
     }
 }

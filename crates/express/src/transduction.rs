@@ -409,7 +409,7 @@ mod tests {
             &[Var::new("n0"), Var::new("m0")],
         )
         .unwrap();
-        assert!(fc.contains(&[1.into(), 1.into()]) == false);
+        assert!(!fc.contains(&[1.into(), 1.into()]));
         assert!(fc.contains(&[0.into(), 1.into()]));
         assert_eq!(fc.len(), 1);
         let ns = eval_to_relation(

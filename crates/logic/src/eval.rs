@@ -6,11 +6,27 @@
 //! occurring in the instance, in the register, or as a constant of the
 //! formula. All queries in the paper are domain-independent, so this matches
 //! their semantics; it also keeps evaluation effective.
+//!
+//! # Hot-path architecture
+//!
+//! The evaluator runs on an interned representation: the active domain is
+//! mapped to dense `u32` symbols ([`pt_relational::Interner`]) when the
+//! [`Evaluator`] is built, and every intermediate result ([`Bindings`]) holds
+//! rows of symbols, so joins, projections and complements hash and compare
+//! machine integers instead of `Value`s. Base-relation atoms with constant
+//! arguments probe per-column hash indexes ([`InstanceIndex`]) instead of
+//! scanning; a shared [`EvalContext`] carries the instance's active domain
+//! and index cache across the many queries of a transducer run. Inflationary
+//! fixpoints iterate semi-naively (delta-driven) whenever the body is linear
+//! and positive in the fixpoint predicate.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
+use std::rc::Rc;
 
-use pt_relational::{Instance, Relation, Tuple, Value};
+use pt_relational::intern::{FxHashMap, FxHashSet, Interner, Sym, SymTuple};
+use pt_relational::{Instance, InstanceIndex, Relation, Tuple, Value};
 
 use crate::formula::Formula;
 use crate::term::{Term, Var};
@@ -31,41 +47,154 @@ fn err<T>(msg: impl Into<String>) -> Result<T, EvalError> {
     Err(EvalError(msg.into()))
 }
 
+/// The interner shared between an [`Evaluator`] and every [`Bindings`] it
+/// produces; symbols are only meaningful relative to it.
+type SharedInterner = Rc<RefCell<Interner>>;
+
+/// Shared per-run evaluation state: the instance, its active domain, and
+/// the per-column index cache. Build one per transducer run (or any batch of
+/// queries over the same instance) and evaluate every query through it via
+/// [`Evaluator::with_context`] so index builds and the active-domain scan are
+/// paid once instead of per query.
+pub struct EvalContext<'a> {
+    instance: &'a Instance,
+    adom: BTreeSet<Value>,
+    syms: SharedInterner,
+    index: InstanceIndex<'a>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Scan `instance` once for its active domain and set up the (lazy)
+    /// column-index cache.
+    pub fn new(instance: &'a Instance) -> Self {
+        EvalContext {
+            instance,
+            adom: instance.active_domain(),
+            syms: Rc::new(RefCell::new(Interner::new())),
+            index: InstanceIndex::new(instance),
+        }
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+}
+
 /// A finite set of variable assignments: the result of evaluating a formula.
 ///
 /// Invariant: `vars` lists the formula's free variables (each exactly once);
-/// every row has `vars.len()` values.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// every row has `vars.len()` symbols, all relative to the carried interner.
+#[derive(Clone, Debug)]
 pub struct Bindings {
     vars: Vec<Var>,
-    rows: HashSet<Vec<Value>>,
+    rows: FxHashSet<SymTuple>,
+    syms: SharedInterner,
+}
+
+impl PartialEq for Bindings {
+    fn eq(&self, other: &Self) -> bool {
+        // symbol rows are only comparable under a shared interner; fall back
+        // to resolved values otherwise
+        if Rc::ptr_eq(&self.syms, &other.syms) {
+            self.vars == other.vars && self.rows == other.rows
+        } else {
+            self.vars == other.vars
+                && self.len() == other.len()
+                && self
+                    .value_rows()
+                    .into_iter()
+                    .collect::<HashSet<_>>()
+                    == other.value_rows().into_iter().collect::<HashSet<_>>()
+        }
+    }
+}
+
+impl Eq for Bindings {}
+
+/// Join keys: the common cases (zero, one, two shared columns) avoid a heap
+/// allocation per probed row.
+#[derive(PartialEq, Eq, Hash)]
+enum JoinKey {
+    Zero,
+    One(Sym),
+    Two(Sym, Sym),
+    Many(SymTuple),
+}
+
+fn join_key(row: &[Sym], positions: &[usize]) -> JoinKey {
+    match positions {
+        [] => JoinKey::Zero,
+        [i] => JoinKey::One(row[*i]),
+        [i, j] => JoinKey::Two(row[*i], row[*j]),
+        _ => JoinKey::Many(positions.iter().map(|&i| row[i]).collect()),
+    }
 }
 
 impl Bindings {
+    fn fresh_syms() -> SharedInterner {
+        Rc::new(RefCell::new(Interner::new()))
+    }
+
+    /// Adopt the interner the result of a binary operation should carry:
+    /// `self`'s, unless it is empty and the other side's is not (as happens
+    /// when folding from [`Bindings::unit`] / [`Bindings::empty`]).
+    fn adopt_syms(&self, other: &Bindings) -> SharedInterner {
+        if self.syms.borrow().is_empty() && !other.syms.borrow().is_empty() {
+            Rc::clone(&other.syms)
+        } else {
+            Rc::clone(&self.syms)
+        }
+    }
+
+    /// `other`, with rows expressed relative to `syms`. Bindings produced by
+    /// one evaluator share an interner and borrow through unchanged; mixing
+    /// results of independent evaluators translates symbols through their
+    /// values so binary operations stay correct rather than comparing
+    /// incompatible ids.
+    fn aligned_to<'o>(
+        other: &'o Bindings,
+        syms: &SharedInterner,
+        storage: &'o mut Option<Bindings>,
+    ) -> &'o Bindings {
+        if Rc::ptr_eq(&other.syms, syms) || other.syms.borrow().is_empty() {
+            return other;
+        }
+        let translated: FxHashSet<SymTuple> = {
+            let src = other.syms.borrow();
+            let mut dst = syms.borrow_mut();
+            other
+                .rows
+                .iter()
+                .map(|row| row.iter().map(|&s| dst.intern(src.resolve(s))).collect())
+                .collect()
+        };
+        storage.insert(Bindings::with_syms(
+            other.vars.clone(),
+            translated,
+            Rc::clone(syms),
+        ))
+    }
+
+    fn with_syms(vars: Vec<Var>, rows: FxHashSet<SymTuple>, syms: SharedInterner) -> Self {
+        Bindings { vars, rows, syms }
+    }
+
     /// The unit: no columns, one (empty) row. Identity for joins.
     pub fn unit() -> Self {
-        Bindings {
-            vars: Vec::new(),
-            rows: HashSet::from([Vec::new()]),
-        }
+        let mut rows = FxHashSet::default();
+        rows.insert(Vec::new());
+        Bindings::with_syms(Vec::new(), rows, Bindings::fresh_syms())
     }
 
     /// No rows over the given columns.
     pub fn empty(vars: Vec<Var>) -> Self {
-        Bindings {
-            vars,
-            rows: HashSet::new(),
-        }
+        Bindings::with_syms(vars, FxHashSet::default(), Bindings::fresh_syms())
     }
 
     /// The columns.
     pub fn vars(&self) -> &[Var] {
         &self.vars
-    }
-
-    /// The rows (unordered).
-    pub fn rows(&self) -> &HashSet<Vec<Value>> {
-        &self.rows
     }
 
     /// Number of rows.
@@ -78,12 +207,42 @@ impl Bindings {
         self.rows.is_empty()
     }
 
+    /// The rows, resolved back to values (column order = [`Bindings::vars`]).
+    pub fn value_rows(&self) -> Vec<Vec<Value>> {
+        let syms = self.syms.borrow();
+        self.rows
+            .iter()
+            .map(|row| row.iter().map(|&s| syms.resolve(s).clone()).collect())
+            .collect()
+    }
+
+    /// Whether the assignment `vals` (in [`Bindings::vars`] order) is
+    /// present.
+    pub fn contains_row(&self, vals: &[Value]) -> bool {
+        if vals.len() != self.vars.len() {
+            return false;
+        }
+        let syms = self.syms.borrow();
+        let Some(row) = vals
+            .iter()
+            .map(|v| syms.get(v))
+            .collect::<Option<SymTuple>>()
+        else {
+            return false; // a value never interned occurs in no row
+        };
+        self.rows.contains(&row)
+    }
+
     fn col(&self, v: &Var) -> Option<usize> {
         self.vars.iter().position(|u| u == v)
     }
 
-    /// Natural join with `other` on shared columns.
+    /// Natural join with `other` on shared columns: build a hash table over
+    /// `other` keyed by the shared columns, probe it with `self`'s rows.
     pub fn join(&self, other: &Bindings) -> Bindings {
+        let syms = self.adopt_syms(other);
+        let mut aligned = None;
+        let other = Bindings::aligned_to(other, &syms, &mut aligned);
         let shared: Vec<(usize, usize)> = self
             .vars
             .iter()
@@ -96,49 +255,54 @@ impl Bindings {
         let mut vars = self.vars.clone();
         vars.extend(extra.iter().map(|&j| other.vars[j].clone()));
 
-        // index `other` by its shared-column values
-        let mut index: HashMap<Vec<&Value>, Vec<&Vec<Value>>> = HashMap::new();
+        let probe_cols: Vec<usize> = shared.iter().map(|&(i, _)| i).collect();
+        let build_cols: Vec<usize> = shared.iter().map(|&(_, j)| j).collect();
+
+        // build over the smaller operand's role: `other` is the build side
+        let mut table: FxHashMap<JoinKey, Vec<&SymTuple>> = FxHashMap::default();
         for row in &other.rows {
-            let key: Vec<&Value> = shared.iter().map(|&(_, j)| &row[j]).collect();
-            index.entry(key).or_default().push(row);
+            table
+                .entry(join_key(row, &build_cols))
+                .or_default()
+                .push(row);
         }
 
-        let mut rows = HashSet::new();
+        let mut rows = FxHashSet::default();
         for row in &self.rows {
-            let key: Vec<&Value> = shared.iter().map(|&(i, _)| &row[i]).collect();
-            if let Some(matches) = index.get(&key) {
+            if let Some(matches) = table.get(&join_key(row, &probe_cols)) {
                 for m in matches {
                     let mut out = row.clone();
-                    out.extend(extra.iter().map(|&j| m[j].clone()));
+                    out.extend(extra.iter().map(|&j| m[j]));
                     rows.insert(out);
                 }
             }
         }
-        Bindings { vars, rows }
+        Bindings::with_syms(vars, rows, syms)
     }
 
     /// Keep rows whose projection onto `other.vars ∩ self.vars` appears in
     /// `other` (semi-join). `other`'s columns must all occur in `self`.
     pub fn semi_join(&self, other: &Bindings, negated: bool) -> Bindings {
+        let syms = self.adopt_syms(other);
+        let mut aligned = None;
+        let other = Bindings::aligned_to(other, &syms, &mut aligned);
         let positions: Vec<usize> = other
             .vars
             .iter()
             .map(|v| self.col(v).expect("semi_join: column missing"))
             .collect();
-        let keys: HashSet<Vec<&Value>> = other.rows.iter().map(|r| r.iter().collect()).collect();
+        let keys: FxHashSet<JoinKey> = other
+            .rows
+            .iter()
+            .map(|r| join_key(r, &(0..r.len()).collect::<Vec<_>>()))
+            .collect();
         let rows = self
             .rows
             .iter()
-            .filter(|row| {
-                let key: Vec<&Value> = positions.iter().map(|&i| &row[i]).collect();
-                keys.contains(&key) != negated
-            })
+            .filter(|row| keys.contains(&join_key(row, &positions)) != negated)
             .cloned()
             .collect();
-        Bindings {
-            vars: self.vars.clone(),
-            rows,
-        }
+        Bindings::with_syms(self.vars.clone(), rows, syms)
     }
 
     /// Project onto the given columns (deduplicating rows).
@@ -150,12 +314,9 @@ impl Bindings {
         let rows = self
             .rows
             .iter()
-            .map(|row| positions.iter().map(|&i| row[i].clone()).collect())
+            .map(|row| positions.iter().map(|&i| row[i]).collect())
             .collect();
-        Bindings {
-            vars: keep.to_vec(),
-            rows,
-        }
+        Bindings::with_syms(keep.to_vec(), rows, Rc::clone(&self.syms))
     }
 
     /// Extend with every column of `target` not yet present, ranging over
@@ -171,45 +332,43 @@ impl Bindings {
         }
         let mut vars = self.vars.clone();
         vars.extend(missing.iter().cloned());
-        let mut rows: HashSet<Vec<Value>> = self.rows.clone();
+        let adom_syms: Vec<Sym> = {
+            let mut syms = self.syms.borrow_mut();
+            adom.iter().map(|v| syms.intern(v)).collect()
+        };
+        let mut rows: FxHashSet<SymTuple> = self.rows.clone();
         for _ in &missing {
-            let mut next = HashSet::new();
+            let mut next = FxHashSet::default();
             for row in &rows {
-                for val in adom {
+                for &s in &adom_syms {
                     let mut out = row.clone();
-                    out.push(val.clone());
+                    out.push(s);
                     next.insert(out);
                 }
             }
             rows = next;
         }
-        Bindings { vars, rows }
+        Bindings::with_syms(vars, rows, Rc::clone(&self.syms))
     }
 
     /// The complement: all assignments over `adom` for the same columns that
     /// are not present.
     pub fn complement(&self, adom: &[Value]) -> Bindings {
-        let all = Bindings::empty(Vec::new())
-            .with_unit_row()
-            .cylindrify(&self.vars, adom)
-            .project(&self.vars);
+        // the universe adom^k is a cylindrification of the unit bindings
+        let mut unit_rows = FxHashSet::default();
+        unit_rows.insert(Vec::new());
+        let all = Bindings::with_syms(Vec::new(), unit_rows, Rc::clone(&self.syms))
+            .cylindrify(&self.vars, adom);
         let rows = all.rows.difference(&self.rows).cloned().collect();
-        Bindings {
-            vars: self.vars.clone(),
-            rows,
-        }
-    }
-
-    fn with_unit_row(mut self) -> Bindings {
-        if self.vars.is_empty() {
-            self.rows.insert(Vec::new());
-        }
-        self
+        Bindings::with_syms(self.vars.clone(), rows, Rc::clone(&self.syms))
     }
 
     /// Union of two binding sets over the same column set (columns may be
     /// ordered differently).
     pub fn union(&self, other: &Bindings) -> Bindings {
+        let syms = self.adopt_syms(other);
+        let mut aligned = None;
+        let other = Bindings::aligned_to(other, &syms, &mut aligned);
         let mut rows = self.rows.clone();
         if other.vars == self.vars {
             rows.extend(other.rows.iter().cloned());
@@ -217,10 +376,7 @@ impl Bindings {
             let aligned = other.project(&self.vars);
             rows.extend(aligned.rows);
         }
-        Bindings {
-            vars: self.vars.clone(),
-            rows,
-        }
+        Bindings::with_syms(self.vars.clone(), rows, syms)
     }
 
     /// Extract the rows as a [`Relation`] with columns in `order`.
@@ -229,11 +385,34 @@ impl Bindings {
             .iter()
             .map(|v| self.col(v).expect("to_relation: column missing"))
             .collect();
-        let mut rel = Relation::new();
+        let syms = self.syms.borrow();
+        let mut rel = Relation::with_arity(order.len());
         for row in &self.rows {
-            rel.insert(positions.iter().map(|&i| row[i].clone()).collect());
+            rel.insert(
+                positions
+                    .iter()
+                    .map(|&i| syms.resolve(row[i]).clone())
+                    .collect(),
+            );
         }
         rel
+    }
+}
+
+/// Which index cache an evaluator consults: its own (stand-alone
+/// [`Evaluator::for_formula`]) or a run-wide shared one
+/// ([`Evaluator::with_context`]).
+enum IndexHandle<'a> {
+    Owned(InstanceIndex<'a>),
+    Shared(&'a InstanceIndex<'a>),
+}
+
+impl<'a> IndexHandle<'a> {
+    fn get(&self) -> &InstanceIndex<'a> {
+        match self {
+            IndexHandle::Owned(idx) => idx,
+            IndexHandle::Shared(idx) => idx,
+        }
     }
 }
 
@@ -242,6 +421,8 @@ pub struct Evaluator<'a> {
     instance: &'a Instance,
     register: Option<&'a Relation>,
     adom: Vec<Value>,
+    syms: SharedInterner,
+    index: IndexHandle<'a>,
 }
 
 type FixEnv = BTreeMap<String, Relation>;
@@ -254,15 +435,54 @@ impl<'a> Evaluator<'a> {
         register: Option<&'a Relation>,
         formula: &Formula,
     ) -> Self {
-        let mut adom: BTreeSet<Value> = instance.active_domain();
+        let adom = instance.active_domain();
+        Evaluator::build(
+            instance,
+            IndexHandle::Owned(InstanceIndex::new(instance)),
+            adom,
+            Rc::new(RefCell::new(Interner::new())),
+            register,
+            formula,
+        )
+    }
+
+    /// Like [`Evaluator::for_formula`], but sharing `ctx`'s active-domain
+    /// scan and column-index cache across evaluations.
+    pub fn with_context(
+        ctx: &'a EvalContext<'a>,
+        register: Option<&'a Relation>,
+        formula: &Formula,
+    ) -> Self {
+        Evaluator::build(
+            ctx.instance,
+            IndexHandle::Shared(&ctx.index),
+            ctx.adom.clone(),
+            Rc::clone(&ctx.syms),
+            register,
+            formula,
+        )
+    }
+
+    fn build(
+        instance: &'a Instance,
+        index: IndexHandle<'a>,
+        mut adom: BTreeSet<Value>,
+        syms: SharedInterner,
+        register: Option<&'a Relation>,
+        formula: &Formula,
+    ) -> Self {
         if let Some(reg) = register {
             adom.extend(reg.active_domain());
         }
         adom.extend(formula.constants());
+        // values are interned lazily as atoms and comparisons touch them —
+        // a shared-context interner persists across the whole run
         Evaluator {
             instance,
             register,
             adom: adom.into_iter().collect(),
+            syms,
+            index,
         }
     }
 
@@ -271,29 +491,60 @@ impl<'a> Evaluator<'a> {
         &self.adom
     }
 
+    fn sym(&self, v: &Value) -> Sym {
+        self.syms.borrow_mut().intern(v)
+    }
+
+    /// Symbols of the whole active domain.
+    fn adom_syms(&self) -> Vec<Sym> {
+        let mut syms = self.syms.borrow_mut();
+        self.adom.iter().map(|v| syms.intern(v)).collect()
+    }
+
+    /// Unit bindings carrying this evaluator's interner.
+    fn unit_b(&self) -> Bindings {
+        let mut rows = FxHashSet::default();
+        rows.insert(Vec::new());
+        Bindings::with_syms(Vec::new(), rows, Rc::clone(&self.syms))
+    }
+
+    /// Empty bindings carrying this evaluator's interner.
+    fn empty_b(&self, vars: Vec<Var>) -> Bindings {
+        Bindings::with_syms(vars, FxHashSet::default(), Rc::clone(&self.syms))
+    }
+
     /// Evaluate the formula to its satisfying assignments.
     pub fn eval(&self, f: &Formula) -> Result<Bindings, EvalError> {
         self.eval_env(f, &FixEnv::new())
     }
 
-    fn relation_for(&self, name: &str, env: &FixEnv) -> Relation {
+    /// The relation an atom refers to, plus whether it is an (indexable)
+    /// base relation of the instance rather than a fixpoint binding.
+    fn relation_for<'s>(&'s self, name: &str, env: &'s FixEnv) -> (Option<&'s Relation>, bool) {
         if let Some(rel) = env.get(name) {
-            rel.clone()
+            (Some(rel), false)
         } else {
-            self.instance.get(name)
+            (self.instance.get_ref(name), true)
         }
     }
 
     fn eval_env(&self, f: &Formula, env: &FixEnv) -> Result<Bindings, EvalError> {
         match f {
-            Formula::True => Ok(Bindings::unit()),
-            Formula::False => Ok(Bindings::empty(Vec::new())),
+            Formula::True => Ok(self.unit_b()),
+            Formula::False => Ok(self.empty_b(Vec::new())),
             Formula::Rel(name, args) => {
-                let rel = self.relation_for(name, env);
-                self.from_atom(&rel, args, name)
+                let (rel, base) = self.relation_for(name, env);
+                match rel {
+                    Some(rel) => self.atom_bindings(rel, args, name, base),
+                    None => Ok(Bindings::with_syms(
+                        atom_vars(args),
+                        FxHashSet::default(),
+                        Rc::clone(&self.syms),
+                    )),
+                }
             }
             Formula::Reg(args) => match self.register {
-                Some(reg) => self.from_atom(reg, args, "Reg"),
+                Some(reg) => self.atom_bindings(reg, args, "Reg", false),
                 None => err("register atom used but no register supplied"),
             },
             Formula::Eq(a, b) => Ok(self.eval_eq(a, b)),
@@ -301,7 +552,7 @@ impl<'a> Evaluator<'a> {
             Formula::And(fs) => self.eval_and(fs, env),
             Formula::Or(fs) => {
                 let target: Vec<Var> = f.free_vars().into_iter().collect();
-                let mut acc = Bindings::empty(target.clone());
+                let mut acc = self.empty_b(target.clone());
                 for g in fs {
                     let b = self.eval_env(g, env)?.cylindrify(&target, &self.adom);
                     acc = acc.union(&b);
@@ -325,7 +576,7 @@ impl<'a> Evaluator<'a> {
                 // over the active domain; an empty domain falsifies ∃.
                 let vacuous = vs.iter().any(|v| !g.free_vars().contains(v));
                 if vacuous && self.adom.is_empty() {
-                    out = Bindings::empty(keep);
+                    out = self.empty_b(keep);
                 }
                 Ok(out)
             }
@@ -349,12 +600,17 @@ impl<'a> Evaluator<'a> {
                     ));
                 }
                 let fixed = self.eval_fix(pred, vars, body, env)?;
-                self.from_atom(&fixed, args, pred)
+                self.atom_bindings(&fixed, args, pred, false)
             }
         }
     }
 
-    /// Inflationary fixpoint: J⁰ = ∅, Jⁱ⁺¹ = Jⁱ ∪ Fφ(Jⁱ) (Section 2).
+    /// Inflationary fixpoint: J⁰ = ∅, Jⁱ⁺¹ = Jⁱ ∪ Fφ(Jⁱ) (Section 2),
+    /// iterated semi-naively when the body is linear and positive in `pred`:
+    /// each round then evaluates the body with `pred` bound to the *delta*
+    /// of the previous round only, which is equivalent because every
+    /// derivation uses at most one `pred` fact and facts derivable from
+    /// older rounds were already produced by them.
     fn eval_fix(
         &self,
         pred: &str,
@@ -362,90 +618,109 @@ impl<'a> Evaluator<'a> {
         body: &Formula,
         env: &FixEnv,
     ) -> Result<Relation, EvalError> {
-        let mut current = Relation::new();
+        let semi_naive = body.positive_occurrences(pred) == Some(1);
+        let mut inner = env.clone();
+        let mut current = Relation::with_arity(vars.len());
+        // round 0: pred ↦ ∅
+        inner.insert(pred.to_string(), Relation::with_arity(vars.len()));
         loop {
-            let mut inner = env.clone();
-            inner.insert(pred.to_string(), current.clone());
-            let b = self
+            let stage = self
                 .eval_env(body, &inner)?
                 .cylindrify(vars, &self.adom)
                 .to_relation(vars);
-            let next = current.union(&b);
-            if next == current {
-                return Ok(next);
+            let mut delta = Relation::with_arity(vars.len());
+            for t in stage.iter() {
+                if !current.contains(t) {
+                    delta.insert(t.clone());
+                }
             }
-            current = next;
+            if delta.is_empty() {
+                return Ok(current);
+            }
+            for t in delta.iter() {
+                current.insert(t.clone());
+            }
+            inner.insert(
+                pred.to_string(),
+                if semi_naive { delta } else { current.clone() },
+            );
         }
     }
 
     fn eval_eq(&self, a: &Term, b: &Term) -> Bindings {
+        let syms = Rc::clone(&self.syms);
         match (a, b) {
             (Term::Const(x), Term::Const(y)) => {
                 if x == y {
-                    Bindings::unit()
+                    self.unit_b()
                 } else {
-                    Bindings::empty(Vec::new())
+                    self.empty_b(Vec::new())
                 }
             }
-            (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => Bindings {
-                vars: vec![x.clone()],
-                rows: HashSet::from([vec![c.clone()]]),
-            },
-            (Term::Var(x), Term::Var(y)) if x == y => Bindings {
-                vars: vec![x.clone()],
-                rows: self.adom.iter().map(|v| vec![v.clone()]).collect(),
-            },
-            (Term::Var(x), Term::Var(y)) => Bindings {
-                vars: vec![x.clone(), y.clone()],
-                rows: self
-                    .adom
-                    .iter()
-                    .map(|v| vec![v.clone(), v.clone()])
-                    .collect(),
-            },
+            (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => {
+                let mut rows = FxHashSet::default();
+                rows.insert(vec![self.sym(c)]);
+                Bindings::with_syms(vec![x.clone()], rows, syms)
+            }
+            (Term::Var(x), Term::Var(y)) if x == y => Bindings::with_syms(
+                vec![x.clone()],
+                self.adom_syms().into_iter().map(|s| vec![s]).collect(),
+                syms,
+            ),
+            (Term::Var(x), Term::Var(y)) => Bindings::with_syms(
+                vec![x.clone(), y.clone()],
+                self.adom_syms().into_iter().map(|s| vec![s, s]).collect(),
+                syms,
+            ),
         }
     }
 
     fn eval_neq(&self, a: &Term, b: &Term) -> Bindings {
+        let syms = Rc::clone(&self.syms);
         match (a, b) {
             (Term::Const(x), Term::Const(y)) => {
                 if x != y {
-                    Bindings::unit()
+                    self.unit_b()
                 } else {
-                    Bindings::empty(Vec::new())
+                    self.empty_b(Vec::new())
                 }
             }
-            (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => Bindings {
-                vars: vec![x.clone()],
-                rows: self
-                    .adom
-                    .iter()
-                    .filter(|v| *v != c)
-                    .map(|v| vec![v.clone()])
-                    .collect(),
-            },
-            (Term::Var(x), Term::Var(y)) if x == y => Bindings::empty(vec![x.clone()]),
-            (Term::Var(x), Term::Var(y)) => Bindings {
-                vars: vec![x.clone(), y.clone()],
-                rows: self
-                    .adom
-                    .iter()
-                    .flat_map(|u| {
-                        self.adom
-                            .iter()
-                            .filter(move |v| *v != u)
-                            .map(move |v| vec![u.clone(), v.clone()])
-                    })
-                    .collect(),
-            },
+            (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => {
+                let cs = self.sym(c);
+                Bindings::with_syms(
+                    vec![x.clone()],
+                    self.adom_syms()
+                        .into_iter()
+                        .filter(|&s| s != cs)
+                        .map(|s| vec![s])
+                        .collect(),
+                    syms,
+                )
+            }
+            (Term::Var(x), Term::Var(y)) if x == y => self.empty_b(vec![x.clone()]),
+            (Term::Var(x), Term::Var(y)) => {
+                let all = self.adom_syms();
+                Bindings::with_syms(
+                    vec![x.clone(), y.clone()],
+                    all.iter()
+                        .flat_map(|&u| {
+                            all.iter()
+                                .filter(move |&&v| v != u)
+                                .map(move |&v| vec![u, v])
+                        })
+                        .collect(),
+                    syms,
+                )
+            }
         }
     }
 
-    fn from_atom(
+    fn atom_bindings(
         &self,
         rel: &Relation,
         args: &[Term],
         name: &str,
+        base: bool,
     ) -> Result<Bindings, EvalError> {
         if let Some(arity) = rel.arity() {
             if arity != args.len() {
@@ -455,31 +730,65 @@ impl<'a> Evaluator<'a> {
                 ));
             }
         }
-        // columns: first occurrence of each variable
-        let mut vars: Vec<Var> = Vec::new();
-        for t in args {
-            if let Term::Var(v) = t {
-                if !vars.contains(v) {
-                    vars.push(v.clone());
-                }
-            }
-        }
-        let mut rows = HashSet::new();
-        'tuples: for tuple in rel.iter() {
-            let mut asg: Vec<Option<&Value>> = vec![None; vars.len()];
-            for (t, val) in args.iter().zip(tuple.iter()) {
+        let vars = atom_vars(args);
+
+        // a constant argument lets us probe the column index of a base
+        // relation instead of scanning all tuples
+        let probe = if base {
+            args.iter()
+                .enumerate()
+                .find_map(|(col, t)| match t {
+                    Term::Const(c) => self.index.get().column(name, col).map(|idx| (idx, c)),
+                    Term::Var(_) => None,
+                })
+        } else {
+            None
+        };
+        let candidates: Box<dyn Iterator<Item = &Tuple>> = match &probe {
+            Some((idx, c)) => Box::new(idx.get(*c).into_iter().flatten()),
+            None => Box::new(rel.iter()),
+        };
+
+        let rows = self.match_tuples(args, &vars, candidates);
+        Ok(Bindings::with_syms(vars, rows, Rc::clone(&self.syms)))
+    }
+
+    /// The atom-matching loop shared by the scan, constant-probe and
+    /// bound-variable-probe paths: keep candidate tuples consistent with the
+    /// constants and repeated variables of `args`, interning kept values.
+    fn match_tuples<'b>(
+        &self,
+        args: &[Term],
+        vars: &[Var],
+        candidates: impl Iterator<Item = &'b Tuple>,
+    ) -> FxHashSet<SymTuple> {
+        // the arg → output-column mapping is fixed for the atom; resolve it
+        // once instead of per tuple
+        let arg_cols: Vec<Option<usize>> = args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => Some(vars.iter().position(|u| u == v).unwrap()),
+                Term::Const(_) => None,
+            })
+            .collect();
+        let mut syms = self.syms.borrow_mut();
+        let mut rows = FxHashSet::default();
+        'tuples: for tuple in candidates {
+            let mut asg: Vec<Option<Sym>> = vec![None; vars.len()];
+            for ((t, val), col) in args.iter().zip(tuple.iter()).zip(&arg_cols) {
                 match t {
                     Term::Const(c) => {
                         if c != val {
                             continue 'tuples;
                         }
                     }
-                    Term::Var(v) => {
-                        let i = vars.iter().position(|u| u == v).unwrap();
+                    Term::Var(_) => {
+                        let i = col.unwrap();
+                        let s = syms.intern(val);
                         match asg[i] {
-                            None => asg[i] = Some(val),
+                            None => asg[i] = Some(s),
                             Some(prev) => {
-                                if prev != val {
+                                if prev != s {
                                     continue 'tuples;
                                 }
                             }
@@ -487,9 +796,54 @@ impl<'a> Evaluator<'a> {
                     }
                 }
             }
-            rows.insert(asg.into_iter().map(|v| v.unwrap().clone()).collect());
+            rows.insert(asg.into_iter().map(|s| s.unwrap()).collect());
         }
-        Ok(Bindings { vars, rows })
+        rows
+    }
+
+    /// Index-nested-loop evaluation of a base-relation atom against the
+    /// bound rows of `acc`: when the atom shares a variable with `acc` and
+    /// `acc` binds few distinct values for it, probe the column index once
+    /// per value instead of materializing the whole atom. Returns `None`
+    /// when the probe does not apply (not a base relation, no shared
+    /// column, no index, or scanning is estimated cheaper).
+    fn eval_atom_probed(
+        &self,
+        name: &str,
+        args: &[Term],
+        env: &FixEnv,
+        acc: &Bindings,
+    ) -> Option<Bindings> {
+        let (rel, base) = self.relation_for(name, env);
+        let rel = rel?;
+        if !base || rel.arity() != Some(args.len()) {
+            return None;
+        }
+        let (col, acc_col) = args.iter().enumerate().find_map(|(col, t)| match t {
+            Term::Var(v) => acc.col(v).map(|i| (col, i)),
+            Term::Const(_) => None,
+        })?;
+        let bound_syms: FxHashSet<Sym> = acc.rows.iter().map(|row| row[acc_col]).collect();
+        // scanning touches |rel| tuples; probing touches the matches of
+        // |bound_syms| keys — only probe when clearly narrower
+        if bound_syms.len().saturating_mul(4) >= rel.len() {
+            return None;
+        }
+        let index = self.index.get().column(name, col)?;
+        let bound_vals: Vec<Value> = {
+            let syms = self.syms.borrow();
+            bound_syms
+                .iter()
+                .map(|&s| syms.resolve(s).clone())
+                .collect()
+        };
+        let vars = atom_vars(args);
+        let candidates = bound_vals
+            .iter()
+            .filter_map(|v| index.get(v))
+            .flat_map(|tuples| tuples.iter());
+        let rows = self.match_tuples(args, &vars, candidates);
+        Some(Bindings::with_syms(vars, rows, Rc::clone(&self.syms)))
     }
 
     /// Greedy conjunction evaluation. Applies cheap filters first (bound
@@ -502,7 +856,7 @@ impl<'a> Evaluator<'a> {
             .into_iter()
             .collect();
         let mut pending: Vec<&Formula> = fs.iter().collect();
-        let mut acc = Bindings::unit();
+        let mut acc = self.unit_b();
 
         while !pending.is_empty() {
             let bound: BTreeSet<&Var> = acc.vars().iter().collect();
@@ -534,18 +888,38 @@ impl<'a> Evaluator<'a> {
                 };
                 continue;
             }
-            // 3. positive atom → join (pick the one sharing most columns)
+            // 3. positive atom → join: prefer the atom sharing the most
+            // bound columns, breaking ties toward the smallest relation so
+            // that e.g. a one-row fixpoint delta seeds the join before the
+            // base relation it probes into
+            let atom_size = |g: &Formula| -> usize {
+                match g {
+                    Formula::Rel(name, _) => {
+                        let (rel, _) = self.relation_for(name, env);
+                        rel.map_or(0, Relation::len)
+                    }
+                    Formula::Reg(_) => self.register.map_or(0, Relation::len),
+                    _ => usize::MAX,
+                }
+            };
             let atom_idx = pending
                 .iter()
                 .enumerate()
                 .filter(|(_, g)| matches!(g, Formula::Rel(..) | Formula::Reg(..)))
-                .max_by_key(|(_, g)| {
-                    g.free_vars().iter().filter(|v| bound.contains(v)).count()
+                .min_by_key(|(_, g)| {
+                    let shared =
+                        g.free_vars().iter().filter(|v| bound.contains(v)).count();
+                    (std::cmp::Reverse(shared), atom_size(g))
                 })
                 .map(|(i, _)| i);
             if let Some(i) = atom_idx {
                 let g = pending.remove(i);
-                let b = self.eval_env(g, env)?;
+                let b = match g {
+                    Formula::Rel(name, args) => self
+                        .eval_atom_probed(name, args, env, &acc)
+                        .map_or_else(|| self.eval_env(g, env), Ok)?,
+                    _ => self.eval_env(g, env)?,
+                };
                 acc = acc.join(&b);
                 continue;
             }
@@ -568,12 +942,12 @@ impl<'a> Evaluator<'a> {
     }
 
     fn filter_cmp(&self, acc: Bindings, g: &Formula) -> Bindings {
-        let value = |row: &[Value], t: &Term| -> Value {
+        let sym_at = |row: &[Sym], t: &Term| -> Sym {
             match t {
-                Term::Const(c) => c.clone(),
+                Term::Const(c) => self.sym(c),
                 Term::Var(v) => {
                     let i = acc.vars().iter().position(|u| u == v).unwrap();
-                    row[i].clone()
+                    row[i]
                 }
             }
         };
@@ -581,17 +955,27 @@ impl<'a> Evaluator<'a> {
             .rows
             .iter()
             .filter(|row| match g {
-                Formula::Eq(a, b) => value(row, a) == value(row, b),
-                Formula::Neq(a, b) => value(row, a) != value(row, b),
+                Formula::Eq(a, b) => sym_at(row, a) == sym_at(row, b),
+                Formula::Neq(a, b) => sym_at(row, a) != sym_at(row, b),
                 _ => unreachable!("filter_cmp only handles comparisons"),
             })
             .cloned()
             .collect();
-        Bindings {
-            vars: acc.vars.clone(),
-            rows,
+        Bindings::with_syms(acc.vars.clone(), rows, Rc::clone(&acc.syms))
+    }
+}
+
+/// The column variables of an atom: first occurrence of each variable.
+fn atom_vars(args: &[Term]) -> Vec<Var> {
+    let mut vars: Vec<Var> = Vec::new();
+    for t in args {
+        if let Term::Var(v) = t {
+            if !vars.contains(v) {
+                vars.push(v.clone());
+            }
         }
     }
+    vars
 }
 
 /// Convenience: evaluate a closed (Boolean) formula.
@@ -791,7 +1175,7 @@ mod tests {
         let inst = Instance::new().with("r", rel![[1, 1], [1, 2]]);
         let b = eval_str("r(x, x)", &inst, None);
         assert_eq!(b.len(), 1);
-        assert!(b.rows().contains(&vec![Value::int(1)]));
+        assert!(b.contains_row(&[Value::int(1)]));
     }
 
     #[test]
@@ -873,6 +1257,40 @@ mod tests {
     }
 
     #[test]
+    fn nonlinear_fixpoint_falls_back_to_naive() {
+        // two positive occurrences of T: transitive closure via doubling
+        let inst = Instance::new().with("edge", rel![[0, 1], [1, 2], [2, 3]]);
+        let f = parse_formula(
+            "fix T(x, y) { edge(x, y) or exists z (T(x, z) and T(z, y)) }(u, w)",
+        )
+        .unwrap();
+        assert_eq!(
+            parse_formula("edge(x, y) or exists z (T(x, z) and T(z, y))")
+                .unwrap()
+                .positive_occurrences("T"),
+            Some(2)
+        );
+        let rel =
+            eval_to_relation(&inst, None, &f, &[Var::new("u"), Var::new("w")]).unwrap();
+        assert_eq!(rel.len(), 6); // closure of a 4-chain
+        assert!(rel.contains(&[Value::int(0), Value::int(3)]));
+    }
+
+    #[test]
+    fn negated_fixpoint_occurrence_disables_semi_naive() {
+        // S occurs under a negation: positive_occurrences must refuse, and
+        // the inflationary semantics must still be the naive one
+        let inst = Instance::new().with("s", rel![[1], [2]]);
+        let body = parse_formula("s(x) and not (S(x))").unwrap();
+        assert_eq!(body.positive_occurrences("S"), None);
+        let f = parse_formula("fix S(x) { s(x) and not (S(x)) }(w)").unwrap();
+        let rel = eval_to_relation(&inst, None, &f, &[Var::new("w")]).unwrap();
+        // round 1 adds both tuples (S empty), round 2 adds nothing new;
+        // inflationary semantics keeps them
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
     fn eq_neq_cases() {
         let inst = Instance::new().with("r", rel![[1], [2]]);
         assert!(holds(&inst, None, &parse_formula("1 = 1").unwrap()).unwrap());
@@ -902,6 +1320,40 @@ mod tests {
     }
 
     #[test]
+    fn shared_context_matches_standalone() {
+        let inst = db();
+        let ctx = EvalContext::new(&inst);
+        let reg = rel![["c1", "Databases"]];
+        for src in [
+            "course(c, t, 'CS')",
+            "exists d (course(c, t, d) and d = 'CS') and prereq(c, p)",
+            "Reg(c, t)",
+            "not (exists p (prereq(c, p))) and exists t d (course(c, t, d))",
+        ] {
+            let f = parse_formula(src).unwrap();
+            let standalone = Evaluator::for_formula(&inst, Some(&reg), &f);
+            let shared = Evaluator::with_context(&ctx, Some(&reg), &f);
+            let a = standalone.eval(&f).unwrap();
+            let b = shared.eval(&f).unwrap();
+            let order: Vec<Var> = a.vars().to_vec();
+            assert_eq!(a.to_relation(&order), b.to_relation(&order), "on {src}");
+        }
+        assert!(ctx.index.built() > 0, "constant probes must build indexes");
+    }
+
+    #[test]
+    fn value_rows_round_trip() {
+        let b = eval_str("prereq(c, p)", &db(), None);
+        let rows = b.value_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], vec![Value::str("c1"), Value::str("c2")]);
+        assert!(b.contains_row(&[Value::str("c1"), Value::str("c2")]));
+        assert!(!b.contains_row(&[Value::str("c2"), Value::str("c1")]));
+        assert!(!b.contains_row(&[Value::str("zzz"), Value::str("c2")]));
+        assert!(!b.contains_row(&[Value::str("c1")]));
+    }
+
+    #[test]
     fn relational_eval_matches_bruteforce_oracle() {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(11);
@@ -912,6 +1364,7 @@ mod tests {
             "s(x) and x != 0",
             "exists y (r(x, y)) or s(x)",
             "fix T(a) { s(a) or exists b (T(b) and r(b, a)) }(x)",
+            "fix T(a, c) { r(a, c) or exists b (T(a, b) and T(b, c)) }(x, x)",
         ];
         for trial in 0..30 {
             let inst =
@@ -927,10 +1380,9 @@ mod tests {
                     asg.insert(x.clone(), val.clone());
                     let slow =
                         satisfied_under(&inst, None, &domain, &f, &asg).unwrap();
-                    let fast_has = fast
-                        .rows()
-                        .iter()
-                        .any(|row| row == &vec![val.clone()]);
+                    let row: Vec<Value> =
+                        fast.vars().iter().map(|_| val.clone()).collect();
+                    let fast_has = fast.contains_row(&row);
                     assert_eq!(
                         fast_has, slow,
                         "mismatch on trial {trial} formula {ftext} value {val}"

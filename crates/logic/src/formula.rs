@@ -242,6 +242,60 @@ impl Formula {
         out
     }
 
+    /// Whether the formula mentions relation `pred` outside nested fixpoints
+    /// that rebind it.
+    pub fn mentions_rel(&self, pred: &str) -> bool {
+        match self {
+            Formula::Rel(name, _) => name == pred,
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().any(|g| g.mentions_rel(pred)),
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
+                g.mentions_rel(pred)
+            }
+            Formula::Fix { pred: p, body, .. } => p != pred && body.mentions_rel(pred),
+            _ => false,
+        }
+    }
+
+    /// How many times relation `pred` occurs, provided every occurrence is
+    /// *strictly positive*: not under `¬` or `∀` and not inside a nested
+    /// fixpoint. Returns `None` as soon as any occurrence is non-positive.
+    ///
+    /// `Some(1)` certifies the formula is linear and monotone in `pred`, the
+    /// precondition for semi-naive delta iteration in
+    /// [`crate::eval::Evaluator`]: every satisfying derivation depends on at
+    /// most one `pred` fact, so `F(J ∪ Δ) = F(J) ∪ F(Δ)`.
+    pub fn positive_occurrences(&self, pred: &str) -> Option<usize> {
+        match self {
+            Formula::Rel(name, _) => Some(usize::from(name == pred)),
+            Formula::True
+            | Formula::False
+            | Formula::Reg(_)
+            | Formula::Eq(..)
+            | Formula::Neq(..) => Some(0),
+            Formula::And(fs) | Formula::Or(fs) => fs
+                .iter()
+                .map(|g| g.positive_occurrences(pred))
+                .try_fold(0, |acc, n| Some(acc + n?)),
+            Formula::Exists(_, g) => g.positive_occurrences(pred),
+            Formula::Not(g) | Formula::Forall(_, g) => {
+                if g.mentions_rel(pred) {
+                    None
+                } else {
+                    Some(0)
+                }
+            }
+            Formula::Fix { pred: p, body, .. } => {
+                if p != pred && body.mentions_rel(pred) {
+                    // inside another fixpoint the occurrence count per
+                    // derivation is unbounded — not linear
+                    None
+                } else {
+                    Some(0)
+                }
+            }
+        }
+    }
+
     /// Whether the formula mentions the register predicate.
     pub fn uses_reg(&self) -> bool {
         match self {

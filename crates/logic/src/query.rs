@@ -3,7 +3,7 @@ use std::fmt;
 
 use pt_relational::{Instance, Relation, Tuple};
 
-use crate::eval::{EvalError, Evaluator};
+use crate::eval::{EvalContext, EvalError, Evaluator};
 use crate::formula::{Formula, Fragment};
 use crate::term::Var;
 
@@ -112,7 +112,20 @@ impl Query {
         instance: &Instance,
         register: Option<&Relation>,
     ) -> Result<Relation, EvalError> {
-        let ev = Evaluator::for_formula(instance, register, &self.body);
+        self.finish_eval(Evaluator::for_formula(instance, register, &self.body))
+    }
+
+    /// [`Query::eval`] through a shared [`EvalContext`], reusing its
+    /// active-domain scan and column indexes.
+    pub fn eval_with(
+        &self,
+        ctx: &EvalContext<'_>,
+        register: Option<&Relation>,
+    ) -> Result<Relation, EvalError> {
+        self.finish_eval(Evaluator::with_context(ctx, register, &self.body))
+    }
+
+    fn finish_eval(&self, ev: Evaluator<'_>) -> Result<Relation, EvalError> {
         let head = self.head_vars();
         let b = ev.eval(&self.body)?.cylindrify(&head, ev.adom());
         Ok(b.to_relation(&head))
@@ -129,7 +142,19 @@ impl Query {
         instance: &Instance,
         register: Option<&Relation>,
     ) -> Result<Vec<(Tuple, Relation)>, EvalError> {
-        let rows = self.eval(instance, register)?;
+        Ok(self.group_rows(self.eval(instance, register)?))
+    }
+
+    /// [`Query::groups`] through a shared [`EvalContext`].
+    pub fn groups_with(
+        &self,
+        ctx: &EvalContext<'_>,
+        register: Option<&Relation>,
+    ) -> Result<Vec<(Tuple, Relation)>, EvalError> {
+        Ok(self.group_rows(self.eval_with(ctx, register)?))
+    }
+
+    fn group_rows(&self, rows: Relation) -> Vec<(Tuple, Relation)> {
         let k = self.group_vars.len();
         let mut out: Vec<(Tuple, Relation)> = Vec::new();
         for row in rows.iter() {
@@ -143,7 +168,7 @@ impl Query {
                 }
             }
         }
-        Ok(out)
+        out
     }
 }
 

@@ -1,0 +1,107 @@
+//! Lazily built per-column hash indexes over an [`Instance`].
+//!
+//! Query evaluation probes base relations with constants and bound
+//! variables; without an index every probe scans the whole relation. An
+//! [`InstanceIndex`] materializes, on first use, a `Value → tuples` hash map
+//! for each `(relation, column)` pair the evaluator actually probes. The
+//! instance is immutable for the lifetime of the index (the evaluator never
+//! mutates its input), so built indexes are shared freely via `Rc` across
+//! every query of a transducer run.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::{Instance, Tuple, Value};
+
+/// The index of one relation column: value → matching tuples.
+pub type ColumnIndex = HashMap<Value, Vec<Tuple>>;
+
+/// Per-column hash indexes over one instance, built on demand and cached.
+pub struct InstanceIndex<'a> {
+    instance: &'a Instance,
+    cols: RefCell<HashMap<(String, usize), Rc<ColumnIndex>>>,
+}
+
+impl<'a> InstanceIndex<'a> {
+    /// An index cache over `instance` with nothing built yet.
+    pub fn new(instance: &'a Instance) -> Self {
+        InstanceIndex {
+            instance,
+            cols: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The indexed instance.
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// The hash index of relation `name` on column `col`, building it on
+    /// first use. Returns `None` when the relation is absent or `col` is out
+    /// of range for its arity.
+    pub fn column(&self, name: &str, col: usize) -> Option<Rc<ColumnIndex>> {
+        let key = (name.to_string(), col);
+        if let Some(idx) = self.cols.borrow().get(&key) {
+            return Some(Rc::clone(idx));
+        }
+        let rel = self.instance.get_ref(name)?;
+        if rel.arity().is_some_and(|a| col >= a) {
+            return None;
+        }
+        let mut index: ColumnIndex = HashMap::new();
+        for t in rel.iter() {
+            index
+                .entry(t[col].clone())
+                .or_default()
+                .push(t.clone());
+        }
+        let index = Rc::new(index);
+        self.cols
+            .borrow_mut()
+            .insert(key, Rc::clone(&index));
+        Some(index)
+    }
+
+    /// Number of `(relation, column)` indexes built so far.
+    pub fn built(&self) -> usize {
+        self.cols.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel;
+
+    #[test]
+    fn probes_match_scans() {
+        let inst = Instance::new().with("r", rel![[1, "a"], [1, "b"], [2, "a"]]);
+        let idx = InstanceIndex::new(&inst);
+        let col0 = idx.column("r", 0).unwrap();
+        assert_eq!(col0.get(&Value::int(1)).unwrap().len(), 2);
+        assert_eq!(col0.get(&Value::int(2)).unwrap().len(), 1);
+        assert!(col0.get(&Value::int(3)).is_none());
+        let col1 = idx.column("r", 1).unwrap();
+        assert_eq!(col1.get(&Value::str("a")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn indexes_are_cached() {
+        let inst = Instance::new().with("r", rel![[1, 2]]);
+        let idx = InstanceIndex::new(&inst);
+        assert_eq!(idx.built(), 0);
+        let a = idx.column("r", 0).unwrap();
+        let b = idx.column("r", 0).unwrap();
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(idx.built(), 1);
+    }
+
+    #[test]
+    fn missing_relation_and_bad_column() {
+        let inst = Instance::new().with("r", rel![[1]]);
+        let idx = InstanceIndex::new(&inst);
+        assert!(idx.column("nope", 0).is_none());
+        assert!(idx.column("r", 5).is_none());
+    }
+}

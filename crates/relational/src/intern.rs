@@ -1,0 +1,173 @@
+//! Value interning and the fast hash machinery used by the evaluation hot
+//! path.
+//!
+//! The active domain of a run is finite and small compared to the number of
+//! times each value is touched during query evaluation (joins, fixpoints,
+//! register comparisons). Interning maps each distinct [`Value`] to a dense
+//! `u32` symbol once, after which every hot-path comparison and hash is an
+//! integer operation instead of an `Arc<str>` string hash.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::Value;
+
+/// A dense symbol id standing in for an interned [`Value`].
+pub type Sym = u32;
+
+/// A tuple in interned representation.
+pub type SymTuple = Vec<Sym>;
+
+/// An FxHash-style multiply-xor hasher: not DoS-resistant, but several times
+/// faster than SipHash on the short integer keys the evaluator hashes. All
+/// hashed data here is derived from the (trusted) input instance.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// An append-only bidirectional map `Value ↔ Sym`.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    vals: Vec<Value>,
+    map: HashMap<Value, Sym>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Seed an interner with the given values (typically the sorted active
+    /// domain, giving symbols `0..n` in domain order).
+    pub fn from_values<'a>(values: impl IntoIterator<Item = &'a Value>) -> Self {
+        let mut interner = Interner::new();
+        for v in values {
+            interner.intern(v);
+        }
+        interner
+    }
+
+    /// The symbol of `v`, allocating a fresh one on first sight.
+    pub fn intern(&mut self, v: &Value) -> Sym {
+        if let Some(&s) = self.map.get(v) {
+            return s;
+        }
+        let s = self.vals.len() as Sym;
+        self.vals.push(v.clone());
+        self.map.insert(v.clone(), s);
+        s
+    }
+
+    /// The symbol of `v`, if already interned.
+    pub fn get(&self, v: &Value) -> Option<Sym> {
+        self.map.get(v).copied()
+    }
+
+    /// The value behind a symbol.
+    ///
+    /// # Panics
+    /// Panics if `s` was not produced by this interner.
+    pub fn resolve(&self, s: Sym) -> &Value {
+        &self.vals[s as usize]
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern(&Value::int(7));
+        let b = i.intern(&Value::str("x"));
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(i.intern(&Value::int(7)), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(b), &Value::str("x"));
+        assert_eq!(i.get(&Value::int(7)), Some(a));
+        assert_eq!(i.get(&Value::int(8)), None);
+    }
+
+    #[test]
+    fn from_values_preserves_order() {
+        let vals = vec![Value::int(1), Value::int(2), Value::str("z")];
+        let i = Interner::from_values(&vals);
+        for (k, v) in vals.iter().enumerate() {
+            assert_eq!(i.resolve(k as Sym), v);
+        }
+    }
+
+    #[test]
+    fn fx_hash_map_works() {
+        let mut m: FxHashMap<Vec<Sym>, usize> = FxHashMap::default();
+        m.insert(vec![1, 2, 3], 9);
+        assert_eq!(m.get(&vec![1, 2, 3]), Some(&9));
+        let mut s: FxHashSet<Sym> = FxHashSet::default();
+        s.insert(4);
+        assert!(s.contains(&4));
+    }
+}

@@ -15,15 +15,22 @@
 //!   with the canonical extension of `<=` to tuples,
 //! * [`Schema`] and [`Instance`] — relational schemas and database instances,
 //! * [`generate`] — deterministic pseudo-random instance generators used by
-//!   workload drivers and property tests.
+//!   workload drivers and property tests,
+//! * [`intern`] — dense `u32` interning of the active domain plus the fast
+//!   hash machinery the evaluation hot path runs on,
+//! * [`index`] — lazily built per-column hash indexes over an instance.
 
 pub mod generate;
+pub mod index;
 mod instance;
+pub mod intern;
 mod relation;
 mod schema;
 mod value;
 
+pub use index::InstanceIndex;
 pub use instance::Instance;
+pub use intern::{FxHashMap, FxHashSet, Interner, Sym, SymTuple};
 pub use relation::{Relation, Tuple};
 pub use schema::Schema;
 pub use value::Value;

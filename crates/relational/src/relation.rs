@@ -10,18 +10,58 @@ pub type Tuple = Vec<Value>;
 ///
 /// Stored as a `BTreeSet` so iteration follows the canonical extension of the
 /// domain order `<=` to tuples — exactly the order the transducer semantics
-/// uses to arrange sibling nodes (Section 3). The empty relation reports
-/// whatever arity it was created with; [`Relation::arity`] is `None` until the
-/// first insertion for relations created with [`Relation::new`].
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+/// uses to arrange sibling nodes (Section 3). The arity is recorded once, at
+/// construction ([`Relation::with_arity`]) or on the first insertion, so
+/// [`Relation::arity`] is a field read rather than a first-tuple scan;
+/// [`Relation::arity`] is `None` until the first insertion for relations
+/// created with [`Relation::new`]. Equality, ordering and hashing consider
+/// only the tuples, so an empty `Relation::new()` equals an empty
+/// `Relation::with_arity(k)`.
+#[derive(Clone, Default)]
 pub struct Relation {
     tuples: BTreeSet<Tuple>,
+    arity: Option<usize>,
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl PartialOrd for Relation {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Relation {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.tuples.cmp(&other.tuples)
+    }
+}
+
+impl std::hash::Hash for Relation {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.tuples.hash(state);
+    }
 }
 
 impl Relation {
-    /// The empty relation.
+    /// The empty relation, arity recorded on first insertion.
     pub fn new() -> Self {
         Relation::default()
+    }
+
+    /// The empty relation with its arity fixed up front: inserting a tuple
+    /// of any other arity panics.
+    pub fn with_arity(arity: usize) -> Self {
+        Relation {
+            tuples: BTreeSet::new(),
+            arity: Some(arity),
+        }
     }
 
     /// A relation holding exactly one tuple (a "tuple register").
@@ -43,18 +83,20 @@ impl Relation {
         r
     }
 
-    /// Insert a tuple, enforcing arity consistency.
+    /// Insert a tuple, enforcing arity consistency against the recorded
+    /// arity (no tuple scan).
     ///
     /// # Panics
-    /// Panics if `t`'s arity differs from tuples already present.
+    /// Panics if `t`'s arity differs from the relation's recorded arity.
     pub fn insert(&mut self, t: Tuple) -> bool {
-        if let Some(a) = self.arity() {
-            assert_eq!(
+        match self.arity {
+            Some(a) => assert_eq!(
                 a,
                 t.len(),
                 "arity mismatch: relation has arity {a}, tuple has arity {}",
                 t.len()
-            );
+            ),
+            None => self.arity = Some(t.len()),
         }
         self.tuples.insert(t)
     }
@@ -79,9 +121,10 @@ impl Relation {
         self.tuples.is_empty()
     }
 
-    /// Arity of the stored tuples, or `None` if empty.
+    /// The recorded arity: `None` only for relations that were created
+    /// without [`Relation::with_arity`] and never received a tuple.
     pub fn arity(&self) -> Option<usize> {
-        self.tuples.iter().next().map(Vec::len)
+        self.arity
     }
 
     /// Iterate over tuples in the canonical order.
@@ -207,6 +250,27 @@ mod tests {
     fn arity_enforced() {
         let mut r = rel![[1, 2]];
         r.insert(vec![Value::int(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn with_arity_enforced_while_empty() {
+        let mut r = Relation::with_arity(3);
+        assert_eq!(r.arity(), Some(3));
+        r.insert(vec![Value::int(1)]);
+    }
+
+    #[test]
+    fn arity_survives_removal_and_ignores_equality() {
+        let mut r = Relation::new();
+        r.insert(vec![Value::int(1), Value::int(2)]);
+        let t = vec![Value::int(1), Value::int(2)];
+        assert!(r.remove(&t));
+        // recorded arity persists even though the relation is now empty
+        assert_eq!(r.arity(), Some(2));
+        // equality/hashing consider tuples only
+        assert_eq!(r, Relation::new());
+        assert_eq!(Relation::with_arity(1), Relation::with_arity(5));
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Differential tests of the configuration-DAG expansion engine: on every
+//! workload, the memoized DAG run must produce byte-identical output trees
+//! and relational views to the forced tree expansion (the pre-memoization
+//! engine kept as [`ExpansionMode::Tree`]).
+
+use pt_bench::{nonrecursive_ifp_view, scaled_registrar, wide_registrar};
+use publishing_transducers::analysis::blowup;
+use publishing_transducers::core::examples::registrar;
+use publishing_transducers::core::{EvalOptions, ExpansionMode, Transducer};
+use publishing_transducers::relational::Instance;
+
+fn assert_modes_agree(tau: &Transducer, inst: &Instance, output_tag: &str, what: &str) {
+    let cap = EvalOptions {
+        max_nodes: 1 << 22,
+        ..EvalOptions::default()
+    };
+    let dag = tau
+        .run_with(inst, cap)
+        .unwrap_or_else(|e| panic!("{what}: dag run failed: {e}"));
+    let tree = tau
+        .run_with(
+            inst,
+            EvalOptions {
+                mode: ExpansionMode::Tree,
+                ..cap
+            },
+        )
+        .unwrap_or_else(|e| panic!("{what}: tree run failed: {e}"));
+    // byte-identical output trees (Debug is the canonical rendering)
+    let dag_out = dag.output_tree();
+    let tree_out = tree.output_tree();
+    assert_eq!(dag_out, tree_out, "{what}: output trees differ");
+    assert_eq!(
+        format!("{dag_out:?}"),
+        format!("{tree_out:?}"),
+        "{what}: output renderings differ"
+    );
+    // identical result-tree statistics on the unfolding
+    assert_eq!(dag.size(), tree.size(), "{what}: xi sizes differ");
+    assert_eq!(dag.depth(), tree.depth(), "{what}: xi depths differ");
+    // identical relational query views
+    assert_eq!(
+        dag.relational_output(output_tag),
+        tree.relational_output(output_tag),
+        "{what}: relational views differ"
+    );
+}
+
+#[test]
+fn registrar_views_on_scaled_instances() {
+    let chained = scaled_registrar(12);
+    let wide = wide_registrar(12);
+    for (name, tau, tag) in [
+        ("tau1", registrar::tau1(), "course"),
+        ("tau2", registrar::tau2(), "cno"),
+        ("tau3", registrar::tau3(), "course"),
+        ("ifp_view", nonrecursive_ifp_view(), "course"),
+    ] {
+        assert_modes_agree(&tau, &chained, tag, &format!("{name} on scaled_registrar(12)"));
+        assert_modes_agree(&tau, &wide, tag, &format!("{name} on wide_registrar(12)"));
+    }
+}
+
+#[test]
+fn registrar_views_on_the_paper_instance() {
+    // the Figure 1 instance exercises the stop condition (CS666 requires
+    // itself) — the sealed leaf must survive memoization identically
+    let db = registrar::registrar_instance();
+    for (name, tau) in [
+        ("tau1", registrar::tau1()),
+        ("tau2", registrar::tau2()),
+        ("tau3", registrar::tau3()),
+    ] {
+        assert_modes_agree(&tau, &db, "course", &format!("{name} on I0"));
+    }
+}
+
+#[test]
+fn prop1_diamond_chain_blowup() {
+    let tau = blowup::diamond_chain_transducer();
+    for n in [1usize, 3, 6, 9] {
+        let inst = blowup::diamond_chain_instance(n);
+        assert_modes_agree(&tau, &inst, "a", &format!("diamond chain n={n}"));
+    }
+}
+
+#[test]
+fn prop1_binary_counter_blowup() {
+    // relation registers: the memo key is a full relation per configuration
+    let tau = blowup::binary_counter_transducer();
+    for n in [1usize, 2] {
+        let inst = blowup::binary_counter_instance(n);
+        assert_modes_agree(&tau, &inst, "a", &format!("binary counter n={n}"));
+    }
+}
+
+#[test]
+fn path_sensitive_stop_conditions_agree() {
+    // graphs where the same configuration is reached both under and not
+    // under an ancestor occurrence of itself — the memo must not leak an
+    // expansion computed under one ancestor set into the other
+    use publishing_transducers::relational::{rel, Schema};
+    let tau = Transducer::builder(
+        Schema::with(&[("edge", 2), ("start", 1)]),
+        "q0",
+        "r",
+    )
+    .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
+    .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
+    .build()
+    .unwrap();
+    let shapes: Vec<(&str, Instance)> = vec![
+        (
+            "rho shape",
+            Instance::new()
+                .with("start", rel![[0]])
+                .with("edge", rel![[0, 1], [1, 2], [2, 1]]),
+        ),
+        (
+            "figure eight",
+            Instance::new()
+                .with("start", rel![[0]])
+                .with("edge", rel![[0, 1], [1, 0], [0, 2], [2, 0], [1, 2]]),
+        ),
+        (
+            "two entries into one cycle",
+            Instance::new()
+                .with("start", rel![[0], [3]])
+                .with("edge", rel![[0, 1], [3, 1], [1, 2], [2, 1]]),
+        ),
+        (
+            "diamond into self-loop",
+            Instance::new()
+                .with("start", rel![[0]])
+                .with("edge", rel![[0, 1], [0, 2], [1, 3], [2, 3], [3, 3]]),
+        ),
+    ];
+    for (name, inst) in &shapes {
+        assert_modes_agree(&tau, inst, "a", name);
+    }
+}
+
+#[test]
+fn randomized_graph_differential() {
+    use publishing_transducers::relational::{Relation, Schema, Value};
+    use rand::prelude::*;
+    let tau = Transducer::builder(
+        Schema::with(&[("edge", 2), ("start", 1)]),
+        "q0",
+        "r",
+    )
+    .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
+    .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
+    .build()
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(2024);
+    for case in 0..40 {
+        let mut inst = Instance::new();
+        let n = rng.gen_range(2i64..7);
+        let mut edges = Relation::new();
+        for _ in 0..rng.gen_range(1usize..12) {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            edges.insert(vec![Value::int(a), Value::int(b)]);
+        }
+        inst.set("edge", edges);
+        inst.insert("start", vec![Value::int(rng.gen_range(0..n))]);
+        assert_modes_agree(&tau, &inst, "a", &format!("random graph case {case}"));
+    }
+}

@@ -1,8 +1,15 @@
 //! Property-based tests over the core invariants, spanning crates.
+//!
+//! Originally written against `proptest`; the offline build environment has
+//! no crates.io access, so the properties are driven by the vendored `rand`
+//! shim instead: 64 seeded random instances per property, same generators,
+//! same assertions.
 
-use proptest::prelude::*;
 use publishing_transducers::core::Transducer;
-use publishing_transducers::relational::{Instance, Relation, Schema, Value};
+use publishing_transducers::relational::{Instance, Schema, Value};
+use rand::prelude::*;
+
+const CASES: u64 = 64;
 
 fn graph_schema() -> Schema {
     Schema::with(&[("edge", 2), ("start", 1)])
@@ -16,102 +23,129 @@ fn unfold() -> Transducer {
         .unwrap()
 }
 
-prop_compose! {
-    fn arb_instance()(edges in proptest::collection::vec((0i64..6, 0i64..6), 0..14),
-                      starts in proptest::collection::vec(0i64..6, 0..3)) -> Instance {
-        let mut inst = Instance::new();
-        for (a, b) in edges {
-            inst.insert("edge", vec![Value::int(a), Value::int(b)]);
-        }
-        for s in starts {
-            inst.insert("start", vec![Value::int(s)]);
-        }
-        inst
+/// The `arb_instance` generator: up to 14 edges and up to 3 start nodes over
+/// a 6-value domain.
+fn arb_instance(rng: &mut StdRng) -> Instance {
+    let mut inst = Instance::new();
+    for _ in 0..rng.gen_range(0usize..14) {
+        let a = rng.gen_range(0i64..6);
+        let b = rng.gen_range(0i64..6);
+        inst.insert("edge", vec![Value::int(a), Value::int(b)]);
+    }
+    for _ in 0..rng.gen_range(0usize..3) {
+        let s = rng.gen_range(0i64..6);
+        inst.insert("start", vec![Value::int(s)]);
+    }
+    inst
+}
+
+fn for_each_case(seed: u64, mut check: impl FnMut(Instance)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed * 1000 + case);
+        check(arb_instance(&mut rng));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Proposition 1(1): the transformation always terminates with a unique
-    /// tree (checked via determinism + the node budget never tripping on
-    /// these bounded instances).
-    #[test]
-    fn termination_and_determinism(inst in arb_instance()) {
-        let tau = unfold();
+/// Proposition 1(1): the transformation always terminates with a unique
+/// tree (checked via determinism + the node budget never tripping on
+/// these bounded instances).
+#[test]
+fn termination_and_determinism() {
+    let tau = unfold();
+    for_each_case(1, |inst| {
         let a = tau.run(&inst).unwrap().output_tree();
         let b = tau.run(&inst).unwrap().output_tree();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// CQ transducers are monotone as relational queries (the fact behind
-    /// Proposition 4(6) and Theorem 5's negative half).
-    #[test]
-    fn cq_relational_monotonicity(inst in arb_instance(),
-                                  extra in arb_instance()) {
-        let tau = unfold();
+/// CQ transducers are monotone as relational queries (the fact behind
+/// Proposition 4(6) and Theorem 5's negative half).
+#[test]
+fn cq_relational_monotonicity() {
+    let tau = unfold();
+    for case in 0..CASES {
+        // one rng per case, drawn twice: inst and extra stay independent
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let inst = arb_instance(&mut rng);
+        let extra = arb_instance(&mut rng);
         let big = inst.union(&extra);
         let small_out = tau.run_relational(&inst, "a").unwrap();
         let big_out = tau.run_relational(&big, "a").unwrap();
         for t in small_out.iter() {
-            prop_assert!(big_out.contains(t));
+            assert!(big_out.contains(t));
         }
     }
+}
 
-    /// Virtual elimination never changes the relational view
-    /// (Theorem 3(1)).
-    #[test]
-    fn virtual_invisibility(inst in arb_instance()) {
-        let make = |virt: bool| {
-            let mut b = Transducer::builder(graph_schema(), "q0", "r");
-            if virt { b = b.virtual_tag("m"); }
-            b.rule("q0", "r", &[("q", "m", "(x) <- start(x)")])
-             .rule("q", "m", &[("q2", "b", "(y) <- exists x (Reg(x) and edge(x, y))")])
-             .build().unwrap()
-        };
+/// Virtual elimination never changes the relational view (Theorem 3(1)).
+#[test]
+fn virtual_invisibility() {
+    let make = |virt: bool| {
+        let mut b = Transducer::builder(graph_schema(), "q0", "r");
+        if virt {
+            b = b.virtual_tag("m");
+        }
+        b.rule("q0", "r", &[("q", "m", "(x) <- start(x)")])
+            .rule("q", "m", &[("q2", "b", "(y) <- exists x (Reg(x) and edge(x, y))")])
+            .build()
+            .unwrap()
+    };
+    for_each_case(3, |inst| {
         let with_virtual = make(true).run_relational(&inst, "b").unwrap();
         let without = make(false).run_relational(&inst, "b").unwrap();
-        prop_assert_eq!(with_virtual, without);
-    }
+        assert_eq!(with_virtual, without);
+    });
+}
 
-    /// The output tree never contains a virtual tag, and ξ's size bounds
-    /// the output's size.
-    #[test]
-    fn virtual_tags_eliminated(inst in arb_instance()) {
-        let tau = Transducer::builder(graph_schema(), "q0", "r")
-            .virtual_tag("m")
-            .rule("q0", "r", &[("q", "m", "(x) <- start(x)")])
-            .rule("q", "m", &[
+/// The output tree never contains a virtual tag, and ξ's size bounds the
+/// output's size.
+#[test]
+fn virtual_tags_eliminated() {
+    let tau = Transducer::builder(graph_schema(), "q0", "r")
+        .virtual_tag("m")
+        .rule("q0", "r", &[("q", "m", "(x) <- start(x)")])
+        .rule(
+            "q",
+            "m",
+            &[
                 ("q", "m", "(y) <- exists x (Reg(x) and edge(x, y))"),
                 ("q2", "b", "(x) <- Reg(x)"),
-            ])
-            .build()
-            .unwrap();
+            ],
+        )
+        .build()
+        .unwrap();
+    for_each_case(4, |inst| {
         let run = tau.run(&inst).unwrap();
         let tree = run.output_tree();
         for node in tree.preorder() {
-            prop_assert_ne!(node.label(), "m");
+            assert_ne!(node.label(), "m");
         }
-        prop_assert!(tree.size() <= run.size());
-    }
+        assert!(tree.size() <= run.size());
+    });
+}
 
-    /// Emptiness (decidable CQ case) agrees with execution on the tested
-    /// instances: if the analysis says empty, no instance produces output.
-    #[test]
-    fn emptiness_soundness(inst in arb_instance()) {
-        use publishing_transducers::analysis::emptiness::emptiness;
-        use publishing_transducers::analysis::Decision;
-        let tau = unfold();
-        if emptiness(&tau) == Decision::Decided(true) {
-            prop_assert!(tau.run(&inst).unwrap().output_tree().is_trivial());
+/// Emptiness (decidable CQ case) agrees with execution on the tested
+/// instances: if the analysis says empty, no instance produces output.
+#[test]
+fn emptiness_soundness() {
+    use publishing_transducers::analysis::emptiness::emptiness;
+    use publishing_transducers::analysis::Decision;
+    let tau = unfold();
+    let empty = emptiness(&tau) == Decision::Decided(true);
+    for_each_case(5, |inst| {
+        if empty {
+            assert!(tau.run(&inst).unwrap().output_tree().is_trivial());
         }
-    }
+    });
+}
 
-    /// Registers only ever hold active-domain values plus transducer
-    /// constants (the fact underlying termination, Proposition 1).
-    #[test]
-    fn registers_stay_in_the_active_domain(inst in arb_instance()) {
-        let tau = unfold();
+/// Registers only ever hold active-domain values plus transducer constants
+/// (the fact underlying termination, Proposition 1).
+#[test]
+fn registers_stay_in_the_active_domain() {
+    let tau = unfold();
+    for_each_case(6, |inst| {
         let run = tau.run(&inst).unwrap();
         let adom = inst.active_domain();
         run.result_tree().visit(&mut |node| {
@@ -121,6 +155,5 @@ proptest! {
                 }
             }
         });
-        let _ = Relation::new();
-    }
+    });
 }

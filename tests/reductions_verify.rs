@@ -25,8 +25,10 @@ fn three_sat_reduction_random_batch() {
     let total = 30;
     for _ in 0..total {
         // clause densities straddling the 3SAT threshold so both outcomes
-        // occur in the batch
-        let num_clauses = rng.gen_range(4..16);
+        // occur in the batch; over 3 variables a CNF is unsatisfiable only
+        // once all 8 sign patterns occur, so the range must reach well past
+        // the coupon-collector expectation of ~22 clauses
+        let num_clauses = rng.gen_range(4..28);
         let cnf = Cnf {
             num_vars: 3,
             clauses: (0..num_clauses).map(|_| random_clause(3, &mut rng)).collect(),

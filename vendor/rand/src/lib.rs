@@ -1,0 +1,175 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the small slice of the `rand 0.8` API the workspace actually uses:
+//! [`Rng::gen_range`] over integer ranges, [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256** seeded via
+//! splitmix64 — deterministic across platforms, which is all the test and
+//! experiment harnesses require (they fix seeds for reproducibility).
+//!
+//! Numeric streams differ from upstream `rand`, so seeds chosen upstream
+//! reproduce *some* deterministic instance, not the identical one.
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Values that can be drawn uniformly from a [`Range`].
+pub trait SampleUniform: Copy {
+    fn sample(range: Range<Self>, rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = range.end.wrapping_sub(range.start) as u128;
+                let draw = (next() as u128) % span;
+                range.start.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i64, u64, usize, i32, u32, i16, u16, i8, u8);
+
+/// The user-facing randomness trait (blanket-implemented for every
+/// [`RngCore`], mirroring `rand`'s `Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (half-open).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let mut next = || self.next_u64();
+        T::sample(range, &mut next)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 bits of mantissa give a uniform float in [0, 1)
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — the shim's only generator, standing in for `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // expand the seed with splitmix64, per the xoshiro authors
+            let mut x = seed;
+            let mut split = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [split(), split(), split(), split()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3i64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0usize..5);
+            assert!(y < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+    }
+}
