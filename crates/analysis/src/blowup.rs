@@ -19,7 +19,11 @@ pub fn diamond_chain_transducer() -> Transducer {
     let schema = Schema::with(&[("edge", 2), ("start", 1)]);
     Transducer::builder(schema, "q0", "r")
         .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
-        .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
+        .rule(
+            "q",
+            "a",
+            &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")],
+        )
         .build()
         .expect("τ1 is well-formed")
 }
@@ -143,10 +147,7 @@ mod tests {
         for n in 1..=6 {
             let run = tau.run(&diamond_chain_instance(n)).unwrap();
             let size = run.size();
-            assert!(
-                size >= 1 << n,
-                "n = {n}: size {size} < 2^{n}"
-            );
+            assert!(size >= 1 << n, "n = {n}: size {size} < 2^{n}");
         }
     }
 
@@ -162,10 +163,7 @@ mod tests {
         // kicks in at n = 2; a one-digit counter is degenerate)
         for n in 2..=4 {
             let orbit = counter_orbit_length(n);
-            assert!(
-                orbit >= 1 << n,
-                "n = {n}: orbit {orbit} < 2^{n}"
-            );
+            assert!(orbit >= 1 << n, "n = {n}: orbit {orbit} < 2^{n}");
         }
     }
 
@@ -181,10 +179,7 @@ mod tests {
                 .unwrap();
             let size = run.size();
             let bound = 1usize << (1usize << n);
-            assert!(
-                size >= bound,
-                "n = {n}: size {size} < 2^(2^{n}) = {bound}"
-            );
+            assert!(size >= bound, "n = {n}: size {size} < 2^(2^{n}) = {bound}");
         }
     }
 

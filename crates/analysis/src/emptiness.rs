@@ -15,9 +15,7 @@
 //!   [`Decision::Unsupported`].
 
 use pt_core::Transducer;
-use pt_logic::compose::{
-    close_root_register, compose_relation_register, compose_tuple_register,
-};
+use pt_logic::compose::{close_root_register, compose_relation_register, compose_tuple_register};
 use pt_logic::cq::ConjunctiveQuery;
 use pt_logic::{Fragment, Query};
 
@@ -126,7 +124,11 @@ mod tests {
     #[test]
     fn unsatisfiable_start_rule_is_empty() {
         let t = Transducer::builder(schema(), "q0", "root")
-            .rule("q0", "root", &[("q", "a", "(x) <- s(x) and x = 1 and x = 2")])
+            .rule(
+                "q0",
+                "root",
+                &[("q", "a", "(x) <- s(x) and x = 1 and x = 2")],
+            )
             .build()
             .unwrap();
         assert_eq!(emptiness(&t), Decision::Decided(true));
@@ -166,7 +168,11 @@ mod tests {
         let t = Transducer::builder(schema(), "q0", "root")
             .virtual_tag("v")
             .rule("q0", "root", &[("q", "v", "(x) <- s(x)")])
-            .rule("q", "v", &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+            .rule(
+                "q",
+                "v",
+                &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")],
+            )
             .build()
             .unwrap();
         assert_eq!(emptiness(&t), Decision::Decided(false));
@@ -229,7 +235,11 @@ mod tests {
             Transducer::builder(schema(), "q0", "root")
                 .virtual_tag("v")
                 .rule("q0", "root", &[("q", "v", "(x) <- s(x)")])
-                .rule("q", "v", &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+                .rule(
+                    "q",
+                    "v",
+                    &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")],
+                )
                 .build()
                 .unwrap(),
             Transducer::builder(schema(), "q0", "root")
@@ -242,7 +252,8 @@ mod tests {
             let says_empty = emptiness(t).unwrap();
             let mut witnessed = false;
             for _ in 0..40 {
-                let inst = generate::random_instance(&Schema::with(&[("r", 2), ("s", 1)]), 3, 4, &mut rng);
+                let inst =
+                    generate::random_instance(&Schema::with(&[("r", 2), ("s", 1)]), 3, 4, &mut rng);
                 if !t.run(&inst).unwrap().output_tree().is_trivial() {
                     witnessed = true;
                     break;

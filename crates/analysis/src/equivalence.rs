@@ -107,8 +107,7 @@ fn expand(
             .query
             .with_body(body)
             .map_err(|e| format!("composition failed: {e}"))?;
-        let cq = ConjunctiveQuery::from_query(&composed)
-            .map_err(|e| format!("not a CQ: {e}"))?;
+        let cq = ConjunctiveQuery::from_query(&composed).map_err(|e| format!("not a CQ: {e}"))?;
         if !cq.is_satisfiable() {
             continue;
         }
@@ -336,7 +335,11 @@ mod tests {
             .unwrap();
         let t2 = Transducer::builder(schema(), "q0", "root")
             .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
-            .rule("q", "a", &[("q", "text", "(k) <- exists x (Reg(x)) and k = 9")])
+            .rule(
+                "q",
+                "a",
+                &[("q", "text", "(k) <- exists x (Reg(x)) and k = 9")],
+            )
             .build()
             .unwrap();
         assert_eq!(equivalence(&t1, &t2), Decision::Decided(false));
@@ -381,7 +384,11 @@ mod tests {
     fn deeper_difference_found() {
         let t1 = Transducer::builder(schema(), "q0", "root")
             .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
-            .rule("q", "a", &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+            .rule(
+                "q",
+                "a",
+                &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")],
+            )
             .build()
             .unwrap();
         let t2 = Transducer::builder(schema(), "q0", "root")
@@ -401,7 +408,11 @@ mod tests {
     fn recursive_inputs_unsupported() {
         let t = Transducer::builder(schema(), "q0", "root")
             .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
-            .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and r(x, y))")])
+            .rule(
+                "q",
+                "a",
+                &[("q", "a", "(y) <- exists x (Reg(x) and r(x, y))")],
+            )
             .build()
             .unwrap();
         assert!(matches!(equivalence(&t, &t), Decision::Unsupported(_)));

@@ -73,18 +73,17 @@ impl SearchBounds {
 /// transducer's constants plus `small_model_bound` fresh values, this
 /// decides membership for `PT(CQ, tuple, normal)` — at the expected
 /// exponential cost.
-pub fn search_witness(
-    tau: &Transducer,
-    target: &Tree,
-    bounds: &SearchBounds,
-) -> Option<Instance> {
+pub fn search_witness(tau: &Transducer, target: &Tree, bounds: &SearchBounds) -> Option<Instance> {
     let opts = EvalOptions::with_max_nodes(bounds.max_nodes);
-    for_each_instance(tau.schema(), &bounds.domain, bounds.max_tuples, |inst| {
-        match tau.run_with(inst, opts) {
+    for_each_instance(
+        tau.schema(),
+        &bounds.domain,
+        bounds.max_tuples,
+        |inst| match tau.run_with(inst, opts) {
             Ok(run) => (run.output_tree() == *target).then(|| inst.clone()),
             Err(_) => None,
-        }
-    })
+        },
+    )
 }
 
 /// Enumerate every instance of `schema` over `domain` with at most

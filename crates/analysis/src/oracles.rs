@@ -35,9 +35,7 @@ pub struct Cnf {
 
 impl Cnf {
     pub fn eval(&self, asg: &[bool]) -> bool {
-        self.clauses
-            .iter()
-            .all(|c| c.iter().any(|l| l.eval(asg)))
+        self.clauses.iter().all(|c| c.iter().any(|l| l.eval(asg)))
     }
 
     /// Exhaustive satisfiability.
@@ -124,7 +122,11 @@ impl TwoRegisterMachine {
                     return (r1 == 0 && r2 == 0).then_some(trace);
                 }
                 Some(Instr::Add { reg, next }) => {
-                    let (r1, r2) = if *reg == 0 { (r1 + 1, r2) } else { (r1, r2 + 1) };
+                    let (r1, r2) = if *reg == 0 {
+                        (r1 + 1, r2)
+                    } else {
+                        (r1, r2 + 1)
+                    };
                     trace.push((*next, r1, r2));
                 }
                 Some(Instr::Sub {

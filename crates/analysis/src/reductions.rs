@@ -163,10 +163,7 @@ pub mod three_sat {
             let tau = emptiness_gadget(&cnf);
             assert_eq!(emptiness(&tau), Decision::Decided(false));
             // the all-true assignment as an RX tuple is a concrete witness
-            let inst = pt_relational::Instance::new().with(
-                "RX",
-                pt_relational::rel![[1, 1]],
-            );
+            let inst = pt_relational::Instance::new().with("RX", pt_relational::rel![[1, 1]]);
             let tree = tau.output(&inst).unwrap();
             assert!(!tree.is_trivial());
             assert_eq!(tree.children()[0].label(), "a");
@@ -244,7 +241,11 @@ pub mod qbf {
                 let mut thetas = Vec::new();
                 for (i, lit) in clause.iter().enumerate() {
                     let theta = if is_forall(lit.var) {
-                        let value = if bit_of(lit.var) == lit.positive { 1 } else { 0 };
+                        let value = if bit_of(lit.var) == lit.positive {
+                            1
+                        } else {
+                            0
+                        };
                         format!("{} = {}", u(i), value)
                     } else if lit.positive {
                         format!("{} = {}", u(i), var_term(lit.var))
@@ -284,11 +285,7 @@ pub mod qbf {
         let phi2 = "(x) <- RC(x) and x != 0 and x != 1".to_string();
         let ys: Vec<String> = (0..q.n_exists).map(|i| format!("y{i}")).collect();
         let rc_ys: Vec<String> = ys.iter().map(|y| format!("RC({y})")).collect();
-        let body = psi(
-            &q.clauses,
-            &|v| v >= q.n_exists,
-            &|v| format!("y{v}"),
-        );
+        let body = psi(&q.clauses, &|v| v >= q.n_exists, &|v| format!("y{v}"));
         let phi3 = format!(
             "(x) <- exists {} ({} and {}) and x = 1",
             ys.join(" "),
@@ -301,9 +298,7 @@ pub mod qbf {
         for d1 in 0..=1 {
             for d2 in 0..=1 {
                 let bad_out = 1 - (d1 | d2);
-                guards.push(format!(
-                    "() <- ROR({d1}, {d2}, {bad_out})"
-                ));
+                guards.push(format!("() <- ROR({d1}, {d2}, {bad_out})"));
             }
         }
         for col in 0..3 {
@@ -313,11 +308,8 @@ pub mod qbf {
                 vars[col]
             ));
         }
-        let mut items: Vec<(&str, &str, &str)> = vec![
-            ("q1", "b", &phi1),
-            ("q1", "c", &phi2),
-            ("q1", "d", &phi3),
-        ];
+        let mut items: Vec<(&str, &str, &str)> =
+            vec![("q1", "b", &phi1), ("q1", "c", &phi2), ("q1", "d", &phi3)];
         let guard_items: Vec<(String, String, String)> = guards
             .iter()
             .enumerate()
@@ -394,11 +386,7 @@ pub mod qbf {
                 let tag = if i == m { "b" } else { "a" };
                 let q0 = format!("({xs}) <- Reg({xs}) and x{i} = 0");
                 let q1 = format!("({xs}) <- Reg({xs}) and x{i} = 1");
-                b = b.rule(
-                    &state,
-                    "a",
-                    &[(&next, tag, &q0), (&next, tag, &q1)],
-                );
+                b = b.rule(&state, "a", &[(&next, tag, &q0), (&next, tag, &q1)]);
             }
             b = b.rule(&format!("p{}", m + 1), "b", &[("pc", "c", phi_final)]);
             b.build().expect("Π₃ᵖ gadget is well-formed")
@@ -408,17 +396,13 @@ pub mod qbf {
             .map(|i| format!("y{}", i + q.n_outer_forall))
             .collect();
         let rc_ys: Vec<String> = ys.iter().map(|y| format!("RC({y})")).collect();
-        let matrix = psi(
-            &q.clauses,
-            &|v| v >= q.n_outer_forall + q.n_exists,
-            &|v| {
-                if v < q.n_outer_forall {
-                    format!("x{}", v + 1)
-                } else {
-                    format!("y{v}")
-                }
-            },
-        );
+        let matrix = psi(&q.clauses, &|v| v >= q.n_outer_forall + q.n_exists, &|v| {
+            if v < q.n_outer_forall {
+                format!("x{}", v + 1)
+            } else {
+                format!("y{v}")
+            }
+        });
         let phi_final_1 = format!(
             "({xs}) <- Reg({xs}) and {} and exists {} ({} and {})",
             well_formedness(),
@@ -573,7 +557,11 @@ pub mod two_register {
             match instr {
                 Instr::Halt => {}
                 Instr::Add { reg, next } => {
-                    let (rkeep, rinc) = if *reg == 0 { ("n2 = n", "m") } else { ("m2 = m", "n") };
+                    let (rkeep, rinc) = if *reg == 0 {
+                        ("n2 = n", "m")
+                    } else {
+                        ("m2 = m", "n")
+                    };
                     let q = format!(
                         "(p2, nx2, cs2, m2, n2) <- exists p nx cs m n s1_1 s1_2 s1_3 \
                          (Reg(p, nx, cs, m, n) and cs = {i} and \
@@ -594,7 +582,11 @@ pub mod two_register {
                     if_zero,
                     if_pos,
                 } => {
-                    let (test, keep) = if *reg == 0 { ("m", "n2 = n") } else { ("n", "m2 = m") };
+                    let (test, keep) = if *reg == 0 {
+                        ("m", "n2 = n")
+                    } else {
+                        ("n", "m2 = m")
+                    };
                     let same = if *reg == 0 { "m2 = 0" } else { "n2 = 0" };
                     let qz = format!(
                         "(p2, nx2, cs2, m2, n2) <- exists p nx cs m n \
@@ -754,11 +746,29 @@ pub mod two_register {
             let base = encode_run(&trace);
             let corruptions = [
                 // P: position 0 gets two different successors
-                vec![Value::int(0), Value::int(99), Value::int(0), Value::int(0), Value::int(0)],
+                vec![
+                    Value::int(0),
+                    Value::int(99),
+                    Value::int(0),
+                    Value::int(0),
+                    Value::int(0),
+                ],
                 // N: two predecessors for position 1
-                vec![Value::int(98), Value::int(1), Value::int(0), Value::int(0), Value::int(0)],
+                vec![
+                    Value::int(98),
+                    Value::int(1),
+                    Value::int(0),
+                    Value::int(0),
+                    Value::int(0),
+                ],
                 // B: an edge back into 0
-                vec![Value::int(97), Value::int(0), Value::int(0), Value::int(0), Value::int(0)],
+                vec![
+                    Value::int(97),
+                    Value::int(0),
+                    Value::int(0),
+                    Value::int(0),
+                    Value::int(0),
+                ],
             ];
             for extra in corruptions {
                 let mut inst = base.clone();
@@ -816,7 +826,10 @@ pub mod two_head_dfa {
             (
                 "qv".into(),
                 "v".into(),
-                format!("(st, x, y) <- st = {} and x = 0 and y = 0", state_const(dfa.start)),
+                format!(
+                    "(st, x, y) <- st = {} and x = 0 and y = 0",
+                    state_const(dfa.start)
+                ),
             ),
         ];
         let _ = &mut items;
@@ -994,7 +1007,9 @@ pub mod fo_equiv {
     /// equal-arity queries, as a formula over shared head variables.
     pub fn symmetric_difference(q1: &Query, q2: &Query) -> Formula {
         assert_eq!(q1.arity(), q2.arity());
-        let shared: Vec<Var> = (0..q1.arity()).map(|i| Var::new(format!("sd{i}"))).collect();
+        let shared: Vec<Var> = (0..q1.arity())
+            .map(|i| Var::new(format!("sd{i}")))
+            .collect();
         let inst = |q: &Query| -> Formula {
             let map = q
                 .head_vars()
@@ -1012,11 +1027,7 @@ pub mod fo_equiv {
 
     /// The membership gadget τ0 (and its target tree `r(a)`): `r(a)` is in
     /// `τ0(R)` iff `Q1 ≢ Q2`.
-    pub fn membership_gadget(
-        schema: &Schema,
-        q1: &Query,
-        q2: &Query,
-    ) -> (Transducer, Tree) {
+    pub fn membership_gadget(schema: &Schema, q1: &Query, q2: &Query) -> (Transducer, Tree) {
         let delta = symmetric_difference(q1, q2);
         let free: Vec<Var> = delta.free_vars().into_iter().collect();
         let body = Formula::and([
@@ -1060,23 +1071,15 @@ pub mod fo_equiv {
 
     /// The equivalence gadgets τ¹, τ²: `τ¹ ≡ τ²` iff `Q1 ≡ Q2`. Each lists
     /// its query's rows as `a`-children whose text children print the rows.
-    pub fn equivalence_gadget(
-        schema: &Schema,
-        q1: &Query,
-        q2: &Query,
-    ) -> (Transducer, Transducer) {
+    pub fn equivalence_gadget(schema: &Schema, q1: &Query, q2: &Query) -> (Transducer, Transducer) {
         let build = |q: &Query| -> Transducer {
             let reg_args: Vec<pt_logic::Term> = q
                 .head_vars()
                 .iter()
                 .map(|v| pt_logic::Term::Var(v.clone()))
                 .collect();
-            let text_query = Query::new(
-                q.head_vars().to_vec(),
-                vec![],
-                Formula::Reg(reg_args),
-            )
-            .unwrap();
+            let text_query =
+                Query::new(q.head_vars().to_vec(), vec![], Formula::Reg(reg_args)).unwrap();
             Transducer::builder(schema.clone(), "q0", "r")
                 .rule_items(
                     "q0",

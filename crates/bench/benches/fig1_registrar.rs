@@ -24,10 +24,14 @@ fn bench(c: &mut Criterion) {
             let tau = registrar::tau3();
             b.iter(|| tau.output(db).unwrap().size())
         });
-        g.bench_with_input(BenchmarkId::new("prop3_nonrecursive_ifp", n), &chain, |b, db| {
-            let tau = nonrecursive_ifp_view();
-            b.iter(|| tau.output(db).unwrap().size())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("prop3_nonrecursive_ifp", n),
+            &chain,
+            |b, db| {
+                let tau = nonrecursive_ifp_view();
+                b.iter(|| tau.output(db).unwrap().size())
+            },
+        );
     }
     g.finish();
 }

@@ -1,9 +1,11 @@
-//! Hot-path microbenches isolating the three engine wins of the evaluation
-//! overhaul: hash joins over interned rows, semi-naive fixpoint iteration,
-//! and configuration-DAG expansion sharing.
+//! Hot-path microbenches isolating the engine wins of the evaluation
+//! overhauls: hash joins over interned rows, semi-naive fixpoint iteration
+//! (including the multi-linear transitive-closure expansion), interned and
+//! indexed registers on register-heavy views, and configuration-DAG
+//! expansion sharing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pt_bench::scaled_registrar;
+use pt_bench::{chain_edges, registrar_with_enrollment, scaled_registrar};
 use pt_core::examples::registrar;
 use pt_core::EvalOptions;
 use pt_logic::eval::eval_to_relation;
@@ -43,25 +45,59 @@ fn bench_fixpoint(c: &mut Criterion) {
     for n in [64usize, 256, 1024] {
         let inst = chain_instance(n);
         // linear and positive in S: iterated semi-naively
-        let linear = parse_formula(
-            "fix S(x) { start(x) or exists y (S(y) and edge(y, x)) }(w)",
-        )
-        .unwrap();
-        // two occurrences of T: falls back to naive inflationary rounds
-        let nonlinear = parse_formula(
-            "fix T(x, y) { edge(x, y) or exists z (T(x, z) and T(z, y)) }(v, w)",
-        )
-        .unwrap();
+        let linear =
+            parse_formula("fix S(x) { start(x) or exists y (S(y) and edge(y, x)) }(w)").unwrap();
+        // two occurrences of T: multi-linear semi-naive expansion
+        let nonlinear =
+            parse_formula("fix T(x, y) { edge(x, y) or exists z (T(x, z) and T(z, y)) }(v, w)")
+                .unwrap();
         let w = [Var::new("w")];
         let vw = [Var::new("v"), Var::new("w")];
         g.bench_with_input(BenchmarkId::new("semi_naive_reach", n), &inst, |b, inst| {
             b.iter(|| eval_to_relation(inst, None, &linear, &w).unwrap().len())
         });
         if n <= 256 {
-            g.bench_with_input(BenchmarkId::new("naive_closure", n), &inst, |b, inst| {
-                b.iter(|| eval_to_relation(inst, None, &nonlinear, &vw).unwrap().len())
-            });
+            g.bench_with_input(
+                BenchmarkId::new("multilinear_closure", n),
+                &inst,
+                |b, inst| b.iter(|| eval_to_relation(inst, None, &nonlinear, &vw).unwrap().len()),
+            );
         }
+    }
+    g.finish();
+}
+
+fn bench_register_heavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths/register");
+    g.sample_size(10);
+    // τ2's relation registers: every configuration interns and indexes its
+    // register once, and the enrollment rows only inflate the active domain
+    // (copy-on-extend keeps per-query work O(|register|))
+    let tau2 = registrar::tau2();
+    for (n, students) in [(24usize, 0usize), (24, 2000)] {
+        let db = registrar_with_enrollment(n, students);
+        g.bench_with_input(
+            BenchmarkId::new("tau2_enrollment", format!("{n}x{students}")),
+            &db,
+            |b, db| b.iter(|| tau2.run_with(db, EvalOptions::default()).unwrap().size()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths/tc");
+    g.sample_size(10);
+    // two positive occurrences: the multi-linear semi-naive expansion
+    // (delta in one occurrence per variant) replaces naive rounds
+    let f = parse_formula("fix T(x, y) { edge(x, y) or exists z (T(x, z) and T(z, y)) }(v, w)")
+        .unwrap();
+    let vw = [Var::new("v"), Var::new("w")];
+    for n in [64usize, 128] {
+        let inst = chain_edges(n);
+        g.bench_with_input(BenchmarkId::new("closure_chain", n), &inst, |b, inst| {
+            b.iter(|| eval_to_relation(inst, None, &f, &vw).unwrap().len())
+        });
     }
     g.finish();
 }
@@ -82,5 +118,12 @@ fn bench_expansion_sharing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_join, bench_fixpoint, bench_expansion_sharing);
+criterion_group!(
+    benches,
+    bench_join,
+    bench_fixpoint,
+    bench_register_heavy,
+    bench_transitive_closure,
+    bench_expansion_sharing
+);
 criterion_main!(benches);

@@ -22,13 +22,17 @@ fn bench(c: &mut Criterion) {
     for n in [2usize, 3] {
         let inst = binary_counter_instance(n);
         if n <= 2 {
-            g.bench_with_input(BenchmarkId::new("counter_2_pow_2_pow_n", n), &inst, |b, i| {
-                b.iter(|| {
-                    tau2.run_with(i, EvalOptions::with_max_nodes(1 << 22))
-                        .unwrap()
-                        .size()
-                })
-            });
+            g.bench_with_input(
+                BenchmarkId::new("counter_2_pow_2_pow_n", n),
+                &inst,
+                |b, i| {
+                    b.iter(|| {
+                        tau2.run_with(i, EvalOptions::with_max_nodes(1 << 22))
+                            .unwrap()
+                            .size()
+                    })
+                },
+            );
         }
         g.bench_with_input(BenchmarkId::new("counter_orbit", n), &n, |b, &n| {
             b.iter(|| counter_orbit_length(n))

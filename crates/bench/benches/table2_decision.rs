@@ -18,7 +18,10 @@ fn random_cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
         .map(|_| {
             let mut vars: Vec<usize> = (0..num_vars).collect();
             vars.shuffle(&mut rng);
-            [0, 1, 2].map(|i| Lit { var: vars[i], positive: rng.gen_bool(0.5) })
+            [0, 1, 2].map(|i| Lit {
+                var: vars[i],
+                positive: rng.gen_bool(0.5),
+            })
         })
         .collect();
     Cnf { num_vars, clauses }
@@ -30,21 +33,28 @@ fn bench(c: &mut Criterion) {
 
     // PTIME emptiness for PT(CQ, S, normal): linear chains of rules
     for n in [4usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::new("emptiness_ptime_normal", n), &n, |b, &n| {
-            let schema = Schema::with(&[("s", 1)]);
-            let mut builder = Transducer::builder(schema, "q0", "r")
-                .rule("q0", "r", &[("s1", "a1", "(x) <- s(x)")]);
-            for i in 1..n {
-                let q = "(y) <- exists x (Reg(x) and s(y) and x != y)".to_string();
-                builder = builder.rule(
-                    &format!("s{i}"),
-                    &format!("a{i}"),
-                    &[(&format!("s{}", i + 1), &format!("a{}", i + 1), &q)],
+        g.bench_with_input(
+            BenchmarkId::new("emptiness_ptime_normal", n),
+            &n,
+            |b, &n| {
+                let schema = Schema::with(&[("s", 1)]);
+                let mut builder = Transducer::builder(schema, "q0", "r").rule(
+                    "q0",
+                    "r",
+                    &[("s1", "a1", "(x) <- s(x)")],
                 );
-            }
-            let tau = builder.build().unwrap();
-            b.iter(|| emptiness(&tau))
-        });
+                for i in 1..n {
+                    let q = "(y) <- exists x (Reg(x) and s(y) and x != y)".to_string();
+                    builder = builder.rule(
+                        &format!("s{i}"),
+                        &format!("a{i}"),
+                        &[(&format!("s{}", i + 1), &format!("a{}", i + 1), &q)],
+                    );
+                }
+                let tau = builder.build().unwrap();
+                b.iter(|| emptiness(&tau))
+            },
+        );
     }
 
     // NP emptiness for PT(CQ, tuple, virtual) on 3SAT gadgets
@@ -76,15 +86,25 @@ fn bench(c: &mut Criterion) {
     let schema = Schema::with(&[("r", 2), ("s", 1)]);
     let t1 = Transducer::builder(schema.clone(), "q0", "root")
         .rule("q0", "root", &[("q", "a", "(x, k) <- s(x) and k = 1")])
-        .rule("q", "a", &[("q2", "b", "(y) <- exists x k (Reg(x, k) and r(x, y))")])
+        .rule(
+            "q",
+            "a",
+            &[("q2", "b", "(y) <- exists x k (Reg(x, k) and r(x, y))")],
+        )
         .build()
         .unwrap();
     let t2 = Transducer::builder(schema, "q0", "root")
         .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
-        .rule("q", "a", &[("q2", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+        .rule(
+            "q",
+            "a",
+            &[("q2", "b", "(y) <- exists x (Reg(x) and r(x, y))")],
+        )
         .build()
         .unwrap();
-    g.bench_function("equivalence_pi3_exact", |b| b.iter(|| equivalence(&t1, &t2)));
+    g.bench_function("equivalence_pi3_exact", |b| {
+        b.iter(|| equivalence(&t1, &t2))
+    });
     g.finish();
 }
 

@@ -15,7 +15,11 @@ fn bench(c: &mut Criterion) {
     let schema = Schema::with(&[("edge", 2), ("start", 1)]);
     let tau = Transducer::builder(schema.clone(), "q0", "r")
         .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
-        .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
+        .rule(
+            "q",
+            "a",
+            &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")],
+        )
         .build()
         .unwrap();
     let program = to_lindatalog(&tau, "a").unwrap();
@@ -33,8 +37,16 @@ fn bench(c: &mut Criterion) {
     // Proposition 6: nonrecursive path unions
     let tau_nr = Transducer::builder(schema.clone(), "q0", "r")
         .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
-        .rule("q", "a", &[("q2", "b", "(y) <- exists x (Reg(x) and edge(x, y))")])
-        .rule("q2", "b", &[("q3", "c", "(z) <- exists y (Reg(y) and edge(y, z))")])
+        .rule(
+            "q",
+            "a",
+            &[("q2", "b", "(y) <- exists x (Reg(x) and edge(x, y))")],
+        )
+        .rule(
+            "q2",
+            "b",
+            &[("q3", "c", "(z) <- exists y (Reg(y) and edge(y, z))")],
+        )
         .build()
         .unwrap();
     let union = path_union(&tau_nr, "c").unwrap();

@@ -1,0 +1,101 @@
+//! Bench-regression gate: compare a freshly produced `BENCH_2.json` against
+//! the committed `BENCH_1.json` trajectory and fail (exit 1) on a serious
+//! regression of any entry recorded in both.
+//!
+//! Usage: `cargo run --release -p pt-bench --bin check_regression \
+//! [BASELINE] [CURRENT] [--tolerance N]`. Defaults: `BENCH_1.json`,
+//! `BENCH_2.json`, tolerance 3.0.
+//!
+//! The tolerance is deliberately generous — CI machines are noisy and the
+//! recorded values come from another host — so the gate only trips on an
+//! entry that got more than `N`× slower (`ms` metrics) or whose speedup
+//! collapsed below `1/N` of the recorded value (`x` metrics). Entries
+//! present in only one file are reported but never fail the gate: the
+//! benchmark set is expected to grow.
+
+use std::process::ExitCode;
+
+use pt_bench::parse_bench_json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 3.0f64;
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 1.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance needs a number >= 1");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            files.push(a);
+        }
+    }
+    let baseline_path = files.first().copied().unwrap_or("BENCH_1.json");
+    let current_path = files.get(1).copied().unwrap_or("BENCH_2.json");
+
+    let read = |path: &str| -> Option<Vec<(String, String, f64)>> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Some(parse_bench_json(&text)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::FAILURE;
+    };
+    if baseline.is_empty() || current.is_empty() {
+        eprintln!(
+            "no benchmark entries parsed ({baseline_path}: {}, {current_path}: {})",
+            baseline.len(),
+            current.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (name, metric, old) in &baseline {
+        let Some((_, _, new)) = current.iter().find(|(n, m, _)| n == name && m == metric) else {
+            println!("  (only in {baseline_path}) {name}");
+            continue;
+        };
+        compared += 1;
+        // `ms`: lower is better; `x` (speedup): higher is better
+        let (regressed, ratio) = match metric.as_str() {
+            "x" => (*new * tolerance < *old, old / new),
+            _ => (*new > *old * tolerance, new / old),
+        };
+        let flag = if regressed {
+            regressions += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("  {flag:<10} {name:<45} {old:>10.1} -> {new:>10.1} {metric} ({ratio:.2}x)");
+    }
+    for (name, _, _) in &current {
+        if !baseline.iter().any(|(n, _, _)| n == name) {
+            println!("  (new)      {name}");
+        }
+    }
+    if compared == 0 {
+        eprintln!("no overlapping entries between {baseline_path} and {current_path}");
+        return ExitCode::FAILURE;
+    }
+    if regressions > 0 {
+        eprintln!(
+            "{regressions} entr{} regressed more than {tolerance}x vs {baseline_path}",
+            if regressions == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench gate: {compared} entries compared, none regressed more than {tolerance}x");
+    ExitCode::SUCCESS
+}

@@ -31,7 +31,9 @@ pub fn scaled_registrar(n: usize) -> Instance {
             Value::str("MATH"),
         ]);
     }
-    Instance::new().with("course", course).with("prereq", prereq)
+    Instance::new()
+        .with("course", course)
+        .with("prereq", prereq)
 }
 
 /// A wide (non-chained) registrar instance: `n` independent CS courses,
@@ -55,7 +57,64 @@ pub fn wide_registrar(n: usize) -> Instance {
             Value::str(format!("PR{i:04}")),
         ]);
     }
-    Instance::new().with("course", course).with("prereq", prereq)
+    Instance::new()
+        .with("course", course)
+        .with("prereq", prereq)
+}
+
+/// A registrar that also carries enrollment data: `scaled_registrar(n)`
+/// plus `students` rows of `enrolled(student, cno)`. The enrollment
+/// relation inflates the active domain without touching the course views —
+/// the register-heavy τ2 workload where per-query evaluation must stay
+/// O(|register|), not O(|adom|).
+pub fn registrar_with_enrollment(n: usize, students: usize) -> Instance {
+    let mut db = scaled_registrar(n);
+    let mut enrolled = Relation::new();
+    for s in 0..students {
+        enrolled.insert(vec![
+            Value::str(format!("S{s:05}")),
+            Value::str(format!("CS{:04}", s % n.max(1))),
+        ]);
+    }
+    db.set("enrolled", enrolled);
+    db
+}
+
+/// A chain `edge(0,1), …, edge(n-1,n)` — the transitive-closure workload
+/// for the multi-linear semi-naive fixpoint.
+pub fn chain_edges(n: usize) -> Instance {
+    let mut edge = Relation::new();
+    for i in 0..n as i64 {
+        edge.insert(vec![Value::int(i), Value::int(i + 1)]);
+    }
+    Instance::new().with("edge", edge)
+}
+
+/// Parse the hand-rolled `BENCH_N.json` files this crate writes (the
+/// workspace is offline — no serde). Returns `(name, metric, value)`
+/// triples; unknown lines are skipped.
+pub fn parse_bench_json(text: &str) -> Vec<(String, String, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        if let Some(stripped) = rest.strip_prefix('"') {
+            Some(stripped[..stripped.find('"')?].to_string())
+        } else {
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+                .unwrap_or(rest.len());
+            Some(rest[..end].to_string())
+        }
+    };
+    text.lines()
+        .filter_map(|line| {
+            let name = field(line, "name")?;
+            let metric = field(line, "metric")?;
+            let value: f64 = field(line, "value")?.parse().ok()?;
+            Some((name, metric, value))
+        })
+        .collect()
 }
 
 /// The nonrecursive IFP transducer used for the Proposition 3 data
@@ -91,9 +150,39 @@ mod tests {
     }
 
     #[test]
+    fn enrollment_inflates_the_domain_only() {
+        let plain = scaled_registrar(6);
+        let heavy = registrar_with_enrollment(6, 50);
+        assert_eq!(heavy.size(), plain.size() + 50);
+        // the course views are untouched by enrollment rows
+        let a = registrar::tau2().output(&plain).unwrap();
+        let b = registrar::tau2().output(&heavy).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bench_json_round_trips() {
+        let text = "{\n  \"bench\": 2,\n  \"entries\": [\n    \
+                    {\"name\": \"a_ms\", \"metric\": \"ms\", \"value\": 12.500, \"note\": \"x\"},\n    \
+                    {\"name\": \"b_x\", \"metric\": \"x\", \"value\": 784.281, \"note\": \"dag vs tree\"}\n  ]\n}\n";
+        let entries = parse_bench_json(text);
+        assert_eq!(
+            entries,
+            vec![
+                ("a_ms".to_string(), "ms".to_string(), 12.5),
+                ("b_x".to_string(), "x".to_string(), 784.281)
+            ]
+        );
+    }
+
+    #[test]
     fn views_run_on_scaled_instances() {
         let db = scaled_registrar(6);
-        for tau in [registrar::tau1(), registrar::tau3(), nonrecursive_ifp_view()] {
+        for tau in [
+            registrar::tau1(),
+            registrar::tau3(),
+            nonrecursive_ifp_view(),
+        ] {
             assert!(!tau.output(&db).unwrap().is_trivial());
         }
     }

@@ -89,9 +89,7 @@ pub mod registrar {
     /// simplified using `Reg ⊆ ϕ'1`: it is equivalent to
     /// `Reg(c) ∧ ∀c' (ϕ'1(c') → Reg(c'))`.
     pub fn tau2() -> Transducer {
-        let phi1_of = |v: &str| {
-            format!("(Reg({v}) or exists c0 (Reg(c0) and prereq(c0, {v})))")
-        };
+        let phi1_of = |v: &str| format!("(Reg({v}) or exists c0 (Reg(c0) and prereq(c0, {v})))");
         let phi2 = format!(
             "(c) <- Reg(c) and forall c2 ((not {}) or Reg(c2))",
             phi1_of("c2")
@@ -125,10 +123,7 @@ pub mod registrar {
             .rule(
                 "q",
                 "l",
-                &[
-                    ("q", "l", &phi1_prime as &str),
-                    ("q", "cno", &phi2 as &str),
-                ],
+                &[("q", "l", &phi1_prime as &str), ("q", "cno", &phi2 as &str)],
             )
             .rule("q", "cno", &[("q", "text", "(c) <- Reg(c)")])
             .rule("q", "title", &[("q", "text", "(t) <- Reg(t)")])

@@ -151,11 +151,7 @@ impl ResultNode {
             if let Some(&n) = cache.get(&key) {
                 return n;
             }
-            let n = 1 + node
-                .children
-                .iter()
-                .map(|c| go(c, cache))
-                .sum::<usize>();
+            let n = 1 + node.children.iter().map(|c| go(c, cache)).sum::<usize>();
             cache.insert(key, n);
             n
         }
@@ -392,11 +388,14 @@ impl<'t, 'a> DagExpansion<'t, 'a> {
         let mut footprint: FxHashSet<ConfigId> = [cid].into_iter().collect();
         let mut size = 1usize;
         if !items.is_empty() {
+            // the register is interned and indexed once per configuration;
+            // every query of every rule item reuses the same handle
+            let ireg = self.ctx.index_register(&register);
             path.push(cid);
             on_path.insert(cid);
             for item in items {
                 // children grouped by x̄, ordered by the domain order
-                for (_, group) in item.query.groups_with(&self.ctx, Some(&register))? {
+                for (_, group) in item.query.groups_indexed(&self.ctx, Some(&ireg))? {
                     let child = self.config_id(&item.state, &item.tag, group);
                     let (node, fp, sz) = self.expand(child, path, on_path)?;
                     children.push(node);
@@ -437,11 +436,7 @@ impl Transducer {
     }
 
     /// Run with explicit limits.
-    pub fn run_with(
-        &self,
-        instance: &Instance,
-        opts: EvalOptions,
-    ) -> Result<RunResult, RunError> {
+    pub fn run_with(&self, instance: &Instance, opts: EvalOptions) -> Result<RunResult, RunError> {
         let root = match opts.mode {
             ExpansionMode::Dag => {
                 let mut exp = DagExpansion {
@@ -453,11 +448,7 @@ impl Transducer {
                     configs: Vec::new(),
                     entries: Vec::new(),
                 };
-                let root_cid = exp.config_id(
-                    self.start_state(),
-                    self.root_tag(),
-                    Relation::new(),
-                );
+                let root_cid = exp.config_id(self.start_state(), self.root_tag(), Relation::new());
                 let (root, _, _) =
                     exp.expand(root_cid, &mut Vec::new(), &mut FxHashSet::default())?;
                 root
@@ -589,7 +580,11 @@ mod tests {
     fn unfold() -> Transducer {
         Transducer::builder(graph_schema(), "q0", "root")
             .rule("q0", "root", &[("q", "a", "(x) <- start(x)")])
-            .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
+            .rule(
+                "q",
+                "a",
+                &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")],
+            )
             .build()
             .unwrap()
     }
@@ -613,8 +608,7 @@ mod tests {
         let tree = unfold().output(&inst).unwrap();
         // three a-children; registers were 1, 2, 3 in order — verify via ξ
         let run = unfold().run(&inst).unwrap();
-        let regs: Vec<i64> = run.result_tree().children
-            [..]
+        let regs: Vec<i64> = run.result_tree().children[..]
             .iter()
             .map(|c| c.register.the_tuple()[0].as_int().unwrap())
             .collect();
@@ -677,11 +671,23 @@ mod tests {
         assert_eq!(size, 6);
         for mode in [ExpansionMode::Dag, ExpansionMode::Tree] {
             assert!(tau
-                .run_with(&inst, EvalOptions { max_nodes: size, mode })
+                .run_with(
+                    &inst,
+                    EvalOptions {
+                        max_nodes: size,
+                        mode
+                    }
+                )
                 .is_ok());
             assert_eq!(
-                tau.run_with(&inst, EvalOptions { max_nodes: size - 1, mode })
-                    .unwrap_err(),
+                tau.run_with(
+                    &inst,
+                    EvalOptions {
+                        max_nodes: size - 1,
+                        mode
+                    }
+                )
+                .unwrap_err(),
                 RunError::NodeLimit(size - 1),
                 "budget must trip on the unfolded count in {mode:?} mode"
             );
@@ -694,10 +700,7 @@ mod tests {
         // a shape with sharing, a cycle, and a self-loop
         let inst = Instance::new()
             .with("start", rel![[0], [5]])
-            .with(
-                "edge",
-                rel![[0, 1], [0, 2], [1, 3], [2, 3], [3, 0], [5, 5]],
-            );
+            .with("edge", rel![[0, 1], [0, 2], [1, 3], [2, 3], [3, 0], [5, 5]]);
         let dag = t.run_with(&inst, EvalOptions::default()).unwrap();
         let tree = t.run_with(&inst, EvalOptions::forced_tree()).unwrap();
         assert_eq!(dag.output_tree(), tree.output_tree());
@@ -711,7 +714,11 @@ mod tests {
         let t = Transducer::builder(graph_schema(), "q0", "root")
             .virtual_tag("v")
             .rule("q0", "root", &[("q", "v", "(x) <- start(x)")])
-            .rule("q", "v", &[("q", "b", "(y) <- exists x (Reg(x) and edge(x, y))")])
+            .rule(
+                "q",
+                "v",
+                &[("q", "b", "(y) <- exists x (Reg(x) and edge(x, y))")],
+            )
             .build()
             .unwrap();
         let inst = Instance::new()

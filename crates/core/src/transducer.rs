@@ -546,7 +546,11 @@ mod tests {
     fn linear() -> Transducer {
         Transducer::builder(simple_schema(), "q0", "root")
             .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
-            .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and r(x, y))")])
+            .rule(
+                "q",
+                "a",
+                &[("q", "a", "(y) <- exists x (Reg(x) and r(x, y))")],
+            )
             .build()
             .unwrap()
     }
@@ -603,7 +607,11 @@ mod tests {
         let bad = Transducer::builder(simple_schema(), "q0", "root")
             .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
             // Reg has arity 1 at an `a` node, not 2
-            .rule("q", "a", &[("q", "b", "(y) <- exists u v (Reg(u, v) and s(y))")])
+            .rule(
+                "q",
+                "a",
+                &[("q", "b", "(y) <- exists u v (Reg(u, v) and s(y))")],
+            )
             .build();
         let err = bad.unwrap_err();
         assert!(err.contains("Reg/2"), "got: {err}");
@@ -655,7 +663,11 @@ mod tests {
     fn nonrecursive_graph_and_depth() {
         let t = Transducer::builder(simple_schema(), "q0", "root")
             .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
-            .rule("q", "a", &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+            .rule(
+                "q",
+                "a",
+                &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")],
+            )
             .build()
             .unwrap();
         assert!(!t.is_recursive());
@@ -690,7 +702,11 @@ mod tests {
                 "root",
                 &[("q", "a", "(x) <- s(x)"), ("q", "b", "(x) <- s(x)")],
             )
-            .rule("q", "a", &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+            .rule(
+                "q",
+                "a",
+                &[("q", "b", "(y) <- exists x (Reg(x) and r(x, y))")],
+            )
             .build()
             .unwrap();
         let g = t.dependency_graph();

@@ -234,10 +234,7 @@ impl Program {
 
     /// Naive bottom-up evaluation: iterate all rules to a simultaneous
     /// fixpoint. Reference implementation used to validate semi-naive.
-    pub fn eval_naive(
-        &self,
-        instance: &Instance,
-    ) -> Result<BTreeMap<String, Relation>, EvalError> {
+    pub fn eval_naive(&self, instance: &Instance) -> Result<BTreeMap<String, Relation>, EvalError> {
         let mut idb: BTreeMap<String, Relation> = self
             .idb_preds()
             .into_iter()
@@ -369,7 +366,8 @@ impl Program {
             seen
         };
         let ev = Evaluator::for_formula(&merged, None, &body);
-        let bindings = ev.eval(&body)?.cylindrify(&head_vars, ev.adom());
+        let bindings = ev.eval(&body)?;
+        let bindings = ev.close(bindings, &head_vars);
         // materialize the head, substituting constants
         let mut out = Relation::new();
         let positions: Vec<Option<usize>> = rule
@@ -401,8 +399,7 @@ impl Program {
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for rule in &self.rules {
-            let head_args: Vec<String> =
-                rule.head_args.iter().map(|t| t.to_string()).collect();
+            let head_args: Vec<String> = rule.head_args.iter().map(|t| t.to_string()).collect();
             write!(f, "{}({}) :- ", rule.head_pred, head_args.join(", "))?;
             let parts: Vec<String> = rule
                 .body
@@ -451,8 +448,8 @@ pub fn parse_program(src: &str) -> Result<Program, String> {
             Some((h, b)) => (h.trim(), Some(b.trim())),
             None => (stmt, None),
         };
-        let (head_pred, head_args) = parse_atom(head)
-            .map_err(|e| format!("statement {lineno}: bad head {head:?}: {e}"))?;
+        let (head_pred, head_args) =
+            parse_atom(head).map_err(|e| format!("statement {lineno}: bad head {head:?}: {e}"))?;
         let body = match body {
             None => Vec::new(),
             Some(b) => parse_body(b).map_err(|e| format!("statement {lineno}: {e}"))?,

@@ -156,8 +156,8 @@ pub fn from_lindatalog(
         for (hv, t) in head_vars.iter().zip(rule.head_args.iter()) {
             conjuncts.push(Formula::Eq(Term::Var(hv.clone()), t.clone()));
         }
-        let query = Query::new(head_vars, vec![], Formula::and(conjuncts))
-            .map_err(|e| e.to_string())?;
+        let query =
+            Query::new(head_vars, vec![], Formula::and(conjuncts)).map_err(|e| e.to_string())?;
         let item = pt_core::RuleItem {
             state: format!("s_{}", rule.head_pred),
             tag: format!("t_{}", rule.head_pred),
@@ -191,7 +191,11 @@ mod tests {
             .rule(
                 "q",
                 "a",
-                &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y) and x != y)")],
+                &[(
+                    "q",
+                    "a",
+                    "(y) <- exists x (Reg(x) and edge(x, y) and x != y)",
+                )],
             )
             .build()
             .unwrap()

@@ -148,7 +148,11 @@ mod tests {
         let schema = Schema::with(&[("e", 2), ("s", 1)]);
         let tau = Transducer::builder(schema, "q0", "root")
             .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
-            .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and e(x, y))")])
+            .rule(
+                "q",
+                "a",
+                &[("q", "a", "(y) <- exists x (Reg(x) and e(x, y))")],
+            )
             .build()
             .unwrap();
         assert!(path_union(&tau, "a").is_err());
@@ -164,7 +168,11 @@ mod tests {
                 b = b.virtual_tag("v");
             }
             b.rule("q0", "root", &[("q", "v", "(x) <- s(x)")])
-                .rule("q", "v", &[("q2", "b", "(y) <- exists x (Reg(x) and r(x, y))")])
+                .rule(
+                    "q",
+                    "v",
+                    &[("q2", "b", "(y) <- exists x (Reg(x) and r(x, y))")],
+                )
                 .build()
                 .unwrap()
         };

@@ -149,7 +149,11 @@ mod tests {
             .rule(
                 "q",
                 "a",
-                &[("q2", "b", "(z) <- exists x y (Reg(x, y) and s(y) and z = x)")],
+                &[(
+                    "q2",
+                    "b",
+                    "(z) <- exists x y (Reg(x, y) and s(y) and z = x)",
+                )],
             )
             .build()
             .unwrap();

@@ -58,7 +58,11 @@ impl FoTransduction {
 
     fn order_on(&self, parent: &[Term], a: &[Term], b: &[Term]) -> Formula {
         let mut map: BTreeMap<Var, Term> = BTreeMap::new();
-        map.extend(vars("p", self.width).into_iter().zip(parent.iter().cloned()));
+        map.extend(
+            vars("p", self.width)
+                .into_iter()
+                .zip(parent.iter().cloned()),
+        );
         map.extend(vars("n", self.width).into_iter().zip(a.iter().cloned()));
         map.extend(vars("m", self.width).into_iter().zip(b.iter().cloned()));
         self.order.freshen_bound().substitute(&map)
@@ -117,8 +121,7 @@ impl FoTransduction {
             }
             Ok(None)
         };
-        let roots = eval_to_relation(instance, None, &self.root, &nv)
-            .map_err(|e| e.to_string())?;
+        let roots = eval_to_relation(instance, None, &self.root, &nv).map_err(|e| e.to_string())?;
         if roots.len() != 1 {
             return Err(format!("φroot must define one node, got {}", roots.len()));
         }
@@ -126,12 +129,11 @@ impl FoTransduction {
         // edge and order materialized once
         let mut nm = nv.clone();
         nm.extend(vars("m", k));
-        let edges = eval_to_relation(instance, None, &self.edge, &nm)
-            .map_err(|e| e.to_string())?;
+        let edges = eval_to_relation(instance, None, &self.edge, &nm).map_err(|e| e.to_string())?;
         let mut pnm = vars("p", k);
         pnm.extend(nm.iter().cloned());
-        let orders = eval_to_relation(instance, None, &self.order, &pnm)
-            .map_err(|e| e.to_string())?;
+        let orders =
+            eval_to_relation(instance, None, &self.order, &pnm).map_err(|e| e.to_string())?;
         self.unfold(&root, &edges, &orders, &label_of, depth_limit)
     }
 
@@ -227,11 +229,8 @@ impl FoTransduction {
                 vars("y", k),
                 Formula::and([
                     {
-                        let map: BTreeMap<Var, Term> = xv
-                            .iter()
-                            .cloned()
-                            .zip(y.iter().cloned())
-                            .collect();
+                        let map: BTreeMap<Var, Term> =
+                            xv.iter().cloned().zip(y.iter().cloned()).collect();
                         reg.substitute(&map)
                     },
                     fc_on(&y, &x),
@@ -339,8 +338,7 @@ mod tests {
     fn forest_transduction() -> FoTransduction {
         FoTransduction {
             width: 1,
-            domain: parse_formula("exists y (parent(n0, y) or parent(y, n0)) or root(n0)")
-                .unwrap(),
+            domain: parse_formula("exists y (parent(n0, y) or parent(y, n0)) or root(n0)").unwrap(),
             root: parse_formula("root(n0)").unwrap(),
             edge: parse_formula("parent(n0, m0)").unwrap(),
             order: parse_formula("parent(p0, n0) and parent(p0, m0) and lt(n0, m0)").unwrap(),
@@ -441,7 +439,8 @@ mod tests {
             assert_eq!(via_tau.label(), "r");
             assert_eq!(via_tau.children().len(), 1);
             assert_eq!(
-                via_tau.children()[0], direct,
+                via_tau.children()[0],
+                direct,
                 "transducer output must equal the transduction (under r)"
             );
         }
@@ -455,8 +454,7 @@ mod tests {
         for _ in 0..10 {
             // random forest: each node i > 0 gets a parent < i
             let n = rng.gen_range(2..7);
-            let parents: Vec<(i64, i64)> =
-                (1..n).map(|i| (rng.gen_range(0..i), i)).collect();
+            let parents: Vec<(i64, i64)> = (1..n).map(|i| (rng.gen_range(0..i), i)).collect();
             let inst = encode(&parents, 0);
             let direct = t.evaluate(&inst, 64).unwrap();
             let via_tau = tau.output(&inst).unwrap();

@@ -63,12 +63,8 @@ pub mod for_xml {
                         .map(|v| Term::Var(Var::new(format!("c_{v}"))))
                         .collect();
                     let head = Var::new(format!("c_{}", block.vars[idx]));
-                    let q = Query::new(
-                        vec![head],
-                        vec![],
-                        pt_logic::Formula::Reg(reg_args),
-                    )
-                    .map_err(|e| e.to_string())?;
+                    let q = Query::new(vec![head], vec![], pt_logic::Formula::Reg(reg_args))
+                        .map_err(|e| e.to_string())?;
                     let col_state = format!("s{counter}");
                     counter += 1;
                     child_items.push(RuleItem {
@@ -264,9 +260,7 @@ pub mod annotated_xsd {
         if let Some((pcol, ccol)) = e.parent_join {
             let arity = parent_arity.ok_or("parent_join on a top-level element")?;
             let preg: Vec<Var> = (0..arity).map(|i| Var::new(format!("p{i}"))).collect();
-            conjuncts.push(Formula::Reg(
-                preg.iter().cloned().map(Term::Var).collect(),
-            ));
+            conjuncts.push(Formula::Reg(preg.iter().cloned().map(Term::Var).collect()));
             conjuncts.push(Formula::Eq(
                 Term::Var(preg[pcol].clone()),
                 Term::Var(row[ccol].clone()),
@@ -479,12 +473,7 @@ pub mod dad {
             for (i, (tag, width)) in rest.iter().enumerate() {
                 let head: Vec<&str> = self.vars[..*width].iter().map(|s| s.as_str()).collect();
                 let tail: Vec<&str> = self.vars[*width..].iter().map(|s| s.as_str()).collect();
-                let q = format!(
-                    "({}; {}) <- Reg({})",
-                    head.join(", "),
-                    tail.join(", "),
-                    all
-                );
+                let q = format!("({}; {}) <- Reg({})", head.join(", "), tail.join(", "), all);
                 builder = builder.rule(
                     &format!("l{i}"),
                     &prev.0,
@@ -565,7 +554,11 @@ pub mod xmlgen {
                 items.push((format!("c{i}"), tag.clone(), q));
             }
             if let Some(cb) = &self.connect_by {
-                items.push(("e".to_string(), self.element.clone(), format!("({head}) <- {cb}")));
+                items.push((
+                    "e".to_string(),
+                    self.element.clone(),
+                    format!("({head}) <- {cb}"),
+                ));
             }
             let refs: Vec<(&str, &str, &str)> = items
                 .iter()
@@ -574,11 +567,8 @@ pub mod xmlgen {
             builder = builder.rule("e", &self.element, &refs);
             for (i, (tag, _)) in self.forest.iter().enumerate() {
                 let text_q = "(t) <- Reg(t)";
-                builder = builder.rule(
-                    &format!("c{i}"),
-                    tag,
-                    &[(&format!("t{i}"), "text", text_q)],
-                );
+                builder =
+                    builder.rule(&format!("c{i}"), tag, &[(&format!("t{i}"), "text", text_q)]);
             }
             builder.build()
         }
@@ -782,7 +772,10 @@ pub mod atg {
                     element: "course".to_string(),
                     children: vec![
                         ("cno".to_string(), "(c) <- exists t (Reg(c, t))".to_string()),
-                        ("title".to_string(), "(t) <- exists c (Reg(c, t))".to_string()),
+                        (
+                            "title".to_string(),
+                            "(t) <- exists c (Reg(c, t))".to_string(),
+                        ),
                         (
                             "prereq".to_string(),
                             "(; c) <- exists c0 (Reg(c0, t0) and prereq(c0, c))".to_string(),

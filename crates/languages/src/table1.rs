@@ -80,9 +80,7 @@ pub fn rows() -> Vec<Table1Row> {
 
 /// Render the table with claimed vs compiled class per language.
 pub fn report() -> String {
-    let mut out = String::from(
-        "Table I — characterization of existing XML publishing languages\n",
-    );
+    let mut out = String::from("Table I — characterization of existing XML publishing languages\n");
     out.push_str(&format!(
         "{:<38} {:<28} {:<28} {}\n",
         "language", "claimed class (paper)", "compiled example class", "contained"
@@ -156,7 +154,9 @@ mod tests {
     #[test]
     fn xmlgen_builds_recursive_hierarchies() {
         let db = registrar::registrar_instance();
-        let t = crate::xmlgen::figure5().compile(&registrar_schema()).unwrap();
+        let t = crate::xmlgen::figure5()
+            .compile(&registrar_schema())
+            .unwrap();
         assert!(t.is_recursive());
         let tree = t.output(&db).unwrap();
         // all 6 courses at the top level
@@ -173,7 +173,7 @@ mod tests {
         assert_eq!(t.store(), Store::Relation);
         let tree = t.output(&db).unwrap();
         assert_eq!(tree.children().len(), 6); // all courses (Fig. 6 lists all)
-        // every course has cno, title, prereq children
+                                              // every course has cno, title, prereq children
         for course in tree.children() {
             let labels: Vec<&str> = course.children().iter().map(|c| c.label()).collect();
             assert!(labels.starts_with(&["cno", "title"]), "got {labels:?}");
@@ -198,7 +198,10 @@ mod tests {
     fn report_renders() {
         let r = report();
         assert!(r.contains("TreeQL"));
-        assert!(!r.contains(" NO"), "a language broke its claimed class:\n{r}");
+        assert!(
+            !r.contains(" NO"),
+            "a language broke its claimed class:\n{r}"
+        );
     }
 
     #[test]
@@ -208,7 +211,10 @@ mod tests {
             .compile(&registrar_schema())
             .unwrap();
         assert_eq!(t.logic(), Fragment::IFP);
-        assert!(!t.is_recursive(), "the recursion lives in the query, not the tree");
+        assert!(
+            !t.is_recursive(),
+            "the recursion lives in the query, not the tree"
+        );
         let tree = t.output(&db).unwrap();
         // transitive prerequisites of CS340: CS240, CS140, CS100
         assert_eq!(tree.children().len(), 3);

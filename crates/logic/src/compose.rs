@@ -95,9 +95,7 @@ pub fn compose_relation_register(child_body: &Formula, parent: &Query) -> Formul
             .iter()
             .zip(w_terms.iter())
             .map(|(a, w)| Formula::Eq(a.clone(), w.clone()));
-        Formula::and(
-            prefix_eqs.chain(std::iter::once(instantiate_parent(parent, args))),
-        )
+        Formula::and(prefix_eqs.chain(std::iter::once(instantiate_parent(parent, args))))
     });
     Formula::exists(ws, Formula::and([existence, rewritten]))
 }
@@ -142,12 +140,7 @@ mod tests {
     /// Run a query cascade directly: evaluate q1 on I, then for each result
     /// group feed the register into q2, collecting all rows — the reference
     /// semantics composition must match.
-    fn cascade(
-        q1: &Query,
-        q2: &Query,
-        inst: &Instance,
-        tuple_registers: bool,
-    ) -> Relation {
+    fn cascade(q1: &Query, q2: &Query, inst: &Instance, tuple_registers: bool) -> Relation {
         let root_reg = Relation::new();
         let mut out = Relation::new();
         let groups = q1.groups(inst, Some(&root_reg)).unwrap();
@@ -186,10 +179,8 @@ mod tests {
     fn tuple_composition_shares_one_register_tuple() {
         // child uses Reg twice: both must denote the same tuple
         let q1 = parse_query("(x, y) <- r(x, y)").unwrap();
-        let q2 = parse_query(
-            "(u) <- exists a b c d (Reg(a, b) and Reg(c, d) and s(a, d, u))",
-        )
-        .unwrap();
+        let q2 =
+            parse_query("(u) <- exists a b c d (Reg(a, b) and Reg(c, d) and s(a, d, u))").unwrap();
         let inst = Instance::new()
             .with("r", rel![[1, 2], [3, 4]])
             .with("s", rel![[1, 4, 99], [1, 2, 7], [3, 4, 8]]);
@@ -208,10 +199,8 @@ mod tests {
         // same query, relation registers: one child whose register holds the
         // WHOLE result of q1, so Reg atoms may bind different tuples.
         let q1 = parse_query("(; x, y) <- r(x, y)").unwrap();
-        let q2 = parse_query(
-            "(u) <- exists a b c d (Reg(a, b) and Reg(c, d) and s(a, d, u))",
-        )
-        .unwrap();
+        let q2 =
+            parse_query("(u) <- exists a b c d (Reg(a, b) and Reg(c, d) and s(a, d, u))").unwrap();
         let inst = Instance::new()
             .with("r", rel![[1, 2], [3, 4]])
             .with("s", rel![[1, 4, 99], [1, 2, 7], [3, 4, 8]]);

@@ -68,7 +68,8 @@ impl ConjunctiveQuery {
                 Formula::True => Ok(()),
                 Formula::False => {
                     // inject an unsatisfiable constraint
-                    q.eqs.push((Term::Const(Value::int(0)), Term::Const(Value::int(1))));
+                    q.eqs
+                        .push((Term::Const(Value::int(0)), Term::Const(Value::int(1))));
                     Ok(())
                 }
                 Formula::Rel(name, args) => {
@@ -118,8 +119,7 @@ impl ConjunctiveQuery {
             parts.push(Formula::Neq(a.clone(), b.clone()));
         }
         let body = Formula::and(parts);
-        let head_vars: BTreeSet<Var> =
-            self.head.iter().filter_map(Term::as_var).cloned().collect();
+        let head_vars: BTreeSet<Var> = self.head.iter().filter_map(Term::as_var).cloned().collect();
         let bound: Vec<Var> = body
             .free_vars()
             .into_iter()
@@ -270,10 +270,7 @@ impl ConjunctiveQuery {
             return Vec::new();
         };
         let avoid = other_constants;
-        let known: BTreeSet<Value> = classes
-            .iter()
-            .filter_map(|c| c.value.clone())
-            .collect();
+        let known: BTreeSet<Value> = classes.iter().filter_map(|c| c.value.clone()).collect();
         for value in other_constants {
             if !known.contains(value) {
                 classes.push(TermClass {
@@ -404,8 +401,7 @@ impl ConjunctiveQuery {
             .flat_map(|(_, args)| args.iter().filter_map(Term::as_var).cloned())
             .collect();
         let is_constant_class = |ci: usize| -> bool {
-            classes[ci].value.is_some()
-                || classes[ci].vars.iter().all(|v| !atom_vars.contains(v))
+            classes[ci].value.is_some() || classes[ci].vars.iter().all(|v| !atom_vars.contains(v))
         };
         let mut kept = Vec::new();
         let mut seen_classes = BTreeSet::new();
@@ -507,7 +503,7 @@ pub fn contained_in_union(q: &ConjunctiveQuery, others: &[ConjunctiveQuery]) -> 
             let head_vars: Vec<Var> = collect_head_vars(o);
             let ev = Evaluator::for_formula(&db.instance, Some(&db.register), &formula);
             let Ok(b) = ev.eval(&formula) else { continue };
-            let b = b.cylindrify(&head_vars, ev.adom());
+            let b = ev.close(b, &head_vars);
             // project in the order of o's head, materializing constants
             let mut produced = false;
             'rows: for row in b.value_rows() {
@@ -652,10 +648,7 @@ mod tests {
         let q3 = cq(&["x", "y"], "r(x) and r(y) and x = y");
         assert!(!contained_in_union(&q1, std::slice::from_ref(&q2)));
         assert!(contained_in_union(&q1, &[q2.clone(), q3.clone()]));
-        assert!(ucq_equivalent(
-            &[q1],
-            &[q2, q3]
-        ));
+        assert!(ucq_equivalent(&[q1], &[q2, q3]));
     }
 
     #[test]
@@ -674,7 +667,10 @@ mod tests {
         let q2 = cq(&["x"], "r(x) and x != 0");
         assert!(!contained_in_union(&q1, std::slice::from_ref(&q2)));
         assert!(contained_in_union(&q2, std::slice::from_ref(&q1)));
-        assert!(!ucq_equivalent(std::slice::from_ref(&q1), std::slice::from_ref(&q2)));
+        assert!(!ucq_equivalent(
+            std::slice::from_ref(&q1),
+            std::slice::from_ref(&q2)
+        ));
         // with the x = 0 disjunct restored, containment holds again
         let q3 = cq(&["x"], "r(x) and x = 0");
         assert!(ucq_equivalent(&[q1], &[q2, q3]));

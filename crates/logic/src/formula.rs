@@ -223,9 +223,7 @@ impl Formula {
                 Formula::Rel(name, _) if !bound.iter().any(|b| b == name) => {
                     out.insert(name.clone());
                 }
-                Formula::And(fs) | Formula::Or(fs) => {
-                    fs.iter().for_each(|g| go(g, bound, out))
-                }
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| go(g, bound, out)),
                 Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
                     go(g, bound, out)
                 }
@@ -248,9 +246,7 @@ impl Formula {
         match self {
             Formula::Rel(name, _) => name == pred,
             Formula::And(fs) | Formula::Or(fs) => fs.iter().any(|g| g.mentions_rel(pred)),
-            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
-                g.mentions_rel(pred)
-            }
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => g.mentions_rel(pred),
             Formula::Fix { pred: p, body, .. } => p != pred && body.mentions_rel(pred),
             _ => false,
         }
@@ -294,6 +290,87 @@ impl Formula {
                 }
             }
         }
+    }
+
+    /// The negation of the formula, with the `¬` pushed inward through
+    /// connectives and quantifiers (De Morgan) until it rests on atoms.
+    ///
+    /// Evaluating `negated(f)` is equivalent to complementing `f`'s result
+    /// over the active domain, but lets the conjunction planner treat the
+    /// residual atom-level negations as guarded anti-joins instead of
+    /// materializing `adom^k` complements — the difference between `O(|f|)`
+    /// and `O(|adom|^k)` for formulas like `∀x̄ (¬φ ∨ ψ)`.
+    pub fn negated(&self) -> Formula {
+        match self {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Eq(a, b) => Formula::Neq(a.clone(), b.clone()),
+            Formula::Neq(a, b) => Formula::Eq(a.clone(), b.clone()),
+            Formula::Not(g) => (**g).clone(),
+            Formula::And(fs) => Formula::Or(fs.iter().map(Formula::negated).collect()),
+            Formula::Or(fs) => Formula::And(fs.iter().map(Formula::negated).collect()),
+            Formula::Exists(vs, g) => Formula::Forall(vs.clone(), Box::new(g.negated())),
+            Formula::Forall(vs, g) => Formula::Exists(vs.clone(), Box::new(g.negated())),
+            // atoms keep their negation: the evaluator complements these
+            // directly (guarded ones never materialize the complement)
+            Formula::Rel(..) | Formula::Reg(..) | Formula::Fix { .. } => Formula::not(self.clone()),
+        }
+    }
+
+    /// Rewrite the occurrences of relation `pred`, replacing the relation
+    /// name of the `i`-th occurrence (0-based, left-to-right — the order
+    /// [`Formula::positive_occurrences`] counts in) with `name_of(i)`.
+    /// Occurrences inside nested fixpoints that rebind `pred` refer to the
+    /// inner predicate and are left untouched.
+    ///
+    /// Only meaningful after [`Formula::positive_occurrences`] returned
+    /// `Some(_)`: the semi-naive evaluator uses it to split a fixpoint body
+    /// into its multi-linear delta variants.
+    pub fn rename_positive_occurrences(
+        &self,
+        pred: &str,
+        name_of: &mut impl FnMut(usize) -> String,
+    ) -> Formula {
+        fn go(
+            f: &Formula,
+            pred: &str,
+            counter: &mut usize,
+            name_of: &mut impl FnMut(usize) -> String,
+        ) -> Formula {
+            match f {
+                Formula::Rel(name, args) if name == pred => {
+                    let renamed = name_of(*counter);
+                    *counter += 1;
+                    Formula::Rel(renamed, args.clone())
+                }
+                Formula::And(fs) => {
+                    Formula::And(fs.iter().map(|g| go(g, pred, counter, name_of)).collect())
+                }
+                Formula::Or(fs) => {
+                    Formula::Or(fs.iter().map(|g| go(g, pred, counter, name_of)).collect())
+                }
+                Formula::Not(g) => Formula::not(go(g, pred, counter, name_of)),
+                Formula::Exists(vs, g) => {
+                    Formula::Exists(vs.clone(), Box::new(go(g, pred, counter, name_of)))
+                }
+                Formula::Forall(vs, g) => {
+                    Formula::Forall(vs.clone(), Box::new(go(g, pred, counter, name_of)))
+                }
+                Formula::Fix {
+                    pred: p,
+                    vars,
+                    body,
+                    args,
+                } if p != pred => Formula::Fix {
+                    pred: p.clone(),
+                    vars: vars.clone(),
+                    body: Box::new(go(body, pred, counter, name_of)),
+                    args: args.clone(),
+                },
+                _ => f.clone(),
+            }
+        }
+        go(self, pred, &mut 0, name_of)
     }
 
     /// Whether the formula mentions the register predicate.
@@ -368,21 +445,14 @@ impl Formula {
         }
         /// Rename binder variables that clash with variables of replacement
         /// terms, then recurse with the narrowed map.
-        fn under_binder(
-            vs: &[Var],
-            g: &Formula,
-            map: &BTreeMap<Var, Term>,
-        ) -> (Vec<Var>, Formula) {
+        fn under_binder(vs: &[Var], g: &Formula, map: &BTreeMap<Var, Term>) -> (Vec<Var>, Formula) {
             let mut inner: BTreeMap<Var, Term> = map
                 .iter()
                 .filter(|(k, _)| !vs.contains(k))
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect();
-            let replacement_vars: BTreeSet<Var> = inner
-                .values()
-                .filter_map(Term::as_var)
-                .cloned()
-                .collect();
+            let replacement_vars: BTreeSet<Var> =
+                inner.values().filter_map(Term::as_var).cloned().collect();
             let mut new_vs = Vec::with_capacity(vs.len());
             let mut renames = BTreeMap::new();
             for v in vs {
@@ -661,6 +731,23 @@ mod tests {
         let rels = f.base_relations();
         assert!(rels.contains("edge"));
         assert!(!rels.contains("S"));
+    }
+
+    #[test]
+    fn rename_positive_occurrences_in_traversal_order() {
+        let f = crate::parse_formula("edge(x, y) or exists z (T(x, z) and T(z, y))").unwrap();
+        let renamed = f.rename_positive_occurrences("T", &mut |i| format!("T{i}"));
+        assert_eq!(
+            renamed.to_string(),
+            "(edge(x, y)) or (exists z ((T0(x, z)) and (T1(z, y))))"
+        );
+        // a nested fixpoint rebinding the predicate is left untouched
+        let g = crate::parse_formula("T(x) and fix T(a) { T(a) or s(a) }(x)").unwrap();
+        let renamed = g.rename_positive_occurrences("T", &mut |i| format!("D{i}"));
+        assert_eq!(
+            renamed.to_string(),
+            "(D0(x)) and (fix T(a) { (T(a)) or (s(a)) }(x))"
+        );
     }
 
     #[test]

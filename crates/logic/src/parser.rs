@@ -156,9 +156,7 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 toks.push((Tok::Ident(input[start..i].to_string()), start));
@@ -436,10 +434,7 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
     if lx.peek().is_some() {
         return Err(lx.err("trailing input after query".into()));
     }
-    Query::new(group_vars, rest_vars, body).map_err(|message| ParseError {
-        message,
-        offset: 0,
-    })
+    Query::new(group_vars, rest_vars, body).map_err(|message| ParseError { message, offset: 0 })
 }
 
 #[cfg(test)]
@@ -482,12 +477,12 @@ mod tests {
 
     #[test]
     fn parses_fixpoint() {
-        let f = parse_formula(
-            "fix S(x) { edge(0, x) or exists y (S(y) and edge(y, x)) }(z)",
-        )
-        .unwrap();
+        let f =
+            parse_formula("fix S(x) { edge(0, x) or exists y (S(y) and edge(y, x)) }(z)").unwrap();
         match &f {
-            Formula::Fix { pred, vars, args, .. } => {
+            Formula::Fix {
+                pred, vars, args, ..
+            } => {
                 assert_eq!(pred, "S");
                 assert_eq!(vars.len(), 1);
                 assert_eq!(args, &vec![var("z")]);

@@ -3,7 +3,7 @@ use std::fmt;
 
 use pt_relational::{Instance, Relation, Tuple};
 
-use crate::eval::{EvalContext, EvalError, Evaluator};
+use crate::eval::{EvalContext, EvalError, Evaluator, IndexedRegister};
 use crate::formula::{Formula, Fragment};
 use crate::term::Var;
 
@@ -34,11 +34,7 @@ impl Query {
     /// * body free variables not in the head are implicitly
     ///   existentially quantified (the paper always writes them under `∃`;
     ///   auto-closing keeps call sites readable).
-    pub fn new(
-        group_vars: Vec<Var>,
-        rest_vars: Vec<Var>,
-        body: Formula,
-    ) -> Result<Self, String> {
+    pub fn new(group_vars: Vec<Var>, rest_vars: Vec<Var>, body: Formula) -> Result<Self, String> {
         let mut seen = BTreeSet::new();
         for v in group_vars.iter().chain(rest_vars.iter()) {
             if !seen.insert(v.clone()) {
@@ -125,10 +121,20 @@ impl Query {
         self.finish_eval(Evaluator::with_context(ctx, register, &self.body))
     }
 
+    /// [`Query::eval_with`] with a register already interned and indexed via
+    /// [`EvalContext::index_register`] — the per-configuration hot path.
+    pub fn eval_indexed(
+        &self,
+        ctx: &EvalContext<'_>,
+        register: Option<&IndexedRegister>,
+    ) -> Result<Relation, EvalError> {
+        self.finish_eval(Evaluator::with_register(ctx, register, &self.body))
+    }
+
     fn finish_eval(&self, ev: Evaluator<'_>) -> Result<Relation, EvalError> {
         let head = self.head_vars();
-        let b = ev.eval(&self.body)?.cylindrify(&head, ev.adom());
-        Ok(b.to_relation(&head))
+        let b = ev.eval(&self.body)?;
+        Ok(ev.close(b, &head).to_relation(&head))
     }
 
     /// Evaluate and group by `x̄` per the child-spawning semantics: returns
@@ -152,6 +158,17 @@ impl Query {
         register: Option<&Relation>,
     ) -> Result<Vec<(Tuple, Relation)>, EvalError> {
         Ok(self.group_rows(self.eval_with(ctx, register)?))
+    }
+
+    /// [`Query::groups_with`] with a register already interned and indexed
+    /// via [`EvalContext::index_register`] — the per-configuration hot path
+    /// of the transducer semantics.
+    pub fn groups_indexed(
+        &self,
+        ctx: &EvalContext<'_>,
+        register: Option<&IndexedRegister>,
+    ) -> Result<Vec<(Tuple, Relation)>, EvalError> {
+        Ok(self.group_rows(self.eval_indexed(ctx, register)?))
     }
 
     fn group_rows(&self, rows: Relation) -> Vec<(Tuple, Relation)> {

@@ -1,69 +1,140 @@
-//! Lazily built per-column hash indexes over an [`Instance`].
+//! Interned relation representation and lazily built composite indexes —
+//! the storage layer of the evaluation hot path.
 //!
-//! Query evaluation probes base relations with constants and bound
-//! variables; without an index every probe scans the whole relation. An
-//! [`InstanceIndex`] materializes, on first use, a `Value → tuples` hash map
-//! for each `(relation, column)` pair the evaluator actually probes. The
-//! instance is immutable for the lifetime of the index (the evaluator never
-//! mutates its input), so built indexes are shared freely via `Rc` across
-//! every query of a transducer run.
+//! A [`SymRelation`] holds a relation's tuples as dense-symbol rows
+//! (interned once via [`Interner`]), plus per-*column-set* composite hash
+//! indexes built on demand: projected key → row positions. Query evaluation
+//! probes atoms with constants and bound variables; with a composite index
+//! an atom with several constant or bound columns probes once instead of
+//! scanning the relation (or probing one column and re-filtering). Keys and
+//! rows are symbols, so probing never hashes or clones a [`Value`].
+//!
+//! Three kinds of relations flow through this representation: base
+//! relations of the instance (interned lazily, cached per evaluation
+//! context), the register of the configuration being expanded (interned
+//! once per configuration), and fixpoint stages (already symbolic, wrapped
+//! via [`SymRelation::from_rows`]). A `SymRelation` is immutable once
+//! built; indexes are shared via `Rc`.
+//!
+//! [`Value`]: crate::Value
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
-use crate::{Instance, Tuple, Value};
+use crate::intern::{FxHashMap, Interner, SymTuple};
+use crate::Relation;
 
-/// The index of one relation column: value → matching tuples.
-pub type ColumnIndex = HashMap<Value, Vec<Tuple>>;
+/// A composite index over one column set: projected key → positions into
+/// [`SymRelation::rows`]. For a single-column index the keys are 1-tuples.
+pub type CompositeIndex = FxHashMap<SymTuple, Vec<u32>>;
 
-/// Per-column hash indexes over one instance, built on demand and cached.
-pub struct InstanceIndex<'a> {
-    instance: &'a Instance,
-    cols: RefCell<HashMap<(String, usize), Rc<ColumnIndex>>>,
+/// A relation in interned representation: unique symbol rows plus lazily
+/// built composite indexes per column set.
+pub struct SymRelation {
+    rows: Vec<SymTuple>,
+    arity: Option<usize>,
+    cols: RefCell<FxHashMap<Vec<usize>, Rc<CompositeIndex>>>,
 }
 
-impl<'a> InstanceIndex<'a> {
-    /// An index cache over `instance` with nothing built yet.
-    pub fn new(instance: &'a Instance) -> Self {
-        InstanceIndex {
-            instance,
-            cols: RefCell::new(HashMap::new()),
+impl SymRelation {
+    /// Intern every tuple of `rel`, in the relation's canonical order.
+    pub fn intern(rel: &Relation, interner: &mut Interner) -> Self {
+        let rows: Vec<SymTuple> = rel
+            .iter()
+            .map(|t| t.iter().map(|v| interner.intern(v)).collect())
+            .collect();
+        SymRelation {
+            rows,
+            arity: rel.arity(),
+            cols: RefCell::new(FxHashMap::default()),
         }
     }
 
-    /// The indexed instance.
-    pub fn instance(&self) -> &'a Instance {
-        self.instance
+    /// Wrap already-symbolic rows (a fixpoint stage). The rows must be
+    /// unique and of the given arity.
+    pub fn from_rows(rows: Vec<SymTuple>, arity: Option<usize>) -> Self {
+        debug_assert!(rows.iter().all(|r| arity.is_none_or(|a| r.len() == a)));
+        SymRelation {
+            rows,
+            arity,
+            cols: RefCell::new(FxHashMap::default()),
+        }
     }
 
-    /// The hash index of relation `name` on column `col`, building it on
-    /// first use. Returns `None` when the relation is absent or `col` is out
-    /// of range for its arity.
-    pub fn column(&self, name: &str, col: usize) -> Option<Rc<ColumnIndex>> {
-        let key = (name.to_string(), col);
-        if let Some(idx) = self.cols.borrow().get(&key) {
+    /// The rows, in construction order.
+    pub fn rows(&self) -> &[SymTuple] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The arity carried over from the source relation (`None` when the
+    /// source never recorded one).
+    pub fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+
+    /// The composite index over the column set `cols`, building it on first
+    /// use. Returns `None` when `cols` is empty, contains duplicates, or
+    /// mentions a column out of range for the arity — callers fall back to
+    /// a scan.
+    pub fn composite(&self, cols: &[usize]) -> Option<Rc<CompositeIndex>> {
+        if let Some(idx) = self.cols.borrow().get(cols) {
             return Some(Rc::clone(idx));
         }
-        let rel = self.instance.get_ref(name)?;
-        if rel.arity().is_some_and(|a| col >= a) {
+        let arity = self.arity?;
+        if cols.is_empty() || cols.iter().any(|&c| c >= arity) {
             return None;
         }
-        let mut index: ColumnIndex = HashMap::new();
-        for t in rel.iter() {
-            index
-                .entry(t[col].clone())
-                .or_default()
-                .push(t.clone());
+        if cols.iter().enumerate().any(|(i, c)| cols[..i].contains(c)) {
+            return None;
+        }
+        let mut index: CompositeIndex = CompositeIndex::default();
+        for (i, row) in self.rows.iter().enumerate() {
+            let key: SymTuple = cols.iter().map(|&c| row[c]).collect();
+            index.entry(key).or_default().push(i as u32);
         }
         let index = Rc::new(index);
         self.cols
             .borrow_mut()
-            .insert(key, Rc::clone(&index));
+            .insert(cols.to_vec(), Rc::clone(&index));
         Some(index)
     }
 
-    /// Number of `(relation, column)` indexes built so far.
+    /// Iterate the rows selected by probing the composite index over `cols`
+    /// with `key` (all rows when the index is unusable — the caller's match
+    /// loop re-checks every candidate anyway). Copies the matched id list;
+    /// hot paths that already hold the `Rc` from
+    /// [`SymRelation::composite`] should resolve ids against
+    /// [`SymRelation::rows`] directly.
+    pub fn probe<'s>(
+        &'s self,
+        cols: &[usize],
+        key: &SymTuple,
+    ) -> Box<dyn Iterator<Item = &'s SymTuple> + 's> {
+        match self.composite(cols) {
+            Some(idx) => match idx.get(key) {
+                Some(ids) => {
+                    // the ids are owned by the Rc'd index; resolve them now
+                    // so the iterator borrows only `self`
+                    let picked: Vec<u32> = ids.clone();
+                    Box::new(picked.into_iter().map(|i| &self.rows[i as usize]))
+                }
+                None => Box::new(std::iter::empty()),
+            },
+            None => Box::new(self.rows.iter()),
+        }
+    }
+
+    /// Number of composite indexes built so far.
     pub fn built(&self) -> usize {
         self.cols.borrow().len()
     }
@@ -72,36 +143,76 @@ impl<'a> InstanceIndex<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rel;
+    use crate::{rel, Value};
 
-    #[test]
-    fn probes_match_scans() {
-        let inst = Instance::new().with("r", rel![[1, "a"], [1, "b"], [2, "a"]]);
-        let idx = InstanceIndex::new(&inst);
-        let col0 = idx.column("r", 0).unwrap();
-        assert_eq!(col0.get(&Value::int(1)).unwrap().len(), 2);
-        assert_eq!(col0.get(&Value::int(2)).unwrap().len(), 1);
-        assert!(col0.get(&Value::int(3)).is_none());
-        let col1 = idx.column("r", 1).unwrap();
-        assert_eq!(col1.get(&Value::str("a")).unwrap().len(), 2);
+    fn interned(rel: &Relation) -> (SymRelation, Interner) {
+        let mut interner = Interner::new();
+        let s = SymRelation::intern(rel, &mut interner);
+        (s, interner)
     }
 
     #[test]
-    fn indexes_are_cached() {
-        let inst = Instance::new().with("r", rel![[1, 2]]);
-        let idx = InstanceIndex::new(&inst);
-        assert_eq!(idx.built(), 0);
-        let a = idx.column("r", 0).unwrap();
-        let b = idx.column("r", 0).unwrap();
+    fn interning_preserves_rows_and_order() {
+        let r = rel![[2, "b"], [1, "a"]];
+        let (s, interner) = interned(&r);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.arity(), Some(2));
+        // canonical (sorted) relation order
+        assert_eq!(interner.resolve(s.rows()[0][0]), &Value::int(1));
+        assert_eq!(interner.resolve(s.rows()[1][1]), &Value::str("b"));
+    }
+
+    #[test]
+    fn composite_probes_match_scans() {
+        let r = rel![[1, 10], [1, 20], [2, 10], [2, 20]];
+        let (s, interner) = interned(&r);
+        let one = interner.get(&Value::int(1)).unwrap();
+        let twenty = interner.get(&Value::int(20)).unwrap();
+        let idx = s.composite(&[0]).unwrap();
+        assert_eq!(idx.get(&vec![one]).unwrap().len(), 2);
+        let both = s.composite(&[0, 1]).unwrap();
+        assert_eq!(both.get(&vec![one, twenty]).unwrap().len(), 1);
+        // probe() agrees with a filtered scan
+        let probed: Vec<&SymTuple> = s.probe(&[0, 1], &vec![one, twenty]).collect();
+        let scanned: Vec<&SymTuple> = s
+            .rows()
+            .iter()
+            .filter(|row| row[0] == one && row[1] == twenty)
+            .collect();
+        assert_eq!(probed, scanned);
+    }
+
+    #[test]
+    fn indexes_are_cached_per_column_set() {
+        let (s, _) = interned(&rel![[1, 2]]);
+        assert_eq!(s.built(), 0);
+        let a = s.composite(&[1]).unwrap();
+        let b = s.composite(&[1]).unwrap();
         assert!(Rc::ptr_eq(&a, &b));
-        assert_eq!(idx.built(), 1);
+        assert_eq!(s.built(), 1);
+        s.composite(&[0, 1]).unwrap();
+        assert_eq!(s.built(), 2);
     }
 
     #[test]
-    fn missing_relation_and_bad_column() {
-        let inst = Instance::new().with("r", rel![[1]]);
-        let idx = InstanceIndex::new(&inst);
-        assert!(idx.column("nope", 0).is_none());
-        assert!(idx.column("r", 5).is_none());
+    fn unusable_column_sets_rejected() {
+        let (s, _) = interned(&rel![[1, 2]]);
+        assert!(s.composite(&[]).is_none());
+        assert!(s.composite(&[0, 0]).is_none());
+        assert!(s.composite(&[5]).is_none());
+        // a relation with no recorded arity has no indexable columns
+        let empty = SymRelation::from_rows(Vec::new(), None);
+        assert!(empty.composite(&[0]).is_none());
+        // probe falls back to the full scan on an unusable column set
+        assert_eq!(s.probe(&[], &vec![]).count(), 1);
+    }
+
+    #[test]
+    fn from_rows_wraps_fixpoint_stages() {
+        let s = SymRelation::from_rows(vec![vec![3, 4], vec![5, 6]], Some(2));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        let idx = s.composite(&[0]).unwrap();
+        assert_eq!(idx.get(&vec![5]).unwrap(), &vec![1]);
     }
 }

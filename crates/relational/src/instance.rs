@@ -32,7 +32,10 @@ impl Instance {
 
     /// Insert a single tuple into relation `name`.
     pub fn insert(&mut self, name: &str, t: Tuple) {
-        self.relations.entry(name.to_string()).or_default().insert(t);
+        self.relations
+            .entry(name.to_string())
+            .or_default()
+            .insert(t);
     }
 
     /// The contents of relation `name` (empty if never set).

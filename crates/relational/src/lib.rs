@@ -18,7 +18,8 @@
 //!   workload drivers and property tests,
 //! * [`intern`] — dense `u32` interning of the active domain plus the fast
 //!   hash machinery the evaluation hot path runs on,
-//! * [`index`] — lazily built per-column hash indexes over an instance.
+//! * [`index`] — interned relations ([`SymRelation`]) with lazily built
+//!   composite per-column-set hash indexes, the evaluator's storage layer.
 
 pub mod generate;
 pub mod index;
@@ -28,7 +29,7 @@ mod relation;
 mod schema;
 mod value;
 
-pub use index::InstanceIndex;
+pub use index::{CompositeIndex, SymRelation};
 pub use instance::Instance;
 pub use intern::{FxHashMap, FxHashSet, Interner, Sym, SymTuple};
 pub use relation::{Relation, Tuple};

@@ -92,16 +92,11 @@ impl ContentModel {
                 }
                 simplify_alt(alts)
             }
-            ContentModel::Alt(parts) => {
-                simplify_alt(parts.iter().map(|p| p.derive(a)).collect())
+            ContentModel::Alt(parts) => simplify_alt(parts.iter().map(|p| p.derive(a)).collect()),
+            ContentModel::Star(inner) => simplify_seq(vec![inner.derive(a), self.clone()]),
+            ContentModel::Plus(inner) => {
+                simplify_seq(vec![inner.derive(a), ContentModel::Star(inner.clone())])
             }
-            ContentModel::Star(inner) => {
-                simplify_seq(vec![inner.derive(a), self.clone()])
-            }
-            ContentModel::Plus(inner) => simplify_seq(vec![
-                inner.derive(a),
-                ContentModel::Star(inner.clone()),
-            ]),
             ContentModel::Opt(inner) => inner.derive(a),
         }
     }
@@ -126,12 +121,8 @@ impl ContentModel {
                 ContentModel::Tag(t) if !out.contains(t) => {
                     out.push(t.clone());
                 }
-                ContentModel::Seq(ps) | ContentModel::Alt(ps) => {
-                    ps.iter().for_each(|p| go(p, out))
-                }
-                ContentModel::Star(p) | ContentModel::Plus(p) | ContentModel::Opt(p) => {
-                    go(p, out)
-                }
+                ContentModel::Seq(ps) | ContentModel::Alt(ps) => ps.iter().for_each(|p| go(p, out)),
+                ContentModel::Star(p) | ContentModel::Plus(p) | ContentModel::Opt(p) => go(p, out),
                 _ => {}
             }
         }
@@ -145,13 +136,11 @@ impl ContentModel {
             ContentModel::Void => panic!("cannot generate from the empty language"),
             ContentModel::Epsilon => Vec::new(),
             ContentModel::Tag(t) => vec![t.clone()],
-            ContentModel::Seq(parts) => parts
-                .iter()
-                .flat_map(|p| p.generate(budget, rng))
-                .collect(),
+            ContentModel::Seq(parts) => {
+                parts.iter().flat_map(|p| p.generate(budget, rng)).collect()
+            }
             ContentModel::Alt(parts) => {
-                let viable: Vec<&ContentModel> =
-                    parts.iter().filter(|p| !p.is_void()).collect();
+                let viable: Vec<&ContentModel> = parts.iter().filter(|p| !p.is_void()).collect();
                 let pick = if budget == 0 {
                     // prefer a nullable or short alternative
                     viable
@@ -166,11 +155,15 @@ impl ContentModel {
             }
             ContentModel::Star(inner) => {
                 let reps = if budget == 0 { 0 } else { rng.gen_range(0..3) };
-                (0..reps).flat_map(|_| inner.generate(budget, rng)).collect()
+                (0..reps)
+                    .flat_map(|_| inner.generate(budget, rng))
+                    .collect()
             }
             ContentModel::Plus(inner) => {
                 let reps = if budget == 0 { 1 } else { rng.gen_range(1..3) };
-                (0..reps).flat_map(|_| inner.generate(budget, rng)).collect()
+                (0..reps)
+                    .flat_map(|_| inner.generate(budget, rng))
+                    .collect()
             }
             ContentModel::Opt(inner) => {
                 if budget > 0 && rng.gen_bool(0.5) {
@@ -495,9 +488,9 @@ impl Dtd {
                         .map(|p| tagify(p, fresh, introduced, new_rules, existing))
                         .collect(),
                 ),
-                ContentModel::Star(p) => ContentModel::Star(Box::new(tagify(
-                    p, fresh, introduced, new_rules, existing,
-                ))),
+                ContentModel::Star(p) => {
+                    ContentModel::Star(Box::new(tagify(p, fresh, introduced, new_rules, existing)))
+                }
                 ContentModel::Plus(p) => {
                     // b+ = b, v where v -> b* (the star needs its own tag to
                     // keep concatenations tag-only)

@@ -141,7 +141,10 @@ mod tests {
             .rule("a1", "b");
         ExtendedDtd::new(
             dtd,
-            [("a0".to_string(), "a".to_string()), ("a1".to_string(), "a".to_string())],
+            [
+                ("a0".to_string(), "a".to_string()),
+                ("a1".to_string(), "a".to_string()),
+            ],
         )
     }
 

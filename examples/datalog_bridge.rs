@@ -13,7 +13,11 @@ fn main() {
     let schema = Schema::with(&[("edge", 2), ("start", 1)]);
     let tau = Transducer::builder(schema.clone(), "q0", "r")
         .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
-        .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
+        .rule(
+            "q",
+            "a",
+            &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")],
+        )
         .build()
         .unwrap();
     println!("transducer:\n{tau}");

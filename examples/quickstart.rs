@@ -18,5 +18,8 @@ fn main() {
         run.size(),
         run.depth()
     );
-    println!("-- output XML (Fig. 1(a)) --\n{}", run.output_tree().to_xml());
+    println!(
+        "-- output XML (Fig. 1(a)) --\n{}",
+        run.output_tree().to_xml()
+    );
 }

@@ -57,7 +57,10 @@ fn main() {
         .rule("q0", "r", &[("q", "a", "(x) <- s(x)")])
         .build()
         .unwrap();
-    println!("exact PTnr(CQ, tuple) equivalence: {:?}", equivalence(&t1, &t2));
+    println!(
+        "exact PTnr(CQ, tuple) equivalence: {:?}",
+        equivalence(&t1, &t2)
+    );
 
     let machine = TwoRegisterMachine {
         instrs: vec![

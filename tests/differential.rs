@@ -3,7 +3,9 @@
 //! and relational views to the forced tree expansion (the pre-memoization
 //! engine kept as [`ExpansionMode::Tree`]).
 
-use pt_bench::{nonrecursive_ifp_view, scaled_registrar, wide_registrar};
+use pt_bench::{
+    nonrecursive_ifp_view, registrar_with_enrollment, scaled_registrar, wide_registrar,
+};
 use publishing_transducers::analysis::blowup;
 use publishing_transducers::core::examples::registrar;
 use publishing_transducers::core::{EvalOptions, ExpansionMode, Transducer};
@@ -56,8 +58,43 @@ fn registrar_views_on_scaled_instances() {
         ("tau3", registrar::tau3(), "course"),
         ("ifp_view", nonrecursive_ifp_view(), "course"),
     ] {
-        assert_modes_agree(&tau, &chained, tag, &format!("{name} on scaled_registrar(12)"));
+        assert_modes_agree(
+            &tau,
+            &chained,
+            tag,
+            &format!("{name} on scaled_registrar(12)"),
+        );
         assert_modes_agree(&tau, &wide, tag, &format!("{name} on wide_registrar(12)"));
+    }
+}
+
+#[test]
+fn tau1_at_scale_matches_tree_oracle() {
+    // thousands of configurations with heavy sharing: memo-key or
+    // footprint bugs that need a large configuration space to trigger must
+    // still reproduce the tree engine's unfolding exactly (the quick bench
+    // only re-runs this comparison under --full-baseline)
+    assert_modes_agree(
+        &registrar::tau1(),
+        &scaled_registrar(60),
+        "course",
+        "tau1 on scaled_registrar(60)",
+    );
+}
+
+#[test]
+fn register_heavy_views_with_enrollment_data() {
+    // the register-index hot path: relation registers over a database whose
+    // active domain is dominated by rows the views never touch — the
+    // interned/indexed register and copy-on-extend adom must be invisible
+    // to the tree-mode oracle
+    let db = registrar_with_enrollment(10, 64);
+    for (name, tau, tag) in [
+        ("tau1", registrar::tau1(), "course"),
+        ("tau2", registrar::tau2(), "cno"),
+        ("tau3", registrar::tau3(), "course"),
+    ] {
+        assert_modes_agree(&tau, &db, tag, &format!("{name} with enrollment data"));
     }
 }
 
@@ -100,15 +137,15 @@ fn path_sensitive_stop_conditions_agree() {
     // under an ancestor occurrence of itself — the memo must not leak an
     // expansion computed under one ancestor set into the other
     use publishing_transducers::relational::{rel, Schema};
-    let tau = Transducer::builder(
-        Schema::with(&[("edge", 2), ("start", 1)]),
-        "q0",
-        "r",
-    )
-    .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
-    .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
-    .build()
-    .unwrap();
+    let tau = Transducer::builder(Schema::with(&[("edge", 2), ("start", 1)]), "q0", "r")
+        .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
+        .rule(
+            "q",
+            "a",
+            &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")],
+        )
+        .build()
+        .unwrap();
     let shapes: Vec<(&str, Instance)> = vec![
         (
             "rho shape",
@@ -144,15 +181,15 @@ fn path_sensitive_stop_conditions_agree() {
 fn randomized_graph_differential() {
     use publishing_transducers::relational::{Relation, Schema, Value};
     use rand::prelude::*;
-    let tau = Transducer::builder(
-        Schema::with(&[("edge", 2), ("start", 1)]),
-        "q0",
-        "r",
-    )
-    .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
-    .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
-    .build()
-    .unwrap();
+    let tau = Transducer::builder(Schema::with(&[("edge", 2), ("start", 1)]), "q0", "r")
+        .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
+        .rule(
+            "q",
+            "a",
+            &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")],
+        )
+        .build()
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(2024);
     for case in 0..40 {
         let mut inst = Instance::new();

@@ -33,8 +33,16 @@ fn frontends_and_core_views_agree() {
     let schema = table1::registrar_schema();
     let reference = registrar::tau3().output(&db).unwrap();
     for tree in [
-        for_xml::figure2().compile(&schema).unwrap().output(&db).unwrap(),
-        sqlxml::figure3().compile(&schema).unwrap().output(&db).unwrap(),
+        for_xml::figure2()
+            .compile(&schema)
+            .unwrap()
+            .output(&db)
+            .unwrap(),
+        sqlxml::figure3()
+            .compile(&schema)
+            .unwrap()
+            .output(&db)
+            .unwrap(),
     ] {
         assert_eq!(tree, reference);
     }
@@ -83,7 +91,7 @@ fn analysis_layers_agree_on_the_views() {
         registrar::tau2().output(&db).unwrap()
     );
     let _ = randomized_equivalence; // used in other tests
-    // exact equivalence declines recursive inputs, as documented
+                                    // exact equivalence declines recursive inputs, as documented
     assert!(matches!(
         equivalence(&registrar::tau1(), &registrar::tau1()),
         Decision::Unsupported(_)

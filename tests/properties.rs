@@ -18,7 +18,11 @@ fn graph_schema() -> Schema {
 fn unfold() -> Transducer {
     Transducer::builder(graph_schema(), "q0", "r")
         .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
-        .rule("q", "a", &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")])
+        .rule(
+            "q",
+            "a",
+            &[("q", "a", "(y) <- exists x (Reg(x) and edge(x, y))")],
+        )
         .build()
         .unwrap()
 }
@@ -87,7 +91,11 @@ fn virtual_invisibility() {
             b = b.virtual_tag("m");
         }
         b.rule("q0", "r", &[("q", "m", "(x) <- start(x)")])
-            .rule("q", "m", &[("q2", "b", "(y) <- exists x (Reg(x) and edge(x, y))")])
+            .rule(
+                "q",
+                "m",
+                &[("q2", "b", "(y) <- exists x (Reg(x) and edge(x, y))")],
+            )
             .build()
             .unwrap()
     };
@@ -138,6 +146,82 @@ fn emptiness_soundness() {
             assert!(tau.run(&inst).unwrap().output_tree().is_trivial());
         }
     });
+}
+
+/// Composite index probes agree with full scans: on randomized relations,
+/// probing any column set with any key returns exactly the rows a filtered
+/// scan returns (the scan oracle for `SymRelation::probe`).
+#[test]
+fn index_probes_match_scan_oracle() {
+    use publishing_transducers::relational::{Interner, Relation, SymRelation};
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(7000 + case);
+        let arity = rng.gen_range(1usize..4);
+        let mut rel = Relation::with_arity(arity);
+        for _ in 0..rng.gen_range(0usize..30) {
+            rel.insert(
+                (0..arity)
+                    .map(|_| Value::int(rng.gen_range(0i64..5)))
+                    .collect(),
+            );
+        }
+        let mut interner = Interner::new();
+        let srel = SymRelation::intern(&rel, &mut interner);
+        // every non-empty duplicate-free column subset, several random keys
+        for mask in 1u32..(1 << arity) {
+            let cols: Vec<usize> = (0..arity).filter(|c| mask & (1 << c) != 0).collect();
+            for _ in 0..8 {
+                let key: Vec<u32> = cols
+                    .iter()
+                    .map(|_| {
+                        let v = Value::int(rng.gen_range(0i64..5));
+                        interner.intern(&v)
+                    })
+                    .collect();
+                let mut probed: Vec<&Vec<u32>> = srel.probe(&cols, &key).collect();
+                let mut scanned: Vec<&Vec<u32>> = srel
+                    .rows()
+                    .iter()
+                    .filter(|row| cols.iter().zip(&key).all(|(&c, &k)| row[c] == k))
+                    .collect();
+                probed.sort();
+                scanned.sort();
+                assert_eq!(probed, scanned, "cols {cols:?} key {key:?}");
+            }
+        }
+    }
+}
+
+/// Indexed evaluation agrees with the stand-alone evaluator on randomized
+/// instances and registers: constant probes, bound-variable probes, and the
+/// interned register must never change a query's result.
+#[test]
+fn indexed_evaluation_matches_standalone() {
+    use publishing_transducers::logic::{parse_query, EvalContext};
+    use publishing_transducers::relational::Relation;
+    let queries = [
+        "(x) <- edge(x, 0)",
+        "(x, y) <- edge(x, y) and edge(y, x)",
+        "(y) <- exists x (Reg(x) and edge(x, y))",
+        "(x) <- Reg(x) and not (exists y (edge(x, y) and Reg(y)))",
+        "(; y) <- Reg(y) or exists x (Reg(x) and edge(x, y))",
+    ];
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(8000 + case);
+        let inst = arb_instance(&mut rng);
+        let mut reg = Relation::with_arity(1);
+        for _ in 0..rng.gen_range(1usize..4) {
+            reg.insert(vec![Value::int(rng.gen_range(0i64..6))]);
+        }
+        let ctx = EvalContext::new(&inst);
+        let ireg = ctx.index_register(&reg);
+        for q in &queries {
+            let q = parse_query(q).unwrap();
+            let standalone = q.eval(&inst, Some(&reg)).unwrap();
+            let indexed = q.eval_indexed(&ctx, Some(&ireg)).unwrap();
+            assert_eq!(standalone, indexed, "case {case} query {q:?}");
+        }
+    }
 }
 
 /// Registers only ever hold active-domain values plus transducer constants

@@ -31,7 +31,9 @@ fn three_sat_reduction_random_batch() {
         let num_clauses = rng.gen_range(4..28);
         let cnf = Cnf {
             num_vars: 3,
-            clauses: (0..num_clauses).map(|_| random_clause(3, &mut rng)).collect(),
+            clauses: (0..num_clauses)
+                .map(|_| random_clause(3, &mut rng))
+                .collect(),
         };
         let tau = three_sat::emptiness_gadget(&cnf);
         let expected = cnf.satisfiable();
