@@ -1,21 +1,25 @@
-//! Bench-regression gate: compare a freshly produced `BENCH_2.json` against
-//! the committed `BENCH_1.json` trajectory and fail (exit 1) on a serious
-//! regression of any entry recorded in both.
+//! Bench-regression gate: compare a freshly produced benchmark file against
+//! the committed baseline *chain* and fail (exit 1) on a serious regression
+//! of any entry recorded in both.
 //!
 //! Usage: `cargo run --release -p pt-bench --bin check_regression \
-//! [BASELINE] [CURRENT] [--tolerance N]`. Defaults: `BENCH_1.json`,
-//! `BENCH_2.json`, tolerance 3.0.
+//! [BASELINE...] [CURRENT] [--tolerance N]`. The last file is the current
+//! measurement; every earlier file is a baseline, and each entry gates
+//! against the *best* value recorded for it anywhere in the chain (lowest
+//! `ms`, highest `x` speedup) — so a number that improved in `BENCH_2.json`
+//! cannot quietly slide back to its `BENCH_1.json` level. Defaults:
+//! `BENCH_1.json BENCH_2.json BENCH_3.json`, tolerance 3.0.
 //!
 //! The tolerance is deliberately generous — CI machines are noisy and the
 //! recorded values come from another host — so the gate only trips on an
 //! entry that got more than `N`× slower (`ms` metrics) or whose speedup
 //! collapsed below `1/N` of the recorded value (`x` metrics). Entries
-//! present in only one file are reported but never fail the gate: the
-//! benchmark set is expected to grow.
+//! present only in baselines or only in the current file are reported but
+//! never fail the gate: the benchmark set is expected to grow.
 
 use std::process::ExitCode;
 
-use pt_bench::parse_bench_json;
+use pt_bench::{fold_best, parse_bench_json};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,8 +39,15 @@ fn main() -> ExitCode {
             files.push(a);
         }
     }
-    let baseline_path = files.first().copied().unwrap_or("BENCH_1.json");
-    let current_path = files.get(1).copied().unwrap_or("BENCH_2.json");
+    if files.is_empty() {
+        files = vec!["BENCH_1.json", "BENCH_2.json", "BENCH_3.json"];
+    }
+    if files.len() < 2 {
+        eprintln!("need at least one baseline and one current file");
+        return ExitCode::FAILURE;
+    }
+    let current_path = files.pop().unwrap();
+    let baseline_paths = files;
 
     let read = |path: &str| -> Option<Vec<(String, String, f64)>> {
         match std::fs::read_to_string(path) {
@@ -47,13 +58,21 @@ fn main() -> ExitCode {
             }
         }
     };
-    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+    let Some(current) = read(current_path) else {
         return ExitCode::FAILURE;
     };
-    if baseline.is_empty() || current.is_empty() {
+    // the chain folds to the best recorded value per (name, metric)
+    let mut best: Vec<(String, String, f64)> = Vec::new();
+    for path in &baseline_paths {
+        let Some(entries) = read(path) else {
+            return ExitCode::FAILURE;
+        };
+        fold_best(&mut best, entries);
+    }
+    if best.is_empty() || current.is_empty() {
         eprintln!(
-            "no benchmark entries parsed ({baseline_path}: {}, {current_path}: {})",
-            baseline.len(),
+            "no benchmark entries parsed (baselines: {}, {current_path}: {})",
+            best.len(),
             current.len()
         );
         return ExitCode::FAILURE;
@@ -61,13 +80,12 @@ fn main() -> ExitCode {
 
     let mut regressions = 0usize;
     let mut compared = 0usize;
-    for (name, metric, old) in &baseline {
+    for (name, metric, old) in &best {
         let Some((_, _, new)) = current.iter().find(|(n, m, _)| n == name && m == metric) else {
-            println!("  (only in {baseline_path}) {name}");
+            println!("  (baseline only) {name}");
             continue;
         };
         compared += 1;
-        // `ms`: lower is better; `x` (speedup): higher is better
         let (regressed, ratio) = match metric.as_str() {
             "x" => (*new * tolerance < *old, old / new),
             _ => (*new > *old * tolerance, new / old),
@@ -81,21 +99,25 @@ fn main() -> ExitCode {
         println!("  {flag:<10} {name:<45} {old:>10.1} -> {new:>10.1} {metric} ({ratio:.2}x)");
     }
     for (name, _, _) in &current {
-        if !baseline.iter().any(|(n, _, _)| n == name) {
+        if !best.iter().any(|(n, _, _)| n == name) {
             println!("  (new)      {name}");
         }
     }
     if compared == 0 {
-        eprintln!("no overlapping entries between {baseline_path} and {current_path}");
+        eprintln!("no overlapping entries between the baseline chain and {current_path}");
         return ExitCode::FAILURE;
     }
     if regressions > 0 {
         eprintln!(
-            "{regressions} entr{} regressed more than {tolerance}x vs {baseline_path}",
+            "{regressions} entr{} regressed more than {tolerance}x vs the best recorded baseline",
             if regressions == 1 { "y" } else { "ies" }
         );
         return ExitCode::FAILURE;
     }
-    println!("bench gate: {compared} entries compared, none regressed more than {tolerance}x");
+    println!(
+        "bench gate: {compared} entries compared against {} baseline file(s), \
+         none regressed more than {tolerance}x",
+        baseline_paths.len()
+    );
     ExitCode::SUCCESS
 }

@@ -80,6 +80,44 @@ pub fn registrar_with_enrollment(n: usize, students: usize) -> Instance {
     db
 }
 
+/// A roster view over the enrollment data: per CS course, a `roster` node
+/// whose *relation* register holds every enrolled student, unfolded into
+/// per-student children. Unlike τ2 (whose registers hold course numbers),
+/// the rosters are wide — `students / n` rows per register — so this is the
+/// register-construction stress test of the symbolic end-to-end path:
+/// every register row flows `groups_sym` → configuration key → indexed
+/// register without a value round-trip. Recorded in `BENCH_3.json`.
+pub fn roster_view() -> Transducer {
+    let schema = Schema::with(&[("course", 3), ("prereq", 2), ("enrolled", 2)]);
+    Transducer::builder(schema, "q0", "db")
+        .rule(
+            "q0",
+            "db",
+            &[(
+                "q",
+                "course",
+                "(cno, title) <- exists d (course(cno, title, d) and d = 'CS')",
+            )],
+        )
+        .rule(
+            "q",
+            "course",
+            &[
+                ("q", "cno", "(c) <- exists t (Reg(c, t))"),
+                (
+                    "q",
+                    "roster",
+                    "(; s) <- exists c t (Reg(c, t) and enrolled(s, c))",
+                ),
+            ],
+        )
+        .rule("q", "roster", &[("q", "student", "(s) <- Reg(s)")])
+        .rule("q", "student", &[("q", "text", "(s) <- Reg(s)")])
+        .rule("q", "cno", &[("q", "text", "(c) <- Reg(c)")])
+        .build()
+        .expect("roster view is well-formed")
+}
+
 /// A chain `edge(0,1), …, edge(n-1,n)` — the transitive-closure workload
 /// for the multi-linear semi-naive fixpoint.
 pub fn chain_edges(n: usize) -> Instance {
@@ -115,6 +153,31 @@ pub fn parse_bench_json(text: &str) -> Vec<(String, String, f64)> {
             Some((name, metric, value))
         })
         .collect()
+}
+
+/// Fold benchmark entries into the best recorded value per
+/// `(name, metric)`: lowest for time-like metrics, highest for `x`
+/// (speedup) metrics. The regression gate and the quick report both
+/// compare against this fold so an improvement can never quietly slide
+/// back to an older baseline.
+pub fn fold_best(
+    into: &mut Vec<(String, String, f64)>,
+    entries: impl IntoIterator<Item = (String, String, f64)>,
+) {
+    for (name, metric, value) in entries {
+        match into.iter_mut().find(|(n, m, _)| *n == name && *m == metric) {
+            Some((_, metric, best)) => {
+                let better = match metric.as_str() {
+                    "x" => value > *best,
+                    _ => value < *best,
+                };
+                if better {
+                    *best = value;
+                }
+            }
+            None => into.push((name, metric, value)),
+        }
+    }
 }
 
 /// The nonrecursive IFP transducer used for the Proposition 3 data

@@ -1,0 +1,317 @@
+//! Seeded random transducers for the cross-engine fuzz harness.
+//!
+//! [`random_transducer`] draws a syntactically valid publishing transducer
+//! with bounded states, tags, rule fan-out and register arities over a given
+//! schema: every tag gets a fixed register arity, every rule item carries a
+//! generated query of exactly that arity, register atoms always match the
+//! parent tag's arity, and neither the start state nor the root tag is ever
+//! re-entered — so [`crate::transducer::TransducerBuilder::build`] accepts
+//! every draw. Query bodies mix schema atoms, register atoms, comparisons,
+//! guarded negation and disjunction (the CQ/FO fragments; fixpoints are left
+//! to the hand-written workloads so fuzz cases stay fast).
+//!
+//! All randomness flows through the caller's RNG: a fixed seed reproduces
+//! the exact transducer, which is what lets `tests/fuzz_differential.rs`
+//! report a failing case as a single integer.
+
+use rand::prelude::*;
+
+use pt_relational::Schema;
+
+use crate::transducer::Transducer;
+
+/// Bounds for [`random_transducer`].
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Maximum number of non-start states (at least 1).
+    pub max_states: usize,
+    /// Maximum number of non-root tags (at least 1).
+    pub max_tags: usize,
+    /// Maximum register arity `Θ(tag)` (tags draw `0..=max_arity`).
+    pub max_arity: usize,
+    /// Maximum rule-item fan-out per rule.
+    pub max_items: usize,
+    /// Probability that a non-root `(state, tag)` pair gets an explicit
+    /// rule (the rest are leaves).
+    pub rule_density: f64,
+    /// Largest integer constant queries may mention.
+    pub max_const: i64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_states: 3,
+            max_tags: 4,
+            max_arity: 2,
+            max_items: 3,
+            rule_density: 0.7,
+            max_const: 5,
+        }
+    }
+}
+
+/// One positive atom under construction: a relation name and its argument
+/// slots (`None` = still unassigned).
+struct AtomDraft {
+    name: String,
+    args: Vec<Option<String>>,
+}
+
+/// Generate the source text of a query of arity `head_arity` whose register
+/// atoms (if any) have arity `parent_arity`, over the relations of `schema`.
+fn random_query_src(
+    schema: &Schema,
+    head_arity: usize,
+    parent_arity: usize,
+    cfg: &GenConfig,
+    rng: &mut StdRng,
+) -> String {
+    let head: Vec<String> = (0..head_arity).map(|i| format!("x{i}")).collect();
+    // one or two disjuncts, each a conjunction covering every head variable
+    let disjuncts = if rng.gen_bool(0.25) { 2 } else { 1 };
+    let body: Vec<String> = (0..disjuncts)
+        .map(|_| random_conjunction(schema, &head, parent_arity, cfg, rng))
+        .collect();
+    let body = if body.len() == 1 {
+        body.into_iter().next().unwrap()
+    } else {
+        body.iter()
+            .map(|c| format!("({c})"))
+            .collect::<Vec<_>>()
+            .join(" or ")
+    };
+    // split the head into group and rest variables
+    let split = rng.gen_range(0..head_arity + 1);
+    let (group, rest) = head.split_at(split);
+    if rest.is_empty() {
+        format!("({}) <- {}", group.join(", "), body)
+    } else {
+        format!("({}; {}) <- {}", group.join(", "), rest.join(", "), body)
+    }
+}
+
+/// A conjunction of positive atoms (with every head variable placed in at
+/// least one), optionally seasoned with a comparison or a negated atom.
+fn random_conjunction(
+    schema: &Schema,
+    head: &[String],
+    parent_arity: usize,
+    cfg: &GenConfig,
+    rng: &mut StdRng,
+) -> String {
+    let rels: Vec<(String, usize)> = schema.iter().map(|(n, a)| (n.to_string(), a)).collect();
+    let draw_atom = |rng: &mut StdRng| -> AtomDraft {
+        // register atoms only when the parent register holds tuples
+        if parent_arity >= 1 && rng.gen_bool(0.4) {
+            AtomDraft {
+                name: "Reg".to_string(),
+                args: vec![None; parent_arity],
+            }
+        } else {
+            let (name, arity) = rels[rng.gen_range(0..rels.len())].clone();
+            AtomDraft {
+                name,
+                args: vec![None; arity],
+            }
+        }
+    };
+    let n_atoms = 1 + rng.gen_range(0..2.max(head.len()));
+    let mut atoms: Vec<AtomDraft> = (0..n_atoms).map(|_| draw_atom(rng)).collect();
+    // can the pool yield an atom with at least one slot? (a schema of only
+    // nullary relations and a nullary parent register cannot)
+    let slots_possible = parent_arity >= 1 || rels.iter().any(|&(_, a)| a >= 1);
+    // tautological comparisons keep head variables free in the body when no
+    // atom can hold them
+    let mut tautologies: Vec<String> = Vec::new();
+    // place every head variable into some slot (atoms grow if all are full)
+    for v in head {
+        if !slots_possible {
+            tautologies.push(format!("{v} = {v}"));
+            continue;
+        }
+        let open: Vec<(usize, usize)> = atoms
+            .iter()
+            .enumerate()
+            .flat_map(|(i, a)| {
+                a.args
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.is_none())
+                    .map(move |(j, _)| (i, j))
+            })
+            .collect();
+        let (i, j) = if open.is_empty() {
+            let mut extra = draw_atom(rng);
+            while extra.args.is_empty() {
+                extra = draw_atom(rng);
+            }
+            let j = rng.gen_range(0..extra.args.len());
+            atoms.push(extra);
+            (atoms.len() - 1, j)
+        } else {
+            open[rng.gen_range(0..open.len())]
+        };
+        atoms[i].args[j] = Some(v.clone());
+    }
+    // fill the remaining slots: head variables, fresh (auto-∃) variables,
+    // or integer constants
+    let mut fresh = 0usize;
+    for atom in &mut atoms {
+        for slot in &mut atom.args {
+            if slot.is_none() {
+                *slot = Some(match rng.gen_range(0u32..4) {
+                    0 if !head.is_empty() => head[rng.gen_range(0..head.len())].clone(),
+                    1 => format!("{}", rng.gen_range(0..cfg.max_const + 1)),
+                    _ => {
+                        fresh += 1;
+                        format!("e{fresh}")
+                    }
+                });
+            }
+        }
+    }
+    let mut conjuncts: Vec<String> = atoms
+        .iter()
+        .map(|a| {
+            let args: Vec<&str> = a.args.iter().map(|s| s.as_deref().unwrap()).collect();
+            format!("{}({})", a.name, args.join(", "))
+        })
+        .collect();
+    conjuncts.extend(tautologies);
+    // a guarded negated atom over already-placed head variables
+    if !head.is_empty() && rng.gen_bool(0.3) {
+        let (name, arity) = rels[rng.gen_range(0..rels.len())].clone();
+        let args: Vec<String> = (0..arity)
+            .map(|_| {
+                if rng.gen_bool(0.7) {
+                    head[rng.gen_range(0..head.len())].clone()
+                } else {
+                    format!("{}", rng.gen_range(0..cfg.max_const + 1))
+                }
+            })
+            .collect();
+        conjuncts.push(format!("not ({}({}))", name, args.join(", ")));
+    }
+    // a comparison between a head variable and a constant or head variable
+    if !head.is_empty() && rng.gen_bool(0.3) {
+        let a = &head[rng.gen_range(0..head.len())];
+        let b = if rng.gen_bool(0.5) {
+            head[rng.gen_range(0..head.len())].clone()
+        } else {
+            format!("{}", rng.gen_range(0..cfg.max_const + 1))
+        };
+        let op = if rng.gen_bool(0.5) { "=" } else { "!=" };
+        conjuncts.push(format!("{a} {op} {b}"));
+    }
+    conjuncts.join(" and ")
+}
+
+/// Draw a random transducer over `schema` within the bounds of `cfg`.
+///
+/// The result always builds: tag arities are fixed up front and every
+/// generated query matches its target tag's arity and its parent tag's
+/// register arity.
+pub fn random_transducer(schema: &Schema, cfg: &GenConfig, rng: &mut StdRng) -> Transducer {
+    let n_states = 1 + rng.gen_range(0..cfg.max_states);
+    let n_tags = 1 + rng.gen_range(0..cfg.max_tags);
+    let states: Vec<String> = (1..=n_states).map(|i| format!("q{i}")).collect();
+    let tags: Vec<String> = (1..=n_tags).map(|i| format!("t{i}")).collect();
+    let arities: Vec<usize> = tags
+        .iter()
+        .map(|_| rng.gen_range(0..cfg.max_arity + 1))
+        .collect();
+
+    let items_for = |parent_arity: usize, least_one: bool, rng: &mut StdRng| {
+        let lo = usize::from(least_one);
+        let n = rng.gen_range(lo..cfg.max_items + 1);
+        (0..n)
+            .map(|_| {
+                let s = rng.gen_range(0..states.len());
+                let t = rng.gen_range(0..tags.len());
+                let q = random_query_src(schema, arities[t], parent_arity, cfg, rng);
+                (states[s].clone(), tags[t].clone(), q)
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let mut b = Transducer::builder(schema.clone(), "q0", "r");
+    // declare Θ up front: a tag that happens never to be produced must
+    // still agree with the register atoms of its rules
+    for (ti, tag) in tags.iter().enumerate() {
+        b = b.arity(tag, arities[ti]);
+    }
+    let root_items = items_for(0, true, rng);
+    let refs: Vec<(&str, &str, &str)> = root_items
+        .iter()
+        .map(|(s, t, q)| (s.as_str(), t.as_str(), q.as_str()))
+        .collect();
+    b = b.rule("q0", "r", &refs);
+    for state in &states {
+        for (ti, tag) in tags.iter().enumerate() {
+            if rng.gen_bool(cfg.rule_density) {
+                let items = items_for(arities[ti], false, rng);
+                let refs: Vec<(&str, &str, &str)> = items
+                    .iter()
+                    .map(|(s, t, q)| (s.as_str(), t.as_str(), q.as_str()))
+                    .collect();
+                b = b.rule(state, tag, &refs);
+            }
+        }
+    }
+    b.build().expect("generated transducer must be well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_relational::generate::{random_instance, random_schema};
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let cfg = GenConfig::default();
+        let build = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let schema = random_schema(3, 3, &mut rng);
+            let tau = random_transducer(&schema, &cfg, &mut rng);
+            format!("{tau}")
+        };
+        assert_eq!(build(7), build(7));
+        assert_ne!(build(7), build(8));
+    }
+
+    #[test]
+    fn nullary_only_schemas_generate_without_hanging() {
+        // no relation (and no register) can hold a head variable: placement
+        // must fall back to tautological comparisons instead of looping
+        let schema = pt_relational::Schema::with(&[("flag", 0)]);
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(3000 + seed);
+            let tau = random_transducer(&schema, &GenConfig::default(), &mut rng);
+            let inst = pt_relational::Instance::new();
+            let opts = crate::semantics::EvalOptions::with_max_nodes(2000);
+            match tau.run_with(&inst, opts) {
+                Ok(_) | Err(crate::semantics::RunError::NodeLimit(_)) => {}
+                Err(e) => panic!("seed {seed}: unexpected error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn generated_transducers_build_and_run() {
+        let cfg = GenConfig::default();
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let schema = random_schema(3, 3, &mut rng);
+            let tau = random_transducer(&schema, &cfg, &mut rng);
+            let inst = random_instance(&schema, 5, 6, &mut rng);
+            // a bounded run must either finish or trip the node budget
+            let opts = crate::semantics::EvalOptions::with_max_nodes(2000);
+            match tau.run_with(&inst, opts) {
+                Ok(run) => assert!(run.size() <= 2000),
+                Err(crate::semantics::RunError::NodeLimit(_)) => {}
+                Err(e) => panic!("seed {seed}: unexpected error {e}"),
+            }
+        }
+    }
+}

@@ -24,9 +24,12 @@
 //!   produces the result tree ξ, the output Σ-tree, and the induced
 //!   relational query `R_τ` of Section 6.1,
 //! * [`examples`] — the registrar database and the three views of Figure 1
-//!   (Examples 1.1, 3.1 and 3.2).
+//!   (Examples 1.1, 3.1 and 3.2),
+//! * [`generate`] — seeded random transducers for the cross-engine fuzz
+//!   harness (`tests/fuzz_differential.rs`).
 
 pub mod examples;
+pub mod generate;
 pub mod semantics;
 pub mod transducer;
 

@@ -32,31 +32,66 @@
 //! common case the intersection is empty and every entry is shared
 //! globally.
 //!
-//! [`ExpansionMode::Tree`] forces the pre-memoization behavior — every node
-//! expanded independently, one query evaluation per node — and exists as a
-//! differential-testing oracle and performance baseline.
+//! # Symbolic registers end-to-end
+//!
+//! In the default [`ExpansionMode::Dag`], registers never leave the
+//! interned representation between configuration expansion and query
+//! evaluation: configurations hash-cons on canonical
+//! [`pt_relational::SymRegister`]s (flat `u32` symbol rows), child
+//! registers are produced directly from [`pt_logic::Query::groups_sym`] as
+//! symbol rows, and the register is indexed for its rule-item queries
+//! without re-interning a single value. The memo and footprint keys, the
+//! stop condition, and the configuration intern table all operate on
+//! symbols.
+//!
+//! **Interner-relativity invariant.** Symbols are only meaningful against
+//! the run-wide [`EvalContext`] interner. That interner is append-only and
+//! shared by every query of the run, which is exactly what makes symbolic
+//! hash-consing sound: equal value-level registers intern to identical
+//! symbol rows, so symbol equality *is* register equality — within one run.
+//! Symbolic registers must never be compared across runs, and every
+//! [`ResultNode`] materializes its value-level [`Relation`] when it is
+//! built (once per *distinct* configuration), so the public result tree is
+//! self-contained and interner-free.
+//!
+//! Two oracle engines are kept alongside: [`ExpansionMode::DagValue`]
+//! memoizes on value-level [`Relation`] keys (the previous-generation
+//! engine — same DAG shape, no symbolic keys), and [`ExpansionMode::Tree`]
+//! forces the pre-memoization behavior — every node expanded
+//! independently, one query evaluation per node, everything value-level.
+//! `Tree` is the ground-truth oracle of the differential and fuzz suites
+//! (`tests/differential.rs`, `tests/fuzz_differential.rs`).
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::hash::Hash;
 use std::sync::Arc;
 
 use pt_logic::eval::EvalError;
-use pt_logic::EvalContext;
-use pt_relational::intern::FxHashSet;
-use pt_relational::{Instance, Relation};
+use pt_logic::{EvalContext, IndexedRegister, Query};
+use pt_relational::intern::{FxHashMap, FxHashSet};
+use pt_relational::{Instance, Relation, SymRegister};
 use pt_xmltree::Tree;
 
-use crate::transducer::Transducer;
+use crate::transducer::{RuleItem, Transducer};
 
 /// How [`Transducer::run_with`] expands the result tree.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ExpansionMode {
-    /// Intern configurations and share identical subtrees (the default).
+    /// Intern configurations on symbolic register keys and share identical
+    /// subtrees (the default). Registers stay symbolic through expansion,
+    /// memoization, and query evaluation; values materialize only when a
+    /// result node is built.
     #[default]
     Dag,
+    /// The previous-generation DAG engine: identical memoization, but
+    /// configurations key on value-level [`Relation`] registers that are
+    /// re-interned per configuration. Kept as a secondary differential
+    /// oracle for the symbolic path.
+    DagValue,
     /// Expand every node independently, re-evaluating queries per node —
-    /// the pre-memoization engine, kept as a differential oracle and
-    /// baseline.
+    /// the pre-memoization engine, kept as the ground-truth differential
+    /// oracle and performance baseline.
     Tree,
 }
 
@@ -282,6 +317,10 @@ fn collect_children(node: &ResultNode, virtual_tags: &BTreeSet<String>, out: &mu
 /// A hash-consed configuration id.
 type ConfigId = u32;
 
+/// A dense id for a `(state, tag)` pair, interned once per run so the hot
+/// loop never re-hashes strings.
+type PairId = u32;
+
 /// One memoized expansion of a configuration.
 struct MemoEntry {
     /// Every configuration encountered inside the expansion (including its
@@ -294,25 +333,135 @@ struct MemoEntry {
     size: usize,
 }
 
-/// A configuration key, shared between the intern table and the id-indexed
-/// store so each `(state, tag, register)` triple is kept once.
-type ConfigKey = std::rc::Rc<(String, String, Relation)>;
+/// How a DAG-mode run represents registers between configuration expansion
+/// and query evaluation. Two implementations exist: [`SymRegister`] (the
+/// default symbolic path — flat `u32` memo keys, zero value round-trips)
+/// and [`Relation`] (the previous-generation value-level path, kept as a
+/// differential oracle). The memoization logic is shared; only the register
+/// plumbing differs.
+trait RegisterRepr: Clone + Eq + Hash {
+    /// The root configuration's (empty, nullary) register.
+    fn root() -> Self;
+    /// Prepare the register once per configuration for all its rule-item
+    /// queries.
+    fn index(ctx: &EvalContext<'_>, reg: &Self) -> IndexedRegister;
+    /// The child registers one rule-item query spawns, in sibling (domain)
+    /// order.
+    fn groups(
+        query: &Query,
+        ctx: &EvalContext<'_>,
+        ireg: &IndexedRegister,
+    ) -> Result<Vec<Self>, EvalError>;
+    /// The value-level relation stored on the result node.
+    fn materialize(ctx: &EvalContext<'_>, reg: &Self) -> Relation;
+}
 
-/// Mutable state of one DAG-mode run.
-struct DagExpansion<'t, 'a> {
-    tau: &'t Transducer,
+impl RegisterRepr for SymRegister {
+    fn root() -> Self {
+        SymRegister::empty(0)
+    }
+
+    fn index(ctx: &EvalContext<'_>, reg: &Self) -> IndexedRegister {
+        ctx.index_sym_register(reg)
+    }
+
+    fn groups(
+        query: &Query,
+        ctx: &EvalContext<'_>,
+        ireg: &IndexedRegister,
+    ) -> Result<Vec<Self>, EvalError> {
+        Ok(query
+            .groups_sym(ctx, Some(ireg))?
+            .into_iter()
+            .map(|(_, reg)| reg)
+            .collect())
+    }
+
+    fn materialize(ctx: &EvalContext<'_>, reg: &Self) -> Relation {
+        ctx.materialize_register(reg)
+    }
+}
+
+impl RegisterRepr for Relation {
+    fn root() -> Self {
+        Relation::new()
+    }
+
+    fn index(ctx: &EvalContext<'_>, reg: &Self) -> IndexedRegister {
+        ctx.index_register(reg)
+    }
+
+    fn groups(
+        query: &Query,
+        ctx: &EvalContext<'_>,
+        ireg: &IndexedRegister,
+    ) -> Result<Vec<Self>, EvalError> {
+        Ok(query
+            .groups_indexed(ctx, Some(ireg))?
+            .into_iter()
+            .map(|(_, reg)| reg)
+            .collect())
+    }
+
+    fn materialize(_ctx: &EvalContext<'_>, reg: &Self) -> Relation {
+        reg.clone()
+    }
+}
+
+/// A configuration key, shared between the intern table and the id-indexed
+/// store so each `(state/tag pair, register)` is kept once.
+type ConfigKey<R> = std::rc::Rc<(PairId, R)>;
+
+/// Mutable state of one DAG-mode run, generic over the register
+/// representation configurations key on.
+struct DagExpansion<'t, 'a, R: RegisterRepr> {
     ctx: EvalContext<'a>,
     opts: EvalOptions,
     count: usize,
+    /// `(state, tag)` pair interning: nested by state so lookups borrow.
+    pair_ids: FxHashMap<String, FxHashMap<String, PairId>>,
+    pair_names: Vec<(String, String)>,
+    /// The pair's rule items, resolved once at interning time.
+    pair_rules: Vec<&'t [RuleItem]>,
     /// Intern table for configurations.
-    ids: HashMap<ConfigKey, ConfigId>,
-    configs: Vec<ConfigKey>,
+    ids: FxHashMap<ConfigKey<R>, ConfigId>,
+    configs: Vec<ConfigKey<R>>,
     entries: Vec<Vec<MemoEntry>>,
 }
 
-impl<'t, 'a> DagExpansion<'t, 'a> {
-    fn config_id(&mut self, state: &str, tag: &str, register: Relation) -> ConfigId {
-        let key = (state.to_string(), tag.to_string(), register);
+impl<'t, 'a, R: RegisterRepr> DagExpansion<'t, 'a, R> {
+    fn new(instance: &'a Instance, opts: EvalOptions) -> Self {
+        DagExpansion {
+            ctx: EvalContext::new(instance),
+            opts,
+            count: 0,
+            pair_ids: FxHashMap::default(),
+            pair_names: Vec::new(),
+            pair_rules: Vec::new(),
+            ids: FxHashMap::default(),
+            configs: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The dense id of a `(state, tag)` pair, interning it (and resolving
+    /// its rule items) on first sight.
+    fn pair_id(&mut self, tau: &'t Transducer, state: &str, tag: &str) -> PairId {
+        if let Some(&id) = self.pair_ids.get(state).and_then(|m| m.get(tag)) {
+            return id;
+        }
+        let id = self.pair_names.len() as PairId;
+        self.pair_names.push((state.to_string(), tag.to_string()));
+        self.pair_rules.push(tau.rule(state, tag));
+        self.pair_ids
+            .entry(state.to_string())
+            .or_default()
+            .insert(tag.to_string(), id);
+        id
+    }
+
+    fn config_id(&mut self, pair: PairId, register: R) -> ConfigId {
+        let key = (pair, register);
         if let Some(&id) = self.ids.get(&key) {
             return id;
         }
@@ -337,6 +486,7 @@ impl<'t, 'a> DagExpansion<'t, 'a> {
     /// and its unfolded size.
     fn expand(
         &mut self,
+        tau: &'t Transducer,
         cid: ConfigId,
         path: &mut Vec<ConfigId>,
         on_path: &mut FxHashSet<ConfigId>,
@@ -358,7 +508,11 @@ impl<'t, 'a> DagExpansion<'t, 'a> {
             }
         }
 
-        let (state, tag, register) = (*self.configs[cid as usize]).clone();
+        let (pair, register) = {
+            let key = &self.configs[cid as usize];
+            (key.0, key.1.clone())
+        };
+        let (state, tag) = self.pair_names[pair as usize].clone();
 
         // stop condition (Section 3, condition (1)): an ancestor with the
         // same state, tag and register seals this leaf
@@ -367,7 +521,7 @@ impl<'t, 'a> DagExpansion<'t, 'a> {
             let node = Arc::new(ResultNode {
                 state,
                 tag,
-                register,
+                register: R::materialize(&self.ctx, &register),
                 children: Vec::new(),
                 stopped: true,
             });
@@ -382,22 +536,22 @@ impl<'t, 'a> DagExpansion<'t, 'a> {
         }
 
         self.charge(1)?;
-        let tau = self.tau;
-        let items = tau.rule(&state, &tag);
+        let items = self.pair_rules[pair as usize];
         let mut children = Vec::new();
         let mut footprint: FxHashSet<ConfigId> = [cid].into_iter().collect();
         let mut size = 1usize;
         if !items.is_empty() {
-            // the register is interned and indexed once per configuration;
-            // every query of every rule item reuses the same handle
-            let ireg = self.ctx.index_register(&register);
+            // the register is indexed once per configuration; every query
+            // of every rule item reuses the same handle
+            let ireg = R::index(&self.ctx, &register);
             path.push(cid);
             on_path.insert(cid);
             for item in items {
+                let child_pair = self.pair_id(tau, &item.state, &item.tag);
                 // children grouped by x̄, ordered by the domain order
-                for (_, group) in item.query.groups_indexed(&self.ctx, Some(&ireg))? {
-                    let child = self.config_id(&item.state, &item.tag, group);
-                    let (node, fp, sz) = self.expand(child, path, on_path)?;
+                for group in R::groups(&item.query, &self.ctx, &ireg)? {
+                    let child = self.config_id(child_pair, group);
+                    let (node, fp, sz) = self.expand(tau, child, path, on_path)?;
                     children.push(node);
                     footprint.extend(fp);
                     size += sz;
@@ -409,7 +563,7 @@ impl<'t, 'a> DagExpansion<'t, 'a> {
         let node = Arc::new(ResultNode {
             state,
             tag,
-            register,
+            register: R::materialize(&self.ctx, &register),
             children,
             stopped: false,
         });
@@ -438,21 +592,8 @@ impl Transducer {
     /// Run with explicit limits.
     pub fn run_with(&self, instance: &Instance, opts: EvalOptions) -> Result<RunResult, RunError> {
         let root = match opts.mode {
-            ExpansionMode::Dag => {
-                let mut exp = DagExpansion {
-                    tau: self,
-                    ctx: EvalContext::new(instance),
-                    opts,
-                    count: 0,
-                    ids: HashMap::new(),
-                    configs: Vec::new(),
-                    entries: Vec::new(),
-                };
-                let root_cid = exp.config_id(self.start_state(), self.root_tag(), Relation::new());
-                let (root, _, _) =
-                    exp.expand(root_cid, &mut Vec::new(), &mut FxHashSet::default())?;
-                root
-            }
+            ExpansionMode::Dag => self.run_dag::<SymRegister>(instance, opts)?,
+            ExpansionMode::DagValue => self.run_dag::<Relation>(instance, opts)?,
             ExpansionMode::Tree => {
                 let mut count = 0usize;
                 let mut path: Vec<(String, String, Relation)> = Vec::new();
@@ -471,6 +612,20 @@ impl Transducer {
             root,
             virtual_tags: self.virtual_tags().clone(),
         })
+    }
+
+    /// One memoized DAG run over the chosen register representation.
+    fn run_dag<R: RegisterRepr>(
+        &self,
+        instance: &Instance,
+        opts: EvalOptions,
+    ) -> Result<Arc<ResultNode>, RunError> {
+        let mut exp = DagExpansion::<R>::new(instance, opts);
+        let root_pair = exp.pair_id(self, self.start_state(), self.root_tag());
+        let root_cid = exp.config_id(root_pair, R::root());
+        let (root, _, _) =
+            exp.expand(self, root_cid, &mut Vec::new(), &mut FxHashSet::default())?;
+        Ok(root)
     }
 
     /// Run on a dedicated thread with a large stack — for workloads whose
@@ -650,7 +805,11 @@ mod tests {
         let inst = Instance::new()
             .with("start", rel![[0]])
             .with("edge", rel![[0, 1], [1, 0]]);
-        for mode in [ExpansionMode::Dag, ExpansionMode::Tree] {
+        for mode in [
+            ExpansionMode::Dag,
+            ExpansionMode::DagValue,
+            ExpansionMode::Tree,
+        ] {
             let err = unfold()
                 .run_with(&inst, EvalOptions { max_nodes: 2, mode })
                 .unwrap_err();
@@ -669,7 +828,11 @@ mod tests {
         let tau = unfold();
         let size = tau.run(&inst).unwrap().size(); // root, 0, 1, 2, 3, 3
         assert_eq!(size, 6);
-        for mode in [ExpansionMode::Dag, ExpansionMode::Tree] {
+        for mode in [
+            ExpansionMode::Dag,
+            ExpansionMode::DagValue,
+            ExpansionMode::Tree,
+        ] {
             assert!(tau
                 .run_with(
                     &inst,

@@ -133,6 +133,15 @@ impl Transducer {
         self.arities.get(tag).copied().unwrap_or(0)
     }
 
+    /// The full register typing `Θ`: every declared or inferred tag with
+    /// its register arity. Register atoms in the rules of a tag always use
+    /// exactly this arity (the builder validates it), so harnesses that
+    /// synthesize registers — the fuzz generator, the round-trip property
+    /// oracle — read their shapes from here.
+    pub fn register_arities(&self) -> &BTreeMap<String, usize> {
+        &self.arities
+    }
+
     /// The rule body for `(state, tag)` (empty slice when the rhs is empty).
     pub fn rule(&self, state: &str, tag: &str) -> &[RuleItem] {
         self.rules

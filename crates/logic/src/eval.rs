@@ -38,7 +38,7 @@ use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 use std::rc::Rc;
 
-use pt_relational::index::SymRelation;
+use pt_relational::index::{SymRegister, SymRelation};
 use pt_relational::intern::{FxHashMap, FxHashSet, Interner, Sym, SymTuple};
 use pt_relational::{Instance, Relation, Tuple, Value};
 
@@ -184,6 +184,99 @@ impl<'a> EvalContext<'a> {
     pub fn indexes_built(&self) -> usize {
         self.rels.indexes_built()
     }
+
+    /// Number of base-domain symbols. The context interns the sorted base
+    /// active domain first, so a symbol `s < base_len()` denotes the `s`-th
+    /// smallest base value (symbol order *is* the domain order there), and
+    /// any symbol at or above it denotes a value outside the base domain.
+    pub fn base_len(&self) -> Sym {
+        self.adom_syms.len() as Sym
+    }
+
+    /// Intern a value-level register into its canonical symbolic form.
+    /// [`Relation`] iterates in the domain order, and interning is
+    /// injective, so the rows arrive in the canonical `SymRegister` order
+    /// without sorting.
+    pub fn intern_register(&self, rel: &Relation) -> SymRegister {
+        let mut interner = self.syms.borrow_mut();
+        let arity = rel.arity().unwrap_or(0);
+        let mut reg = SymRegister::with_capacity(arity, rel.len());
+        let mut row = SymTuple::with_capacity(arity);
+        for t in rel.iter() {
+            row.clear();
+            row.extend(t.iter().map(|v| interner.intern(v)));
+            reg.push_row(&row);
+        }
+        reg
+    }
+
+    /// Resolve a symbolic register back to its value-level [`Relation`] —
+    /// the inverse of [`EvalContext::intern_register`]. Only the output
+    /// side of a run (result-tree nodes) pays this.
+    pub fn materialize_register(&self, reg: &SymRegister) -> Relation {
+        let interner = self.syms.borrow();
+        let mut rel = Relation::with_arity(reg.arity());
+        for row in reg.rows() {
+            rel.insert(row.iter().map(|&s| interner.resolve(s).clone()).collect());
+        }
+        rel
+    }
+
+    /// Index an already-symbolic register for use by every query of one
+    /// configuration — the symbolic counterpart of
+    /// [`EvalContext::index_register`]. No value is interned or hashed: the
+    /// rows are wrapped as-is, and only symbols outside the base domain
+    /// (rare — registers usually range over query results) are resolved to
+    /// extend the active domain.
+    pub fn index_sym_register(&self, reg: &SymRegister) -> IndexedRegister {
+        let sym = SymRelation::from_register(reg);
+        let base_len = self.base_len();
+        let mut seen: FxHashSet<Sym> = FxHashSet::default();
+        let mut extras: Vec<Value> = Vec::new();
+        {
+            let interner = self.syms.borrow();
+            for &s in reg.data() {
+                if s >= base_len && seen.insert(s) {
+                    extras.push(interner.resolve(s).clone());
+                }
+            }
+        }
+        IndexedRegister {
+            sym,
+            syms: Rc::clone(&self.syms),
+            extras,
+        }
+    }
+
+    /// Sort symbol rows into the domain order of their resolved values —
+    /// the sibling order of the transducer semantics and the canonical
+    /// [`SymRegister`] row order. Fast path: base-domain symbols compare as
+    /// raw `u32`s (their ids follow the domain order); only rows holding
+    /// out-of-base symbols fall back to resolved-value comparison.
+    pub fn sort_rows_in_domain_order(&self, rows: &mut [SymTuple]) {
+        let base_len = self.base_len();
+        if rows.iter().flatten().all(|&s| s < base_len) {
+            rows.sort_unstable();
+            return;
+        }
+        let interner = self.syms.borrow();
+        let cmp_syms = |a: Sym, b: Sym| {
+            if a == b {
+                std::cmp::Ordering::Equal
+            } else if a < base_len && b < base_len {
+                a.cmp(&b)
+            } else {
+                interner.resolve(a).cmp(interner.resolve(b))
+            }
+        };
+        rows.sort_unstable_by(|x, y| {
+            x.iter()
+                .zip(y.iter())
+                .map(|(&a, &b)| cmp_syms(a, b))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
 }
 
 /// A register relation interned and indexed once per configuration: the
@@ -299,7 +392,7 @@ impl Bindings {
     /// The unit: no columns, one (empty) row. Identity for joins.
     pub fn unit() -> Self {
         let mut rows = FxHashSet::default();
-        rows.insert(Vec::new());
+        rows.insert(SymTuple::new());
         Bindings::with_syms(Vec::new(), rows, Bindings::fresh_syms())
     }
 
@@ -374,23 +467,39 @@ impl Bindings {
         let probe_cols: Vec<usize> = shared.iter().map(|&(i, _)| i).collect();
         let build_cols: Vec<usize> = shared.iter().map(|&(_, j)| j).collect();
 
-        // build over the smaller operand's role: `other` is the build side
-        let mut table: FxHashMap<JoinKey, Vec<&SymTuple>> = FxHashMap::default();
+        // build over the smaller operand's role: `other` is the build side.
+        // Most keys match a single row; storing that row inline avoids one
+        // heap list per distinct key.
+        enum Matches<'a> {
+            One(&'a SymTuple),
+            Many(Vec<&'a SymTuple>),
+        }
+        let mut table: FxHashMap<JoinKey, Matches<'_>> = FxHashMap::default();
         for row in &other.rows {
             table
                 .entry(join_key(row, &build_cols))
-                .or_default()
-                .push(row);
+                .and_modify(|m| match m {
+                    Matches::One(first) => *m = Matches::Many(vec![first, row]),
+                    Matches::Many(v) => v.push(row),
+                })
+                .or_insert(Matches::One(row));
         }
 
         let mut rows = FxHashSet::default();
+        let mut emit = |row: &SymTuple, m: &SymTuple| {
+            let mut out = row.clone();
+            out.extend(extra.iter().map(|&j| m[j]));
+            rows.insert(out);
+        };
         for row in &self.rows {
-            if let Some(matches) = table.get(&join_key(row, &probe_cols)) {
-                for m in matches {
-                    let mut out = row.clone();
-                    out.extend(extra.iter().map(|&j| m[j]));
-                    rows.insert(out);
+            match table.get(&join_key(row, &probe_cols)) {
+                Some(Matches::One(m)) => emit(row, m),
+                Some(Matches::Many(ms)) => {
+                    for m in ms {
+                        emit(row, m);
+                    }
                 }
+                None => {}
             }
         }
         Bindings::with_syms(vars, rows, syms)
@@ -407,11 +516,8 @@ impl Bindings {
             .iter()
             .map(|v| self.col(v).expect("semi_join: column missing"))
             .collect();
-        let keys: FxHashSet<JoinKey> = other
-            .rows
-            .iter()
-            .map(|r| join_key(r, &(0..r.len()).collect::<Vec<_>>()))
-            .collect();
+        let identity: Vec<usize> = (0..other.vars.len()).collect();
+        let keys: FxHashSet<JoinKey> = other.rows.iter().map(|r| join_key(r, &identity)).collect();
         let rows = self
             .rows
             .iter()
@@ -494,7 +600,7 @@ impl Bindings {
     fn complement_syms(&self, adom_syms: &[Sym]) -> Bindings {
         // the universe adom^k is a cylindrification of the unit bindings
         let mut unit_rows = FxHashSet::default();
-        unit_rows.insert(Vec::new());
+        unit_rows.insert(SymTuple::new());
         let all = Bindings::with_syms(Vec::new(), unit_rows, Rc::clone(&self.syms))
             .cylindrify_syms(&self.vars, adom_syms);
         let rows = all.rows.difference(&self.rows).cloned().collect();
@@ -528,15 +634,39 @@ impl Bindings {
             "absorb requires a shared interner"
         );
         if other.vars == self.vars {
-            self.rows.extend(other.rows);
+            if self.rows.is_empty() {
+                // folding into a fresh accumulator: take the set wholesale
+                self.rows = other.rows;
+            } else {
+                self.rows.extend(other.rows);
+            }
         } else {
             let aligned = other.project(&self.vars);
             self.rows.extend(aligned.rows);
         }
     }
 
+    /// The rows projected onto `order`, as raw symbol tuples *without*
+    /// deduplication — sound only when `order` is a permutation of the
+    /// columns (the projection is then injective). The grouping hot path
+    /// uses this to skip one hash-set round-trip per query.
+    pub(crate) fn rows_in_order_vec(&self, order: &[Var]) -> Vec<SymTuple> {
+        debug_assert_eq!(order.len(), self.vars.len());
+        let positions: Vec<usize> = order
+            .iter()
+            .map(|v| self.col(v).expect("rows_in_order_vec: column missing"))
+            .collect();
+        if positions.iter().enumerate().all(|(i, &p)| i == p) {
+            return self.rows.iter().cloned().collect();
+        }
+        self.rows
+            .iter()
+            .map(|row| positions.iter().map(|&i| row[i]).collect())
+            .collect()
+    }
+
     /// The rows projected onto `order`, as raw symbol tuples.
-    fn rows_in_order(&self, order: &[Var]) -> FxHashSet<SymTuple> {
+    pub(crate) fn rows_in_order(&self, order: &[Var]) -> FxHashSet<SymTuple> {
         let positions: Vec<usize> = order
             .iter()
             .map(|v| self.col(v).expect("rows_in_order: column missing"))
@@ -794,7 +924,7 @@ impl<'a> Evaluator<'a> {
     /// Unit bindings carrying this evaluator's interner.
     fn unit_b(&self) -> Bindings {
         let mut rows = FxHashSet::default();
-        rows.insert(Vec::new());
+        rows.insert(SymTuple::new());
         Bindings::with_syms(Vec::new(), rows, Rc::clone(&self.syms))
     }
 
@@ -847,8 +977,12 @@ impl<'a> Evaluator<'a> {
                 Ok(acc)
             }
             Formula::Not(g) => match &**g {
-                // atom-level negation: complement the (usually narrow) atom
-                Formula::Rel(..) | Formula::Reg(..) | Formula::Fix { .. } => {
+                // atom-level negation complements the (usually narrow)
+                // atom; ¬∃ complements over the existential's free
+                // variables — usually none or few (this is also how ∀
+                // evaluates, and what [`Formula::pushed`] normalizes ∀
+                // into, so the hot path never rebuilds a formula here)
+                Formula::Rel(..) | Formula::Reg(..) | Formula::Fix { .. } | Formula::Exists(..) => {
                     let b = self.eval_env(g, env)?;
                     Ok(b.complement_syms(self.adom_syms()))
                 }
@@ -867,10 +1001,14 @@ impl<'a> Evaluator<'a> {
                     .collect();
                 let mut out = b.project(&keep);
                 // a quantified variable absent from the body still ranges
-                // over the active domain; an empty domain falsifies ∃.
-                let vacuous = vs.iter().any(|v| !g.free_vars().contains(v));
-                if vacuous && self.adom().is_empty() {
-                    out = self.empty_b(keep);
+                // over the active domain; an empty domain falsifies ∃ (the
+                // domain-emptiness check comes first — it is a load, while
+                // the vacuousness check walks the body).
+                if self.adom_syms().is_empty() {
+                    let free = g.free_vars();
+                    if vs.iter().any(|v| !free.contains(v)) {
+                        out = self.empty_b(keep);
+                    }
                 }
                 Ok(out)
             }
@@ -1062,17 +1200,23 @@ impl<'a> Evaluator<'a> {
             }
             (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => {
                 let mut rows = FxHashSet::default();
-                rows.insert(vec![self.sym(c)]);
+                rows.insert(SymTuple::from([self.sym(c)]));
                 Bindings::with_syms(vec![x.clone()], rows, syms)
             }
             (Term::Var(x), Term::Var(y)) if x == y => Bindings::with_syms(
                 vec![x.clone()],
-                self.adom_syms().iter().map(|&s| vec![s]).collect(),
+                self.adom_syms()
+                    .iter()
+                    .map(|&s| SymTuple::from([s]))
+                    .collect(),
                 syms,
             ),
             (Term::Var(x), Term::Var(y)) => Bindings::with_syms(
                 vec![x.clone(), y.clone()],
-                self.adom_syms().iter().map(|&s| vec![s, s]).collect(),
+                self.adom_syms()
+                    .iter()
+                    .map(|&s| SymTuple::from([s, s]))
+                    .collect(),
                 syms,
             ),
         }
@@ -1095,7 +1239,7 @@ impl<'a> Evaluator<'a> {
                     self.adom_syms()
                         .iter()
                         .filter(|&&s| s != cs)
-                        .map(|&s| vec![s])
+                        .map(|&s| SymTuple::from([s]))
                         .collect(),
                     syms,
                 )
@@ -1109,7 +1253,7 @@ impl<'a> Evaluator<'a> {
                         .flat_map(|&u| {
                             all.iter()
                                 .filter(move |&&v| v != u)
-                                .map(move |&v| vec![u, v])
+                                .map(move |&v| SymTuple::from([u, v]))
                         })
                         .collect(),
                     syms,
@@ -1292,26 +1436,38 @@ impl<'a> Evaluator<'a> {
     /// and only materializes expensive subformulas when unavoidable — this
     /// keeps guarded negation from ever computing a complement.
     fn eval_and(&self, fs: &[Formula], env: &FixEnv) -> Result<Bindings, EvalError> {
-        let target: Vec<Var> = Formula::And(fs.to_vec()).free_vars().into_iter().collect();
         let mut pending: Vec<&Formula> = fs.iter().collect();
+        // each conjunct's free variables, computed once (the planning loop
+        // below consults them every round) and kept in step with `pending`
+        let mut free: Vec<BTreeSet<Var>> = pending.iter().map(|g| g.free_vars()).collect();
+        let target: Vec<Var> = {
+            let mut all: BTreeSet<Var> = BTreeSet::new();
+            for vs in &free {
+                all.extend(vs.iter().cloned());
+            }
+            all.into_iter().collect()
+        };
         let mut acc = self.unit_b();
 
         while !pending.is_empty() {
-            let bound: BTreeSet<&Var> = acc.vars().iter().collect();
-            let is_bound = |g: &Formula| g.free_vars().iter().all(|v| bound.contains(v));
+            // the accumulator rarely holds more than a handful of columns:
+            // a linear scan beats building a set every round
+            let bound = acc.vars();
+            let is_bound = |i: usize| free[i].iter().all(|v| bound.contains(v));
 
             // 1. bound comparison → direct filter
-            if let Some(i) = pending
-                .iter()
-                .position(|g| matches!(g, Formula::Eq(..) | Formula::Neq(..)) && is_bound(g))
+            if let Some(i) = (0..pending.len())
+                .find(|&i| matches!(pending[i], Formula::Eq(..) | Formula::Neq(..)) && is_bound(i))
             {
                 let g = pending.remove(i);
+                free.remove(i);
                 acc = self.filter_cmp(acc, g);
                 continue;
             }
             // 2. bound positive subformula → semi-join; bound negation → anti-join
-            if let Some(i) = pending.iter().position(|g| is_bound(g)) {
+            if let Some(i) = (0..pending.len()).find(|&i| is_bound(i)) {
                 let g = pending.remove(i);
+                free.remove(i);
                 acc = match g {
                     Formula::Not(inner) => {
                         let b = self.eval_env(inner, env)?;
@@ -1342,13 +1498,14 @@ impl<'a> Evaluator<'a> {
                 .iter()
                 .enumerate()
                 .filter(|(_, g)| matches!(g, Formula::Rel(..) | Formula::Reg(..)))
-                .min_by_key(|(_, g)| {
-                    let shared = g.free_vars().iter().filter(|v| bound.contains(v)).count();
+                .min_by_key(|&(i, g)| {
+                    let shared = free[i].iter().filter(|v| bound.contains(v)).count();
                     (std::cmp::Reverse(shared), atom_size(g))
                 })
                 .map(|(i, _)| i);
             if let Some(i) = atom_idx {
                 let g = pending.remove(i);
+                free.remove(i);
                 let b = match g {
                     Formula::Rel(name, args) => match self.sym_relation_for(name, env) {
                         Some(srel) => self
@@ -1373,12 +1530,14 @@ impl<'a> Evaluator<'a> {
                 .position(|g| matches!(g, Formula::Eq(..) | Formula::Neq(..)))
             {
                 let g = pending.remove(i);
+                free.remove(i);
                 let b = self.eval_env(g, env)?;
                 acc = Self::join_onto(acc, b);
                 continue;
             }
             // 5. anything else → full evaluation and join
             let g = pending.remove(0);
+            free.remove(0);
             let b = self.eval_env(g, env)?;
             acc = Self::join_onto(acc, b);
         }

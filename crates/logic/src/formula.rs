@@ -317,6 +317,48 @@ impl Formula {
         }
     }
 
+    /// Rewrite the formula so no formula construction is needed at
+    /// evaluation time: every `∀x̄ g` becomes `¬∃x̄ ¬g` with the inner
+    /// negation pushed through ([`Formula::negated`]), and every structured
+    /// `¬` is pushed inward until it rests on an atom, a fixpoint, or an
+    /// existential. Evaluation-equivalent under the active-domain
+    /// semantics; [`crate::Query`] computes this once per query so the
+    /// evaluator's hot loop never calls [`Formula::negated`].
+    pub fn pushed(&self) -> Formula {
+        match self {
+            Formula::True
+            | Formula::False
+            | Formula::Rel(..)
+            | Formula::Reg(..)
+            | Formula::Eq(..)
+            | Formula::Neq(..) => self.clone(),
+            Formula::And(fs) => Formula::And(fs.iter().map(Formula::pushed).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(Formula::pushed).collect()),
+            Formula::Exists(vs, g) => Formula::Exists(vs.clone(), Box::new(g.pushed())),
+            Formula::Forall(vs, g) => {
+                Formula::not(Formula::Exists(vs.clone(), Box::new(g.negated().pushed())))
+            }
+            Formula::Not(g) => match &**g {
+                Formula::Rel(..) | Formula::Reg(..) | Formula::Fix { .. } => self.clone(),
+                Formula::Exists(vs, h) => {
+                    Formula::not(Formula::Exists(vs.clone(), Box::new(h.pushed())))
+                }
+                _ => g.negated().pushed(),
+            },
+            Formula::Fix {
+                pred,
+                vars,
+                body,
+                args,
+            } => Formula::Fix {
+                pred: pred.clone(),
+                vars: vars.clone(),
+                body: Box::new(body.pushed()),
+                args: args.clone(),
+            },
+        }
+    }
+
     /// Rewrite the occurrences of relation `pred`, replacing the relation
     /// name of the `i`-th occurrence (0-based, left-to-right — the order
     /// [`Formula::positive_occurrences`] counts in) with `name_of(i)`.

@@ -1,7 +1,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use pt_relational::{Instance, Relation, Tuple};
+use pt_relational::{Instance, Relation, SymRegister, SymTuple, Tuple};
 
 use crate::eval::{EvalContext, EvalError, Evaluator, IndexedRegister};
 use crate::formula::{Formula, Fragment};
@@ -23,6 +23,10 @@ pub struct Query {
     group_vars: Vec<Var>,
     rest_vars: Vec<Var>,
     body: Formula,
+    /// [`Formula::pushed`] form of `body`, computed once at construction:
+    /// evaluation never rebuilds formulas (no per-eval De Morgan pushes).
+    /// Derived from `body`, so the derived `Eq`/`Hash` stay consistent.
+    eval_body: Formula,
 }
 
 impl Query {
@@ -49,10 +53,12 @@ impl Query {
         }
         let extra: Vec<Var> = free.into_iter().filter(|v| !seen.contains(v)).collect();
         let body = Formula::exists(extra, body);
+        let eval_body = body.pushed();
         Ok(Query {
             group_vars,
             rest_vars,
             body,
+            eval_body,
         })
     }
 
@@ -108,7 +114,7 @@ impl Query {
         instance: &Instance,
         register: Option<&Relation>,
     ) -> Result<Relation, EvalError> {
-        self.finish_eval(Evaluator::for_formula(instance, register, &self.body))
+        self.finish_eval(Evaluator::for_formula(instance, register, &self.eval_body))
     }
 
     /// [`Query::eval`] through a shared [`EvalContext`], reusing its
@@ -118,7 +124,7 @@ impl Query {
         ctx: &EvalContext<'_>,
         register: Option<&Relation>,
     ) -> Result<Relation, EvalError> {
-        self.finish_eval(Evaluator::with_context(ctx, register, &self.body))
+        self.finish_eval(Evaluator::with_context(ctx, register, &self.eval_body))
     }
 
     /// [`Query::eval_with`] with a register already interned and indexed via
@@ -128,12 +134,12 @@ impl Query {
         ctx: &EvalContext<'_>,
         register: Option<&IndexedRegister>,
     ) -> Result<Relation, EvalError> {
-        self.finish_eval(Evaluator::with_register(ctx, register, &self.body))
+        self.finish_eval(Evaluator::with_register(ctx, register, &self.eval_body))
     }
 
     fn finish_eval(&self, ev: Evaluator<'_>) -> Result<Relation, EvalError> {
         let head = self.head_vars();
-        let b = ev.eval(&self.body)?;
+        let b = ev.eval(&self.eval_body)?;
         Ok(ev.close(b, &head).to_relation(&head))
     }
 
@@ -169,6 +175,46 @@ impl Query {
         register: Option<&IndexedRegister>,
     ) -> Result<Vec<(Tuple, Relation)>, EvalError> {
         Ok(self.group_rows(self.eval_indexed(ctx, register)?))
+    }
+
+    /// The fully symbolic counterpart of [`Query::groups_indexed`]: evaluate
+    /// against a register indexed via [`EvalContext::index_sym_register`]
+    /// and return the groups as canonical [`SymRegister`]s over the
+    /// context's interner, sorted by the group key `d̄` in the domain order.
+    /// No `Value` is resolved, hashed, or cloned anywhere on this path —
+    /// the transducer's configuration-expansion hot loop.
+    pub fn groups_sym(
+        &self,
+        ctx: &EvalContext<'_>,
+        register: Option<&IndexedRegister>,
+    ) -> Result<Vec<(SymTuple, SymRegister)>, EvalError> {
+        let ev = Evaluator::with_register(ctx, register, &self.eval_body);
+        let head = self.head_vars();
+        let b = ev.eval(&self.eval_body)?;
+        let closed = ev.close(b, &head);
+        // the body's free variables are exactly the head (auto-closure), so
+        // the closed bindings are a permutation of the head: project without
+        // re-deduplicating
+        let mut rows: Vec<SymTuple> = if closed.vars().len() == head.len() {
+            closed.rows_in_order_vec(&head)
+        } else {
+            closed.rows_in_order(&head).into_iter().collect()
+        };
+        ctx.sort_rows_in_domain_order(&mut rows);
+        let k = self.group_vars.len();
+        let arity = head.len();
+        let mut out: Vec<(SymTuple, SymRegister)> = Vec::new();
+        for row in rows {
+            match out.last_mut() {
+                Some((key, reg)) if key[..] == row[..k] => reg.push_row(&row),
+                _ => {
+                    let mut reg = SymRegister::with_capacity(arity, 1);
+                    reg.push_row(&row);
+                    out.push((SymTuple::from(&row[..k]), reg));
+                }
+            }
+        }
+        Ok(out)
     }
 
     fn group_rows(&self, rows: Relation) -> Vec<(Tuple, Relation)> {

@@ -32,6 +32,19 @@ pub fn random_instance(
     inst
 }
 
+/// Generate a random schema of `1..=max_relations` relations named
+/// `r0, r1, …` with arities `1..=max_arity` — the source vocabulary of the
+/// random-transducer fuzz harness.
+pub fn random_schema(max_relations: usize, max_arity: usize, rng: &mut impl Rng) -> Schema {
+    assert!(max_relations >= 1 && max_arity >= 1);
+    let n = rng.gen_range(1..max_relations + 1);
+    let named: Vec<(String, usize)> = (0..n)
+        .map(|i| (format!("r{i}"), rng.gen_range(1..max_arity + 1)))
+        .collect();
+    let pairs: Vec<(&str, usize)> = named.iter().map(|(n, a)| (n.as_str(), *a)).collect();
+    Schema::with(&pairs)
+}
+
 /// Generate a random directed graph as a binary `edge` relation over
 /// `n` integer nodes with the given edge probability.
 pub fn random_graph(n: usize, edge_prob: f64, rng: &mut impl Rng) -> Relation {

@@ -21,12 +21,98 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use crate::intern::{FxHashMap, Interner, SymTuple};
+use crate::intern::{FxHashMap, Interner, Sym, SymTuple};
 use crate::Relation;
 
 /// A composite index over one column set: projected key → positions into
 /// [`SymRelation::rows`]. For a single-column index the keys are 1-tuples.
 pub type CompositeIndex = FxHashMap<SymTuple, Vec<u32>>;
+
+/// A register relation in canonical symbolic form: fixed-arity rows of
+/// interner symbols, stored flattened, unique, and sorted in the domain
+/// order of their resolved values.
+///
+/// This is the representation registers travel in between configuration
+/// expansion and query evaluation, and the hash-consing key of the
+/// configuration-DAG semantics. Because a run's [`Interner`] is append-only
+/// and shared run-wide, interning is injective and deterministic: two
+/// registers with the same value-level content always flatten to the same
+/// symbol sequence, so derived `Eq`/`Hash` over the raw `u32` data is exact
+/// register equality — no value is hashed or compared.
+///
+/// **Interner relativity.** A `SymRegister` is only meaningful against the
+/// interner that produced its symbols. Constructors do not sort: the caller
+/// (e.g. `pt_logic::EvalContext`, which owns the run interner and the
+/// base-domain symbol layout) must append rows already in the domain order —
+/// the same order [`crate::Relation`] iterates in — or canonical equality
+/// breaks silently.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SymRegister {
+    arity: usize,
+    /// Number of rows; tracked explicitly because `arity` may be 0 (a
+    /// nullary register distinguishes "no rows" from "the empty tuple").
+    count: usize,
+    /// The rows, flattened: `data.len() == arity * count`.
+    data: Vec<Sym>,
+}
+
+impl SymRegister {
+    /// The empty register of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        SymRegister {
+            arity,
+            count: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// An empty register with room for `rows` rows.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        SymRegister {
+            arity,
+            count: 0,
+            data: Vec::with_capacity(arity * rows),
+        }
+    }
+
+    /// Append a row. Rows must arrive unique and in the canonical (domain)
+    /// order — see the type-level invariant.
+    ///
+    /// # Panics
+    /// Panics if `row` does not match the register's arity.
+    pub fn push_row(&mut self, row: &[Sym]) {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        self.data.extend_from_slice(row);
+        self.count += 1;
+    }
+
+    /// The register's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The rows, in canonical order. A nullary register yields `len()`
+    /// empty rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Sym]> {
+        let arity = self.arity;
+        (0..self.count).map(move |i| &self.data[i * arity..(i + 1) * arity])
+    }
+
+    /// The flattened symbol data (`arity * len` symbols, row-major).
+    pub fn data(&self) -> &[Sym] {
+        &self.data
+    }
+}
 
 /// A relation in interned representation: unique symbol rows plus lazily
 /// built composite indexes per column set.
@@ -46,6 +132,16 @@ impl SymRelation {
         SymRelation {
             rows,
             arity: rel.arity(),
+            cols: RefCell::new(FxHashMap::default()),
+        }
+    }
+
+    /// The indexable form of a canonical symbolic register: the rows are
+    /// already unique symbol tuples, so no value is touched.
+    pub fn from_register(reg: &SymRegister) -> Self {
+        SymRelation {
+            rows: reg.rows().map(SymTuple::from).collect(),
+            arity: Some(reg.arity()),
             cols: RefCell::new(FxHashMap::default()),
         }
     }
@@ -118,7 +214,7 @@ impl SymRelation {
     pub fn probe<'s>(
         &'s self,
         cols: &[usize],
-        key: &SymTuple,
+        key: &[Sym],
     ) -> Box<dyn Iterator<Item = &'s SymTuple> + 's> {
         match self.composite(cols) {
             Some(idx) => match idx.get(key) {
@@ -169,11 +265,11 @@ mod tests {
         let one = interner.get(&Value::int(1)).unwrap();
         let twenty = interner.get(&Value::int(20)).unwrap();
         let idx = s.composite(&[0]).unwrap();
-        assert_eq!(idx.get(&vec![one]).unwrap().len(), 2);
+        assert_eq!(idx.get(&[one][..]).unwrap().len(), 2);
         let both = s.composite(&[0, 1]).unwrap();
-        assert_eq!(both.get(&vec![one, twenty]).unwrap().len(), 1);
+        assert_eq!(both.get(&[one, twenty][..]).unwrap().len(), 1);
         // probe() agrees with a filtered scan
-        let probed: Vec<&SymTuple> = s.probe(&[0, 1], &vec![one, twenty]).collect();
+        let probed: Vec<&SymTuple> = s.probe(&[0, 1], &[one, twenty]).collect();
         let scanned: Vec<&SymTuple> = s
             .rows()
             .iter()
@@ -204,15 +300,55 @@ mod tests {
         let empty = SymRelation::from_rows(Vec::new(), None);
         assert!(empty.composite(&[0]).is_none());
         // probe falls back to the full scan on an unusable column set
-        assert_eq!(s.probe(&[], &vec![]).count(), 1);
+        assert_eq!(s.probe(&[], &[]).count(), 1);
+    }
+
+    #[test]
+    fn sym_register_round_trips_rows() {
+        let mut reg = SymRegister::with_capacity(2, 2);
+        reg.push_row(&[3, 4]);
+        reg.push_row(&[5, 6]);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.arity(), 2);
+        assert!(!reg.is_empty());
+        let rows: Vec<&[Sym]> = reg.rows().collect();
+        assert_eq!(rows, vec![&[3u32, 4][..], &[5, 6]]);
+        assert_eq!(reg.data(), &[3, 4, 5, 6]);
+        // identical content, identical key
+        let mut again = SymRegister::empty(2);
+        again.push_row(&[3, 4]);
+        again.push_row(&[5, 6]);
+        assert_eq!(reg, again);
+        let srel = SymRelation::from_register(&reg);
+        assert_eq!(srel.len(), 2);
+        assert_eq!(
+            srel.composite(&[1]).unwrap().get(&[6u32][..]).unwrap(),
+            &vec![1]
+        );
+    }
+
+    #[test]
+    fn nullary_sym_register_counts_empty_rows() {
+        let mut reg = SymRegister::empty(0);
+        assert!(reg.is_empty());
+        reg.push_row(&[]);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.rows().next().unwrap(), &[] as &[Sym]);
+        // {()} and {} are different registers
+        assert_ne!(reg, SymRegister::empty(0));
+        let srel = SymRelation::from_register(&reg);
+        assert_eq!(srel.len(), 1);
     }
 
     #[test]
     fn from_rows_wraps_fixpoint_stages() {
-        let s = SymRelation::from_rows(vec![vec![3, 4], vec![5, 6]], Some(2));
+        let s = SymRelation::from_rows(
+            vec![SymTuple::from([3, 4]), SymTuple::from([5, 6])],
+            Some(2),
+        );
         assert_eq!(s.len(), 2);
         assert!(!s.is_empty());
         let idx = s.composite(&[0]).unwrap();
-        assert_eq!(idx.get(&vec![5]).unwrap(), &vec![1]);
+        assert_eq!(idx.get(&[5u32][..]).unwrap(), &vec![1]);
     }
 }

@@ -15,8 +15,192 @@ use crate::Value;
 /// A dense symbol id standing in for an interned [`Value`].
 pub type Sym = u32;
 
-/// A tuple in interned representation.
-pub type SymTuple = Vec<Sym>;
+/// Rows of up to this many symbols store inline ([`SymTuple`]).
+pub const INLINE_SYMS: usize = 3;
+
+/// A tuple in interned representation, with inline storage for short rows.
+///
+/// Query evaluation creates and destroys enormous numbers of rows, and
+/// almost all of them hold 1–3 symbols (atom bindings, join keys,
+/// projections). Storing those inline removes the per-row heap round-trip
+/// that dominated register-heavy workloads; longer rows spill to a heap
+/// `Vec` transparently. The API mirrors the `Vec<Sym>` this type replaced:
+/// it derefs to `&[Sym]`, collects from symbol iterators, and compares,
+/// hashes and orders exactly like its slice (so a map keyed by `SymTuple`
+/// can be probed with a `&[Sym]` via `Borrow`).
+#[derive(Clone)]
+pub struct SymTuple(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, data: [Sym; INLINE_SYMS] },
+    Heap(Vec<Sym>),
+}
+
+impl SymTuple {
+    /// The empty row.
+    #[inline]
+    pub fn new() -> Self {
+        SymTuple(Repr::Inline {
+            len: 0,
+            data: [0; INLINE_SYMS],
+        })
+    }
+
+    /// An empty row with room for `n` symbols.
+    #[inline]
+    pub fn with_capacity(n: usize) -> Self {
+        if n <= INLINE_SYMS {
+            SymTuple::new()
+        } else {
+            SymTuple(Repr::Heap(Vec::with_capacity(n)))
+        }
+    }
+
+    /// The symbols as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Sym] {
+        match &self.0 {
+            Repr::Inline { len, data } => &data[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Append one symbol, spilling to the heap past [`INLINE_SYMS`].
+    #[inline]
+    pub fn push(&mut self, s: Sym) {
+        match &mut self.0 {
+            Repr::Inline { len, data } => {
+                if (*len as usize) < INLINE_SYMS {
+                    data[*len as usize] = s;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_SYMS + 1);
+                    v.extend_from_slice(&data[..]);
+                    v.push(s);
+                    self.0 = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => v.push(s),
+        }
+    }
+
+    /// Remove all symbols, keeping the storage.
+    #[inline]
+    pub fn clear(&mut self) {
+        match &mut self.0 {
+            Repr::Inline { len, .. } => *len = 0,
+            Repr::Heap(v) => v.clear(),
+        }
+    }
+}
+
+impl Default for SymTuple {
+    fn default() -> Self {
+        SymTuple::new()
+    }
+}
+
+impl std::ops::Deref for SymTuple {
+    type Target = [Sym];
+    #[inline]
+    fn deref(&self) -> &[Sym] {
+        self.as_slice()
+    }
+}
+
+impl std::borrow::Borrow<[Sym]> for SymTuple {
+    #[inline]
+    fn borrow(&self) -> &[Sym] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for SymTuple {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SymTuple {}
+
+impl PartialOrd for SymTuple {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SymTuple {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+// must agree with `<[Sym] as Hash>::hash` for the `Borrow` lookups above
+impl std::hash::Hash for SymTuple {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for SymTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl Extend<Sym> for SymTuple {
+    fn extend<I: IntoIterator<Item = Sym>>(&mut self, iter: I) {
+        for s in iter {
+            self.push(s);
+        }
+    }
+}
+
+impl FromIterator<Sym> for SymTuple {
+    fn from_iter<I: IntoIterator<Item = Sym>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut row = SymTuple::with_capacity(iter.size_hint().0);
+        for s in iter {
+            row.push(s);
+        }
+        row
+    }
+}
+
+impl From<&[Sym]> for SymTuple {
+    fn from(slice: &[Sym]) -> Self {
+        slice.iter().copied().collect()
+    }
+}
+
+impl From<Vec<Sym>> for SymTuple {
+    fn from(v: Vec<Sym>) -> Self {
+        if v.len() <= INLINE_SYMS {
+            SymTuple::from(v.as_slice())
+        } else {
+            SymTuple(Repr::Heap(v))
+        }
+    }
+}
+
+impl<const N: usize> From<[Sym; N]> for SymTuple {
+    fn from(a: [Sym; N]) -> Self {
+        SymTuple::from(&a[..])
+    }
+}
+
+impl<'a> IntoIterator for &'a SymTuple {
+    type Item = &'a Sym;
+    type IntoIter = std::slice::Iter<'a, Sym>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
 
 /// An FxHash-style multiply-xor hasher: not DoS-resistant, but several times
 /// faster than SipHash on the short integer keys the evaluator hashes. All

@@ -29,7 +29,7 @@ mod relation;
 mod schema;
 mod value;
 
-pub use index::{CompositeIndex, SymRelation};
+pub use index::{CompositeIndex, SymRegister, SymRelation};
 pub use instance::Instance;
 pub use intern::{FxHashMap, FxHashSet, Interner, Sym, SymTuple};
 pub use relation::{Relation, Tuple};

@@ -1,10 +1,12 @@
-//! Differential tests of the configuration-DAG expansion engine: on every
-//! workload, the memoized DAG run must produce byte-identical output trees
+//! Differential tests of the configuration-DAG expansion engines: on every
+//! workload, both memoized DAG runs — the default symbolic-register engine
+//! ([`ExpansionMode::Dag`]) and the value-level-key engine
+//! ([`ExpansionMode::DagValue`]) — must produce byte-identical output trees
 //! and relational views to the forced tree expansion (the pre-memoization
 //! engine kept as [`ExpansionMode::Tree`]).
 
 use pt_bench::{
-    nonrecursive_ifp_view, registrar_with_enrollment, scaled_registrar, wide_registrar,
+    nonrecursive_ifp_view, registrar_with_enrollment, roster_view, scaled_registrar, wide_registrar,
 };
 use publishing_transducers::analysis::blowup;
 use publishing_transducers::core::examples::registrar;
@@ -16,9 +18,6 @@ fn assert_modes_agree(tau: &Transducer, inst: &Instance, output_tag: &str, what:
         max_nodes: 1 << 22,
         ..EvalOptions::default()
     };
-    let dag = tau
-        .run_with(inst, cap)
-        .unwrap_or_else(|e| panic!("{what}: dag run failed: {e}"));
     let tree = tau
         .run_with(
             inst,
@@ -28,24 +27,33 @@ fn assert_modes_agree(tau: &Transducer, inst: &Instance, output_tag: &str, what:
             },
         )
         .unwrap_or_else(|e| panic!("{what}: tree run failed: {e}"));
-    // byte-identical output trees (Debug is the canonical rendering)
-    let dag_out = dag.output_tree();
     let tree_out = tree.output_tree();
-    assert_eq!(dag_out, tree_out, "{what}: output trees differ");
-    assert_eq!(
-        format!("{dag_out:?}"),
-        format!("{tree_out:?}"),
-        "{what}: output renderings differ"
-    );
-    // identical result-tree statistics on the unfolding
-    assert_eq!(dag.size(), tree.size(), "{what}: xi sizes differ");
-    assert_eq!(dag.depth(), tree.depth(), "{what}: xi depths differ");
-    // identical relational query views
-    assert_eq!(
-        dag.relational_output(output_tag),
-        tree.relational_output(output_tag),
-        "{what}: relational views differ"
-    );
+    for mode in [ExpansionMode::Dag, ExpansionMode::DagValue] {
+        let dag = tau
+            .run_with(inst, EvalOptions { mode, ..cap })
+            .unwrap_or_else(|e| panic!("{what}: {mode:?} run failed: {e}"));
+        // byte-identical output trees (Debug is the canonical rendering)
+        let dag_out = dag.output_tree();
+        assert_eq!(dag_out, tree_out, "{what}: {mode:?} output trees differ");
+        assert_eq!(
+            format!("{dag_out:?}"),
+            format!("{tree_out:?}"),
+            "{what}: {mode:?} output renderings differ"
+        );
+        // identical result-tree statistics on the unfolding
+        assert_eq!(dag.size(), tree.size(), "{what}: {mode:?} xi sizes differ");
+        assert_eq!(
+            dag.depth(),
+            tree.depth(),
+            "{what}: {mode:?} xi depths differ"
+        );
+        // identical relational query views
+        assert_eq!(
+            dag.relational_output(output_tag),
+            tree.relational_output(output_tag),
+            "{what}: {mode:?} relational views differ"
+        );
+    }
 }
 
 #[test]
@@ -110,6 +118,42 @@ fn registrar_views_on_the_paper_instance() {
     ] {
         assert_modes_agree(&tau, &db, "course", &format!("{name} on I0"));
     }
+}
+
+#[test]
+fn table1_frontends_agree_across_engines() {
+    // every surveyed language of Table 1, compiled to its example
+    // transducer and run on the paper instance plus a scaled one — the
+    // frontends exercise virtual tags, IFP bodies, relation stores, and
+    // FO filters the registrar family alone does not
+    use publishing_transducers::languages::table1;
+    let paper = registrar::registrar_instance();
+    let scaled = scaled_registrar(10);
+    for row in table1::rows() {
+        for (iname, inst) in [("I0", &paper), ("scaled(10)", &scaled)] {
+            for tag in row.example.alphabet() {
+                assert_modes_agree(
+                    &row.example,
+                    inst,
+                    &tag,
+                    &format!("{} on {iname} (view tag {tag})", row.language),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn roster_view_agrees_across_engines() {
+    // wide relation registers (a student roster per course): the
+    // register-heavy BENCH_3 workload in miniature
+    let db = registrar_with_enrollment(8, 40);
+    assert_modes_agree(
+        &roster_view(),
+        &db,
+        "roster",
+        "roster_view on enrollment(8,40)",
+    );
 }
 
 #[test]

@@ -153,7 +153,7 @@ fn emptiness_soundness() {
 /// scan returns (the scan oracle for `SymRelation::probe`).
 #[test]
 fn index_probes_match_scan_oracle() {
-    use publishing_transducers::relational::{Interner, Relation, SymRelation};
+    use publishing_transducers::relational::{Interner, Relation, SymRelation, SymTuple};
     for case in 0..CASES {
         let mut rng = StdRng::seed_from_u64(7000 + case);
         let arity = rng.gen_range(1usize..4);
@@ -178,8 +178,8 @@ fn index_probes_match_scan_oracle() {
                         interner.intern(&v)
                     })
                     .collect();
-                let mut probed: Vec<&Vec<u32>> = srel.probe(&cols, &key).collect();
-                let mut scanned: Vec<&Vec<u32>> = srel
+                let mut probed: Vec<&SymTuple> = srel.probe(&cols, &key).collect();
+                let mut scanned: Vec<&SymTuple> = srel
                     .rows()
                     .iter()
                     .filter(|row| cols.iter().zip(&key).all(|(&c, &k)| row[c] == k))
@@ -220,6 +220,81 @@ fn indexed_evaluation_matches_standalone() {
             let standalone = q.eval(&inst, Some(&reg)).unwrap();
             let indexed = q.eval_indexed(&ctx, Some(&ireg)).unwrap();
             assert_eq!(standalone, indexed, "case {case} query {q:?}");
+        }
+    }
+}
+
+/// Register round-trip oracle: interning a value-level register into the
+/// canonical symbolic form and materializing it back is the identity, and
+/// every Table 1 example query evaluated *symbolically* against the
+/// interned register ([`groups_sym`]) produces exactly the groups of the
+/// pre-change value-level path ([`groups`]) once materialized — keys,
+/// registers, and sibling order included.
+///
+/// [`groups_sym`]: publishing_transducers::logic::Query::groups_sym
+/// [`groups`]: publishing_transducers::logic::Query::groups
+#[test]
+fn sym_register_round_trip_matches_value_level_path() {
+    use publishing_transducers::languages::table1;
+    use publishing_transducers::logic::EvalContext;
+    use publishing_transducers::relational::generate::random_instance;
+    use publishing_transducers::relational::Relation;
+
+    let rows = table1::rows();
+    for case in 0..CASES / 4 {
+        let mut rng = StdRng::seed_from_u64(9000 + case);
+        let inst = random_instance(&table1::registrar_schema(), 6, 8, &mut rng);
+        let ctx = EvalContext::new(&inst);
+        for row in &rows {
+            for ((_, tag), items) in row.example.rules() {
+                // a random register shaped like the parent tag's store
+                let arity = *row.example.register_arities().get(tag).unwrap_or(&0);
+                let mut reg = Relation::with_arity(arity);
+                for _ in 0..rng.gen_range(0usize..4) {
+                    reg.insert(
+                        (0..arity)
+                            .map(|_| Value::int(rng.gen_range(0i64..6)))
+                            .collect(),
+                    );
+                }
+                // round trip: intern ∘ materialize = identity
+                let sreg = ctx.intern_register(&reg);
+                assert_eq!(ctx.materialize_register(&sreg), reg, "round trip on {tag}");
+                let ireg = ctx.index_sym_register(&sreg);
+                for item in items {
+                    let value_groups = item.query.groups(&inst, Some(&reg)).unwrap();
+                    let sym_groups = item.query.groups_sym(&ctx, Some(&ireg)).unwrap();
+                    assert_eq!(
+                        value_groups.len(),
+                        sym_groups.len(),
+                        "group count for {} on {}",
+                        item.query,
+                        row.language
+                    );
+                    for ((vkey, vreg), (skey, sreg)) in value_groups.iter().zip(sym_groups.iter()) {
+                        // group keys materialize to the value-level keys, in
+                        // the same (domain) order
+                        let mut key_reg =
+                            publishing_transducers::relational::SymRegister::empty(skey.len());
+                        key_reg.push_row(skey);
+                        assert_eq!(
+                            ctx.materialize_register(&key_reg).the_tuple(),
+                            vkey,
+                            "group key for {} on {}",
+                            item.query,
+                            row.language
+                        );
+                        // group registers materialize to the value-level ones
+                        assert_eq!(
+                            &ctx.materialize_register(sreg),
+                            vreg,
+                            "group register for {} on {}",
+                            item.query,
+                            row.language
+                        );
+                    }
+                }
+            }
         }
     }
 }
