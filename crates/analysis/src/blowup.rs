@@ -1,10 +1,10 @@
 //! Output-size blowup families (Proposition 1(3) and 1(4)).
 //!
-//! * [`diamond_chain`] — the transducer τ1 of the appendix proof of
+//! * [`diamond_chain_transducer`] — the transducer τ1 of the appendix proof of
 //!   Proposition 1(3), in `PT(CQ, tuple, normal)`: it unfolds a graph into
 //!   a tree. On the "chain of diamonds" instance `I_n` (size `O(n)`) the
 //!   output has at least `2^n` nodes.
-//! * [`binary_counter`] — the transducer τ2 of Proposition 1(4), in
+//! * [`binary_counter_transducer`] — the transducer τ2 of Proposition 1(4), in
 //!   `PT(CQ, relation, normal)`: each node's relation register simulates an
 //!   n-digit binary counter (via a full-adder relation), every node spawns
 //!   two children, and the stop condition only fires when the counter

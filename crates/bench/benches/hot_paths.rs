@@ -1,16 +1,18 @@
 //! Hot-path microbenches isolating the engine wins of the evaluation
 //! overhauls: hash joins over interned rows, semi-naive fixpoint iteration
 //! (including the multi-linear transitive-closure expansion), interned and
-//! indexed registers on register-heavy views, and configuration-DAG
-//! expansion sharing.
+//! indexed registers on register-heavy views, configuration-DAG expansion
+//! sharing, engine-session amortization (prepared vs cold runs), and
+//! streaming vs materializing the output unfolding.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pt_bench::{chain_edges, registrar_with_enrollment, scaled_registrar};
 use pt_core::examples::registrar;
-use pt_core::EvalOptions;
+use pt_core::{Engine, EvalOptions};
 use pt_logic::eval::eval_to_relation;
 use pt_logic::{parse_formula, Var};
 use pt_relational::{generate, Instance, Relation, Value};
+use pt_xmltree::CountingSink;
 
 /// A chain `edge(0,1), …, edge(n-1,n)` plus `start(0)`.
 fn chain_instance(n: usize) -> Instance {
@@ -118,12 +120,57 @@ fn bench_expansion_sharing(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_engine_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths/engine_reuse");
+    g.sample_size(10);
+    // the amortized-session win: a cold Transducer::run rebuilds interner,
+    // base relations, rule plan and memo every call; a prepared transducer
+    // pays them once and replays its configuration memo on later runs
+    let tau2 = registrar::tau2();
+    let db = registrar_with_enrollment(24, 2000);
+    g.bench_with_input(
+        BenchmarkId::new("tau2_cold_run", "24x2000"),
+        &db,
+        |b, db| b.iter(|| tau2.run_with(db, EvalOptions::default()).unwrap().size()),
+    );
+    let engine = Engine::new(&db);
+    let prepared = engine.prepare(&tau2).unwrap();
+    g.bench_with_input(
+        BenchmarkId::new("tau2_prepared_run", "24x2000"),
+        &prepared,
+        |b, prepared| b.iter(|| prepared.run().unwrap().size()),
+    );
+    g.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths/streaming");
+    g.sample_size(10);
+    // one shared-DAG result, observed two ways: materialize the full
+    // output tree vs replay the unfolding as SAX events
+    let db = scaled_registrar(96);
+    let run = registrar::tau1().run(&db).unwrap();
+    g.bench_with_input(BenchmarkId::new("materialize", 96), &run, |b, run| {
+        b.iter(|| run.output_tree().size())
+    });
+    g.bench_with_input(BenchmarkId::new("stream_events", 96), &run, |b, run| {
+        b.iter(|| {
+            let mut sink = CountingSink::new();
+            run.stream_output(&mut sink);
+            sink.events()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_join,
     bench_fixpoint,
     bench_register_heavy,
     bench_transitive_closure,
-    bench_expansion_sharing
+    bench_expansion_sharing,
+    bench_engine_reuse,
+    bench_streaming
 );
 criterion_main!(benches);

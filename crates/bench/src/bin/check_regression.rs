@@ -8,7 +8,7 @@
 //! against the *best* value recorded for it anywhere in the chain (lowest
 //! `ms`, highest `x` speedup) — so a number that improved in `BENCH_2.json`
 //! cannot quietly slide back to its `BENCH_1.json` level. Defaults:
-//! `BENCH_1.json BENCH_2.json BENCH_3.json`, tolerance 3.0.
+//! `BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json`, tolerance 3.0.
 //!
 //! The tolerance is deliberately generous — CI machines are noisy and the
 //! recorded values come from another host — so the gate only trips on an
@@ -40,7 +40,12 @@ fn main() -> ExitCode {
         }
     }
     if files.is_empty() {
-        files = vec!["BENCH_1.json", "BENCH_2.json", "BENCH_3.json"];
+        files = vec![
+            "BENCH_1.json",
+            "BENCH_2.json",
+            "BENCH_3.json",
+            "BENCH_4.json",
+        ];
     }
     if files.len() < 2 {
         eprintln!("need at least one baseline and one current file");

@@ -3,11 +3,12 @@
 //! Usage: `cargo run --release -p pt-bench --bin run_experiments [section]
 //! [--full-baseline]` with `section` in `{fig1, table1, table2, table3,
 //! prop1, quick, all}`. The `quick` section times the engine's hot paths
-//! and writes a machine-readable `BENCH_3.json` extending the trajectory
-//! recorded by the committed `BENCH_1.json` and `BENCH_2.json`. Slow
-//! forced-tree baselines are skipped by default (speedups are computed
-//! against the recorded trajectory); pass `--full-baseline` to re-measure
-//! them locally. The `check_regression` binary gates CI on the chain,
+//! and writes a machine-readable `BENCH_4.json` extending the trajectory
+//! recorded by the committed `BENCH_1.json`, `BENCH_2.json` and
+//! `BENCH_3.json` (earlier files are never overwritten). Slow forced-tree
+//! baselines are skipped by default (speedups are computed against the
+//! recorded trajectory); pass `--full-baseline` to re-measure them
+//! locally. The `check_regression` binary gates CI on the chain,
 //! comparing each entry against its best recorded value.
 
 use std::time::Instant;
@@ -306,13 +307,14 @@ fn time_ms(mut f: impl FnMut() -> usize) -> (f64, usize) {
 
 /// The quick engine benchmark: end-to-end DAG expansion on the Figure 1
 /// data-complexity workloads (τ1, the register-heavy τ2 variants, and the
-/// wide-register roster view), the Proposition 1(3) blowup family, and the
-/// join/fixpoint microworkloads. Emits `BENCH_3.json`.
+/// wide-register roster view), engine-session amortization and streaming
+/// output, the Proposition 1(3) blowup family, and the join/fixpoint
+/// microworkloads. Emits `BENCH_4.json`.
 ///
 /// By default the slow in-run tree baselines (~30 s) are *not* re-measured:
 /// speedups are computed against the trajectory recorded in `BENCH_1.json`
-/// and `BENCH_2.json` (best value per entry). Pass `--full-baseline` to
-/// re-run the forced-tree engine locally.
+/// through `BENCH_3.json` (best value per entry). Pass `--full-baseline`
+/// to re-run the forced-tree engine locally.
 fn quick(full_baseline: bool) {
     use pt_core::{EvalOptions, ExpansionMode};
     use pt_logic::Var;
@@ -321,7 +323,7 @@ fn quick(full_baseline: bool) {
     let mut entries: Vec<BenchEntry> = Vec::new();
     // the recorded trajectory, folded to the best value per entry
     let mut recorded: Vec<(String, String, f64)> = Vec::new();
-    for path in ["BENCH_1.json", "BENCH_2.json"] {
+    for path in ["BENCH_1.json", "BENCH_2.json", "BENCH_3.json"] {
         let parsed = std::fs::read_to_string(path)
             .map(|text| pt_bench::parse_bench_json(&text))
             .unwrap_or_default();
@@ -441,6 +443,80 @@ fn quick(full_baseline: bool) {
         metric: "ms",
         value: ros_ms,
         note: format!("{ros_nodes} xi-nodes, wide relation registers"),
+    });
+
+    // engine-session amortization: N sequential prepared.run() calls over
+    // one Engine (active domain, base relations, indexes, rule plan, and
+    // the configuration memo all shared) vs N cold Transducer::run calls
+    // on the τ2 enrollment workload
+    let n_runs = 8usize;
+    let (cold_ms, cold_nodes) = time_ms(|| {
+        (0..n_runs)
+            .map(|_| tau2.run_with(&db, opts(ExpansionMode::Dag)).unwrap().size())
+            .sum()
+    });
+    let (warm_ms, warm_nodes) = time_ms(|| {
+        let engine = pt_core::Engine::new(&db);
+        let prepared = engine.prepare(&tau2).expect("tau2 prepares");
+        (0..n_runs).map(|_| prepared.run().unwrap().size()).sum()
+    });
+    assert_eq!(cold_nodes, warm_nodes, "sessions must reproduce cold runs");
+    let amortization = cold_ms / warm_ms;
+    println!("tau2 enrollment cold x{n_runs}    : {cold_ms:>10.1} ms");
+    println!(
+        "tau2 enrollment session x{n_runs} : {warm_ms:>10.1} ms  ({amortization:.1}x amortization)"
+    );
+    entries.push(BenchEntry {
+        name: "tau2_enrollment_cold_x8",
+        metric: "ms",
+        value: cold_ms,
+        note: format!("{n_runs} cold Transducer::run calls"),
+    });
+    entries.push(BenchEntry {
+        name: "tau2_enrollment_session_x8",
+        metric: "ms",
+        value: warm_ms,
+        note: format!("one Engine, one prepare, {n_runs} runs"),
+    });
+    entries.push(BenchEntry {
+        name: "engine_reuse_amortization_x8",
+        metric: "x",
+        value: amortization,
+        note: "cold total / session total on tau2 enrollment(60,2000)".to_string(),
+    });
+
+    // streaming vs materializing the unfolding: one shared-DAG run of τ1,
+    // then emit the document as SAX events (no tree allocation) vs
+    // building the full output tree
+    let db = scaled_registrar(200);
+    let tau1 = registrar::tau1();
+    let run = tau1.run_with(&db, opts(ExpansionMode::Dag)).unwrap();
+    let (mat_ms, mat_nodes) = time_ms(|| run.output_tree().size());
+    let (stream_ms, stream_events) = time_ms(|| {
+        let mut sink = pt_xmltree::CountingSink::new();
+        let summary = run.stream_output(&mut sink);
+        assert!(!summary.truncated);
+        sink.events()
+    });
+    println!("tau1 n200 materialize      : {mat_ms:>10.1} ms  ({mat_nodes} output nodes)");
+    println!("tau1 n200 stream events    : {stream_ms:>10.1} ms  ({stream_events} events)");
+    entries.push(BenchEntry {
+        name: "tau1_n200_materialize",
+        metric: "ms",
+        value: mat_ms,
+        note: format!("{mat_nodes} output-tree nodes built"),
+    });
+    entries.push(BenchEntry {
+        name: "tau1_n200_stream",
+        metric: "ms",
+        value: stream_ms,
+        note: format!("{stream_events} SAX events, no tree materialized"),
+    });
+    entries.push(BenchEntry {
+        name: "stream_vs_materialize",
+        metric: "x",
+        value: mat_ms / stream_ms,
+        note: "output_tree() time / stream_output() time on tau1 n=200".to_string(),
     });
 
     // transitive closure: non-linear fixpoint body, iterated with the
@@ -568,7 +644,7 @@ fn quick(full_baseline: bool) {
     }
 
     // hand-rolled JSON: the workspace is offline, no serde available
-    let mut json = String::from("{\n  \"bench\": 3,\n  \"entries\": [\n");
+    let mut json = String::from("{\n  \"bench\": 4,\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
         json.push_str(&format!(
@@ -577,8 +653,8 @@ fn quick(full_baseline: bool) {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_3.json", &json).expect("writing BENCH_3.json");
-    println!("wrote BENCH_3.json");
+    std::fs::write("BENCH_4.json", &json).expect("writing BENCH_4.json");
+    println!("wrote BENCH_4.json");
 }
 
 fn main() {

@@ -4,8 +4,31 @@
 //! `benches/`) or a section of the `run_experiments` binary; DESIGN.md's
 //! experiment index records the correspondence.
 
-use pt_core::Transducer;
+use pt_core::{RunResult, Transducer};
 use pt_relational::{Instance, Relation, Schema, Value};
+use pt_xmltree::TreeBuilder;
+
+/// The stream-vs-tree oracle shared by the differential and fuzz suites:
+/// stream `run`'s output as events, rebuild the tree, and require it to
+/// equal the materialized [`RunResult::output_tree`] exactly.
+pub fn stream_round_trip(run: &RunResult) -> Result<(), String> {
+    let mut builder = TreeBuilder::new();
+    let summary = run.stream_output(&mut builder);
+    if summary.truncated {
+        return Err("unguarded stream truncated".to_string());
+    }
+    let Some(rebuilt) = builder.finish() else {
+        return Err("event stream was not well formed".to_string());
+    };
+    let materialized = run.output_tree();
+    if rebuilt != materialized {
+        return Err(format!(
+            "streamed events rebuild a different tree\n\
+             rebuilt: {rebuilt:?}\nmaterialized: {materialized:?}"
+        ));
+    }
+    Ok(())
+}
 
 /// A registrar instance scaled to `n` CS courses in a prerequisite chain
 /// plus `n` unrelated courses — the data-complexity workload for Figure 1

@@ -1,0 +1,236 @@
+//! Long-lived evaluation sessions: [`Engine`] binds a database once,
+//! [`PreparedTransducer`] binds a transducer to an engine — the
+//! prepared-statement shape of the publishing pipeline.
+//!
+//! The paper's transducers are middleware publishing a relational database
+//! as XML: in production one database serves many transducer runs, each
+//! emitting a document to a consumer. [`crate::Transducer::run`] rebuilds
+//! everything per call; this module splits that cost into three tiers:
+//!
+//! * **Engine-owned, paid once per database** ([`Engine::new`]): the sorted
+//!   active-domain scan and its interning, the lazily interned base
+//!   relations with their composite indexes (all inside the run-wide
+//!   [`EvalContext`]), and the dense register-id table that hash-conses
+//!   every register the engine ever sees.
+//! * **Prepared, paid once per transducer** ([`Engine::prepare`]):
+//!   validation of the transducer against the instance, warming of every
+//!   base relation its queries mention, and the rule plan — dense
+//!   `(state, tag)` pair ids with rule items resolved to
+//!   `(child pair id, query)` so the expansion loop never hashes a string
+//!   (the queries' `Formula::pushed` negation push-down was already
+//!   computed when they were built).
+//! * **Per-run** ([`PreparedTransducer::run`]): only the expansion itself.
+//!   The configuration memo persists in the prepared transducer, so
+//!   repeated runs replay shared subtrees instead of re-deriving them —
+//!   sound because the engine's interner is append-only and the database
+//!   is immutably borrowed for the engine's lifetime.
+//!
+//! Output has two forms: [`PreparedTransducer::run`] returns the shared-DAG
+//! [`RunResult`], and [`PreparedTransducer::stream`] emits the document as
+//! SAX-style [`pt_xmltree::XmlEvent`]s without materializing the unfolding
+//! (see [`RunResult::stream_output`]).
+
+use std::cell::RefCell;
+use std::fmt;
+
+use pt_logic::EvalContext;
+use pt_relational::{Instance, SymRegister};
+use pt_xmltree::XmlEventSink;
+
+use crate::semantics::{
+    expand_session, DagState, EvalOptions, PairTable, RegisterIds, RunError, RunResult,
+    StreamSummary,
+};
+use crate::transducer::Transducer;
+
+/// Why [`Engine::prepare`] rejected a transducer for this database.
+///
+/// The builder already guarantees the transducer is internally well formed
+/// ([`crate::ValidationError`]); prepare checks the parts only the database
+/// can contradict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrepareError {
+    /// A base relation of the instance disagrees with the arity the
+    /// transducer's schema declares for it.
+    ArityMismatch {
+        relation: String,
+        declared: usize,
+        found: usize,
+    },
+}
+
+impl fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrepareError::ArityMismatch {
+                relation,
+                declared,
+                found,
+            } => write!(
+                f,
+                "relation {relation} has arity {found} in the instance, \
+                 but the schema declares {relation}/{declared}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+/// A long-lived evaluation session bound to one database.
+///
+/// Owns every run-wide cache: the sorted, pre-interned active domain, the
+/// lazily interned base relations and their composite indexes, and the
+/// dense register-id table ([`RegId`](crate::semantics) hash-consing).
+/// Build one per database and [`Engine::prepare`] each transducer that
+/// publishes it.
+pub struct Engine<'db> {
+    ctx: EvalContext<'db>,
+    regs: RefCell<RegisterIds<SymRegister>>,
+}
+
+impl<'db> Engine<'db> {
+    /// Scan `db` once for its active domain, intern it, and set up the
+    /// engine-owned caches.
+    pub fn new(db: &'db Instance) -> Self {
+        Engine {
+            ctx: EvalContext::new(db),
+            regs: RefCell::new(RegisterIds::default()),
+        }
+    }
+
+    /// The bound database.
+    pub fn instance(&self) -> &'db Instance {
+        self.ctx.instance()
+    }
+
+    /// Number of distinct registers hash-consed so far, across every
+    /// prepared transducer of this engine.
+    pub fn registers_interned(&self) -> usize {
+        self.regs.borrow().len()
+    }
+
+    /// Validate `tau` against the bound database and precompute its rule
+    /// plan: dense `(state, tag)` pair ids, resolved rule items, and warmed
+    /// base relations. The handle borrows both the engine and the
+    /// transducer; [`PreparedTransducer::run`] it as many times as needed.
+    pub fn prepare<'e, 't>(
+        &'e self,
+        tau: &'t Transducer,
+    ) -> Result<PreparedTransducer<'e, 'db, 't>, PrepareError> {
+        for (name, declared) in tau.schema().iter() {
+            if let Some(found) = self.instance().get_ref(name).and_then(|r| r.arity()) {
+                if found != declared {
+                    return Err(PrepareError::ArityMismatch {
+                        relation: name.to_string(),
+                        declared,
+                        found,
+                    });
+                }
+            }
+        }
+        Ok(self.prepare_unvalidated(tau))
+    }
+
+    /// [`Engine::prepare`] without the instance checks — the legacy
+    /// `Transducer::run*` wrappers route here so their error behavior is
+    /// byte-identical to the pre-engine API (a mismatched relation then
+    /// surfaces as the same [`RunError::Eval`] it always did).
+    pub(crate) fn prepare_unvalidated<'e, 't>(
+        &'e self,
+        tau: &'t Transducer,
+    ) -> PreparedTransducer<'e, 'db, 't> {
+        let pairs = PairTable::new(tau);
+        // warm every base relation a *reachable* query mentions, so the
+        // first run pays no lazy interning (rules on pairs unreachable
+        // from the root stay lazy — a run can never evaluate them)
+        for query in pairs.queries() {
+            for rel in query.body().base_relations() {
+                self.ctx.warm_relation(&rel);
+            }
+        }
+        PreparedTransducer {
+            engine: self,
+            tau,
+            pairs,
+            state: RefCell::new(DagState::default()),
+        }
+    }
+}
+
+/// A transducer prepared against an [`Engine`]: the rule plan is resolved,
+/// the engine's caches are warm, and the configuration memo persists
+/// across runs. Obtain one via [`Engine::prepare`].
+///
+/// All methods take `&self`; the session state lives behind a `RefCell`,
+/// so a sink must not re-enter the same prepared transducer from inside
+/// [`XmlEventSink::event`].
+pub struct PreparedTransducer<'e, 'db, 't> {
+    engine: &'e Engine<'db>,
+    tau: &'t Transducer,
+    pairs: PairTable<'t>,
+    state: RefCell<DagState>,
+}
+
+impl<'e, 'db, 't> PreparedTransducer<'e, 'db, 't> {
+    /// The prepared transducer.
+    pub fn transducer(&self) -> &'t Transducer {
+        self.tau
+    }
+
+    /// The owning engine.
+    pub fn engine(&self) -> &'e Engine<'db> {
+        self.engine
+    }
+
+    /// Number of reachable `(state, tag)` pairs in the rule plan.
+    pub fn pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of distinct configurations memoized so far in this session.
+    pub fn configurations_seen(&self) -> usize {
+        self.state.borrow().configs()
+    }
+
+    /// Run the τ-transformation with the default node budget
+    /// ([`EvalOptions::default`]). Symbolic-register DAG expansion, with
+    /// the session memo carried over from earlier runs.
+    pub fn run(&self) -> Result<RunResult, RunError> {
+        self.run_with(EvalOptions::default().max_nodes)
+    }
+
+    /// [`PreparedTransducer::run`] with an explicit budget on the unfolded
+    /// ξ-node count (the budget is per run; the memo persists either way).
+    pub fn run_with(&self, max_nodes: usize) -> Result<RunResult, RunError> {
+        let mut state = self.state.borrow_mut();
+        let root = expand_session(
+            &self.engine.ctx,
+            &self.engine.regs,
+            &self.pairs,
+            &mut state,
+            max_nodes,
+        )?;
+        Ok(RunResult::new(root, self.tau.virtual_tags().clone()))
+    }
+
+    /// Run and stream the output document as SAX-style open/text/close
+    /// events of the unfolding, never materializing the output tree —
+    /// shared subtrees of the configuration DAG are replayed per
+    /// occurrence, and the sink may truncate at any event (see
+    /// [`RunResult::stream_output`] and the guards in
+    /// [`pt_xmltree::stream`]).
+    pub fn stream(&self, sink: &mut impl XmlEventSink) -> Result<StreamSummary, RunError> {
+        self.stream_with(EvalOptions::default().max_nodes, sink)
+    }
+
+    /// [`PreparedTransducer::stream`] with an explicit per-run node budget
+    /// for the expansion phase.
+    pub fn stream_with(
+        &self,
+        max_nodes: usize,
+        sink: &mut impl XmlEventSink,
+    ) -> Result<StreamSummary, RunError> {
+        Ok(self.run_with(max_nodes)?.stream_output(sink))
+    }
+}

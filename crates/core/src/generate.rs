@@ -8,7 +8,9 @@
 //! re-entered — so [`crate::transducer::TransducerBuilder::build`] accepts
 //! every draw. Query bodies mix schema atoms, register atoms, comparisons,
 //! guarded negation and disjunction (the CQ/FO fragments; fixpoints are left
-//! to the hand-written workloads so fuzz cases stay fast).
+//! to the hand-written workloads so fuzz cases stay fast), and non-root
+//! tags are drawn virtual with [`GenConfig::virtual_tag_prob`] so the
+//! cross-engine and stream-vs-tree oracles cover virtual-node elimination.
 //!
 //! All randomness flows through the caller's RNG: a fixed seed reproduces
 //! the exact transducer, which is what lets `tests/fuzz_differential.rs`
@@ -36,6 +38,10 @@ pub struct GenConfig {
     pub rule_density: f64,
     /// Largest integer constant queries may mention.
     pub max_const: i64,
+    /// Probability that a non-root tag is marked virtual (member of Σe),
+    /// so generated cases exercise virtual-node elimination across the
+    /// engines and the stream-vs-tree oracle.
+    pub virtual_tag_prob: f64,
 }
 
 impl Default for GenConfig {
@@ -47,6 +53,7 @@ impl Default for GenConfig {
             max_items: 3,
             rule_density: 0.7,
             max_const: 5,
+            virtual_tag_prob: 0.2,
         }
     }
 }
@@ -241,6 +248,13 @@ pub fn random_transducer(schema: &Schema, cfg: &GenConfig, rng: &mut StdRng) -> 
     for (ti, tag) in tags.iter().enumerate() {
         b = b.arity(tag, arities[ti]);
     }
+    // draw Σe: the root is never virtual (builder invariant), every other
+    // tag may be — virtual-node elimination then runs on real fuzz shapes
+    for tag in &tags {
+        if rng.gen_bool(cfg.virtual_tag_prob) {
+            b = b.virtual_tag(tag);
+        }
+    }
     let root_items = items_for(0, true, rng);
     let refs: Vec<(&str, &str, &str)> = root_items
         .iter()
@@ -295,6 +309,25 @@ mod tests {
                 Err(e) => panic!("seed {seed}: unexpected error {e}"),
             }
         }
+    }
+
+    #[test]
+    fn corpus_draws_virtual_tags() {
+        // with the default probability, a modest seed range must produce
+        // both virtual and non-virtual transducers
+        let cfg = GenConfig::default();
+        let mut virtuals = 0usize;
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(2000 + seed);
+            let schema = random_schema(3, 3, &mut rng);
+            let tau = random_transducer(&schema, &cfg, &mut rng);
+            assert!(!tau.virtual_tags().contains("r"), "root must stay real");
+            if tau.output_kind() == crate::transducer::Output::Virtual {
+                virtuals += 1;
+            }
+        }
+        assert!(virtuals > 5, "only {virtuals}/40 draws were virtual");
+        assert!(virtuals < 40, "every draw was virtual");
     }
 
     #[test]

@@ -18,22 +18,31 @@
 //! Virtual tags are spliced out of the final tree.
 //!
 //! Modules:
-//! * [`transducer`] — the type, a validating builder, dependency graphs,
-//!   and `PT(L, S, O)` class inference,
-//! * [`semantics`] — the transformation itself: [`Transducer::run`]
-//!   produces the result tree ξ, the output Σ-tree, and the induced
-//!   relational query `R_τ` of Section 6.1,
+//! * [`transducer`] — the type, a validating builder (structured
+//!   [`ValidationError`]s), dependency graphs, and `PT(L, S, O)` class
+//!   inference,
+//! * [`engine`] — the production entry point: a long-lived [`Engine`]
+//!   bound to a database and [`PreparedTransducer`] handles that amortize
+//!   interning, indexing, rule planning, and the configuration memo across
+//!   runs, with streaming event output ([`PreparedTransducer::stream`]),
+//! * [`semantics`] — the transformation itself: [`Transducer::run`] (a
+//!   thin one-shot wrapper over the engine) produces the result tree ξ,
+//!   the output Σ-tree, and the induced relational query `R_τ` of
+//!   Section 6.1,
 //! * [`examples`] — the registrar database and the three views of Figure 1
 //!   (Examples 1.1, 3.1 and 3.2),
-//! * [`generate`] — seeded random transducers for the cross-engine fuzz
-//!   harness (`tests/fuzz_differential.rs`).
+//! * [`generate`] — seeded random transducers (including virtual tags) for
+//!   the cross-engine fuzz harness (`tests/fuzz_differential.rs`).
 
+pub mod engine;
 pub mod examples;
 pub mod generate;
 pub mod semantics;
 pub mod transducer;
 
-pub use semantics::{EvalOptions, ExpansionMode, ResultNode, RunError, RunResult};
+pub use engine::{Engine, PrepareError, PreparedTransducer};
+pub use semantics::{EvalOptions, ExpansionMode, ResultNode, RunError, RunResult, StreamSummary};
 pub use transducer::{
     DependencyGraph, Output, PathStep, PtClass, RuleItem, Store, Transducer, TransducerBuilder,
+    ValidationError,
 };

@@ -17,9 +17,14 @@
 //! run is finite, and the exponential outputs of Proposition 1(3,4) arise
 //! precisely from the same configuration being expanded over and over along
 //! different branches. The default [`ExpansionMode::Dag`] therefore interns
-//! configurations and memoizes [`Transducer::expand`]: identical subtrees
-//! are computed once and shared via [`Arc`], turning the result tree into a
-//! DAG whose *unfolding* is exactly the tree semantics.
+//! configurations and memoizes their expansion: identical subtrees are
+//! computed once and shared via [`Arc`], turning the result tree into a
+//! DAG whose *unfolding* is exactly the tree semantics. Configurations key
+//! on a dense `(state, tag)` pair id from the prepared rule plan and a
+//! dense hash-consed register id, so a memo probe hashes two `u32`s
+//! regardless of register width; the session state lives in a
+//! [`PreparedTransducer`](crate::PreparedTransducer) and persists across
+//! its runs.
 //!
 //! Memoization must respect the stop condition, which consults the
 //! *ancestor path*: an expansion of configuration `c` is a deterministic
@@ -62,6 +67,7 @@
 //! `Tree` is the ground-truth oracle of the differential and fuzz suites
 //! (`tests/differential.rs`, `tests/fuzz_differential.rs`).
 
+use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::Hash;
@@ -71,9 +77,10 @@ use pt_logic::eval::EvalError;
 use pt_logic::{EvalContext, IndexedRegister, Query};
 use pt_relational::intern::{FxHashMap, FxHashSet};
 use pt_relational::{Instance, Relation, SymRegister};
-use pt_xmltree::Tree;
+use pt_xmltree::{Tree, XmlEvent, XmlEventSink};
 
-use crate::transducer::{RuleItem, Transducer};
+use crate::engine::Engine;
+use crate::transducer::Transducer;
 
 /// How [`Transducer::run_with`] expands the result tree.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -252,7 +259,22 @@ pub struct RunResult {
     virtual_tags: BTreeSet<String>,
 }
 
+/// What one [`RunResult::stream_output`] walk did: how many events were
+/// delivered and whether the sink truncated the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Events delivered to the sink (including the one it rejected, if
+    /// truncated).
+    pub events: usize,
+    /// Whether the sink cut the stream short by returning `false`.
+    pub truncated: bool,
+}
+
 impl RunResult {
+    pub(crate) fn new(root: Arc<ResultNode>, virtual_tags: BTreeSet<String>) -> Self {
+        RunResult { root, virtual_tags }
+    }
+
     /// The result tree ξ before stripping states/registers.
     pub fn result_tree(&self) -> &ResultNode {
         &self.root
@@ -273,6 +295,76 @@ impl RunResult {
     /// full unfolding.
     pub fn output_tree(&self) -> Tree {
         strip(&self.root, &self.virtual_tags)
+    }
+
+    /// Stream the output Σ-tree as SAX-style open/text/close events of the
+    /// *unfolding* — states and registers stripped, text nodes rendered,
+    /// virtual nodes spliced, exactly like [`RunResult::output_tree`] —
+    /// without ever materializing the tree: shared subtrees of the result
+    /// DAG are replayed once per occurrence, so memory stays proportional
+    /// to the DAG (plus the open-element depth) even when the unfolding is
+    /// exponential (Proposition 1(3,4)).
+    ///
+    /// The sink controls truncation: returning `false` from
+    /// [`XmlEventSink::event`] stops the walk immediately (see
+    /// [`pt_xmltree::Guarded`] for ready-made depth/size guards). Feeding
+    /// the events to a [`pt_xmltree::TreeBuilder`] rebuilds exactly
+    /// [`RunResult::output_tree`] — the round-trip oracle of the
+    /// differential suites.
+    pub fn stream_output(&self, sink: &mut impl XmlEventSink) -> StreamSummary {
+        enum Frame<'n> {
+            Visit(&'n ResultNode),
+            Close(&'n str),
+        }
+        let mut stack: Vec<Frame<'_>> = vec![Frame::Visit(&self.root)];
+        let mut events = 0usize;
+        while let Some(frame) = stack.pop() {
+            match frame {
+                // virtual check first, mirroring `collect_children`; the
+                // root is never virtual (builder invariant), so the root
+                // frame behaves like `strip`
+                Frame::Visit(node) if self.virtual_tags.contains(&node.tag) => {
+                    for c in node.children.iter().rev() {
+                        stack.push(Frame::Visit(c));
+                    }
+                }
+                Frame::Visit(node) if node.tag == "text" => {
+                    events += 1;
+                    if !sink.event(XmlEvent::Text(&node.register.render())) {
+                        return StreamSummary {
+                            events,
+                            truncated: true,
+                        };
+                    }
+                }
+                Frame::Visit(node) => {
+                    events += 1;
+                    if !sink.event(XmlEvent::Open(&node.tag)) {
+                        return StreamSummary {
+                            events,
+                            truncated: true,
+                        };
+                    }
+                    stack.push(Frame::Close(&node.tag));
+                    for c in node.children.iter().rev() {
+                        stack.push(Frame::Visit(c));
+                    }
+                }
+                Frame::Close(tag) => {
+                    events += 1;
+                    if !sink.event(XmlEvent::Close(tag)) {
+                        return StreamSummary {
+                            events,
+                            truncated: true,
+                        };
+                    }
+                }
+            }
+        }
+        StreamSummary {
+            events,
+            truncated: false,
+        }
     }
 
     /// The relational query view `R_τ(I)` of Section 6.1: the union of the
@@ -317,9 +409,15 @@ fn collect_children(node: &ResultNode, virtual_tags: &BTreeSet<String>, out: &mu
 /// A hash-consed configuration id.
 type ConfigId = u32;
 
-/// A dense id for a `(state, tag)` pair, interned once per run so the hot
-/// loop never re-hashes strings.
-type PairId = u32;
+/// A dense id for a `(state, tag)` pair, interned once at prepare time so
+/// the hot loop never hashes a string.
+pub(crate) type PairId = u32;
+
+/// A dense id for a hash-consed register (ROADMAP: register-id interning).
+/// Register ids live as long as their [`RegisterIds`] table — per
+/// [`Engine`] for the symbolic path — so configuration memo keys are
+/// `(PairId, RegId)` pairs and memo lookup is O(1) in the register width.
+pub(crate) type RegId = u32;
 
 /// One memoized expansion of a configuration.
 struct MemoEntry {
@@ -339,7 +437,7 @@ struct MemoEntry {
 /// and [`Relation`] (the previous-generation value-level path, kept as a
 /// differential oracle). The memoization logic is shared; only the register
 /// plumbing differs.
-trait RegisterRepr: Clone + Eq + Hash {
+pub(crate) trait RegisterRepr: Clone + Eq + Hash {
     /// The root configuration's (empty, nullary) register.
     fn root() -> Self;
     /// Prepare the register once per configuration for all its rule-item
@@ -408,77 +506,189 @@ impl RegisterRepr for Relation {
     }
 }
 
-/// A configuration key, shared between the intern table and the id-indexed
-/// store so each `(state/tag pair, register)` is kept once.
-type ConfigKey<R> = std::rc::Rc<(PairId, R)>;
-
-/// Mutable state of one DAG-mode run, generic over the register
-/// representation configurations key on.
-struct DagExpansion<'t, 'a, R: RegisterRepr> {
-    ctx: EvalContext<'a>,
-    opts: EvalOptions,
-    count: usize,
-    /// `(state, tag)` pair interning: nested by state so lookups borrow.
-    pair_ids: FxHashMap<String, FxHashMap<String, PairId>>,
-    pair_names: Vec<(String, String)>,
-    /// The pair's rule items, resolved once at interning time.
-    pair_rules: Vec<&'t [RuleItem]>,
-    /// Intern table for configurations.
-    ids: FxHashMap<ConfigKey<R>, ConfigId>,
-    configs: Vec<ConfigKey<R>>,
-    entries: Vec<Vec<MemoEntry>>,
+/// Dense hash-consing of registers: each distinct register is interned
+/// once and addressed by its [`RegId`] thereafter, so configuration keys
+/// carry two `u32`s instead of the register's flat row data. For the
+/// symbolic path the table lives on the [`Engine`] (the engine's interner
+/// is append-only, so symbolic register equality — and hence the ids — is
+/// stable across every run and prepared transducer of that engine).
+pub(crate) struct RegisterIds<R> {
+    ids: FxHashMap<std::rc::Rc<R>, RegId>,
+    regs: Vec<std::rc::Rc<R>>,
 }
 
-impl<'t, 'a, R: RegisterRepr> DagExpansion<'t, 'a, R> {
-    fn new(instance: &'a Instance, opts: EvalOptions) -> Self {
-        DagExpansion {
-            ctx: EvalContext::new(instance),
-            opts,
-            count: 0,
-            pair_ids: FxHashMap::default(),
-            pair_names: Vec::new(),
-            pair_rules: Vec::new(),
+impl<R> Default for RegisterIds<R> {
+    fn default() -> Self {
+        RegisterIds {
             ids: FxHashMap::default(),
-            configs: Vec::new(),
-            entries: Vec::new(),
+            regs: Vec::new(),
         }
     }
+}
 
-    /// The dense id of a `(state, tag)` pair, interning it (and resolving
-    /// its rule items) on first sight.
-    fn pair_id(&mut self, tau: &'t Transducer, state: &str, tag: &str) -> PairId {
-        if let Some(&id) = self.pair_ids.get(state).and_then(|m| m.get(tag)) {
+impl<R: RegisterRepr> RegisterIds<R> {
+    /// The dense id of `reg`, interning it on first sight. This is the only
+    /// place the full register data is hashed; every later lookup of the
+    /// same register by id is O(1) in its width.
+    fn intern(&mut self, reg: R) -> RegId {
+        if let Some(&id) = self.ids.get(&reg) {
             return id;
         }
-        let id = self.pair_names.len() as PairId;
-        self.pair_names.push((state.to_string(), tag.to_string()));
-        self.pair_rules.push(tau.rule(state, tag));
-        self.pair_ids
-            .entry(state.to_string())
-            .or_default()
-            .insert(tag.to_string(), id);
+        let id = self.regs.len() as RegId;
+        let reg = std::rc::Rc::new(reg);
+        self.regs.push(std::rc::Rc::clone(&reg));
+        self.ids.insert(reg, id);
         id
     }
 
+    /// The interned register behind `id` (shared, no data clone).
+    fn rc(&self, id: RegId) -> std::rc::Rc<R> {
+        std::rc::Rc::clone(&self.regs[id as usize])
+    }
+
+    /// Number of distinct registers interned so far.
+    pub(crate) fn len(&self) -> usize {
+        self.regs.len()
+    }
+}
+
+/// The per-transducer rule plan computed by `Engine::prepare`: every
+/// `(state, tag)` pair reachable from `(q0, r)` gets a dense [`PairId`],
+/// and each pair's rule items are resolved to `(child pair id, query)` up
+/// front — the expansion hot loop never touches a string or a rule map.
+pub(crate) struct PairTable<'t> {
+    /// Pair names, for building [`ResultNode`]s; index 0 is `(q0, r)`.
+    names: Vec<(String, String)>,
+    /// Each pair's resolved rule items.
+    items: Vec<Vec<(PairId, &'t Query)>>,
+}
+
+impl<'t> PairTable<'t> {
+    pub(crate) fn new(tau: &'t Transducer) -> Self {
+        let root = (tau.start_state().to_string(), tau.root_tag().to_string());
+        let mut index: FxHashMap<(String, String), PairId> = FxHashMap::default();
+        index.insert(root.clone(), 0);
+        let mut names = vec![root];
+        let mut items: Vec<Vec<(PairId, &'t Query)>> = Vec::new();
+        let mut next = 0usize;
+        while next < names.len() {
+            let (state, tag) = names[next].clone();
+            let rule = tau.rule(&state, &tag);
+            let mut row = Vec::with_capacity(rule.len());
+            for item in rule {
+                let key = (item.state.clone(), item.tag.clone());
+                let id = match index.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = names.len() as PairId;
+                        index.insert(key.clone(), id);
+                        names.push(key);
+                        id
+                    }
+                };
+                row.push((id, &item.query));
+            }
+            items.push(row);
+            next += 1;
+        }
+        PairTable { names, items }
+    }
+
+    /// Number of reachable `(state, tag)` pairs.
+    pub(crate) fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Every query reachable from the root pair — the queries a run can
+    /// actually evaluate (rules on unreachable pairs are excluded).
+    pub(crate) fn queries(&self) -> impl Iterator<Item = &'t Query> + '_ {
+        self.items.iter().flatten().map(|&(_, q)| q)
+    }
+}
+
+/// The mutable expansion session: the configuration intern table and memo.
+/// Owned by a `PreparedTransducer`, it persists across `run()` calls — a
+/// repeated run replays memo entries instead of re-expanding (register ids
+/// are engine-relative and pair ids prepared-transducer-relative, so the
+/// keys stay valid for the session's whole lifetime).
+#[derive(Default)]
+pub(crate) struct DagState {
+    ids: FxHashMap<(PairId, RegId), ConfigId>,
+    configs: Vec<(PairId, RegId)>,
+    entries: Vec<Vec<MemoEntry>>,
+}
+
+impl DagState {
+    /// Number of distinct configurations interned so far.
+    pub(crate) fn configs(&self) -> usize {
+        self.configs.len()
+    }
+}
+
+/// Run one DAG-mode expansion over a borrowed session: the single entry
+/// point shared by `PreparedTransducer::run_with` (symbolic registers,
+/// engine-owned caches) and the `ExpansionMode::DagValue` oracle arm
+/// (value-level registers, throwaway session) — one wiring, two register
+/// representations.
+pub(crate) fn expand_session<R: RegisterRepr>(
+    ctx: &EvalContext<'_>,
+    regs: &RefCell<RegisterIds<R>>,
+    pairs: &PairTable<'_>,
+    state: &mut DagState,
+    max_nodes: usize,
+) -> Result<Arc<ResultNode>, RunError> {
+    DagExpansion {
+        ctx,
+        regs,
+        pairs,
+        state,
+        max_nodes,
+        count: 0,
+    }
+    .run_root()
+}
+
+/// One DAG-mode expansion over a borrowed session, generic over the
+/// register representation configurations key on. The engine-owned parts
+/// (`ctx`, `regs`) are shared across runs and prepared transducers; `state`
+/// is the per-session memo; `count` is this run's unfolded-node budget.
+struct DagExpansion<'x, 't, 'db, R: RegisterRepr> {
+    ctx: &'x EvalContext<'db>,
+    regs: &'x RefCell<RegisterIds<R>>,
+    pairs: &'x PairTable<'t>,
+    state: &'x mut DagState,
+    max_nodes: usize,
+    count: usize,
+}
+
+impl<'x, 't, 'db, R: RegisterRepr> DagExpansion<'x, 't, 'db, R> {
     fn config_id(&mut self, pair: PairId, register: R) -> ConfigId {
-        let key = (pair, register);
-        if let Some(&id) = self.ids.get(&key) {
+        let reg = self.regs.borrow_mut().intern(register);
+        let key = (pair, reg);
+        if let Some(&id) = self.state.ids.get(&key) {
             return id;
         }
-        let id = self.configs.len() as ConfigId;
-        let key = ConfigKey::new(key);
-        self.configs.push(ConfigKey::clone(&key));
-        self.ids.insert(key, id);
-        self.entries.push(Vec::new());
+        let id = self.state.configs.len() as ConfigId;
+        self.state.configs.push(key);
+        self.state.ids.insert(key, id);
+        self.state.entries.push(Vec::new());
         id
     }
 
     fn charge(&mut self, nodes: usize) -> Result<(), RunError> {
         self.count += nodes;
-        if self.count > self.opts.max_nodes {
-            return Err(RunError::NodeLimit(self.opts.max_nodes));
+        if self.count > self.max_nodes {
+            return Err(RunError::NodeLimit(self.max_nodes));
         }
         Ok(())
+    }
+
+    /// Expand the root configuration `(q0, r, ∅)` — interning it on the
+    /// session's first run, replaying its memo entry afterwards.
+    fn run_root(&mut self) -> Result<Arc<ResultNode>, RunError> {
+        let root_cid = self.config_id(0, R::root());
+        let (root, _, _) = self.expand(root_cid, &mut Vec::new(), &mut FxHashSet::default())?;
+        Ok(root)
     }
 
     /// Expand configuration `cid` under the ancestor path `path` /
@@ -486,14 +696,13 @@ impl<'t, 'a, R: RegisterRepr> DagExpansion<'t, 'a, R> {
     /// and its unfolded size.
     fn expand(
         &mut self,
-        tau: &'t Transducer,
         cid: ConfigId,
         path: &mut Vec<ConfigId>,
         on_path: &mut FxHashSet<ConfigId>,
     ) -> Result<(Arc<ResultNode>, FxHashSet<ConfigId>, usize), RunError> {
         // memo lookup: an entry is reusable iff the current ancestors
         // intersect its footprint exactly as the recorded ancestors did
-        for entry in &self.entries[cid as usize] {
+        for entry in &self.state.entries[cid as usize] {
             let mut s_cap: Vec<ConfigId> = path
                 .iter()
                 .copied()
@@ -508,11 +717,10 @@ impl<'t, 'a, R: RegisterRepr> DagExpansion<'t, 'a, R> {
             }
         }
 
-        let (pair, register) = {
-            let key = &self.configs[cid as usize];
-            (key.0, key.1.clone())
-        };
-        let (state, tag) = self.pair_names[pair as usize].clone();
+        let (pair, reg_id) = self.state.configs[cid as usize];
+        // Rc clone only: the interned register is never copied
+        let register = self.regs.borrow().rc(reg_id);
+        let (state, tag) = self.pairs.names[pair as usize].clone();
 
         // stop condition (Section 3, condition (1)): an ancestor with the
         // same state, tag and register seals this leaf
@@ -521,12 +729,12 @@ impl<'t, 'a, R: RegisterRepr> DagExpansion<'t, 'a, R> {
             let node = Arc::new(ResultNode {
                 state,
                 tag,
-                register: R::materialize(&self.ctx, &register),
+                register: R::materialize(self.ctx, &register),
                 children: Vec::new(),
                 stopped: true,
             });
             let footprint: FxHashSet<ConfigId> = [cid].into_iter().collect();
-            self.entries[cid as usize].push(MemoEntry {
+            self.state.entries[cid as usize].push(MemoEntry {
                 footprint: footprint.clone(),
                 blocked: vec![cid],
                 node: Arc::clone(&node),
@@ -536,22 +744,24 @@ impl<'t, 'a, R: RegisterRepr> DagExpansion<'t, 'a, R> {
         }
 
         self.charge(1)?;
-        let items = self.pair_rules[pair as usize];
+        // copy the table reference out so the item slice does not hold a
+        // borrow of `self` across the recursion
+        let pairs: &'x PairTable<'t> = self.pairs;
+        let items = &pairs.items[pair as usize];
         let mut children = Vec::new();
         let mut footprint: FxHashSet<ConfigId> = [cid].into_iter().collect();
         let mut size = 1usize;
         if !items.is_empty() {
             // the register is indexed once per configuration; every query
             // of every rule item reuses the same handle
-            let ireg = R::index(&self.ctx, &register);
+            let ireg = R::index(self.ctx, &register);
             path.push(cid);
             on_path.insert(cid);
-            for item in items {
-                let child_pair = self.pair_id(tau, &item.state, &item.tag);
+            for &(child_pair, query) in items {
                 // children grouped by x̄, ordered by the domain order
-                for group in R::groups(&item.query, &self.ctx, &ireg)? {
+                for group in R::groups(query, self.ctx, &ireg)? {
                     let child = self.config_id(child_pair, group);
-                    let (node, fp, sz) = self.expand(tau, child, path, on_path)?;
+                    let (node, fp, sz) = self.expand(child, path, on_path)?;
                     children.push(node);
                     footprint.extend(fp);
                     size += sz;
@@ -563,7 +773,7 @@ impl<'t, 'a, R: RegisterRepr> DagExpansion<'t, 'a, R> {
         let node = Arc::new(ResultNode {
             state,
             tag,
-            register: R::materialize(&self.ctx, &register),
+            register: R::materialize(self.ctx, &register),
             children,
             stopped: false,
         });
@@ -573,7 +783,7 @@ impl<'t, 'a, R: RegisterRepr> DagExpansion<'t, 'a, R> {
             .filter(|c| footprint.contains(c))
             .collect();
         blocked.sort_unstable();
-        self.entries[cid as usize].push(MemoEntry {
+        self.state.entries[cid as usize].push(MemoEntry {
             footprint: footprint.clone(),
             blocked,
             node: Arc::clone(&node),
@@ -585,19 +795,40 @@ impl<'t, 'a, R: RegisterRepr> DagExpansion<'t, 'a, R> {
 
 impl Transducer {
     /// Run the τ-transformation on `instance` with default limits.
+    ///
+    /// This is a convenience wrapper that builds a one-shot [`Engine`]
+    /// session per call. Callers publishing many documents from one
+    /// database should hold an [`Engine`] and [`Engine::prepare`] the
+    /// transducer instead, amortizing the active-domain scan, base-relation
+    /// interning/indexing, the rule plan, and the configuration memo across
+    /// runs.
     pub fn run(&self, instance: &Instance) -> Result<RunResult, RunError> {
         self.run_with(instance, EvalOptions::default())
     }
 
     /// Run with explicit limits.
     pub fn run_with(&self, instance: &Instance, opts: EvalOptions) -> Result<RunResult, RunError> {
-        let root = match opts.mode {
-            ExpansionMode::Dag => self.run_dag::<SymRegister>(instance, opts)?,
-            ExpansionMode::DagValue => self.run_dag::<Relation>(instance, opts)?,
+        match opts.mode {
+            // the default engine: a cold single-run session
+            ExpansionMode::Dag => {
+                let engine = Engine::new(instance);
+                engine.prepare_unvalidated(self).run_with(opts.max_nodes)
+            }
+            // the value-level-key oracle engine: same memo logic, register
+            // ids interned over value-level relations, all session state
+            // local to this call
+            ExpansionMode::DagValue => {
+                let ctx = EvalContext::new(instance);
+                let regs = RefCell::new(RegisterIds::<Relation>::default());
+                let pairs = PairTable::new(self);
+                let mut state = DagState::default();
+                let root = expand_session(&ctx, &regs, &pairs, &mut state, opts.max_nodes)?;
+                Ok(RunResult::new(root, self.virtual_tags().clone()))
+            }
             ExpansionMode::Tree => {
                 let mut count = 0usize;
                 let mut path: Vec<(String, String, Relation)> = Vec::new();
-                Arc::new(self.expand_tree(
+                let root = Arc::new(self.expand_tree(
                     instance,
                     self.start_state(),
                     self.root_tag(),
@@ -605,27 +836,10 @@ impl Transducer {
                     &mut path,
                     &mut count,
                     &opts,
-                )?)
+                )?);
+                Ok(RunResult::new(root, self.virtual_tags().clone()))
             }
-        };
-        Ok(RunResult {
-            root,
-            virtual_tags: self.virtual_tags().clone(),
-        })
-    }
-
-    /// One memoized DAG run over the chosen register representation.
-    fn run_dag<R: RegisterRepr>(
-        &self,
-        instance: &Instance,
-        opts: EvalOptions,
-    ) -> Result<Arc<ResultNode>, RunError> {
-        let mut exp = DagExpansion::<R>::new(instance, opts);
-        let root_pair = exp.pair_id(self, self.start_state(), self.root_tag());
-        let root_cid = exp.config_id(root_pair, R::root());
-        let (root, _, _) =
-            exp.expand(self, root_cid, &mut Vec::new(), &mut FxHashSet::default())?;
-        Ok(root)
+        }
     }
 
     /// Run on a dedicated thread with a large stack — for workloads whose

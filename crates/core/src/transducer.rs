@@ -367,6 +367,124 @@ impl DependencyGraph {
     }
 }
 
+/// Why a transducer failed to validate — the structured error of
+/// [`TransducerBuilder::build`]. Each variant names the offending rule so
+/// callers can report (or programmatically repair) the exact violation;
+/// [`fmt::Display`] renders the historical message text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A rule item's query source failed to parse.
+    BadQuery {
+        state: String,
+        tag: String,
+        source: String,
+        message: String,
+    },
+    /// A tag was declared with two different register arities.
+    ConflictingArity { tag: String },
+    /// Two rules were declared for the same `(state, tag)` pair.
+    DuplicateRule { state: String, tag: String },
+    /// The root tag was declared with a nonzero register arity
+    /// (Definition 3.1 fixes `Θ(r) = 0`).
+    RootArity { tag: String, declared: usize },
+    /// A query produces tag `produced` with an arity other than its
+    /// declared (or previously inferred) `Θ`.
+    QueryArityMismatch {
+        state: String,
+        tag: String,
+        produced: String,
+        found: usize,
+        declared: usize,
+    },
+    /// A rule item produces the root tag.
+    RootProduced { state: String, tag: String },
+    /// A rule item re-enters the start state.
+    StartReentered { state: String, tag: String },
+    /// A query's register atom disagrees with the parent tag's `Θ`.
+    RegisterArity {
+        state: String,
+        tag: String,
+        used: usize,
+        declared: usize,
+    },
+    /// A query references a relation outside the schema.
+    UnknownRelation {
+        state: String,
+        tag: String,
+        relation: String,
+        schema: String,
+    },
+    /// The root tag was marked virtual.
+    VirtualRoot,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::BadQuery {
+                state,
+                tag,
+                source,
+                message,
+            } => write!(f, "rule ({state}, {tag}): bad query {source:?}: {message}"),
+            ValidationError::ConflictingArity { tag } => {
+                write!(f, "conflicting arity for tag {tag}")
+            }
+            ValidationError::DuplicateRule { state, tag } => {
+                write!(
+                    f,
+                    "duplicate rule for ({state}, {tag}): δ must be a function"
+                )
+            }
+            ValidationError::RootArity { tag, declared } => {
+                write!(f, "root tag {tag} must have arity 0, not {declared}")
+            }
+            ValidationError::QueryArityMismatch {
+                state,
+                tag,
+                produced,
+                found,
+                declared,
+            } => write!(
+                f,
+                "rule ({state}, {tag}): query for tag {produced} has arity {found}, \
+                 but Θ({produced}) = {declared}"
+            ),
+            ValidationError::RootProduced { state, tag } => {
+                write!(f, "rule ({state}, {tag}): the root tag cannot be produced")
+            }
+            ValidationError::StartReentered { state, tag } => {
+                write!(
+                    f,
+                    "rule ({state}, {tag}): the start state cannot be re-entered"
+                )
+            }
+            ValidationError::RegisterArity {
+                state,
+                tag,
+                used,
+                declared,
+            } => write!(
+                f,
+                "rule ({state}, {tag}): query uses Reg/{used}, but Θ({tag}) = {declared}"
+            ),
+            ValidationError::UnknownRelation {
+                state,
+                tag,
+                relation,
+                schema,
+            } => write!(
+                f,
+                "rule ({state}, {tag}): query references {relation}, \
+                 which is not in the schema {schema}"
+            ),
+            ValidationError::VirtualRoot => write!(f, "the root tag cannot be virtual"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
 /// A validating builder for [`Transducer`].
 pub struct TransducerBuilder {
     schema: Schema,
@@ -375,7 +493,7 @@ pub struct TransducerBuilder {
     arities: BTreeMap<String, usize>,
     rules: BTreeMap<(String, String), Vec<RuleItem>>,
     virtual_tags: BTreeSet<String>,
-    error: Option<String>,
+    error: Option<ValidationError>,
 }
 
 impl TransducerBuilder {
@@ -384,7 +502,9 @@ impl TransducerBuilder {
     pub fn arity(mut self, tag: &str, arity: usize) -> Self {
         if let Some(existing) = self.arities.insert(tag.to_string(), arity) {
             if existing != arity {
-                self.fail(format!("conflicting arity for tag {tag}"));
+                self.fail(ValidationError::ConflictingArity {
+                    tag: tag.to_string(),
+                });
             }
         }
         self
@@ -403,7 +523,12 @@ impl TransducerBuilder {
                     query,
                 }),
                 Err(e) => {
-                    self.fail(format!("rule ({state}, {tag}): bad query {qsrc:?}: {e}"));
+                    self.fail(ValidationError::BadQuery {
+                        state: state.to_string(),
+                        tag: tag.to_string(),
+                        source: qsrc.to_string(),
+                        message: e.to_string(),
+                    });
                     return self;
                 }
             }
@@ -415,9 +540,10 @@ impl TransducerBuilder {
     pub fn rule_items(mut self, state: &str, tag: &str, items: Vec<RuleItem>) -> Self {
         let key = (state.to_string(), tag.to_string());
         if self.rules.contains_key(&key) {
-            self.fail(format!(
-                "duplicate rule for ({state}, {tag}): δ must be a function"
-            ));
+            self.fail(ValidationError::DuplicateRule {
+                state: state.to_string(),
+                tag: tag.to_string(),
+            });
             return self;
         }
         self.rules.insert(key, items);
@@ -430,14 +556,14 @@ impl TransducerBuilder {
         self
     }
 
-    fn fail(&mut self, msg: String) {
+    fn fail(&mut self, err: ValidationError) {
         if self.error.is_none() {
-            self.error = Some(msg);
+            self.error = Some(err);
         }
     }
 
     /// Validate and build.
-    pub fn build(self) -> Result<Transducer, String> {
+    pub fn build(self) -> Result<Transducer, ValidationError> {
         if let Some(e) = self.error {
             return Err(e);
         }
@@ -445,7 +571,10 @@ impl TransducerBuilder {
         // the root register is nullary (Definition 3.1 fixes Θ(r) = 0)
         if let Some(&a) = arities.get(&self.root_tag) {
             if a != 0 {
-                return Err(format!("root tag {} must have arity 0", self.root_tag));
+                return Err(ValidationError::RootArity {
+                    tag: self.root_tag.clone(),
+                    declared: a,
+                });
             }
         }
         arities.insert(self.root_tag.clone(), 0);
@@ -456,25 +585,29 @@ impl TransducerBuilder {
                 let a = item.query.arity();
                 match arities.get(&item.tag) {
                     Some(&declared) if declared != a => {
-                        return Err(format!(
-                            "rule ({state}, {tag}): query for tag {} has arity {a}, \
-                             but Θ({}) = {declared}",
-                            item.tag, item.tag
-                        ));
+                        return Err(ValidationError::QueryArityMismatch {
+                            state: state.clone(),
+                            tag: tag.clone(),
+                            produced: item.tag.clone(),
+                            found: a,
+                            declared,
+                        });
                     }
                     _ => {
                         arities.insert(item.tag.clone(), a);
                     }
                 }
                 if item.tag == self.root_tag {
-                    return Err(format!(
-                        "rule ({state}, {tag}): the root tag cannot be produced"
-                    ));
+                    return Err(ValidationError::RootProduced {
+                        state: state.clone(),
+                        tag: tag.clone(),
+                    });
                 }
                 if item.state == self.start_state {
-                    return Err(format!(
-                        "rule ({state}, {tag}): the start state cannot be re-entered"
-                    ));
+                    return Err(ValidationError::StartReentered {
+                        state: state.clone(),
+                        tag: tag.clone(),
+                    });
                 }
             }
         }
@@ -486,27 +619,30 @@ impl TransducerBuilder {
             for item in items {
                 for used in item.query.body().reg_arities() {
                     if used != parent_arity {
-                        return Err(format!(
-                            "rule ({state}, {tag}): query uses Reg/{used}, but Θ({tag}) = \
-                             {parent_arity}"
-                        ));
+                        return Err(ValidationError::RegisterArity {
+                            state: state.clone(),
+                            tag: tag.clone(),
+                            used,
+                            declared: parent_arity,
+                        });
                     }
                 }
                 // queries may only reference schema relations
                 for rel in item.query.body().base_relations() {
                     if !self.schema.contains(&rel) {
-                        return Err(format!(
-                            "rule ({state}, {tag}): query references {rel}, \
-                             which is not in the schema {}",
-                            self.schema
-                        ));
+                        return Err(ValidationError::UnknownRelation {
+                            state: state.clone(),
+                            tag: tag.clone(),
+                            relation: rel,
+                            schema: self.schema.to_string(),
+                        });
                     }
                 }
             }
         }
 
         if self.virtual_tags.contains(&self.root_tag) {
-            return Err("the root tag cannot be virtual".to_string());
+            return Err(ValidationError::VirtualRoot);
         }
 
         // the start rule must exist (otherwise the transducer is trivial but
@@ -623,7 +759,11 @@ mod tests {
             )
             .build();
         let err = bad.unwrap_err();
-        assert!(err.contains("Reg/2"), "got: {err}");
+        assert!(
+            matches!(err, ValidationError::RegisterArity { used: 2, .. }),
+            "got: {err}"
+        );
+        assert!(err.to_string().contains("Reg/2"), "got: {err}");
     }
 
     #[test]
@@ -631,7 +771,12 @@ mod tests {
         let bad = Transducer::builder(simple_schema(), "q0", "root")
             .rule("q0", "root", &[("q", "a", "(x) <- unknown(x)")])
             .build();
-        assert!(bad.unwrap_err().contains("not in the schema"));
+        let err = bad.unwrap_err();
+        assert!(
+            matches!(&err, ValidationError::UnknownRelation { relation, .. } if relation == "unknown"),
+            "got: {err}"
+        );
+        assert!(err.to_string().contains("not in the schema"));
     }
 
     #[test]
@@ -656,7 +801,11 @@ mod tests {
             .rule("q0", "root", &[("q", "a", "(x) <- s(x)")])
             .rule("q0", "root", &[("q", "b", "(x) <- s(x)")])
             .build();
-        assert!(bad.unwrap_err().contains("duplicate rule"));
+        let err = bad.unwrap_err();
+        assert!(
+            matches!(&err, ValidationError::DuplicateRule { state, tag } if state == "q0" && tag == "root")
+        );
+        assert!(err.to_string().contains("duplicate rule"));
     }
 
     #[test]

@@ -174,7 +174,7 @@ pub fn from_lindatalog(
         let p = source.expect("remaining sources are predicates");
         builder = builder.rule_items(&format!("s_{p}"), &format!("t_{p}"), rule_items);
     }
-    builder.build()
+    builder.build().map_err(|e| e.to_string())
 }
 
 #[cfg(test)]

@@ -321,7 +321,7 @@ impl FoTransduction {
         });
         builder = builder.rule_items("q1", "v1", v1_items);
         builder = builder.rule_items("q2", "v2", v2_items);
-        builder.build()
+        builder.build().map_err(|e| e.to_string())
     }
 }
 

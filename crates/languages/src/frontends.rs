@@ -99,7 +99,7 @@ pub mod for_xml {
                 let _ = outer;
                 builder = builder.rule_items(&state, &block.element, child_items);
             }
-            let t = builder.build()?;
+            let t = builder.build().map_err(|e| e.to_string())?;
             if t.is_recursive() {
                 return Err("FOR XML views are nonrecursive".to_string());
             }
@@ -243,7 +243,7 @@ pub mod annotated_xsd {
                 }
                 builder = builder.rule_items(&state, &e.tag, items);
             }
-            builder.build()
+            builder.build().map_err(|e| e.to_string())
         }
     }
 
@@ -489,7 +489,7 @@ pub mod dad {
                 &prev.0,
                 &[(&format!("l{}", last_index + 1), "text", &text_q)],
             );
-            builder.build()
+            builder.build().map_err(|e| e.to_string())
         }
     }
 
@@ -570,7 +570,7 @@ pub mod xmlgen {
                 builder =
                     builder.rule(&format!("c{i}"), tag, &[(&format!("t{i}"), "text", text_q)]);
             }
-            builder.build()
+            builder.build().map_err(|e| e.to_string())
         }
     }
 
@@ -654,7 +654,7 @@ pub mod treeql {
             for v in virtuals {
                 builder = builder.virtual_tag(&v);
             }
-            let t = builder.build()?;
+            let t = builder.build().map_err(|e| e.to_string())?;
             if t.logic() > pt_logic::Fragment::CQ {
                 return Err("TreeQL queries must be conjunctive".to_string());
             }
@@ -749,7 +749,7 @@ pub mod atg {
             for v in &self.virtual_tags {
                 builder = builder.virtual_tag(v);
             }
-            builder.build()
+            builder.build().map_err(|e| e.to_string())
         }
     }
 

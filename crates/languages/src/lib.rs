@@ -5,7 +5,7 @@
 //! class expressing it (Table I). This crate implements a faithful core of
 //! each surveyed language as an AST that *compiles to* a publishing
 //! transducer, making Table I executable: for every frontend,
-//! [`table1::claimed_class`] records the paper's row, and the tests assert
+//! [`table1::Table1Row::claimed`](table1::Table1Row) records the paper's row, and the tests assert
 //! that compiled programs land inside it (an individual program may of
 //! course land lower — Table I bounds the whole language).
 //!

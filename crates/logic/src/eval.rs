@@ -185,6 +185,14 @@ impl<'a> EvalContext<'a> {
         self.rels.indexes_built()
     }
 
+    /// Intern (and cache) the named base relation now instead of on first
+    /// atom evaluation — `pt_core`'s `Engine::prepare` warms every relation
+    /// a transducer's queries mention, so the first `run()` pays no lazy
+    /// interning. A no-op for names absent from the instance.
+    pub fn warm_relation(&self, name: &str) {
+        let _ = self.rels.get(name, self.instance, &self.syms);
+    }
+
     /// Number of base-domain symbols. The context interns the sorted base
     /// active domain first, so a symbol `s < base_len()` denotes the `s`-th
     /// smallest base value (symbol order *is* the domain order there), and

@@ -16,12 +16,18 @@
 //!   generation for round-trip experiments,
 //! * [`ExtendedDtd`] — extended DTDs `(Σ', d, µ)` with the set-based
 //!   conformance check (a tree conforms iff some Σ'-relabeling conforms
-//!   to `d`).
+//!   to `d`),
+//! * [`stream`] — SAX-style [`XmlEvent`] streams: the [`XmlEventSink`]
+//!   consumer trait, tree rebuilding ([`TreeBuilder`], the round-trip
+//!   oracle for event producers), streaming XML text ([`XmlWriter`]), and
+//!   depth/size truncation guards ([`Guarded`]).
 
 mod dtd;
+pub mod stream;
 mod tree;
 mod xdtd;
 
 pub use dtd::{ContentModel, Dtd};
+pub use stream::{CountingSink, Guarded, TreeBuilder, XmlEvent, XmlEventSink, XmlWriter};
 pub use tree::Tree;
 pub use xdtd::ExtendedDtd;

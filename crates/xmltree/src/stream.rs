@@ -1,0 +1,451 @@
+//! SAX-style event streaming of Σ-trees.
+//!
+//! The tree transducer literature (Streaming Tree Transducers, Alur &
+//! D'Antoni) views a tree transformation as a stream of open/text/close
+//! events rather than a materialized tree. This module is the event side of
+//! that view: [`XmlEvent`] is one event, [`XmlEventSink`] consumes a stream
+//! of them, and the provided sinks rebuild trees ([`TreeBuilder`]), write
+//! XML text ([`XmlWriter`]), count without storing ([`CountingSink`]), or
+//! guard another sink with depth/size limits ([`Guarded`]).
+//!
+//! A sink returns `false` from [`XmlEventSink::event`] to *truncate* the
+//! stream: the producer stops walking immediately and reports the
+//! truncation. This is how consumers bound the (possibly exponential)
+//! unfolding of a shared result DAG — see
+//! `pt_core::RunResult::stream_output`.
+//!
+//! [`Tree::stream_to`] emits the event stream of an existing tree;
+//! `TreeBuilder` is its inverse, which makes the pair a round-trip oracle
+//! for any event producer that claims to stream a given tree.
+
+use crate::tree::escape;
+use crate::Tree;
+
+/// One SAX-style event of a Σ-tree stream.
+///
+/// A `text` leaf is a single [`XmlEvent::Text`] event (never an
+/// open/close pair), matching the paper's convention that only
+/// `text`-labeled leaves carry pcdata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XmlEvent<'a> {
+    /// An element opens.
+    Open(&'a str),
+    /// A pcdata leaf.
+    Text(&'a str),
+    /// The matching element closes.
+    Close(&'a str),
+}
+
+/// A consumer of [`XmlEvent`] streams.
+pub trait XmlEventSink {
+    /// Receive one event. Returning `false` truncates the stream: the
+    /// producer stops walking and reports the stream as truncated.
+    fn event(&mut self, ev: XmlEvent<'_>) -> bool;
+}
+
+/// A sink that rebuilds the [`Tree`] a well-formed stream describes — the
+/// round-trip oracle for event producers.
+#[derive(Default)]
+pub struct TreeBuilder {
+    /// Open elements, innermost last.
+    stack: Vec<Tree>,
+    /// The completed root, once the outermost element closed.
+    done: Option<Tree>,
+    /// Set when the stream was malformed (mismatched close, trailing
+    /// events, text outside any element next to a completed root).
+    malformed: bool,
+}
+
+impl TreeBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        TreeBuilder::default()
+    }
+
+    /// The rebuilt tree, if the stream was complete and well formed.
+    pub fn finish(self) -> Option<Tree> {
+        if self.malformed || !self.stack.is_empty() {
+            return None;
+        }
+        self.done
+    }
+
+    fn attach(&mut self, t: Tree) {
+        match self.stack.last_mut() {
+            Some(parent) => *parent = std::mem::replace(parent, Tree::leaf("")).with_child(t),
+            None if self.done.is_none() => self.done = Some(t),
+            None => self.malformed = true,
+        }
+    }
+}
+
+impl XmlEventSink for TreeBuilder {
+    fn event(&mut self, ev: XmlEvent<'_>) -> bool {
+        match ev {
+            XmlEvent::Open(tag) => {
+                if self.stack.is_empty() && self.done.is_some() {
+                    self.malformed = true;
+                } else {
+                    self.stack.push(Tree::leaf(tag));
+                }
+            }
+            XmlEvent::Text(text) => self.attach(Tree::text_node(text)),
+            XmlEvent::Close(tag) => match self.stack.pop() {
+                Some(node) if node.label() == tag => self.attach(node),
+                _ => self.malformed = true,
+            },
+        }
+        !self.malformed
+    }
+}
+
+/// A sink that writes indented XML text as events arrive, element by
+/// element, without ever holding the document.
+///
+/// Empty elements render self-closed (`<a/>`); a single pending open is
+/// buffered to decide that, everything earlier is already in the output.
+/// A `Close` whose tag does not match the innermost open element marks
+/// the writer malformed and truncates the stream (like [`TreeBuilder`])
+/// instead of writing a wrong tag.
+#[derive(Default)]
+pub struct XmlWriter {
+    out: String,
+    /// Open elements already written, innermost last.
+    open: Vec<String>,
+    /// An `Open` whose first child has not arrived yet.
+    pending: Option<String>,
+    malformed: bool,
+}
+
+impl XmlWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        XmlWriter::default()
+    }
+
+    /// The XML text written so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Whether a mismatched close event poisoned the stream.
+    pub fn is_malformed(&self) -> bool {
+        self.malformed
+    }
+
+    /// The XML text, consuming the writer.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn flush_pending(&mut self) {
+        if let Some(tag) = self.pending.take() {
+            let pad = "  ".repeat(self.open.len());
+            self.out.push_str(&format!("{pad}<{tag}>\n"));
+            self.open.push(tag);
+        }
+    }
+}
+
+impl XmlEventSink for XmlWriter {
+    fn event(&mut self, ev: XmlEvent<'_>) -> bool {
+        if self.malformed {
+            return false;
+        }
+        match ev {
+            XmlEvent::Open(tag) => {
+                self.flush_pending();
+                self.pending = Some(tag.to_string());
+            }
+            XmlEvent::Text(text) => {
+                self.flush_pending();
+                let pad = "  ".repeat(self.open.len());
+                self.out.push_str(&format!("{pad}{}\n", escape(text)));
+            }
+            XmlEvent::Close(tag) => match self.pending.take() {
+                // no child arrived: the element is empty
+                Some(open) if open == tag => {
+                    let pad = "  ".repeat(self.open.len());
+                    self.out.push_str(&format!("{pad}<{tag}/>\n"));
+                }
+                Some(_) => self.malformed = true,
+                None => match self.open.pop() {
+                    Some(open) if open == tag => {
+                        let pad = "  ".repeat(self.open.len());
+                        self.out.push_str(&format!("{pad}</{tag}>\n"));
+                    }
+                    _ => self.malformed = true,
+                },
+            },
+        }
+        !self.malformed
+    }
+}
+
+/// A sink that counts events and tracks depth without storing anything —
+/// for measuring a stream (the streaming-vs-materialize benchmarks).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct CountingSink {
+    events: usize,
+    depth: usize,
+    max_depth: usize,
+}
+
+impl CountingSink {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Events received so far.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// The deepest open-element nesting seen.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+impl XmlEventSink for CountingSink {
+    fn event(&mut self, ev: XmlEvent<'_>) -> bool {
+        self.events += 1;
+        match ev {
+            XmlEvent::Open(_) => {
+                self.depth += 1;
+                self.max_depth = self.max_depth.max(self.depth);
+            }
+            XmlEvent::Close(_) => self.depth = self.depth.saturating_sub(1),
+            XmlEvent::Text(_) => {}
+        }
+        true
+    }
+}
+
+/// Wraps another sink with event-count and depth guards: once either limit
+/// is exceeded the stream is truncated (the inner sink never sees the
+/// offending event) and [`Guarded::truncated`] reports it.
+///
+/// This is the consumer-side budget for unfoldings that are exponential in
+/// the database (Proposition 1(3,4)): the producer shares subtrees, but the
+/// event stream replays every occurrence.
+pub struct Guarded<S> {
+    inner: S,
+    max_events: usize,
+    max_depth: usize,
+    events: usize,
+    depth: usize,
+    truncated: bool,
+}
+
+impl<S: XmlEventSink> Guarded<S> {
+    /// Guard `inner` with the given limits.
+    pub fn new(inner: S, max_events: usize, max_depth: usize) -> Self {
+        Guarded {
+            inner,
+            max_events,
+            max_depth,
+            events: 0,
+            depth: 0,
+            truncated: false,
+        }
+    }
+
+    /// Events passed through so far.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Whether a limit tripped.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: XmlEventSink> XmlEventSink for Guarded<S> {
+    fn event(&mut self, ev: XmlEvent<'_>) -> bool {
+        if self.truncated {
+            return false;
+        }
+        let depth = match ev {
+            XmlEvent::Open(_) => self.depth + 1,
+            _ => self.depth,
+        };
+        if self.events + 1 > self.max_events || depth > self.max_depth {
+            self.truncated = true;
+            return false;
+        }
+        self.events += 1;
+        self.depth = depth;
+        if let XmlEvent::Close(_) = ev {
+            self.depth = self.depth.saturating_sub(1);
+        }
+        self.inner.event(ev)
+    }
+}
+
+impl Tree {
+    /// Emit this tree as an event stream, preorder: `Open`, the children's
+    /// streams, `Close` (a `text` leaf is a single `Text` event). Returns
+    /// `false` if the sink truncated the stream.
+    pub fn stream_to(&self, sink: &mut impl XmlEventSink) -> bool {
+        enum Frame<'a> {
+            Visit(&'a Tree),
+            Close(&'a str),
+        }
+        let mut stack = vec![Frame::Visit(self)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Visit(node) => {
+                    if let Some(text) = node.pcdata() {
+                        if !sink.event(XmlEvent::Text(text)) {
+                            return false;
+                        }
+                    } else {
+                        if !sink.event(XmlEvent::Open(node.label())) {
+                            return false;
+                        }
+                        stack.push(Frame::Close(node.label()));
+                        for c in node.children().iter().rev() {
+                            stack.push(Frame::Visit(c));
+                        }
+                    }
+                }
+                Frame::Close(tag) => {
+                    if !sink.event(XmlEvent::Close(tag)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tree {
+        Tree::node(
+            "db",
+            vec![
+                Tree::node(
+                    "course",
+                    vec![
+                        Tree::node("cno", vec![Tree::text_node("c1")]),
+                        Tree::leaf("prereq"),
+                    ],
+                ),
+                Tree::leaf("course"),
+            ],
+        )
+    }
+
+    #[test]
+    fn stream_round_trips_through_tree_builder() {
+        let t = sample();
+        let mut builder = TreeBuilder::new();
+        assert!(t.stream_to(&mut builder));
+        assert_eq!(builder.finish().unwrap(), t);
+    }
+
+    #[test]
+    fn single_text_root_round_trips() {
+        let t = Tree::text_node("hello");
+        let mut builder = TreeBuilder::new();
+        assert!(t.stream_to(&mut builder));
+        assert_eq!(builder.finish().unwrap(), t);
+    }
+
+    #[test]
+    fn malformed_streams_rejected() {
+        // mismatched close
+        let mut b = TreeBuilder::new();
+        assert!(b.event(XmlEvent::Open("a")));
+        assert!(!b.event(XmlEvent::Close("b")));
+        assert!(b.finish().is_none());
+        // trailing second root
+        let mut b = TreeBuilder::new();
+        assert!(b.event(XmlEvent::Open("a")));
+        assert!(b.event(XmlEvent::Close("a")));
+        assert!(!b.event(XmlEvent::Open("b")));
+        assert!(b.finish().is_none());
+        // unclosed element
+        let mut b = TreeBuilder::new();
+        assert!(b.event(XmlEvent::Open("a")));
+        assert!(b.finish().is_none());
+    }
+
+    #[test]
+    fn xml_writer_streams_text() {
+        let mut w = XmlWriter::new();
+        assert!(sample().stream_to(&mut w));
+        let xml = w.into_string();
+        assert!(xml.contains("<db>"), "got: {xml}");
+        assert!(xml.contains("c1"));
+        // empty elements self-close
+        assert!(xml.contains("<prereq/>"), "got: {xml}");
+        assert!(xml.contains("</db>"));
+    }
+
+    #[test]
+    fn xml_writer_escapes_pcdata() {
+        let mut w = XmlWriter::new();
+        Tree::node("a", vec![Tree::text_node("x < y & z")]).stream_to(&mut w);
+        assert!(w.as_str().contains("x &lt; y &amp; z"));
+    }
+
+    #[test]
+    fn xml_writer_rejects_mismatched_closes() {
+        // pending open, wrong close: nothing wrong is written
+        let mut w = XmlWriter::new();
+        assert!(w.event(XmlEvent::Open("a")));
+        assert!(!w.event(XmlEvent::Close("b")));
+        assert!(w.is_malformed());
+        assert!(!w.as_str().contains("<b/>"));
+        // flushed open, wrong close
+        let mut w = XmlWriter::new();
+        assert!(w.event(XmlEvent::Open("a")));
+        assert!(w.event(XmlEvent::Text("t")));
+        assert!(!w.event(XmlEvent::Close("b")));
+        assert!(w.is_malformed());
+        // once poisoned, every later event is refused
+        assert!(!w.event(XmlEvent::Open("c")));
+    }
+
+    #[test]
+    fn counting_sink_measures_the_stream() {
+        let mut c = CountingSink::new();
+        assert!(sample().stream_to(&mut c));
+        // db, course, cno, "c1", /cno, prereq, /prereq, /course, course,
+        // /course, /db
+        assert_eq!(c.events(), 11);
+        assert_eq!(c.max_depth(), 3);
+    }
+
+    #[test]
+    fn guards_truncate_deep_and_long_streams() {
+        let t = sample();
+        // event guard
+        let mut g = Guarded::new(CountingSink::new(), 3, usize::MAX);
+        assert!(!t.stream_to(&mut g));
+        assert!(g.truncated());
+        assert_eq!(g.events(), 3);
+        // depth guard: the inner sink keeps only events above the cut
+        let mut g = Guarded::new(TreeBuilder::new(), usize::MAX, 2);
+        assert!(!t.stream_to(&mut g));
+        assert!(g.truncated());
+        // no guard tripped: passes through untouched
+        let mut g = Guarded::new(TreeBuilder::new(), usize::MAX, usize::MAX);
+        assert!(t.stream_to(&mut g));
+        assert!(!g.truncated());
+        assert_eq!(g.into_inner().finish().unwrap(), t);
+    }
+}

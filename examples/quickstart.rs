@@ -1,18 +1,29 @@
-//! Quickstart: define the registrar database of Example 1.1, run the
-//! recursive view τ1 of Example 3.1 (Fig. 1(a)), and print the XML.
+//! Quickstart: bind an [`Engine`] to the registrar database of Example
+//! 1.1, prepare the recursive view τ1 of Example 3.1 (Fig. 1(a)), run it,
+//! and stream the same document as SAX events.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use publishing_transducers::core::examples::registrar;
+use publishing_transducers::core::Engine;
+use publishing_transducers::xmltree::XmlWriter;
 
 fn main() {
     let db = registrar::registrar_instance();
     println!("-- relational source --\n{db}");
 
+    // one Engine per database: the active-domain scan, value interning,
+    // and base-relation indexes are paid here, once
+    let engine = Engine::new(&db);
+
     let tau1 = registrar::tau1();
     println!("-- transducer ({}) --\n{tau1}", tau1.class());
 
-    let run = tau1.run(&db).expect("τ1 runs on the registrar instance");
+    // prepare validates τ1 against the database and precomputes its rule
+    // plan; every later run reuses the engine's caches and the session memo
+    let prepared = engine.prepare(&tau1).expect("τ1 fits the registrar schema");
+
+    let run = prepared.run().expect("τ1 runs on the registrar instance");
     println!(
         "-- result tree ξ: {} nodes, depth {} --",
         run.size(),
@@ -21,5 +32,15 @@ fn main() {
     println!(
         "-- output XML (Fig. 1(a)) --\n{}",
         run.output_tree().to_xml()
+    );
+
+    // the same document as an event stream: open/text/close events of the
+    // unfolding, emitted without materializing the tree
+    let mut writer = XmlWriter::new();
+    let summary = prepared.stream(&mut writer).expect("streaming run");
+    println!(
+        "-- streamed again as {} SAX events --\n{}",
+        summary.events,
+        writer.as_str()
     );
 }

@@ -8,14 +8,37 @@
 //! for the substrates, [`analysis`] for the decision problems of Section 5,
 //! and [`express`] for the expressiveness constructions of Section 6.
 //!
+//! The production entry point is an [`Engine`](core::Engine) bound to a
+//! database: `prepare` a transducer once (validation, rule plan, warmed
+//! relation indexes) and run it as many times as needed — the engine owns
+//! the run-wide caches and each prepared transducer keeps its configuration
+//! memo across runs, so repeated publishing amortizes to a memo replay.
+//! Output comes either as a shared-DAG [`RunResult`](core::RunResult) or as
+//! a SAX-style event stream that never materializes the document:
+//!
 //! ```
 //! use publishing_transducers::core::examples::registrar;
+//! use publishing_transducers::core::Engine;
+//! use publishing_transducers::xmltree::TreeBuilder;
 //!
 //! let db = registrar::registrar_instance();
+//! let engine = Engine::new(&db);          // interns the database once
 //! let tau1 = registrar::tau1();
-//! let tree = tau1.run(&db).unwrap().output_tree();
+//! let prepared = engine.prepare(&tau1).unwrap();
+//!
+//! let tree = prepared.run().unwrap().output_tree();
 //! assert_eq!(tree.label(), "db");
+//!
+//! // the same document as open/text/close events, rebuilt by the
+//! // round-trip sink — the streaming consumer shape
+//! let mut sink = TreeBuilder::new();
+//! prepared.stream(&mut sink).unwrap();
+//! assert_eq!(sink.finish().unwrap(), tree);
 //! ```
+//!
+//! One-shot callers can keep using
+//! [`Transducer::run`](core::Transducer::run), which wraps a single-use
+//! engine session.
 
 pub use pt_analysis as analysis;
 pub use pt_core as core;

@@ -3,15 +3,26 @@
 //! ([`ExpansionMode::Dag`]) and the value-level-key engine
 //! ([`ExpansionMode::DagValue`]) — must produce byte-identical output trees
 //! and relational views to the forced tree expansion (the pre-memoization
-//! engine kept as [`ExpansionMode::Tree`]).
+//! engine kept as [`ExpansionMode::Tree`]). Every successful run in every
+//! mode is additionally streamed as SAX events and rebuilt
+//! ([`pt_xmltree::TreeBuilder`]): the rebuilt tree must equal
+//! `output_tree()` exactly, and an [`Engine`] session must reproduce the
+//! same document across repeated `prepared.run()` calls.
 
 use pt_bench::{
-    nonrecursive_ifp_view, registrar_with_enrollment, roster_view, scaled_registrar, wide_registrar,
+    nonrecursive_ifp_view, registrar_with_enrollment, roster_view, scaled_registrar,
+    stream_round_trip, wide_registrar,
 };
 use publishing_transducers::analysis::blowup;
 use publishing_transducers::core::examples::registrar;
-use publishing_transducers::core::{EvalOptions, ExpansionMode, Transducer};
+use publishing_transducers::core::{Engine, EvalOptions, ExpansionMode, RunResult, Transducer};
 use publishing_transducers::relational::Instance;
+
+/// The stream-vs-tree oracle ([`pt_bench::stream_round_trip`]), panicking
+/// with the workload name on failure.
+fn assert_stream_round_trips(run: &RunResult, what: &str) {
+    stream_round_trip(run).unwrap_or_else(|e| panic!("{what}: {e}"));
+}
 
 fn assert_modes_agree(tau: &Transducer, inst: &Instance, output_tag: &str, what: &str) {
     let cap = EvalOptions {
@@ -28,6 +39,7 @@ fn assert_modes_agree(tau: &Transducer, inst: &Instance, output_tag: &str, what:
         )
         .unwrap_or_else(|e| panic!("{what}: tree run failed: {e}"));
     let tree_out = tree.output_tree();
+    assert_stream_round_trips(&tree, &format!("{what} [Tree]"));
     for mode in [ExpansionMode::Dag, ExpansionMode::DagValue] {
         let dag = tau
             .run_with(inst, EvalOptions { mode, ..cap })
@@ -53,6 +65,24 @@ fn assert_modes_agree(tau: &Transducer, inst: &Instance, output_tag: &str, what:
             tree.relational_output(output_tag),
             "{what}: {mode:?} relational views differ"
         );
+        // the stream-vs-tree oracle holds in every engine mode
+        assert_stream_round_trips(&dag, &format!("{what} [{mode:?}]"));
+    }
+    // an amortized engine session produces the same document, run after run
+    let engine = Engine::new(inst);
+    let prepared = engine
+        .prepare(tau)
+        .unwrap_or_else(|e| panic!("{what}: prepare failed: {e}"));
+    for round in 0..2 {
+        let run = prepared
+            .run_with(1 << 22)
+            .unwrap_or_else(|e| panic!("{what}: prepared run {round} failed: {e}"));
+        assert_eq!(
+            run.output_tree(),
+            tree_out,
+            "{what}: prepared run {round} differs from the tree oracle"
+        );
+        assert_stream_round_trips(&run, &format!("{what} [prepared run {round}]"));
     }
 }
 

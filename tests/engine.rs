@@ -1,0 +1,191 @@
+//! The Engine / PreparedTransducer session API: prepare-time validation,
+//! amortized repeated runs (persistent configuration memo), streaming
+//! output with truncation guards, and the structured builder errors.
+
+use pt_bench::{registrar_with_enrollment, roster_view, scaled_registrar};
+use publishing_transducers::core::examples::registrar;
+use publishing_transducers::core::{Engine, PrepareError, RunError, Transducer, ValidationError};
+use publishing_transducers::relational::{rel, Instance, Schema};
+use publishing_transducers::xmltree::{CountingSink, Guarded, TreeBuilder, XmlWriter};
+
+#[test]
+fn prepare_validates_instance_arities() {
+    let schema = Schema::with(&[("edge", 2), ("start", 1)]);
+    let tau = Transducer::builder(schema, "q0", "r")
+        .rule("q0", "r", &[("q", "a", "(x) <- start(x)")])
+        .build()
+        .unwrap();
+    // edge has arity 3 in the instance, 2 in the schema
+    let bad = Instance::new()
+        .with("start", rel![[0]])
+        .with("edge", rel![[0, 1, 2]]);
+    let engine = Engine::new(&bad);
+    let err = engine.prepare(&tau).err().expect("prepare must reject");
+    assert_eq!(
+        err,
+        PrepareError::ArityMismatch {
+            relation: "edge".to_string(),
+            declared: 2,
+            found: 3,
+        }
+    );
+    assert!(err.to_string().contains("edge/2"), "got: {err}");
+    // a conforming instance prepares fine even with relations missing
+    let good = Instance::new().with("start", rel![[0]]);
+    assert!(Engine::new(&good).prepare(&tau).is_ok());
+}
+
+#[test]
+fn prepared_runs_match_cold_runs() {
+    let db = registrar_with_enrollment(10, 50);
+    let engine = Engine::new(&db);
+    for tau in [
+        registrar::tau1(),
+        registrar::tau2(),
+        registrar::tau3(),
+        roster_view(),
+    ] {
+        let cold = tau.run(&db).unwrap();
+        let prepared = engine.prepare(&tau).unwrap();
+        let warm = prepared.run().unwrap();
+        assert_eq!(warm.output_tree(), cold.output_tree());
+        assert_eq!(warm.size(), cold.size());
+        assert_eq!(warm.depth(), cold.depth());
+    }
+}
+
+#[test]
+fn repeated_runs_replay_the_session_memo() {
+    let db = scaled_registrar(12);
+    let engine = Engine::new(&db);
+    let tau = registrar::tau1();
+    let prepared = engine.prepare(&tau).unwrap();
+    let first = prepared.run().unwrap();
+    let configs = prepared.configurations_seen();
+    assert!(configs > 0);
+    let second = prepared.run().unwrap();
+    // the second run replays the memoized root expansion: the result trees
+    // are literally the same shared node, and no new configuration appears
+    assert!(std::ptr::eq(first.result_tree(), second.result_tree()));
+    assert_eq!(prepared.configurations_seen(), configs);
+    assert_eq!(first.output_tree(), second.output_tree());
+}
+
+#[test]
+fn one_engine_serves_many_transducers() {
+    let db = registrar::registrar_instance();
+    let engine = Engine::new(&db);
+    let (t1, t2, t3) = (registrar::tau1(), registrar::tau2(), registrar::tau3());
+    let p1 = engine.prepare(&t1).unwrap();
+    let p2 = engine.prepare(&t2).unwrap();
+    let p3 = engine.prepare(&t3).unwrap();
+    // interleaved runs share the engine's interner and register ids
+    for _ in 0..2 {
+        assert_eq!(p1.run().unwrap().output_tree(), t1.output(&db).unwrap());
+        assert_eq!(p2.run().unwrap().output_tree(), t2.output(&db).unwrap());
+        assert_eq!(p3.run().unwrap().output_tree(), t3.output(&db).unwrap());
+    }
+    assert!(engine.registers_interned() > 0);
+    assert!(p1.pairs() >= 2);
+}
+
+#[test]
+fn per_run_node_budget_still_applies() {
+    let db = scaled_registrar(12);
+    let engine = Engine::new(&db);
+    let tau = registrar::tau1();
+    let prepared = engine.prepare(&tau).unwrap();
+    let size = prepared.run().unwrap().size();
+    // a later run with a tighter budget must trip, memo hits included
+    assert_eq!(
+        prepared.run_with(size - 1).unwrap_err(),
+        RunError::NodeLimit(size - 1)
+    );
+    // and a sufficient budget succeeds again
+    assert_eq!(prepared.run_with(size).unwrap().size(), size);
+}
+
+#[test]
+fn stream_rebuilds_the_output_tree() {
+    let db = registrar::registrar_instance();
+    let engine = Engine::new(&db);
+    for tau in [registrar::tau1(), registrar::tau2(), registrar::tau3()] {
+        let prepared = engine.prepare(&tau).unwrap();
+        let mut builder = TreeBuilder::new();
+        let summary = prepared.stream(&mut builder).unwrap();
+        assert!(!summary.truncated);
+        assert_eq!(
+            builder.finish().unwrap(),
+            prepared.run().unwrap().output_tree()
+        );
+    }
+}
+
+#[test]
+fn stream_guards_truncate_without_materializing() {
+    let db = scaled_registrar(40);
+    let engine = Engine::new(&db);
+    let tau = registrar::tau1();
+    let prepared = engine.prepare(&tau).unwrap();
+    let full = prepared.run().unwrap();
+    let mut counter = CountingSink::new();
+    let all = full.stream_output(&mut counter);
+    assert!(!all.truncated);
+    // an event guard stops the walk early…
+    let mut guarded = Guarded::new(CountingSink::new(), 10, usize::MAX);
+    let summary = prepared.stream(&mut guarded).unwrap();
+    assert!(summary.truncated);
+    assert!(guarded.truncated());
+    assert!(summary.events < all.events);
+    // …and so does a depth guard
+    let mut shallow = Guarded::new(CountingSink::new(), usize::MAX, 3);
+    assert!(prepared.stream(&mut shallow).unwrap().truncated);
+}
+
+#[test]
+fn stream_splices_virtual_nodes() {
+    // τ2 uses virtual nodes: the streamed document must splice them exactly
+    // like output_tree()
+    let db = registrar::registrar_instance();
+    let tau = registrar::tau2();
+    let engine = Engine::new(&db);
+    let prepared = engine.prepare(&tau).unwrap();
+    let mut w = XmlWriter::new();
+    prepared.stream(&mut w).unwrap();
+    let xml = w.into_string();
+    for vt in tau.virtual_tags() {
+        assert!(!xml.contains(&format!("<{vt}>")), "virtual tag {vt} leaked");
+    }
+    assert!(!xml.is_empty());
+}
+
+#[test]
+fn builder_errors_are_structured() {
+    let schema = Schema::with(&[("s", 1)]);
+    let root_produced = Transducer::builder(schema.clone(), "q0", "r")
+        .rule("q0", "r", &[("q", "r", "() <- true")])
+        .build()
+        .unwrap_err();
+    assert!(matches!(
+        root_produced,
+        ValidationError::RootProduced { .. }
+    ));
+    let reentered = Transducer::builder(schema.clone(), "q0", "r")
+        .rule("q0", "r", &[("q0", "a", "() <- true")])
+        .build()
+        .unwrap_err();
+    assert!(matches!(reentered, ValidationError::StartReentered { .. }));
+    let bad_query = Transducer::builder(schema.clone(), "q0", "r")
+        .rule("q0", "r", &[("q", "a", "(x) <- ")])
+        .build()
+        .unwrap_err();
+    assert!(matches!(&bad_query, ValidationError::BadQuery { source, .. } if source == "(x) <- "));
+    let virtual_root = Transducer::builder(schema, "q0", "r")
+        .virtual_tag("r")
+        .build()
+        .unwrap_err();
+    assert_eq!(virtual_root, ValidationError::VirtualRoot);
+    // every variant renders through Display and implements Error
+    let dyn_err: Box<dyn std::error::Error> = Box::new(virtual_root);
+    assert!(dyn_err.to_string().contains("virtual"));
+}

@@ -1,9 +1,13 @@
-//! Cross-engine fuzzing: seeded random transducers over random instances,
-//! executed by all three engines — [`ExpansionMode::Tree`] (the
-//! pre-memoization ground truth), [`ExpansionMode::DagValue`] (value-level
-//! memo keys), and the default [`ExpansionMode::Dag`] (symbolic registers
-//! end-to-end) — asserting identical output trees, ξ statistics, relational
-//! views, and error behavior on every case.
+//! Cross-engine fuzzing: seeded random transducers (virtual tags included)
+//! over random instances, executed by all three engines —
+//! [`ExpansionMode::Tree`] (the pre-memoization ground truth),
+//! [`ExpansionMode::DagValue`] (value-level memo keys), and the default
+//! [`ExpansionMode::Dag`] (symbolic registers end-to-end) — asserting
+//! identical output trees, ξ statistics, relational views, and error
+//! behavior on every case. Each successful run is additionally streamed as
+//! SAX events and rebuilt (the stream-vs-tree oracle), and every case runs
+//! an amortized [`Engine`] session twice to check the persistent memo
+//! reproduces the cold result.
 //!
 //! The case count defaults to 200 and scales through the `FUZZ_CASES`
 //! environment variable (the weekly CI job runs 10×). Every case is
@@ -12,8 +16,11 @@
 //! printed in the panic message. To replay one case locally:
 //! `FUZZ_SEED=<seed> cargo test --test fuzz_differential`.
 
+use pt_bench::stream_round_trip;
 use publishing_transducers::core::generate::{random_transducer, GenConfig};
-use publishing_transducers::core::{EvalOptions, ExpansionMode, RunError, Transducer};
+use publishing_transducers::core::{
+    Engine, EvalOptions, ExpansionMode, RunError, RunResult, Transducer,
+};
 use publishing_transducers::relational::generate::{random_instance, random_schema};
 use publishing_transducers::relational::{Instance, Relation};
 use rand::prelude::*;
@@ -30,45 +37,82 @@ enum Observation {
     Failed(RunError),
 }
 
+/// The shared stream-vs-tree oracle ([`pt_bench::stream_round_trip`]),
+/// with the failing engine named in the diagnostic.
+fn check_stream(run: &RunResult, what: &str) -> Result<(), String> {
+    stream_round_trip(run).map_err(|e| format!("{what}: {e}"))
+}
+
+fn summarize(tau: &Transducer, run: &RunResult) -> Observation {
+    Observation::Ok {
+        output: format!("{:?}", run.output_tree()),
+        xi_size: run.size(),
+        xi_depth: run.depth(),
+        relational: tau
+            .alphabet()
+            .into_iter()
+            .map(|tag| {
+                let rel = run.relational_output(&tag);
+                (tag, rel)
+            })
+            .collect(),
+    }
+}
+
 fn observe(
     tau: &Transducer,
     inst: &Instance,
     mode: ExpansionMode,
     max_nodes: usize,
-) -> Observation {
+) -> Result<Observation, String> {
     match tau.run_with(inst, EvalOptions { max_nodes, mode }) {
-        Ok(run) => Observation::Ok {
-            output: format!("{:?}", run.output_tree()),
-            xi_size: run.size(),
-            xi_depth: run.depth(),
-            relational: tau
-                .alphabet()
-                .into_iter()
-                .map(|tag| {
-                    let rel = run.relational_output(&tag);
-                    (tag, rel)
-                })
-                .collect(),
-        },
-        Err(e) => Observation::Failed(e),
+        Ok(run) => {
+            check_stream(&run, &format!("{mode:?}"))?;
+            Ok(summarize(tau, &run))
+        }
+        Err(e) => Ok(Observation::Failed(e)),
     }
 }
 
-/// Run one seeded case through all three engines; `Err` carries a
-/// diagnostic on mismatch.
+/// Run one seeded case through all three engines plus an amortized engine
+/// session; `Err` carries a diagnostic on mismatch.
 fn run_case(seed: u64) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let schema = random_schema(3, 3, &mut rng);
     let tau = random_transducer(&schema, &GenConfig::default(), &mut rng);
     let inst = random_instance(&schema, 6, 8, &mut rng);
     let max_nodes = 4000;
-    let tree = observe(&tau, &inst, ExpansionMode::Tree, max_nodes);
+    let tree = observe(&tau, &inst, ExpansionMode::Tree, max_nodes)
+        .map_err(|e| format!("seed {seed}: {e}\non transducer:\n{tau}"))?;
     for mode in [ExpansionMode::DagValue, ExpansionMode::Dag] {
-        let got = observe(&tau, &inst, mode, max_nodes);
+        let got = observe(&tau, &inst, mode, max_nodes)
+            .map_err(|e| format!("seed {seed}: {e}\non transducer:\n{tau}"))?;
         if got != tree {
             return Err(format!(
                 "seed {seed}: {mode:?} disagrees with Tree oracle\n\
                  tree: {tree:?}\n{mode:?}: {got:?}\non transducer:\n{tau}"
+            ));
+        }
+    }
+    // the amortized session: prepare once, run twice — the persistent memo
+    // must replay the exact cold observation, and its stream must round-trip
+    let engine = Engine::new(&inst);
+    let prepared = engine
+        .prepare(&tau)
+        .map_err(|e| format!("seed {seed}: prepare failed: {e}\non transducer:\n{tau}"))?;
+    for round in 0..2 {
+        let got = match prepared.run_with(max_nodes) {
+            Ok(run) => {
+                check_stream(&run, &format!("prepared round {round}"))
+                    .map_err(|e| format!("seed {seed}: {e}\non transducer:\n{tau}"))?;
+                summarize(&tau, &run)
+            }
+            Err(e) => Observation::Failed(e),
+        };
+        if got != tree {
+            return Err(format!(
+                "seed {seed}: prepared round {round} disagrees with Tree oracle\n\
+                 tree: {tree:?}\nprepared: {got:?}\non transducer:\n{tau}"
             ));
         }
     }
