@@ -2,8 +2,10 @@
 //! overhauls: hash joins over interned rows, semi-naive fixpoint iteration
 //! (including the multi-linear transitive-closure expansion), interned and
 //! indexed registers on register-heavy views, configuration-DAG expansion
-//! sharing, engine-session amortization (prepared vs cold runs), and
-//! streaming vs materializing the output unfolding.
+//! sharing, engine-session amortization (prepared vs cold runs), parallel
+//! serving (N threads sharing one prepared session vs sequential replays
+//! and vs per-thread private sessions), and streaming vs materializing the
+//! output unfolding.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pt_bench::{chain_edges, registrar_with_enrollment, scaled_registrar};
@@ -143,6 +145,83 @@ fn bench_engine_reuse(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_parallel_serving(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths/parallel_serving");
+    g.sample_size(10);
+    // the Send + Sync session win: 8 threads serve one warm prepared
+    // transducer concurrently, sharing its memo. Compared against the same
+    // 32 runs replayed sequentially and against 8 threads confined to
+    // private per-thread sessions (the only thread-safe shape before the
+    // redesign, paying 8 cold expansions)
+    let tau2 = registrar::tau2();
+    let db = registrar_with_enrollment(24, 2000);
+    let threads = 8usize;
+    let per_thread = 4usize;
+    let engine = Engine::new(&db);
+    let prepared = engine.prepare(&tau2).unwrap();
+    prepared.run().unwrap(); // warm the shared memo
+    g.bench_with_input(
+        BenchmarkId::new("sequential_replays", threads * per_thread),
+        &prepared,
+        |b, prepared| {
+            b.iter(|| {
+                (0..threads * per_thread)
+                    .map(|_| prepared.run().unwrap().size())
+                    .sum::<usize>()
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("shared_session_8_threads", threads * per_thread),
+        &prepared,
+        |b, prepared| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            scope.spawn(|| {
+                                (0..per_thread)
+                                    .map(|_| prepared.run().unwrap().size())
+                                    .sum::<usize>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap())
+                        .sum::<usize>()
+                })
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("private_sessions_8_threads", threads * per_thread),
+        &db,
+        |b, db| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            scope.spawn(|| {
+                                let engine = Engine::new(db);
+                                let prepared = engine.prepare(&tau2).unwrap();
+                                (0..per_thread)
+                                    .map(|_| prepared.run().unwrap().size())
+                                    .sum::<usize>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap())
+                        .sum::<usize>()
+                })
+            })
+        },
+    );
+    g.finish();
+}
+
 fn bench_streaming(c: &mut Criterion) {
     let mut g = c.benchmark_group("hot_paths/streaming");
     g.sample_size(10);
@@ -171,6 +250,7 @@ criterion_group!(
     bench_transitive_closure,
     bench_expansion_sharing,
     bench_engine_reuse,
+    bench_parallel_serving,
     bench_streaming
 );
 criterion_main!(benches);

@@ -8,7 +8,8 @@
 //! against the *best* value recorded for it anywhere in the chain (lowest
 //! `ms`, highest `x` speedup) — so a number that improved in `BENCH_2.json`
 //! cannot quietly slide back to its `BENCH_1.json` level. Defaults:
-//! `BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json`, tolerance 3.0.
+//! `BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json`,
+//! tolerance 3.0.
 //!
 //! The tolerance is deliberately generous — CI machines are noisy and the
 //! recorded values come from another host — so the gate only trips on an
@@ -45,6 +46,7 @@ fn main() -> ExitCode {
             "BENCH_2.json",
             "BENCH_3.json",
             "BENCH_4.json",
+            "BENCH_5.json",
         ];
     }
     if files.len() < 2 {

@@ -3,13 +3,13 @@
 //! Usage: `cargo run --release -p pt-bench --bin run_experiments [section]
 //! [--full-baseline]` with `section` in `{fig1, table1, table2, table3,
 //! prop1, quick, all}`. The `quick` section times the engine's hot paths
-//! and writes a machine-readable `BENCH_4.json` extending the trajectory
-//! recorded by the committed `BENCH_1.json`, `BENCH_2.json` and
-//! `BENCH_3.json` (earlier files are never overwritten). Slow forced-tree
-//! baselines are skipped by default (speedups are computed against the
-//! recorded trajectory); pass `--full-baseline` to re-measure them
-//! locally. The `check_regression` binary gates CI on the chain,
-//! comparing each entry against its best recorded value.
+//! and writes a machine-readable `BENCH_5.json` extending the trajectory
+//! recorded by the committed `BENCH_1.json` through `BENCH_4.json`
+//! (earlier files are never overwritten). Slow forced-tree baselines are
+//! skipped by default (speedups are computed against the recorded
+//! trajectory); pass `--full-baseline` to re-measure them locally. The
+//! `check_regression` binary gates CI on the chain, comparing each entry
+//! against its best recorded value.
 
 use std::time::Instant;
 
@@ -307,13 +307,15 @@ fn time_ms(mut f: impl FnMut() -> usize) -> (f64, usize) {
 
 /// The quick engine benchmark: end-to-end DAG expansion on the Figure 1
 /// data-complexity workloads (τ1, the register-heavy τ2 variants, and the
-/// wide-register roster view), engine-session amortization and streaming
-/// output, the Proposition 1(3) blowup family, and the join/fixpoint
-/// microworkloads. Emits `BENCH_4.json`.
+/// wide-register roster view), engine-session amortization, parallel
+/// serving throughput (8 threads on one shared prepared session vs the
+/// same number of sequential replays) and streaming output, the
+/// Proposition 1(3) blowup family, and the join/fixpoint microworkloads.
+/// Emits `BENCH_5.json`.
 ///
 /// By default the slow in-run tree baselines (~30 s) are *not* re-measured:
 /// speedups are computed against the trajectory recorded in `BENCH_1.json`
-/// through `BENCH_3.json` (best value per entry). Pass `--full-baseline`
+/// through `BENCH_4.json` (best value per entry). Pass `--full-baseline`
 /// to re-run the forced-tree engine locally.
 fn quick(full_baseline: bool) {
     use pt_core::{EvalOptions, ExpansionMode};
@@ -323,7 +325,12 @@ fn quick(full_baseline: bool) {
     let mut entries: Vec<BenchEntry> = Vec::new();
     // the recorded trajectory, folded to the best value per entry
     let mut recorded: Vec<(String, String, f64)> = Vec::new();
-    for path in ["BENCH_1.json", "BENCH_2.json", "BENCH_3.json"] {
+    for path in [
+        "BENCH_1.json",
+        "BENCH_2.json",
+        "BENCH_3.json",
+        "BENCH_4.json",
+    ] {
         let parsed = std::fs::read_to_string(path)
             .map(|text| pt_bench::parse_bench_json(&text))
             .unwrap_or_default();
@@ -485,6 +492,108 @@ fn quick(full_baseline: bool) {
         note: "cold total / session total on tau2 enrollment(60,2000)".to_string(),
     });
 
+    // parallel serving (PR 5): 8 threads × 16 runs each on one *warm*
+    // prepared session vs the same 128 runs replayed sequentially
+    // (enough work per thread that the 8 thread spawns are noise). The
+    // Send + Sync session API lets every thread share one sharded memo, so
+    // on an N-core host the concurrent wall-clock is bounded by one
+    // thread's slice of the work instead of the sum (on a single-core host
+    // the two coincide up to scheduling overhead — the note records the
+    // core count the number was taken on).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = 8usize;
+    let per_thread = 16usize;
+    let total_runs = threads * per_thread;
+    let engine = pt_core::Engine::new(&db);
+    let prepared = engine.prepare(&tau2).expect("tau2 prepares");
+    let warm_size = prepared.run().unwrap().size(); // populate the memo once
+    let (replay_ms, replay_nodes) = time_ms(|| {
+        (0..total_runs)
+            .map(|_| prepared.run().unwrap().size())
+            .sum()
+    });
+    let (par_ms, par_nodes) = time_ms(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (0..per_thread)
+                            .map(|_| prepared.run().unwrap().size())
+                            .sum::<usize>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+    });
+    assert_eq!(
+        replay_nodes, par_nodes,
+        "threads must reproduce the replays"
+    );
+    assert_eq!(replay_nodes, warm_size * total_runs);
+    // the same 8 threads *without* the shared session — each confined to a
+    // private engine + prepared transducer, the only thread-safe option
+    // before the Send + Sync redesign: every thread pays its own cold
+    // expansion instead of replaying the shared memo
+    let (private_ms, private_nodes) = time_ms(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let engine = pt_core::Engine::new(&db);
+                        let prepared = engine.prepare(&tau2).expect("tau2 prepares");
+                        (0..per_thread)
+                            .map(|_| prepared.run().unwrap().size())
+                            .sum::<usize>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+    });
+    assert_eq!(replay_nodes, private_nodes);
+    let parallel_speedup = replay_ms / par_ms;
+    let sharing_speedup = private_ms / par_ms;
+    println!("tau2 serving seq x{total_runs}       : {replay_ms:>10.1} ms  (sequential replays)");
+    println!(
+        "tau2 serving 8thr x{per_thread}       : {par_ms:>10.1} ms  \
+         ({parallel_speedup:.2}x vs sequential on {cores} core(s))"
+    );
+    println!(
+        "tau2 serving private x{per_thread}    : {private_ms:>10.1} ms  \
+         (shared session {sharing_speedup:.1}x faster than per-thread sessions)"
+    );
+    entries.push(BenchEntry {
+        name: "tau2_enrollment_replay_x128",
+        metric: "ms",
+        value: replay_ms,
+        note: format!("{total_runs} sequential warm replays, one prepared session"),
+    });
+    entries.push(BenchEntry {
+        name: "tau2_enrollment_parallel_8x16",
+        metric: "ms",
+        value: par_ms,
+        note: format!(
+            "{threads} threads x {per_thread} runs, one shared prepared session, \
+             {cores}-core host"
+        ),
+    });
+    entries.push(BenchEntry {
+        name: "parallel_serving_speedup_x8",
+        metric: "x",
+        value: parallel_speedup,
+        note: format!(
+            "sequential replay total / 8-thread concurrent total ({cores}-core host; \
+             ceiling is 1.0 on one core, scales with cores)"
+        ),
+    });
+    entries.push(BenchEntry {
+        name: "parallel_shared_vs_private_x8",
+        metric: "x",
+        value: sharing_speedup,
+        note: "8 threads on per-thread private sessions / 8 threads sharing one memo".to_string(),
+    });
+
     // streaming vs materializing the unfolding: one shared-DAG run of τ1,
     // then emit the document as SAX events (no tree allocation) vs
     // building the full output tree
@@ -644,7 +753,7 @@ fn quick(full_baseline: bool) {
     }
 
     // hand-rolled JSON: the workspace is offline, no serde available
-    let mut json = String::from("{\n  \"bench\": 4,\n  \"entries\": [\n");
+    let mut json = String::from("{\n  \"bench\": 5,\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
         json.push_str(&format!(
@@ -653,8 +762,8 @@ fn quick(full_baseline: bool) {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_4.json", &json).expect("writing BENCH_4.json");
-    println!("wrote BENCH_4.json");
+    std::fs::write("BENCH_5.json", &json).expect("writing BENCH_5.json");
+    println!("wrote BENCH_5.json");
 }
 
 fn main() {

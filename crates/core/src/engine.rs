@@ -14,31 +14,52 @@
 //!   every register the engine ever sees.
 //! * **Prepared, paid once per transducer** ([`Engine::prepare`]):
 //!   validation of the transducer against the instance, warming of every
-//!   base relation its queries mention, and the rule plan — dense
-//!   `(state, tag)` pair ids with rule items resolved to
-//!   `(child pair id, query)` so the expansion loop never hashes a string
-//!   (the queries' `Formula::pushed` negation push-down was already
-//!   computed when they were built).
+//!   base relation its queries mention, *freezing* of every constant its
+//!   queries mention into the engine's immutable interner snapshot, and the
+//!   rule plan — dense `(state, tag)` pair ids with rule items resolved to
+//!   `(child pair id, query)` so the expansion loop never hashes a string.
 //! * **Per-run** ([`PreparedTransducer::run`]): only the expansion itself.
 //!   The configuration memo persists in the prepared transducer, so
 //!   repeated runs replay shared subtrees instead of re-deriving them —
 //!   sound because the engine's interner is append-only and the database
 //!   is immutably borrowed for the engine's lifetime.
 //!
+//! # Thread-safe serving
+//!
+//! `Engine` and `PreparedTransducer` are `Send + Sync`, and every session
+//! method takes `&self`: N threads may call [`PreparedTransducer::run`] /
+//! [`PreparedTransducer::stream`] on one shared prepared transducer
+//! concurrently, all feeding — and feeding off — a single sharded
+//! configuration memo, so concurrent requests share expansion work instead
+//! of duplicating it. The thread-safety rests on three pillars, one per
+//! layer (see the ROADMAP performance-architecture notes):
+//!
+//! * the interner is a **frozen snapshot**: everything a prepared plan can
+//!   touch (sorted base active domain, base relations, rule-query
+//!   constants) is interned into an immutable `Arc` snapshot by
+//!   `Engine::new` / `Engine::prepare`, so hot-path lookups are lock-free
+//!   reads; genuinely run-local extras go to a small mutex overlay the
+//!   prepared paths never hit ([`pt_logic::SharedInterner`]);
+//! * `SymRelation`s stay immutable once built, with their lazy composite
+//!   index caches behind an `RwLock`;
+//! * the configuration memo and register hash-consing table are sharded /
+//!   read-locked concurrent structures shared by all runs, optionally
+//!   bounded with a [`MemoPolicy`] chosen at [`Engine::prepare_with`].
+//!
 //! Output has two forms: [`PreparedTransducer::run`] returns the shared-DAG
 //! [`RunResult`], and [`PreparedTransducer::stream`] emits the document as
 //! SAX-style [`pt_xmltree::XmlEvent`]s without materializing the unfolding
 //! (see [`RunResult::stream_output`]).
 
-use std::cell::RefCell;
 use std::fmt;
+use std::sync::RwLock;
 
 use pt_logic::EvalContext;
 use pt_relational::{Instance, SymRegister};
 use pt_xmltree::XmlEventSink;
 
 use crate::semantics::{
-    expand_session, DagState, EvalOptions, PairTable, RegisterIds, RunError, RunResult,
+    expand_session, DagState, EvalOptions, MemoPolicy, PairTable, RegisterIds, RunError, RunResult,
     StreamSummary,
 };
 use crate::transducer::Transducer;
@@ -82,20 +103,29 @@ impl std::error::Error for PrepareError {}
 /// Owns every run-wide cache: the sorted, pre-interned active domain, the
 /// lazily interned base relations and their composite indexes, and the
 /// dense register-id table ([`RegId`](crate::semantics) hash-consing).
-/// Build one per database and [`Engine::prepare`] each transducer that
-/// publishes it.
+/// Build one per database, [`Engine::prepare`] each transducer that
+/// publishes it, and share both freely across threads — the engine is
+/// `Send + Sync` and all methods take `&self`.
 pub struct Engine<'db> {
     ctx: EvalContext<'db>,
-    regs: RefCell<RegisterIds<SymRegister>>,
+    regs: RwLock<RegisterIds<SymRegister>>,
 }
 
+// Compile-time proof that the serving API is thread-safe: one `Engine` and
+// its `PreparedTransducer`s may be shared across threads (`&self` runs).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine<'static>>();
+    assert_send_sync::<PreparedTransducer<'static, 'static, 'static>>();
+};
+
 impl<'db> Engine<'db> {
-    /// Scan `db` once for its active domain, intern it, and set up the
-    /// engine-owned caches.
+    /// Scan `db` once for its active domain, intern it into the frozen
+    /// snapshot, and set up the engine-owned caches.
     pub fn new(db: &'db Instance) -> Self {
         Engine {
             ctx: EvalContext::new(db),
-            regs: RefCell::new(RegisterIds::default()),
+            regs: RwLock::new(RegisterIds::default()),
         }
     }
 
@@ -107,16 +137,28 @@ impl<'db> Engine<'db> {
     /// Number of distinct registers hash-consed so far, across every
     /// prepared transducer of this engine.
     pub fn registers_interned(&self) -> usize {
-        self.regs.borrow().len()
+        self.regs.read().unwrap().len()
     }
 
     /// Validate `tau` against the bound database and precompute its rule
-    /// plan: dense `(state, tag)` pair ids, resolved rule items, and warmed
-    /// base relations. The handle borrows both the engine and the
-    /// transducer; [`PreparedTransducer::run`] it as many times as needed.
+    /// plan: dense `(state, tag)` pair ids, resolved rule items, warmed
+    /// base relations, and the frozen constant set. The handle borrows both
+    /// the engine and the transducer; [`PreparedTransducer::run`] it as
+    /// many times — and from as many threads — as needed. The configuration
+    /// memo is unbounded; see [`Engine::prepare_with`] to cap it.
     pub fn prepare<'e, 't>(
         &'e self,
         tau: &'t Transducer,
+    ) -> Result<PreparedTransducer<'e, 'db, 't>, PrepareError> {
+        self.prepare_with(tau, MemoPolicy::default())
+    }
+
+    /// [`Engine::prepare`] with an explicit [`MemoPolicy`] for the session's
+    /// configuration memo.
+    pub fn prepare_with<'e, 't>(
+        &'e self,
+        tau: &'t Transducer,
+        policy: MemoPolicy,
     ) -> Result<PreparedTransducer<'e, 'db, 't>, PrepareError> {
         for (name, declared) in tau.schema().iter() {
             if let Some(found) = self.instance().get_ref(name).and_then(|r| r.arity()) {
@@ -129,7 +171,7 @@ impl<'db> Engine<'db> {
                 }
             }
         }
-        Ok(self.prepare_unvalidated(tau))
+        Ok(self.prepare_unvalidated(tau, policy))
     }
 
     /// [`Engine::prepare`] without the instance checks — the legacy
@@ -139,6 +181,7 @@ impl<'db> Engine<'db> {
     pub(crate) fn prepare_unvalidated<'e, 't>(
         &'e self,
         tau: &'t Transducer,
+        policy: MemoPolicy,
     ) -> PreparedTransducer<'e, 'db, 't> {
         let pairs = PairTable::new(tau);
         // warm every base relation a *reachable* query mentions, so the
@@ -149,11 +192,19 @@ impl<'db> Engine<'db> {
                 self.ctx.warm_relation(&rel);
             }
         }
+        // freeze every constant a reachable query mentions into the
+        // interner snapshot: together with the base domain (frozen at
+        // `Engine::new`) this covers every value a run of this plan can
+        // ever intern, so the serving hot path never touches the overlay
+        // mutex and every register stays snapshot-relative — the invariant
+        // that keeps symbolic memo keys valid across runs and threads
+        self.ctx
+            .freeze_values(pairs.queries().flat_map(|q| q.body().constants()));
         PreparedTransducer {
             engine: self,
             tau,
             pairs,
-            state: RefCell::new(DagState::default()),
+            state: DagState::new(policy),
         }
     }
 }
@@ -162,14 +213,15 @@ impl<'db> Engine<'db> {
 /// the engine's caches are warm, and the configuration memo persists
 /// across runs. Obtain one via [`Engine::prepare`].
 ///
-/// All methods take `&self`; the session state lives behind a `RefCell`,
-/// so a sink must not re-enter the same prepared transducer from inside
-/// [`XmlEventSink::event`].
+/// All methods take `&self`, and the type is `Send + Sync`: N threads may
+/// run and stream one prepared transducer concurrently, sharing the
+/// sharded session memo (concurrent runs replay each other's finished
+/// configurations instead of re-deriving them).
 pub struct PreparedTransducer<'e, 'db, 't> {
     engine: &'e Engine<'db>,
     tau: &'t Transducer,
     pairs: PairTable<'t>,
-    state: RefCell<DagState>,
+    state: DagState,
 }
 
 impl<'e, 'db, 't> PreparedTransducer<'e, 'db, 't> {
@@ -190,12 +242,24 @@ impl<'e, 'db, 't> PreparedTransducer<'e, 'db, 't> {
 
     /// Number of distinct configurations memoized so far in this session.
     pub fn configurations_seen(&self) -> usize {
-        self.state.borrow().configs()
+        self.state.configs()
+    }
+
+    /// Number of memo entries currently held (eviction under a bounded
+    /// [`MemoPolicy`] shrinks this; configurations stay interned).
+    pub fn memo_entries(&self) -> usize {
+        self.state.entries()
+    }
+
+    /// The memo policy this session was prepared with.
+    pub fn memo_policy(&self) -> MemoPolicy {
+        self.state.policy()
     }
 
     /// Run the τ-transformation with the default node budget
     /// ([`EvalOptions::default`]). Symbolic-register DAG expansion, with
-    /// the session memo carried over from earlier runs.
+    /// the session memo carried over from earlier runs — and shared with
+    /// any runs happening concurrently on other threads.
     pub fn run(&self) -> Result<RunResult, RunError> {
         self.run_with(EvalOptions::default().max_nodes)
     }
@@ -203,12 +267,11 @@ impl<'e, 'db, 't> PreparedTransducer<'e, 'db, 't> {
     /// [`PreparedTransducer::run`] with an explicit budget on the unfolded
     /// ξ-node count (the budget is per run; the memo persists either way).
     pub fn run_with(&self, max_nodes: usize) -> Result<RunResult, RunError> {
-        let mut state = self.state.borrow_mut();
         let root = expand_session(
             &self.engine.ctx,
             &self.engine.regs,
             &self.pairs,
-            &mut state,
+            &self.state,
             max_nodes,
         )?;
         Ok(RunResult::new(root, self.tau.virtual_tags().clone()))

@@ -15,6 +15,14 @@
 //! All randomness flows through the caller's RNG: a fixed seed reproduces
 //! the exact transducer, which is what lets `tests/fuzz_differential.rs`
 //! report a failing case as a single integer.
+//!
+//! As of PR 5 the generator also draws inflationary-fixpoint (IFP)
+//! conjuncts with [`GenConfig::ifp_prob`], covering the remaining
+//! expressiveness class of the paper's query logics: a conjunction may gain
+//! a linear reachability-shaped membership test
+//! `fix F(a) { base(…a…) or exists p (F(p) and step(p, a…)) }(v)` over one
+//! of its head variables, with `base`/`step` drawn from the schema (or the
+//! parent register).
 
 use rand::prelude::*;
 
@@ -42,6 +50,12 @@ pub struct GenConfig {
     /// so generated cases exercise virtual-node elimination across the
     /// engines and the stream-vs-tree oracle.
     pub virtual_tag_prob: f64,
+    /// Probability that a conjunction gains an inflationary-fixpoint (IFP)
+    /// membership conjunct over one of its head variables, so the
+    /// cross-engine oracle covers the FO+IFP expressiveness class. Requires
+    /// a relation (or parent register) of arity ≥ 2 for the step atom;
+    /// conjunctions without one skip the draw.
+    pub ifp_prob: f64,
 }
 
 impl Default for GenConfig {
@@ -54,6 +68,7 @@ impl Default for GenConfig {
             rule_density: 0.7,
             max_const: 5,
             virtual_tag_prob: 0.2,
+            ifp_prob: 0.15,
         }
     }
 }
@@ -200,6 +215,13 @@ fn random_conjunction(
             .collect();
         conjuncts.push(format!("not ({}({}))", name, args.join(", ")));
     }
+    // a linear IFP membership test over a head variable (reachability
+    // shape): covers the fixpoint expressiveness class in the fuzz corpus
+    if !head.is_empty() && cfg.ifp_prob > 0.0 && rng.gen_bool(cfg.ifp_prob) {
+        if let Some(fix) = random_fix_conjunct(&rels, head, parent_arity, rng) {
+            conjuncts.push(fix);
+        }
+    }
     // a comparison between a head variable and a constant or head variable
     if !head.is_empty() && rng.gen_bool(0.3) {
         let a = &head[rng.gen_range(0..head.len())];
@@ -212,6 +234,75 @@ fn random_conjunction(
         conjuncts.push(format!("{a} {op} {b}"));
     }
     conjuncts.join(" and ")
+}
+
+/// A linear inflationary-fixpoint membership conjunct over one head
+/// variable:
+///
+/// ```text
+/// fix F(fa) { ‹base with fa in one slot› or
+///             exists fp (F(fp) and ‹step with fp, fa in two slots›) }(v)
+/// ```
+///
+/// `base` is any relation (or the parent register) of arity ≥ 1 and `step`
+/// any of arity ≥ 2; remaining slots are filled with explicitly quantified
+/// fresh variables, so the body's free variables are exactly the fixpoint
+/// tuple (the evaluator rejects anything else). Returns `None` when the
+/// pool has no arity-2 step source.
+fn random_fix_conjunct(
+    rels: &[(String, usize)],
+    head: &[String],
+    parent_arity: usize,
+    rng: &mut StdRng,
+) -> Option<String> {
+    let mut bases: Vec<(String, usize)> = rels.iter().filter(|&&(_, a)| a >= 1).cloned().collect();
+    let mut steps: Vec<(String, usize)> = rels.iter().filter(|&&(_, a)| a >= 2).cloned().collect();
+    if parent_arity >= 1 {
+        bases.push(("Reg".to_string(), parent_arity));
+    }
+    if parent_arity >= 2 {
+        steps.push(("Reg".to_string(), parent_arity));
+    }
+    if bases.is_empty() || steps.is_empty() {
+        return None;
+    }
+    // one atom with the given variables placed in fixed slots, every other
+    // slot a fresh variable — quantified explicitly (fixpoint bodies allow
+    // no free variables beyond the fixpoint tuple, so no auto-closure here)
+    fn place(name: &str, arity: usize, slots: &[(usize, &str)], fresh_tag: &str) -> String {
+        let mut args: Vec<String> = Vec::with_capacity(arity);
+        let mut fresh: Vec<String> = Vec::new();
+        for i in 0..arity {
+            match slots.iter().find(|&&(j, _)| j == i) {
+                Some(&(_, v)) => args.push(v.to_string()),
+                None => {
+                    let v = format!("{fresh_tag}{}", fresh.len());
+                    args.push(v.clone());
+                    fresh.push(v);
+                }
+            }
+        }
+        let atom = format!("{}({})", name, args.join(", "));
+        if fresh.is_empty() {
+            atom
+        } else {
+            format!("exists {} ({atom})", fresh.join(" "))
+        }
+    }
+    let (bname, barity) = bases[rng.gen_range(0..bases.len())].clone();
+    let (sname, sarity) = steps[rng.gen_range(0..steps.len())].clone();
+    let bslot = rng.gen_range(0..barity);
+    let s1 = rng.gen_range(0..sarity);
+    let mut s2 = rng.gen_range(0..sarity - 1);
+    if s2 >= s1 {
+        s2 += 1;
+    }
+    let base = place(&bname, barity, &[(bslot, "fa")], "fb");
+    let step = place(&sname, sarity, &[(s1, "fp"), (s2, "fa")], "fs");
+    let target = &head[rng.gen_range(0..head.len())];
+    Some(format!(
+        "fix F(fa) {{ ({base}) or exists fp (F(fp) and {step}) }}({target})"
+    ))
 }
 
 /// Draw a random transducer over `schema` within the bounds of `cfg`.
@@ -328,6 +419,31 @@ mod tests {
         }
         assert!(virtuals > 5, "only {virtuals}/40 draws were virtual");
         assert!(virtuals < 40, "every draw was virtual");
+    }
+
+    #[test]
+    fn corpus_draws_ifp_bodies() {
+        // with the default ifp_prob, a modest seed range must produce
+        // fixpoint bodies — and they must still run under every engine
+        // (the cross-engine agreement itself is fuzz_differential's job)
+        let cfg = GenConfig::default();
+        let mut with_fix = 0usize;
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(4000 + seed);
+            let schema = random_schema(3, 3, &mut rng);
+            let tau = random_transducer(&schema, &cfg, &mut rng);
+            if format!("{tau}").contains("fix ") {
+                with_fix += 1;
+                let inst = random_instance(&schema, 5, 6, &mut rng);
+                let opts = crate::semantics::EvalOptions::with_max_nodes(2000);
+                match tau.run_with(&inst, opts) {
+                    Ok(_) | Err(crate::semantics::RunError::NodeLimit(_)) => {}
+                    Err(e) => panic!("seed {seed}: unexpected error {e}"),
+                }
+            }
+        }
+        assert!(with_fix > 5, "only {with_fix}/60 draws used a fixpoint");
+        assert!(with_fix < 60, "every draw used a fixpoint");
     }
 
     #[test]

@@ -24,15 +24,19 @@
 //! * [`engine`] — the production entry point: a long-lived [`Engine`]
 //!   bound to a database and [`PreparedTransducer`] handles that amortize
 //!   interning, indexing, rule planning, and the configuration memo across
-//!   runs, with streaming event output ([`PreparedTransducer::stream`]),
+//!   runs, with streaming event output ([`PreparedTransducer::stream`]).
+//!   Both are `Send + Sync` with `&self` sessions: N threads serve one
+//!   prepared transducer concurrently over a shared, sharded memo
+//!   (optionally bounded via [`MemoPolicy`]),
 //! * [`semantics`] — the transformation itself: [`Transducer::run`] (a
 //!   thin one-shot wrapper over the engine) produces the result tree ξ,
 //!   the output Σ-tree, and the induced relational query `R_τ` of
 //!   Section 6.1,
 //! * [`examples`] — the registrar database and the three views of Figure 1
 //!   (Examples 1.1, 3.1 and 3.2),
-//! * [`generate`] — seeded random transducers (including virtual tags) for
-//!   the cross-engine fuzz harness (`tests/fuzz_differential.rs`).
+//! * [`generate`] — seeded random transducers (virtual tags and IFP bodies
+//!   included) for the cross-engine fuzz harness
+//!   (`tests/fuzz_differential.rs`).
 
 pub mod engine;
 pub mod examples;
@@ -41,7 +45,9 @@ pub mod semantics;
 pub mod transducer;
 
 pub use engine::{Engine, PrepareError, PreparedTransducer};
-pub use semantics::{EvalOptions, ExpansionMode, ResultNode, RunError, RunResult, StreamSummary};
+pub use semantics::{
+    EvalOptions, ExpansionMode, MemoPolicy, ResultNode, RunError, RunResult, StreamSummary,
+};
 pub use transducer::{
     DependencyGraph, Output, PathStep, PtClass, RuleItem, Store, Transducer, TransducerBuilder,
     ValidationError,

@@ -67,15 +67,15 @@
 //! `Tree` is the ground-truth oracle of the differential and fuzz suites
 //! (`tests/differential.rs`, `tests/fuzz_differential.rs`).
 
-use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::hash::Hash;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
 use pt_logic::eval::EvalError;
 use pt_logic::{EvalContext, IndexedRegister, Query};
-use pt_relational::intern::{FxHashMap, FxHashSet};
+use pt_relational::intern::{FxHashMap, FxHashSet, FxHasher};
 use pt_relational::{Instance, Relation, SymRegister};
 use pt_xmltree::{Tree, XmlEvent, XmlEventSink};
 
@@ -429,6 +429,9 @@ struct MemoEntry {
     node: Arc<ResultNode>,
     /// Unfolded ξ-node count of the subtree (for budget accounting).
     size: usize,
+    /// Eviction generation ([`MemoPolicy::Bounded`]); stamped by
+    /// [`DagState::insert`].
+    generation: u32,
 }
 
 /// How a DAG-mode run represents registers between configuration expansion
@@ -513,8 +516,8 @@ impl RegisterRepr for Relation {
 /// is append-only, so symbolic register equality — and hence the ids — is
 /// stable across every run and prepared transducer of that engine).
 pub(crate) struct RegisterIds<R> {
-    ids: FxHashMap<std::rc::Rc<R>, RegId>,
-    regs: Vec<std::rc::Rc<R>>,
+    ids: FxHashMap<Arc<R>, RegId>,
+    regs: Vec<Arc<R>>,
 }
 
 impl<R> Default for RegisterIds<R> {
@@ -527,6 +530,12 @@ impl<R> Default for RegisterIds<R> {
 }
 
 impl<R: RegisterRepr> RegisterIds<R> {
+    /// The id of `reg`, if it was interned before — the lock-friendly fast
+    /// path of [`RegisterIds::intern`] (warm runs only ever hit this).
+    fn get(&self, reg: &R) -> Option<RegId> {
+        self.ids.get(reg).copied()
+    }
+
     /// The dense id of `reg`, interning it on first sight. This is the only
     /// place the full register data is hashed; every later lookup of the
     /// same register by id is O(1) in its width.
@@ -535,15 +544,15 @@ impl<R: RegisterRepr> RegisterIds<R> {
             return id;
         }
         let id = self.regs.len() as RegId;
-        let reg = std::rc::Rc::new(reg);
-        self.regs.push(std::rc::Rc::clone(&reg));
+        let reg = Arc::new(reg);
+        self.regs.push(Arc::clone(&reg));
         self.ids.insert(reg, id);
         id
     }
 
     /// The interned register behind `id` (shared, no data clone).
-    fn rc(&self, id: RegId) -> std::rc::Rc<R> {
-        std::rc::Rc::clone(&self.regs[id as usize])
+    fn arc(&self, id: RegId) -> Arc<R> {
+        Arc::clone(&self.regs[id as usize])
     }
 
     /// Number of distinct registers interned so far.
@@ -606,35 +615,229 @@ impl<'t> PairTable<'t> {
     }
 }
 
-/// The mutable expansion session: the configuration intern table and memo.
-/// Owned by a `PreparedTransducer`, it persists across `run()` calls — a
-/// repeated run replays memo entries instead of re-expanding (register ids
-/// are engine-relative and pair ids prepared-transducer-relative, so the
-/// keys stay valid for the session's whole lifetime).
-#[derive(Default)]
+/// How a prepared transducer's configuration memo is bounded.
+///
+/// The memo persists for the session's lifetime and is shared by every
+/// concurrent run of the prepared transducer. Long-lived engines serving
+/// many transducers can cap it with *generation-counted* eviction: a new
+/// generation opens every ⌈cap/2⌉ insertions, and when the entry count
+/// exceeds the cap, entries older than the two newest generations are
+/// dropped — each generation holds at most ⌈cap/2⌉ entries, so the
+/// newest ~half-to-full cap survives and older entries age out first
+/// (everything is dropped only in the degenerate racing case where the
+/// survivors alone still exceed the cap). Configuration ids and
+/// the register hash-consing table are never evicted — they are small,
+/// and in-flight expansions hold on to their ids; a concurrent run simply
+/// recomputes any entry evicted under it, so output is identical under
+/// every policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MemoPolicy {
+    /// Keep every memo entry for the session's lifetime (the default).
+    #[default]
+    Unbounded,
+    /// Evict once the total entry count exceeds `max_entries`.
+    Bounded {
+        /// Maximum memo entries held across all configurations.
+        max_entries: usize,
+    },
+}
+
+/// Number of memo shards; a power of two so the shard of a configuration id
+/// is a mask. 16 keeps write contention negligible at the 8–16 serving
+/// threads the engine targets without bloating the per-session footprint.
+const SHARD_BITS: u32 = 4;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+/// The expansion session: the configuration intern table and memo, sharded
+/// for concurrent runs. Owned by a `PreparedTransducer`, it persists across
+/// `run()` calls — a repeated run replays memo entries instead of
+/// re-expanding, and N concurrent runs share every entry any of them
+/// produced (register ids are engine-relative and pair ids
+/// prepared-transducer-relative, so the keys stay valid for the session's
+/// whole lifetime).
+///
+/// A configuration id packs its shard into the low [`SHARD_BITS`] bits and
+/// the index within the shard above them; footprint sets and ancestor paths
+/// treat the id as opaque.
 pub(crate) struct DagState {
+    shards: Vec<RwLock<MemoShard>>,
+    policy: MemoPolicy,
+    /// Total memo entries across all shards (maintained outside the shard
+    /// locks; transiently approximate under concurrency, which is fine —
+    /// the cap is a resource bound, not a semantic one).
+    entry_count: AtomicUsize,
+    /// Current eviction generation ([`MemoPolicy::Bounded`]).
+    generation: AtomicU32,
+    /// Entries inserted in the current generation; a new generation opens
+    /// every ⌈cap/2⌉ insertions so eviction always has an older
+    /// generation to drop (approximate under concurrency, like
+    /// `entry_count`).
+    generation_fill: AtomicUsize,
+}
+
+#[derive(Default)]
+struct MemoShard {
     ids: FxHashMap<(PairId, RegId), ConfigId>,
     configs: Vec<(PairId, RegId)>,
     entries: Vec<Vec<MemoEntry>>,
 }
 
-impl DagState {
-    /// Number of distinct configurations interned so far.
-    pub(crate) fn configs(&self) -> usize {
-        self.configs.len()
+impl Default for DagState {
+    fn default() -> Self {
+        DagState::new(MemoPolicy::Unbounded)
     }
 }
 
-/// Run one DAG-mode expansion over a borrowed session: the single entry
+impl DagState {
+    pub(crate) fn new(policy: MemoPolicy) -> Self {
+        DagState {
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(MemoShard::default()))
+                .collect(),
+            policy,
+            entry_count: AtomicUsize::new(0),
+            generation: AtomicU32::new(0),
+            generation_fill: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard_of(key: (PairId, RegId)) -> usize {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        (h.finish() as usize) & (SHARDS - 1)
+    }
+
+    /// The configuration id of `key`, interning it on first sight. A hit
+    /// takes only the shard's read lock.
+    fn config_id(&self, key: (PairId, RegId)) -> ConfigId {
+        let shard_idx = Self::shard_of(key);
+        let shard = &self.shards[shard_idx];
+        if let Some(&id) = shard.read().unwrap().ids.get(&key) {
+            return id;
+        }
+        let mut guard = shard.write().unwrap();
+        if let Some(&id) = guard.ids.get(&key) {
+            return id;
+        }
+        let id = ((guard.configs.len() as ConfigId) << SHARD_BITS) | shard_idx as ConfigId;
+        guard.configs.push(key);
+        guard.entries.push(Vec::new());
+        guard.ids.insert(key, id);
+        id
+    }
+
+    /// The `(pair, register)` key behind a configuration id.
+    fn config(&self, cid: ConfigId) -> (PairId, RegId) {
+        let shard = &self.shards[(cid as usize) & (SHARDS - 1)];
+        shard.read().unwrap().configs[(cid >> SHARD_BITS) as usize]
+    }
+
+    /// Memo lookup under the current ancestor path: an entry is reusable iff
+    /// the ancestors intersect its footprint exactly as the recorded
+    /// ancestors did.
+    fn lookup(
+        &self,
+        cid: ConfigId,
+        path: &[ConfigId],
+    ) -> Option<(Arc<ResultNode>, FxHashSet<ConfigId>, usize)> {
+        let shard = self.shards[(cid as usize) & (SHARDS - 1)].read().unwrap();
+        for entry in &shard.entries[(cid >> SHARD_BITS) as usize] {
+            let mut s_cap: Vec<ConfigId> = path
+                .iter()
+                .copied()
+                .filter(|c| entry.footprint.contains(c))
+                .collect();
+            s_cap.sort_unstable();
+            if s_cap == entry.blocked {
+                return Some((Arc::clone(&entry.node), entry.footprint.clone(), entry.size));
+            }
+        }
+        None
+    }
+
+    /// Record one expansion (the entry's generation stamp is set here);
+    /// under [`MemoPolicy::Bounded`], trips the generation-counted
+    /// eviction when the cap is exceeded. A concurrent duplicate insert
+    /// (two threads racing the same cold configuration) is benign: both
+    /// entries answer identically and at most one is extra.
+    fn insert(&self, cid: ConfigId, mut entry: MemoEntry) {
+        entry.generation = self.generation.load(Ordering::Relaxed);
+        {
+            let mut shard = self.shards[(cid as usize) & (SHARDS - 1)].write().unwrap();
+            shard.entries[(cid >> SHARD_BITS) as usize].push(entry);
+        }
+        let count = self.entry_count.fetch_add(1, Ordering::Relaxed) + 1;
+        if let MemoPolicy::Bounded { max_entries } = self.policy {
+            let fill = self.generation_fill.fetch_add(1, Ordering::Relaxed) + 1;
+            if fill >= max_entries.div_ceil(2) {
+                // open a new generation so the entries inserted so far age:
+                // the next eviction keeps only the newer generation(s)
+                self.generation_fill.store(0, Ordering::Relaxed);
+                self.generation.fetch_add(1, Ordering::Relaxed);
+            }
+            if count > max_entries {
+                self.evict(max_entries);
+            }
+        }
+    }
+
+    /// Generation-counted eviction: keep the two newest generations (each
+    /// at most ⌈cap/2⌉ entries, so together they fit the cap) and drop
+    /// everything older; if the survivors alone still exceed the cap
+    /// (tiny caps or racing insertions), drop everything. See
+    /// [`MemoPolicy::Bounded`].
+    fn evict(&self, max_entries: usize) {
+        let current = self.generation.load(Ordering::Relaxed);
+        let mut remaining = 0usize;
+        for shard in &self.shards {
+            let mut guard = shard.write().unwrap();
+            for entries in &mut guard.entries {
+                entries.retain(|e| current.wrapping_sub(e.generation) <= 1);
+                remaining += entries.len();
+            }
+        }
+        if remaining > max_entries {
+            remaining = 0;
+            for shard in &self.shards {
+                let mut guard = shard.write().unwrap();
+                for entries in &mut guard.entries {
+                    entries.clear();
+                }
+            }
+        }
+        self.entry_count.store(remaining, Ordering::Relaxed);
+    }
+
+    /// Number of distinct configurations interned so far.
+    pub(crate) fn configs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap().configs.len())
+            .sum()
+    }
+
+    /// Number of memo entries currently held.
+    pub(crate) fn entries(&self) -> usize {
+        self.entry_count.load(Ordering::Relaxed)
+    }
+
+    /// The memo policy this session was prepared with.
+    pub(crate) fn policy(&self) -> MemoPolicy {
+        self.policy
+    }
+}
+
+/// Run one DAG-mode expansion over a shared session: the single entry
 /// point shared by `PreparedTransducer::run_with` (symbolic registers,
 /// engine-owned caches) and the `ExpansionMode::DagValue` oracle arm
 /// (value-level registers, throwaway session) — one wiring, two register
-/// representations.
+/// representations. Takes the session state by shared reference: N threads
+/// may expand over one session concurrently, sharing the memo.
 pub(crate) fn expand_session<R: RegisterRepr>(
     ctx: &EvalContext<'_>,
-    regs: &RefCell<RegisterIds<R>>,
+    regs: &RwLock<RegisterIds<R>>,
     pairs: &PairTable<'_>,
-    state: &mut DagState,
+    state: &DagState,
     max_nodes: usize,
 ) -> Result<Arc<ResultNode>, RunError> {
     DagExpansion {
@@ -648,31 +851,31 @@ pub(crate) fn expand_session<R: RegisterRepr>(
     .run_root()
 }
 
-/// One DAG-mode expansion over a borrowed session, generic over the
+/// One DAG-mode expansion over a shared session, generic over the
 /// register representation configurations key on. The engine-owned parts
-/// (`ctx`, `regs`) are shared across runs and prepared transducers; `state`
-/// is the per-session memo; `count` is this run's unfolded-node budget.
+/// (`ctx`, `regs`) and the session memo (`state`) are shared across
+/// concurrent runs; only `count` — this run's unfolded-node budget — is
+/// run-local. No lock is ever held across recursion or query evaluation.
 struct DagExpansion<'x, 't, 'db, R: RegisterRepr> {
     ctx: &'x EvalContext<'db>,
-    regs: &'x RefCell<RegisterIds<R>>,
+    regs: &'x RwLock<RegisterIds<R>>,
     pairs: &'x PairTable<'t>,
-    state: &'x mut DagState,
+    state: &'x DagState,
     max_nodes: usize,
     count: usize,
 }
 
 impl<'x, 't, 'db, R: RegisterRepr> DagExpansion<'x, 't, 'db, R> {
     fn config_id(&mut self, pair: PairId, register: R) -> ConfigId {
-        let reg = self.regs.borrow_mut().intern(register);
-        let key = (pair, reg);
-        if let Some(&id) = self.state.ids.get(&key) {
-            return id;
-        }
-        let id = self.state.configs.len() as ConfigId;
-        self.state.configs.push(key);
-        self.state.ids.insert(key, id);
-        self.state.entries.push(Vec::new());
-        id
+        // warm runs resolve every register through the read lock; only a
+        // genuinely new register takes the write lock to intern (the read
+        // guard must be dropped first — std RwLock is not re-entrant)
+        let cached = self.regs.read().unwrap().get(&register);
+        let reg = match cached {
+            Some(id) => id,
+            None => self.regs.write().unwrap().intern(register),
+        };
+        self.state.config_id((pair, reg))
     }
 
     fn charge(&mut self, nodes: usize) -> Result<(), RunError> {
@@ -702,24 +905,14 @@ impl<'x, 't, 'db, R: RegisterRepr> DagExpansion<'x, 't, 'db, R> {
     ) -> Result<(Arc<ResultNode>, FxHashSet<ConfigId>, usize), RunError> {
         // memo lookup: an entry is reusable iff the current ancestors
         // intersect its footprint exactly as the recorded ancestors did
-        for entry in &self.state.entries[cid as usize] {
-            let mut s_cap: Vec<ConfigId> = path
-                .iter()
-                .copied()
-                .filter(|c| entry.footprint.contains(c))
-                .collect();
-            s_cap.sort_unstable();
-            if s_cap == entry.blocked {
-                let (node, footprint, size) =
-                    (Arc::clone(&entry.node), entry.footprint.clone(), entry.size);
-                self.charge(size)?;
-                return Ok((node, footprint, size));
-            }
+        if let Some((node, footprint, size)) = self.state.lookup(cid, path) {
+            self.charge(size)?;
+            return Ok((node, footprint, size));
         }
 
-        let (pair, reg_id) = self.state.configs[cid as usize];
-        // Rc clone only: the interned register is never copied
-        let register = self.regs.borrow().rc(reg_id);
+        let (pair, reg_id) = self.state.config(cid);
+        // Arc clone only: the interned register is never copied
+        let register = self.regs.read().unwrap().arc(reg_id);
         let (state, tag) = self.pairs.names[pair as usize].clone();
 
         // stop condition (Section 3, condition (1)): an ancestor with the
@@ -734,12 +927,16 @@ impl<'x, 't, 'db, R: RegisterRepr> DagExpansion<'x, 't, 'db, R> {
                 stopped: true,
             });
             let footprint: FxHashSet<ConfigId> = [cid].into_iter().collect();
-            self.state.entries[cid as usize].push(MemoEntry {
-                footprint: footprint.clone(),
-                blocked: vec![cid],
-                node: Arc::clone(&node),
-                size: 1,
-            });
+            self.state.insert(
+                cid,
+                MemoEntry {
+                    footprint: footprint.clone(),
+                    blocked: vec![cid],
+                    node: Arc::clone(&node),
+                    size: 1,
+                    generation: 0,
+                },
+            );
             return Ok((node, footprint, 1));
         }
 
@@ -783,12 +980,16 @@ impl<'x, 't, 'db, R: RegisterRepr> DagExpansion<'x, 't, 'db, R> {
             .filter(|c| footprint.contains(c))
             .collect();
         blocked.sort_unstable();
-        self.state.entries[cid as usize].push(MemoEntry {
-            footprint: footprint.clone(),
-            blocked,
-            node: Arc::clone(&node),
-            size,
-        });
+        self.state.insert(
+            cid,
+            MemoEntry {
+                footprint: footprint.clone(),
+                blocked,
+                node: Arc::clone(&node),
+                size,
+                generation: 0,
+            },
+        );
         Ok((node, footprint, size))
     }
 }
@@ -812,17 +1013,19 @@ impl Transducer {
             // the default engine: a cold single-run session
             ExpansionMode::Dag => {
                 let engine = Engine::new(instance);
-                engine.prepare_unvalidated(self).run_with(opts.max_nodes)
+                engine
+                    .prepare_unvalidated(self, MemoPolicy::default())
+                    .run_with(opts.max_nodes)
             }
             // the value-level-key oracle engine: same memo logic, register
             // ids interned over value-level relations, all session state
             // local to this call
             ExpansionMode::DagValue => {
                 let ctx = EvalContext::new(instance);
-                let regs = RefCell::new(RegisterIds::<Relation>::default());
+                let regs = RwLock::new(RegisterIds::<Relation>::default());
                 let pairs = PairTable::new(self);
-                let mut state = DagState::default();
-                let root = expand_session(&ctx, &regs, &pairs, &mut state, opts.max_nodes)?;
+                let state = DagState::default();
+                let root = expand_session(&ctx, &regs, &pairs, &state, opts.max_nodes)?;
                 Ok(RunResult::new(root, self.virtual_tags().clone()))
             }
             ExpansionMode::Tree => {

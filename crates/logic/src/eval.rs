@@ -33,10 +33,9 @@
 //! expansion (delta in one occurrence at a time) for non-linear bodies such
 //! as transitive closure.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, RwLock};
 
 use pt_relational::index::{SymRegister, SymRelation};
 use pt_relational::intern::{FxHashMap, FxHashSet, Interner, Sym, SymTuple};
@@ -63,13 +62,141 @@ fn err<T>(msg: impl Into<String>) -> Result<T, EvalError> {
 
 /// The interner shared between an [`Evaluator`] and every [`Bindings`] it
 /// produces; symbols are only meaningful relative to it.
-type SharedInterner = Rc<RefCell<Interner>>;
+///
+/// Two layers make it `Send + Sync` without a lock on the hot path:
+///
+/// * **Frozen snapshot** — an immutable [`Arc<Interner>`] holding everything
+///   known up front: the sorted base active domain (symbols `0..base_len`,
+///   in domain order) and, for engine sessions, every constant the prepared
+///   rule plan can touch ([`EvalContext::freeze_values`]). Lookups and
+///   resolves of frozen symbols are lock-free reads of immutable data.
+/// * **Overlay** — a small `Mutex`-guarded append-only extension for values
+///   the snapshot does not know (register values or constants outside the
+///   base domain on the legacy per-call paths; never touched by a prepared
+///   engine run, whose constants were all frozen at prepare time). Overlay
+///   symbols are allocated *downward from `u32::MAX`*, so extending the
+///   frozen snapshot later (an append-only swap at prepare time) can never
+///   collide with an overlay symbol already issued.
+///
+/// Cloning is cheap (two `Arc`s); clones share both layers, preserving the
+/// append-only interner-relativity invariant: a symbol, once issued, stays
+/// bound to its value for the lifetime of the context that issued it.
+#[derive(Clone, Debug)]
+pub struct SharedInterner {
+    frozen: Arc<Interner>,
+    overlay: Arc<Mutex<Overlay>>,
+}
+
+/// The mutable overlay layer: values outside the frozen snapshot, with
+/// symbols `u32::MAX - index`, plus a pointer to the *newest* frozen
+/// snapshot of the owning context. The pointer is consulted (under this
+/// lock) before an overlay symbol is allocated and updated by
+/// [`EvalContext::freeze_values`] under the same lock, so a value can
+/// never become reachable under two symbols of one context: whichever of
+/// "freeze `v`" and "intern `v`" wins the lock determines `v`'s one
+/// symbol, and the loser observes it.
+#[derive(Debug)]
+struct Overlay {
+    vals: Vec<Value>,
+    map: FxHashMap<Value, Sym>,
+    latest: Arc<Interner>,
+}
+
+impl SharedInterner {
+    /// An empty interner (fresh frozen layer, fresh overlay) — the
+    /// placeholder carried by [`Bindings::unit`] / [`Bindings::empty`].
+    fn fresh() -> Self {
+        SharedInterner::from_frozen(Arc::new(Interner::new()))
+    }
+
+    fn from_frozen(frozen: Arc<Interner>) -> Self {
+        let overlay = Overlay {
+            vals: Vec::new(),
+            map: FxHashMap::default(),
+            latest: Arc::clone(&frozen),
+        };
+        SharedInterner {
+            frozen,
+            overlay: Arc::new(Mutex::new(overlay)),
+        }
+    }
+
+    /// Whether two handles denote the same interner (same snapshot and
+    /// overlay). Handles differing only in snapshot generation compare
+    /// unequal and fall back to value-level alignment, which stays correct.
+    fn same_as(&self, other: &SharedInterner) -> bool {
+        Arc::ptr_eq(&self.frozen, &other.frozen) && Arc::ptr_eq(&self.overlay, &other.overlay)
+    }
+
+    /// Whether anything has been interned. Lock-free whenever the frozen
+    /// layer is nonempty (every real evaluation context).
+    fn has_syms(&self) -> bool {
+        if !self.frozen.is_empty() {
+            return true;
+        }
+        let overlay = self.overlay.lock().unwrap();
+        !overlay.vals.is_empty() || !overlay.latest.is_empty()
+    }
+
+    /// The symbol of `v`, allocating an overlay symbol on first sight of a
+    /// value outside the frozen snapshot. Under the overlay lock, the
+    /// newest snapshot is consulted first: a value frozen by a `prepare`
+    /// *after* this handle was taken keeps its frozen symbol.
+    pub fn intern(&self, v: &Value) -> Sym {
+        if let Some(s) = self.frozen.get(v) {
+            return s;
+        }
+        let mut overlay = self.overlay.lock().unwrap();
+        if let Some(s) = overlay.latest.get(v) {
+            return s;
+        }
+        if let Some(&s) = overlay.map.get(v) {
+            return s;
+        }
+        let s = Sym::MAX - overlay.vals.len() as Sym;
+        overlay.vals.push(v.clone());
+        overlay.map.insert(v.clone(), s);
+        s
+    }
+
+    /// The symbol of `v`, if already interned (frozen snapshot first — the
+    /// lock-free hot path — then the newest snapshot and the overlay).
+    pub fn get(&self, v: &Value) -> Option<Sym> {
+        if let Some(s) = self.frozen.get(v) {
+            return Some(s);
+        }
+        let overlay = self.overlay.lock().unwrap();
+        if let Some(s) = overlay.latest.get(v) {
+            return Some(s);
+        }
+        overlay.map.get(v).copied()
+    }
+
+    /// The value behind a symbol, cloned ([`Value`] clones are cheap:
+    /// integers copy, strings bump an `Arc`).
+    ///
+    /// # Panics
+    /// Panics if `s` was not produced by this interner.
+    pub fn resolve(&self, s: Sym) -> Value {
+        if (s as usize) < self.frozen.len() {
+            return self.frozen.resolve(s).clone();
+        }
+        let overlay = self.overlay.lock().unwrap();
+        let from_top = (Sym::MAX - s) as usize;
+        if from_top < overlay.vals.len() {
+            overlay.vals[from_top].clone()
+        } else {
+            // a symbol frozen after this handle was taken (snapshot chain)
+            overlay.latest.resolve(s).clone()
+        }
+    }
+}
 
 /// A slice that is either shared (zero-copy) or owned — the copy-on-extend
 /// representation of the active domain: queries that add no values borrow
 /// the run-wide base, queries that do pay one merge.
 enum CowSlice<T> {
-    Shared(Rc<Vec<T>>),
+    Shared(Arc<Vec<T>>),
     Owned(Vec<T>),
 }
 
@@ -82,10 +209,14 @@ impl<T> CowSlice<T> {
     }
 }
 
-/// Lazily interned base relations, shared across every query of a run.
+/// Lazily interned base relations, shared across every query of a run —
+/// and across every thread of a served engine. A racing first interning is
+/// benign: interning is deterministic against the shared interner (base
+/// relation values all live in the frozen base domain), so both racers
+/// build the same relation and the loser adopts the winner's entry.
 #[derive(Default)]
 struct SymRelCache {
-    rels: RefCell<FxHashMap<String, Rc<SymRelation>>>,
+    rels: RwLock<FxHashMap<String, Arc<SymRelation>>>,
 }
 
 impl SymRelCache {
@@ -96,22 +227,30 @@ impl SymRelCache {
         name: &str,
         instance: &Instance,
         syms: &SharedInterner,
-    ) -> Option<Rc<SymRelation>> {
-        if let Some(srel) = self.rels.borrow().get(name) {
-            return Some(Rc::clone(srel));
+    ) -> Option<Arc<SymRelation>> {
+        if let Some(srel) = self.rels.read().unwrap().get(name) {
+            return Some(Arc::clone(srel));
         }
         let rel = instance.get_ref(name)?;
-        let srel = Rc::new(SymRelation::intern(rel, &mut syms.borrow_mut()));
-        self.rels
-            .borrow_mut()
-            .insert(name.to_string(), Rc::clone(&srel));
-        Some(srel)
+        let srel = Arc::new(intern_relation(rel, syms));
+        let mut cache = self.rels.write().unwrap();
+        let slot = cache
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::clone(&srel));
+        Some(Arc::clone(slot))
     }
 
     /// Total composite indexes built across all interned relations.
     fn indexes_built(&self) -> usize {
-        self.rels.borrow().values().map(|r| r.built()).sum()
+        self.rels.read().unwrap().values().map(|r| r.built()).sum()
     }
+}
+
+/// Intern every tuple of `rel` against the two-layer interner, in the
+/// relation's canonical order — the [`SymRelation::intern`] counterpart for
+/// [`SharedInterner`].
+fn intern_relation(rel: &Relation, syms: &SharedInterner) -> SymRelation {
+    SymRelation::intern_with(rel, |v| syms.intern(v))
 }
 
 /// Shared per-run evaluation state: the instance, its active domain (sorted
@@ -123,25 +262,34 @@ impl SymRelCache {
 pub struct EvalContext<'a> {
     instance: &'a Instance,
     /// The instance's active domain, sorted in the domain order.
-    adom: Rc<Vec<Value>>,
+    adom: Arc<Vec<Value>>,
     /// Symbols of `adom`, in the same order.
-    adom_syms: Rc<Vec<Sym>>,
-    syms: SharedInterner,
+    adom_syms: Arc<Vec<Sym>>,
+    /// The current interner handle: swapped (with an extended frozen
+    /// snapshot, same overlay) by [`EvalContext::freeze_values`]. Runs
+    /// clone the handle once and read the snapshot lock-free.
+    syms: RwLock<SharedInterner>,
+    /// The context's overlay identity — the one `Arc` every handle of this
+    /// context shares, never replaced — for lock-free handle-provenance
+    /// checks on the per-query hot path.
+    overlay: Arc<Mutex<Overlay>>,
     rels: SymRelCache,
 }
 
 impl<'a> EvalContext<'a> {
-    /// Scan `instance` once for its active domain, intern it, and set up
-    /// the (lazy) interned-relation cache.
+    /// Scan `instance` once for its active domain, intern it into the
+    /// frozen snapshot, and set up the (lazy) interned-relation cache.
     pub fn new(instance: &'a Instance) -> Self {
         let adom: Vec<Value> = instance.active_domain().into_iter().collect();
-        let mut interner = Interner::new();
-        let adom_syms: Vec<Sym> = adom.iter().map(|v| interner.intern(v)).collect();
+        let interner = Interner::from_values(adom.iter());
+        let adom_syms: Vec<Sym> = (0..adom.len() as Sym).collect();
+        let syms = SharedInterner::from_frozen(Arc::new(interner));
         EvalContext {
             instance,
-            adom: Rc::new(adom),
-            adom_syms: Rc::new(adom_syms),
-            syms: Rc::new(RefCell::new(interner)),
+            adom: Arc::new(adom),
+            adom_syms: Arc::new(adom_syms),
+            overlay: Arc::clone(&syms.overlay),
+            syms: RwLock::new(syms),
             rels: SymRelCache::default(),
         }
     }
@@ -151,33 +299,80 @@ impl<'a> EvalContext<'a> {
         self.instance
     }
 
+    /// The current interner handle (frozen snapshot + shared overlay) —
+    /// cheap to clone. A caller grabs one handle and keeps it, so later
+    /// snapshot extensions (concurrent `prepare` calls on the owning
+    /// engine) never change symbols out from under it.
+    pub fn shared_interner(&self) -> SharedInterner {
+        self.syms.read().unwrap().clone()
+    }
+
+    /// Extend the frozen snapshot with `values` (a no-op for values it
+    /// already knows). `pt_core::Engine::prepare` freezes every constant a
+    /// transducer's reachable queries mention, so a prepared run's whole
+    /// working set — base domain, base relations, constants, and every
+    /// register derivable from them — lives in the lock-free frozen layer
+    /// and the overlay mutex is never contended on the serving hot path.
+    ///
+    /// The extension is append-only (old symbols keep their ids) and swaps
+    /// atomically under the write lock: evaluations holding the previous
+    /// handle stay consistent, overlay symbols cannot collide with the
+    /// extension (they grow downward from `u32::MAX`), and a value that
+    /// already holds an overlay symbol keeps it instead of being re-frozen,
+    /// so no value is ever reachable under two symbols of one context.
+    pub fn freeze_values(&self, values: impl IntoIterator<Item = Value>) {
+        let mut guard = self.syms.write().unwrap();
+        let overlay_arc = Arc::clone(&guard.overlay);
+        // hold the overlay lock across the whole extend-and-swap: a racing
+        // intern() of one of the values either ran before (the value has an
+        // overlay symbol and is filtered out here) or blocks until the new
+        // snapshot is published in `latest` (and then adopts its symbol) —
+        // no value can end up with two symbols. Lock order syms → overlay
+        // is the only nesting anywhere, so this cannot deadlock.
+        let mut overlay = overlay_arc.lock().unwrap();
+        let missing: Vec<Value> = values
+            .into_iter()
+            .filter(|v| overlay.latest.get(v).is_none() && !overlay.map.contains_key(v))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        // `latest` ⊇ every handed-out frozen snapshot of this context, so
+        // extending it is an append-only extension of all of them
+        let mut extended = (*overlay.latest).clone();
+        for v in &missing {
+            extended.intern(v);
+        }
+        let extended = Arc::new(extended);
+        overlay.latest = Arc::clone(&extended);
+        drop(overlay);
+        *guard = SharedInterner {
+            frozen: extended,
+            overlay: overlay_arc,
+        };
+    }
+
     /// Intern and index `register` once, for use by every query of one
     /// configuration ([`Evaluator::with_register`]). The handle carries the
     /// context's interner; it is only valid with evaluators built from the
     /// same context.
     pub fn index_register(&self, register: &Relation) -> IndexedRegister {
-        let sym = SymRelation::intern(register, &mut self.syms.borrow_mut());
+        let syms = self.shared_interner();
+        let sym = intern_relation(register, &syms);
         // the context interns the sorted base adom first, so base values
         // hold exactly the symbols below `base_len`: anything at or above
         // it is a value this register adds to the active domain
         let base_len = self.adom_syms.len() as Sym;
         let mut seen: FxHashSet<Sym> = FxHashSet::default();
         let mut extras: Vec<Value> = Vec::new();
-        {
-            let interner = self.syms.borrow();
-            for row in sym.rows() {
-                for &s in row {
-                    if s >= base_len && seen.insert(s) {
-                        extras.push(interner.resolve(s).clone());
-                    }
+        for row in sym.rows() {
+            for &s in row.iter() {
+                if s >= base_len && seen.insert(s) {
+                    extras.push(syms.resolve(s));
                 }
             }
         }
-        IndexedRegister {
-            sym,
-            syms: Rc::clone(&self.syms),
-            extras,
-        }
+        IndexedRegister { sym, syms, extras }
     }
 
     /// Number of composite indexes built so far over base relations.
@@ -190,7 +385,8 @@ impl<'a> EvalContext<'a> {
     /// a transducer's queries mention, so the first `run()` pays no lazy
     /// interning. A no-op for names absent from the instance.
     pub fn warm_relation(&self, name: &str) {
-        let _ = self.rels.get(name, self.instance, &self.syms);
+        let syms = self.shared_interner();
+        let _ = self.rels.get(name, self.instance, &syms);
     }
 
     /// Number of base-domain symbols. The context interns the sorted base
@@ -206,13 +402,13 @@ impl<'a> EvalContext<'a> {
     /// injective, so the rows arrive in the canonical `SymRegister` order
     /// without sorting.
     pub fn intern_register(&self, rel: &Relation) -> SymRegister {
-        let mut interner = self.syms.borrow_mut();
+        let syms = self.shared_interner();
         let arity = rel.arity().unwrap_or(0);
         let mut reg = SymRegister::with_capacity(arity, rel.len());
         let mut row = SymTuple::with_capacity(arity);
         for t in rel.iter() {
             row.clear();
-            row.extend(t.iter().map(|v| interner.intern(v)));
+            row.extend(t.iter().map(|v| syms.intern(v)));
             reg.push_row(&row);
         }
         reg
@@ -222,10 +418,10 @@ impl<'a> EvalContext<'a> {
     /// the inverse of [`EvalContext::intern_register`]. Only the output
     /// side of a run (result-tree nodes) pays this.
     pub fn materialize_register(&self, reg: &SymRegister) -> Relation {
-        let interner = self.syms.borrow();
+        let syms = self.shared_interner();
         let mut rel = Relation::with_arity(reg.arity());
         for row in reg.rows() {
-            rel.insert(row.iter().map(|&s| interner.resolve(s).clone()).collect());
+            rel.insert(row.iter().map(|&s| syms.resolve(s)).collect());
         }
         rel
     }
@@ -237,23 +433,17 @@ impl<'a> EvalContext<'a> {
     /// (rare — registers usually range over query results) are resolved to
     /// extend the active domain.
     pub fn index_sym_register(&self, reg: &SymRegister) -> IndexedRegister {
+        let syms = self.shared_interner();
         let sym = SymRelation::from_register(reg);
         let base_len = self.base_len();
         let mut seen: FxHashSet<Sym> = FxHashSet::default();
         let mut extras: Vec<Value> = Vec::new();
-        {
-            let interner = self.syms.borrow();
-            for &s in reg.data() {
-                if s >= base_len && seen.insert(s) {
-                    extras.push(interner.resolve(s).clone());
-                }
+        for &s in reg.data() {
+            if s >= base_len && seen.insert(s) {
+                extras.push(syms.resolve(s));
             }
         }
-        IndexedRegister {
-            sym,
-            syms: Rc::clone(&self.syms),
-            extras,
-        }
+        IndexedRegister { sym, syms, extras }
     }
 
     /// Sort symbol rows into the domain order of their resolved values —
@@ -267,14 +457,15 @@ impl<'a> EvalContext<'a> {
             rows.sort_unstable();
             return;
         }
-        let interner = self.syms.borrow();
+        let syms = self.shared_interner();
         let cmp_syms = |a: Sym, b: Sym| {
             if a == b {
                 std::cmp::Ordering::Equal
             } else if a < base_len && b < base_len {
                 a.cmp(&b)
             } else {
-                interner.resolve(a).cmp(interner.resolve(b))
+                // out-of-base symbols are rare; the cloning resolve is fine
+                syms.resolve(a).cmp(&syms.resolve(b))
             }
         };
         rows.sort_unstable_by(|x, y| {
@@ -316,7 +507,7 @@ impl PartialEq for Bindings {
     fn eq(&self, other: &Self) -> bool {
         // symbol rows are only comparable under a shared interner; fall back
         // to resolved values otherwise
-        if Rc::ptr_eq(&self.syms, &other.syms) {
+        if self.syms.same_as(&other.syms) {
             self.vars == other.vars && self.rows == other.rows
         } else {
             self.vars == other.vars
@@ -350,17 +541,17 @@ fn join_key(row: &[Sym], positions: &[usize]) -> JoinKey {
 
 impl Bindings {
     fn fresh_syms() -> SharedInterner {
-        Rc::new(RefCell::new(Interner::new()))
+        SharedInterner::fresh()
     }
 
     /// Adopt the interner the result of a binary operation should carry:
     /// `self`'s, unless it is empty and the other side's is not (as happens
     /// when folding from [`Bindings::unit`] / [`Bindings::empty`]).
     fn adopt_syms(&self, other: &Bindings) -> SharedInterner {
-        if self.syms.borrow().is_empty() && !other.syms.borrow().is_empty() {
-            Rc::clone(&other.syms)
+        if !self.syms.has_syms() && other.syms.has_syms() {
+            other.syms.clone()
         } else {
-            Rc::clone(&self.syms)
+            self.syms.clone()
         }
     }
 
@@ -374,22 +565,22 @@ impl Bindings {
         syms: &SharedInterner,
         storage: &'o mut Option<Bindings>,
     ) -> &'o Bindings {
-        if Rc::ptr_eq(&other.syms, syms) || other.syms.borrow().is_empty() {
+        if other.syms.same_as(syms) || !other.syms.has_syms() {
             return other;
         }
-        let translated: FxHashSet<SymTuple> = {
-            let src = other.syms.borrow();
-            let mut dst = syms.borrow_mut();
-            other
-                .rows
-                .iter()
-                .map(|row| row.iter().map(|&s| dst.intern(src.resolve(s))).collect())
-                .collect()
-        };
+        let translated: FxHashSet<SymTuple> = other
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&s| syms.intern(&other.syms.resolve(s)))
+                    .collect()
+            })
+            .collect();
         storage.insert(Bindings::with_syms(
             other.vars.clone(),
             translated,
-            Rc::clone(syms),
+            syms.clone(),
         ))
     }
 
@@ -426,10 +617,9 @@ impl Bindings {
 
     /// The rows, resolved back to values (column order = [`Bindings::vars`]).
     pub fn value_rows(&self) -> Vec<Vec<Value>> {
-        let syms = self.syms.borrow();
         self.rows
             .iter()
-            .map(|row| row.iter().map(|&s| syms.resolve(s).clone()).collect())
+            .map(|row| row.iter().map(|&s| self.syms.resolve(s)).collect())
             .collect()
     }
 
@@ -439,10 +629,9 @@ impl Bindings {
         if vals.len() != self.vars.len() {
             return false;
         }
-        let syms = self.syms.borrow();
         let Some(row) = vals
             .iter()
-            .map(|v| syms.get(v))
+            .map(|v| self.syms.get(v))
             .collect::<Option<SymTuple>>()
         else {
             return false; // a value never interned occurs in no row
@@ -546,16 +735,13 @@ impl Bindings {
             .iter()
             .map(|row| positions.iter().map(|&i| row[i]).collect())
             .collect();
-        Bindings::with_syms(keep.to_vec(), rows, Rc::clone(&self.syms))
+        Bindings::with_syms(keep.to_vec(), rows, self.syms.clone())
     }
 
     /// Extend with every column of `target` not yet present, ranging over
     /// `adom` (cylindrification).
     pub fn cylindrify(&self, target: &[Var], adom: &[Value]) -> Bindings {
-        let adom_syms: Vec<Sym> = {
-            let mut syms = self.syms.borrow_mut();
-            adom.iter().map(|v| syms.intern(v)).collect()
-        };
+        let adom_syms: Vec<Sym> = adom.iter().map(|v| self.syms.intern(v)).collect();
         self.cylindrify_syms(target, &adom_syms)
     }
 
@@ -597,10 +783,7 @@ impl Bindings {
     /// The complement: all assignments over `adom` for the same columns that
     /// are not present.
     pub fn complement(&self, adom: &[Value]) -> Bindings {
-        let adom_syms: Vec<Sym> = {
-            let mut syms = self.syms.borrow_mut();
-            adom.iter().map(|v| syms.intern(v)).collect()
-        };
+        let adom_syms: Vec<Sym> = adom.iter().map(|v| self.syms.intern(v)).collect();
         self.complement_syms(&adom_syms)
     }
 
@@ -609,10 +792,10 @@ impl Bindings {
         // the universe adom^k is a cylindrification of the unit bindings
         let mut unit_rows = FxHashSet::default();
         unit_rows.insert(SymTuple::new());
-        let all = Bindings::with_syms(Vec::new(), unit_rows, Rc::clone(&self.syms))
+        let all = Bindings::with_syms(Vec::new(), unit_rows, self.syms.clone())
             .cylindrify_syms(&self.vars, adom_syms);
         let rows = all.rows.difference(&self.rows).cloned().collect();
-        Bindings::with_syms(self.vars.clone(), rows, Rc::clone(&self.syms))
+        Bindings::with_syms(self.vars.clone(), rows, self.syms.clone())
     }
 
     /// Union of two binding sets over the same column set (columns may be
@@ -636,9 +819,7 @@ impl Bindings {
     /// union used when folding disjuncts of one evaluator.
     fn absorb(&mut self, other: Bindings) {
         debug_assert!(
-            Rc::ptr_eq(&self.syms, &other.syms)
-                || self.syms.borrow().is_empty()
-                || other.syms.borrow().is_empty(),
+            self.syms.same_as(&other.syms) || !self.syms.has_syms() || !other.syms.has_syms(),
             "absorb requires a shared interner"
         );
         if other.vars == self.vars {
@@ -691,13 +872,12 @@ impl Bindings {
             .iter()
             .map(|v| self.col(v).expect("to_relation: column missing"))
             .collect();
-        let syms = self.syms.borrow();
         let mut rel = Relation::with_arity(order.len());
         for row in &self.rows {
             rel.insert(
                 positions
                     .iter()
-                    .map(|&i| syms.resolve(row[i]).clone())
+                    .map(|&i| self.syms.resolve(row[i]))
                     .collect(),
             );
         }
@@ -762,7 +942,7 @@ pub struct Evaluator<'a> {
 }
 
 /// Fixpoint-bound predicates, kept symbolic between rounds.
-type FixEnv = BTreeMap<String, Rc<SymRelation>>;
+type FixEnv = BTreeMap<String, Arc<SymRelation>>;
 
 impl<'a> Evaluator<'a> {
     /// Create an evaluator whose active domain is the instance's values, the
@@ -773,14 +953,14 @@ impl<'a> Evaluator<'a> {
         formula: &Formula,
     ) -> Self {
         let base: Vec<Value> = instance.active_domain().into_iter().collect();
-        let mut interner = Interner::new();
-        let base_syms: Vec<Sym> = base.iter().map(|v| interner.intern(v)).collect();
+        let interner = Interner::from_values(base.iter());
+        let base_syms: Vec<Sym> = (0..base.len() as Sym).collect();
         Evaluator::build(
             instance,
             CacheHandle::Owned(SymRelCache::default()),
-            Rc::new(base),
-            Rc::new(base_syms),
-            Rc::new(RefCell::new(interner)),
+            Arc::new(base),
+            Arc::new(base_syms),
+            SharedInterner::from_frozen(Arc::new(interner)),
             RegisterSource::Raw(register),
             formula,
         )
@@ -796,9 +976,9 @@ impl<'a> Evaluator<'a> {
         Evaluator::build(
             ctx.instance,
             CacheHandle::Shared(&ctx.rels),
-            Rc::clone(&ctx.adom),
-            Rc::clone(&ctx.adom_syms),
-            Rc::clone(&ctx.syms),
+            Arc::clone(&ctx.adom),
+            Arc::clone(&ctx.adom_syms),
+            ctx.shared_interner(),
             RegisterSource::Raw(register),
             formula,
         )
@@ -812,18 +992,29 @@ impl<'a> Evaluator<'a> {
         register: Option<&'a IndexedRegister>,
         formula: &Formula,
     ) -> Self {
-        if let Some(ireg) = register {
-            assert!(
-                Rc::ptr_eq(&ireg.syms, &ctx.syms),
-                "IndexedRegister used with a context other than its own"
-            );
-        }
+        // adopt the register's interner handle: the register was indexed
+        // against a snapshot of this context, and using exactly that
+        // snapshot keeps one configuration's queries mutually consistent
+        // even if a concurrent `prepare` extends the context mid-run
+        let syms = match register {
+            Some(ireg) => {
+                // lock-free provenance check: a context's overlay Arc is
+                // never replaced, so pointer identity pins the register to
+                // this context without touching the snapshot RwLock
+                assert!(
+                    Arc::ptr_eq(&ireg.syms.overlay, &ctx.overlay),
+                    "IndexedRegister used with a context other than its own"
+                );
+                ireg.syms.clone()
+            }
+            None => ctx.shared_interner(),
+        };
         Evaluator::build(
             ctx.instance,
             CacheHandle::Shared(&ctx.rels),
-            Rc::clone(&ctx.adom),
-            Rc::clone(&ctx.adom_syms),
-            Rc::clone(&ctx.syms),
+            Arc::clone(&ctx.adom),
+            Arc::clone(&ctx.adom_syms),
+            syms,
             RegisterSource::Indexed(register),
             formula,
         )
@@ -832,8 +1023,8 @@ impl<'a> Evaluator<'a> {
     fn build(
         instance: &'a Instance,
         rels: CacheHandle<'a>,
-        base: Rc<Vec<Value>>,
-        base_syms: Rc<Vec<Sym>>,
+        base: Arc<Vec<Value>>,
+        base_syms: Arc<Vec<Sym>>,
         syms: SharedInterner,
         register: RegisterSource<'a>,
         formula: &Formula,
@@ -870,10 +1061,7 @@ impl<'a> Evaluator<'a> {
         let (adom, adom_syms) = if extra.is_empty() {
             (CowSlice::Shared(base), CowSlice::Shared(base_syms))
         } else {
-            let extra_syms: Vec<Sym> = {
-                let mut interner = syms.borrow_mut();
-                extra.iter().map(|v| interner.intern(v)).collect()
-            };
+            let extra_syms: Vec<Sym> = extra.iter().map(|v| syms.intern(v)).collect();
             // merge the two sorted, disjoint sequences
             let mut merged: Vec<Value> = Vec::with_capacity(base.len() + extra.len());
             let mut extras = extra.into_iter().peekable();
@@ -890,8 +1078,8 @@ impl<'a> Evaluator<'a> {
         };
         let register = match register {
             RegisterSource::Raw(Some(rel)) => RegisterHandle::Owned(IndexedRegister {
-                sym: SymRelation::intern(rel, &mut syms.borrow_mut()),
-                syms: Rc::clone(&syms),
+                sym: intern_relation(rel, &syms),
+                syms: syms.clone(),
                 // owned handles are private to this evaluator; the extras
                 // were already folded into `adom` above
                 extras: Vec::new(),
@@ -915,7 +1103,7 @@ impl<'a> Evaluator<'a> {
     }
 
     fn sym(&self, v: &Value) -> Sym {
-        self.syms.borrow_mut().intern(v)
+        self.syms.intern(v)
     }
 
     /// Symbols of the whole active domain (order unspecified).
@@ -933,12 +1121,12 @@ impl<'a> Evaluator<'a> {
     fn unit_b(&self) -> Bindings {
         let mut rows = FxHashSet::default();
         rows.insert(SymTuple::new());
-        Bindings::with_syms(Vec::new(), rows, Rc::clone(&self.syms))
+        Bindings::with_syms(Vec::new(), rows, self.syms.clone())
     }
 
     /// Empty bindings carrying this evaluator's interner.
     fn empty_b(&self, vars: Vec<Var>) -> Bindings {
-        Bindings::with_syms(vars, FxHashSet::default(), Rc::clone(&self.syms))
+        Bindings::with_syms(vars, FxHashSet::default(), self.syms.clone())
     }
 
     /// Evaluate the formula to its satisfying assignments.
@@ -949,9 +1137,9 @@ impl<'a> Evaluator<'a> {
     /// The interned relation an atom refers to: a fixpoint binding from
     /// `env`, or a base relation of the instance (interned and cached on
     /// first use). `None` when the name is unknown (empty result).
-    fn sym_relation_for(&self, name: &str, env: &FixEnv) -> Option<Rc<SymRelation>> {
+    fn sym_relation_for(&self, name: &str, env: &FixEnv) -> Option<Arc<SymRelation>> {
         if let Some(srel) = env.get(name) {
-            return Some(Rc::clone(srel));
+            return Some(Arc::clone(srel));
         }
         self.rels.get().get(name, self.instance, &self.syms)
     }
@@ -965,7 +1153,7 @@ impl<'a> Evaluator<'a> {
                 None => Ok(Bindings::with_syms(
                     atom_vars(args),
                     FxHashSet::default(),
-                    Rc::clone(&self.syms),
+                    self.syms.clone(),
                 )),
             },
             Formula::Reg(args) => match self.register.get() {
@@ -1091,7 +1279,7 @@ impl<'a> Evaluator<'a> {
         // round 0: pred ↦ ∅
         inner.insert(
             pred.to_string(),
-            Rc::new(SymRelation::from_rows(Vec::new(), Some(arity))),
+            Arc::new(SymRelation::from_rows(Vec::new(), Some(arity))),
         );
         loop {
             let stage = self.eval_stage(body, vars, &inner)?;
@@ -1105,7 +1293,7 @@ impl<'a> Evaluator<'a> {
             }
             inner.insert(
                 pred.to_string(),
-                Rc::new(SymRelation::from_rows(
+                Arc::new(SymRelation::from_rows(
                     current.iter().cloned().collect(),
                     Some(arity),
                 )),
@@ -1149,7 +1337,7 @@ impl<'a> Evaluator<'a> {
             })
             .collect();
         let wrap = |rows: &FxHashSet<SymTuple>| {
-            Rc::new(SymRelation::from_rows(
+            Arc::new(SymRelation::from_rows(
                 rows.iter().cloned().collect(),
                 Some(arity),
             ))
@@ -1159,7 +1347,7 @@ impl<'a> Evaluator<'a> {
         let mut inner = env.clone();
         inner.insert(
             pred.to_string(),
-            Rc::new(SymRelation::from_rows(Vec::new(), Some(arity))),
+            Arc::new(SymRelation::from_rows(Vec::new(), Some(arity))),
         );
         let mut delta = self.eval_stage(body, vars, &inner)?;
         let mut current = delta.clone();
@@ -1197,7 +1385,7 @@ impl<'a> Evaluator<'a> {
     }
 
     fn eval_eq(&self, a: &Term, b: &Term) -> Bindings {
-        let syms = Rc::clone(&self.syms);
+        let syms = self.syms.clone();
         match (a, b) {
             (Term::Const(x), Term::Const(y)) => {
                 if x == y {
@@ -1231,7 +1419,7 @@ impl<'a> Evaluator<'a> {
     }
 
     fn eval_neq(&self, a: &Term, b: &Term) -> Bindings {
-        let syms = Rc::clone(&self.syms);
+        let syms = self.syms.clone();
         match (a, b) {
             (Term::Const(x), Term::Const(y)) => {
                 if x != y {
@@ -1293,7 +1481,7 @@ impl<'a> Evaluator<'a> {
         let mut const_cols: Vec<(usize, Sym)> = Vec::new();
         for (col, t) in args.iter().enumerate() {
             if let Some(c) = t.as_const() {
-                match self.syms.borrow().get(c) {
+                match self.syms.get(c) {
                     Some(s) => const_cols.push((col, s)),
                     None => return Ok(self.empty_b(vars)),
                 }
@@ -1302,7 +1490,7 @@ impl<'a> Evaluator<'a> {
         let rows = if !const_cols.is_empty() && srel.len() >= 8 {
             let cols: Vec<usize> = const_cols.iter().map(|&(c, _)| c).collect();
             let key: SymTuple = const_cols.iter().map(|&(_, s)| s).collect();
-            // hold the index Rc locally so the matched ids borrow it
+            // hold the index Arc locally so the matched ids borrow it
             // directly — no per-probe copy of the id list
             match srel.composite(&cols) {
                 Some(index) => match index.get(&key) {
@@ -1319,7 +1507,7 @@ impl<'a> Evaluator<'a> {
         } else {
             self.match_sym_rows(args, &vars, &const_cols, srel.rows().iter())
         };
-        Ok(Bindings::with_syms(vars, rows, Rc::clone(&self.syms)))
+        Ok(Bindings::with_syms(vars, rows, self.syms.clone()))
     }
 
     /// The atom-matching loop shared by the scan and probe paths: keep
@@ -1401,7 +1589,7 @@ impl<'a> Evaluator<'a> {
                 }
                 Term::Const(c) => {
                     // an uninterned constant occurs in no row
-                    const_cols.push((col, self.syms.borrow().get(c)?));
+                    const_cols.push((col, self.syms.get(c)?));
                 }
             }
         }
@@ -1436,7 +1624,7 @@ impl<'a> Evaluator<'a> {
             .flatten()
             .map(|&i| &srel.rows()[i as usize]);
         let rows = self.match_sym_rows(args, &vars, &const_cols, candidates);
-        Some(Bindings::with_syms(vars, rows, Rc::clone(&self.syms)))
+        Some(Bindings::with_syms(vars, rows, self.syms.clone()))
     }
 
     /// Greedy conjunction evaluation. Applies cheap filters first (bound
@@ -1570,7 +1758,7 @@ impl<'a> Evaluator<'a> {
             return if other.is_empty() == negated {
                 acc
             } else {
-                let syms = Rc::clone(&acc.syms);
+                let syms = acc.syms.clone();
                 Bindings::with_syms(acc.vars, FxHashSet::default(), syms)
             };
         }
@@ -1597,7 +1785,7 @@ impl<'a> Evaluator<'a> {
             })
             .cloned()
             .collect();
-        Bindings::with_syms(acc.vars.clone(), rows, Rc::clone(&acc.syms))
+        Bindings::with_syms(acc.vars.clone(), rows, acc.syms.clone())
     }
 }
 
@@ -1990,7 +2178,7 @@ mod tests {
         let f = parse_formula("r(x)").unwrap();
         let ev = Evaluator::with_context(&ctx, None, &f);
         match &ev.adom {
-            CowSlice::Shared(v) => assert!(Rc::ptr_eq(v, &ctx.adom)),
+            CowSlice::Shared(v) => assert!(Arc::ptr_eq(v, &ctx.adom)),
             CowSlice::Owned(_) => panic!("expected the shared base adom"),
         }
         // a register inside the base adom stays zero-copy

@@ -14,15 +14,16 @@
 //! context), the register of the configuration being expanded (interned
 //! once per configuration), and fixpoint stages (already symbolic, wrapped
 //! via [`SymRelation::from_rows`]). A `SymRelation` is immutable once
-//! built; indexes are shared via `Rc`.
-//!
-//! [`Value`]: crate::Value
+//! built; indexes are shared via `Arc`, and the lazy per-column-set cache
+//! sits behind an `RwLock` so one relation can serve concurrent readers
+//! (`SymRelation` is `Send + Sync`): probes of an already-built index take
+//! only a read lock, and a racing first build is benign — both racers
+//! compute the same index and the loser adopts the winner's copy.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 use crate::intern::{FxHashMap, Interner, Sym, SymTuple};
-use crate::Relation;
+use crate::{Relation, Value};
 
 /// A composite index over one column set: projected key → positions into
 /// [`SymRelation::rows`]. For a single-column index the keys are 1-tuples.
@@ -119,20 +120,27 @@ impl SymRegister {
 pub struct SymRelation {
     rows: Vec<SymTuple>,
     arity: Option<usize>,
-    cols: RefCell<FxHashMap<Vec<usize>, Rc<CompositeIndex>>>,
+    cols: RwLock<FxHashMap<Vec<usize>, Arc<CompositeIndex>>>,
 }
 
 impl SymRelation {
     /// Intern every tuple of `rel`, in the relation's canonical order.
     pub fn intern(rel: &Relation, interner: &mut Interner) -> Self {
+        SymRelation::intern_with(rel, |v| interner.intern(v))
+    }
+
+    /// [`SymRelation::intern`] through an arbitrary value→symbol mapping —
+    /// the single row-mapping loop shared with interners that are not a
+    /// plain [`Interner`] (e.g. `pt_logic`'s two-layer shared interner).
+    pub fn intern_with(rel: &Relation, mut sym_of: impl FnMut(&Value) -> Sym) -> Self {
         let rows: Vec<SymTuple> = rel
             .iter()
-            .map(|t| t.iter().map(|v| interner.intern(v)).collect())
+            .map(|t| t.iter().map(&mut sym_of).collect())
             .collect();
         SymRelation {
             rows,
             arity: rel.arity(),
-            cols: RefCell::new(FxHashMap::default()),
+            cols: RwLock::new(FxHashMap::default()),
         }
     }
 
@@ -142,7 +150,7 @@ impl SymRelation {
         SymRelation {
             rows: reg.rows().map(SymTuple::from).collect(),
             arity: Some(reg.arity()),
-            cols: RefCell::new(FxHashMap::default()),
+            cols: RwLock::new(FxHashMap::default()),
         }
     }
 
@@ -153,7 +161,7 @@ impl SymRelation {
         SymRelation {
             rows,
             arity,
-            cols: RefCell::new(FxHashMap::default()),
+            cols: RwLock::new(FxHashMap::default()),
         }
     }
 
@@ -182,9 +190,14 @@ impl SymRelation {
     /// use. Returns `None` when `cols` is empty, contains duplicates, or
     /// mentions a column out of range for the arity — callers fall back to
     /// a scan.
-    pub fn composite(&self, cols: &[usize]) -> Option<Rc<CompositeIndex>> {
-        if let Some(idx) = self.cols.borrow().get(cols) {
-            return Some(Rc::clone(idx));
+    ///
+    /// Thread-safe: a hit takes only a read lock; a miss builds the index
+    /// outside any lock and inserts it under the write lock, adopting the
+    /// other thread's copy if one raced the build (the rows are immutable,
+    /// so both computed the same index).
+    pub fn composite(&self, cols: &[usize]) -> Option<Arc<CompositeIndex>> {
+        if let Some(idx) = self.cols.read().unwrap().get(cols) {
+            return Some(Arc::clone(idx));
         }
         let arity = self.arity?;
         if cols.is_empty() || cols.iter().any(|&c| c >= arity) {
@@ -198,11 +211,12 @@ impl SymRelation {
             let key: SymTuple = cols.iter().map(|&c| row[c]).collect();
             index.entry(key).or_default().push(i as u32);
         }
-        let index = Rc::new(index);
-        self.cols
-            .borrow_mut()
-            .insert(cols.to_vec(), Rc::clone(&index));
-        Some(index)
+        let index = Arc::new(index);
+        let mut cache = self.cols.write().unwrap();
+        let slot = cache
+            .entry(cols.to_vec())
+            .or_insert_with(|| Arc::clone(&index));
+        Some(Arc::clone(slot))
     }
 
     /// Iterate the rows selected by probing the composite index over `cols`
@@ -219,7 +233,7 @@ impl SymRelation {
         match self.composite(cols) {
             Some(idx) => match idx.get(key) {
                 Some(ids) => {
-                    // the ids are owned by the Rc'd index; resolve them now
+                    // the ids are owned by the Arc'd index; resolve them now
                     // so the iterator borrows only `self`
                     let picked: Vec<u32> = ids.clone();
                     Box::new(picked.into_iter().map(|i| &self.rows[i as usize]))
@@ -232,7 +246,7 @@ impl SymRelation {
 
     /// Number of composite indexes built so far.
     pub fn built(&self) -> usize {
-        self.cols.borrow().len()
+        self.cols.read().unwrap().len()
     }
 }
 
@@ -284,7 +298,7 @@ mod tests {
         assert_eq!(s.built(), 0);
         let a = s.composite(&[1]).unwrap();
         let b = s.composite(&[1]).unwrap();
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(s.built(), 1);
         s.composite(&[0, 1]).unwrap();
         assert_eq!(s.built(), 2);

@@ -2,7 +2,9 @@
 //! 1.1, prepare the recursive view τ1 of Example 3.1 (Fig. 1(a)), run it,
 //! and stream the same document as SAX events.
 //!
-//! Run with `cargo run --example quickstart`.
+//! Run with `cargo run --example quickstart`. For the multi-threaded
+//! serving shape (one prepared transducer shared by a worker pool), see
+//! `examples/serving.rs`.
 
 use publishing_transducers::core::examples::registrar;
 use publishing_transducers::core::Engine;

@@ -10,11 +10,17 @@
 //!
 //! The production entry point is an [`Engine`](core::Engine) bound to a
 //! database: `prepare` a transducer once (validation, rule plan, warmed
-//! relation indexes) and run it as many times as needed — the engine owns
-//! the run-wide caches and each prepared transducer keeps its configuration
-//! memo across runs, so repeated publishing amortizes to a memo replay.
-//! Output comes either as a shared-DAG [`RunResult`](core::RunResult) or as
-//! a SAX-style event stream that never materializes the document:
+//! relation indexes, frozen interner snapshot) and run it as many times —
+//! and from as many threads — as needed. Both `Engine` and
+//! [`PreparedTransducer`](core::PreparedTransducer) are `Send + Sync` with
+//! `&self` sessions: the engine owns the run-wide caches and each prepared
+//! transducer keeps a sharded configuration memo that persists across runs
+//! and is shared by concurrent ones, so repeated publishing amortizes to a
+//! memo replay and concurrent traffic shares one expansion (cap the memo
+//! with [`MemoPolicy`](core::MemoPolicy) via `prepare_with` for long-lived
+//! engines). Output comes either as a shared-DAG
+//! [`RunResult`](core::RunResult) or as a SAX-style event stream that
+//! never materializes the document:
 //!
 //! ```
 //! use publishing_transducers::core::examples::registrar;
@@ -34,6 +40,26 @@
 //! let mut sink = TreeBuilder::new();
 //! prepared.stream(&mut sink).unwrap();
 //! assert_eq!(sink.finish().unwrap(), tree);
+//! ```
+//!
+//! Serving the same prepared transducer from a thread pool needs nothing
+//! but scoped borrows (see `examples/serving.rs`):
+//!
+//! ```
+//! # use publishing_transducers::core::examples::registrar;
+//! # use publishing_transducers::core::Engine;
+//! # let db = registrar::registrar_instance();
+//! # let engine = Engine::new(&db);
+//! # let tau2 = registrar::tau2();
+//! let prepared = engine.prepare(&tau2).unwrap();
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         scope.spawn(|| {
+//!             // all threads share one memo; every run sees the same tree
+//!             prepared.run().unwrap().output_tree()
+//!         });
+//!     }
+//! });
 //! ```
 //!
 //! One-shot callers can keep using

@@ -1,0 +1,245 @@
+//! Thread-safe serving: N threads share one [`Engine`] and its
+//! [`PreparedTransducer`]s, interleaving `run()` and `stream()` calls, and
+//! every observation — output tree, ξ statistics, relational views, stream
+//! round-trips, and errors — must equal the single-threaded
+//! [`ExpansionMode::Tree`] ground-truth oracle. Also covers the bounded
+//! [`MemoPolicy`]: a capped memo must stay under its cap and still produce
+//! oracle-identical output, sequentially and concurrently.
+
+use pt_bench::{registrar_with_enrollment, scaled_registrar, stream_round_trip};
+use publishing_transducers::core::examples::registrar;
+use publishing_transducers::core::generate::{random_transducer, GenConfig};
+use publishing_transducers::core::{
+    Engine, EvalOptions, ExpansionMode, MemoPolicy, PreparedTransducer, RunError, Transducer,
+};
+use publishing_transducers::relational::generate::{random_instance, random_schema};
+use publishing_transducers::relational::{Instance, Relation};
+use publishing_transducers::xmltree::TreeBuilder;
+use rand::prelude::*;
+
+/// Compile-time `Send + Sync` bounds for the serving API (the library
+/// asserts the same in `pt_core::engine`; this pins it from the outside,
+/// on the public re-exports).
+#[test]
+fn engine_and_prepared_transducer_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine<'_>>();
+    assert_send_sync::<PreparedTransducer<'_, '_, '_>>();
+}
+
+/// Everything observable about one successful run, in comparable form.
+#[derive(Debug, PartialEq, Clone)]
+struct Observation {
+    output: String,
+    xi_size: usize,
+    xi_depth: usize,
+    relational: Vec<(String, Relation)>,
+}
+
+fn tree_oracle(tau: &Transducer, db: &Instance, max_nodes: usize) -> Result<Observation, RunError> {
+    let run = tau.run_with(
+        db,
+        EvalOptions {
+            max_nodes,
+            mode: ExpansionMode::Tree,
+        },
+    )?;
+    Ok(Observation {
+        output: format!("{:?}", run.output_tree()),
+        xi_size: run.size(),
+        xi_depth: run.depth(),
+        relational: tau
+            .alphabet()
+            .into_iter()
+            .map(|tag| {
+                let rel = run.relational_output(&tag);
+                (tag, rel)
+            })
+            .collect(),
+    })
+}
+
+/// One serving thread's workload: `iters` interleaved runs and streams on a
+/// shared prepared transducer, each checked against the oracle observation.
+fn serve_and_check(
+    prepared: &PreparedTransducer<'_, '_, '_>,
+    tau: &Transducer,
+    oracle: &Observation,
+    max_nodes: usize,
+    iters: usize,
+) {
+    for round in 0..iters {
+        // a full run with all the ξ observers…
+        let run = prepared.run_with(max_nodes).expect("run must succeed");
+        let got = Observation {
+            output: format!("{:?}", run.output_tree()),
+            xi_size: run.size(),
+            xi_depth: run.depth(),
+            relational: tau
+                .alphabet()
+                .into_iter()
+                .map(|tag| {
+                    let rel = run.relational_output(&tag);
+                    (tag, rel)
+                })
+                .collect(),
+        };
+        assert_eq!(&got, oracle, "round {round} run diverged from the oracle");
+        stream_round_trip(&run).expect("stream must rebuild the output tree");
+        // …interleaved with a stream() of the same prepared transducer
+        let mut builder = TreeBuilder::new();
+        let summary = prepared
+            .stream_with(max_nodes, &mut builder)
+            .expect("stream must succeed");
+        assert!(!summary.truncated);
+        assert_eq!(
+            format!("{:?}", builder.finish().unwrap()),
+            oracle.output,
+            "round {round} stream diverged from the oracle"
+        );
+    }
+}
+
+#[test]
+fn n_threads_serve_one_prepared_transducer() {
+    let db = registrar_with_enrollment(12, 80);
+    let tau = registrar::tau2();
+    let max_nodes = 1 << 22;
+    let oracle = tree_oracle(&tau, &db, max_nodes).expect("oracle run");
+    let engine = Engine::new(&db);
+    let prepared = engine.prepare(&tau).expect("tau2 prepares");
+    // cold: every thread starts on an empty memo and they race to fill it
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            scope.spawn(|| serve_and_check(&prepared, &tau, &oracle, max_nodes, 3));
+        }
+    });
+    // warm: a second wave replays the (now fully populated) shared memo
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            scope.spawn(|| serve_and_check(&prepared, &tau, &oracle, max_nodes, 2));
+        }
+    });
+}
+
+#[test]
+fn one_engine_serves_many_transducers_concurrently() {
+    let db = registrar::registrar_instance();
+    let engine = Engine::new(&db);
+    let taus = [registrar::tau1(), registrar::tau2(), registrar::tau3()];
+    let oracles: Vec<Observation> = taus
+        .iter()
+        .map(|t| tree_oracle(t, &db, 1 << 22).expect("oracle"))
+        .collect();
+    // prepare concurrently too: prepare-time snapshot freezing must be
+    // safe against in-flight runs of other prepared transducers
+    let engine_ref = &engine;
+    std::thread::scope(|scope| {
+        for (tau, oracle) in taus.iter().zip(&oracles) {
+            scope.spawn(move || {
+                let prepared = engine_ref.prepare(tau).expect("prepare");
+                serve_and_check(&prepared, tau, oracle, 1 << 22, 4);
+            });
+        }
+    });
+    assert!(engine.registers_interned() > 0);
+}
+
+#[test]
+fn concurrent_budget_errors_match_the_oracle() {
+    let db = scaled_registrar(12);
+    let tau = registrar::tau1();
+    let full = tau.run(&db).unwrap().size();
+    let budget = full - 1;
+    let oracle_err = tree_oracle(&tau, &db, budget).expect_err("oracle must trip");
+    assert_eq!(oracle_err, RunError::NodeLimit(budget));
+    let engine = Engine::new(&db);
+    let prepared = engine.prepare(&tau).unwrap();
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            scope.spawn(|| {
+                for _ in 0..3 {
+                    // the budget counts the unfolded tree, memo hits
+                    // included, so every thread sees the exact oracle error
+                    let err = prepared.run_with(budget).expect_err("must trip");
+                    assert_eq!(err, oracle_err);
+                }
+            });
+        }
+    });
+    // and a sufficient budget still succeeds afterwards
+    assert_eq!(prepared.run_with(full).unwrap().size(), full);
+}
+
+#[test]
+fn bounded_memo_stays_under_cap_with_oracle_identical_output() {
+    let db = scaled_registrar(30);
+    let tau = registrar::tau1();
+    let max_nodes = 1 << 22;
+    let oracle = tree_oracle(&tau, &db, max_nodes).expect("oracle");
+    let engine = Engine::new(&db);
+    // unbounded needs more entries than the cap we pick, so eviction
+    // genuinely fires
+    let unbounded = engine.prepare(&tau).unwrap();
+    serve_and_check(&unbounded, &tau, &oracle, max_nodes, 1);
+    let uncapped_entries = unbounded.memo_entries();
+    let cap = 16usize;
+    assert!(
+        uncapped_entries > cap,
+        "workload too small to exercise eviction ({uncapped_entries} entries)"
+    );
+    let capped = engine
+        .prepare_with(&tau, MemoPolicy::Bounded { max_entries: cap })
+        .unwrap();
+    assert_eq!(
+        capped.memo_policy(),
+        MemoPolicy::Bounded { max_entries: cap }
+    );
+    for _ in 0..3 {
+        serve_and_check(&capped, &tau, &oracle, max_nodes, 1);
+        assert!(
+            capped.memo_entries() <= cap,
+            "memo exceeded its cap: {} > {cap}",
+            capped.memo_entries()
+        );
+        // eviction is generational, not a wholesale wipe: the newest
+        // generations survive, so something is always retained
+        assert!(capped.memo_entries() > 0, "eviction wiped the whole memo");
+    }
+    // concurrent serving under eviction pressure stays correct too
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| serve_and_check(&capped, &tau, &oracle, max_nodes, 2));
+        }
+    });
+    assert!(capped.memo_entries() <= cap);
+}
+
+#[test]
+fn concurrent_serving_matches_oracle_on_fuzzed_transducers() {
+    // a slice of the seeded fuzz corpus (IFP and virtual tags included),
+    // served from 4 threads against the Tree oracle
+    let max_nodes = 4000;
+    let mut checked = 0usize;
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0C0 + seed);
+        let schema = random_schema(3, 3, &mut rng);
+        let tau = random_transducer(&schema, &GenConfig::default(), &mut rng);
+        let inst = random_instance(&schema, 6, 8, &mut rng);
+        let Ok(oracle) = tree_oracle(&tau, &inst, max_nodes) else {
+            continue; // error cases are covered by the budget test above
+        };
+        let engine = Engine::new(&inst);
+        let prepared = engine.prepare(&tau).expect("prepare");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| serve_and_check(&prepared, &tau, &oracle, max_nodes, 2));
+            }
+        });
+        checked += 1;
+    }
+    assert!(
+        checked >= 6,
+        "only {checked}/12 fuzz cases ran to completion"
+    );
+}
