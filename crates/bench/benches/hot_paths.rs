@@ -1,6 +1,7 @@
 //! Hot-path microbenches isolating the engine wins of the evaluation
 //! overhauls: hash joins over interned rows, semi-naive fixpoint iteration
-//! (including the multi-linear transitive-closure expansion), interned and
+//! (plus the dedicated closure operator on chain and dense transitive
+//! closures), interned and
 //! indexed registers on register-heavy views, configuration-DAG expansion
 //! sharing, engine-session amortization (prepared vs cold runs), parallel
 //! serving (N threads sharing one prepared session vs sequential replays
@@ -8,7 +9,7 @@
 //! output unfolding.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pt_bench::{chain_edges, registrar_with_enrollment, scaled_registrar};
+use pt_bench::{chain_edges, dense_digraph, registrar_with_enrollment, scaled_registrar};
 use pt_core::examples::registrar;
 use pt_core::{Engine, EvalOptions};
 use pt_logic::eval::eval_to_relation;
@@ -92,17 +93,24 @@ fn bench_register_heavy(c: &mut Criterion) {
 fn bench_transitive_closure(c: &mut Criterion) {
     let mut g = c.benchmark_group("hot_paths/tc");
     g.sample_size(10);
-    // two positive occurrences: the multi-linear semi-naive expansion
-    // (delta in one occurrence per variant) replaces naive rounds
+    // the doubling body runs on the dedicated closure operator: sorted
+    // delta·base merges instead of per-round multi-linear join pairs
     let f = parse_formula("fix T(x, y) { edge(x, y) or exists z (T(x, z) and T(z, y)) }(v, w)")
         .unwrap();
     let vw = [Var::new("v"), Var::new("w")];
-    for n in [64usize, 128] {
+    for n in [64usize, 128, 512] {
         let inst = chain_edges(n);
         g.bench_with_input(BenchmarkId::new("closure_chain", n), &inst, |b, inst| {
             b.iter(|| eval_to_relation(inst, None, &f, &vw).unwrap().len())
         });
     }
+    // dense graph: the closure saturates in a few rounds of wide deltas
+    let inst = dense_digraph(96, 6);
+    g.bench_with_input(
+        BenchmarkId::new("closure_dense_d6", 96),
+        &inst,
+        |b, inst| b.iter(|| eval_to_relation(inst, None, &f, &vw).unwrap().len()),
+    );
     g.finish();
 }
 

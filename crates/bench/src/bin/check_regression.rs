@@ -8,8 +8,8 @@
 //! against the *best* value recorded for it anywhere in the chain (lowest
 //! `ms`, highest `x` speedup) — so a number that improved in `BENCH_2.json`
 //! cannot quietly slide back to its `BENCH_1.json` level. Defaults:
-//! `BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json`,
-//! tolerance 3.0.
+//! `BENCH_1.json` through `BENCH_6.json` (the last is the current
+//! measurement), tolerance 3.0.
 //!
 //! The tolerance is deliberately generous — CI machines are noisy and the
 //! recorded values come from another host — so the gate only trips on an
@@ -20,7 +20,7 @@
 
 use std::process::ExitCode;
 
-use pt_bench::{fold_best, parse_bench_json};
+use pt_bench::{fold_best, parse_bench_host, parse_bench_json};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +47,7 @@ fn main() -> ExitCode {
             "BENCH_3.json",
             "BENCH_4.json",
             "BENCH_5.json",
+            "BENCH_6.json",
         ];
     }
     if files.len() < 2 {
@@ -56,26 +57,35 @@ fn main() -> ExitCode {
     let current_path = files.pop().unwrap();
     let baseline_paths = files;
 
-    let read = |path: &str| -> Option<Vec<(String, String, f64)>> {
+    // host headers per file, surfaced when the gate trips: a regression
+    // measured on a different machine than the baseline reads differently
+    let mut hosts: Vec<(String, String)> = Vec::new();
+    let read = |path: &str,
+                hosts: &mut Vec<(String, String)>|
+     -> Option<Vec<(String, String, f64)>> {
         match std::fs::read_to_string(path) {
-            Ok(text) => Some(parse_bench_json(&text)),
+            Ok(text) => {
+                let host = parse_bench_host(&text).unwrap_or_else(|| "unrecorded host".to_string());
+                hosts.push((path.to_string(), host));
+                Some(parse_bench_json(&text))
+            }
             Err(e) => {
                 eprintln!("cannot read {path}: {e}");
                 None
             }
         }
     };
-    let Some(current) = read(current_path) else {
-        return ExitCode::FAILURE;
-    };
     // the chain folds to the best recorded value per (name, metric)
     let mut best: Vec<(String, String, f64)> = Vec::new();
     for path in &baseline_paths {
-        let Some(entries) = read(path) else {
+        let Some(entries) = read(path, &mut hosts) else {
             return ExitCode::FAILURE;
         };
         fold_best(&mut best, entries);
     }
+    let Some(current) = read(current_path, &mut hosts) else {
+        return ExitCode::FAILURE;
+    };
     if best.is_empty() || current.is_empty() {
         eprintln!(
             "no benchmark entries parsed (baselines: {}, {current_path}: {})",
@@ -119,6 +129,10 @@ fn main() -> ExitCode {
             "{regressions} entr{} regressed more than {tolerance}x vs the best recorded baseline",
             if regressions == 1 { "y" } else { "ies" }
         );
+        eprintln!("hosts in the comparison chain:");
+        for (path, host) in &hosts {
+            eprintln!("  {path}: {host}");
+        }
         return ExitCode::FAILURE;
     }
     println!(

@@ -3,13 +3,15 @@
 //! Usage: `cargo run --release -p pt-bench --bin run_experiments [section]
 //! [--full-baseline]` with `section` in `{fig1, table1, table2, table3,
 //! prop1, quick, all}`. The `quick` section times the engine's hot paths
-//! and writes a machine-readable `BENCH_5.json` extending the trajectory
-//! recorded by the committed `BENCH_1.json` through `BENCH_4.json`
-//! (earlier files are never overwritten). Slow forced-tree baselines are
-//! skipped by default (speedups are computed against the recorded
-//! trajectory); pass `--full-baseline` to re-measure them locally. The
-//! `check_regression` binary gates CI on the chain, comparing each entry
-//! against its best recorded value.
+//! and writes a machine-readable `BENCH_6.json` extending the trajectory
+//! recorded by the committed `BENCH_1.json` through `BENCH_5.json`
+//! (earlier files are never overwritten). Each file carries a `"host"`
+//! header (core count and `uname`) identifying the machine the numbers
+//! were taken on. Slow forced-tree baselines are skipped by default
+//! (speedups are computed against the recorded trajectory); pass
+//! `--full-baseline` to re-measure them locally. The `check_regression`
+//! binary gates CI on the chain, comparing each entry against its best
+//! recorded value.
 
 use std::time::Instant;
 
@@ -310,12 +312,13 @@ fn time_ms(mut f: impl FnMut() -> usize) -> (f64, usize) {
 /// wide-register roster view), engine-session amortization, parallel
 /// serving throughput (8 threads on one shared prepared session vs the
 /// same number of sequential replays) and streaming output, the
-/// Proposition 1(3) blowup family, and the join/fixpoint microworkloads.
-/// Emits `BENCH_5.json`.
+/// Proposition 1(3) blowup family, and the join/fixpoint microworkloads
+/// (chain and dense-graph transitive closures on the dedicated closure
+/// operator). Emits `BENCH_6.json` with a host-metadata header.
 ///
 /// By default the slow in-run tree baselines (~30 s) are *not* re-measured:
 /// speedups are computed against the trajectory recorded in `BENCH_1.json`
-/// through `BENCH_4.json` (best value per entry). Pass `--full-baseline`
+/// through `BENCH_5.json` (best value per entry). Pass `--full-baseline`
 /// to re-run the forced-tree engine locally.
 fn quick(full_baseline: bool) {
     use pt_core::{EvalOptions, ExpansionMode};
@@ -330,6 +333,7 @@ fn quick(full_baseline: bool) {
         "BENCH_2.json",
         "BENCH_3.json",
         "BENCH_4.json",
+        "BENCH_5.json",
     ] {
         let parsed = std::fs::read_to_string(path)
             .map(|text| pt_bench::parse_bench_json(&text))
@@ -628,28 +632,48 @@ fn quick(full_baseline: bool) {
         note: "output_tree() time / stream_output() time on tau1 n=200".to_string(),
     });
 
-    // transitive closure: non-linear fixpoint body, iterated with the
-    // multi-linear semi-naive expansion instead of naive rounds
-    let tc_inst = pt_bench::chain_edges(256);
+    // transitive closure: the doubling fixpoint body now runs on the
+    // dedicated closure operator over sorted columnar storage (PR 6);
+    // before that, multi-linear semi-naive (530 ms at n=256 in BENCH_5),
+    // before PR 2, naive rounds (4569 ms)
     let tc_f = pt_logic::parse_formula(
         "fix T(x, y) { edge(x, y) or exists z (T(x, z) and T(z, y)) }(v, w)",
     )
     .unwrap();
     let vw = [Var::new("v"), Var::new("w")];
-    let (tc_ms, tc_rows) = time_ms(|| {
-        pt_logic::eval::eval_to_relation(&tc_inst, None, &tc_f, &vw)
-            .unwrap()
-            .len()
-    });
-    println!("tc_closure chain n=256     : {tc_ms:>10.1} ms  ({tc_rows} rows)");
-    entries.push(BenchEntry {
-        name: "tc_closure_chain_n256",
-        metric: "ms",
-        value: tc_ms,
-        note: format!(
-            "{tc_rows} rows, multi-linear semi-naive; pre-PR2 naive rounds measured 4569 ms"
+    for (name, label, inst, note) in [
+        (
+            "tc_closure_chain_n256",
+            "tc_closure chain n=256     ",
+            pt_bench::chain_edges(256),
+            "closure operator; semi-naive measured 530 ms, pre-PR2 naive rounds 4569 ms",
         ),
-    });
+        (
+            "tc_closure_chain_n512",
+            "tc_closure chain n=512     ",
+            pt_bench::chain_edges(512),
+            "closure operator, long thin deltas (many rounds)",
+        ),
+        (
+            "tc_closure_dense_n96",
+            "tc_closure dense n=96 d=6  ",
+            pt_bench::dense_digraph(96, 6),
+            "closure operator, dense graph (few rounds, wide sorted merges)",
+        ),
+    ] {
+        let (tc_ms, tc_rows) = time_ms(|| {
+            pt_logic::eval::eval_to_relation(&inst, None, &tc_f, &vw)
+                .unwrap()
+                .len()
+        });
+        println!("{label}: {tc_ms:>10.1} ms  ({tc_rows} rows)");
+        entries.push(BenchEntry {
+            name,
+            metric: "ms",
+            value: tc_ms,
+            note: format!("{tc_rows} rows, {note}"),
+        });
+    }
 
     // asymptotics: the Proposition 1(3) blowup family; tree mode is
     // exponential in n while the DAG stays linear
@@ -752,8 +776,21 @@ fn quick(full_baseline: bool) {
         }
     }
 
-    // hand-rolled JSON: the workspace is offline, no serde available
-    let mut json = String::from("{\n  \"bench\": 5,\n  \"entries\": [\n");
+    // hand-rolled JSON: the workspace is offline, no serde available. The
+    // host header replaces the ad-hoc per-entry core-count notes: every
+    // entry in this file was measured on the machine it names.
+    let uname = std::process::Command::new("uname")
+        .arg("-a")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().replace(['"', '\\'], " "))
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let mut json = String::from("{\n  \"bench\": 6,\n");
+    json.push_str(&format!(
+        "  \"host\": {{\"cores\": {cores}, \"uname\": \"{uname}\"}},\n  \"entries\": [\n"
+    ));
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
         json.push_str(&format!(
@@ -762,8 +799,8 @@ fn quick(full_baseline: bool) {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_5.json", &json).expect("writing BENCH_5.json");
-    println!("wrote BENCH_5.json");
+    std::fs::write("BENCH_6.json", &json).expect("writing BENCH_6.json");
+    println!("wrote BENCH_6.json");
 }
 
 fn main() {

@@ -142,11 +142,28 @@ pub fn roster_view() -> Transducer {
 }
 
 /// A chain `edge(0,1), …, edge(n-1,n)` — the transitive-closure workload
-/// for the multi-linear semi-naive fixpoint.
+/// for the closure operator (long, thin deltas: many rounds, few rows per
+/// round).
 pub fn chain_edges(n: usize) -> Instance {
     let mut edge = Relation::new();
     for i in 0..n as i64 {
         edge.insert(vec![Value::int(i), Value::int(i + 1)]);
+    }
+    Instance::new().with("edge", edge)
+}
+
+/// A deterministic dense digraph on `n` nodes with out-degree `degree`:
+/// node `i` points to `(i·7 + d·11 + 1) mod n` for `d < degree`. The
+/// complementary transitive-closure workload to [`chain_edges`] — the
+/// closure saturates in a few rounds but every round carries wide deltas,
+/// stressing the sorted merge instead of the iteration count.
+pub fn dense_digraph(n: usize, degree: usize) -> Instance {
+    let mut edge = Relation::new();
+    for i in 0..n as i64 {
+        for d in 0..degree as i64 {
+            let j = (i * 7 + d * 11 + 1).rem_euclid(n as i64);
+            edge.insert(vec![Value::int(i), Value::int(j)]);
+        }
     }
     Instance::new().with("edge", edge)
 }
@@ -176,6 +193,24 @@ pub fn parse_bench_json(text: &str) -> Vec<(String, String, f64)> {
             Some((name, metric, value))
         })
         .collect()
+}
+
+/// Extract the host-metadata header line (`"host": {"cores": N, "uname":
+/// "…"}`) a `BENCH_N.json` file carries, as a human-readable string —
+/// `None` for files written before the header existed. The regression gate
+/// prints this when an entry trips, so a cross-host comparison is visible
+/// as such instead of masquerading as a real slowdown.
+pub fn parse_bench_host(text: &str) -> Option<String> {
+    let line = text.lines().find(|l| l.contains("\"host\": "))?;
+    let cores = line
+        .split("\"cores\": ")
+        .nth(1)
+        .map(|r| r[..r.find(|c: char| !c.is_ascii_digit()).unwrap_or(r.len())].to_string())?;
+    let uname = line
+        .split("\"uname\": \"")
+        .nth(1)
+        .and_then(|r| r.find('"').map(|e| r[..e].to_string()))?;
+    Some(format!("{cores} core(s), {uname}"))
 }
 
 /// Fold benchmark entries into the best recorded value per
@@ -248,9 +283,11 @@ mod tests {
 
     #[test]
     fn bench_json_round_trips() {
-        let text = "{\n  \"bench\": 2,\n  \"entries\": [\n    \
+        let text = "{\n  \"bench\": 2,\n  \
+                    \"host\": {\"cores\": 4, \"uname\": \"Linux test 6.1\"},\n  \"entries\": [\n    \
                     {\"name\": \"a_ms\", \"metric\": \"ms\", \"value\": 12.500, \"note\": \"x\"},\n    \
                     {\"name\": \"b_x\", \"metric\": \"x\", \"value\": 784.281, \"note\": \"dag vs tree\"}\n  ]\n}\n";
+        // the host header must not confuse the entry parser
         let entries = parse_bench_json(text);
         assert_eq!(
             entries,
@@ -259,6 +296,21 @@ mod tests {
                 ("b_x".to_string(), "x".to_string(), 784.281)
             ]
         );
+        assert_eq!(
+            parse_bench_host(text).as_deref(),
+            Some("4 core(s), Linux test 6.1")
+        );
+        assert_eq!(parse_bench_host("{\n  \"entries\": []\n}\n"), None);
+    }
+
+    #[test]
+    fn dense_digraph_is_deterministic_and_dense() {
+        let a = dense_digraph(96, 6);
+        let b = dense_digraph(96, 6);
+        assert_eq!(a, b);
+        // self-loops and collisions may shave a few rows, never add any
+        let edges = a.size();
+        assert!(edges > 96 * 4 && edges <= 96 * 6, "{edges} edges");
     }
 
     #[test]

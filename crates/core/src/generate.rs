@@ -23,6 +23,13 @@
 //! `fix F(a) { base(…a…) or exists p (F(p) and step(p, a…)) }(v)` over one
 //! of its head variables, with `base`/`step` drawn from the schema (or the
 //! parent register).
+//!
+//! PR 6 adds [`GenConfig::tc_prob`]: a conjunction may additionally gain a
+//! *binary* transitive-closure-shaped membership test — left-linear,
+//! right-linear or doubling `fix F(fx, fy) { base(fx, fy) or
+//! exists fz (F(fx, fz) and F(fz, y)) }(v, w)` — exactly the shapes the
+//! evaluator's dedicated closure operator recognizes, so the cross-engine
+//! oracle keeps the fast path and the semi-naive fallback in agreement.
 
 use rand::prelude::*;
 
@@ -56,6 +63,13 @@ pub struct GenConfig {
     /// a relation (or parent register) of arity ≥ 2 for the step atom;
     /// conjunctions without one skip the draw.
     pub ifp_prob: f64,
+    /// Probability that a conjunction gains a binary transitive-closure
+    /// shaped fixpoint membership conjunct (left-linear, right-linear or
+    /// doubling), the shapes the evaluator's closure operator fast-paths —
+    /// so fuzz cases pit the closure operator against the general
+    /// semi-naive loop across engines. Requires a relation (or parent
+    /// register) of arity ≥ 2; conjunctions without one skip the draw.
+    pub tc_prob: f64,
 }
 
 impl Default for GenConfig {
@@ -69,6 +83,7 @@ impl Default for GenConfig {
             max_const: 5,
             virtual_tag_prob: 0.2,
             ifp_prob: 0.15,
+            tc_prob: 0.1,
         }
     }
 }
@@ -222,6 +237,13 @@ fn random_conjunction(
             conjuncts.push(fix);
         }
     }
+    // a binary transitive-closure membership test in one of the shapes the
+    // closure operator fast-paths, so the fuzz corpus exercises it
+    if !head.is_empty() && cfg.tc_prob > 0.0 && rng.gen_bool(cfg.tc_prob) {
+        if let Some(fix) = random_tc_conjunct(&rels, head, parent_arity, rng) {
+            conjuncts.push(fix);
+        }
+    }
     // a comparison between a head variable and a constant or head variable
     if !head.is_empty() && rng.gen_bool(0.3) {
         let a = &head[rng.gen_range(0..head.len())];
@@ -266,29 +288,6 @@ fn random_fix_conjunct(
     if bases.is_empty() || steps.is_empty() {
         return None;
     }
-    // one atom with the given variables placed in fixed slots, every other
-    // slot a fresh variable — quantified explicitly (fixpoint bodies allow
-    // no free variables beyond the fixpoint tuple, so no auto-closure here)
-    fn place(name: &str, arity: usize, slots: &[(usize, &str)], fresh_tag: &str) -> String {
-        let mut args: Vec<String> = Vec::with_capacity(arity);
-        let mut fresh: Vec<String> = Vec::new();
-        for i in 0..arity {
-            match slots.iter().find(|&&(j, _)| j == i) {
-                Some(&(_, v)) => args.push(v.to_string()),
-                None => {
-                    let v = format!("{fresh_tag}{}", fresh.len());
-                    args.push(v.clone());
-                    fresh.push(v);
-                }
-            }
-        }
-        let atom = format!("{}({})", name, args.join(", "));
-        if fresh.is_empty() {
-            atom
-        } else {
-            format!("exists {} ({atom})", fresh.join(" "))
-        }
-    }
     let (bname, barity) = bases[rng.gen_range(0..bases.len())].clone();
     let (sname, sarity) = steps[rng.gen_range(0..steps.len())].clone();
     let bslot = rng.gen_range(0..barity);
@@ -303,6 +302,88 @@ fn random_fix_conjunct(
     Some(format!(
         "fix F(fa) {{ ({base}) or exists fp (F(fp) and {step}) }}({target})"
     ))
+}
+
+/// One atom with the given variables placed in fixed slots, every other
+/// slot a fresh variable — quantified explicitly (fixpoint bodies allow
+/// no free variables beyond the fixpoint tuple, so no auto-closure here).
+fn place(name: &str, arity: usize, slots: &[(usize, &str)], fresh_tag: &str) -> String {
+    let mut args: Vec<String> = Vec::with_capacity(arity);
+    let mut fresh: Vec<String> = Vec::new();
+    for i in 0..arity {
+        match slots.iter().find(|&&(j, _)| j == i) {
+            Some(&(_, v)) => args.push(v.to_string()),
+            None => {
+                let v = format!("{fresh_tag}{}", fresh.len());
+                args.push(v.clone());
+                fresh.push(v);
+            }
+        }
+    }
+    let atom = format!("{}({})", name, args.join(", "));
+    if fresh.is_empty() {
+        atom
+    } else {
+        format!("exists {} ({atom})", fresh.join(" "))
+    }
+}
+
+/// A binary transitive-closure membership conjunct in one of the shapes the
+/// evaluator's closure operator recognizes, applied to head variables:
+///
+/// ```text
+/// left-linear   fix F(fx, fy) { base or exists fz (F(fx, fz) and step(fz, fy)) }(v, w)
+/// right-linear  fix F(fx, fy) { base or exists fz (step(fx, fz) and F(fz, fy)) }(v, w)
+/// doubling      fix F(fx, fy) { base or exists fz (F(fx, fz) and F(fz, fy)) }(v, w)
+/// ```
+///
+/// `base` and `step` are relations (or the parent register) of arity ≥ 2
+/// with the pair placed in two random distinct slots, remaining slots
+/// explicitly quantified. Returns `None` when the pool has no arity-2
+/// source. The fuzz oracle then compares the closure fast path against the
+/// other engines' evaluation of the same body.
+fn random_tc_conjunct(
+    rels: &[(String, usize)],
+    head: &[String],
+    parent_arity: usize,
+    rng: &mut StdRng,
+) -> Option<String> {
+    let mut pool: Vec<(String, usize)> = rels.iter().filter(|&&(_, a)| a >= 2).cloned().collect();
+    if parent_arity >= 2 {
+        pool.push(("Reg".to_string(), parent_arity));
+    }
+    if pool.is_empty() {
+        return None;
+    }
+    let pair_slots = |arity: usize, rng: &mut StdRng| -> (usize, usize) {
+        let i = rng.gen_range(0..arity);
+        let mut j = rng.gen_range(0..arity - 1);
+        if j >= i {
+            j += 1;
+        }
+        (i, j)
+    };
+    let (bname, barity) = pool[rng.gen_range(0..pool.len())].clone();
+    let (b1, b2) = pair_slots(barity, rng);
+    let base = place(&bname, barity, &[(b1, "fx"), (b2, "fy")], "fb");
+    let rec = match rng.gen_range(0u32..3) {
+        0 => {
+            let (sname, sarity) = pool[rng.gen_range(0..pool.len())].clone();
+            let (s1, s2) = pair_slots(sarity, rng);
+            let step = place(&sname, sarity, &[(s1, "fz"), (s2, "fy")], "fs");
+            format!("exists fz (F(fx, fz) and {step})")
+        }
+        1 => {
+            let (sname, sarity) = pool[rng.gen_range(0..pool.len())].clone();
+            let (s1, s2) = pair_slots(sarity, rng);
+            let step = place(&sname, sarity, &[(s1, "fx"), (s2, "fz")], "fs");
+            format!("exists fz ({step} and F(fz, fy))")
+        }
+        _ => "exists fz (F(fx, fz) and F(fz, fy))".to_string(),
+    };
+    let t1 = &head[rng.gen_range(0..head.len())];
+    let t2 = &head[rng.gen_range(0..head.len())];
+    Some(format!("fix F(fx, fy) {{ ({base}) or {rec} }}({t1}, {t2})"))
 }
 
 /// Draw a random transducer over `schema` within the bounds of `cfg`.
@@ -444,6 +525,33 @@ mod tests {
         }
         assert!(with_fix > 5, "only {with_fix}/60 draws used a fixpoint");
         assert!(with_fix < 60, "every draw used a fixpoint");
+    }
+
+    #[test]
+    fn corpus_draws_tc_bodies() {
+        // with the default tc_prob, a modest seed range must produce binary
+        // transitive-closure membership conjuncts — and they must still run
+        // under every engine (cross-engine agreement is fuzz_differential's
+        // job; this pins down that the closure-shaped draws actually occur)
+        let cfg = GenConfig::default();
+        let mut with_tc = 0usize;
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(5000 + seed);
+            let schema = random_schema(3, 3, &mut rng);
+            let tau = random_transducer(&schema, &cfg, &mut rng);
+            // Display joins fixpoint variables with spaces: `fix F(fx fy)`
+            if format!("{tau}").contains("fix F(fx fy)") {
+                with_tc += 1;
+                let inst = random_instance(&schema, 5, 6, &mut rng);
+                let opts = crate::semantics::EvalOptions::with_max_nodes(2000);
+                match tau.run_with(&inst, opts) {
+                    Ok(_) | Err(crate::semantics::RunError::NodeLimit(_)) => {}
+                    Err(e) => panic!("seed {seed}: unexpected error {e}"),
+                }
+            }
+        }
+        assert!(with_tc > 5, "only {with_tc}/60 draws used a closure body");
+        assert!(with_tc < 60, "every draw used a closure body");
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Detection of transitive-closure-shaped fixpoint bodies.
+//!
+//! [`closure_shape`] recognizes the syntactic shapes whose inflationary
+//! fixpoint the evaluator can compute with the dedicated closure operator
+//! over sorted columnar storage (`eval_fix_closure`) instead of the general
+//! multi-linear semi-naive loop:
+//!
+//! - **Left-linear** binary closure `T(x, y) ← base(x, y) ∨ ∃z̄ (T(x, z) ∧
+//!   ψ(z, y))`
+//! - **Right-linear** binary closure `T(x, y) ← base(x, y) ∨ ∃z̄ (ψ(x, z) ∧
+//!   T(z, y))`
+//! - **Doubling** binary closure `T(x, y) ← base(x, y) ∨ ∃z (T(x, z) ∧
+//!   T(z, y))`
+//! - **Reachability** (unary) `T(a) ← base(a) ∨ ∃p̄ (T(p) ∧ ψ(p, a))`
+//!
+//! Detection runs only after [`Formula::positive_occurrences`] certified
+//! the body strictly positive in the fixpoint predicate, so every
+//! recognized body is monotone and its inflationary fixpoint coincides
+//! with the least fixpoint. For the doubling shape the least fixpoint of
+//! `base ∨ T∘T` is exactly the transitive closure `base⁺`, which the
+//! closure operator reaches by linear `delta ∘ base` extension — the
+//! intermediate stages differ from the inflationary rounds, but only the
+//! final fixpoint is observable.
+//!
+//! Anything that fails the strict pattern match (extra occurrences of the
+//! predicate, the predicate under more structure than a bare atom, a step
+//! formula leaking the wrong variable) returns `None` and falls back to
+//! semi-naive evaluation, so the fast path can never change semantics.
+
+use crate::formula::Formula;
+use crate::term::{Term, Var};
+
+/// A recognized closure shape: the non-recursive `base` disjuncts and (for
+/// the linear shapes) the step formula `ψ` with the *middle* variable the
+/// recursive atom hands to it.
+#[derive(Debug)]
+pub(crate) enum ClosureShape {
+    /// `base ∨ ∃z (T(x, z) ∧ T(z, y))`: extend deltas with the accumulated
+    /// base on the right.
+    Doubling { base: Formula },
+    /// `base ∨ ∃z̄ (T(x, z) ∧ ψ)` with `free(ψ) ⊆ {z, y}`: the step is
+    /// evaluated over `(mid, y)`.
+    LeftLinear {
+        base: Formula,
+        step: Formula,
+        mid: Var,
+    },
+    /// `base ∨ ∃z̄ (ψ ∧ T(z, y))` with `free(ψ) ⊆ {x, z}`: the step is
+    /// evaluated over `(x, mid)`.
+    RightLinear {
+        base: Formula,
+        step: Formula,
+        mid: Var,
+    },
+    /// Unary reachability `base ∨ ∃p̄ (T(p) ∧ ψ)` with `free(ψ) ⊆ {p, a}`:
+    /// the step is evaluated over `(mid, a)`.
+    Reach {
+        base: Formula,
+        step: Formula,
+        mid: Var,
+    },
+}
+
+/// Recognize `body` (the body of `fix pred(vars) { body }`) as a closure
+/// shape, or `None` when the general semi-naive loop must run.
+///
+/// Precondition: the caller verified `body.positive_occurrences(pred)`
+/// is `Some(k)` with `k ≥ 1` (strict positivity — monotonicity).
+pub(crate) fn closure_shape(pred: &str, vars: &[Var], body: &Formula) -> Option<ClosureShape> {
+    if vars.is_empty() || vars.len() > 2 {
+        return None;
+    }
+    if vars.iter().enumerate().any(|(i, v)| vars[..i].contains(v)) {
+        return None;
+    }
+    let disjuncts: Vec<&Formula> = match body {
+        Formula::Or(fs) => fs.iter().collect(),
+        other => vec![other],
+    };
+    let (rec, nonrec): (Vec<&Formula>, Vec<&Formula>) =
+        disjuncts.into_iter().partition(|d| d.mentions_rel(pred));
+    let [rec] = rec[..] else { return None };
+    let base = Formula::or(nonrec.into_iter().cloned());
+    let Formula::Exists(zs, inner) = rec else {
+        return None;
+    };
+    let conjuncts: Vec<&Formula> = match &**inner {
+        Formula::And(cs) => cs.iter().collect(),
+        other => vec![other],
+    };
+    // every conjunct mentioning the predicate must be a bare binary/unary
+    // atom over distinct variables
+    let mut pred_atoms: Vec<Vec<&Var>> = Vec::new();
+    let mut rest: Vec<&Formula> = Vec::new();
+    for c in &conjuncts {
+        if !c.mentions_rel(pred) {
+            rest.push(c);
+            continue;
+        }
+        let Formula::Rel(name, args) = c else {
+            return None;
+        };
+        if name != pred {
+            return None;
+        }
+        let atom: Option<Vec<&Var>> = args.iter().map(Term::as_var).collect();
+        let atom = atom?;
+        if atom.len() != vars.len() {
+            return None;
+        }
+        if atom.len() == 2 && atom[0] == atom[1] {
+            return None;
+        }
+        pred_atoms.push(atom);
+    }
+
+    if vars.len() == 1 {
+        // unary reachability: exactly one atom T(p), p a quantified variable
+        let a = &vars[0];
+        let [atom] = &pred_atoms[..] else {
+            return None;
+        };
+        let p = atom[0];
+        if p == a || !zs.contains(p) {
+            return None;
+        }
+        let step = Formula::exists(
+            zs.iter().filter(|z| *z != p).cloned(),
+            Formula::and(rest.into_iter().cloned()),
+        );
+        if !step.free_vars().iter().all(|v| v == p || v == a) {
+            return None;
+        }
+        return Some(ClosureShape::Reach {
+            base,
+            step,
+            mid: p.clone(),
+        });
+    }
+
+    let (x, y) = (&vars[0], &vars[1]);
+    match &pred_atoms[..] {
+        // doubling: exactly T(x, z) and T(z, y) with z the only quantified
+        // variable and no extra conjuncts
+        [a1, a2] => {
+            if !rest.is_empty() {
+                return None;
+            }
+            let (fwd, bwd) = (a1, a2);
+            let z = if fwd[0] == x && bwd[1] == y && fwd[1] == bwd[0] {
+                fwd[1]
+            } else if bwd[0] == x && fwd[1] == y && bwd[1] == fwd[0] {
+                bwd[1]
+            } else {
+                return None;
+            };
+            if z == x || z == y || zs.as_slice() != std::slice::from_ref(z) {
+                return None;
+            }
+            Some(ClosureShape::Doubling { base })
+        }
+        [atom] => {
+            let step_vars = |mid: &Var| {
+                Formula::exists(
+                    zs.iter().filter(|z| *z != mid).cloned(),
+                    Formula::and(rest.iter().map(|&c| c.clone())),
+                )
+            };
+            if atom[0] == x {
+                // left-linear: T(x, z) ∧ ψ(z, y)
+                let z = atom[1];
+                if z == x || z == y || !zs.contains(z) {
+                    return None;
+                }
+                let step = step_vars(z);
+                if step.free_vars().contains(x) {
+                    return None;
+                }
+                Some(ClosureShape::LeftLinear {
+                    base,
+                    step,
+                    mid: z.clone(),
+                })
+            } else if atom[1] == y {
+                // right-linear: ψ(x, z) ∧ T(z, y)
+                let z = atom[0];
+                if z == x || z == y || !zs.contains(z) {
+                    return None;
+                }
+                let step = step_vars(z);
+                if step.free_vars().contains(y) {
+                    return None;
+                }
+                Some(ClosureShape::RightLinear {
+                    base,
+                    step,
+                    mid: z.clone(),
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    fn shape(src: &str, vars: &[&str]) -> Option<ClosureShape> {
+        let body = parse_formula(src).unwrap();
+        let vars: Vec<Var> = vars.iter().map(|n| v(n)).collect();
+        assert!(
+            body.positive_occurrences("T").is_some_and(|k| k >= 1),
+            "test bodies must be strictly positive"
+        );
+        closure_shape("T", &vars, &body)
+    }
+
+    #[test]
+    fn doubling_shape_detected() {
+        let s = shape("edge(x, y) or exists z (T(x, z) and T(z, y))", &["x", "y"]);
+        assert!(matches!(s, Some(ClosureShape::Doubling { .. })), "{s:?}");
+        // swapped conjunct order still matches
+        let s = shape("edge(x, y) or exists z (T(z, y) and T(x, z))", &["x", "y"]);
+        assert!(matches!(s, Some(ClosureShape::Doubling { .. })), "{s:?}");
+    }
+
+    #[test]
+    fn linear_shapes_detected() {
+        let s = shape(
+            "edge(x, y) or exists z (T(x, z) and edge(z, y))",
+            &["x", "y"],
+        );
+        assert!(matches!(s, Some(ClosureShape::LeftLinear { .. })), "{s:?}");
+        let s = shape(
+            "edge(x, y) or exists z (edge(x, z) and T(z, y))",
+            &["x", "y"],
+        );
+        assert!(matches!(s, Some(ClosureShape::RightLinear { .. })), "{s:?}");
+        // extra quantified variables fold into the step formula
+        let s = shape(
+            "edge(x, y) or exists z w (T(x, z) and edge(z, w) and edge(w, y))",
+            &["x", "y"],
+        );
+        assert!(matches!(s, Some(ClosureShape::LeftLinear { .. })), "{s:?}");
+    }
+
+    #[test]
+    fn unary_reachability_detected() {
+        let s = shape("start(a) or exists p (T(p) and edge(p, a))", &["a"]);
+        assert!(matches!(s, Some(ClosureShape::Reach { .. })), "{s:?}");
+        // a constant in the base stays in the base formula
+        let s = shape("edge(0, a) or exists p (T(p) and edge(p, a))", &["a"]);
+        assert!(matches!(s, Some(ClosureShape::Reach { .. })), "{s:?}");
+    }
+
+    #[test]
+    fn near_misses_fall_back() {
+        // step leaks the wrong head variable
+        assert!(shape(
+            "edge(x, y) or exists z (T(x, z) and edge(z, y) and edge(x, x))",
+            &["x", "y"],
+        )
+        .is_none());
+        // doubling with an extra conjunct
+        assert!(shape(
+            "edge(x, y) or exists z (T(x, z) and T(z, y) and x = x)",
+            &["x", "y"],
+        )
+        .is_none());
+        // duplicated recursive atom (still positive, k = 2)
+        assert!(shape(
+            "edge(x, y) or exists z (T(x, z) and T(x, z) and edge(z, y))",
+            &["x", "y"],
+        )
+        .is_none());
+        // two recursive disjuncts
+        assert!(shape(
+            "edge(x, y) or exists z (T(x, z) and edge(z, y)) \
+             or exists z (edge(x, z) and T(z, y))",
+            &["x", "y"],
+        )
+        .is_none());
+        // middle variable not quantified in the recursive disjunct
+        assert!(shape("edge(x, y) or (T(x, x) and edge(x, y))", &["x", "y"]).is_none());
+        // repeated head variables
+        let body = parse_formula("edge(x, x) or exists z (T(x, z) and edge(z, x))").unwrap();
+        assert!(closure_shape("T", &[v("x"), v("x")], &body).is_none());
+        // diagonal recursive atom
+        assert!(shape(
+            "edge(x, y) or exists z (T(z, z) and edge(z, y))",
+            &["x", "y"],
+        )
+        .is_none());
+    }
+}

@@ -22,27 +22,40 @@
 //!
 //! Atoms with constant or bound arguments probe composite per-column-set
 //! hash indexes ([`SymRelation::composite`]) instead of scanning, probing
-//! *all* constant/bound columns at once. Negation is pushed inward (De
-//! Morgan, [`Formula::negated`]) so guarded negations become anti-joins
-//! rather than `adom^k` complements. The active domain itself is
-//! copy-on-extend: a query that adds no values (the common case — registers
-//! range over the instance's domain) borrows the context's sorted domain
-//! and its symbols at zero cost and only pays for what it adds.
-//! Inflationary fixpoints iterate semi-naively (delta-driven) whenever the
-//! body is positive in the fixpoint predicate, using the multi-linear
-//! expansion (delta in one occurrence at a time) for non-linear bodies such
-//! as transitive closure.
+//! *all* constant/bound columns at once; when both join sides are large the
+//! planner switches to a sort-merge join over the relation's sorted
+//! columnar view ([`SymRelation::sorted`]) instead. Negation is pushed
+//! inward (De Morgan, [`Formula::negated`]) so guarded negations become
+//! anti-joins rather than `adom^k` complements, and the residual unguarded
+//! complements walk the sorted universe with an odometer instead of
+//! materializing it. The active domain itself is copy-on-extend: a query
+//! that adds no values (the common case — registers range over the
+//! instance's domain) borrows the context's sorted domain and its symbols
+//! at zero cost and only pays for what it adds. Inflationary fixpoints
+//! iterate semi-naively (delta-driven) whenever the body is positive in the
+//! fixpoint predicate, using the multi-linear expansion (delta in one
+//! occurrence at a time) for non-linear bodies — except that
+//! transitive-closure-shaped bodies (the `closure` module) run on a dedicated
+//! closure operator: deltas extend through the sorted step relation by
+//! prefix ranges, and the accumulated set lives in geometrically merged
+//! sorted runs ([`SortedRowSet`]), so no round regenerates join pairs.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 use std::sync::{Arc, Mutex, RwLock};
 
-use pt_relational::index::{SymRegister, SymRelation};
+use pt_relational::index::{SortedRowSet, SymRegister, SymRelation};
 use pt_relational::intern::{FxHashMap, FxHashSet, Interner, Sym, SymTuple};
 use pt_relational::{Instance, Relation, Tuple, Value};
 
+use crate::closure::{closure_shape, ClosureShape};
 use crate::formula::Formula;
 use crate::term::{Term, Var};
+
+/// Minimum row count (on both sides) before the conjunction planner
+/// prefers a sort-merge join over the probed / hash paths: below this,
+/// sorting costs more than it saves.
+const MERGE_JOIN_MIN: usize = 64;
 
 /// An evaluation failure (malformed query, missing register, arity clash).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -787,14 +800,64 @@ impl Bindings {
         self.complement_syms(&adom_syms)
     }
 
-    /// [`Bindings::complement`] over pre-interned domain symbols.
+    /// [`Bindings::complement`] over pre-interned domain symbols, without
+    /// materializing the `adom^k` universe: the present rows are sorted
+    /// once, and a mixed-radix odometer walks the universe in the same
+    /// ascending order, emitting exactly the tuples the present-row cursor
+    /// skips. Symbol order over the sorted domain is total, so one linear
+    /// merge replaces the set-difference against a cylindrified universe
+    /// (which cost `k` intermediate hash sets of size up to `adom^k`).
     fn complement_syms(&self, adom_syms: &[Sym]) -> Bindings {
-        // the universe adom^k is a cylindrification of the unit bindings
-        let mut unit_rows = FxHashSet::default();
-        unit_rows.insert(SymTuple::new());
-        let all = Bindings::with_syms(Vec::new(), unit_rows, self.syms.clone())
-            .cylindrify_syms(&self.vars, adom_syms);
-        let rows = all.rows.difference(&self.rows).cloned().collect();
+        let k = self.vars.len();
+        // a closed formula complements to the unit iff it has no rows
+        if k == 0 {
+            let mut rows = FxHashSet::default();
+            if self.rows.is_empty() {
+                rows.insert(SymTuple::new());
+            }
+            return Bindings::with_syms(Vec::new(), rows, self.syms.clone());
+        }
+        let mut dom: Vec<Sym> = adom_syms.to_vec();
+        dom.sort_unstable();
+        dom.dedup();
+        let mut rows = FxHashSet::default();
+        if !dom.is_empty() {
+            // present rows ascending; rows outside dom^k sort in as strays
+            // the cursor steps past without a universe match
+            let mut present: Vec<&SymTuple> = self.rows.iter().collect();
+            present.sort_unstable();
+            let mut cursor = present.into_iter().peekable();
+            let mut digits = vec![0usize; k];
+            let mut cur: Vec<Sym> = vec![dom[0]; k];
+            'universe: loop {
+                while cursor
+                    .peek()
+                    .is_some_and(|row| row.as_slice() < cur.as_slice())
+                {
+                    cursor.next();
+                }
+                if cursor
+                    .peek()
+                    .is_some_and(|row| row.as_slice() == cur.as_slice())
+                {
+                    cursor.next();
+                } else {
+                    rows.insert(SymTuple::from(cur.as_slice()));
+                }
+                // increment the odometer, last digit fastest, so `cur`
+                // enumerates dom^k in ascending lexicographic order
+                for i in (0..k).rev() {
+                    digits[i] += 1;
+                    if digits[i] < dom.len() {
+                        cur[i] = dom[digits[i]];
+                        continue 'universe;
+                    }
+                    digits[i] = 0;
+                    cur[i] = dom[0];
+                }
+                break;
+            }
+        }
         Bindings::with_syms(self.vars.clone(), rows, self.syms.clone())
     }
 
@@ -1258,7 +1321,14 @@ impl<'a> Evaluator<'a> {
         env: &FixEnv,
     ) -> Result<SymRelation, EvalError> {
         match body.positive_occurrences(pred) {
-            Some(k) if k >= 1 => self.eval_fix_semi_naive(pred, vars, body, env, k),
+            // a strictly positive body is monotone, so the inflationary
+            // fixpoint is the least fixpoint; closure-shaped bodies then
+            // run on the dedicated closure operator over sorted storage,
+            // everything else on the semi-naive delta loop
+            Some(k) if k >= 1 => match closure_shape(pred, vars, body) {
+                Some(shape) => self.eval_fix_closure(vars, shape, env),
+                None => self.eval_fix_semi_naive(pred, vars, body, env, k),
+            },
             // non-positive bodies iterate naively (the inflationary
             // semantics itself never requires monotonicity); zero
             // occurrences converge in two naive rounds anyway
@@ -1382,6 +1452,99 @@ impl<'a> Evaluator<'a> {
             current.into_iter().collect(),
             Some(arity),
         ))
+    }
+
+    /// The dedicated closure operator for transitive-closure-shaped bodies
+    /// (`closure::closure_shape`): evaluate the base and the step
+    /// once, put the step behind a sorted columnar view, and then extend
+    /// each round's *delta* through binary-searched prefix ranges —
+    /// `O(|Δ| log |step| + |matches|)` per round, with the accumulated set
+    /// held as geometrically merged sorted runs ([`SortedRowSet`]) instead
+    /// of a per-round re-wrapped hash relation. No round re-plans a join or
+    /// regenerates already-derived pairs, which is what made the generic
+    /// multi-linear loop `O(n³)`-ish per round on closure workloads.
+    ///
+    /// Soundness: the body is strictly positive (checked by the caller),
+    /// hence monotone, so IFP = LFP; for each recognized shape the LFP is
+    /// exactly the closure this iteration computes. In particular the LFP
+    /// of the doubling body `base ∨ T∘T` is `base⁺`, which linear
+    /// `Δ ∘ base` extension reaches — the intermediate rounds differ from
+    /// the inflationary stages, but only the final fixpoint is observable.
+    fn eval_fix_closure(
+        &self,
+        vars: &[Var],
+        shape: ClosureShape,
+        env: &FixEnv,
+    ) -> Result<SymRelation, EvalError> {
+        let arity = vars.len();
+        let sorted_vec = |set: FxHashSet<SymTuple>| -> Vec<SymTuple> {
+            let mut v: Vec<SymTuple> = set.into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        // per shape: the step rows over (col0, col1), which step column the
+        // delta probes on, which delta column supplies the probe key, and
+        // how a (delta row, step row) match emits
+        enum Emit {
+            /// `(Δ[0], step[1])` — left-linear and doubling extension
+            Left,
+            /// `(step[0], Δ[1])` — right-linear extension
+            Right,
+            /// `(step[1],)` — unary reachability
+            Member,
+        }
+        let (base_rows, step_rows, sort_col, probe_col, emit) = match &shape {
+            ClosureShape::Doubling { base } => {
+                let b = sorted_vec(self.eval_stage(base, vars, env)?);
+                let s = b.clone();
+                (b, s, 0, 1, Emit::Left)
+            }
+            ClosureShape::LeftLinear { base, step, mid } => {
+                let b = sorted_vec(self.eval_stage(base, vars, env)?);
+                let s = sorted_vec(self.eval_stage(step, &[mid.clone(), vars[1].clone()], env)?);
+                (b, s, 0, 1, Emit::Left)
+            }
+            ClosureShape::RightLinear { base, step, mid } => {
+                let b = sorted_vec(self.eval_stage(base, vars, env)?);
+                let s = sorted_vec(self.eval_stage(step, &[vars[0].clone(), mid.clone()], env)?);
+                (b, s, 1, 0, Emit::Right)
+            }
+            ClosureShape::Reach { base, step, mid } => {
+                let b = sorted_vec(self.eval_stage(base, vars, env)?);
+                let s = sorted_vec(self.eval_stage(step, &[mid.clone(), vars[0].clone()], env)?);
+                (b, s, 0, 0, Emit::Member)
+            }
+        };
+        let step_rel = SymRelation::from_rows(step_rows, Some(2));
+        let view = step_rel
+            .sorted(&[sort_col])
+            .expect("step relation is binary");
+        let out_col = match emit {
+            Emit::Right => 0,
+            Emit::Left | Emit::Member => 1,
+        };
+        let out = view.column(out_col);
+        let mut total = SortedRowSet::new();
+        total.insert_sorted_batch(base_rows.clone());
+        let mut delta = base_rows;
+        while !delta.is_empty() {
+            let mut next: Vec<SymTuple> = Vec::new();
+            for d in &delta {
+                for i in view.prefix_range(&[d[probe_col]]) {
+                    next.push(match emit {
+                        Emit::Left => SymTuple::from([d[0], out[i]]),
+                        Emit::Right => SymTuple::from([out[i], d[1]]),
+                        Emit::Member => SymTuple::from([out[i]]),
+                    });
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            next.retain(|r| !total.contains(r));
+            total.insert_sorted_batch(next.clone());
+            delta = next;
+        }
+        Ok(SymRelation::from_rows(total.into_rows(), Some(arity)))
     }
 
     fn eval_eq(&self, a: &Term, b: &Term) -> Bindings {
@@ -1627,6 +1790,165 @@ impl<'a> Evaluator<'a> {
         Some(Bindings::with_syms(vars, rows, self.syms.clone()))
     }
 
+    /// Sort-merge evaluation of an atom against `acc`: when both sides are
+    /// large and share variables, sort `acc`'s rows by the shared columns
+    /// and walk them in equal-key groups against the relation's sorted
+    /// columnar view ([`SymRelation::sorted`], ordered constants-first so
+    /// the whole probe is one prefix range) — per group one
+    /// `O(log |srel|)` range lookup replaces per-row hash probes, and each
+    /// matched relation row is validated once per group rather than once
+    /// per pairing. Returns the complete join `acc ⋈ atom` (the atom's new
+    /// variables appended in first-occurrence order, exactly like
+    /// [`Bindings::join`]); `None` when the merge path does not apply and
+    /// the caller should fall back.
+    fn eval_atom_merged(
+        &self,
+        srel: &SymRelation,
+        args: &[Term],
+        acc: &Bindings,
+    ) -> Option<Bindings> {
+        if srel.arity() != Some(args.len()) {
+            return None;
+        }
+        if acc.len() < MERGE_JOIN_MIN || srel.len() < MERGE_JOIN_MIN {
+            return None;
+        }
+        // classify atom columns: constants, first column of each distinct
+        // acc-bound variable (the merge key), everything else re-checked
+        // per matched row
+        let mut const_cols: Vec<(usize, Sym)> = Vec::new();
+        let mut var_cols: Vec<(usize, usize)> = Vec::new(); // (atom col, acc col)
+        for (col, t) in args.iter().enumerate() {
+            match t {
+                Term::Var(v) => {
+                    if let Some(i) = acc.col(v) {
+                        if !var_cols.iter().any(|&(_, ai)| ai == i) {
+                            var_cols.push((col, i));
+                        }
+                    }
+                }
+                // an uninterned constant occurs in no row: fall back (the
+                // generic atom path returns the empty result)
+                Term::Const(c) => const_cols.push((col, self.syms.get(c)?)),
+            }
+        }
+        if var_cols.is_empty() {
+            return None;
+        }
+        let order: Vec<usize> = const_cols
+            .iter()
+            .map(|&(c, _)| c)
+            .chain(var_cols.iter().map(|&(c, _)| c))
+            .collect();
+        let view = srel.sorted(&order)?;
+        // output columns: acc's, then the atom's new variables in
+        // first-occurrence order (the Bindings::join contract)
+        let mut out_vars = acc.vars.clone();
+        let mut new_cols: Vec<usize> = Vec::new();
+        for v in atom_vars(args) {
+            if acc.col(&v).is_none() {
+                let f = args
+                    .iter()
+                    .position(|t| t.as_var() == Some(&v))
+                    .expect("atom var has a column");
+                new_cols.push(f);
+                out_vars.push(v);
+            }
+        }
+        // residual per-row checks for repeated variables: a repeated bound
+        // occurrence must equal its probe-key column, a repeated new
+        // variable its first column. Both depend only on (group key, atom
+        // row), so they run once per group per matched row.
+        enum Check {
+            Key(usize),
+            Col(usize),
+        }
+        let mut checks: Vec<(usize, Check)> = Vec::new();
+        for (col, t) in args.iter().enumerate() {
+            let Term::Var(v) = t else { continue };
+            if let Some(ai) = acc.col(v) {
+                if !var_cols.iter().any(|&(c, _)| c == col) {
+                    let p = var_cols
+                        .iter()
+                        .position(|&(_, a)| a == ai)
+                        .expect("bound var has a key column");
+                    checks.push((col, Check::Key(const_cols.len() + p)));
+                }
+            } else {
+                let f = args
+                    .iter()
+                    .position(|t2| t2.as_var() == Some(v))
+                    .expect("atom var has a column");
+                if f != col {
+                    checks.push((col, Check::Col(f)));
+                }
+            }
+        }
+        // sort acc's rows by the merge key so equal keys group together
+        let acc_cols: Vec<usize> = var_cols.iter().map(|&(_, i)| i).collect();
+        let mut acc_rows: Vec<&SymTuple> = acc.rows.iter().collect();
+        acc_rows.sort_unstable_by(|a, b| {
+            acc_cols
+                .iter()
+                .map(|&i| a[i].cmp(&b[i]))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let const_syms: Vec<Sym> = const_cols.iter().map(|&(_, s)| s).collect();
+        let mut rows = FxHashSet::default();
+        let mut key: Vec<Sym> = Vec::with_capacity(order.len());
+        let mut g = 0;
+        while g < acc_rows.len() {
+            let head = acc_rows[g];
+            let mut h = g + 1;
+            while h < acc_rows.len() && acc_cols.iter().all(|&i| acc_rows[h][i] == head[i]) {
+                h += 1;
+            }
+            key.clear();
+            key.extend_from_slice(&const_syms);
+            key.extend(acc_cols.iter().map(|&i| head[i]));
+            for i in view.prefix_range(&key) {
+                let ok = checks.iter().all(|&(col, ref c)| match c {
+                    Check::Key(p) => view.column(col)[i] == key[*p],
+                    Check::Col(f) => view.column(col)[i] == view.column(*f)[i],
+                });
+                if !ok {
+                    continue;
+                }
+                for arow in &acc_rows[g..h] {
+                    let mut out = (*arow).clone();
+                    out.extend(new_cols.iter().map(|&f| view.column(f)[i]));
+                    rows.insert(out);
+                }
+            }
+            g = h;
+        }
+        Some(Bindings::with_syms(out_vars, rows, self.syms.clone()))
+    }
+
+    /// One conjunction-planner step for a positive atom against the bound
+    /// accumulator: index-nested-loop probe when the accumulator binds few
+    /// distinct keys ([`Evaluator::eval_atom_probed`]), sort-merge join
+    /// when both sides are large ([`Evaluator::eval_atom_merged`]), and
+    /// otherwise materialize the atom and hash join.
+    fn eval_atom_step(
+        &self,
+        srel: &SymRelation,
+        args: &[Term],
+        acc: Bindings,
+        g: &Formula,
+        env: &FixEnv,
+    ) -> Result<Bindings, EvalError> {
+        if let Some(b) = self.eval_atom_probed(srel, args, &acc) {
+            return Ok(Self::join_onto(acc, b));
+        }
+        if let Some(joined) = self.eval_atom_merged(srel, args, &acc) {
+            return Ok(joined);
+        }
+        let b = self.eval_env(g, env)?;
+        Ok(Self::join_onto(acc, b))
+    }
+
     /// Greedy conjunction evaluation. Applies cheap filters first (bound
     /// comparisons, semi/anti-joins of bound subformulas), then joins atoms,
     /// and only materializes expensive subformulas when unavoidable — this
@@ -1702,22 +2024,17 @@ impl<'a> Evaluator<'a> {
             if let Some(i) = atom_idx {
                 let g = pending.remove(i);
                 free.remove(i);
-                let b = match g {
+                acc = match g {
                     Formula::Rel(name, args) => match self.sym_relation_for(name, env) {
-                        Some(srel) => self
-                            .eval_atom_probed(&srel, args, &acc)
-                            .map_or_else(|| self.eval_env(g, env), Ok)?,
-                        None => self.eval_env(g, env)?,
+                        Some(srel) => self.eval_atom_step(&srel, args, acc, g, env)?,
+                        None => Self::join_onto(acc, self.eval_env(g, env)?),
                     },
                     Formula::Reg(args) => match self.register.get() {
-                        Some(ireg) => self
-                            .eval_atom_probed(&ireg.sym, args, &acc)
-                            .map_or_else(|| self.eval_env(g, env), Ok)?,
-                        None => self.eval_env(g, env)?,
+                        Some(ireg) => self.eval_atom_step(&ireg.sym, args, acc, g, env)?,
+                        None => Self::join_onto(acc, self.eval_env(g, env)?),
                     },
-                    _ => self.eval_env(g, env)?,
+                    _ => Self::join_onto(acc, self.eval_env(g, env)?),
                 };
-                acc = Self::join_onto(acc, b);
                 continue;
             }
             // 4. unbound comparison → materialize over adom and join
@@ -2238,6 +2555,131 @@ mod tests {
         let rel = eval_to_relation(&inst, None, &f, &[Var::new("u"), Var::new("w")]).unwrap();
         // a 21-node cycle: the closure is complete, 21 × 21 pairs
         assert_eq!(rel.len(), 21 * 21);
+    }
+
+    #[test]
+    fn closure_operator_matches_semi_naive_on_all_shapes() {
+        // each closure-operator shape paired with a semantics-preserving
+        // variant the detector rejects (a duplicated recursive atom or an
+        // extra conjunct — conjunction is idempotent, `x = x` is true), so
+        // the same fixpoint runs once on the closure fast path and once on
+        // the general (multi-linear) semi-naive loop
+        let mut edge = Relation::new();
+        for i in 0..12i64 {
+            edge.insert(vec![Value::int(i), Value::int(i + 1)]);
+        }
+        edge.insert(vec![Value::int(3), Value::int(9)]); // shortcut
+        edge.insert(vec![Value::int(12), Value::int(4)]); // back edge
+        let inst = Instance::new()
+            .with("edge", edge)
+            .with("start", rel![[0], [7]]);
+        let binary = [Var::new("u"), Var::new("w")];
+        let cases = [
+            // left-linear
+            (
+                "fix T(x, y) { edge(x, y) or exists z (T(x, z) and edge(z, y)) }(u, w)",
+                "fix T(x, y) { edge(x, y) or exists z (T(x, z) and T(x, z) and edge(z, y)) }(u, w)",
+            ),
+            // right-linear
+            (
+                "fix T(x, y) { edge(x, y) or exists z (edge(x, z) and T(z, y)) }(u, w)",
+                "fix T(x, y) { edge(x, y) or exists z (edge(x, z) and T(z, y) and T(z, y)) }(u, w)",
+            ),
+            // doubling
+            (
+                "fix T(x, y) { edge(x, y) or exists z (T(x, z) and T(z, y)) }(u, w)",
+                "fix T(x, y) { edge(x, y) or exists z (T(x, z) and T(z, y) and x = x) }(u, w)",
+            ),
+        ];
+        for (fast, slow) in cases {
+            let f = parse_formula(fast).unwrap();
+            let g = parse_formula(slow).unwrap();
+            let a = eval_to_relation(&inst, None, &f, &binary).unwrap();
+            let b = eval_to_relation(&inst, None, &g, &binary).unwrap();
+            assert_eq!(a, b, "closure vs semi-naive on {fast}");
+            assert!(!a.is_empty());
+        }
+        // unary reachability
+        let unary = [Var::new("v")];
+        let f =
+            parse_formula("fix T(a) { start(a) or exists p (T(p) and edge(p, a)) }(v)").unwrap();
+        let g =
+            parse_formula("fix T(a) { start(a) or exists p (T(p) and T(p) and edge(p, a)) }(v)")
+                .unwrap();
+        let a = eval_to_relation(&inst, None, &f, &unary).unwrap();
+        let b = eval_to_relation(&inst, None, &g, &unary).unwrap();
+        assert_eq!(a, b, "closure vs semi-naive on unary reachability");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn merge_join_matches_hash_join() {
+        // both relations hold MERGE_JOIN_MIN+ rows binding all-distinct
+        // join values, so the probed path declines (as many bound keys as
+        // rows) and the planner takes the sort-merge path; the small copy
+        // of the same data goes through the hash paths — results must agree
+        let n = 96i64;
+        let small_n = 8i64;
+        let join = |n: i64| -> Relation {
+            let mut r = Relation::new();
+            let mut s = Relation::new();
+            for i in 0..n {
+                r.insert(vec![Value::int(i), Value::int(1000 + i)]);
+                s.insert(vec![Value::int(1000 + i), Value::int(2000 + (i * 7) % n)]);
+            }
+            let inst = Instance::new().with("r", r).with("s", s);
+            let f = parse_formula("exists y (r(x, y) and s(y, z))").unwrap();
+            eval_to_relation(&inst, None, &f, &[Var::new("x"), Var::new("z")]).unwrap()
+        };
+        let merged = join(n);
+        assert_eq!(merged.len(), n as usize);
+        for i in 0..n {
+            assert!(merged.contains(&[Value::int(i), Value::int(2000 + (i * 7) % n)]));
+        }
+        assert_eq!(join(small_n).len(), small_n as usize);
+    }
+
+    #[test]
+    fn merge_join_handles_constants_and_repeated_vars() {
+        // r(x, 7, x, y): one constant column, a repeated bound variable and
+        // a fresh variable — the merge path must re-check the repeats
+        let mut seed = Relation::new();
+        let mut r = Relation::new();
+        for i in 0..80i64 {
+            seed.insert(vec![Value::int(i)]);
+            r.insert(vec![
+                Value::int(i),
+                Value::int(7),
+                Value::int(i),
+                Value::int(i + 1),
+            ]);
+            // rows that match the probe key but fail the repeat check
+            r.insert(vec![
+                Value::int(i),
+                Value::int(7),
+                Value::int(i + 1),
+                Value::int(0),
+            ]);
+        }
+        let inst = Instance::new().with("seed", seed).with("r", r);
+        let f = parse_formula("seed(x) and r(x, 7, x, y)").unwrap();
+        let rel = eval_to_relation(&inst, None, &f, &[Var::new("x"), Var::new("y")]).unwrap();
+        assert_eq!(rel.len(), 80);
+        for i in 0..80i64 {
+            assert!(rel.contains(&[Value::int(i), Value::int(i + 1)]));
+        }
+    }
+
+    #[test]
+    fn unguarded_complement_walks_sorted_universe() {
+        let inst = Instance::new().with("r", rel![[1, 2], [2, 3]]);
+        let b = eval_str("not (r(x, y))", &inst, None);
+        // adom = {1, 2, 3}: 9 pairs minus the 2 present
+        assert_eq!(b.len(), 7);
+        assert!(b.contains_row(&[Value::int(2), Value::int(1)]));
+        assert!(b.contains_row(&[Value::int(3), Value::int(3)]));
+        assert!(!b.contains_row(&[Value::int(1), Value::int(2)]));
+        assert!(!b.contains_row(&[Value::int(2), Value::int(3)]));
     }
 
     #[test]

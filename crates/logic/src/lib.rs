@@ -20,6 +20,7 @@
 //! * [`compose`] — the two query-composition operators (tuple-register and
 //!   relation-register) used throughout Sections 5 and 6.
 
+mod closure;
 pub mod compose;
 pub mod cq;
 pub mod eval;

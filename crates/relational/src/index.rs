@@ -1,24 +1,37 @@
-//! Interned relation representation and lazily built composite indexes —
-//! the storage layer of the evaluation hot path.
+//! Interned relation representation with lazily built composite indexes
+//! and sorted columnar views — the storage layer of the evaluation hot
+//! path.
 //!
 //! A [`SymRelation`] holds a relation's tuples as dense-symbol rows
-//! (interned once via [`Interner`]), plus per-*column-set* composite hash
-//! indexes built on demand: projected key → row positions. Query evaluation
-//! probes atoms with constants and bound variables; with a composite index
-//! an atom with several constant or bound columns probes once instead of
-//! scanning the relation (or probing one column and re-filtering). Keys and
-//! rows are symbols, so probing never hashes or clones a [`Value`].
+//! (interned once via [`Interner`]), plus two families of derived access
+//! structures built on demand and cached per *column order*:
+//!
+//! - **Composite hash indexes** ([`SymRelation::composite`]): projected
+//!   key → row positions. Query evaluation probes atoms with constants and
+//!   bound variables; with a composite index an atom with several constant
+//!   or bound columns probes once instead of scanning the relation (or
+//!   probing one column and re-filtering).
+//! - **Sorted columnar views** ([`SymRelation::sorted`], [`SortedCols`]):
+//!   the rows re-ordered by a chosen column sequence and stored
+//!   column-major. Equi-joins on a pre-sorted column order become merge
+//!   joins, and prefix probes become binary-searched ranges over dense
+//!   symbol runs — the layout behind the closure operator and the
+//!   symbolic complement in `pt_logic`.
+//!
+//! Keys and rows are symbols, so probing never hashes or clones a
+//! [`Value`].
 //!
 //! Three kinds of relations flow through this representation: base
 //! relations of the instance (interned lazily, cached per evaluation
 //! context), the register of the configuration being expanded (interned
 //! once per configuration), and fixpoint stages (already symbolic, wrapped
 //! via [`SymRelation::from_rows`]). A `SymRelation` is immutable once
-//! built; indexes are shared via `Arc`, and the lazy per-column-set cache
-//! sits behind an `RwLock` so one relation can serve concurrent readers
-//! (`SymRelation` is `Send + Sync`): probes of an already-built index take
-//! only a read lock, and a racing first build is benign — both racers
-//! compute the same index and the loser adopts the winner's copy.
+//! built; indexes and sorted views are shared via `Arc`, and the lazy
+//! per-column-order caches sit behind `RwLock`s so one relation can serve
+//! concurrent readers (`SymRelation` is `Send + Sync`): probes of an
+//! already-built structure take only a read lock, and a racing first build
+//! is benign — both racers compute the same structure and the loser adopts
+//! the winner's copy.
 
 use std::sync::{Arc, RwLock};
 
@@ -28,6 +41,228 @@ use crate::{Relation, Value};
 /// A composite index over one column set: projected key → positions into
 /// [`SymRelation::rows`]. For a single-column index the keys are 1-tuples.
 pub type CompositeIndex = FxHashMap<SymTuple, Vec<u32>>;
+
+/// A sorted columnar view of a relation: every column of the rows, stored
+/// column-major, with the rows ordered by a chosen column sequence.
+///
+/// # Invariants
+///
+/// - **Sort order is symbol order, and symbol order is domain order.** Rows
+///   are sorted by the raw `u32` symbols of the `order` columns (ties broken
+///   by the remaining columns, so the order is total and deterministic).
+///   Base-domain symbols are interned from the sorted active domain, so for
+///   them ascending symbol order *is* ascending domain order — a prefix
+///   range over a sorted column walks values in the order the value-level
+///   [`crate::Relation`] iterates in.
+/// - **Views never outlive their relation.** Column slices returned by
+///   [`SortedCols::column`] borrow this struct, which is only handed out as
+///   an `Arc` owned by the caching [`SymRelation`]; the borrow checker
+///   makes a dangling column view unrepresentable.
+/// - The view is immutable once built; it reflects the relation's rows at
+///   build time (which never change — `SymRelation` is append-never).
+#[derive(Debug)]
+pub struct SortedCols {
+    /// The column sequence the rows are sorted by.
+    order: Vec<usize>,
+    /// All columns, column-major: `cols[c][i]` is column `c` of the `i`-th
+    /// row in sorted order. `cols.len()` is the relation's arity.
+    cols: Vec<Vec<Sym>>,
+    /// Number of rows.
+    len: usize,
+}
+
+impl SortedCols {
+    /// Build a view of `rows` sorted by `order`. Returns `None` when
+    /// `order` is empty, contains duplicates, or mentions a column out of
+    /// range for the arity — the same contract as
+    /// [`SymRelation::composite`].
+    fn build(rows: &[SymTuple], arity: usize, order: &[usize]) -> Option<SortedCols> {
+        if order.is_empty() || order.iter().any(|&c| c >= arity) {
+            return None;
+        }
+        if order
+            .iter()
+            .enumerate()
+            .any(|(i, c)| order[..i].contains(c))
+        {
+            return None;
+        }
+        let mut perm: Vec<u32> = (0..rows.len() as u32).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            let (ra, rb) = (rows[a as usize].as_slice(), rows[b as usize].as_slice());
+            for &c in order {
+                match ra[c].cmp(&rb[c]) {
+                    std::cmp::Ordering::Equal => {}
+                    ne => return ne,
+                }
+            }
+            ra.cmp(rb)
+        });
+        let cols: Vec<Vec<Sym>> = (0..arity)
+            .map(|c| perm.iter().map(|&i| rows[i as usize][c]).collect())
+            .collect();
+        Some(SortedCols {
+            order: order.to_vec(),
+            cols,
+            len: rows.len(),
+        })
+    }
+
+    /// The column sequence the rows are sorted by.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Column `c` in sorted row order. The slice borrows the view (which
+    /// lives inside its relation's cache), so it cannot outlive either.
+    pub fn column(&self, c: usize) -> &[Sym] {
+        &self.cols[c]
+    }
+
+    /// The `i`-th row in sorted order, re-assembled across the columns.
+    pub fn row(&self, i: usize) -> SymTuple {
+        self.cols.iter().map(|col| col[i]).collect()
+    }
+
+    /// The half-open range of sorted row positions whose `order`-column
+    /// prefix equals `key` (`key` may be shorter than the order — a prefix
+    /// probe). Each column narrows the range by two binary searches over a
+    /// dense symbol run, so a probe costs `O(|key| · log n)`.
+    pub fn prefix_range(&self, key: &[Sym]) -> std::ops::Range<usize> {
+        let mut lo = 0usize;
+        let mut hi = self.len;
+        for (&c, &k) in self.order.iter().zip(key) {
+            let seg = &self.cols[c][lo..hi];
+            let start = seg.partition_point(|&s| s < k);
+            let end = seg.partition_point(|&s| s <= k);
+            hi = lo + end;
+            lo += start;
+            if lo >= hi {
+                return lo..lo;
+            }
+        }
+        lo..hi
+    }
+}
+
+/// A growing set of unique rows kept as geometrically merged sorted runs
+/// (a Bentley–Saxe scheme): membership is a binary search per run, and a
+/// batch insert merges runs only when the newest run has grown to the size
+/// of its predecessor, so `n` inserted rows cost `O(n log n)` comparisons
+/// total. The closure operator uses this as its "seen" set — per round it
+/// needs exactly *insert a sorted delta* and *probe membership*, and a
+/// hash set would re-hash every spilled tuple while this stays on sorted
+/// `memcmp`-style comparisons.
+#[derive(Debug, Default)]
+pub struct SortedRowSet {
+    /// Sorted runs, each internally sorted and mutually disjoint; run sizes
+    /// decrease geometrically from front to back.
+    runs: Vec<Vec<SymTuple>>,
+    len: usize,
+}
+
+impl SortedRowSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        SortedRowSet::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `row` is present.
+    pub fn contains(&self, row: &[Sym]) -> bool {
+        self.runs
+            .iter()
+            .any(|run| run.binary_search_by(|r| r.as_slice().cmp(row)).is_ok())
+    }
+
+    /// Insert a batch of rows. The batch must be sorted, duplicate-free,
+    /// and disjoint from the rows already present (the closure operator
+    /// guarantees this by filtering its delta through
+    /// [`SortedRowSet::contains`] first); a violating batch corrupts the
+    /// set's membership answers.
+    pub fn insert_sorted_batch(&mut self, rows: Vec<SymTuple>) {
+        debug_assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "batch must be sorted+unique"
+        );
+        debug_assert!(
+            rows.iter().all(|r| !self.contains(r)),
+            "batch must be disjoint"
+        );
+        if rows.is_empty() {
+            return;
+        }
+        self.len += rows.len();
+        self.runs.push(rows);
+        // merge while the newest run rivals its predecessor, keeping run
+        // sizes geometric
+        while self.runs.len() >= 2 {
+            let last = self.runs[self.runs.len() - 1].len();
+            let prev = self.runs[self.runs.len() - 2].len();
+            if last * 2 < prev {
+                break;
+            }
+            let b = self.runs.pop().unwrap();
+            let a = self.runs.pop().unwrap();
+            self.runs.push(merge_sorted(a, b));
+        }
+    }
+
+    /// All rows, sorted ascending.
+    pub fn into_rows(mut self) -> Vec<SymTuple> {
+        let mut out = self.runs.pop().unwrap_or_default();
+        for run in self.runs {
+            out = merge_sorted(out, run);
+        }
+        out
+    }
+}
+
+/// Merge two sorted, mutually disjoint runs into one.
+fn merge_sorted(a: Vec<SymTuple>, b: Vec<SymTuple>) -> Vec<SymTuple> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    out.push(ia.next().unwrap());
+                } else {
+                    out.push(ib.next().unwrap());
+                }
+            }
+            (Some(_), None) => {
+                out.extend(ia);
+                break;
+            }
+            (None, Some(_)) => {
+                out.extend(ib);
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
 
 /// A register relation in canonical symbolic form: fixed-arity rows of
 /// interner symbols, stored flattened, unique, and sorted in the domain
@@ -116,11 +351,12 @@ impl SymRegister {
 }
 
 /// A relation in interned representation: unique symbol rows plus lazily
-/// built composite indexes per column set.
+/// built composite indexes and sorted columnar views per column order.
 pub struct SymRelation {
     rows: Vec<SymTuple>,
     arity: Option<usize>,
     cols: RwLock<FxHashMap<Vec<usize>, Arc<CompositeIndex>>>,
+    sorted: RwLock<FxHashMap<Vec<usize>, Arc<SortedCols>>>,
 }
 
 impl SymRelation {
@@ -141,6 +377,7 @@ impl SymRelation {
             rows,
             arity: rel.arity(),
             cols: RwLock::new(FxHashMap::default()),
+            sorted: RwLock::new(FxHashMap::default()),
         }
     }
 
@@ -151,6 +388,7 @@ impl SymRelation {
             rows: reg.rows().map(SymTuple::from).collect(),
             arity: Some(reg.arity()),
             cols: RwLock::new(FxHashMap::default()),
+            sorted: RwLock::new(FxHashMap::default()),
         }
     }
 
@@ -162,6 +400,7 @@ impl SymRelation {
             rows,
             arity,
             cols: RwLock::new(FxHashMap::default()),
+            sorted: RwLock::new(FxHashMap::default()),
         }
     }
 
@@ -244,9 +483,36 @@ impl SymRelation {
         }
     }
 
+    /// The sorted columnar view over the column order `order`, building it
+    /// on first use. Returns `None` when `order` is empty, contains
+    /// duplicates, or mentions a column out of range for the arity —
+    /// callers fall back to the hash path.
+    ///
+    /// Thread-safe with the same discipline as [`SymRelation::composite`]:
+    /// a hit takes only a read lock; a miss builds the view outside any
+    /// lock and inserts it under the write lock, adopting the other
+    /// thread's copy if one raced the build.
+    pub fn sorted(&self, order: &[usize]) -> Option<Arc<SortedCols>> {
+        if let Some(view) = self.sorted.read().unwrap().get(order) {
+            return Some(Arc::clone(view));
+        }
+        let arity = self.arity?;
+        let view = Arc::new(SortedCols::build(&self.rows, arity, order)?);
+        let mut cache = self.sorted.write().unwrap();
+        let slot = cache
+            .entry(order.to_vec())
+            .or_insert_with(|| Arc::clone(&view));
+        Some(Arc::clone(slot))
+    }
+
     /// Number of composite indexes built so far.
     pub fn built(&self) -> usize {
         self.cols.read().unwrap().len()
+    }
+
+    /// Number of sorted views built so far.
+    pub fn sorted_built(&self) -> usize {
+        self.sorted.read().unwrap().len()
     }
 }
 
@@ -352,6 +618,75 @@ mod tests {
         assert_ne!(reg, SymRegister::empty(0));
         let srel = SymRelation::from_register(&reg);
         assert_eq!(srel.len(), 1);
+    }
+
+    #[test]
+    fn sorted_view_orders_rows_and_probes_prefixes() {
+        let r = rel![[2, 10], [1, 20], [2, 20], [1, 10], [3, 10]];
+        let (s, interner) = interned(&r);
+        let sym = |n: i64| interner.get(&Value::int(n)).unwrap();
+        let view = s.sorted(&[0, 1]).unwrap();
+        assert_eq!(view.len(), 5);
+        assert_eq!(view.order(), &[0, 1]);
+        // sorted by column 0 then 1, in symbol (= domain) order
+        let col0: Vec<i64> = view
+            .column(0)
+            .iter()
+            .map(|&s| match interner.resolve(s) {
+                Value::Int(n) => *n,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(col0, vec![1, 1, 2, 2, 3]);
+        // a full-key probe finds exactly the matching row
+        let range = view.prefix_range(&[sym(2), sym(10)]);
+        assert_eq!(range.len(), 1);
+        assert_eq!(view.row(range.start), SymTuple::from([sym(2), sym(10)]));
+        // a prefix probe finds the whole run
+        let range = view.prefix_range(&[sym(1)]);
+        assert_eq!(range.len(), 2);
+        // a missing key finds nothing
+        assert!(view.prefix_range(&[sym(10), sym(3)]).is_empty());
+        // views are cached per order
+        let again = s.sorted(&[0, 1]).unwrap();
+        assert!(Arc::ptr_eq(&view, &again));
+        assert_eq!(s.sorted_built(), 1);
+        s.sorted(&[1]).unwrap();
+        assert_eq!(s.sorted_built(), 2);
+    }
+
+    #[test]
+    fn sorted_view_rejects_unusable_orders() {
+        let (s, _) = interned(&rel![[1, 2]]);
+        assert!(s.sorted(&[]).is_none());
+        assert!(s.sorted(&[0, 0]).is_none());
+        assert!(s.sorted(&[5]).is_none());
+        assert!(SymRelation::from_rows(Vec::new(), None)
+            .sorted(&[0])
+            .is_none());
+    }
+
+    #[test]
+    fn sorted_row_set_tracks_membership_through_merges() {
+        let mut set = SortedRowSet::new();
+        assert!(set.is_empty());
+        // geometric batches force run merges
+        let batch = |lo: u32, hi: u32| -> Vec<SymTuple> {
+            (lo..hi).map(|i| SymTuple::from([i, i + 1])).collect()
+        };
+        set.insert_sorted_batch(batch(0, 8));
+        set.insert_sorted_batch(batch(8, 16));
+        set.insert_sorted_batch(batch(16, 18));
+        set.insert_sorted_batch(batch(18, 19));
+        assert_eq!(set.len(), 19);
+        for i in 0..19u32 {
+            assert!(set.contains(&[i, i + 1]));
+        }
+        assert!(!set.contains(&[19, 20]));
+        assert!(!set.contains(&[0, 2]));
+        let rows = set.into_rows();
+        assert_eq!(rows.len(), 19);
+        assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows come out sorted");
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! * [`intern`] — dense `u32` interning of the active domain plus the fast
 //!   hash machinery the evaluation hot path runs on,
 //! * [`index`] — interned relations ([`SymRelation`]) with lazily built
-//!   composite per-column-set hash indexes, the evaluator's storage layer.
+//!   composite per-column-set hash indexes and sorted columnar views
+//!   ([`SortedCols`], for merge joins and prefix probes), the evaluator's
+//!   storage layer.
 
 pub mod generate;
 pub mod index;
@@ -29,7 +31,7 @@ mod relation;
 mod schema;
 mod value;
 
-pub use index::{CompositeIndex, SymRegister, SymRelation};
+pub use index::{CompositeIndex, SortedCols, SortedRowSet, SymRegister, SymRelation};
 pub use instance::Instance;
 pub use intern::{FxHashMap, FxHashSet, Interner, Sym, SymTuple};
 pub use relation::{Relation, Tuple};
