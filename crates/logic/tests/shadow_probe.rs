@@ -1,0 +1,27 @@
+use pt_logic::eval::eval_to_relation;
+use pt_logic::parse_formula;
+use pt_logic::Var;
+use pt_relational::{Instance, Relation, Value};
+
+#[test]
+fn shadowed_head_var_closure_vs_semi_naive() {
+    let mut edge = Relation::new();
+    edge.insert(vec![Value::int(1), Value::int(2)]);
+    let mut edge2 = Relation::new();
+    edge2.insert(vec![Value::int(2), Value::int(5)]);
+    let inst = Instance::new().with("edge", edge).with("edge2", edge2);
+    let vars = [Var::new("u"), Var::new("w")];
+    // head var x is shadowed by the existential binder
+    let fast = parse_formula(
+        "fix T(x, y) { edge(x, y) or exists x z (T(x, z) and edge2(z, y)) }(u, w)",
+    )
+    .unwrap();
+    // same formula, duplicated recursive atom forces the semi-naive path
+    let slow = parse_formula(
+        "fix T(x, y) { edge(x, y) or exists x z (T(x, z) and T(x, z) and edge2(z, y)) }(u, w)",
+    )
+    .unwrap();
+    let a = eval_to_relation(&inst, None, &fast, &vars).unwrap();
+    let b = eval_to_relation(&inst, None, &slow, &vars).unwrap();
+    assert_eq!(a, b, "closure fast path diverges from semi-naive");
+}
