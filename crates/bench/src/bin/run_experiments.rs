@@ -3,8 +3,8 @@
 //! Usage: `cargo run --release -p pt-bench --bin run_experiments [section]
 //! [--full-baseline]` with `section` in `{fig1, table1, table2, table3,
 //! prop1, quick, all}`. The `quick` section times the engine's hot paths
-//! and writes a machine-readable `BENCH_6.json` extending the trajectory
-//! recorded by the committed `BENCH_1.json` through `BENCH_5.json`
+//! and writes a machine-readable `BENCH_7.json` extending the trajectory
+//! recorded by the committed `BENCH_1.json` through `BENCH_6.json`
 //! (earlier files are never overwritten). Each file carries a `"host"`
 //! header (core count and `uname`) identifying the machine the numbers
 //! were taken on. Slow forced-tree baselines are skipped by default
@@ -311,14 +311,17 @@ fn time_ms(mut f: impl FnMut() -> usize) -> (f64, usize) {
 /// data-complexity workloads (τ1, the register-heavy τ2 variants, and the
 /// wide-register roster view), engine-session amortization, parallel
 /// serving throughput (8 threads on one shared prepared session vs the
-/// same number of sequential replays) and streaming output, the
-/// Proposition 1(3) blowup family, and the join/fixpoint microworkloads
-/// (chain and dense-graph transitive closures on the dedicated closure
-/// operator). Emits `BENCH_6.json` with a host-metadata header.
+/// same number of sequential replays) and streaming output, live-update
+/// maintenance (`Engine::apply` + warm rerun vs a cold engine rebuild, on
+/// the τ2 enrollment view and on a retraction-heavy transitive-closure
+/// chain), the Proposition 1(3) blowup family, and the join/fixpoint
+/// microworkloads (chain and dense-graph transitive closures on the
+/// dedicated closure operator). Emits `BENCH_7.json` with a host-metadata
+/// header.
 ///
 /// By default the slow in-run tree baselines (~30 s) are *not* re-measured:
 /// speedups are computed against the trajectory recorded in `BENCH_1.json`
-/// through `BENCH_5.json` (best value per entry). Pass `--full-baseline`
+/// through `BENCH_6.json` (best value per entry). Pass `--full-baseline`
 /// to re-run the forced-tree engine locally.
 fn quick(full_baseline: bool) {
     use pt_core::{EvalOptions, ExpansionMode};
@@ -334,6 +337,7 @@ fn quick(full_baseline: bool) {
         "BENCH_3.json",
         "BENCH_4.json",
         "BENCH_5.json",
+        "BENCH_6.json",
     ] {
         let parsed = std::fs::read_to_string(path)
             .map(|text| pt_bench::parse_bench_json(&text))
@@ -598,6 +602,138 @@ fn quick(full_baseline: bool) {
         note: "8 threads on per-thread private sessions / 8 threads sharing one memo".to_string(),
     });
 
+    // live views (PR 7): Engine::apply a small delta and rerun the warm
+    // session, vs rebuilding a cold engine on the same instance. The delta
+    // inserts one absent in-domain enrollment pair — `enrolled` is a
+    // relation τ2 never reads, so footprint-masked invalidation keeps the
+    // whole memo alive and the rerun is a replay after the version bump,
+    // while the cold path pays interning, preparation, and a full
+    // expansion. Each timed invocation (warm-up and best-of-three alike)
+    // applies a *fresh* absent row so no replay degenerates into a no-op
+    // delta.
+    let mut fresh = 0usize;
+    let (live_incr_ms, live_incr_nodes) = time_ms(|| {
+        let k = fresh;
+        fresh += 1;
+        // (S{k}, CS{k+1 mod 60}) is absent (the generator enrolled S{k} in
+        // CS{k mod 60}) and both values are already in the active domain
+        let mut delta = pt_core::Delta::new();
+        delta
+            .insert(
+                "enrolled",
+                vec![
+                    Value::str(format!("S{:05}", k % 2000)),
+                    Value::str(format!("CS{:04}", (k + 1) % 60)),
+                ],
+            )
+            .unwrap();
+        let report = engine.apply(&delta).expect("arity matches the schema");
+        assert_eq!(report.tuples_inserted, 1, "delta must stay effective");
+        prepared.run().unwrap().size()
+    });
+    let (live_cold_ms, live_cold_nodes) = time_ms(|| {
+        let cold = pt_core::Engine::new(engine.instance());
+        cold.prepare(&tau2).unwrap().run().unwrap().size()
+    });
+    assert_eq!(
+        live_incr_nodes, live_cold_nodes,
+        "incremental rerun must match a cold rebuild of the final version"
+    );
+    let live_speedup = live_cold_ms / live_incr_ms;
+    println!("tau2 apply+rerun (live)    : {live_incr_ms:>10.1} ms  ({live_incr_nodes} xi-nodes)");
+    println!(
+        "tau2 cold rebuild+run      : {live_cold_ms:>10.1} ms  ({live_speedup:.1}x vs apply+rerun)"
+    );
+    assert!(
+        live_speedup >= 5.0,
+        "incremental maintenance must beat a cold rebuild by >= 5x \
+         (got {live_speedup:.1}x: {live_incr_ms:.1} ms vs {live_cold_ms:.1} ms)"
+    );
+    entries.push(BenchEntry {
+        name: "live_tau2_enrollment_apply_rerun",
+        metric: "ms",
+        value: live_incr_ms,
+        note: "one fresh in-domain enrolled insert + warm prepared rerun".to_string(),
+    });
+    entries.push(BenchEntry {
+        name: "live_tau2_enrollment_cold_rebuild",
+        metric: "ms",
+        value: live_cold_ms,
+        note: "Engine::new + prepare + run on the post-apply instance".to_string(),
+    });
+    entries.push(BenchEntry {
+        name: "live_tau2_enrollment_incr_speedup",
+        metric: "x",
+        value: live_speedup,
+        note: "cold rebuild+run / apply+rerun; gate requires >= 5x".to_string(),
+    });
+
+    // retraction-heavy live closure: a prepared transducer whose rule body
+    // is the transitive-closure fixpoint, served across edge retractions.
+    // Each apply walks the delete-and-rederive path of the fixpoint cache
+    // instead of recomputing the closure; the cold baseline recomputes it
+    // from scratch on the same post-retraction instance. Every timed
+    // invocation retracts a *different* chain edge.
+    let tc_tau = pt_core::Transducer::builder(Schema::with(&[("edge", 2)]), "q0", "tc")
+        .rule(
+            "q0",
+            "tc",
+            &[(
+                "q",
+                "pair",
+                "(v, w) <- fix T(x, y) { edge(x, y) or exists z (T(x, z) and edge(z, y)) }(v, w)",
+            )],
+        )
+        .build()
+        .expect("closure view is well-formed");
+    let tc_db = pt_bench::chain_edges(256);
+    let tc_engine = pt_core::Engine::new(&tc_db);
+    let tc_prepared = tc_engine.prepare(&tc_tau).expect("closure view prepares");
+    tc_prepared.run().expect("warm closure run");
+    let mut cut = 0usize;
+    let (tc_incr_ms, tc_incr_nodes) = time_ms(|| {
+        let k = (37 + cut * 53) as i64; // distinct edges, spread along the chain
+        cut += 1;
+        let mut delta = pt_core::Delta::new();
+        delta
+            .retract("edge", vec![Value::int(k), Value::int(k + 1)])
+            .unwrap();
+        let report = tc_engine.apply(&delta).expect("edge exists");
+        assert_eq!(report.tuples_retracted, 1, "retraction must stay effective");
+        tc_prepared.run().unwrap().size()
+    });
+    let (tc_cold_ms, tc_cold_nodes) = time_ms(|| {
+        let cold = pt_core::Engine::new(tc_engine.instance());
+        cold.prepare(&tc_tau).unwrap().run().unwrap().size()
+    });
+    assert_eq!(
+        tc_incr_nodes, tc_cold_nodes,
+        "incremental closure must match a cold rebuild of the final version"
+    );
+    let tc_speedup = tc_cold_ms / tc_incr_ms;
+    println!("tc chain retract+rerun     : {tc_incr_ms:>10.1} ms  ({tc_incr_nodes} xi-nodes)");
+    println!(
+        "tc chain cold rebuild+run  : {tc_cold_ms:>10.1} ms  ({tc_speedup:.1}x vs retract+rerun)"
+    );
+    entries.push(BenchEntry {
+        name: "live_tc_chain_n256_retract_rerun",
+        metric: "ms",
+        value: tc_incr_ms,
+        note: "one chain-edge retraction (delete-and-rederive) + warm rerun".to_string(),
+    });
+    entries.push(BenchEntry {
+        name: "live_tc_chain_n256_cold_rebuild",
+        metric: "ms",
+        value: tc_cold_ms,
+        note: "Engine::new + prepare + run recomputes the closure from scratch".to_string(),
+    });
+    entries.push(BenchEntry {
+        name: "live_tc_chain_n256_incr_speedup",
+        metric: "x",
+        value: tc_speedup,
+        note: "cold closure rebuild+run / retract+rerun".to_string(),
+    });
+
     // streaming vs materializing the unfolding: one shared-DAG run of τ1,
     // then emit the document as SAX events (no tree allocation) vs
     // building the full output tree
@@ -787,7 +923,7 @@ fn quick(full_baseline: bool) {
         .map(|s| s.trim().replace(['"', '\\'], " "))
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string());
-    let mut json = String::from("{\n  \"bench\": 6,\n");
+    let mut json = String::from("{\n  \"bench\": 7,\n");
     json.push_str(&format!(
         "  \"host\": {{\"cores\": {cores}, \"uname\": \"{uname}\"}},\n  \"entries\": [\n"
     ));
@@ -799,8 +935,8 @@ fn quick(full_baseline: bool) {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_6.json", &json).expect("writing BENCH_6.json");
-    println!("wrote BENCH_6.json");
+    std::fs::write("BENCH_7.json", &json).expect("writing BENCH_7.json");
+    println!("wrote BENCH_7.json");
 }
 
 fn main() {

@@ -1,17 +1,20 @@
-//! Long-lived evaluation sessions: [`Engine`] binds a database once,
+//! Long-lived evaluation sessions: [`Engine`] owns a versioned database,
 //! [`PreparedTransducer`] binds a transducer to an engine — the
-//! prepared-statement shape of the publishing pipeline.
+//! prepared-statement shape of the publishing pipeline, now with *live*
+//! views: [`Engine::apply`] ingests a [`Delta`] of base-relation inserts
+//! and retractions and moves the engine to the next database version
+//! without dropping prepared sessions.
 //!
 //! The paper's transducers are middleware publishing a relational database
 //! as XML: in production one database serves many transducer runs, each
 //! emitting a document to a consumer. [`crate::Transducer::run`] rebuilds
 //! everything per call; this module splits that cost into three tiers:
 //!
-//! * **Engine-owned, paid once per database** ([`Engine::new`]): the sorted
-//!   active-domain scan and its interning, the lazily interned base
-//!   relations with their composite indexes (all inside the run-wide
-//!   [`EvalContext`]), and the dense register-id table that hash-conses
-//!   every register the engine ever sees.
+//! * **Engine-owned, paid once per database version** ([`Engine::new`],
+//!   [`Engine::apply`]): the sorted active-domain scan and its interning,
+//!   the lazily interned base relations with their composite indexes (all
+//!   inside the run-wide [`EvalContext`]), and the dense register-id table
+//!   that hash-conses every register the engine ever sees.
 //! * **Prepared, paid once per transducer** ([`Engine::prepare`]):
 //!   validation of the transducer against the instance, warming of every
 //!   base relation its queries mention, *freezing* of every constant its
@@ -20,26 +23,55 @@
 //!   `(child pair id, query)` so the expansion loop never hashes a string.
 //! * **Per-run** ([`PreparedTransducer::run`]): only the expansion itself.
 //!   The configuration memo persists in the prepared transducer, so
-//!   repeated runs replay shared subtrees instead of re-deriving them —
-//!   sound because the engine's interner is append-only and the database
-//!   is immutably borrowed for the engine's lifetime.
+//!   repeated runs replay shared subtrees instead of re-deriving them.
+//!
+//! # The versioned lifecycle
+//!
+//! The engine owns its database as a sequence of immutable versions. Each
+//! version is an `Arc`-shared snapshot (instance, interned active domain,
+//! relation caches, cached fixpoints); [`Engine::apply`] builds version
+//! `n + 1` *next to* version `n`:
+//!
+//! * The delta is validated ([`DeltaError`]) and reduced to its *effective*
+//!   changes; a no-op delta returns immediately and the version does not
+//!   advance.
+//! * The instance is copy-on-write: only touched relations are copied
+//!   (untouched ones share their `Arc` with the previous version), and only
+//!   touched relations are re-interned and re-sorted.
+//! * Values new to the database extend the frozen interner snapshot
+//!   append-only, so every symbol keeps its meaning across versions —
+//!   register ids, memo keys and cached fixpoints stay mutually consistent.
+//! * Cached closure fixpoints migrate incrementally: semi-naive
+//!   continuation for pure inserts, delete-and-rederive for retractions.
+//! * Prepared sessions survive: each memo entry records the database
+//!   version and the set of base relations its subtree read (a bucket
+//!   mask), and `apply` evicts exactly the entries whose read set the
+//!   delta touched — everything else replays on the next run.
+//!
+//! Runs are *epoch-pinned*: [`PreparedTransducer::run`] pins the current
+//! version under a brief read lock and evaluates entirely against that
+//! snapshot, so a concurrent `apply` never changes what an in-flight run
+//! observes — it keeps publishing the pre-apply database and simply drops
+//! its pin when it finishes.
 //!
 //! # Thread-safe serving
 //!
 //! `Engine` and `PreparedTransducer` are `Send + Sync`, and every session
 //! method takes `&self`: N threads may call [`PreparedTransducer::run`] /
 //! [`PreparedTransducer::stream`] on one shared prepared transducer
-//! concurrently, all feeding — and feeding off — a single sharded
+//! concurrently — and another thread may [`Engine::apply`] deltas at the
+//! same time. All runs feed — and feed off — a single sharded
 //! configuration memo, so concurrent requests share expansion work instead
 //! of duplicating it. The thread-safety rests on three pillars, one per
 //! layer (see the ROADMAP performance-architecture notes):
 //!
-//! * the interner is a **frozen snapshot**: everything a prepared plan can
-//!   touch (sorted base active domain, base relations, rule-query
-//!   constants) is interned into an immutable `Arc` snapshot by
-//!   `Engine::new` / `Engine::prepare`, so hot-path lookups are lock-free
-//!   reads; genuinely run-local extras go to a small mutex overlay the
-//!   prepared paths never hit ([`pt_logic::SharedInterner`]);
+//! * the interner is a **frozen snapshot lineage**: everything a prepared
+//!   plan can touch (sorted base active domain, base relations, rule-query
+//!   constants, delta values) is interned into an immutable `Arc` snapshot
+//!   by `Engine::new` / `Engine::prepare` / `Engine::apply`, so hot-path
+//!   lookups are lock-free reads; genuinely run-local extras go to a small
+//!   mutex overlay the prepared paths never hit
+//!   ([`pt_logic::SharedInterner`]);
 //! * `SymRelation`s stay immutable once built, with their lazy composite
 //!   index caches behind an `RwLock`;
 //! * the configuration memo and register hash-consing table are sharded /
@@ -51,16 +83,18 @@
 //! SAX-style [`pt_xmltree::XmlEvent`]s without materializing the unfolding
 //! (see [`RunResult::stream_output`]).
 
+use std::borrow::Borrow;
+use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::RwLock;
+use std::sync::{Arc, Mutex, RwLock, Weak};
 
 use pt_logic::EvalContext;
-use pt_relational::{Instance, SymRegister};
+use pt_relational::{Delta, DeltaError, Instance, SymRegister};
 use pt_xmltree::XmlEventSink;
 
 use crate::semantics::{
-    expand_session, DagState, EvalOptions, MemoPolicy, PairTable, RegisterIds, RunError, RunResult,
-    StreamSummary,
+    expand_session, DagState, EvalOptions, MemoPolicy, MemoValidity, PairTable, RegisterIds,
+    RunError, RunResult, StreamSummary,
 };
 use crate::transducer::Transducer;
 
@@ -98,58 +132,214 @@ impl fmt::Display for PrepareError {
 
 impl std::error::Error for PrepareError {}
 
-/// A long-lived evaluation session bound to one database.
+/// What one [`Engine::apply`] did: the version it produced and how much
+/// work the transition cost. A delta whose every change was already present
+/// (or absent) is a no-op: the version does not advance and every count is
+/// zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// The database version the engine is now at.
+    pub version: u64,
+    /// Tuples actually added (present in the delta, absent before).
+    pub tuples_inserted: usize,
+    /// Tuples actually removed (present in the delta and before).
+    pub tuples_retracted: usize,
+    /// Memo entries evicted across every live prepared session — the
+    /// entries whose subtree had read a touched relation (or, when the
+    /// active domain changed, any relation at all).
+    pub memo_entries_evicted: usize,
+    /// Cached base relations re-interned (and thus re-sorted / re-indexed)
+    /// because the delta touched them.
+    pub relations_resorted: usize,
+}
+
+/// One immutable database version: the instance plus every run-wide cache
+/// derived from it. Runs pin the `Arc` and evaluate against it; `apply`
+/// builds the successor next to it.
+struct DbVersion {
+    version: u64,
+    ctx: EvalContext,
+}
+
+/// A long-lived evaluation session that owns a versioned database.
 ///
 /// Owns every run-wide cache: the sorted, pre-interned active domain, the
-/// lazily interned base relations and their composite indexes, and the
-/// dense register-id table ([`RegId`](crate::semantics) hash-consing).
-/// Build one per database, [`Engine::prepare`] each transducer that
-/// publishes it, and share both freely across threads — the engine is
-/// `Send + Sync` and all methods take `&self`.
-pub struct Engine<'db> {
-    ctx: EvalContext<'db>,
+/// lazily interned base relations and their composite indexes, the cached
+/// closure fixpoints, and the dense register-id table
+/// ([`RegId`](crate::semantics) hash-consing). Build one per database,
+/// [`Engine::prepare`] each transducer that publishes it, feed it
+/// [`Delta`]s via [`Engine::apply`], and share everything freely across
+/// threads — the engine is `Send + Sync` and all methods take `&self`.
+pub struct Engine {
+    /// The current version; replaced wholesale by [`Engine::apply`]. Runs
+    /// take the read lock only long enough to clone the `Arc`.
+    db: RwLock<Arc<DbVersion>>,
+    /// Register hash-consing, shared by every version: the interner lineage
+    /// is append-only, so symbolic register equality — and hence the ids —
+    /// is stable across versions, runs and prepared transducers.
     regs: RwLock<RegisterIds<SymRegister>>,
+    /// Every live prepared session's memo, for the post-`apply` eviction
+    /// sweep; dead sessions are pruned as they are encountered.
+    sessions: Mutex<Vec<Weak<DagState>>>,
+    /// The relation-bucket invalidation clock shared by all sessions.
+    validity: MemoValidity,
 }
 
 // Compile-time proof that the serving API is thread-safe: one `Engine` and
 // its `PreparedTransducer`s may be shared across threads (`&self` runs).
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
-    assert_send_sync::<Engine<'static>>();
-    assert_send_sync::<PreparedTransducer<'static, 'static, 'static>>();
+    assert_send_sync::<Engine>();
+    assert_send_sync::<PreparedTransducer<'static, 'static>>();
 };
 
-impl<'db> Engine<'db> {
+impl Engine {
     /// Scan `db` once for its active domain, intern it into the frozen
-    /// snapshot, and set up the engine-owned caches.
-    pub fn new(db: &'db Instance) -> Self {
+    /// snapshot, and set up the engine-owned caches as version 0. Accepts
+    /// the instance by value or by reference (the engine owns its own
+    /// snapshot either way; the instance's relations are `Arc`-shared, so
+    /// the clone is O(relations), not O(tuples)).
+    pub fn new(db: impl Borrow<Instance>) -> Self {
         Engine {
-            ctx: EvalContext::new(db),
+            db: RwLock::new(Arc::new(DbVersion {
+                version: 0,
+                ctx: EvalContext::new(db.borrow()),
+            })),
             regs: RwLock::new(RegisterIds::default()),
+            sessions: Mutex::new(Vec::new()),
+            validity: MemoValidity::new(),
         }
     }
 
-    /// The bound database.
-    pub fn instance(&self) -> &'db Instance {
-        self.ctx.instance()
+    /// Pin the current database version.
+    fn snapshot(&self) -> Arc<DbVersion> {
+        Arc::clone(&self.db.read().unwrap())
+    }
+
+    /// The currently bound database (the newest version's instance, shared
+    /// without copying tuples).
+    pub fn instance(&self) -> Arc<Instance> {
+        self.snapshot().ctx.instance_arc()
+    }
+
+    /// The current database version: 0 at [`Engine::new`], advanced by
+    /// every effective [`Engine::apply`].
+    pub fn version(&self) -> u64 {
+        self.snapshot().version
     }
 
     /// Number of distinct registers hash-consed so far, across every
-    /// prepared transducer of this engine.
+    /// version and every prepared transducer of this engine.
     pub fn registers_interned(&self) -> usize {
         self.regs.read().unwrap().len()
+    }
+
+    /// Number of cached fixpoint results held by the current version.
+    pub fn fixpoints_cached(&self) -> usize {
+        self.snapshot().ctx.fixpoints_cached()
+    }
+
+    /// Apply a batch of base-relation updates, moving the engine to the
+    /// next database version.
+    ///
+    /// The whole delta is validated against the live schema before anything
+    /// changes (arity mismatches surface as [`DeltaError`] and leave the
+    /// engine untouched), then reduced to its *effective* changes —
+    /// inserting a present tuple or retracting an absent one is a no-op. If
+    /// nothing effective remains, the version does not advance and every
+    /// report count is zero.
+    ///
+    /// An effective apply is incremental along every axis: untouched
+    /// relations share their storage, interning and indexes with the
+    /// previous version; new values extend the frozen interner snapshot
+    /// append-only (symbols never change meaning); cached closure
+    /// fixpoints are maintained by semi-naive continuation (inserts) or
+    /// delete-and-rederive (retractions); and live prepared sessions keep
+    /// every memo entry whose read set the delta did not touch.
+    ///
+    /// Concurrent runs are unaffected mid-flight: a run pins the version it
+    /// started on and publishes that snapshot; runs started after `apply`
+    /// returns see the new version.
+    pub fn apply(&self, delta: &Delta) -> Result<ApplyReport, DeltaError> {
+        let mut guard = self.db.write().unwrap();
+        let cur = Arc::clone(&guard);
+        for (name, _) in delta.relations() {
+            delta.check_against(name, cur.ctx.instance().get_ref(name))?;
+        }
+
+        let mut next_inst = (*cur.ctx.instance()).clone();
+        let mut inserted = 0usize;
+        let mut retracted = 0usize;
+        let mut touched: BTreeSet<String> = BTreeSet::new();
+        for (name, rd) in delta.relations() {
+            let mut changed = false;
+            for t in rd.retracts() {
+                if next_inst.remove(name, t) {
+                    retracted += 1;
+                    changed = true;
+                }
+            }
+            for t in rd.inserts() {
+                if next_inst.insert(name, t.clone()) {
+                    inserted += 1;
+                    changed = true;
+                }
+            }
+            if changed {
+                touched.insert(name.to_string());
+            }
+        }
+        if touched.is_empty() {
+            return Ok(ApplyReport {
+                version: cur.version,
+                ..ApplyReport::default()
+            });
+        }
+
+        let (next_ctx, transition) = cur.ctx.successor(Arc::new(next_inst), &touched);
+        let version = cur.version + 1;
+        // bump the invalidation clock *before* publishing the version: a
+        // run that pins the new version is then guaranteed to see every
+        // bucket at (at least) that version, and an old-epoch run that
+        // observes the bumps early merely re-derives instead of reusing
+        let mask =
+            MemoValidity::mask_of(touched.iter().map(String::as_str), transition.adom_changed);
+        self.validity.bump(mask, version);
+        let mut evicted = 0usize;
+        {
+            let mut sessions = self.sessions.lock().unwrap();
+            sessions.retain(|weak| match weak.upgrade() {
+                Some(state) => {
+                    evicted += state.evict_invalid(&self.validity);
+                    true
+                }
+                None => false,
+            });
+        }
+        *guard = Arc::new(DbVersion {
+            version,
+            ctx: next_ctx,
+        });
+        Ok(ApplyReport {
+            version,
+            tuples_inserted: inserted,
+            tuples_retracted: retracted,
+            memo_entries_evicted: evicted,
+            relations_resorted: transition.resorted,
+        })
     }
 
     /// Validate `tau` against the bound database and precompute its rule
     /// plan: dense `(state, tag)` pair ids, resolved rule items, warmed
     /// base relations, and the frozen constant set. The handle borrows both
     /// the engine and the transducer; [`PreparedTransducer::run`] it as
-    /// many times — and from as many threads — as needed. The configuration
-    /// memo is unbounded; see [`Engine::prepare_with`] to cap it.
+    /// many times — and from as many threads — as needed, across as many
+    /// [`Engine::apply`] calls as happen meanwhile. The configuration memo
+    /// is unbounded; see [`Engine::prepare_with`] to cap it.
     pub fn prepare<'e, 't>(
         &'e self,
         tau: &'t Transducer,
-    ) -> Result<PreparedTransducer<'e, 'db, 't>, PrepareError> {
+    ) -> Result<PreparedTransducer<'e, 't>, PrepareError> {
         self.prepare_with(tau, MemoPolicy::default())
     }
 
@@ -159,9 +349,10 @@ impl<'db> Engine<'db> {
         &'e self,
         tau: &'t Transducer,
         policy: MemoPolicy,
-    ) -> Result<PreparedTransducer<'e, 'db, 't>, PrepareError> {
+    ) -> Result<PreparedTransducer<'e, 't>, PrepareError> {
+        let db = self.snapshot();
         for (name, declared) in tau.schema().iter() {
-            if let Some(found) = self.instance().get_ref(name).and_then(|r| r.arity()) {
+            if let Some(found) = db.ctx.instance().get_ref(name).and_then(|r| r.arity()) {
                 if found != declared {
                     return Err(PrepareError::ArityMismatch {
                         relation: name.to_string(),
@@ -182,56 +373,61 @@ impl<'db> Engine<'db> {
         &'e self,
         tau: &'t Transducer,
         policy: MemoPolicy,
-    ) -> PreparedTransducer<'e, 'db, 't> {
+    ) -> PreparedTransducer<'e, 't> {
+        let db = self.snapshot();
         let pairs = PairTable::new(tau);
         // warm every base relation a *reachable* query mentions, so the
         // first run pays no lazy interning (rules on pairs unreachable
         // from the root stay lazy — a run can never evaluate them)
         for query in pairs.queries() {
             for rel in query.body().base_relations() {
-                self.ctx.warm_relation(&rel);
+                db.ctx.warm_relation(&rel);
             }
         }
         // freeze every constant a reachable query mentions into the
-        // interner snapshot: together with the base domain (frozen at
-        // `Engine::new`) this covers every value a run of this plan can
-        // ever intern, so the serving hot path never touches the overlay
-        // mutex and every register stays snapshot-relative — the invariant
-        // that keeps symbolic memo keys valid across runs and threads
-        self.ctx
+        // interner snapshot: together with the active domain (frozen per
+        // version) this covers every value a run of this plan can ever
+        // intern, so the serving hot path never touches the overlay mutex
+        // and every register stays snapshot-relative — the invariant that
+        // keeps symbolic memo keys valid across runs, threads and versions
+        db.ctx
             .freeze_values(pairs.queries().flat_map(|q| q.body().constants()));
+        let state = Arc::new(DagState::new(policy));
+        self.sessions.lock().unwrap().push(Arc::downgrade(&state));
         PreparedTransducer {
             engine: self,
             tau,
             pairs,
-            state: DagState::new(policy),
+            state,
         }
     }
 }
 
 /// A transducer prepared against an [`Engine`]: the rule plan is resolved,
 /// the engine's caches are warm, and the configuration memo persists
-/// across runs. Obtain one via [`Engine::prepare`].
+/// across runs — and across [`Engine::apply`] calls, which evict exactly
+/// the entries whose read set each delta touched. Obtain one via
+/// [`Engine::prepare`].
 ///
 /// All methods take `&self`, and the type is `Send + Sync`: N threads may
 /// run and stream one prepared transducer concurrently, sharing the
 /// sharded session memo (concurrent runs replay each other's finished
 /// configurations instead of re-deriving them).
-pub struct PreparedTransducer<'e, 'db, 't> {
-    engine: &'e Engine<'db>,
+pub struct PreparedTransducer<'e, 't> {
+    engine: &'e Engine,
     tau: &'t Transducer,
     pairs: PairTable<'t>,
-    state: DagState,
+    state: Arc<DagState>,
 }
 
-impl<'e, 'db, 't> PreparedTransducer<'e, 'db, 't> {
+impl<'e, 't> PreparedTransducer<'e, 't> {
     /// The prepared transducer.
     pub fn transducer(&self) -> &'t Transducer {
         self.tau
     }
 
     /// The owning engine.
-    pub fn engine(&self) -> &'e Engine<'db> {
+    pub fn engine(&self) -> &'e Engine {
         self.engine
     }
 
@@ -245,8 +441,9 @@ impl<'e, 'db, 't> PreparedTransducer<'e, 'db, 't> {
         self.state.configs()
     }
 
-    /// Number of memo entries currently held (eviction under a bounded
-    /// [`MemoPolicy`] shrinks this; configurations stay interned).
+    /// Number of memo entries currently held (eviction — whether under a
+    /// bounded [`MemoPolicy`] or by an [`Engine::apply`] sweep — shrinks
+    /// this; configurations stay interned).
     pub fn memo_entries(&self) -> usize {
         self.state.entries()
     }
@@ -257,9 +454,10 @@ impl<'e, 'db, 't> PreparedTransducer<'e, 'db, 't> {
     }
 
     /// Run the τ-transformation with the default node budget
-    /// ([`EvalOptions::default`]). Symbolic-register DAG expansion, with
-    /// the session memo carried over from earlier runs — and shared with
-    /// any runs happening concurrently on other threads.
+    /// ([`EvalOptions::default`]). Symbolic-register DAG expansion against
+    /// the engine's current database version (pinned for the whole run),
+    /// with the session memo carried over from earlier runs — and shared
+    /// with any runs happening concurrently on other threads.
     pub fn run(&self) -> Result<RunResult, RunError> {
         self.run_with(EvalOptions::default().max_nodes)
     }
@@ -267,11 +465,14 @@ impl<'e, 'db, 't> PreparedTransducer<'e, 'db, 't> {
     /// [`PreparedTransducer::run`] with an explicit budget on the unfolded
     /// ξ-node count (the budget is per run; the memo persists either way).
     pub fn run_with(&self, max_nodes: usize) -> Result<RunResult, RunError> {
+        let db = self.engine.snapshot();
         let root = expand_session(
-            &self.engine.ctx,
+            &db.ctx,
             &self.engine.regs,
             &self.pairs,
             &self.state,
+            db.version,
+            &self.engine.validity,
             max_nodes,
         )?;
         Ok(RunResult::new(root, self.tau.virtual_tags().clone()))

@@ -22,9 +22,11 @@
 //!   [`ValidationError`]s), dependency graphs, and `PT(L, S, O)` class
 //!   inference,
 //! * [`engine`] — the production entry point: a long-lived [`Engine`]
-//!   bound to a database and [`PreparedTransducer`] handles that amortize
-//!   interning, indexing, rule planning, and the configuration memo across
-//!   runs, with streaming event output ([`PreparedTransducer::stream`]).
+//!   owning a versioned database and [`PreparedTransducer`] handles that
+//!   amortize interning, indexing, rule planning, and the configuration
+//!   memo across runs, with streaming event output
+//!   ([`PreparedTransducer::stream`]) and live updates ([`Engine::apply`]
+//!   ingests [`Delta`]s, maintaining caches and memos incrementally).
 //!   Both are `Send + Sync` with `&self` sessions: N threads serve one
 //!   prepared transducer concurrently over a shared, sharded memo
 //!   (optionally bounded via [`MemoPolicy`]),
@@ -44,7 +46,8 @@ pub mod generate;
 pub mod semantics;
 pub mod transducer;
 
-pub use engine::{Engine, PrepareError, PreparedTransducer};
+pub use engine::{ApplyReport, Engine, PrepareError, PreparedTransducer};
+pub use pt_relational::{Delta, DeltaError};
 pub use semantics::{
     EvalOptions, ExpansionMode, MemoPolicy, ResultNode, RunError, RunResult, StreamSummary,
 };

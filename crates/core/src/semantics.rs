@@ -70,7 +70,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use pt_logic::eval::EvalError;
@@ -432,6 +432,87 @@ struct MemoEntry {
     /// Eviction generation ([`MemoPolicy::Bounded`]); stamped by
     /// [`DagState::insert`].
     generation: u32,
+    /// Database version the entry was computed against (the run's pinned
+    /// engine version; 0 for single-shot sessions).
+    version: u64,
+    /// [`MemoValidity`] bucket mask of every base relation this subtree's
+    /// queries read, plus the active-domain bit — the entry's read set.
+    rel_mask: u64,
+}
+
+/// Which database version last changed each relation *bucket* — the
+/// engine-wide invalidation clock that keeps prepared sessions' memos
+/// alive across [`Delta`](pt_relational::Delta) applications.
+///
+/// Relation names hash into the low 63 buckets; bit [`MemoValidity::ADOM`]
+/// is reserved for the active domain. Each bucket holds the newest database
+/// version whose delta touched a relation hashing into it (the domain bit
+/// advances only when the active domain actually changed). A memo entry
+/// records the version it was computed under and the bucket mask of every
+/// relation its subtree read; it is reusable by a run pinned at version `v`
+/// iff no masked bucket advanced past `min(v, entry.version)` — a bucket
+/// beyond that horizon means some relation the entry depends on changed
+/// between the entry's database and the reader's. Hash collisions and the
+/// conservative always-set domain bit on query-bearing pairs only ever
+/// *over*-invalidate, never under-invalidate.
+pub(crate) struct MemoValidity {
+    buckets: [AtomicU64; 64],
+}
+
+impl MemoValidity {
+    /// The reserved active-domain bit.
+    const ADOM: u32 = 63;
+
+    pub(crate) fn new() -> Self {
+        MemoValidity {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The bucket bit of a base-relation name.
+    fn bucket_of(name: &str) -> u32 {
+        let mut h = FxHasher::default();
+        name.hash(&mut h);
+        (h.finish() % u64::from(Self::ADOM)) as u32
+    }
+
+    /// The invalidation mask of one applied delta: the buckets of every
+    /// touched relation, plus the domain bit if the active domain changed.
+    pub(crate) fn mask_of<'a>(
+        touched: impl IntoIterator<Item = &'a str>,
+        adom_changed: bool,
+    ) -> u64 {
+        let mut mask = if adom_changed { 1u64 << Self::ADOM } else { 0 };
+        for name in touched {
+            mask |= 1u64 << Self::bucket_of(name);
+        }
+        mask
+    }
+
+    /// Advance every bucket in `mask` to at least `version` (called by
+    /// `Engine::apply` *before* the new database version is published, so
+    /// no reader can pin the new version without seeing the bumps).
+    pub(crate) fn bump(&self, mask: u64, version: u64) {
+        let mut m = mask;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            self.buckets[b].fetch_max(version, Ordering::Release);
+            m &= m - 1;
+        }
+    }
+
+    /// Whether no bucket in `mask` has advanced past `horizon`.
+    fn valid(&self, mask: u64, horizon: u64) -> bool {
+        let mut m = mask;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            if self.buckets[b].load(Ordering::Acquire) > horizon {
+                return false;
+            }
+            m &= m - 1;
+        }
+        true
+    }
 }
 
 /// How a DAG-mode run represents registers between configuration expansion
@@ -445,16 +526,16 @@ pub(crate) trait RegisterRepr: Clone + Eq + Hash {
     fn root() -> Self;
     /// Prepare the register once per configuration for all its rule-item
     /// queries.
-    fn index(ctx: &EvalContext<'_>, reg: &Self) -> IndexedRegister;
+    fn index(ctx: &EvalContext, reg: &Self) -> IndexedRegister;
     /// The child registers one rule-item query spawns, in sibling (domain)
     /// order.
     fn groups(
         query: &Query,
-        ctx: &EvalContext<'_>,
+        ctx: &EvalContext,
         ireg: &IndexedRegister,
     ) -> Result<Vec<Self>, EvalError>;
     /// The value-level relation stored on the result node.
-    fn materialize(ctx: &EvalContext<'_>, reg: &Self) -> Relation;
+    fn materialize(ctx: &EvalContext, reg: &Self) -> Relation;
 }
 
 impl RegisterRepr for SymRegister {
@@ -462,13 +543,13 @@ impl RegisterRepr for SymRegister {
         SymRegister::empty(0)
     }
 
-    fn index(ctx: &EvalContext<'_>, reg: &Self) -> IndexedRegister {
+    fn index(ctx: &EvalContext, reg: &Self) -> IndexedRegister {
         ctx.index_sym_register(reg)
     }
 
     fn groups(
         query: &Query,
-        ctx: &EvalContext<'_>,
+        ctx: &EvalContext,
         ireg: &IndexedRegister,
     ) -> Result<Vec<Self>, EvalError> {
         Ok(query
@@ -478,7 +559,7 @@ impl RegisterRepr for SymRegister {
             .collect())
     }
 
-    fn materialize(ctx: &EvalContext<'_>, reg: &Self) -> Relation {
+    fn materialize(ctx: &EvalContext, reg: &Self) -> Relation {
         ctx.materialize_register(reg)
     }
 }
@@ -488,13 +569,13 @@ impl RegisterRepr for Relation {
         Relation::new()
     }
 
-    fn index(ctx: &EvalContext<'_>, reg: &Self) -> IndexedRegister {
+    fn index(ctx: &EvalContext, reg: &Self) -> IndexedRegister {
         ctx.index_register(reg)
     }
 
     fn groups(
         query: &Query,
-        ctx: &EvalContext<'_>,
+        ctx: &EvalContext,
         ireg: &IndexedRegister,
     ) -> Result<Vec<Self>, EvalError> {
         Ok(query
@@ -504,7 +585,7 @@ impl RegisterRepr for Relation {
             .collect())
     }
 
-    fn materialize(_ctx: &EvalContext<'_>, reg: &Self) -> Relation {
+    fn materialize(_ctx: &EvalContext, reg: &Self) -> Relation {
         reg.clone()
     }
 }
@@ -570,6 +651,13 @@ pub(crate) struct PairTable<'t> {
     names: Vec<(String, String)>,
     /// Each pair's resolved rule items.
     items: Vec<Vec<(PairId, &'t Query)>>,
+    /// Each pair's own [`MemoValidity`] read mask: the buckets of every
+    /// base relation its rule-item queries mention, plus the active-domain
+    /// bit whenever the pair has any query at all (queries are
+    /// conservatively treated as domain-sensitive — quantifiers and
+    /// equalities can enumerate the domain without naming a relation).
+    /// Leaf pairs read nothing: mask 0.
+    masks: Vec<u64>,
 }
 
 impl<'t> PairTable<'t> {
@@ -600,7 +688,24 @@ impl<'t> PairTable<'t> {
             items.push(row);
             next += 1;
         }
-        PairTable { names, items }
+        let masks = items
+            .iter()
+            .map(|row| {
+                if row.is_empty() {
+                    return 0u64;
+                }
+                let rels = row.iter().flat_map(|&(_, q)| q.body().base_relations());
+                MemoValidity::mask_of(
+                    rels.collect::<BTreeSet<_>>().iter().map(String::as_str),
+                    true,
+                )
+            })
+            .collect();
+        PairTable {
+            names,
+            items,
+            masks,
+        }
     }
 
     /// Number of reachable `(state, tag)` pairs.
@@ -733,15 +838,22 @@ impl DagState {
     }
 
     /// Memo lookup under the current ancestor path: an entry is reusable iff
-    /// the ancestors intersect its footprint exactly as the recorded
-    /// ancestors did.
+    /// it is still valid for a run pinned at `version` (no relation bucket
+    /// in its read mask advanced past `min(version, entry.version)` —
+    /// see [`MemoValidity`]) *and* the ancestors intersect its footprint
+    /// exactly as the recorded ancestors did.
     fn lookup(
         &self,
         cid: ConfigId,
         path: &[ConfigId],
-    ) -> Option<(Arc<ResultNode>, FxHashSet<ConfigId>, usize)> {
+        version: u64,
+        validity: &MemoValidity,
+    ) -> Option<(Arc<ResultNode>, FxHashSet<ConfigId>, usize, u64)> {
         let shard = self.shards[(cid as usize) & (SHARDS - 1)].read().unwrap();
         for entry in &shard.entries[(cid >> SHARD_BITS) as usize] {
+            if !validity.valid(entry.rel_mask, version.min(entry.version)) {
+                continue;
+            }
             let mut s_cap: Vec<ConfigId> = path
                 .iter()
                 .copied()
@@ -749,7 +861,12 @@ impl DagState {
                 .collect();
             s_cap.sort_unstable();
             if s_cap == entry.blocked {
-                return Some((Arc::clone(&entry.node), entry.footprint.clone(), entry.size));
+                return Some((
+                    Arc::clone(&entry.node),
+                    entry.footprint.clone(),
+                    entry.size,
+                    entry.rel_mask,
+                ));
             }
         }
         None
@@ -808,6 +925,29 @@ impl DagState {
         self.entry_count.store(remaining, Ordering::Relaxed);
     }
 
+    /// Drop every memo entry whose read mask has a bucket that advanced
+    /// past the entry's own version — the post-`apply` sweep that keeps
+    /// prepared sessions alive across database versions, evicting only
+    /// what the delta could have changed. Returns the number of entries
+    /// evicted. Configuration ids and register ids are never evicted (they
+    /// stay meaningful: the interner lineage is append-only across
+    /// versions).
+    pub(crate) fn evict_invalid(&self, validity: &MemoValidity) -> usize {
+        let mut evicted = 0usize;
+        let mut remaining = 0usize;
+        for shard in &self.shards {
+            let mut guard = shard.write().unwrap();
+            for entries in &mut guard.entries {
+                let before = entries.len();
+                entries.retain(|e| validity.valid(e.rel_mask, e.version));
+                evicted += before - entries.len();
+                remaining += entries.len();
+            }
+        }
+        self.entry_count.store(remaining, Ordering::Relaxed);
+        evicted
+    }
+
     /// Number of distinct configurations interned so far.
     pub(crate) fn configs(&self) -> usize {
         self.shards
@@ -834,10 +974,12 @@ impl DagState {
 /// representations. Takes the session state by shared reference: N threads
 /// may expand over one session concurrently, sharing the memo.
 pub(crate) fn expand_session<R: RegisterRepr>(
-    ctx: &EvalContext<'_>,
+    ctx: &EvalContext,
     regs: &RwLock<RegisterIds<R>>,
     pairs: &PairTable<'_>,
     state: &DagState,
+    version: u64,
+    validity: &MemoValidity,
     max_nodes: usize,
 ) -> Result<Arc<ResultNode>, RunError> {
     DagExpansion {
@@ -845,6 +987,8 @@ pub(crate) fn expand_session<R: RegisterRepr>(
         regs,
         pairs,
         state,
+        version,
+        validity,
         max_nodes,
         count: 0,
     }
@@ -856,16 +1000,20 @@ pub(crate) fn expand_session<R: RegisterRepr>(
 /// (`ctx`, `regs`) and the session memo (`state`) are shared across
 /// concurrent runs; only `count` — this run's unfolded-node budget — is
 /// run-local. No lock is ever held across recursion or query evaluation.
-struct DagExpansion<'x, 't, 'db, R: RegisterRepr> {
-    ctx: &'x EvalContext<'db>,
+struct DagExpansion<'x, 't, R: RegisterRepr> {
+    ctx: &'x EvalContext,
     regs: &'x RwLock<RegisterIds<R>>,
     pairs: &'x PairTable<'t>,
     state: &'x DagState,
+    /// Database version this run is pinned to (stamped on every entry it
+    /// inserts, and the reuse horizon for entries it looks up).
+    version: u64,
+    validity: &'x MemoValidity,
     max_nodes: usize,
     count: usize,
 }
 
-impl<'x, 't, 'db, R: RegisterRepr> DagExpansion<'x, 't, 'db, R> {
+impl<'x, 't, R: RegisterRepr> DagExpansion<'x, 't, R> {
     fn config_id(&mut self, pair: PairId, register: R) -> ConfigId {
         // warm runs resolve every register through the read lock; only a
         // genuinely new register takes the write lock to intern (the read
@@ -890,24 +1038,28 @@ impl<'x, 't, 'db, R: RegisterRepr> DagExpansion<'x, 't, 'db, R> {
     /// session's first run, replaying its memo entry afterwards.
     fn run_root(&mut self) -> Result<Arc<ResultNode>, RunError> {
         let root_cid = self.config_id(0, R::root());
-        let (root, _, _) = self.expand(root_cid, &mut Vec::new(), &mut FxHashSet::default())?;
+        let (root, _, _, _) = self.expand(root_cid, &mut Vec::new(), &mut FxHashSet::default())?;
         Ok(root)
     }
 
     /// Expand configuration `cid` under the ancestor path `path` /
     /// `on_path`, returning the (possibly shared) subtree, its footprint,
-    /// and its unfolded size.
+    /// its unfolded size, and the [`MemoValidity`] read mask of every
+    /// relation the subtree's queries consulted.
     fn expand(
         &mut self,
         cid: ConfigId,
         path: &mut Vec<ConfigId>,
         on_path: &mut FxHashSet<ConfigId>,
-    ) -> Result<(Arc<ResultNode>, FxHashSet<ConfigId>, usize), RunError> {
-        // memo lookup: an entry is reusable iff the current ancestors
-        // intersect its footprint exactly as the recorded ancestors did
-        if let Some((node, footprint, size)) = self.state.lookup(cid, path) {
+    ) -> Result<(Arc<ResultNode>, FxHashSet<ConfigId>, usize, u64), RunError> {
+        // memo lookup: an entry is reusable iff it is still valid at this
+        // run's pinned version and the current ancestors intersect its
+        // footprint exactly as the recorded ancestors did
+        if let Some((node, footprint, size, mask)) =
+            self.state.lookup(cid, path, self.version, self.validity)
+        {
             self.charge(size)?;
-            return Ok((node, footprint, size));
+            return Ok((node, footprint, size, mask));
         }
 
         let (pair, reg_id) = self.state.config(cid);
@@ -927,6 +1079,8 @@ impl<'x, 't, 'db, R: RegisterRepr> DagExpansion<'x, 't, 'db, R> {
                 stopped: true,
             });
             let footprint: FxHashSet<ConfigId> = [cid].into_iter().collect();
+            // a stopped leaf evaluates no query — its value depends only on
+            // the path intersection, so its read mask is empty
             self.state.insert(
                 cid,
                 MemoEntry {
@@ -935,9 +1089,11 @@ impl<'x, 't, 'db, R: RegisterRepr> DagExpansion<'x, 't, 'db, R> {
                     node: Arc::clone(&node),
                     size: 1,
                     generation: 0,
+                    version: self.version,
+                    rel_mask: 0,
                 },
             );
-            return Ok((node, footprint, 1));
+            return Ok((node, footprint, 1, 0));
         }
 
         self.charge(1)?;
@@ -948,6 +1104,7 @@ impl<'x, 't, 'db, R: RegisterRepr> DagExpansion<'x, 't, 'db, R> {
         let mut children = Vec::new();
         let mut footprint: FxHashSet<ConfigId> = [cid].into_iter().collect();
         let mut size = 1usize;
+        let mut rel_mask = pairs.masks[pair as usize];
         if !items.is_empty() {
             // the register is indexed once per configuration; every query
             // of every rule item reuses the same handle
@@ -958,10 +1115,11 @@ impl<'x, 't, 'db, R: RegisterRepr> DagExpansion<'x, 't, 'db, R> {
                 // children grouped by x̄, ordered by the domain order
                 for group in R::groups(query, self.ctx, &ireg)? {
                     let child = self.config_id(child_pair, group);
-                    let (node, fp, sz) = self.expand(child, path, on_path)?;
+                    let (node, fp, sz, mask) = self.expand(child, path, on_path)?;
                     children.push(node);
                     footprint.extend(fp);
                     size += sz;
+                    rel_mask |= mask;
                 }
             }
             path.pop();
@@ -988,9 +1146,11 @@ impl<'x, 't, 'db, R: RegisterRepr> DagExpansion<'x, 't, 'db, R> {
                 node: Arc::clone(&node),
                 size,
                 generation: 0,
+                version: self.version,
+                rel_mask,
             },
         );
-        Ok((node, footprint, size))
+        Ok((node, footprint, size, rel_mask))
     }
 }
 
@@ -1025,7 +1185,11 @@ impl Transducer {
                 let regs = RwLock::new(RegisterIds::<Relation>::default());
                 let pairs = PairTable::new(self);
                 let state = DagState::default();
-                let root = expand_session(&ctx, &regs, &pairs, &state, opts.max_nodes)?;
+                // single-shot session: version 0 against a zeroed clock,
+                // so every entry trivially stays valid
+                let validity = MemoValidity::new();
+                let root =
+                    expand_session(&ctx, &regs, &pairs, &state, 0, &validity, opts.max_nodes)?;
                 Ok(RunResult::new(root, self.virtual_tags().clone()))
             }
             ExpansionMode::Tree => {

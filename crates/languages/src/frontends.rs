@@ -1,9 +1,66 @@
 //! The frontend ASTs and their compilers to publishing transducers.
 
+use std::fmt;
+
+/// Why a surface program failed to compile to a publishing transducer.
+///
+/// Every frontend's `compile` returns this instead of a bare string, so
+/// callers can distinguish a malformed embedded condition ([`Parse`]), a
+/// program that steps outside its language's fragment or structural rules
+/// ([`Unsupported`]), and rules that the transducer builder itself rejected
+/// ([`Validation`] — carrying the structured [`pt_core::ValidationError`]).
+///
+/// [`Parse`]: CompileError::Parse
+/// [`Unsupported`]: CompileError::Unsupported
+/// [`Validation`]: CompileError::Validation
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// An embedded condition or query failed to parse.
+    Parse(String),
+    /// The program is structurally ill-formed for its language: a column
+    /// outside the block's variables, recursion where the language forbids
+    /// it, a query beyond the language's logic fragment, and the like.
+    Unsupported(String),
+    /// The compiled rules failed transducer validation.
+    Validation(pt_core::ValidationError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(msg) => write!(f, "parse error: {msg}"),
+            CompileError::Unsupported(msg) => write!(f, "unsupported program: {msg}"),
+            CompileError::Validation(err) => write!(f, "validation error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Validation(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<pt_core::ValidationError> for CompileError {
+    fn from(err: pt_core::ValidationError) -> Self {
+        CompileError::Validation(err)
+    }
+}
+
+impl From<pt_logic::ParseError> for CompileError {
+    fn from(err: pt_logic::ParseError) -> Self {
+        CompileError::Parse(err.to_string())
+    }
+}
+
 /// Microsoft SQL Server `FOR XML` (Figure 2) and, per Section 4, the same
 /// views as XPERANTO: nested select-where blocks with FO conditions,
 /// correlated through the tuple passed down from the enclosing block.
 pub mod for_xml {
+    use super::CompileError;
     use pt_core::{RuleItem, Transducer};
     use pt_logic::{parse_formula, Query, Term, Var};
     use pt_relational::Schema;
@@ -36,7 +93,7 @@ pub mod for_xml {
 
     impl ForXml {
         /// Compile to a publishing transducer in `PTnr(FO, tuple, normal)`.
-        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, CompileError> {
             let mut builder = Transducer::builder(schema.clone(), "q0", &self.root);
             let mut items = Vec::new();
             let mut counter = 0usize;
@@ -52,11 +109,9 @@ pub mod for_xml {
                 let mut child_items = Vec::new();
                 // column children: tag with the column value, then text
                 for (tag, var) in &block.columns {
-                    let idx = block
-                        .vars
-                        .iter()
-                        .position(|v| v == var)
-                        .ok_or_else(|| format!("column {var} not among block vars"))?;
+                    let idx = block.vars.iter().position(|v| v == var).ok_or_else(|| {
+                        CompileError::Unsupported(format!("column {var} not among block vars"))
+                    })?;
                     let reg_args: Vec<Term> = block
                         .vars
                         .iter()
@@ -64,7 +119,7 @@ pub mod for_xml {
                         .collect();
                     let head = Var::new(format!("c_{}", block.vars[idx]));
                     let q = Query::new(vec![head], vec![], pt_logic::Formula::Reg(reg_args))
-                        .map_err(|e| e.to_string())?;
+                        .map_err(CompileError::Unsupported)?;
                     let col_state = format!("s{counter}");
                     counter += 1;
                     child_items.push(RuleItem {
@@ -78,7 +133,7 @@ pub mod for_xml {
                         vec![],
                         pt_logic::Formula::Reg(vec![Term::Var(Var::new("t"))]),
                     )
-                    .map_err(|e| e.to_string())?;
+                    .map_err(CompileError::Unsupported)?;
                     builder = builder.rule_items(
                         &col_state,
                         tag,
@@ -99,9 +154,11 @@ pub mod for_xml {
                 let _ = outer;
                 builder = builder.rule_items(&state, &block.element, child_items);
             }
-            let t = builder.build().map_err(|e| e.to_string())?;
+            let t = builder.build()?;
             if t.is_recursive() {
-                return Err("FOR XML views are nonrecursive".to_string());
+                return Err(CompileError::Unsupported(
+                    "FOR XML views are nonrecursive".to_string(),
+                ));
             }
             Ok(t)
         }
@@ -109,8 +166,8 @@ pub mod for_xml {
 
     /// Build the rule item spawning a block's element nodes: the condition
     /// conjoined with the correlation to the enclosing register.
-    fn block_item(state: &str, block: &Block, outer: &[String]) -> Result<RuleItem, String> {
-        let condition = parse_formula(&block.condition).map_err(|e| e.to_string())?;
+    fn block_item(state: &str, block: &Block, outer: &[String]) -> Result<RuleItem, CompileError> {
+        let condition = parse_formula(&block.condition)?;
         let correlation = if outer.is_empty() {
             pt_logic::Formula::True
         } else {
@@ -127,7 +184,7 @@ pub mod for_xml {
             vec![],
             pt_logic::Formula::and([correlation, condition]),
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(CompileError::Unsupported)?;
         Ok(RuleItem {
             state: state.to_string(),
             tag: block.element.clone(),
@@ -160,6 +217,7 @@ pub mod for_xml {
 /// relations, correlated through parent-child key joins, with simple
 /// equality filters only (CQ).
 pub mod annotated_xsd {
+    use super::CompileError;
     use pt_core::{RuleItem, Transducer};
     use pt_logic::{Formula, Query, Term, Var};
     use pt_relational::{Schema, Value};
@@ -190,7 +248,7 @@ pub mod annotated_xsd {
 
     impl AnnotatedXsd {
         /// Compile to `PTnr(CQ, tuple, normal)`.
-        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, CompileError> {
             let mut builder = Transducer::builder(schema.clone(), "q0", &self.root);
             let mut counter = 0usize;
             let mut top = Vec::new();
@@ -210,7 +268,7 @@ pub mod annotated_xsd {
                         .map(|i| Term::Var(Var::new(format!("c{i}"))))
                         .collect();
                     let q = Query::new(vec![head], vec![], Formula::Reg(reg_args))
-                        .map_err(|err| err.to_string())?;
+                        .map_err(CompileError::Unsupported)?;
                     let col_state = format!("s{counter}");
                     counter += 1;
                     items.push(RuleItem {
@@ -223,7 +281,7 @@ pub mod annotated_xsd {
                         vec![],
                         Formula::Reg(vec![Term::Var(Var::new("t"))]),
                     )
-                    .map_err(|err| err.to_string())?;
+                    .map_err(CompileError::Unsupported)?;
                     builder = builder.rule_items(
                         &col_state,
                         tag,
@@ -243,7 +301,7 @@ pub mod annotated_xsd {
                 }
                 builder = builder.rule_items(&state, &e.tag, items);
             }
-            builder.build().map_err(|e| e.to_string())
+            builder.build().map_err(CompileError::from)
         }
     }
 
@@ -251,14 +309,16 @@ pub mod annotated_xsd {
         state: &str,
         e: &Element,
         parent_arity: Option<usize>,
-    ) -> Result<RuleItem, String> {
+    ) -> Result<RuleItem, CompileError> {
         let row: Vec<Var> = (0..e.arity).map(|i| Var::new(format!("c{i}"))).collect();
         let mut conjuncts = vec![Formula::Rel(
             e.relation.clone(),
             row.iter().cloned().map(Term::Var).collect(),
         )];
         if let Some((pcol, ccol)) = e.parent_join {
-            let arity = parent_arity.ok_or("parent_join on a top-level element")?;
+            let arity = parent_arity.ok_or_else(|| {
+                CompileError::Unsupported("parent_join on a top-level element".to_string())
+            })?;
             let preg: Vec<Var> = (0..arity).map(|i| Var::new(format!("p{i}"))).collect();
             conjuncts.push(Formula::Reg(preg.iter().cloned().map(Term::Var).collect()));
             conjuncts.push(Formula::Eq(
@@ -272,7 +332,8 @@ pub mod annotated_xsd {
                 Term::Const(value.clone()),
             ));
         }
-        let q = Query::new(row, vec![], Formula::and(conjuncts)).map_err(|e| e.to_string())?;
+        let q =
+            Query::new(row, vec![], Formula::and(conjuncts)).map_err(CompileError::Unsupported)?;
         Ok(RuleItem {
             state: state.to_string(),
             tag: e.tag.clone(),
@@ -303,6 +364,7 @@ pub mod annotated_xsd {
 /// condition may use a recursive common table expression — compiled to an
 /// inflationary fixpoint subformula.
 pub mod sqlxml {
+    use super::CompileError;
     use pt_core::Transducer;
     use pt_relational::Schema;
 
@@ -330,7 +392,7 @@ pub mod sqlxml {
 
     impl SqlXml {
         /// Compile to `PTnr(IFP, tuple, normal)` (FO when no CTE is used).
-        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, CompileError> {
             // inline the CTE as a fixpoint: every occurrence `name(args)` in
             // the condition is already a Rel atom; wrap the condition so the
             // fixpoint binds it
@@ -431,6 +493,7 @@ pub mod sqlxml {
 /// IBM DAD: `sql-mapping` (one SQL query + nested group-by columns,
 /// Figure 4) and `rdb-mapping` (a CQ-annotated tree template).
 pub mod dad {
+    use super::CompileError;
     use pt_core::Transducer;
     use pt_logic::parse_formula;
     use pt_relational::Schema;
@@ -450,13 +513,12 @@ pub mod dad {
     impl SqlMapping {
         /// Compile to `PTnr(IFP, tuple, normal)` (the condition may use
         /// `fix`; plain FO/CQ conditions land lower).
-        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
-            parse_formula(&self.condition).map_err(|e| e.to_string())?;
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, CompileError> {
+            parse_formula(&self.condition)?;
             let mut builder = Transducer::builder(schema.clone(), "q0", &self.root);
-            let (first, rest) = self
-                .levels
-                .split_first()
-                .ok_or("sql-mapping needs at least one level")?;
+            let (first, rest) = self.levels.split_first().ok_or_else(|| {
+                CompileError::Unsupported("sql-mapping needs at least one level".to_string())
+            })?;
             // level 0: group the base query by its first group_width columns
             let all = self.vars.join(", ");
             let head0: Vec<&str> = self.vars[..first.1].iter().map(|s| s.as_str()).collect();
@@ -489,7 +551,7 @@ pub mod dad {
                 &prev.0,
                 &[(&format!("l{}", last_index + 1), "text", &text_q)],
             );
-            builder.build().map_err(|e| e.to_string())
+            builder.build().map_err(CompileError::from)
         }
     }
 
@@ -520,6 +582,7 @@ pub mod dad {
 /// Oracle `DBMS_XMLGEN` (Figure 5): SQL/XML plus the linear-recursive
 /// `CONNECT BY PRIOR` construct, producing hierarchies of unbounded depth.
 pub mod xmlgen {
+    use super::CompileError;
     use pt_core::Transducer;
     use pt_relational::Schema;
 
@@ -543,7 +606,7 @@ pub mod xmlgen {
         /// transducer — the Table I row is `PT(IFP, tuple, normal)`, the
         /// smallest class containing every `DBMS_XMLGEN` view; individual
         /// views compile to recursive FO rules, which that class contains.
-        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, CompileError> {
             let mut builder = Transducer::builder(schema.clone(), "q0", &self.root);
             let head = self.vars.join(", ");
             let q0 = format!("({head}) <- {}", self.condition);
@@ -570,7 +633,7 @@ pub mod xmlgen {
                 builder =
                     builder.rule(&format!("c{i}"), tag, &[(&format!("t{i}"), "text", text_q)]);
             }
-            builder.build().map_err(|e| e.to_string())
+            builder.build().map_err(CompileError::from)
         }
     }
 
@@ -598,6 +661,7 @@ pub mod xmlgen {
 /// fixed-depth tree template annotated with CQ queries, supporting virtual
 /// nodes and tuple-based information passing via free-variable binding.
 pub mod treeql {
+    use super::CompileError;
     use pt_core::{RuleItem, Transducer};
     use pt_logic::parse_query;
     use pt_relational::Schema;
@@ -622,7 +686,7 @@ pub mod treeql {
 
     impl TreeQl {
         /// Compile to `PTnr(CQ, tuple, virtual)`.
-        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, CompileError> {
             let mut builder = Transducer::builder(schema.clone(), "q0", &self.root);
             let mut counter = 0usize;
             let mut virtuals = Vec::new();
@@ -654,16 +718,18 @@ pub mod treeql {
             for v in virtuals {
                 builder = builder.virtual_tag(&v);
             }
-            let t = builder.build().map_err(|e| e.to_string())?;
+            let t = builder.build()?;
             if t.logic() > pt_logic::Fragment::CQ {
-                return Err("TreeQL queries must be conjunctive".to_string());
+                return Err(CompileError::Unsupported(
+                    "TreeQL queries must be conjunctive".to_string(),
+                ));
             }
             Ok(t)
         }
     }
 
-    fn node_item(state: &str, node: &Node) -> Result<RuleItem, String> {
-        let query = parse_query(&node.query).map_err(|e| e.to_string())?;
+    fn node_item(state: &str, node: &Node) -> Result<RuleItem, CompileError> {
+        let query = parse_query(&node.query)?;
         Ok(RuleItem {
             state: state.to_string(),
             tag: node.tag.clone(),
@@ -702,6 +768,7 @@ pub mod treeql {
 /// virtual nodes; the only surveyed language beyond SQL vendors supporting
 /// recursive views.
 pub mod atg {
+    use super::CompileError;
     use pt_core::{RuleItem, Transducer};
     use pt_logic::parse_query;
     use pt_relational::Schema;
@@ -728,12 +795,12 @@ pub mod atg {
         /// Compile to `PT(FO, relation, virtual)`. Element types are
         /// states: ATGs attach one inherited attribute per element type, so
         /// a single state per tag suffices.
-        pub fn compile(&self, schema: &Schema) -> Result<Transducer, String> {
+        pub fn compile(&self, schema: &Schema) -> Result<Transducer, CompileError> {
             let mut builder = Transducer::builder(schema.clone(), "q0", &self.root);
             for p in &self.productions {
                 let mut items = Vec::new();
                 for (child, qsrc) in &p.children {
-                    let query = parse_query(qsrc).map_err(|e| e.to_string())?;
+                    let query = parse_query(qsrc)?;
                     items.push(RuleItem {
                         state: format!("e_{child}"),
                         tag: child.clone(),
@@ -749,7 +816,7 @@ pub mod atg {
             for v in &self.virtual_tags {
                 builder = builder.virtual_tag(v);
             }
-            builder.build().map_err(|e| e.to_string())
+            builder.build().map_err(CompileError::from)
         }
     }
 
@@ -802,5 +869,84 @@ pub mod atg {
             ],
             virtual_tags: vec![],
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_relational::Schema;
+
+    fn schema() -> Schema {
+        Schema::with(&[("course", 3), ("prereq", 2)])
+    }
+
+    #[test]
+    fn malformed_conditions_surface_as_parse_errors() {
+        let mut view = for_xml::figure2();
+        view.blocks[0].condition = "exists d (course(cno, title, d)".to_string();
+        let err = view.compile(&schema()).unwrap_err();
+        assert!(matches!(err, CompileError::Parse(_)), "{err:?}");
+        assert!(err.to_string().starts_with("parse error"), "{err}");
+    }
+
+    #[test]
+    fn structural_violations_surface_as_unsupported() {
+        // a column outside the block's variables
+        let mut view = for_xml::figure2();
+        view.blocks[0].columns.push(("dept".into(), "dept".into()));
+        let err = view.compile(&schema()).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::Unsupported("column dept not among block vars".to_string())
+        );
+        // a DAD sql-mapping with no levels
+        let empty = dad::SqlMapping {
+            root: "db".to_string(),
+            vars: vec!["cno".to_string()],
+            condition: "exists t d (course(cno, t, d))".to_string(),
+            levels: vec![],
+        };
+        assert!(matches!(
+            empty.compile(&schema()).unwrap_err(),
+            CompileError::Unsupported(_)
+        ));
+        // a TreeQL view whose query uses negation (beyond CQ)
+        let mut view = treeql::registrar_example();
+        view.children[0].query = "(d) <- not (exists c t (course(c, t, d)))".to_string();
+        assert_eq!(
+            view.compile(&schema()).unwrap_err(),
+            CompileError::Unsupported("TreeQL queries must be conjunctive".to_string())
+        );
+    }
+
+    #[test]
+    fn builder_rejections_carry_the_structured_validation_error() {
+        // an ATG query whose register arity disagrees with its uses: the
+        // builder's ValidationError must survive inside CompileError
+        let bad = atg::Atg {
+            root: "db".to_string(),
+            productions: vec![
+                atg::Production {
+                    element: "db".to_string(),
+                    children: vec![(
+                        "course".to_string(),
+                        "(cno, title) <- exists d (course(cno, title, d))".to_string(),
+                    )],
+                },
+                atg::Production {
+                    element: "course".to_string(),
+                    children: vec![("cno".to_string(), "(c) <- Reg(c)".to_string())],
+                },
+            ],
+            virtual_tags: vec![],
+        };
+        let err = bad.compile(&schema()).unwrap_err();
+        let CompileError::Validation(v) = &err else {
+            panic!("expected a validation error, got {err:?}");
+        };
+        assert!(matches!(v, pt_core::ValidationError::RegisterArity { .. }));
+        use std::error::Error;
+        assert!(err.source().is_some(), "Validation must expose its source");
     }
 }

@@ -25,4 +25,4 @@ pub mod table1;
 
 mod frontends;
 
-pub use frontends::{annotated_xsd, atg, dad, for_xml, sqlxml, treeql, xmlgen};
+pub use frontends::{annotated_xsd, atg, dad, for_xml, sqlxml, treeql, xmlgen, CompileError};

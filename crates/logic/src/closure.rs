@@ -84,6 +84,12 @@ pub(crate) fn closure_shape(pred: &str, vars: &[Var], body: &Formula) -> Option<
     let Formula::Exists(zs, inner) = rec else {
         return None;
     };
+    // a binder shadowing a head variable makes the atom's occurrence of
+    // that name refer to the *bound* variable — the pattern below would
+    // silently read it as the head one, so fall back to semi-naive
+    if zs.iter().any(|z| vars.contains(z)) {
+        return None;
+    }
     let conjuncts: Vec<&Formula> = match &**inner {
         Formula::And(cs) => cs.iter().collect(),
         other => vec![other],
@@ -296,6 +302,24 @@ mod tests {
         // diagonal recursive atom
         assert!(shape(
             "edge(x, y) or exists z (T(z, z) and edge(z, y))",
+            &["x", "y"],
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn shadowed_head_variable_falls_back() {
+        // `exists x z (...)` rebinds the head variable x: the atom's
+        // `T(x, z)` ranges over the *bound* x, which is not a left-linear
+        // closure over the head variables — matching it as one is wrong
+        assert!(shape(
+            "edge(x, y) or exists x z (T(x, z) and edge2(z, y))",
+            &["x", "y"],
+        )
+        .is_none());
+        // and the same for the second head variable in the right-linear form
+        assert!(shape(
+            "edge(x, y) or exists y z (edge2(x, z) and T(z, y))",
             &["x", "y"],
         )
         .is_none());

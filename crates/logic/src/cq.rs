@@ -372,7 +372,9 @@ impl ConjunctiveQuery {
         for (pred, args) in &self.atoms {
             let tuple: Tuple = args.iter().map(&valuate).collect();
             match pred {
-                PredName::Base(name) => instance.insert(name, tuple),
+                PredName::Base(name) => {
+                    instance.insert(name, tuple);
+                }
                 PredName::Reg => {
                     reg.insert(tuple);
                 }

@@ -272,44 +272,83 @@ fn intern_relation(rel: &Relation, syms: &SharedInterner) -> SymRelation {
 /// evaluate every query through it via [`Evaluator::with_context`] /
 /// [`Evaluator::with_register`] so the active-domain scan, relation
 /// interning, and index builds are paid once instead of per query.
-pub struct EvalContext<'a> {
-    instance: &'a Instance,
+///
+/// A context *owns* its instance (behind an `Arc` — relations themselves
+/// are `Arc`-shared, so the snapshot is cheap). Database versions form a
+/// lineage: [`EvalContext::successor`] derives the context of the next
+/// version from the current one, extending the same append-only interner,
+/// carrying interned relations untouched by the delta, and migrating
+/// cached fixpoints incrementally instead of recomputing them.
+pub struct EvalContext {
+    instance: Arc<Instance>,
     /// The instance's active domain, sorted in the domain order.
     adom: Arc<Vec<Value>>,
     /// Symbols of `adom`, in the same order.
     adom_syms: Arc<Vec<Sym>>,
+    /// Number of *dense* symbols: the root context of this lineage interned
+    /// its sorted active domain first, so symbol order below `dense_len` is
+    /// the domain order. Constant down the whole successor lineage (values
+    /// added later get symbols at or above it, in freeze order).
+    dense_len: Sym,
+    /// Dense symbols whose values have left the current active domain
+    /// (retracted by some delta along the lineage). Empty for a root
+    /// context.
+    stale_dense: Arc<FxHashSet<Sym>>,
+    /// Non-dense symbols that *are* in the current active domain (values
+    /// first seen by a delta along the lineage). Empty for a root context.
+    fresh_adom: Arc<FxHashSet<Sym>>,
     /// The current interner handle: swapped (with an extended frozen
     /// snapshot, same overlay) by [`EvalContext::freeze_values`]. Runs
     /// clone the handle once and read the snapshot lock-free.
     syms: RwLock<SharedInterner>,
     /// The context's overlay identity — the one `Arc` every handle of this
-    /// context shares, never replaced — for lock-free handle-provenance
-    /// checks on the per-query hot path.
+    /// context shares, never replaced (and shared by every successor, so a
+    /// register indexed against any version of a lineage stays usable) —
+    /// for lock-free handle-provenance checks on the per-query hot path.
     overlay: Arc<Mutex<Overlay>>,
     rels: SymRelCache,
+    /// Cached closure-shaped fixpoints, keyed by their defining formula;
+    /// migrated incrementally across versions by
+    /// [`EvalContext::successor`].
+    fix: FixCache,
 }
 
-impl<'a> EvalContext<'a> {
+impl EvalContext {
     /// Scan `instance` once for its active domain, intern it into the
     /// frozen snapshot, and set up the (lazy) interned-relation cache.
-    pub fn new(instance: &'a Instance) -> Self {
+    /// The instance is snapshotted (cheap: its relations are `Arc`-shared).
+    pub fn new(instance: &Instance) -> Self {
+        EvalContext::from_arc(Arc::new(instance.clone()))
+    }
+
+    /// Like [`EvalContext::new`], adopting an existing shared snapshot.
+    pub fn from_arc(instance: Arc<Instance>) -> Self {
         let adom: Vec<Value> = instance.active_domain().into_iter().collect();
         let interner = Interner::from_values(adom.iter());
         let adom_syms: Vec<Sym> = (0..adom.len() as Sym).collect();
         let syms = SharedInterner::from_frozen(Arc::new(interner));
         EvalContext {
             instance,
+            dense_len: adom.len() as Sym,
             adom: Arc::new(adom),
             adom_syms: Arc::new(adom_syms),
+            stale_dense: Arc::new(FxHashSet::default()),
+            fresh_adom: Arc::new(FxHashSet::default()),
             overlay: Arc::clone(&syms.overlay),
             syms: RwLock::new(syms),
             rels: SymRelCache::default(),
+            fix: FixCache::default(),
         }
     }
 
     /// The underlying instance.
-    pub fn instance(&self) -> &'a Instance {
-        self.instance
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The shared handle of the underlying instance snapshot.
+    pub fn instance_arc(&self) -> Arc<Instance> {
+        Arc::clone(&self.instance)
     }
 
     /// The current interner handle (frozen snapshot + shared overlay) —
@@ -372,20 +411,27 @@ impl<'a> EvalContext<'a> {
     pub fn index_register(&self, register: &Relation) -> IndexedRegister {
         let syms = self.shared_interner();
         let sym = intern_relation(register, &syms);
-        // the context interns the sorted base adom first, so base values
-        // hold exactly the symbols below `base_len`: anything at or above
-        // it is a value this register adds to the active domain
-        let base_len = self.adom_syms.len() as Sym;
         let mut seen: FxHashSet<Sym> = FxHashSet::default();
         let mut extras: Vec<Value> = Vec::new();
         for row in sym.rows() {
             for &s in row.iter() {
-                if s >= base_len && seen.insert(s) {
+                if !self.sym_in_adom(s) && seen.insert(s) {
                     extras.push(syms.resolve(s));
                 }
             }
         }
         IndexedRegister { sym, syms, extras }
+    }
+
+    /// Whether symbol `s` denotes a value of the *current* active domain.
+    /// Dense symbols are in unless their value was retracted along the
+    /// lineage; non-dense symbols are in only if a delta added their value.
+    fn sym_in_adom(&self, s: Sym) -> bool {
+        if s < self.dense_len {
+            self.stale_dense.is_empty() || !self.stale_dense.contains(&s)
+        } else {
+            !self.fresh_adom.is_empty() && self.fresh_adom.contains(&s)
+        }
     }
 
     /// Number of composite indexes built so far over base relations.
@@ -399,15 +445,15 @@ impl<'a> EvalContext<'a> {
     /// interning. A no-op for names absent from the instance.
     pub fn warm_relation(&self, name: &str) {
         let syms = self.shared_interner();
-        let _ = self.rels.get(name, self.instance, &syms);
+        let _ = self.rels.get(name, &self.instance, &syms);
     }
 
-    /// Number of base-domain symbols. The context interns the sorted base
-    /// active domain first, so a symbol `s < base_len()` denotes the `s`-th
-    /// smallest base value (symbol order *is* the domain order there), and
-    /// any symbol at or above it denotes a value outside the base domain.
+    /// Number of *dense* symbols. The root context of this lineage interned
+    /// its sorted active domain first, so for symbols `s < base_len()`
+    /// symbol order *is* the domain order; any symbol at or above it was
+    /// interned later (by a delta or an overlay) and carries no order.
     pub fn base_len(&self) -> Sym {
-        self.adom_syms.len() as Sym
+        self.dense_len
     }
 
     /// Intern a value-level register into its canonical symbolic form.
@@ -448,11 +494,10 @@ impl<'a> EvalContext<'a> {
     pub fn index_sym_register(&self, reg: &SymRegister) -> IndexedRegister {
         let syms = self.shared_interner();
         let sym = SymRelation::from_register(reg);
-        let base_len = self.base_len();
         let mut seen: FxHashSet<Sym> = FxHashSet::default();
         let mut extras: Vec<Value> = Vec::new();
         for &s in reg.data() {
-            if s >= base_len && seen.insert(s) {
+            if !self.sym_in_adom(s) && seen.insert(s) {
                 extras.push(syms.resolve(s));
             }
         }
@@ -489,6 +534,472 @@ impl<'a> EvalContext<'a> {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
     }
+
+    /// Number of cached fixpoints currently held.
+    pub fn fixpoints_cached(&self) -> usize {
+        self.fix.len()
+    }
+
+    /// Derive the evaluation context of the *next* database version from
+    /// this one. `touched` must name every base relation whose contents
+    /// differ between this context's instance and `instance` (the contract
+    /// `Engine::apply` upholds: it clones the instance and mutates exactly
+    /// the delta's relations). Returns the successor and a
+    /// [`SuccessorReport`] describing what the transition cost.
+    ///
+    /// * The interner lineage is shared: values new to `instance` extend
+    ///   the frozen snapshot (append-only, same overlay), so every symbol
+    ///   issued by this context keeps its meaning in the successor, and
+    ///   registers or memo entries interned under either version stay
+    ///   mutually consistent.
+    /// * Interned relations untouched by the delta carry over; touched ones
+    ///   that were already cached are re-interned (and thus re-sorted /
+    ///   re-indexed) eagerly, so the first run on the new version pays no
+    ///   lazy interning; the rest stay lazy.
+    /// * Cached closure fixpoints migrate incrementally: entries whose base
+    ///   relations are untouched (under an unchanged active domain) carry
+    ///   over as-is; the rest are updated by semi-naive continuation for
+    ///   pure inserts and delete-and-rederive for retractions.
+    pub fn successor(
+        &self,
+        instance: Arc<Instance>,
+        touched: &BTreeSet<String>,
+    ) -> (EvalContext, SuccessorReport) {
+        let adom: Vec<Value> = instance.active_domain().into_iter().collect();
+        // freeze_values extends `latest` under the overlay lock, so the
+        // handle taken right after it contains every current-domain value
+        self.freeze_values(adom.iter().cloned());
+        let syms = self.shared_interner();
+        let adom_syms: Vec<Sym> = adom
+            .iter()
+            .map(|v| syms.get(v).expect("active-domain value was just frozen"))
+            .collect();
+        let dense_len = self.dense_len;
+        let mut stale_dense: FxHashSet<Sym> = FxHashSet::default();
+        for s in 0..dense_len {
+            if adom.binary_search(&syms.resolve(s)).is_err() {
+                stale_dense.insert(s);
+            }
+        }
+        let fresh_adom: FxHashSet<Sym> = adom_syms
+            .iter()
+            .copied()
+            .filter(|&s| s >= dense_len)
+            .collect();
+        let adom_unchanged = *self.adom == adom;
+
+        let mut resorted = 0usize;
+        let rels = SymRelCache::default();
+        {
+            let old = self.rels.rels.read().unwrap();
+            let mut new = rels.rels.write().unwrap();
+            for (name, srel) in old.iter() {
+                if !touched.contains(name) {
+                    if instance.get_ref(name).is_some() {
+                        new.insert(name.clone(), Arc::clone(srel));
+                    }
+                } else if let Some(rel) = instance.get_ref(name) {
+                    new.insert(name.clone(), Arc::new(intern_relation(rel, &syms)));
+                    resorted += 1;
+                }
+            }
+        }
+
+        let next = EvalContext {
+            instance,
+            adom: Arc::new(adom),
+            adom_syms: Arc::new(adom_syms),
+            dense_len,
+            stale_dense: Arc::new(stale_dense),
+            fresh_adom: Arc::new(fresh_adom),
+            overlay: Arc::clone(&self.overlay),
+            syms: RwLock::new(syms),
+            rels,
+            fix: FixCache::default(),
+        };
+        self.fix.migrate(&next, touched, adom_unchanged);
+        (
+            next,
+            SuccessorReport {
+                resorted,
+                adom_changed: !adom_unchanged,
+            },
+        )
+    }
+}
+
+/// What an [`EvalContext::successor`] transition cost: how many cached
+/// base relations had to be re-interned (and thus re-sorted), and whether
+/// the active domain itself changed (which invalidates any result that
+/// enumerated the domain).
+#[derive(Clone, Copy, Debug)]
+pub struct SuccessorReport {
+    /// Cached base relations re-interned because the delta touched them.
+    pub resorted: usize,
+    /// Whether the active domain differs from the predecessor's.
+    pub adom_changed: bool,
+}
+
+/// How a recognized closure shape drives the generic extension loop: which
+/// step column the sorted view orders on, which delta column supplies the
+/// probe key, and how a (delta row, step row) match emits.
+#[derive(Clone, Copy)]
+struct ClosureDims {
+    sort_col: usize,
+    probe_col: usize,
+    emit: Emit,
+}
+
+/// How a closure extension emits its derived row.
+#[derive(Clone, Copy)]
+enum Emit {
+    /// `(Δ[0], step[1])` — left-linear and doubling extension
+    Left,
+    /// `(step[0], Δ[1])` — right-linear extension
+    Right,
+    /// `(step[1],)` — unary reachability
+    Member,
+}
+
+impl ClosureDims {
+    fn new(sort_col: usize, probe_col: usize, emit: Emit) -> Self {
+        ClosureDims {
+            sort_col,
+            probe_col,
+            emit,
+        }
+    }
+
+    /// Which column of the sorted step view supplies the emitted symbol.
+    fn out_col(&self) -> usize {
+        match self.emit {
+            Emit::Right => 0,
+            Emit::Left | Emit::Member => 1,
+        }
+    }
+
+    fn emit_row(&self, d: &[Sym], o: Sym) -> SymTuple {
+        match self.emit {
+            Emit::Left => SymTuple::from([d[0], o]),
+            Emit::Right => SymTuple::from([o, d[1]]),
+            Emit::Member => SymTuple::from([o]),
+        }
+    }
+}
+
+/// A closure shape's base and step stages, evaluated to sorted rows.
+struct ClosurePlan {
+    base_rows: Vec<SymTuple>,
+    step_rows: Vec<SymTuple>,
+    dims: ClosureDims,
+    arity: usize,
+}
+
+/// Run the closure delta loop to exhaustion: extend the frontier through
+/// the sorted step view until nothing new is derived. `total` must already
+/// contain the frontier rows; the frontier need not be disjoint from it.
+fn closure_continue(
+    mut total: SortedRowSet,
+    mut delta: Vec<SymTuple>,
+    step_rows: Vec<SymTuple>,
+    dims: ClosureDims,
+) -> SortedRowSet {
+    if step_rows.is_empty() {
+        return total;
+    }
+    let step_rel = SymRelation::from_rows(step_rows, Some(2));
+    let view = step_rel
+        .sorted(&[dims.sort_col])
+        .expect("step relation is binary");
+    let out = view.column(dims.out_col());
+    while !delta.is_empty() {
+        let mut next: Vec<SymTuple> = Vec::new();
+        for d in &delta {
+            for i in view.prefix_range(&[d[dims.probe_col]]) {
+                next.push(dims.emit_row(d, out[i]));
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        next.retain(|r| !total.contains(r));
+        total.insert_sorted_batch(next.clone());
+        delta = next;
+    }
+    total
+}
+
+/// One extension of every row of `rows` through `step_rows`; sorted and
+/// deduped, *not* filtered against any accumulated set.
+fn closure_extend_once(
+    rows: &[SymTuple],
+    step_rows: &[SymTuple],
+    dims: ClosureDims,
+) -> Vec<SymTuple> {
+    if rows.is_empty() || step_rows.is_empty() {
+        return Vec::new();
+    }
+    let step_rel = SymRelation::from_rows(step_rows.to_vec(), Some(2));
+    let view = step_rel
+        .sorted(&[dims.sort_col])
+        .expect("step relation is binary");
+    let out = view.column(dims.out_col());
+    let mut next: Vec<SymTuple> = Vec::new();
+    for d in rows {
+        for i in view.prefix_range(&[d[dims.probe_col]]) {
+            next.push(dims.emit_row(d, out[i]));
+        }
+    }
+    next.sort_unstable();
+    next.dedup();
+    next
+}
+
+/// `(added, removed)` between two sorted, deduped row vectors.
+fn diff_sorted(old: &[SymTuple], new: &[SymTuple]) -> (Vec<SymTuple>, Vec<SymTuple>) {
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() && j < new.len() {
+        match old[i].cmp(&new[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                removed.push(old[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added.push(new[j].clone());
+                j += 1;
+            }
+        }
+    }
+    removed.extend(old[i..].iter().cloned());
+    added.extend(new[j..].iter().cloned());
+    (added, removed)
+}
+
+/// `a \ b` for sorted, deduped row vectors.
+fn sorted_difference(a: &[SymTuple], b: &[SymTuple]) -> Vec<SymTuple> {
+    let mut out = Vec::with_capacity(a.len().saturating_sub(b.len()));
+    let mut j = 0;
+    for r in a {
+        while j < b.len() && b[j] < *r {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != *r {
+            out.push(r.clone());
+        }
+    }
+    out
+}
+
+/// The DRed over-deletion pass: every cached row with *some* derivation
+/// through a removed base fact or removed step edge, closed under one-step
+/// extension through the old step relation. This is a superset of the rows
+/// that actually lost every derivation; the rederivation pass puts the
+/// survivors with alternative derivations back.
+fn dred_overdelete(
+    s: &[SymTuple],
+    removed_base: &[SymTuple],
+    removed_step: &[SymTuple],
+    step_old: &[SymTuple],
+    dims: ClosureDims,
+) -> Vec<SymTuple> {
+    let in_s = |r: &SymTuple| s.binary_search(r).is_ok();
+    let mut frontier: Vec<SymTuple> = removed_base.iter().filter(|r| in_s(r)).cloned().collect();
+    frontier.extend(
+        closure_extend_once(s, removed_step, dims)
+            .into_iter()
+            .filter(|r| in_s(r)),
+    );
+    frontier.sort_unstable();
+    frontier.dedup();
+    if frontier.is_empty() || step_old.is_empty() {
+        return frontier;
+    }
+    let mut deleted: BTreeSet<SymTuple> = frontier.iter().cloned().collect();
+    let step_rel = SymRelation::from_rows(step_old.to_vec(), Some(2));
+    let view = step_rel
+        .sorted(&[dims.sort_col])
+        .expect("step relation is binary");
+    let out = view.column(dims.out_col());
+    while !frontier.is_empty() {
+        let mut next: Vec<SymTuple> = Vec::new();
+        for d in &frontier {
+            for i in view.prefix_range(&[d[dims.probe_col]]) {
+                let r = dims.emit_row(d, out[i]);
+                if in_s(&r) && !deleted.contains(&r) {
+                    next.push(r);
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        for r in &next {
+            deleted.insert(r.clone());
+        }
+        frontier = next;
+    }
+    deleted.into_iter().collect()
+}
+
+/// Key of a cached fixpoint: the defining formula itself. Entries are only
+/// stored for closure-shaped, register-free bodies evaluated under no
+/// surrounding fixpoint bindings and no extra active-domain values, so the
+/// result is a function of (database version, key) alone.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct FixKey {
+    pred: String,
+    vars: Vec<Var>,
+    body: Formula,
+}
+
+/// A cached closure fixpoint plus the evaluated base/step rows it was
+/// computed from — kept so a successor version can diff the new base and
+/// step against them and *continue* the closure instead of recomputing it.
+struct FixEntry {
+    result: Arc<SymRelation>,
+    base_rows: Vec<SymTuple>,
+    step_rows: Vec<SymTuple>,
+}
+
+/// Closure fixpoints cached per database version, shared by every
+/// evaluator of an [`EvalContext`] and migrated across versions by
+/// [`EvalContext::successor`]. The lock is only held for lookups and
+/// stores, never across an evaluation; a racing double-compute is benign
+/// (both racers derive the same rows, first store wins).
+#[derive(Default)]
+struct FixCache {
+    entries: Mutex<FxHashMap<FixKey, Arc<FixEntry>>>,
+}
+
+impl FixCache {
+    fn lookup(&self, key: &FixKey) -> Option<Arc<SymRelation>> {
+        self.entries
+            .lock()
+            .unwrap()
+            .get(key)
+            .map(|e| Arc::clone(&e.result))
+    }
+
+    fn store(&self, key: FixKey, entry: FixEntry) {
+        self.entries
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::new(entry));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Seed `next`'s cache from this version's entries: carry entries the
+    /// delta cannot have affected, incrementally update the rest, drop
+    /// entries the gate no longer admits.
+    fn migrate(&self, next: &EvalContext, touched: &BTreeSet<String>, adom_unchanged: bool) {
+        let snapshot: Vec<(FixKey, Arc<FixEntry>)> = self
+            .entries
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, e)| (k.clone(), Arc::clone(e)))
+            .collect();
+        for (key, entry) in snapshot {
+            if adom_unchanged
+                && key
+                    .body
+                    .base_relations()
+                    .iter()
+                    .all(|r| !touched.contains(r))
+            {
+                next.fix.entries.lock().unwrap().insert(key.clone(), entry);
+                continue;
+            }
+            if let Some(migrated) = migrate_fix_entry(next, &key, &entry) {
+                next.fix
+                    .entries
+                    .lock()
+                    .unwrap()
+                    .insert(key.clone(), Arc::new(migrated));
+            }
+        }
+    }
+}
+
+/// Re-evaluate `key`'s base and step stages under `next` and continue the
+/// cached closure into the new version: pure inserts seed a semi-naive
+/// continuation from the old fixpoint; retractions first run DRed
+/// over-deletion against the old step relation and then rederive from the
+/// survivors. `None` drops the entry (the cache gate no longer admits it,
+/// or a stage failed to evaluate).
+fn migrate_fix_entry(next: &EvalContext, key: &FixKey, old: &FixEntry) -> Option<FixEntry> {
+    let shape = closure_shape(&key.pred, &key.vars, &key.body)?;
+    let ev = Evaluator::with_context(next, None, &key.body);
+    // the gate re-checked under the new domain: a body constant whose value
+    // was retracted from the database now *extends* the active domain, and
+    // the cached-result invariant no longer holds
+    if ev.extended_domain {
+        return None;
+    }
+    let plan = ev.closure_plan(&key.vars, &shape, &FixEnv::new()).ok()?;
+    let dims = plan.dims;
+    let (added_base, removed_base) = diff_sorted(&old.base_rows, &plan.base_rows);
+    let (added_step, removed_step) = diff_sorted(&old.step_rows, &plan.step_rows);
+    if added_base.is_empty()
+        && removed_base.is_empty()
+        && added_step.is_empty()
+        && removed_step.is_empty()
+    {
+        // the delta touched a feeding relation without changing this
+        // fixpoint's evaluated stages
+        return Some(FixEntry {
+            result: Arc::clone(&old.result),
+            base_rows: plan.base_rows,
+            step_rows: plan.step_rows,
+        });
+    }
+    let mut survivors: Vec<SymTuple> = old.result.rows().to_vec();
+    survivors.sort_unstable();
+    let retracting = !removed_base.is_empty() || !removed_step.is_empty();
+    if retracting {
+        let deleted = dred_overdelete(
+            &survivors,
+            &removed_base,
+            &removed_step,
+            &old.step_rows,
+            dims,
+        );
+        survivors = sorted_difference(&survivors, &deleted);
+    }
+    // the continuation frontier: new base facts not already derived, plus
+    // one-step extensions of the survivors not already derived. Pure
+    // inserts only need extensions through the *added* step edges (the old
+    // fixpoint is closed under the old ones); after deletions the
+    // survivor set is not closed, so extensions go through the full step.
+    let step_ext: &[SymTuple] = if retracting {
+        &plan.step_rows
+    } else {
+        &added_step
+    };
+    let mut seed = sorted_difference(&plan.base_rows, &survivors);
+    seed.extend(sorted_difference(
+        &closure_extend_once(&survivors, step_ext, dims),
+        &survivors,
+    ));
+    seed.sort_unstable();
+    seed.dedup();
+    let mut total = SortedRowSet::new();
+    total.insert_sorted_batch(survivors);
+    total.insert_sorted_batch(seed.clone());
+    let total = closure_continue(total, seed, plan.step_rows.clone(), dims);
+    Some(FixEntry {
+        result: Arc::new(SymRelation::from_rows(total.into_rows(), Some(plan.arity))),
+        base_rows: plan.base_rows,
+        step_rows: plan.step_rows,
+    })
 }
 
 /// A register relation interned and indexed once per configuration: the
@@ -1000,8 +1511,14 @@ pub struct Evaluator<'a> {
     /// Symbols of the active domain (order unspecified): shared with the
     /// context when this query adds no values.
     adom_syms: CowSlice<Sym>,
+    /// Whether this query extends the context's active domain (register
+    /// values or constants outside it) — when it does, cached fixpoints do
+    /// not apply.
+    extended_domain: bool,
     syms: SharedInterner,
     rels: CacheHandle<'a>,
+    /// The context's fixpoint cache, when evaluating through one.
+    fix: Option<&'a FixCache>,
 }
 
 /// Fixpoint-bound predicates, kept symbolic between rounds.
@@ -1026,24 +1543,26 @@ impl<'a> Evaluator<'a> {
             SharedInterner::from_frozen(Arc::new(interner)),
             RegisterSource::Raw(register),
             formula,
+            None,
         )
     }
 
     /// Like [`Evaluator::for_formula`], but sharing `ctx`'s pre-interned
     /// active domain, relations, and index caches across evaluations.
     pub fn with_context(
-        ctx: &'a EvalContext<'a>,
+        ctx: &'a EvalContext,
         register: Option<&'a Relation>,
         formula: &Formula,
     ) -> Self {
         Evaluator::build(
-            ctx.instance,
+            &ctx.instance,
             CacheHandle::Shared(&ctx.rels),
             Arc::clone(&ctx.adom),
             Arc::clone(&ctx.adom_syms),
             ctx.shared_interner(),
             RegisterSource::Raw(register),
             formula,
+            Some(&ctx.fix),
         )
     }
 
@@ -1051,7 +1570,7 @@ impl<'a> Evaluator<'a> {
     /// interned and indexed once via [`EvalContext::index_register`] — the
     /// per-configuration hot path of the transducer semantics.
     pub fn with_register(
-        ctx: &'a EvalContext<'a>,
+        ctx: &'a EvalContext,
         register: Option<&'a IndexedRegister>,
         formula: &Formula,
     ) -> Self {
@@ -1073,16 +1592,18 @@ impl<'a> Evaluator<'a> {
             None => ctx.shared_interner(),
         };
         Evaluator::build(
-            ctx.instance,
+            &ctx.instance,
             CacheHandle::Shared(&ctx.rels),
             Arc::clone(&ctx.adom),
             Arc::clone(&ctx.adom_syms),
             syms,
             RegisterSource::Indexed(register),
             formula,
+            Some(&ctx.fix),
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         instance: &'a Instance,
         rels: CacheHandle<'a>,
@@ -1091,6 +1612,7 @@ impl<'a> Evaluator<'a> {
         syms: SharedInterner,
         register: RegisterSource<'a>,
         formula: &Formula,
+        fix: Option<&'a FixCache>,
     ) -> Self {
         // copy-on-extend: collect only the values this query *adds* to the
         // base active domain (register values and formula constants), so the
@@ -1121,6 +1643,7 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
+        let extended_domain = !extra.is_empty();
         let (adom, adom_syms) = if extra.is_empty() {
             (CowSlice::Shared(base), CowSlice::Shared(base_syms))
         } else {
@@ -1155,8 +1678,10 @@ impl<'a> Evaluator<'a> {
             register,
             adom,
             adom_syms,
+            extended_domain,
             syms,
             rels,
+            fix,
         }
     }
 
@@ -1319,20 +1844,23 @@ impl<'a> Evaluator<'a> {
         vars: &[Var],
         body: &Formula,
         env: &FixEnv,
-    ) -> Result<SymRelation, EvalError> {
+    ) -> Result<Arc<SymRelation>, EvalError> {
         match body.positive_occurrences(pred) {
             // a strictly positive body is monotone, so the inflationary
             // fixpoint is the least fixpoint; closure-shaped bodies then
-            // run on the dedicated closure operator over sorted storage,
-            // everything else on the semi-naive delta loop
+            // run on the dedicated closure operator over sorted storage
+            // (with cross-run and cross-version caching), everything else
+            // on the semi-naive delta loop
             Some(k) if k >= 1 => match closure_shape(pred, vars, body) {
-                Some(shape) => self.eval_fix_closure(vars, shape, env),
-                None => self.eval_fix_semi_naive(pred, vars, body, env, k),
+                Some(shape) => self.eval_fix_closure(pred, vars, body, &shape, env),
+                None => Ok(Arc::new(
+                    self.eval_fix_semi_naive(pred, vars, body, env, k)?,
+                )),
             },
             // non-positive bodies iterate naively (the inflationary
             // semantics itself never requires monotonicity); zero
             // occurrences converge in two naive rounds anyway
-            _ => self.eval_fix_naive(pred, vars, body, env),
+            _ => Ok(Arc::new(self.eval_fix_naive(pred, vars, body, env)?)),
         }
     }
 
@@ -1472,79 +2000,93 @@ impl<'a> Evaluator<'a> {
     /// the inflationary stages, but only the final fixpoint is observable.
     fn eval_fix_closure(
         &self,
+        pred: &str,
         vars: &[Var],
-        shape: ClosureShape,
+        body: &Formula,
+        shape: &ClosureShape,
         env: &FixEnv,
-    ) -> Result<SymRelation, EvalError> {
-        let arity = vars.len();
+    ) -> Result<Arc<SymRelation>, EvalError> {
+        // the cache gate: with no surrounding fixpoint bindings, no extra
+        // active-domain values (every body constant is a base-domain
+        // value), and no register atoms, the result is a function of the
+        // database version and the defining formula alone — safe to share
+        // across configurations, runs, and (via migration) versions
+        let cacheable = env.is_empty() && !self.extended_domain && !body.uses_register();
+        let cache = if cacheable { self.fix } else { None };
+        let key = cache.map(|_| FixKey {
+            pred: pred.to_string(),
+            vars: vars.to_vec(),
+            body: body.clone(),
+        });
+        if let (Some(cache), Some(key)) = (cache, &key) {
+            if let Some(result) = cache.lookup(key) {
+                return Ok(result);
+            }
+        }
+        let plan = self.closure_plan(vars, shape, env)?;
+        let mut total = SortedRowSet::new();
+        total.insert_sorted_batch(plan.base_rows.clone());
+        let total = closure_continue(
+            total,
+            plan.base_rows.clone(),
+            plan.step_rows.clone(),
+            plan.dims,
+        );
+        let result = Arc::new(SymRelation::from_rows(total.into_rows(), Some(plan.arity)));
+        if let (Some(cache), Some(key)) = (cache, key) {
+            cache.store(
+                key,
+                FixEntry {
+                    result: Arc::clone(&result),
+                    base_rows: plan.base_rows,
+                    step_rows: plan.step_rows,
+                },
+            );
+        }
+        Ok(result)
+    }
+
+    /// Evaluate a closure shape's base and step stages to sorted row
+    /// vectors plus the dimensions driving the generic extension loop.
+    fn closure_plan(
+        &self,
+        vars: &[Var],
+        shape: &ClosureShape,
+        env: &FixEnv,
+    ) -> Result<ClosurePlan, EvalError> {
         let sorted_vec = |set: FxHashSet<SymTuple>| -> Vec<SymTuple> {
             let mut v: Vec<SymTuple> = set.into_iter().collect();
             v.sort_unstable();
             v
         };
-        // per shape: the step rows over (col0, col1), which step column the
-        // delta probes on, which delta column supplies the probe key, and
-        // how a (delta row, step row) match emits
-        enum Emit {
-            /// `(Δ[0], step[1])` — left-linear and doubling extension
-            Left,
-            /// `(step[0], Δ[1])` — right-linear extension
-            Right,
-            /// `(step[1],)` — unary reachability
-            Member,
-        }
-        let (base_rows, step_rows, sort_col, probe_col, emit) = match &shape {
+        let (base_rows, step_rows, dims) = match shape {
             ClosureShape::Doubling { base } => {
                 let b = sorted_vec(self.eval_stage(base, vars, env)?);
                 let s = b.clone();
-                (b, s, 0, 1, Emit::Left)
+                (b, s, ClosureDims::new(0, 1, Emit::Left))
             }
             ClosureShape::LeftLinear { base, step, mid } => {
                 let b = sorted_vec(self.eval_stage(base, vars, env)?);
                 let s = sorted_vec(self.eval_stage(step, &[mid.clone(), vars[1].clone()], env)?);
-                (b, s, 0, 1, Emit::Left)
+                (b, s, ClosureDims::new(0, 1, Emit::Left))
             }
             ClosureShape::RightLinear { base, step, mid } => {
                 let b = sorted_vec(self.eval_stage(base, vars, env)?);
                 let s = sorted_vec(self.eval_stage(step, &[vars[0].clone(), mid.clone()], env)?);
-                (b, s, 1, 0, Emit::Right)
+                (b, s, ClosureDims::new(1, 0, Emit::Right))
             }
             ClosureShape::Reach { base, step, mid } => {
                 let b = sorted_vec(self.eval_stage(base, vars, env)?);
                 let s = sorted_vec(self.eval_stage(step, &[mid.clone(), vars[0].clone()], env)?);
-                (b, s, 0, 0, Emit::Member)
+                (b, s, ClosureDims::new(0, 0, Emit::Member))
             }
         };
-        let step_rel = SymRelation::from_rows(step_rows, Some(2));
-        let view = step_rel
-            .sorted(&[sort_col])
-            .expect("step relation is binary");
-        let out_col = match emit {
-            Emit::Right => 0,
-            Emit::Left | Emit::Member => 1,
-        };
-        let out = view.column(out_col);
-        let mut total = SortedRowSet::new();
-        total.insert_sorted_batch(base_rows.clone());
-        let mut delta = base_rows;
-        while !delta.is_empty() {
-            let mut next: Vec<SymTuple> = Vec::new();
-            for d in &delta {
-                for i in view.prefix_range(&[d[probe_col]]) {
-                    next.push(match emit {
-                        Emit::Left => SymTuple::from([d[0], out[i]]),
-                        Emit::Right => SymTuple::from([out[i], d[1]]),
-                        Emit::Member => SymTuple::from([out[i]]),
-                    });
-                }
-            }
-            next.sort_unstable();
-            next.dedup();
-            next.retain(|r| !total.contains(r));
-            total.insert_sorted_batch(next.clone());
-            delta = next;
-        }
-        Ok(SymRelation::from_rows(total.into_rows(), Some(arity)))
+        Ok(ClosurePlan {
+            base_rows,
+            step_rows,
+            dims,
+            arity: vars.len(),
+        })
     }
 
     fn eval_eq(&self, a: &Term, b: &Term) -> Bindings {
@@ -2796,5 +3338,113 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Evaluate a formula through a long-lived context (so its [`FixCache`]
+    /// participates) and project to a relation.
+    fn eval_ctx_rel(ctx: &EvalContext, src: &str, vars: &[&str]) -> Relation {
+        let f = parse_formula(src).unwrap();
+        let order: Vec<Var> = vars.iter().map(Var::new).collect();
+        let ev = Evaluator::with_context(ctx, None, &f);
+        let b = ev.eval(&f).unwrap();
+        ev.close(b, &order).to_relation(&order)
+    }
+
+    fn fresh_rel(inst: &Instance, src: &str, vars: &[&str]) -> Relation {
+        let order: Vec<Var> = vars.iter().map(Var::new).collect();
+        eval_to_relation(inst, None, &parse_formula(src).unwrap(), &order).unwrap()
+    }
+
+    const TC: &str = "fix T(x, y) { edge(x, y) or exists z (T(x, z) and edge(z, y)) }(u, w)";
+
+    #[test]
+    fn successor_carries_untouched_closure_fixpoints() {
+        let inst = Instance::new()
+            .with("edge", rel![[0, 1], [1, 2], [2, 3]])
+            .with("other", rel![[0]]);
+        let ctx = EvalContext::new(&inst);
+        let v0 = eval_ctx_rel(&ctx, TC, &["u", "w"]);
+        assert_eq!(ctx.fixpoints_cached(), 1);
+        // a delta touching only `other`, with in-domain values: the cached
+        // entry carries over as the same allocation, untouched
+        let mut next_inst = inst.clone();
+        next_inst.insert("other", vec![Value::int(3)]);
+        let touched: BTreeSet<String> = [String::from("other")].into();
+        let (next, report) = ctx.successor(Arc::new(next_inst), &touched);
+        assert!(!report.adom_changed);
+        assert_eq!(next.fixpoints_cached(), 1);
+        let before: Vec<_> = ctx.fix.entries.lock().unwrap().values().cloned().collect();
+        let after: Vec<_> = next.fix.entries.lock().unwrap().values().cloned().collect();
+        assert!(
+            Arc::ptr_eq(&before[0], &after[0]),
+            "untouched entry must carry over without rebuilding"
+        );
+        assert_eq!(eval_ctx_rel(&next, TC, &["u", "w"]), v0);
+    }
+
+    #[test]
+    fn successor_continues_closure_fixpoints_across_inserts_and_retractions() {
+        let inst = Instance::new().with("edge", rel![[0, 1], [1, 2], [2, 3]]);
+        let ctx = EvalContext::new(&inst);
+        let v0 = eval_ctx_rel(&ctx, TC, &["u", "w"]);
+        assert_eq!(v0.len(), 6);
+        let touched: BTreeSet<String> = [String::from("edge")].into();
+
+        // pure insert: the migrated entry must already hold the continued
+        // fixpoint (semi-naive continuation), equal to a cold evaluation
+        let mut grown = inst.clone();
+        grown.insert("edge", vec![Value::int(3), Value::int(4)]);
+        let (next, report) = ctx.successor(Arc::new(grown.clone()), &touched);
+        assert!(report.adom_changed, "4 is a new active-domain value");
+        assert_eq!(next.fixpoints_cached(), 1, "entry migrated, not dropped");
+        let expected = fresh_rel(&grown, TC, &["u", "w"]);
+        assert_eq!(expected.len(), 10);
+        assert_eq!(eval_ctx_rel(&next, TC, &["u", "w"]), expected);
+
+        // retraction: cutting the chain middle must delete-and-rederive —
+        // derived pairs crossing (1, 2) disappear, the rest survive
+        let mut cut = grown.clone();
+        cut.remove("edge", &vec![Value::int(1), Value::int(2)]);
+        let (next2, report2) = next.successor(Arc::new(cut.clone()), &touched);
+        assert!(!report2.adom_changed, "1 and 2 remain in other edges");
+        assert_eq!(next2.fixpoints_cached(), 1);
+        let expected2 = fresh_rel(&cut, TC, &["u", "w"]);
+        assert!(!expected2.contains(&[Value::int(0), Value::int(3)]));
+        assert_eq!(eval_ctx_rel(&next2, TC, &["u", "w"]), expected2);
+
+        // mixed in one transition: re-adding the cut edge elsewhere and
+        // retracting the head simultaneously
+        let mut mixed = cut.clone();
+        mixed.insert("edge", vec![Value::int(4), Value::int(1)]);
+        mixed.remove("edge", &vec![Value::int(0), Value::int(1)]);
+        let (next3, _) = next2.successor(Arc::new(mixed.clone()), &touched);
+        assert_eq!(
+            eval_ctx_rel(&next3, TC, &["u", "w"]),
+            fresh_rel(&mixed, TC, &["u", "w"])
+        );
+    }
+
+    #[test]
+    fn successor_drops_fixpoints_whose_constants_leave_the_domain() {
+        // the body constant 0 anchors the reachability source; retracting
+        // every row holding 0 shrinks the active domain past it, so the
+        // cached entry no longer satisfies the cache gate and must drop
+        let src = "fix S(a) { edge(0, a) or exists p (S(p) and edge(p, a)) }(w)";
+        let inst = Instance::new().with("edge", rel![[0, 1], [1, 2]]);
+        let ctx = EvalContext::new(&inst);
+        let v0 = eval_ctx_rel(&ctx, src, &["w"]);
+        assert_eq!(v0.len(), 2);
+        assert_eq!(ctx.fixpoints_cached(), 1);
+        let mut shrunk = inst.clone();
+        shrunk.remove("edge", &vec![Value::int(0), Value::int(1)]);
+        let touched: BTreeSet<String> = [String::from("edge")].into();
+        let (next, report) = ctx.successor(Arc::new(shrunk.clone()), &touched);
+        assert!(report.adom_changed, "0 left the active domain");
+        assert_eq!(next.fixpoints_cached(), 0, "gated entry must be dropped");
+        // correctness is preserved by recomputation
+        assert_eq!(
+            eval_ctx_rel(&next, src, &["w"]),
+            fresh_rel(&shrunk, src, &["w"])
+        );
     }
 }

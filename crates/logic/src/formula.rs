@@ -240,6 +240,20 @@ impl Formula {
         out
     }
 
+    /// Whether the formula contains a register atom anywhere. A
+    /// register-free formula depends only on the database (and the active
+    /// domain), which is what makes its fixpoints shareable across
+    /// configurations and database versions.
+    pub fn uses_register(&self) -> bool {
+        match self {
+            Formula::Reg(_) => true,
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().any(Formula::uses_register),
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => g.uses_register(),
+            Formula::Fix { body, .. } => body.uses_register(),
+            _ => false,
+        }
+    }
+
     /// Whether the formula mentions relation `pred` outside nested fixpoints
     /// that rebind it.
     pub fn mentions_rel(&self, pred: &str) -> bool {

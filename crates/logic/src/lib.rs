@@ -29,7 +29,7 @@ mod parser;
 mod query;
 mod term;
 
-pub use eval::{EvalContext, IndexedRegister, SharedInterner};
+pub use eval::{EvalContext, IndexedRegister, SharedInterner, SuccessorReport};
 pub use formula::{Formula, Fragment};
 pub use parser::{parse_formula, parse_query, ParseError};
 pub use query::Query;

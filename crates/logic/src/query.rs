@@ -121,7 +121,7 @@ impl Query {
     /// active-domain scan and column indexes.
     pub fn eval_with(
         &self,
-        ctx: &EvalContext<'_>,
+        ctx: &EvalContext,
         register: Option<&Relation>,
     ) -> Result<Relation, EvalError> {
         self.finish_eval(Evaluator::with_context(ctx, register, &self.eval_body))
@@ -131,7 +131,7 @@ impl Query {
     /// [`EvalContext::index_register`] — the per-configuration hot path.
     pub fn eval_indexed(
         &self,
-        ctx: &EvalContext<'_>,
+        ctx: &EvalContext,
         register: Option<&IndexedRegister>,
     ) -> Result<Relation, EvalError> {
         self.finish_eval(Evaluator::with_register(ctx, register, &self.eval_body))
@@ -160,7 +160,7 @@ impl Query {
     /// [`Query::groups`] through a shared [`EvalContext`].
     pub fn groups_with(
         &self,
-        ctx: &EvalContext<'_>,
+        ctx: &EvalContext,
         register: Option<&Relation>,
     ) -> Result<Vec<(Tuple, Relation)>, EvalError> {
         Ok(self.group_rows(self.eval_with(ctx, register)?))
@@ -171,7 +171,7 @@ impl Query {
     /// of the transducer semantics.
     pub fn groups_indexed(
         &self,
-        ctx: &EvalContext<'_>,
+        ctx: &EvalContext,
         register: Option<&IndexedRegister>,
     ) -> Result<Vec<(Tuple, Relation)>, EvalError> {
         Ok(self.group_rows(self.eval_indexed(ctx, register)?))
@@ -185,7 +185,7 @@ impl Query {
     /// the transducer's configuration-expansion hot loop.
     pub fn groups_sym(
         &self,
-        ctx: &EvalContext<'_>,
+        ctx: &EvalContext,
         register: Option<&IndexedRegister>,
     ) -> Result<Vec<(SymTuple, SymRegister)>, EvalError> {
         let ev = Evaluator::with_register(ctx, register, &self.eval_body);

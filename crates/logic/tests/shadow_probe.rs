@@ -12,10 +12,9 @@ fn shadowed_head_var_closure_vs_semi_naive() {
     let inst = Instance::new().with("edge", edge).with("edge2", edge2);
     let vars = [Var::new("u"), Var::new("w")];
     // head var x is shadowed by the existential binder
-    let fast = parse_formula(
-        "fix T(x, y) { edge(x, y) or exists x z (T(x, z) and edge2(z, y)) }(u, w)",
-    )
-    .unwrap();
+    let fast =
+        parse_formula("fix T(x, y) { edge(x, y) or exists x z (T(x, z) and edge2(z, y)) }(u, w)")
+            .unwrap();
     // same formula, duplicated recursive atom forces the semi-naive path
     let slow = parse_formula(
         "fix T(x, y) { edge(x, y) or exists x z (T(x, z) and T(x, z) and edge2(z, y)) }(u, w)",

@@ -1,0 +1,227 @@
+//! Batched base-relation updates: the input of incremental view
+//! maintenance.
+//!
+//! A [`Delta`] collects inserts and retractions per base relation,
+//! validating arity as rows are added (a structured [`DeltaError`] replaces
+//! the late `EvalError` a malformed tuple would otherwise cause deep inside
+//! a run). Within one delta the pending sets stay disjoint with last-wins
+//! semantics: `insert(t)` cancels a pending `retract(t)` and vice versa, so
+//! applying a delta is order-independent per relation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::{Relation, Tuple};
+
+/// A malformed update batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A row's width disagrees with the relation's arity — the arity the
+    /// delta itself established on the first row seen, or the arity of the
+    /// live relation the delta is applied to.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        found: usize,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "delta row of width {found} for relation {relation}/{expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Pending changes to one relation: disjoint insert/retract sets plus the
+/// arity every row of the batch must match.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelationDelta {
+    arity: Option<usize>,
+    inserts: BTreeSet<Tuple>,
+    retracts: BTreeSet<Tuple>,
+}
+
+impl RelationDelta {
+    /// Rows to add.
+    pub fn inserts(&self) -> impl Iterator<Item = &Tuple> {
+        self.inserts.iter()
+    }
+
+    /// Rows to remove.
+    pub fn retracts(&self) -> impl Iterator<Item = &Tuple> {
+        self.retracts.iter()
+    }
+
+    /// The arity of the batch (None only for an emptied-out entry).
+    pub fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.retracts.is_empty()
+    }
+}
+
+/// A batch of base-relation inserts and retractions, built with
+/// [`Delta::insert`] / [`Delta::retract`] and applied with
+/// `Engine::apply` (`pt_core`).
+///
+/// ```
+/// # use pt_relational::{Delta, Value};
+/// let mut delta = Delta::new();
+/// delta
+///     .insert("edge", vec![Value::int(1), Value::int(2)])?
+///     .retract("edge", vec![Value::int(7), Value::int(8)])?;
+/// assert_eq!(delta.relations().count(), 1);
+/// # Ok::<(), pt_relational::DeltaError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delta {
+    changes: BTreeMap<String, RelationDelta>,
+}
+
+impl Delta {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Delta::default()
+    }
+
+    fn entry(&mut self, relation: &str, width: usize) -> Result<&mut RelationDelta, DeltaError> {
+        let entry = self.changes.entry(relation.to_string()).or_default();
+        match entry.arity {
+            Some(expected) if expected != width => Err(DeltaError::ArityMismatch {
+                relation: relation.to_string(),
+                expected,
+                found: width,
+            }),
+            _ => {
+                entry.arity = Some(width);
+                Ok(entry)
+            }
+        }
+    }
+
+    /// Queue `row` for insertion into `relation`, cancelling a pending
+    /// retraction of the same row (last wins). The first row seen for a
+    /// relation fixes the batch's arity for it; later rows must match.
+    pub fn insert(&mut self, relation: &str, row: Tuple) -> Result<&mut Self, DeltaError> {
+        let entry = self.entry(relation, row.len())?;
+        entry.retracts.remove(&row);
+        entry.inserts.insert(row);
+        Ok(self)
+    }
+
+    /// Queue `row` for removal from `relation`, cancelling a pending
+    /// insertion of the same row (last wins).
+    pub fn retract(&mut self, relation: &str, row: Tuple) -> Result<&mut Self, DeltaError> {
+        let entry = self.entry(relation, row.len())?;
+        entry.inserts.remove(&row);
+        entry.retracts.insert(row);
+        Ok(self)
+    }
+
+    /// Whether the batch queues no changes at all.
+    pub fn is_empty(&self) -> bool {
+        self.changes.values().all(RelationDelta::is_empty)
+    }
+
+    /// The touched relations in name order, with their pending changes.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &RelationDelta)> {
+        self.changes
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(n, d)| (n.as_str(), d))
+    }
+
+    /// Validate the batch against a live relation: every row must match the
+    /// relation's arity (a relation the instance does not hold yet accepts
+    /// any arity — the delta creates it).
+    pub fn check_against(&self, relation: &str, live: Option<&Relation>) -> Result<(), DeltaError> {
+        let (Some(d), Some(live_arity)) =
+            (self.changes.get(relation), live.and_then(Relation::arity))
+        else {
+            return Ok(());
+        };
+        match d.arity {
+            Some(found) if found != live_arity => Err(DeltaError::ArityMismatch {
+                relation: relation.to_string(),
+                expected: live_arity,
+                found,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rel, Value};
+
+    fn row(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::int(v)).collect()
+    }
+
+    #[test]
+    fn arity_fixed_by_first_row() {
+        let mut d = Delta::new();
+        d.insert("r", row(&[1, 2])).unwrap();
+        let err = d.retract("r", row(&[1])).unwrap_err();
+        assert_eq!(
+            err,
+            DeltaError::ArityMismatch {
+                relation: "r".to_string(),
+                expected: 2,
+                found: 1,
+            }
+        );
+        assert_eq!(err.to_string(), "delta row of width 1 for relation r/2");
+    }
+
+    #[test]
+    fn insert_and_retract_cancel() {
+        let mut d = Delta::new();
+        d.insert("r", row(&[1])).unwrap();
+        d.retract("r", row(&[1])).unwrap();
+        let (_, rd) = d.relations().next().unwrap();
+        assert_eq!(rd.inserts().count(), 0);
+        assert_eq!(rd.retracts().count(), 1);
+        d.insert("r", row(&[1])).unwrap();
+        let (_, rd) = d.relations().next().unwrap();
+        assert_eq!(rd.inserts().count(), 1);
+        assert_eq!(rd.retracts().count(), 0);
+    }
+
+    #[test]
+    fn chaining_and_emptiness() {
+        let mut d = Delta::new();
+        assert!(d.is_empty());
+        d.insert("a", row(&[1]))
+            .unwrap()
+            .retract("b", row(&[2, 3]))
+            .unwrap();
+        assert!(!d.is_empty());
+        assert_eq!(d.relations().count(), 2);
+    }
+
+    #[test]
+    fn check_against_live_relation() {
+        let mut d = Delta::new();
+        d.insert("r", row(&[1])).unwrap();
+        let live = rel![[1, 2]];
+        assert!(d.check_against("r", Some(&live)).is_err());
+        assert!(d.check_against("r", None).is_ok());
+        assert!(d.check_against("other", Some(&live)).is_ok());
+    }
+}

@@ -1,5 +1,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::{Relation, Schema, Tuple, Value};
 
@@ -8,9 +9,15 @@ use crate::{Relation, Schema, Tuple, Value};
 /// Relations absent from the map are treated as empty, so instances can be
 /// built incrementally. [`Instance::conforms_to`] checks arity agreement with
 /// a [`Schema`].
+///
+/// Relations are held behind [`Arc`], so cloning an instance is O(number of
+/// relations) regardless of how many tuples they hold — the representation
+/// the versioned engine relies on to snapshot a database per applied
+/// [`Delta`](crate::Delta) without copying untouched relations. Mutating
+/// entry points ([`Instance::insert`]) copy-on-write via [`Arc::make_mut`].
 #[derive(Clone, PartialEq, Eq, Debug, Default, Hash, PartialOrd, Ord)]
 pub struct Instance {
-    relations: BTreeMap<String, Relation>,
+    relations: BTreeMap<String, Arc<Relation>>,
 }
 
 impl Instance {
@@ -21,7 +28,7 @@ impl Instance {
 
     /// Replace the contents of relation `name`.
     pub fn set(&mut self, name: &str, rel: Relation) {
-        self.relations.insert(name.to_string(), rel);
+        self.relations.insert(name.to_string(), Arc::new(rel));
     }
 
     /// Builder-style [`Instance::set`].
@@ -30,32 +37,48 @@ impl Instance {
         self
     }
 
-    /// Insert a single tuple into relation `name`.
-    pub fn insert(&mut self, name: &str, t: Tuple) {
+    /// Insert a single tuple into relation `name`, reporting whether it was
+    /// newly added (`false` if it was already present).
+    pub fn insert(&mut self, name: &str, t: Tuple) -> bool {
+        Arc::make_mut(self.relations.entry(name.to_string()).or_default()).insert(t)
+    }
+
+    /// Remove a single tuple from relation `name`, reporting whether it was
+    /// present. The relation itself stays in the map (possibly empty), so
+    /// its recorded arity survives the removal.
+    pub fn remove(&mut self, name: &str, t: &Tuple) -> bool {
         self.relations
-            .entry(name.to_string())
-            .or_default()
-            .insert(t);
+            .get_mut(name)
+            .is_some_and(|r| Arc::make_mut(r).remove(t))
     }
 
     /// The contents of relation `name` (empty if never set).
     pub fn get(&self, name: &str) -> Relation {
-        self.relations.get(name).cloned().unwrap_or_default()
+        self.relations
+            .get(name)
+            .map(|r| (**r).clone())
+            .unwrap_or_default()
     }
 
     /// Borrow the contents of relation `name`, if present.
     pub fn get_ref(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+        self.relations.get(name).map(|r| &**r)
+    }
+
+    /// The shared handle behind relation `name`, if present — lets a caller
+    /// snapshot one relation without copying its tuples.
+    pub fn get_arc(&self, name: &str) -> Option<Arc<Relation>> {
+        self.relations.get(name).map(Arc::clone)
     }
 
     /// Iterate over `(name, relation)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
-        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+        self.relations.iter().map(|(n, r)| (n.as_str(), &**r))
     }
 
     /// Total number of tuples across all relations.
     pub fn size(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|r| r.len()).sum()
     }
 
     /// The active domain: every value occurring in any relation.
@@ -156,6 +179,19 @@ mod tests {
         assert!(a.subset_of(&u));
         assert!(b.subset_of(&u));
         assert!(!u.subset_of(&a));
+    }
+
+    #[test]
+    fn clone_shares_relations_until_mutated() {
+        let a = Instance::new().with("r", rel![[1], [2]]);
+        let mut b = a.clone();
+        assert!(Arc::ptr_eq(
+            &a.get_arc("r").unwrap(),
+            &b.get_arc("r").unwrap()
+        ));
+        b.insert("r", vec![Value::int(3)]);
+        assert_eq!(a.get("r").len(), 2);
+        assert_eq!(b.get("r").len(), 3);
     }
 
     #[test]

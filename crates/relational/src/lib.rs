@@ -14,6 +14,8 @@
 //! * [`Tuple`] and [`Relation`] — tuples and finite relations over `D`,
 //!   with the canonical extension of `<=` to tuples,
 //! * [`Schema`] and [`Instance`] — relational schemas and database instances,
+//! * [`Delta`] — batched, arity-validated base-relation updates, the input
+//!   of the versioned engine's incremental apply path,
 //! * [`generate`] — deterministic pseudo-random instance generators used by
 //!   workload drivers and property tests,
 //! * [`intern`] — dense `u32` interning of the active domain plus the fast
@@ -23,6 +25,7 @@
 //!   ([`SortedCols`], for merge joins and prefix probes), the evaluator's
 //!   storage layer.
 
+mod delta;
 pub mod generate;
 pub mod index;
 mod instance;
@@ -31,6 +34,7 @@ mod relation;
 mod schema;
 mod value;
 
+pub use delta::{Delta, DeltaError, RelationDelta};
 pub use index::{CompositeIndex, SortedCols, SortedRowSet, SymRegister, SymRelation};
 pub use instance::Instance;
 pub use intern::{FxHashMap, FxHashSet, Interner, Sym, SymTuple};

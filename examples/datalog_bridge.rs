@@ -4,10 +4,9 @@
 //!
 //! Run with `cargo run --example datalog_bridge`.
 
-use publishing_transducers::core::Transducer;
 use publishing_transducers::datalog::parse_program;
 use publishing_transducers::express::lindatalog::{from_lindatalog, to_lindatalog};
-use publishing_transducers::relational::{rel, Instance, Schema};
+use publishing_transducers::prelude::*;
 
 fn main() {
     let schema = Schema::with(&[("edge", 2), ("start", 1)]);

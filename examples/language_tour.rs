@@ -5,6 +5,7 @@
 
 use publishing_transducers::core::examples::registrar;
 use publishing_transducers::languages::{atg, for_xml, sqlxml, table1, xmlgen};
+use publishing_transducers::prelude::*;
 
 fn main() {
     let db = registrar::registrar_instance();
@@ -27,4 +28,13 @@ fn main() {
     println!("== Fig. 6: ATG (PRATA) ==");
     let t = atg::figure6().compile(&schema).unwrap();
     println!("{}", t.output(&db).unwrap().to_xml());
+
+    // compile failures are typed: a malformed condition is a
+    // CompileError::Parse, not a stringly-typed message
+    let mut broken = for_xml::figure2();
+    broken.blocks[0].condition = "exists d (course(cno, title, d)".to_string();
+    match broken.compile(&schema) {
+        Err(CompileError::Parse(msg)) => println!("== typed rejection ==\n{msg}"),
+        other => panic!("expected a parse error, got {other:?}"),
+    }
 }

@@ -1,0 +1,110 @@
+//! Live views: one [`Engine`] owns a versioned database, and prepared
+//! transducers keep serving across [`Engine::apply`] updates.
+//!
+//! A [`Delta`] batches inserts and retractions per base relation. Applying
+//! it advances the engine's version, re-indexes only the touched relations,
+//! and evicts only the memo entries whose footprint actually read them —
+//! in-flight runs pin the version current at their start, so serving never
+//! observes a half-applied database.
+//!
+//! Run with `cargo run --example live_updates`.
+
+use publishing_transducers::core::examples::registrar;
+use publishing_transducers::prelude::*;
+
+fn main() {
+    // v0: the engine owns its database snapshot — no borrow ties it to the
+    // instance built here
+    let engine = Engine::new(registrar::registrar_instance());
+    let tau1 = registrar::tau1();
+    let prepared = engine.prepare(&tau1).expect("τ1 fits the schema");
+
+    let before = prepared.run().expect("v0 run").output_tree();
+    println!(
+        "v{}: {} top-level courses",
+        engine.version(),
+        before.children().len()
+    );
+
+    // one batched update: a new course with a prerequisite edge, and the
+    // self-requiring paradox course retracted
+    let mut delta = Delta::new();
+    delta
+        .insert(
+            "course",
+            vec![
+                Value::str("CS440"),
+                Value::str("Compilers"),
+                Value::str("CS"),
+            ],
+        )
+        .unwrap()
+        .insert("prereq", vec![Value::str("CS440"), Value::str("CS340")])
+        .unwrap()
+        .retract(
+            "course",
+            vec![Value::str("CS666"), Value::str("Paradox"), Value::str("CS")],
+        )
+        .unwrap();
+    let report = engine.apply(&delta).expect("arities match the schema");
+    println!(
+        "v{}: +{} / -{} tuples, {} memo entries evicted, {} relations re-sorted",
+        report.version,
+        report.tuples_inserted,
+        report.tuples_retracted,
+        report.memo_entries_evicted,
+        report.relations_resorted
+    );
+
+    // the same prepared handle serves the new version — no re-prepare
+    let after = prepared.run().expect("v1 run").output_tree();
+    assert_ne!(after, before);
+    println!(
+        "v{}: {} top-level courses\n{}",
+        engine.version(),
+        after.children().len(),
+        after.to_xml()
+    );
+
+    // a delta whose values are already in the active domain and whose
+    // relation τ1 never reads: the whole memo survives (0 evictions) and
+    // the next run is a pure replay
+    let mut enroll = Delta::new();
+    enroll
+        .insert("enrolled", vec![Value::str("CS100"), Value::str("CS140")])
+        .unwrap();
+    let report = engine.apply(&enroll).expect("fresh relation");
+    println!(
+        "v{}: enrollment insert evicted {} memo entries (τ1 never reads it)",
+        report.version, report.memo_entries_evicted
+    );
+
+    // serving runs pin the version current at their start, so a pool keeps
+    // answering while an update lands mid-traffic
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(|| {
+                for _ in 0..5 {
+                    let run = prepared.run().expect("serving run");
+                    assert_eq!(run.output_tree().label(), "db");
+                }
+            });
+        }
+        scope.spawn(|| {
+            let mut flip = Delta::new();
+            flip.retract("prereq", vec![Value::str("CS340"), Value::str("CS140")])
+                .unwrap();
+            engine.apply(&flip).expect("retraction applies");
+        });
+    });
+    println!("v{}: served throughout the update", engine.version());
+
+    // retracting an absent row is a no-op: the version does not advance
+    // and nothing is invalidated
+    let mut noop = Delta::new();
+    noop.retract("prereq", vec![Value::str("MA100"), Value::str("CS100")])
+        .unwrap();
+    let report = engine.apply(&noop).unwrap();
+    assert_eq!(report.version, engine.version());
+    println!("no-op delta left the version at {}", report.version);
+}

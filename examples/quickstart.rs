@@ -7,8 +7,7 @@
 //! `examples/serving.rs`.
 
 use publishing_transducers::core::examples::registrar;
-use publishing_transducers::core::Engine;
-use publishing_transducers::xmltree::XmlWriter;
+use publishing_transducers::prelude::*;
 
 fn main() {
     let db = registrar::registrar_instance();

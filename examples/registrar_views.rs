@@ -9,7 +9,7 @@
 //! Run with `cargo run --example registrar_views`.
 
 use publishing_transducers::core::examples::registrar;
-use publishing_transducers::core::Engine;
+use publishing_transducers::prelude::*;
 
 fn main() {
     let db = registrar::registrar_instance();

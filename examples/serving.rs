@@ -13,8 +13,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use publishing_transducers::core::examples::registrar;
-use publishing_transducers::core::{Engine, MemoPolicy};
-use publishing_transducers::xmltree::CountingSink;
+use publishing_transducers::prelude::*;
 
 fn main() {
     let db = registrar::registrar_instance();

@@ -10,6 +10,7 @@ use publishing_transducers::analysis::equivalence::{equivalence, randomized_equi
 use publishing_transducers::analysis::membership::{member_boolean_domain, small_model_bound};
 use publishing_transducers::analysis::oracles::{Cnf, Instr, Lit, TwoRegisterMachine};
 use publishing_transducers::analysis::reductions::{qbf, three_sat, two_register};
+use publishing_transducers::prelude::*;
 
 fn main() {
     // ---- emptiness via 3SAT (Theorem 1(1)) ----
@@ -46,8 +47,6 @@ fn main() {
     );
 
     // ---- equivalence: exact (Theorem 2(4)) and via the 2RM reduction ----
-    use publishing_transducers::core::Transducer;
-    use publishing_transducers::relational::Schema;
     let schema = Schema::with(&[("s", 1)]);
     let t1 = Transducer::builder(schema.clone(), "q0", "r")
         .rule("q0", "r", &[("q", "a", "(x, k) <- s(x) and k = 1")])

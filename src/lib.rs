@@ -6,29 +6,48 @@
 //!
 //! Start with [`core`] for the transducer model, [`relational`] and [`logic`]
 //! for the substrates, [`analysis`] for the decision problems of Section 5,
-//! and [`express`] for the expressiveness constructions of Section 6.
+//! and [`express`] for the expressiveness constructions of Section 6. The
+//! session-era surface — everything a serving application touches — is
+//! gathered in [`prelude`].
 //!
-//! The production entry point is an [`Engine`](core::Engine) bound to a
-//! database: `prepare` a transducer once (validation, rule plan, warmed
-//! relation indexes, frozen interner snapshot) and run it as many times —
-//! and from as many threads — as needed. Both `Engine` and
-//! [`PreparedTransducer`](core::PreparedTransducer) are `Send + Sync` with
-//! `&self` sessions: the engine owns the run-wide caches and each prepared
-//! transducer keeps a sharded configuration memo that persists across runs
-//! and is shared by concurrent ones, so repeated publishing amortizes to a
-//! memo replay and concurrent traffic shares one expansion (cap the memo
-//! with [`MemoPolicy`](core::MemoPolicy) via `prepare_with` for long-lived
-//! engines). Output comes either as a shared-DAG
-//! [`RunResult`](core::RunResult) or as a SAX-style event stream that
-//! never materializes the document:
+//! ## The versioned-engine lifecycle
+//!
+//! The production entry point is an [`Engine`](core::Engine) that *owns* a
+//! versioned database. Its lifecycle has three moves:
+//!
+//! 1. **Bind** — [`Engine::new`](core::Engine::new) snapshots the instance
+//!    (active-domain scan, value interning, base-relation indexes) as
+//!    version 0.
+//! 2. **Prepare & run** — [`Engine::prepare`](core::Engine::prepare)
+//!    validates a transducer once and returns a
+//!    [`PreparedTransducer`](core::PreparedTransducer) whose sharded
+//!    configuration memo persists across runs and is shared by concurrent
+//!    ones. Every `run`/`stream` pins the database version current at its
+//!    start and sees it for the whole run, however many updates land
+//!    mid-flight.
+//! 3. **Update** — [`Engine::apply`](core::Engine::apply) ingests a
+//!    [`Delta`](core::Delta) (batched inserts and retractions, validated
+//!    against live arities), advances the version, re-indexes only the
+//!    touched relations, migrates cached fixpoints incrementally
+//!    (semi-naive continuation for inserts, delete-and-rederive for
+//!    retractions), and evicts only the memo entries whose footprint read a
+//!    touched relation — prepared transducers stay live and their untouched
+//!    memo entries keep replaying. The returned
+//!    [`ApplyReport`](core::ApplyReport) says exactly how much work that
+//!    was.
+//!
+//! Both `Engine` and `PreparedTransducer` are `Send + Sync` with `&self`
+//! sessions (cap the memo with [`MemoPolicy`](core::MemoPolicy) via
+//! `prepare_with` for long-lived engines). Output comes either as a
+//! shared-DAG [`RunResult`](core::RunResult) or as a SAX-style event stream
+//! that never materializes the document:
 //!
 //! ```
+//! use publishing_transducers::prelude::*;
 //! use publishing_transducers::core::examples::registrar;
-//! use publishing_transducers::core::Engine;
-//! use publishing_transducers::xmltree::TreeBuilder;
+//! use publishing_transducers::relational::Value;
 //!
-//! let db = registrar::registrar_instance();
-//! let engine = Engine::new(&db);          // interns the database once
+//! let engine = Engine::new(registrar::registrar_instance());
 //! let tau1 = registrar::tau1();
 //! let prepared = engine.prepare(&tau1).unwrap();
 //!
@@ -40,16 +59,26 @@
 //! let mut sink = TreeBuilder::new();
 //! prepared.stream(&mut sink).unwrap();
 //! assert_eq!(sink.finish().unwrap(), tree);
+//!
+//! // a live update: retract CS340's prerequisite edge to CS240 and rerun
+//! // the *same* prepared handle against the new version
+//! let mut delta = Delta::new();
+//! delta
+//!     .retract("prereq", vec![Value::str("CS340"), Value::str("CS240")])
+//!     .unwrap();
+//! let report = engine.apply(&delta).unwrap();
+//! assert_eq!((report.version, report.tuples_retracted), (1, 1));
+//! assert_ne!(prepared.run().unwrap().output_tree(), tree);
 //! ```
 //!
 //! Serving the same prepared transducer from a thread pool needs nothing
-//! but scoped borrows (see `examples/serving.rs`):
+//! but scoped borrows (see `examples/serving.rs`; `examples/live_updates.rs`
+//! interleaves updates with serving):
 //!
 //! ```
+//! # use publishing_transducers::prelude::*;
 //! # use publishing_transducers::core::examples::registrar;
-//! # use publishing_transducers::core::Engine;
-//! # let db = registrar::registrar_instance();
-//! # let engine = Engine::new(&db);
+//! # let engine = Engine::new(registrar::registrar_instance());
 //! # let tau2 = registrar::tau2();
 //! let prepared = engine.prepare(&tau2).unwrap();
 //! std::thread::scope(|scope| {
@@ -74,3 +103,20 @@ pub use pt_languages as languages;
 pub use pt_logic as logic;
 pub use pt_relational as relational;
 pub use pt_xmltree as xmltree;
+
+/// The session-era surface in one import: engine lifecycle (bind → prepare
+/// → run/stream → apply), the delta and error types, and the event sinks.
+///
+/// ```
+/// use publishing_transducers::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::core::{
+        ApplyReport, Delta, DeltaError, Engine, EvalOptions, ExpansionMode, MemoPolicy,
+        PrepareError, PreparedTransducer, RunError, RunResult, StreamSummary, Transducer,
+        TransducerBuilder, ValidationError,
+    };
+    pub use crate::languages::CompileError;
+    pub use crate::relational::{rel, Instance, Relation, Schema, Value};
+    pub use crate::xmltree::{CountingSink, Tree, TreeBuilder, XmlEvent, XmlEventSink, XmlWriter};
+}

@@ -10,10 +10,10 @@ use pt_bench::{registrar_with_enrollment, scaled_registrar, stream_round_trip};
 use publishing_transducers::core::examples::registrar;
 use publishing_transducers::core::generate::{random_transducer, GenConfig};
 use publishing_transducers::core::{
-    Engine, EvalOptions, ExpansionMode, MemoPolicy, PreparedTransducer, RunError, Transducer,
+    Delta, Engine, EvalOptions, ExpansionMode, MemoPolicy, PreparedTransducer, RunError, Transducer,
 };
 use publishing_transducers::relational::generate::{random_instance, random_schema};
-use publishing_transducers::relational::{Instance, Relation};
+use publishing_transducers::relational::{Instance, Relation, Value};
 use publishing_transducers::xmltree::TreeBuilder;
 use rand::prelude::*;
 
@@ -23,8 +23,8 @@ use rand::prelude::*;
 #[test]
 fn engine_and_prepared_transducer_are_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}
-    assert_send_sync::<Engine<'_>>();
-    assert_send_sync::<PreparedTransducer<'_, '_, '_>>();
+    assert_send_sync::<Engine>();
+    assert_send_sync::<PreparedTransducer<'_, '_>>();
 }
 
 /// Everything observable about one successful run, in comparable form.
@@ -62,7 +62,7 @@ fn tree_oracle(tau: &Transducer, db: &Instance, max_nodes: usize) -> Result<Obse
 /// One serving thread's workload: `iters` interleaved runs and streams on a
 /// shared prepared transducer, each checked against the oracle observation.
 fn serve_and_check(
-    prepared: &PreparedTransducer<'_, '_, '_>,
+    prepared: &PreparedTransducer<'_, '_>,
     tau: &Transducer,
     oracle: &Observation,
     max_nodes: usize,
@@ -213,6 +213,88 @@ fn bounded_memo_stays_under_cap_with_oracle_identical_output() {
         }
     });
     assert!(capped.memo_entries() <= cap);
+}
+
+/// Epoch-pinned serving under live updates: readers hammer one prepared
+/// transducer while a writer applies a sequence of deltas. Every read must
+/// equal the oracle of *some* database version — a pinned snapshot, never a
+/// half-applied state — and once the writer is done, reads settle on the
+/// final version's oracle.
+#[test]
+fn serving_stays_on_version_oracles_across_concurrent_applies() {
+    let db = registrar_with_enrollment(12, 80);
+    let tau = registrar::tau2();
+    let max_nodes = 1 << 22;
+
+    // the version chain the writer will walk: +ZZA, +ZZB, -ZZA
+    fn course(cno: &str) -> Vec<Value> {
+        vec![Value::str(cno), Value::str("Seminar"), Value::str("CS")]
+    }
+    let mut versions = vec![db.clone()];
+    let mut v1 = db.clone();
+    v1.insert("course", course("ZZA"));
+    versions.push(v1.clone());
+    let mut v2 = v1.clone();
+    v2.insert("course", course("ZZB"));
+    versions.push(v2.clone());
+    let mut v3 = v2.clone();
+    v3.remove("course", &course("ZZA"));
+    versions.push(v3);
+    let oracles: Vec<Observation> = versions
+        .iter()
+        .map(|v| tree_oracle(&tau, v, max_nodes).expect("oracle run"))
+        .collect();
+
+    let engine = Engine::new(&db);
+    let prepared = engine.prepare(&tau).expect("tau2 prepares");
+    let engine_ref = &engine;
+    let prepared_ref = &prepared;
+    let oracles_ref = &oracles;
+    let tau_ref = &tau;
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(move || {
+                for round in 0..6 {
+                    let run = prepared_ref.run_with(max_nodes).expect("run must succeed");
+                    let got = Observation {
+                        output: format!("{:?}", run.output_tree()),
+                        xi_size: run.size(),
+                        xi_depth: run.depth(),
+                        relational: tau_ref
+                            .alphabet()
+                            .into_iter()
+                            .map(|tag| {
+                                let rel = run.relational_output(&tag);
+                                (tag, rel)
+                            })
+                            .collect(),
+                    };
+                    assert!(
+                        oracles_ref.contains(&got),
+                        "round {round}: observation matches no version oracle"
+                    );
+                    stream_round_trip(&run).expect("stream must rebuild the output tree");
+                }
+            });
+        }
+        scope.spawn(move || {
+            let mut add_a = Delta::new();
+            add_a.insert("course", course("ZZA")).unwrap();
+            let mut add_b = Delta::new();
+            add_b.insert("course", course("ZZB")).unwrap();
+            let mut drop_a = Delta::new();
+            drop_a.retract("course", course("ZZA")).unwrap();
+            for delta in [&add_a, &add_b, &drop_a] {
+                engine_ref.apply(delta).expect("apply must succeed");
+                std::thread::yield_now();
+            }
+        });
+    });
+    assert_eq!(engine.version(), 3);
+    // quiescent: the session now serves exactly the final version
+    let settled = tree_oracle(&tau, &versions[3], max_nodes).expect("final oracle");
+    let run = prepared.run_with(max_nodes).expect("final run");
+    assert_eq!(format!("{:?}", run.output_tree()), settled.output);
 }
 
 #[test]

@@ -1,11 +1,14 @@
 //! The Engine / PreparedTransducer session API: prepare-time validation,
 //! amortized repeated runs (persistent configuration memo), streaming
-//! output with truncation guards, and the structured builder errors.
+//! output with truncation guards, live updates ([`Engine::apply`] deltas
+//! with incremental memo invalidation), and the structured builder errors.
 
 use pt_bench::{registrar_with_enrollment, roster_view, scaled_registrar};
 use publishing_transducers::core::examples::registrar;
-use publishing_transducers::core::{Engine, PrepareError, RunError, Transducer, ValidationError};
-use publishing_transducers::relational::{rel, Instance, Schema};
+use publishing_transducers::core::{
+    Delta, DeltaError, Engine, PrepareError, RunError, Transducer, ValidationError,
+};
+use publishing_transducers::relational::{rel, Instance, Schema, Value};
 use publishing_transducers::xmltree::{CountingSink, Guarded, TreeBuilder, XmlWriter};
 
 #[test]
@@ -157,6 +160,203 @@ fn stream_splices_virtual_nodes() {
         assert!(!xml.contains(&format!("<{vt}>")), "virtual tag {vt} leaked");
     }
     assert!(!xml.is_empty());
+}
+
+fn s(v: &str) -> Value {
+    Value::str(v)
+}
+
+#[test]
+fn apply_touching_an_unread_relation_keeps_the_whole_memo() {
+    // τ2 reads only course/prereq; a delta on enrolled (values already in
+    // the active domain) must evict nothing, and the post-apply run must
+    // replay the memoized root — literally the same shared node
+    let db = registrar_with_enrollment(8, 40);
+    let engine = Engine::new(&db);
+    let tau = registrar::tau2();
+    let prepared = engine.prepare(&tau).unwrap();
+    let before = prepared.run().unwrap();
+    let entries = prepared.memo_entries();
+    assert!(entries > 0);
+
+    let mut delta = Delta::new();
+    delta
+        .insert("enrolled", vec![s("S00000"), s("CS0001")])
+        .unwrap();
+    let report = engine.apply(&delta).unwrap();
+    assert_eq!(report.version, 1);
+    assert_eq!(engine.version(), 1);
+    assert_eq!(report.tuples_inserted, 1);
+    assert_eq!(report.tuples_retracted, 0);
+    assert_eq!(report.memo_entries_evicted, 0);
+    assert_eq!(prepared.memo_entries(), entries);
+
+    let after = prepared.run().unwrap();
+    assert!(std::ptr::eq(before.result_tree(), after.result_tree()));
+    // the new row really landed: a view that *does* read enrolled sees it
+    assert!(engine.instance().get_ref("enrolled").unwrap().len() == 41);
+}
+
+#[test]
+fn apply_matches_a_cold_rebuild() {
+    // inserts, retractions, and a mixed batch against τ2: after every
+    // apply, the prepared session must equal a cold engine over the same
+    // instance — tree, size, depth
+    let db = registrar_with_enrollment(8, 20);
+    let engine = Engine::new(&db);
+    let tau = registrar::tau2();
+    let prepared = engine.prepare(&tau).unwrap();
+    prepared.run().unwrap();
+
+    let deltas: Vec<Delta> = {
+        let mut insert = Delta::new();
+        insert
+            .insert("course", vec![s("CS9999"), s("Capstone"), s("CS")])
+            .unwrap()
+            .insert("prereq", vec![s("CS9999"), s("CS0007")])
+            .unwrap();
+        let mut retract = Delta::new();
+        retract
+            .retract("prereq", vec![s("CS0003"), s("CS0002")])
+            .unwrap();
+        let mut mixed = Delta::new();
+        mixed
+            .insert("prereq", vec![s("CS0003"), s("CS0001")])
+            .unwrap()
+            .retract("course", vec![s("CS9999"), s("Capstone"), s("CS")])
+            .unwrap();
+        vec![insert, retract, mixed]
+    };
+    for (i, delta) in deltas.iter().enumerate() {
+        let report = engine.apply(delta).unwrap();
+        assert_eq!(report.version, i as u64 + 1);
+        let warm = prepared.run().unwrap();
+        let cold_engine = Engine::new(engine.instance());
+        let cold = cold_engine.prepare(&tau).unwrap().run().unwrap();
+        assert_eq!(
+            warm.output_tree(),
+            cold.output_tree(),
+            "delta {i} diverged from the cold rebuild"
+        );
+        assert_eq!(warm.size(), cold.size());
+        assert_eq!(warm.depth(), cold.depth());
+    }
+}
+
+#[test]
+fn noop_and_invalid_deltas_leave_the_engine_untouched() {
+    let db = registrar_with_enrollment(4, 10);
+    let engine = Engine::new(&db);
+    let tau = registrar::tau2();
+    let prepared = engine.prepare(&tau).unwrap();
+    let before = prepared.run().unwrap();
+
+    // inserting a present tuple / retracting an absent one is a no-op:
+    // the version must not advance
+    let mut noop = Delta::new();
+    noop.insert("course", vec![s("CS0000"), s("Topic 0"), s("CS")])
+        .unwrap()
+        .retract("prereq", vec![s("CS0000"), s("NOPE")])
+        .unwrap();
+    let report = engine.apply(&noop).unwrap();
+    assert_eq!(report.version, 0);
+    assert_eq!(report.tuples_inserted, 0);
+    assert_eq!(report.tuples_retracted, 0);
+    assert_eq!(engine.version(), 0);
+
+    // an arity mismatch against the live schema rejects the whole batch
+    // before anything changes
+    let mut bad = Delta::new();
+    bad.insert("prereq", vec![s("CS0001"), s("CS0000")])
+        .unwrap()
+        .insert("course", vec![s("CS7777"), s("Short")])
+        .unwrap();
+    let err = engine.apply(&bad).unwrap_err();
+    assert_eq!(
+        err,
+        DeltaError::ArityMismatch {
+            relation: "course".to_string(),
+            expected: 3,
+            found: 2,
+        }
+    );
+    assert_eq!(engine.version(), 0);
+    assert!(
+        engine.instance().get_ref("course").unwrap().len() == db.get_ref("course").unwrap().len()
+    );
+
+    let after = prepared.run().unwrap();
+    assert!(std::ptr::eq(before.result_tree(), after.result_tree()));
+}
+
+#[test]
+fn apply_extends_the_active_domain_and_still_matches() {
+    // a brand-new student value extends the active domain: τ2's memo is
+    // conservatively swept (every query-bearing pair carries the domain
+    // bit), and the rerun still matches a cold rebuild
+    let db = registrar_with_enrollment(6, 12);
+    let engine = Engine::new(&db);
+    let tau = registrar::tau2();
+    let prepared = engine.prepare(&tau).unwrap();
+    prepared.run().unwrap();
+    assert!(prepared.memo_entries() > 0);
+
+    let mut delta = Delta::new();
+    delta
+        .insert("enrolled", vec![s("TRANSFER-1"), s("CS0002")])
+        .unwrap();
+    let report = engine.apply(&delta).unwrap();
+    assert!(report.memo_entries_evicted > 0, "domain change must sweep");
+    let warm = prepared.run().unwrap();
+    let cold = Engine::new(engine.instance())
+        .prepare(&tau)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(warm.output_tree(), cold.output_tree());
+
+    // retracting it again restores the original domain; the view matches
+    // the original database's output once more
+    let mut undo = Delta::new();
+    undo.retract("enrolled", vec![s("TRANSFER-1"), s("CS0002")])
+        .unwrap();
+    engine.apply(&undo).unwrap();
+    assert_eq!(engine.version(), 2);
+    let restored = prepared.run().unwrap();
+    let original = Engine::new(&db).prepare(&tau).unwrap().run().unwrap();
+    assert_eq!(restored.output_tree(), original.output_tree());
+}
+
+#[test]
+fn apply_streams_and_serves_register_heavy_views() {
+    // roster_view reads enrolled through wide relation registers: deltas on
+    // enrolled must invalidate its memo and the streamed document must
+    // match a cold rebuild byte for byte
+    let db = registrar_with_enrollment(5, 25);
+    let engine = Engine::new(&db);
+    let tau = roster_view();
+    let prepared = engine.prepare(&tau).unwrap();
+    prepared.run().unwrap();
+
+    let mut delta = Delta::new();
+    delta
+        .insert("enrolled", vec![s("S00003"), s("CS0004")])
+        .unwrap()
+        .retract("enrolled", vec![s("S00001"), s("CS0001")])
+        .unwrap();
+    let report = engine.apply(&delta).unwrap();
+    assert_eq!(report.tuples_inserted, 1);
+    assert_eq!(report.tuples_retracted, 1);
+
+    let mut warm = XmlWriter::new();
+    prepared.stream(&mut warm).unwrap();
+    let mut cold = XmlWriter::new();
+    Engine::new(engine.instance())
+        .prepare(&tau)
+        .unwrap()
+        .stream(&mut cold)
+        .unwrap();
+    assert_eq!(warm.into_string(), cold.into_string());
 }
 
 #[test]

@@ -19,10 +19,10 @@
 use pt_bench::stream_round_trip;
 use publishing_transducers::core::generate::{random_transducer, GenConfig};
 use publishing_transducers::core::{
-    Engine, EvalOptions, ExpansionMode, RunError, RunResult, Transducer,
+    Delta, Engine, EvalOptions, ExpansionMode, RunError, RunResult, Transducer,
 };
 use publishing_transducers::relational::generate::{random_instance, random_schema};
-use publishing_transducers::relational::{Instance, Relation};
+use publishing_transducers::relational::{Instance, Relation, Schema, Value};
 use rand::prelude::*;
 
 /// Everything observable about one run, in comparable form.
@@ -128,6 +128,116 @@ fn case_count() -> u64 {
 
 /// Base offset into the seed space; bump to re-roll the whole corpus.
 const SEED_BASE: u64 = 0x5EED_0003;
+
+/// A random update batch over `schema`: per touched relation a few inserts
+/// drawn from a domain slightly wider than the instance generator's (so
+/// some steps extend the active domain) and a few retractions of rows the
+/// engine currently holds.
+fn random_delta(schema: &Schema, inst: &Instance, rng: &mut StdRng) -> Delta {
+    let mut delta = Delta::new();
+    for (name, arity) in schema.iter() {
+        if rng.gen_bool(0.4) {
+            continue;
+        }
+        for _ in 0..rng.gen_range(0..3) {
+            let row: Vec<Value> = (0..arity)
+                .map(|_| Value::int(rng.gen_range(0..8)))
+                .collect();
+            delta.insert(name, row).expect("schema arity is consistent");
+        }
+        if let Some(rel) = inst.get_ref(name) {
+            let rows: Vec<_> = rel.iter().cloned().collect();
+            if rows.is_empty() {
+                continue;
+            }
+            for _ in 0..rng.gen_range(0..3) {
+                let row = rows[rng.gen_range(0..rows.len())].clone();
+                delta
+                    .retract(name, row)
+                    .expect("schema arity is consistent");
+            }
+        }
+    }
+    delta
+}
+
+/// The incremental-vs-rebuild oracle: one long-lived engine session absorbs
+/// a sequence of random deltas, and after every `apply` its observation
+/// must equal a cold rebuild of the post-apply instance under every engine
+/// mode (output tree, ξ statistics, relational views, and errors).
+fn run_delta_case(seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = random_schema(3, 3, &mut rng);
+    let tau = random_transducer(&schema, &GenConfig::default(), &mut rng);
+    let inst = random_instance(&schema, 6, 8, &mut rng);
+    let max_nodes = 4000;
+    let engine = Engine::new(&inst);
+    let prepared = engine
+        .prepare(&tau)
+        .map_err(|e| format!("seed {seed}: prepare failed: {e}\non transducer:\n{tau}"))?;
+    for step in 0..4 {
+        let delta = random_delta(&schema, &engine.instance(), &mut rng);
+        engine
+            .apply(&delta)
+            .map_err(|e| format!("seed {seed} step {step}: apply failed: {e}"))?;
+        // the incremental observation, through the pre-update session
+        let incr = match prepared.run_with(max_nodes) {
+            Ok(run) => {
+                check_stream(&run, &format!("incremental step {step}"))
+                    .map_err(|e| format!("seed {seed}: {e}\non transducer:\n{tau}"))?;
+                summarize(&tau, &run)
+            }
+            Err(e) => Observation::Failed(e),
+        };
+        // every engine mode, cold, on the post-apply instance
+        let now = engine.instance();
+        let cold = observe(&tau, &now, ExpansionMode::Tree, max_nodes)
+            .map_err(|e| format!("seed {seed} step {step}: {e}\non transducer:\n{tau}"))?;
+        for mode in [ExpansionMode::DagValue, ExpansionMode::Dag] {
+            let got = observe(&tau, &now, mode, max_nodes)
+                .map_err(|e| format!("seed {seed} step {step}: {e}\non transducer:\n{tau}"))?;
+            if got != cold {
+                return Err(format!(
+                    "seed {seed} step {step}: {mode:?} disagrees with the Tree \
+                     oracle after apply\non transducer:\n{tau}"
+                ));
+            }
+        }
+        if incr != cold {
+            return Err(format!(
+                "seed {seed} step {step}: incremental session diverged from a cold rebuild\n\
+                 cold: {cold:?}\nincremental: {incr:?}\non transducer:\n{tau}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Base offset for the delta-sequence corpus, disjoint from the main one.
+const DELTA_SEED_BASE: u64 = 0x5EED_0004_0000;
+
+#[test]
+fn incremental_maintenance_matches_cold_rebuilds() {
+    if let Ok(raw) = std::env::var("FUZZ_DELTA_SEED") {
+        let seed: u64 = raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("FUZZ_DELTA_SEED {raw:?} is not a decimal u64 seed: {e}"));
+        if let Err(msg) = run_delta_case(seed) {
+            panic!("{msg}");
+        }
+        return;
+    }
+    // each case chains 4 applies, so a quarter of the main corpus size
+    // keeps the wall-clock comparable
+    for case in 0..case_count().div_ceil(4).max(20) {
+        let seed = DELTA_SEED_BASE + case;
+        if let Err(msg) = run_delta_case(seed) {
+            let _ = std::fs::write("fuzz-failure-seed.txt", format!("{seed}\n"));
+            panic!("delta fuzz case {case} failed (replay with FUZZ_DELTA_SEED={seed}):\n{msg}");
+        }
+    }
+}
 
 #[test]
 fn three_engines_agree_on_random_transducers() {
