@@ -3,8 +3,8 @@
 //! Usage: `cargo run --release -p pt-bench --bin run_experiments [section]
 //! [--full-baseline]` with `section` in `{fig1, table1, table2, table3,
 //! prop1, quick, all}`. The `quick` section times the engine's hot paths
-//! and writes a machine-readable `BENCH_7.json` extending the trajectory
-//! recorded by the committed `BENCH_1.json` through `BENCH_6.json`
+//! and writes a machine-readable `BENCH_8.json` extending the trajectory
+//! recorded by the committed `BENCH_1.json` through `BENCH_7.json`
 //! (earlier files are never overwritten). Each file carries a `"host"`
 //! header (core count and `uname`) identifying the machine the numbers
 //! were taken on. Slow forced-tree baselines are skipped by default
@@ -316,12 +316,14 @@ fn time_ms(mut f: impl FnMut() -> usize) -> (f64, usize) {
 /// the τ2 enrollment view and on a retraction-heavy transitive-closure
 /// chain), the Proposition 1(3) blowup family, and the join/fixpoint
 /// microworkloads (chain and dense-graph transitive closures on the
-/// dedicated closure operator). Emits `BENCH_7.json` with a host-metadata
-/// header.
+/// dedicated closure operator), plus the intra-run parallel-scaling
+/// workloads (`run_parallel` on τ2, the pooled closure chain). Emits
+/// `BENCH_8.json` with a host-metadata header — on a 1-core host the
+/// parallel entries are self-identifying via `"cores": 1`.
 ///
 /// By default the slow in-run tree baselines (~30 s) are *not* re-measured:
 /// speedups are computed against the trajectory recorded in `BENCH_1.json`
-/// through `BENCH_6.json` (best value per entry). Pass `--full-baseline`
+/// through `BENCH_7.json` (best value per entry). Pass `--full-baseline`
 /// to re-run the forced-tree engine locally.
 fn quick(full_baseline: bool) {
     use pt_core::{EvalOptions, ExpansionMode};
@@ -338,6 +340,7 @@ fn quick(full_baseline: bool) {
         "BENCH_4.json",
         "BENCH_5.json",
         "BENCH_6.json",
+        "BENCH_7.json",
     ] {
         let parsed = std::fs::read_to_string(path)
             .map(|text| pt_bench::parse_bench_json(&text))
@@ -410,6 +413,44 @@ fn quick(full_baseline: bool) {
         value: t2_ms,
         note: format!("{t2_nodes} xi-nodes; pre-PR2 engine measured 991 ms"),
     });
+    // intra-run parallelism on the same workload: a cold session per timed
+    // call (like the sequential entry above), expanded by run_parallel.
+    // threads=1 measures the protocol overhead of publish-or-wait alone
+    // and must stay within a few percent of the sequential entry; the
+    // multi-thread entry shows the scaling (the host header says how many
+    // cores the numbers had available)
+    for (name, threads, note) in [
+        (
+            "tau2_registrar_n80_par1",
+            1usize,
+            "run_parallel(1): claim-protocol overhead vs tau2_registrar_n80_dag",
+        ),
+        (
+            "tau2_registrar_n80_par4",
+            4usize,
+            "run_parallel(4), cold session per call; see host cores",
+        ),
+    ] {
+        let (par_ms, par_nodes) = time_ms(|| {
+            let engine = pt_core::Engine::new(&db);
+            let prepared = engine.prepare(&tau2).expect("tau2 prepares");
+            prepared
+                .run_opts(pt_core::RunOptions {
+                    max_nodes: 1 << 26,
+                    threads,
+                })
+                .unwrap()
+                .size()
+        });
+        assert_eq!(par_nodes, t2_nodes, "parallel run must match sequential");
+        println!("tau2 registrar(80) par{threads}    : {par_ms:>10.1} ms  ({par_nodes} xi-nodes)");
+        entries.push(BenchEntry {
+            name,
+            metric: "ms",
+            value: par_ms,
+            note: note.to_string(),
+        });
+    }
     let db = pt_bench::registrar_with_enrollment(60, 2000);
     let (enr_ms, enr_nodes) =
         time_ms(|| tau2.run_with(&db, opts(ExpansionMode::Dag)).unwrap().size());
@@ -810,6 +851,28 @@ fn quick(full_baseline: bool) {
             note: format!("{tc_rows} rows, {note}"),
         });
     }
+    // the same n=512 chain with a 4-thread pool installed: the closure
+    // loop partitions each round's delta over the pool (the host header
+    // says how many cores actually backed the 4 threads)
+    {
+        let pool = pt_logic::par::Pool::new(4);
+        let handle = pool.handle();
+        let inst = pt_bench::chain_edges(512);
+        let (tc_par_ms, tc_par_rows) = time_ms(|| {
+            pt_logic::par::with_pool(&handle, || {
+                pt_logic::eval::eval_to_relation(&inst, None, &tc_f, &vw)
+                    .unwrap()
+                    .len()
+            })
+        });
+        println!("tc_closure chain n=512 par4: {tc_par_ms:>10.1} ms  ({tc_par_rows} rows)");
+        entries.push(BenchEntry {
+            name: "tc_closure_chain_n512_par4",
+            metric: "ms",
+            value: tc_par_ms,
+            note: format!("{tc_par_rows} rows, 4-thread delta partitioning; see host cores"),
+        });
+    }
 
     // asymptotics: the Proposition 1(3) blowup family; tree mode is
     // exponential in n while the DAG stays linear
@@ -923,7 +986,7 @@ fn quick(full_baseline: bool) {
         .map(|s| s.trim().replace(['"', '\\'], " "))
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string());
-    let mut json = String::from("{\n  \"bench\": 7,\n");
+    let mut json = String::from("{\n  \"bench\": 8,\n");
     json.push_str(&format!(
         "  \"host\": {{\"cores\": {cores}, \"uname\": \"{uname}\"}},\n  \"entries\": [\n"
     ));
@@ -935,8 +998,8 @@ fn quick(full_baseline: bool) {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_7.json", &json).expect("writing BENCH_7.json");
-    println!("wrote BENCH_7.json");
+    std::fs::write("BENCH_8.json", &json).expect("writing BENCH_8.json");
+    println!("wrote BENCH_8.json");
 }
 
 fn main() {

@@ -61,9 +61,17 @@
 //! [`PreparedTransducer::stream`] on one shared prepared transducer
 //! concurrently — and another thread may [`Engine::apply`] deltas at the
 //! same time. All runs feed — and feed off — a single sharded
-//! configuration memo, so concurrent requests share expansion work instead
-//! of duplicating it. The thread-safety rests on three pillars, one per
-//! layer (see the ROADMAP performance-architecture notes):
+//! configuration memo under a **publish-or-wait** protocol: the first
+//! thread to miss a cold configuration claims its slot, expands it exactly
+//! once, publishes the entry and wakes the threads parked on the claim —
+//! racing requests wait for the owner's entry instead of re-expanding (see
+//! the protocol notes in `pt_core::semantics`). Exactly-once expansion is
+//! what keeps the shared accounting honest: the per-run unfolded-node
+//! budget and [`PreparedTransducer::memo_entries`] count distinct
+//! configurations, never racing duplicates, so `NodeLimit` trips at the
+//! same point in any schedule and a bounded [`MemoPolicy`] never evicts
+//! early off inflated counts. The thread-safety rests on three pillars,
+//! one per layer (see the ROADMAP performance-architecture notes):
 //!
 //! * the interner is a **frozen snapshot lineage**: everything a prepared
 //!   plan can touch (sorted base active domain, base relations, rule-query
@@ -76,7 +84,24 @@
 //!   index caches behind an `RwLock`;
 //! * the configuration memo and register hash-consing table are sharded /
 //!   read-locked concurrent structures shared by all runs, optionally
-//!   bounded with a [`MemoPolicy`] chosen at [`Engine::prepare_with`].
+//!   bounded with a [`MemoPolicy`] chosen at [`Engine::prepare_with`],
+//!   with claim slots (a mutex + condvar wait-for table, never held across
+//!   recursion) arbitrating cold expansions.
+//!
+//! # Parallel runs
+//!
+//! The same protocol makes a *single* run scale across cores:
+//! [`PreparedTransducer::run_parallel`] (or [`RunOptions::threads`] via
+//! [`PreparedTransducer::run_opts`] / [`PreparedTransducer::stream_opts`])
+//! fans the independent child configurations of each DAG node out over a
+//! scoped worker pool, and the fixpoint loops in `pt_logic` partition
+//! their per-round deltas over the same pool. Every observable — output
+//! tree, ξ statistics, relational views, stream events, errors — is
+//! identical to the sequential run: sibling order is preserved, the node
+//! budget is schedule-invariant (each occurrence of the unfolding is
+//! charged exactly once), and if a parallel schedule surfaces an error the
+//! run transparently re-runs sequentially over the warmed memo so the
+//! error, too, matches the oracle.
 //!
 //! Output has two forms: [`PreparedTransducer::run`] returns the shared-DAG
 //! [`RunResult`], and [`PreparedTransducer::stream`] emits the document as
@@ -88,6 +113,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Arc, Mutex, RwLock, Weak};
 
+use pt_logic::par::{self, Pool, PoolHandle};
 use pt_logic::EvalContext;
 use pt_relational::{Delta, DeltaError, Instance, SymRegister};
 use pt_xmltree::XmlEventSink;
@@ -403,6 +429,33 @@ impl Engine {
     }
 }
 
+/// Per-run knobs for [`PreparedTransducer::run_opts`] /
+/// [`PreparedTransducer::stream_opts`].
+///
+/// The default is the sequential run with the default node budget —
+/// exactly [`PreparedTransducer::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Budget on the unfolded ξ-node count, charged once per occurrence of
+    /// the unfolding in any schedule (see [`RunError::NodeLimit`]).
+    pub max_nodes: usize,
+    /// Total threads expanding this one run: `1` (the default) is the
+    /// plain sequential expansion; `n > 1` spawns a scoped pool of `n - 1`
+    /// workers that independent child configurations — and the fixpoint
+    /// loops' per-round deltas — fan out over. Every observable matches
+    /// the sequential run.
+    pub threads: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_nodes: EvalOptions::default().max_nodes,
+            threads: 1,
+        }
+    }
+}
+
 /// A transducer prepared against an [`Engine`]: the rule plan is resolved,
 /// the engine's caches are warm, and the configuration memo persists
 /// across runs — and across [`Engine::apply`] calls, which evict exactly
@@ -465,16 +518,61 @@ impl<'e, 't> PreparedTransducer<'e, 't> {
     /// [`PreparedTransducer::run`] with an explicit budget on the unfolded
     /// ξ-node count (the budget is per run; the memo persists either way).
     pub fn run_with(&self, max_nodes: usize) -> Result<RunResult, RunError> {
-        let db = self.engine.snapshot();
-        let root = expand_session(
-            &db.ctx,
-            &self.engine.regs,
-            &self.pairs,
-            &self.state,
-            db.version,
-            &self.engine.validity,
+        self.run_opts(RunOptions {
             max_nodes,
-        )?;
+            threads: 1,
+        })
+    }
+
+    /// [`PreparedTransducer::run`] parallelized across `threads` cores:
+    /// independent child configurations of each DAG node fan out over a
+    /// scoped worker pool (torn down before this returns), sharing the
+    /// session memo under the publish-or-wait protocol. Oracle-identical
+    /// to the sequential run in every observable; `run_parallel(1)` *is*
+    /// the sequential run.
+    pub fn run_parallel(&self, threads: usize) -> Result<RunResult, RunError> {
+        self.run_opts(RunOptions {
+            threads,
+            ..RunOptions::default()
+        })
+    }
+
+    /// Run with explicit [`RunOptions`].
+    pub fn run_opts(&self, opts: RunOptions) -> Result<RunResult, RunError> {
+        let db = self.engine.snapshot();
+        let expand = |pool: Option<&PoolHandle>| {
+            expand_session(
+                &db.ctx,
+                &self.engine.regs,
+                &self.pairs,
+                &self.state,
+                db.version,
+                &self.engine.validity,
+                opts.max_nodes,
+                pool,
+            )
+        };
+        let root = if opts.threads <= 1 {
+            expand(None)?
+        } else {
+            let pool = Pool::new(opts.threads);
+            let handle = pool.handle();
+            // install the pool ambiently so the fixpoint loops inside
+            // query evaluation partition their deltas over it too
+            match par::with_pool(&handle, || expand(Some(&handle))) {
+                Ok(root) => root,
+                // a parallel schedule can surface a different error than
+                // the sequential order (e.g. which failing sibling loses
+                // the race); re-running sequentially over the memo the
+                // parallel attempt warmed is cheap and returns the exact
+                // oracle outcome — error or, after an eviction race,
+                // even a success
+                Err(_) => {
+                    drop(pool);
+                    expand(None)?
+                }
+            }
+        };
         Ok(RunResult::new(root, self.tau.virtual_tags().clone()))
     }
 
@@ -496,5 +594,26 @@ impl<'e, 't> PreparedTransducer<'e, 't> {
         sink: &mut impl XmlEventSink,
     ) -> Result<StreamSummary, RunError> {
         Ok(self.run_with(max_nodes)?.stream_output(sink))
+    }
+
+    /// [`PreparedTransducer::stream`] with explicit [`RunOptions`] — the
+    /// expansion phase runs with `opts.threads` threads, then the events
+    /// stream from the finished DAG on this thread (event order is the
+    /// document order either way).
+    pub fn stream_opts(
+        &self,
+        opts: RunOptions,
+        sink: &mut impl XmlEventSink,
+    ) -> Result<StreamSummary, RunError> {
+        Ok(self.run_opts(opts)?.stream_output(sink))
+    }
+
+    /// Number of cold configuration expansions performed over this
+    /// session's lifetime — with the publish-or-wait memo this equals the
+    /// number of distinct configurations expanded, however many threads
+    /// raced (the deliberate deadlock-avoiding fallbacks are the only
+    /// duplicates). Stop-condition leaves are not counted.
+    pub fn memo_expansions(&self) -> usize {
+        self.state.expansions()
     }
 }

@@ -46,7 +46,7 @@ pub mod generate;
 pub mod semantics;
 pub mod transducer;
 
-pub use engine::{ApplyReport, Engine, PrepareError, PreparedTransducer};
+pub use engine::{ApplyReport, Engine, PrepareError, PreparedTransducer, RunOptions};
 pub use pt_relational::{Delta, DeltaError};
 pub use semantics::{
     EvalOptions, ExpansionMode, MemoPolicy, ResultNode, RunError, RunResult, StreamSummary,

@@ -26,6 +26,28 @@
 //! [`PreparedTransducer`](crate::PreparedTransducer) and persists across
 //! its runs.
 //!
+//! # Publish-or-wait: one owner per cold slot
+//!
+//! Concurrent runs (and the worker threads of one parallel run) share the
+//! memo, so two threads can miss the same cold `(PairId, RegId)` slot at
+//! once. Instead of both expanding — duplicate work, duplicate entries,
+//! and (for a shared parallel budget) duplicate charges — a thread that
+//! misses first *claims* the slot in the session's claim table: the winner
+//! expands exactly once, publishes the entry, and wakes the waiters
+//! (parked on a condvar, never holding a shard lock); losers re-check the
+//! memo on wake and replay the published entry. Self-referential stop
+//! conditions can produce genuine cross-thread wait cycles (thread A's
+//! expansion needs a configuration B owns while B's needs one A owns);
+//! the claim table keeps a wait-for edge per thread and a claimer that
+//! would close a cycle expands inline instead of waiting — a bounded,
+//! deduplicated fallback duplicate, never a deadlock. A conservative
+//! timeout backstops wait-for edges the table cannot see (a worker parked
+//! on a pool scope). The budget stays exact in every schedule: each
+//! occurrence of the unfolded tree is charged exactly once — node by node
+//! by its (unique) expander, or as the published entry's recorded size on
+//! a memo hit — so totals, and hence `NodeLimit` behavior, are
+//! schedule-independent.
+//!
 //! Memoization must respect the stop condition, which consults the
 //! *ancestor path*: an expansion of configuration `c` is a deterministic
 //! function of `c` and of `S ∩ E`, where `S` is the set of ancestor
@@ -71,9 +93,11 @@ use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
 
 use pt_logic::eval::EvalError;
+use pt_logic::par::PoolHandle;
 use pt_logic::{EvalContext, IndexedRegister, Query};
 use pt_relational::intern::{FxHashMap, FxHashSet, FxHasher};
 use pt_relational::{Instance, Relation, SymRegister};
@@ -521,7 +545,7 @@ impl MemoValidity {
 /// and [`Relation`] (the previous-generation value-level path, kept as a
 /// differential oracle). The memoization logic is shared; only the register
 /// plumbing differs.
-pub(crate) trait RegisterRepr: Clone + Eq + Hash {
+pub(crate) trait RegisterRepr: Clone + Eq + Hash + Send + Sync {
     /// The root configuration's (empty, nullary) register.
     fn root() -> Self;
     /// Prepare the register once per configuration for all its rule-item
@@ -778,6 +802,17 @@ pub(crate) struct DagState {
     /// generation to drop (approximate under concurrency, like
     /// `entry_count`).
     generation_fill: AtomicUsize,
+    /// The publish-or-wait claim table: which expansion token owns each
+    /// in-flight cold configuration, and which configuration each token is
+    /// blocked on (the wait-for edges the cycle walk follows). Never held
+    /// while a shard lock is held.
+    claims: Mutex<Claims>,
+    /// Wakes claim waiters on publish/release.
+    claims_cv: Condvar,
+    /// Cold expansions actually performed (stop-condition leaves excluded).
+    /// Under publish-or-wait this stays equal to the number of distinct
+    /// expansions the run set needed — racing threads no longer inflate it.
+    expansions: AtomicUsize,
 }
 
 #[derive(Default)]
@@ -785,6 +820,46 @@ struct MemoShard {
     ids: FxHashMap<(PairId, RegId), ConfigId>,
     configs: Vec<(PairId, RegId)>,
     entries: Vec<Vec<MemoEntry>>,
+}
+
+/// The claim table of the publish-or-wait protocol (see the module docs).
+#[derive(Default)]
+struct Claims {
+    /// In-flight cold expansions: configuration → owning expansion token.
+    owners: FxHashMap<ConfigId, u64>,
+    /// Wait-for edges: token → the claimed configuration it is parked on.
+    /// A token waits on at most one configuration at a time, and only ever
+    /// on one present in `owners`.
+    waiting: FxHashMap<u64, ConfigId>,
+}
+
+/// What [`DagState::claim`] decided for a thread that missed a cold slot.
+enum Claim {
+    /// The slot is ours: expand once, publish, release.
+    Won,
+    /// The owner released (published or failed); re-check the memo and, if
+    /// it is still cold, claim again.
+    Retry,
+    /// Waiting would (or did) risk a deadlock — a wait-for cycle through
+    /// our own claims, or a timeout on an edge the table cannot see.
+    /// Expand inline without claiming; the publish deduplicates.
+    Fallback,
+}
+
+/// How long a claim waiter parks before falling back to an inline
+/// expansion. Wait-for cycles *through the claim table* are detected
+/// immediately; the timeout only backstops cycles routed through a pool
+/// scope wait (parent parked on its children's batch), which the table
+/// cannot see. Expansions are typically far faster than this.
+const CLAIM_WAIT: Duration = Duration::from_millis(10);
+
+/// Expansion tokens: one per logical expansion thread (the root of a run,
+/// and each fanned-out child job). Claims and wait-for edges key on the
+/// token, so a token never waits on itself and cycle detection works
+/// across pool workers.
+fn next_token() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl Default for DagState {
@@ -803,6 +878,9 @@ impl DagState {
             entry_count: AtomicUsize::new(0),
             generation: AtomicU32::new(0),
             generation_fill: AtomicUsize::new(0),
+            claims: Mutex::new(Claims::default()),
+            claims_cv: Condvar::new(),
+            expansions: AtomicUsize::new(0),
         }
     }
 
@@ -872,16 +950,26 @@ impl DagState {
         None
     }
 
-    /// Record one expansion (the entry's generation stamp is set here);
+    /// Publish one expansion (the entry's generation stamp is set here);
     /// under [`MemoPolicy::Bounded`], trips the generation-counted
-    /// eviction when the cap is exceeded. A concurrent duplicate insert
-    /// (two threads racing the same cold configuration) is benign: both
-    /// entries answer identically and at most one is extra.
+    /// eviction when the cap is exceeded. Inserts are *deduplicated*: a
+    /// slot that already holds an entry answering the same lookups (same
+    /// ancestor-intersection key, same version) keeps the existing one, so
+    /// the rare racing duplicates the publish-or-wait protocol still
+    /// permits — stop-condition leaves and cycle/timeout fallbacks — never
+    /// inflate `entry_count` and never make a bounded memo evict early.
     fn insert(&self, cid: ConfigId, mut entry: MemoEntry) {
         entry.generation = self.generation.load(Ordering::Relaxed);
         {
             let mut shard = self.shards[(cid as usize) & (SHARDS - 1)].write().unwrap();
-            shard.entries[(cid >> SHARD_BITS) as usize].push(entry);
+            let entries = &mut shard.entries[(cid >> SHARD_BITS) as usize];
+            if entries
+                .iter()
+                .any(|e| e.blocked == entry.blocked && e.version == entry.version)
+            {
+                return;
+            }
+            entries.push(entry);
         }
         let count = self.entry_count.fetch_add(1, Ordering::Relaxed) + 1;
         if let MemoPolicy::Bounded { max_entries } = self.policy {
@@ -901,28 +989,128 @@ impl DagState {
     /// Generation-counted eviction: keep the two newest generations (each
     /// at most ⌈cap/2⌉ entries, so together they fit the cap) and drop
     /// everything older; if the survivors alone still exceed the cap
-    /// (tiny caps or racing insertions), drop everything. See
-    /// [`MemoPolicy::Bounded`].
+    /// (tiny caps or racing insertions), drop everything *except* claimed
+    /// slots. A configuration currently claimed by an in-flight expansion
+    /// is never evicted: its freshly published entry must survive until
+    /// the claim is released and the parked waiters have replayed it —
+    /// under tiny caps this is what keeps racing threads from evicting the
+    /// very entry they are about to wake on. See [`MemoPolicy::Bounded`].
     fn evict(&self, max_entries: usize) {
+        // snapshot the claimed slots first; the claims lock is never held
+        // while a shard lock is (lock-order discipline, see `claims`)
+        let protected: FxHashSet<ConfigId> = {
+            let claims = self.claims.lock().unwrap();
+            claims.owners.keys().copied().collect()
+        };
         let current = self.generation.load(Ordering::Relaxed);
         let mut remaining = 0usize;
-        for shard in &self.shards {
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
             let mut guard = shard.write().unwrap();
-            for entries in &mut guard.entries {
-                entries.retain(|e| current.wrapping_sub(e.generation) <= 1);
+            for (slot, entries) in guard.entries.iter_mut().enumerate() {
+                let cid = ((slot as ConfigId) << SHARD_BITS) | shard_idx as ConfigId;
+                if !protected.contains(&cid) {
+                    entries.retain(|e| current.wrapping_sub(e.generation) <= 1);
+                }
                 remaining += entries.len();
             }
         }
         if remaining > max_entries {
             remaining = 0;
-            for shard in &self.shards {
+            for (shard_idx, shard) in self.shards.iter().enumerate() {
                 let mut guard = shard.write().unwrap();
-                for entries in &mut guard.entries {
-                    entries.clear();
+                for (slot, entries) in guard.entries.iter_mut().enumerate() {
+                    let cid = ((slot as ConfigId) << SHARD_BITS) | shard_idx as ConfigId;
+                    if !protected.contains(&cid) {
+                        entries.clear();
+                    }
+                    remaining += entries.len();
                 }
             }
         }
         self.entry_count.store(remaining, Ordering::Relaxed);
+    }
+
+    /// Try to take ownership of cold configuration `cid` for `token`,
+    /// parking while another token owns it. Returns [`Claim::Won`] with
+    /// the claim held (release via [`DagState::release`], including on
+    /// error paths), [`Claim::Retry`] after the owner released (the caller
+    /// re-checks the memo), or [`Claim::Fallback`] when waiting would risk
+    /// deadlock — the caller then expands inline without claiming.
+    fn claim(&self, cid: ConfigId, token: u64) -> Claim {
+        let mut claims = self.claims.lock().unwrap();
+        if let std::collections::hash_map::Entry::Vacant(slot) = claims.owners.entry(cid) {
+            slot.insert(token);
+            return Claim::Won;
+        }
+        // the wait-for edge we are about to add closes a cycle iff the
+        // owner's wait chain already leads back to one of our own claims;
+        // edges are only ever added under this lock, so the closer of a
+        // cycle always sees it here — waiting threads never have to re-check
+        if Self::would_cycle(&claims, cid, token) {
+            return Claim::Fallback;
+        }
+        claims.waiting.insert(token, cid);
+        let deadline = std::time::Instant::now() + CLAIM_WAIT;
+        loop {
+            if !claims.owners.contains_key(&cid) {
+                claims.waiting.remove(&token);
+                return Claim::Retry;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                claims.waiting.remove(&token);
+                return Claim::Fallback;
+            }
+            let (guard, _timeout) = self.claims_cv.wait_timeout(claims, deadline - now).unwrap();
+            claims = guard;
+        }
+    }
+
+    /// Whether `token` waiting on `cid` would close a wait-for cycle:
+    /// follow owner → waited-on configuration → owner … from `cid`; a hop
+    /// back to `token` itself is a cycle.
+    fn would_cycle(claims: &Claims, cid: ConfigId, token: u64) -> bool {
+        let mut hops = 0usize;
+        let mut current = cid;
+        loop {
+            let Some(&owner) = claims.owners.get(&current) else {
+                return false;
+            };
+            if owner == token {
+                return true;
+            }
+            let Some(&next) = claims.waiting.get(&owner) else {
+                return false;
+            };
+            current = next;
+            hops += 1;
+            if hops > claims.owners.len() {
+                // defensive: the walk is bounded by the claim count
+                return true;
+            }
+        }
+    }
+
+    /// Release `token`'s claim on `cid` and wake every parked waiter (they
+    /// re-check the memo and re-claim if it is still cold). Called after
+    /// publish — and, via [`ClaimGuard`], on every error path, so a failed
+    /// expansion never strands its waiters.
+    fn release(&self, cid: ConfigId, token: u64) {
+        {
+            let mut claims = self.claims.lock().unwrap();
+            let removed = claims.owners.remove(&cid);
+            debug_assert_eq!(removed, Some(token), "released a claim we did not hold");
+        }
+        self.claims_cv.notify_all();
+        // claim protection can hold a bounded memo above its cap while the
+        // expansion is in flight; releasing the claim is the drain point,
+        // so re-enforce the cap here — once every claim is gone the memo
+        // is back under it
+        if let MemoPolicy::Bounded { max_entries } = self.policy {
+            if self.entry_count.load(Ordering::Relaxed) > max_entries {
+                self.evict(max_entries);
+            }
+        }
     }
 
     /// Drop every memo entry whose read mask has a bucket that advanced
@@ -961,6 +1149,15 @@ impl DagState {
         self.entry_count.load(Ordering::Relaxed)
     }
 
+    /// Number of cold expansions performed over this session's lifetime
+    /// (stop-condition leaves excluded). With publish-or-wait this equals
+    /// the number of distinct configurations expanded — racing threads
+    /// wait instead of re-expanding — except for the deliberate cycle /
+    /// timeout fallbacks, which expand inline rather than deadlock.
+    pub(crate) fn expansions(&self) -> usize {
+        self.expansions.load(Ordering::Relaxed)
+    }
+
     /// The memo policy this session was prepared with.
     pub(crate) fn policy(&self) -> MemoPolicy {
         self.policy
@@ -973,6 +1170,12 @@ impl DagState {
 /// (value-level registers, throwaway session) — one wiring, two register
 /// representations. Takes the session state by shared reference: N threads
 /// may expand over one session concurrently, sharing the memo.
+///
+/// With `pool` set, independent child configurations of a node fan out
+/// over the pool's threads (they share this run's node budget, which is
+/// schedule-invariant: every occurrence of the unfolded tree is charged
+/// exactly once, by its expander or by the memo hit that replays it).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn expand_session<R: RegisterRepr>(
     ctx: &EvalContext,
     regs: &RwLock<RegisterIds<R>>,
@@ -981,7 +1184,9 @@ pub(crate) fn expand_session<R: RegisterRepr>(
     version: u64,
     validity: &MemoValidity,
     max_nodes: usize,
+    pool: Option<&PoolHandle>,
 ) -> Result<Arc<ResultNode>, RunError> {
+    let count = AtomicUsize::new(0);
     DagExpansion {
         ctx,
         regs,
@@ -990,7 +1195,8 @@ pub(crate) fn expand_session<R: RegisterRepr>(
         version,
         validity,
         max_nodes,
-        count: 0,
+        count: &count,
+        pool,
     }
     .run_root()
 }
@@ -999,7 +1205,8 @@ pub(crate) fn expand_session<R: RegisterRepr>(
 /// register representation configurations key on. The engine-owned parts
 /// (`ctx`, `regs`) and the session memo (`state`) are shared across
 /// concurrent runs; only `count` — this run's unfolded-node budget — is
-/// run-local. No lock is ever held across recursion or query evaluation.
+/// run-local (shared by the run's fanned-out jobs, atomic for that
+/// reason). No lock is ever held across recursion or query evaluation.
 struct DagExpansion<'x, 't, R: RegisterRepr> {
     ctx: &'x EvalContext,
     regs: &'x RwLock<RegisterIds<R>>,
@@ -1010,11 +1217,28 @@ struct DagExpansion<'x, 't, R: RegisterRepr> {
     version: u64,
     validity: &'x MemoValidity,
     max_nodes: usize,
-    count: usize,
+    count: &'x AtomicUsize,
+    /// Worker pool for intra-run fan-out; `None` runs single-threaded.
+    pool: Option<&'x PoolHandle>,
+}
+
+/// Releases a won claim when the expansion frame unwinds — publish happens
+/// first (inside `expand_cold`), so waiters woken by the release find the
+/// entry; on an error path the release simply sends them back to claim.
+struct ClaimGuard<'a> {
+    state: &'a DagState,
+    cid: ConfigId,
+    token: u64,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        self.state.release(self.cid, self.token);
+    }
 }
 
 impl<'x, 't, R: RegisterRepr> DagExpansion<'x, 't, R> {
-    fn config_id(&mut self, pair: PairId, register: R) -> ConfigId {
+    fn config_id(&self, pair: PairId, register: R) -> ConfigId {
         // warm runs resolve every register through the read lock; only a
         // genuinely new register takes the write lock to intern (the read
         // guard must be dropped first — std RwLock is not re-entrant)
@@ -1026,9 +1250,9 @@ impl<'x, 't, R: RegisterRepr> DagExpansion<'x, 't, R> {
         self.state.config_id((pair, reg))
     }
 
-    fn charge(&mut self, nodes: usize) -> Result<(), RunError> {
-        self.count += nodes;
-        if self.count > self.max_nodes {
+    fn charge(&self, nodes: usize) -> Result<(), RunError> {
+        let total = self.count.fetch_add(nodes, Ordering::Relaxed) + nodes;
+        if total > self.max_nodes {
             return Err(RunError::NodeLimit(self.max_nodes));
         }
         Ok(())
@@ -1036,21 +1260,29 @@ impl<'x, 't, R: RegisterRepr> DagExpansion<'x, 't, R> {
 
     /// Expand the root configuration `(q0, r, ∅)` — interning it on the
     /// session's first run, replaying its memo entry afterwards.
-    fn run_root(&mut self) -> Result<Arc<ResultNode>, RunError> {
+    fn run_root(&self) -> Result<Arc<ResultNode>, RunError> {
         let root_cid = self.config_id(0, R::root());
-        let (root, _, _, _) = self.expand(root_cid, &mut Vec::new(), &mut FxHashSet::default())?;
+        let (root, _, _, _) = self.expand(
+            root_cid,
+            &mut Vec::new(),
+            &mut FxHashSet::default(),
+            next_token(),
+        )?;
         Ok(root)
     }
 
     /// Expand configuration `cid` under the ancestor path `path` /
     /// `on_path`, returning the (possibly shared) subtree, its footprint,
     /// its unfolded size, and the [`MemoValidity`] read mask of every
-    /// relation the subtree's queries consulted.
+    /// relation the subtree's queries consulted. `token` identifies the
+    /// logical expansion thread for the publish-or-wait protocol (one per
+    /// run root and per fanned-out job).
     fn expand(
-        &mut self,
+        &self,
         cid: ConfigId,
         path: &mut Vec<ConfigId>,
         on_path: &mut FxHashSet<ConfigId>,
+        token: u64,
     ) -> Result<(Arc<ResultNode>, FxHashSet<ConfigId>, usize, u64), RunError> {
         // memo lookup: an entry is reusable iff it is still valid at this
         // run's pinned version and the current ancestors intersect its
@@ -1062,15 +1294,17 @@ impl<'x, 't, R: RegisterRepr> DagExpansion<'x, 't, R> {
             return Ok((node, footprint, size, mask));
         }
 
-        let (pair, reg_id) = self.state.config(cid);
-        // Arc clone only: the interned register is never copied
-        let register = self.regs.read().unwrap().arc(reg_id);
-        let (state, tag) = self.pairs.names[pair as usize].clone();
-
         // stop condition (Section 3, condition (1)): an ancestor with the
-        // same state, tag and register seals this leaf
+        // same state, tag and register seals this leaf. Checked *before*
+        // claiming — the ancestor expansion of `cid` holds the claim, so
+        // claiming here would self-deadlock; the leaf publishes unclaimed
+        // (insert deduplicates the racing copies)
         if on_path.contains(&cid) {
             self.charge(1)?;
+            let (pair, reg_id) = self.state.config(cid);
+            // Arc clone only: the interned register is never copied
+            let register = self.regs.read().unwrap().arc(reg_id);
+            let (state, tag) = self.pairs.names[pair as usize].clone();
             let node = Arc::new(ResultNode {
                 state,
                 tag,
@@ -1096,7 +1330,58 @@ impl<'x, 't, R: RegisterRepr> DagExpansion<'x, 't, R> {
             return Ok((node, footprint, 1, 0));
         }
 
+        // publish-or-wait: claim the cold slot or park until its owner
+        // publishes, then replay the published entry
+        loop {
+            match self.state.claim(cid, token) {
+                Claim::Won => {
+                    let _guard = ClaimGuard {
+                        state: self.state,
+                        cid,
+                        token,
+                    };
+                    // expand_cold publishes before the guard releases, so
+                    // woken waiters find the entry
+                    return self.expand_cold(cid, path, on_path, token);
+                }
+                Claim::Retry => {
+                    // the owner released; its entry usually answers us —
+                    // unless our ancestor path intersects the footprint
+                    // differently (or a bounded memo evicted it), in which
+                    // case we go around and claim the slot ourselves
+                    if let Some((node, footprint, size, mask)) =
+                        self.state.lookup(cid, path, self.version, self.validity)
+                    {
+                        self.charge(size)?;
+                        return Ok((node, footprint, size, mask));
+                    }
+                }
+                Claim::Fallback => {
+                    // waiting would risk deadlock (wait-for cycle, or an
+                    // owner stalled past the timeout): expand inline
+                    // without claiming — insert deduplicates the copies
+                    return self.expand_cold(cid, path, on_path, token);
+                }
+            }
+        }
+    }
+
+    /// Expand a cold configuration: evaluate its rule-item queries, expand
+    /// every child (fanning independent children out over the pool when
+    /// one is attached and hungry), and publish the memo entry.
+    fn expand_cold(
+        &self,
+        cid: ConfigId,
+        path: &mut Vec<ConfigId>,
+        on_path: &mut FxHashSet<ConfigId>,
+        token: u64,
+    ) -> Result<(Arc<ResultNode>, FxHashSet<ConfigId>, usize, u64), RunError> {
         self.charge(1)?;
+        self.state.expansions.fetch_add(1, Ordering::Relaxed);
+        let (pair, reg_id) = self.state.config(cid);
+        // Arc clone only: the interned register is never copied
+        let register = self.regs.read().unwrap().arc(reg_id);
+        let (state, tag) = self.pairs.names[pair as usize].clone();
         // copy the table reference out so the item slice does not hold a
         // borrow of `self` across the recursion
         let pairs: &'x PairTable<'t> = self.pairs;
@@ -1111,11 +1396,44 @@ impl<'x, 't, R: RegisterRepr> DagExpansion<'x, 't, R> {
             let ireg = R::index(self.ctx, &register);
             path.push(cid);
             on_path.insert(cid);
+            // resolve every child configuration first (queries evaluate on
+            // this thread; `groups` fixes the sibling/domain order)
+            let mut child_cids: Vec<ConfigId> = Vec::new();
             for &(child_pair, query) in items {
                 // children grouped by x̄, ordered by the domain order
                 for group in R::groups(query, self.ctx, &ireg)? {
-                    let child = self.config_id(child_pair, group);
-                    let (node, fp, sz, mask) = self.expand(child, path, on_path)?;
+                    child_cids.push(self.config_id(child_pair, group));
+                }
+            }
+            let fan_out = self
+                .pool
+                .is_some_and(|p| p.threads() > 1 && child_cids.len() >= 2 && p.starving());
+            if fan_out {
+                let pool = self.pool.unwrap();
+                // each job gets its own copy of the ancestor path and a
+                // fresh token (it is its own logical expansion thread for
+                // the wait-for graph)
+                let job_path: &Vec<ConfigId> = path;
+                let job_on_path: &FxHashSet<ConfigId> = on_path;
+                let results = pool.map(child_cids, |child| {
+                    let mut p = job_path.clone();
+                    let mut op = job_on_path.clone();
+                    self.expand(child, &mut p, &mut op, next_token())
+                });
+                // sibling order is preserved; on multiple failures the
+                // first error in sibling order surfaces (the caller's
+                // sequential-rerun fallback restores the exact oracle
+                // error when schedules could still disagree)
+                for result in results {
+                    let (node, fp, sz, mask) = result?;
+                    children.push(node);
+                    footprint.extend(fp);
+                    size += sz;
+                    rel_mask |= mask;
+                }
+            } else {
+                for child in child_cids {
+                    let (node, fp, sz, mask) = self.expand(child, path, on_path, token)?;
                     children.push(node);
                     footprint.extend(fp);
                     size += sz;
@@ -1188,8 +1506,16 @@ impl Transducer {
                 // single-shot session: version 0 against a zeroed clock,
                 // so every entry trivially stays valid
                 let validity = MemoValidity::new();
-                let root =
-                    expand_session(&ctx, &regs, &pairs, &state, 0, &validity, opts.max_nodes)?;
+                let root = expand_session(
+                    &ctx,
+                    &regs,
+                    &pairs,
+                    &state,
+                    0,
+                    &validity,
+                    opts.max_nodes,
+                    None,
+                )?;
                 Ok(RunResult::new(root, self.virtual_tags().clone()))
             }
             ExpansionMode::Tree => {

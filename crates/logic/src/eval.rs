@@ -50,6 +50,7 @@ use pt_relational::{Instance, Relation, Tuple, Value};
 
 use crate::closure::{closure_shape, ClosureShape};
 use crate::formula::Formula;
+use crate::par;
 use crate::term::{Term, Var};
 
 /// Minimum row count (on both sides) before the conjunction planner
@@ -698,6 +699,11 @@ struct ClosurePlan {
 /// Run the closure delta loop to exhaustion: extend the frontier through
 /// the sorted step view until nothing new is derived. `total` must already
 /// contain the frontier rows; the frontier need not be disjoint from it.
+///
+/// When an ambient [`crate::par`] pool is installed (intra-run parallel
+/// runs), each round's delta is partitioned across the pool: the probe
+/// rows are independent, so chunked probing followed by a sorted merge
+/// derives exactly the rows the sequential loop does, round for round.
 fn closure_continue(
     mut total: SortedRowSet,
     mut delta: Vec<SymTuple>,
@@ -712,15 +718,29 @@ fn closure_continue(
         .sorted(&[dims.sort_col])
         .expect("step relation is binary");
     let out = view.column(dims.out_col());
+    /// Probe rows below this per-round count are extended sequentially —
+    /// the chunk merge must not cost more than it saves.
+    const PAR_MIN_DELTA: usize = 1024;
     while !delta.is_empty() {
-        let mut next: Vec<SymTuple> = Vec::new();
-        for d in &delta {
-            for i in view.prefix_range(&[d[dims.probe_col]]) {
-                next.push(dims.emit_row(d, out[i]));
+        let mut parts = par::map_chunks(&delta, PAR_MIN_DELTA, |chunk| {
+            let mut next: Vec<SymTuple> = Vec::new();
+            for d in chunk {
+                for i in view.prefix_range(&[d[dims.probe_col]]) {
+                    next.push(dims.emit_row(d, out[i]));
+                }
             }
-        }
-        next.sort_unstable();
-        next.dedup();
+            next.sort_unstable();
+            next.dedup();
+            next
+        });
+        let mut next = if parts.len() == 1 {
+            parts.pop().expect("map_chunks yields at least one part")
+        } else {
+            let mut merged: Vec<SymTuple> = parts.concat();
+            merged.sort_unstable();
+            merged.dedup();
+            merged
+        };
         next.retain(|r| !total.contains(r));
         total.insert_sorted_batch(next.clone());
         delta = next;
@@ -1953,19 +1973,40 @@ impl<'a> Evaluator<'a> {
         // a linear body (k = 1) references only the delta: skip the
         // per-round O(|J|) re-wrapping of the full and previous sets
         let multi = k >= 2;
+        // delta rows below this count evaluate in one piece: per-chunk
+        // plan setup must not cost more than the partitioning saves
+        const PAR_MIN_DELTA: usize = 512;
         while !delta.is_empty() {
             if multi {
                 inner.insert(new_name.clone(), wrap(&current));
                 inner.insert(old_name.clone(), wrap(&prev));
             }
-            inner.insert(delta_name.clone(), wrap(&delta));
-            let mut next: FxHashSet<SymTuple> = FxHashSet::default();
-            for variant in &variants {
-                for t in self.eval_stage(variant, vars, &inner)? {
-                    if !current.contains(&t) {
-                        next.insert(t);
+            // partition the round's delta across the ambient pool (if one
+            // is installed — intra-run parallel runs): each variant has
+            // exactly one strictly positive occurrence of the delta
+            // relation (never under ¬/∀, see
+            // [`Formula::positive_occurrences`]), hence is additive in it,
+            // so the union over delta chunks equals the whole-delta stage
+            let delta_rows: Vec<SymTuple> = delta.iter().cloned().collect();
+            let parts = par::map_chunks(&delta_rows, PAR_MIN_DELTA, |chunk| {
+                let mut local = inner.clone();
+                local.insert(
+                    delta_name.clone(),
+                    Arc::new(SymRelation::from_rows(chunk.to_vec(), Some(arity))),
+                );
+                let mut found: FxHashSet<SymTuple> = FxHashSet::default();
+                for variant in &variants {
+                    for t in self.eval_stage(variant, vars, &local)? {
+                        if !current.contains(&t) {
+                            found.insert(t);
+                        }
                     }
                 }
+                Ok::<_, EvalError>(found)
+            });
+            let mut next: FxHashSet<SymTuple> = FxHashSet::default();
+            for part in parts {
+                next.extend(part?);
             }
             if next.is_empty() {
                 break;

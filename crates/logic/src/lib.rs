@@ -18,13 +18,16 @@
 //!   equivalence with `≠` (Klug's criterion, used by Theorem 2(4)),
 //!   reduction and c-equivalence (Claim 3),
 //! * [`compose`] — the two query-composition operators (tuple-register and
-//!   relation-register) used throughout Sections 5 and 6.
+//!   relation-register) used throughout Sections 5 and 6,
+//! * [`par`] — a minimal scoped worker pool; the fixpoint loops partition
+//!   their per-round deltas over the ambient pool when one is installed.
 
 mod closure;
 pub mod compose;
 pub mod cq;
 pub mod eval;
 mod formula;
+pub mod par;
 mod parser;
 mod query;
 mod term;

@@ -1,0 +1,397 @@
+//! A minimal scoped worker pool for intra-run parallelism.
+//!
+//! One [`Pool`] is a handful of worker threads draining a shared job queue.
+//! Work is submitted in *batches* ([`PoolHandle::run_all`] /
+//! [`PoolHandle::map`]): the submitting thread pushes every job, then helps
+//! drain the queue until its whole batch has finished — it never parks
+//! while runnable work is queued, so a pool makes progress even with zero
+//! workers (`threads = 1`) and nested batches (a job submitting its own
+//! batch) cannot deadlock: the deepest submitter always runs its own jobs.
+//!
+//! Jobs may borrow from the submitting stack frame: `run_all` is scoped in
+//! the `std::thread::scope` sense — it does not return (not even by
+//! panicking) until every job of the batch has run to completion, so
+//! borrows captured by the jobs outlive every execution. A panicking job
+//! does not tear the pool down; the panic is caught, the batch is drained,
+//! and the payload is resumed on the submitting thread.
+//!
+//! The crate's evaluation loops pick the pool up *ambiently*: a run that
+//! wants its fixpoint deltas partitioned installs its pool with
+//! [`with_pool`], and [`map_chunks`] consults the installed handle — code
+//! that never installs one keeps its exact sequential behavior. Workers
+//! re-install their own pool around every job they execute, so evaluation
+//! reached *from* a pooled job partitions over the same pool.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A type-erased, lifetime-erased job. Safety: jobs are only transmuted to
+/// `'static` by [`PoolHandle::run_all`], which does not return until every
+/// job of its batch has finished running.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolCore {
+    state: Mutex<QueueState>,
+    /// Signals queue pushes and shutdown to parked workers.
+    queue_cv: Condvar,
+    /// Worker threads beyond the submitting thread (may be 0).
+    workers: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// One batch of jobs submitted together; the submitter blocks on `cv`
+/// until `pending` reaches zero.
+struct Batch {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+    /// First panic payload raised by a job of this batch, re-raised on the
+    /// submitting thread after the batch drains.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+/// The owning handle: spawns the workers, shuts them down on drop. Obtain
+/// cheap shareable handles via [`Pool::handle`].
+pub struct Pool {
+    core: Arc<PoolCore>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// A cheap, cloneable reference to a pool; submits batches and answers
+/// capacity queries. Outliving the owning [`Pool`] is safe: with the
+/// workers gone, batches simply run entirely on the submitting thread.
+#[derive(Clone)]
+pub struct PoolHandle {
+    core: Arc<PoolCore>,
+}
+
+impl Pool {
+    /// A pool with `threads` total parallelism: `threads - 1` worker
+    /// threads are spawned (the submitting thread is the remaining one).
+    pub fn new(threads: usize) -> Pool {
+        let workers = threads.saturating_sub(1);
+        let core = Arc::new(PoolCore {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            queue_cv: Condvar::new(),
+            workers,
+        });
+        let threads = (0..workers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("pt-pool-{i}"))
+                    .spawn(move || worker_loop(core))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        Pool { core, threads }
+    }
+
+    /// A shareable submission handle.
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.core.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        self.core.queue_cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(core: Arc<PoolCore>) {
+    loop {
+        let job = {
+            let mut state = core.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = core.queue_cv.wait(state).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+impl PoolHandle {
+    /// Total parallelism of the pool (workers plus the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.core.workers + 1
+    }
+
+    /// Whether the queue is hungry for more work — fewer queued jobs than
+    /// threads. Fan-out sites use this to stop creating jobs once every
+    /// thread has a backlog.
+    pub fn starving(&self) -> bool {
+        self.core.state.lock().unwrap().jobs.len() < self.threads()
+    }
+
+    /// Run every job of the batch to completion, in parallel where workers
+    /// are available. The submitting thread helps drain the queue and does
+    /// not return — not even by panicking — until every job has finished,
+    /// so jobs may borrow from its stack frame. The first job panic is
+    /// re-raised here after the batch drains.
+    pub fn run_all<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        if self.core.workers == 0 || jobs.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let batch = Arc::new(Batch {
+            pending: AtomicUsize::new(jobs.len()),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut state = self.core.state.lock().unwrap();
+            for job in jobs {
+                // SAFETY: this function blocks until `batch.pending` is 0,
+                // i.e. until every wrapped job has run; the borrows inside
+                // `job` (lifetime 'a) are live for all of that.
+                let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+                state.jobs.push_back(wrap_job(self, &batch, job));
+            }
+        }
+        self.core.queue_cv.notify_all();
+        // help drain the queue; park only when it is empty and our batch
+        // still has jobs in flight on other threads
+        loop {
+            let job = self.core.state.lock().unwrap().jobs.pop_front();
+            if let Some(job) = job {
+                job();
+                continue;
+            }
+            let guard = batch.lock.lock().unwrap();
+            if batch.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            drop(batch.cv.wait(guard).unwrap());
+            if batch.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+        }
+        let payload = batch.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+
+    /// Map `f` over `items` as one batch, preserving order. `f` runs once
+    /// per item, possibly on different threads.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        if self.core.workers == 0 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let f = &f;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = items
+            .into_iter()
+            .zip(&slots)
+            .map(|(item, slot)| {
+                Box::new(move || {
+                    *slot.lock().unwrap() = Some(f(item));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.run_all(jobs);
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every batch job ran to completion")
+            })
+            .collect()
+    }
+}
+
+/// Wrap a batch job with panic capture, completion bookkeeping, and the
+/// ambient-pool install (so evaluation reached from the job partitions
+/// over the same pool).
+fn wrap_job(handle: &PoolHandle, batch: &Arc<Batch>, job: Job) -> Job {
+    let handle = handle.clone();
+    let batch = Arc::clone(batch);
+    Box::new(move || {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| with_pool(&handle, job)));
+        if let Err(payload) = result {
+            let mut slot = batch.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        // notify under the batch lock so the submitter cannot miss the
+        // wakeup between its pending check and its wait
+        let _guard = batch.lock.lock().unwrap();
+        batch.pending.fetch_sub(1, Ordering::AcqRel);
+        batch.cv.notify_all();
+    })
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<PoolHandle>> = const { RefCell::new(None) };
+}
+
+/// Install `handle` as the ambient pool for the duration of `f` (restoring
+/// the previous one after), so [`map_chunks`] inside `f` partitions over
+/// it.
+pub fn with_pool<R>(handle: &PoolHandle, f: impl FnOnce() -> R) -> R {
+    // the previous handle is put back on drop, even when `f` panics
+    struct Restore(Option<PoolHandle>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.0.take();
+            CURRENT.with(|c| *c.borrow_mut() = previous);
+        }
+    }
+    let previous = CURRENT.with(|c| c.replace(Some(handle.clone())));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The ambient pool installed by [`with_pool`], if any.
+pub fn current() -> Option<PoolHandle> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Split `items` into one chunk per available thread and map `f` over the
+/// chunks via the ambient pool. Sequential — exactly `vec![f(items)]` —
+/// when no pool is installed, the pool has no workers, or `items` is
+/// shorter than `min_len` (parallelism must pay for its partitioning).
+pub fn map_chunks<T, R, F>(items: &[T], min_len: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let pool = current();
+    let threads = pool.as_ref().map_or(1, |p| p.threads());
+    if threads <= 1 || items.len() < min_len.max(2) {
+        return vec![f(items)];
+    }
+    let pool = pool.expect("threads > 1 implies a pool");
+    let chunk = items.len().div_ceil(threads);
+    let parts: Vec<&[T]> = items.chunks(chunk).collect();
+    pool.map(parts, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_and_runs_every_item() {
+        let pool = Pool::new(4);
+        let handle = pool.handle();
+        let squares = handle.map((0..100u64).collect(), |i| i * i);
+        assert_eq!(squares, (0..100u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let handle = pool.handle();
+        assert_eq!(handle.threads(), 1);
+        let out = handle.map(vec![1, 2, 3], |i| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_batches_complete() {
+        let pool = Pool::new(3);
+        let handle = pool.handle();
+        let out = handle.map((0..8u64).collect(), |i| {
+            // a job submitting its own batch: the worker helps drain it
+            current()
+                .expect("workers install the ambient pool")
+                .map((0..4u64).collect(), move |j| i * 10 + j)
+                .into_iter()
+                .sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..8u64).map(|i| 4 * (i * 10) + 6).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn jobs_borrow_the_submitting_frame() {
+        let pool = Pool::new(4);
+        let handle = pool.handle();
+        let data: Vec<u64> = (0..1000).collect();
+        let total: u64 = handle
+            .map(data.chunks(100).collect(), |chunk| {
+                chunk.iter().sum::<u64>()
+            })
+            .into_iter()
+            .sum();
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn panicking_job_resumes_on_the_submitter_after_the_batch_drains() {
+        let pool = Pool::new(4);
+        let handle = pool.handle();
+        let ran = AtomicUsize::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            handle.map((0..16usize).collect(), |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                assert!(i != 7, "job 7 fails");
+            })
+        }));
+        assert!(result.is_err());
+        // scoped guarantee: every job ran before the panic resumed
+        assert_eq!(ran.load(Ordering::Relaxed), 16);
+        // and the pool is still usable afterwards
+        let out = handle.map(vec![1, 2], |i| i * 2);
+        assert_eq!(out, vec![2, 4]);
+    }
+
+    #[test]
+    fn map_chunks_is_sequential_without_a_pool() {
+        assert!(current().is_none());
+        let items: Vec<u32> = (0..10).collect();
+        let parts = map_chunks(&items, 2, |chunk| chunk.len());
+        assert_eq!(parts, vec![10]);
+    }
+
+    #[test]
+    fn map_chunks_partitions_under_an_installed_pool() {
+        let pool = Pool::new(4);
+        let handle = pool.handle();
+        let items: Vec<u32> = (0..1000).collect();
+        let parts = with_pool(&handle, || map_chunks(&items, 2, |chunk| chunk.len()));
+        assert!(parts.len() > 1);
+        assert_eq!(parts.iter().sum::<usize>(), 1000);
+        // below the length threshold it stays sequential
+        let small = with_pool(&handle, || map_chunks(&items[..3], 100, |c| c.len()));
+        assert_eq!(small, vec![3]);
+    }
+}

@@ -4,9 +4,16 @@
 //! `Engine` and `PreparedTransducer` are `Send + Sync` and every session
 //! method takes `&self`, so [`std::thread::scope`] can hand the same
 //! prepared handle to N workers. All of them feed one sharded
-//! configuration memo: whichever thread first expands a configuration
-//! publishes it, and everyone else replays it — concurrent traffic shares
-//! the work a cold run does once.
+//! configuration memo under the publish-or-wait protocol: whichever thread
+//! claims a cold configuration expands it exactly once and publishes it,
+//! and everyone else waits for — then replays — that entry, so concurrent
+//! traffic shares the work a cold run does once.
+//!
+//! The flip side of the same protocol is *intra-run* parallelism: the
+//! second half of the example publishes one large document with
+//! [`PreparedTransducer::run_parallel`], fanning the independent child
+//! configurations of each DAG node out across cores, with output
+//! guaranteed identical to the sequential run.
 //!
 //! Run with `cargo run --example serving`.
 
@@ -73,4 +80,31 @@ fn main() {
     let oracle = tau2.output(&db).expect("oracle run");
     assert_eq!(prepared.run().unwrap().output_tree(), oracle);
     println!("output matches the single-threaded run — serving is sound");
+
+    // —— intra-run parallelism: one big document across all cores ————————
+    //
+    // the requests above were many small documents sharing one memo; here
+    // a single *large* document is expanded by one run_parallel call that
+    // fans independent child configurations out over a scoped worker pool
+    // (and partitions fixpoint deltas over the same pool)
+    let big_db = pt_bench::registrar_with_enrollment(40, 400);
+    let big_engine = Engine::new(&big_db);
+    let big = big_engine
+        .prepare(&tau2)
+        .expect("τ2 fits the registrar schema");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let start = std::time::Instant::now();
+    let parallel = big.run_parallel(threads).expect("parallel run");
+    let elapsed = start.elapsed();
+    println!(
+        "run_parallel({threads}): {} ξ-nodes in {:.1} ms",
+        parallel.size(),
+        elapsed.as_secs_f64() * 1e3,
+    );
+    // oracle-identical, down to every observable
+    let sequential = tau2.output(&big_db).expect("sequential oracle");
+    assert_eq!(parallel.output_tree(), sequential);
+    println!("parallel output matches the sequential run — scaling is sound");
 }

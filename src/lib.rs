@@ -113,8 +113,8 @@ pub use pt_xmltree as xmltree;
 pub mod prelude {
     pub use crate::core::{
         ApplyReport, Delta, DeltaError, Engine, EvalOptions, ExpansionMode, MemoPolicy,
-        PrepareError, PreparedTransducer, RunError, RunResult, StreamSummary, Transducer,
-        TransducerBuilder, ValidationError,
+        PrepareError, PreparedTransducer, RunError, RunOptions, RunResult, StreamSummary,
+        Transducer, TransducerBuilder, ValidationError,
     };
     pub use crate::languages::CompileError;
     pub use crate::relational::{rel, Instance, Relation, Schema, Value};

@@ -6,11 +6,14 @@
 //! [`MemoPolicy`]: a capped memo must stay under its cap and still produce
 //! oracle-identical output, sequentially and concurrently.
 
+use std::sync::Barrier;
+
 use pt_bench::{registrar_with_enrollment, scaled_registrar, stream_round_trip};
 use publishing_transducers::core::examples::registrar;
 use publishing_transducers::core::generate::{random_transducer, GenConfig};
 use publishing_transducers::core::{
-    Delta, Engine, EvalOptions, ExpansionMode, MemoPolicy, PreparedTransducer, RunError, Transducer,
+    Delta, Engine, EvalOptions, ExpansionMode, MemoPolicy, PreparedTransducer, RunError,
+    RunOptions, Transducer,
 };
 use publishing_transducers::relational::generate::{random_instance, random_schema};
 use publishing_transducers::relational::{Instance, Relation, Value};
@@ -295,6 +298,213 @@ fn serving_stays_on_version_oracles_across_concurrent_applies() {
     let settled = tree_oracle(&tau, &versions[3], max_nodes).expect("final oracle");
     let run = prepared.run_with(max_nodes).expect("final run");
     assert_eq!(format!("{:?}", run.output_tree()), settled.output);
+}
+
+/// The publish-or-wait stress test: ≥8 threads released by a barrier onto
+/// one *cold* shared session, all racing the same cold configurations
+/// (root included). The claim protocol must let exactly one thread expand
+/// each distinct configuration — the losers wait for the published entry —
+/// so the session's expansion counter must equal the number of distinct
+/// configurations, not a multiple of it. A fast workload keeps every
+/// expansion well under the protocol's deadlock-backstop timeout, so no
+/// deliberate fallback duplicates can occur.
+#[test]
+fn publish_or_wait_expands_each_cold_configuration_exactly_once() {
+    let db = registrar::registrar_instance();
+    let tau = registrar::tau1();
+    let max_nodes = 1 << 22;
+    let oracle = tree_oracle(&tau, &db, max_nodes).expect("oracle");
+    let engine = Engine::new(&db);
+    let prepared = engine.prepare(&tau).expect("prepare");
+    let threads = 8;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                barrier.wait();
+                let run = prepared.run_with(max_nodes).expect("run");
+                assert_eq!(format!("{:?}", run.output_tree()), oracle.output);
+            });
+        }
+    });
+    let distinct = prepared.configurations_seen();
+    assert!(distinct > 0);
+    assert_eq!(
+        prepared.memo_expansions(),
+        distinct,
+        "{} cold expansions for {distinct} distinct configurations — \
+         racing threads re-expanded instead of waiting",
+        prepared.memo_expansions(),
+    );
+    // warm runs replay the memo: the counter must not move at all
+    for _ in 0..3 {
+        prepared.run_with(max_nodes).expect("warm run");
+    }
+    assert_eq!(prepared.memo_expansions(), distinct);
+}
+
+/// Regression for the duplicate-expansion accounting bugs: racing
+/// duplicates used to inflate `Memo::entry_count` (each racer pushed its
+/// own copy of the slot), making `memo_entries` lie and bounded memos
+/// evict early. After publish-or-wait plus deduplicating publishes, a
+/// brutal cold race must land on exactly the entry count a solo run
+/// produces.
+#[test]
+fn racing_threads_do_not_inflate_the_entry_count() {
+    let db = scaled_registrar(20);
+    let tau = registrar::tau1();
+    let max_nodes = 1 << 22;
+    let engine = Engine::new(&db);
+    let solo = engine.prepare(&tau).expect("prepare");
+    solo.run_with(max_nodes).expect("solo run");
+    let distinct_slots = solo.memo_entries();
+    assert!(distinct_slots > 0);
+
+    let raced = engine.prepare(&tau).expect("prepare");
+    let threads = 8;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                barrier.wait();
+                raced.run_with(max_nodes).expect("raced run");
+            });
+        }
+    });
+    assert_eq!(
+        raced.memo_entries(),
+        distinct_slots,
+        "racing cold runs inflated the entry count"
+    );
+}
+
+/// The per-run node budget must be schedule-invariant: a parallel run
+/// charges every occurrence of the unfolding exactly once (racing jobs
+/// wait instead of re-charging), so the exact-size budget succeeds and
+/// the off-by-one budget trips the very same `NodeLimit` the sequential
+/// oracle trips — from a cold memo and from a warm one.
+#[test]
+fn parallel_budget_charges_once_per_occurrence() {
+    let db = scaled_registrar(12);
+    let tau = registrar::tau1();
+    let full = tau.run(&db).unwrap().size();
+    let engine = Engine::new(&db);
+    for threads in [2, 4, 8] {
+        // cold session per thread count: the race happens during charging
+        let prepared = engine.prepare(&tau).unwrap();
+        let err = prepared
+            .run_opts(RunOptions {
+                max_nodes: full - 1,
+                threads,
+            })
+            .expect_err("budget one short of the unfolding must trip");
+        assert_eq!(err, RunError::NodeLimit(full - 1));
+        let run = prepared
+            .run_opts(RunOptions {
+                max_nodes: full,
+                threads,
+            })
+            .expect("exact budget must fit");
+        assert_eq!(run.size(), full);
+        // warm replays charge identically
+        let err = prepared
+            .run_opts(RunOptions {
+                max_nodes: full - 1,
+                threads,
+            })
+            .expect_err("warm budget must trip identically");
+        assert_eq!(err, RunError::NodeLimit(full - 1));
+    }
+}
+
+/// A `max_entries: 1` memo under 8 racing threads: the pathological cap
+/// forces an eviction on nearly every publish, and before claim-aware
+/// eviction the wholesale "drop everything" branch could evict the very
+/// entry a parked waiter was about to wake on. The runs must terminate,
+/// stay oracle-identical, and settle back under the cap.
+#[test]
+fn tiny_bounded_memo_never_evicts_claimed_slots_under_race() {
+    let db = scaled_registrar(16);
+    let tau = registrar::tau1();
+    let max_nodes = 1 << 22;
+    let oracle = tree_oracle(&tau, &db, max_nodes).expect("oracle");
+    let engine = Engine::new(&db);
+    let capped = engine
+        .prepare_with(&tau, MemoPolicy::Bounded { max_entries: 1 })
+        .unwrap();
+    let threads = 8;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                barrier.wait();
+                for _ in 0..2 {
+                    let run = capped.run_with(max_nodes).expect("run under cap 1");
+                    assert_eq!(format!("{:?}", run.output_tree()), oracle.output);
+                }
+            });
+        }
+    });
+    // quiescent: no claims are held, so the cap is enforced exactly
+    capped.run_with(max_nodes).expect("final solo run");
+    assert!(
+        capped.memo_entries() <= 1,
+        "cap 1 exceeded at quiescence: {}",
+        capped.memo_entries()
+    );
+}
+
+/// `run_parallel` is observably identical to the sequential run — output
+/// tree, ξ statistics, relational views, stream round-trip — cold and
+/// warm, and `run_parallel(1)` *is* the sequential path.
+#[test]
+fn run_parallel_matches_the_oracle() {
+    let db = registrar_with_enrollment(12, 80);
+    let max_nodes = 1 << 22;
+    for tau in [registrar::tau1(), registrar::tau2(), registrar::tau3()] {
+        let oracle = tree_oracle(&tau, &db, max_nodes).expect("oracle");
+        let engine = Engine::new(&db);
+        let prepared = engine.prepare(&tau).expect("prepare");
+        for threads in [1, 4] {
+            // first iteration expands cold (fresh memo for threads == 1,
+            // then warm for threads == 4 — both paths must agree)
+            let run = prepared
+                .run_opts(RunOptions { max_nodes, threads })
+                .expect("parallel run");
+            let got = Observation {
+                output: format!("{:?}", run.output_tree()),
+                xi_size: run.size(),
+                xi_depth: run.depth(),
+                relational: tau
+                    .alphabet()
+                    .into_iter()
+                    .map(|tag| {
+                        let rel = run.relational_output(&tag);
+                        (tag, rel)
+                    })
+                    .collect(),
+            };
+            assert_eq!(got, oracle, "threads={threads} diverged");
+            stream_round_trip(&run).expect("stream round-trip");
+        }
+        // a cold parallel session too: nothing pre-warmed by a sequential run
+        let cold_engine = Engine::new(&db);
+        let cold = cold_engine.prepare(&tau).expect("prepare");
+        let run = cold.run_parallel(4).expect("cold parallel run");
+        assert_eq!(format!("{:?}", run.output_tree()), oracle.output);
+        let mut sink = TreeBuilder::new();
+        let summary = cold
+            .stream_opts(
+                RunOptions {
+                    max_nodes,
+                    threads: 4,
+                },
+                &mut sink,
+            )
+            .expect("parallel stream");
+        assert!(!summary.truncated);
+        assert_eq!(format!("{:?}", sink.finish().unwrap()), oracle.output);
+    }
 }
 
 #[test]

@@ -7,7 +7,9 @@
 //! behavior on every case. Each successful run is additionally streamed as
 //! SAX events and rebuilt (the stream-vs-tree oracle), and every case runs
 //! an amortized [`Engine`] session twice to check the persistent memo
-//! reproduces the cold result.
+//! reproduces the cold result, then `run_parallel(4)` — warm over that
+//! session and cold over a fresh one — to check the intra-run parallel
+//! expansion is observably identical too.
 //!
 //! The case count defaults to 200 and scales through the `FUZZ_CASES`
 //! environment variable (the weekly CI job runs 10×). Every case is
@@ -19,7 +21,7 @@
 use pt_bench::stream_round_trip;
 use publishing_transducers::core::generate::{random_transducer, GenConfig};
 use publishing_transducers::core::{
-    Delta, Engine, EvalOptions, ExpansionMode, RunError, RunResult, Transducer,
+    Delta, Engine, EvalOptions, ExpansionMode, RunError, RunOptions, RunResult, Transducer,
 };
 use publishing_transducers::relational::generate::{random_instance, random_schema};
 use publishing_transducers::relational::{Instance, Relation, Schema, Value};
@@ -113,6 +115,32 @@ fn run_case(seed: u64) -> Result<(), String> {
             return Err(format!(
                 "seed {seed}: prepared round {round} disagrees with Tree oracle\n\
                  tree: {tree:?}\nprepared: {got:?}\non transducer:\n{tau}"
+            ));
+        }
+    }
+    // the parallel differential: run_parallel(4) must reproduce every
+    // observable (errors included) — warm, over the session above, and
+    // cold, over a fresh engine whose memo the parallel run itself fills
+    let cold_engine = Engine::new(&inst);
+    let cold_prepared = cold_engine
+        .prepare(&tau)
+        .map_err(|e| format!("seed {seed}: prepare failed: {e}\non transducer:\n{tau}"))?;
+    for (what, session) in [("warm", &prepared), ("cold", &cold_prepared)] {
+        let got = match session.run_opts(RunOptions {
+            max_nodes,
+            threads: 4,
+        }) {
+            Ok(run) => {
+                check_stream(&run, &format!("run_parallel(4) {what}"))
+                    .map_err(|e| format!("seed {seed}: {e}\non transducer:\n{tau}"))?;
+                summarize(&tau, &run)
+            }
+            Err(e) => Observation::Failed(e),
+        };
+        if got != tree {
+            return Err(format!(
+                "seed {seed}: run_parallel(4) ({what}) disagrees with Tree oracle\n\
+                 tree: {tree:?}\nparallel: {got:?}\non transducer:\n{tau}"
             ));
         }
     }
