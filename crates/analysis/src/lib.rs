@@ -18,6 +18,10 @@
 //!   oracles ([`oracles`]) on small inputs.
 //! * [`blowup`] holds the Proposition 1(3)/(4) families witnessing
 //!   exponential and doubly-exponential output sizes.
+//! * [`typecheck`] goes beyond Table II: a conservative output-schema
+//!   verifier (does every output conform to a DTD?) with a three-valued
+//!   report — proved for all instances, refuted by a concrete witness
+//!   database, or unknown with the unproven obligations listed.
 
 pub mod blowup;
 pub mod emptiness;
@@ -25,6 +29,7 @@ pub mod equivalence;
 pub mod membership;
 pub mod oracles;
 pub mod reductions;
+pub mod typecheck;
 
 /// Outcome of a static-analysis procedure. `Unsupported` marks inputs whose
 /// class makes the problem undecidable (Proposition 2 / Theorem 1) or

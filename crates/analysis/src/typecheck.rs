@@ -1,0 +1,309 @@
+//! Output-schema typechecking: does every output of `τ` conform to a DTD?
+//!
+//! The heavy lifting is the conservative child-language verifier in
+//! [`pt_core::typecheck`] (see its module docs for the abstraction); this
+//! module is the analysis-side driver that upgrades its answers into the
+//! three-valued report the rest of `pt_analysis` uses:
+//!
+//! * the static pass proves conformance → [`TypecheckReport::Conforms`],
+//!   a guarantee for **all** instances, not just sampled ones;
+//! * the static pass leaves obligations → a *directed witness search* over
+//!   the bounded certificate space ([`membership::for_each_instance`], the
+//!   same enumeration the Σ₂ᵖ membership search walks) looks for a concrete
+//!   database whose output violates the DTD: found →
+//!   [`TypecheckReport::Violates`] with the instance and the
+//!   dependency-graph path to the first undischarged pair;
+//! * neither proof nor witness within bounds →
+//!   [`TypecheckReport::Unknown`], carrying the obligations so callers see
+//!   exactly where conservatism bit.
+//!
+//! The general typechecking problem is undecidable for FO/IFP transducers
+//! (it embeds query equivalence), so a sound three-valued answer is the
+//! strongest honest interface; for the decidable fragments the bounds can
+//! be raised until the search is complete.
+
+use pt_core::typecheck::{check_output_schema, Obligation, StaticVerdict};
+use pt_core::{EvalOptions, Transducer};
+use pt_relational::{Instance, Value};
+use pt_xmltree::Dtd;
+
+use crate::membership::{for_each_instance, SearchBounds};
+
+/// The outcome of [`typecheck`].
+#[derive(Clone, Debug)]
+pub enum TypecheckReport {
+    /// Every output of every instance conforms to the DTD.
+    Conforms,
+    /// A concrete database whose output violates the DTD.
+    Violates {
+        /// The violating instance; `τ(witness)` fails [`Dtd::conforms`].
+        witness: Instance,
+        /// A dependency-graph path from the root pair to the first pair
+        /// the static verifier could not discharge — where to look.
+        path: Vec<(String, String)>,
+    },
+    /// Neither proved nor refuted within the search bounds.
+    Unknown {
+        /// The `(state, tag)` pairs the static verifier left open.
+        obligations: Vec<Obligation>,
+    },
+}
+
+impl TypecheckReport {
+    /// Whether conformance was proved.
+    pub fn conforms(&self) -> bool {
+        matches!(self, TypecheckReport::Conforms)
+    }
+}
+
+/// Candidate-instance budget for the default witness search.
+const DEFAULT_MAX_CANDIDATES: usize = 20_000;
+
+/// Typecheck `tau` against `dtd` with default witness-search bounds: the
+/// domain is `{0, 1}` plus every constant a rule query mentions, at most 3
+/// tuples, and a 20k-candidate budget.
+pub fn typecheck(tau: &Transducer, dtd: &Dtd) -> TypecheckReport {
+    typecheck_with(tau, dtd, &default_bounds(tau), DEFAULT_MAX_CANDIDATES)
+}
+
+/// [`typecheck`] with explicit bounds for the witness search (the static
+/// half is exact and unaffected by them). `max_candidates` caps how many
+/// instances the search may run before giving up with `Unknown`.
+pub fn typecheck_with(
+    tau: &Transducer,
+    dtd: &Dtd,
+    bounds: &SearchBounds,
+    max_candidates: usize,
+) -> TypecheckReport {
+    let obligations = match check_output_schema(tau, dtd) {
+        StaticVerdict::Proved => return TypecheckReport::Conforms,
+        StaticVerdict::RootMismatch { .. } => {
+            // structural: any instance works, the empty one is smallest
+            // (the output root label never matches the DTD root)
+            return TypecheckReport::Violates {
+                witness: Instance::new(),
+                path: vec![(tau.start_state().to_string(), tau.root_tag().to_string())],
+            };
+        }
+        StaticVerdict::Unproven(obs) => obs,
+    };
+    // directed search: enumerate small instances, run each, and test the
+    // actual output against the DTD
+    let opts = EvalOptions::with_max_nodes(bounds.max_nodes);
+    let mut candidates = 0usize;
+    let found: Option<Option<Instance>> =
+        for_each_instance(tau.schema(), &bounds.domain, bounds.max_tuples, |inst| {
+            candidates += 1;
+            if candidates > max_candidates {
+                return Some(None); // budget exhausted: abort enumeration
+            }
+            match tau.run_with(inst, opts) {
+                Ok(run) if !dtd.conforms(&run.output_tree()) => Some(Some(inst.clone())),
+                _ => None,
+            }
+        });
+    match found.flatten() {
+        Some(witness) => TypecheckReport::Violates {
+            path: path_to_pair(tau, &obligations[0]),
+            witness,
+        },
+        None => TypecheckReport::Unknown { obligations },
+    }
+}
+
+/// Default search bounds for `tau`: the boolean domain extended with every
+/// rule-query constant, at most 3 tuples.
+pub fn default_bounds(tau: &Transducer) -> SearchBounds {
+    let mut domain = vec![Value::int(0), Value::int(1)];
+    for (_, items) in tau.rules() {
+        for item in items {
+            for c in item.query.body().constants() {
+                if !domain.contains(&c) {
+                    domain.push(c);
+                }
+            }
+        }
+    }
+    SearchBounds {
+        domain,
+        max_tuples: 3,
+        max_nodes: 2_000,
+    }
+}
+
+/// The shortest dependency-graph path from the root pair to the
+/// obligation's pair (breadth-first), inclusive of both ends.
+fn path_to_pair(tau: &Transducer, target: &Obligation) -> Vec<(String, String)> {
+    let g = tau.dependency_graph();
+    let nodes = g.nodes();
+    let goal = nodes
+        .iter()
+        .position(|(s, t)| *s == target.state && *t == target.tag);
+    let Some(goal) = goal else {
+        return vec![(tau.start_state().to_string(), tau.root_tag().to_string())];
+    };
+    // BFS from node 0, remembering predecessors
+    let mut prev: Vec<Option<usize>> = vec![None; nodes.len()];
+    let mut seen = vec![false; nodes.len()];
+    seen[0] = true;
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    while let Some(i) = queue.pop_front() {
+        if i == goal {
+            break;
+        }
+        for (from, to, _) in g.edges() {
+            if *from == i && !seen[*to] {
+                seen[*to] = true;
+                prev[*to] = Some(i);
+                queue.push_back(*to);
+            }
+        }
+    }
+    let mut path = vec![nodes[goal].clone()];
+    let mut at = goal;
+    while let Some(p) = prev[at] {
+        path.push(nodes[p].clone());
+        at = p;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_core::examples::registrar;
+    use pt_core::{Engine, Transducer, TypecheckError};
+    use pt_relational::Schema;
+
+    fn tau1_dtd() -> Dtd {
+        // lenient course model: a course on the prereq cycle may be sealed
+        // into a bare leaf by the stop condition
+        Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "(cno, title, prereq)?")
+            .rule("prereq", "course*")
+            .rule("cno", "text")
+            .rule("title", "text")
+    }
+
+    fn strict_dtd() -> Dtd {
+        Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "cno, title, prereq")
+            .rule("prereq", "course*")
+            .rule("cno", "text")
+            .rule("title", "text")
+    }
+
+    #[test]
+    fn table1_examples_conform_to_fitting_schemas() {
+        assert!(typecheck(&registrar::tau1(), &tau1_dtd()).conforms());
+        let tau2_dtd = Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "cno, title, prereq")
+            .rule("prereq", "cno*")
+            .rule("cno", "text")
+            .rule("title", "text");
+        assert!(typecheck(&registrar::tau2(), &tau2_dtd).conforms());
+        let tau3_dtd = Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "cno, title")
+            .rule("cno", "text")
+            .rule("title", "text");
+        assert!(typecheck(&registrar::tau3(), &tau3_dtd).conforms());
+    }
+
+    #[test]
+    fn sealed_course_yields_concrete_witness() {
+        // tau1 against the strict schema: the search must produce a real
+        // database — a self-prerequisite — whose output breaks the model
+        let dtd = strict_dtd();
+        match typecheck(&registrar::tau1(), &dtd) {
+            TypecheckReport::Violates { witness, path } => {
+                let out = registrar::tau1().output(&witness).unwrap();
+                assert!(!dtd.conforms(&out), "witness output must violate: {out:?}");
+                assert_eq!(path.first().unwrap().1, "db");
+                assert_eq!(path.last().unwrap().1, "course");
+            }
+            other => panic!("expected Violates, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn required_child_yields_empty_witness() {
+        // db → course+ but tau3 emits no course on the empty database
+        let dtd = Dtd::new("db")
+            .rule("db", "course+")
+            .rule("course", "cno, title")
+            .rule("cno", "text")
+            .rule("title", "text");
+        match typecheck(&registrar::tau3(), &dtd) {
+            TypecheckReport::Violates { witness, path } => {
+                assert_eq!(witness.size(), 0, "empty database suffices");
+                let out = registrar::tau3().output(&witness).unwrap();
+                assert!(!dtd.conforms(&out));
+                assert_eq!(path, vec![("q0".to_string(), "db".to_string())]);
+            }
+            other => panic!("expected Violates, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_mismatch_is_a_structural_violation() {
+        let dtd = Dtd::new("catalog").rule("catalog", "course*");
+        match typecheck(&registrar::tau3(), &dtd) {
+            TypecheckReport::Violates { witness, path } => {
+                assert_eq!(witness.size(), 0);
+                assert_eq!(path, vec![("q0".to_string(), "db".to_string())]);
+                assert!(!dtd.conforms(&registrar::tau3().output(&witness).unwrap()));
+            }
+            other => panic!("expected Violates, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semantically_empty_fo_query_is_unknown() {
+        // `s(x) and not s(x)` never returns rows, but the cardinality
+        // analysis cannot see through the negation: statically unbounded,
+        // and no witness exists — the honest answer is Unknown
+        let tau = Transducer::builder(Schema::with(&[("s", 1)]), "q0", "r")
+            .rule("q0", "r", &[("q", "a", "(x) <- s(x) and not (s(x))")])
+            .build()
+            .unwrap();
+        let dtd = Dtd::new("r").rule("r", "a?");
+        match typecheck(&tau, &dtd) {
+            TypecheckReport::Unknown { obligations } => {
+                assert_eq!(obligations.len(), 1);
+                assert_eq!(obligations[0].tag, "r");
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_prepare_typed_gates_on_the_static_proof() {
+        let db = registrar::registrar_instance();
+        let engine = Engine::new(&db);
+        let tau1 = registrar::tau1();
+        // fitting schema: serves
+        let prepared = engine.prepare_typed(&tau1, &tau1_dtd()).unwrap();
+        assert!(prepared.typecheck(&tau1_dtd()).is_ok());
+        // strict schema: refused with the course obligation
+        match engine.prepare_typed(&tau1, &strict_dtd()).map(|_| ()) {
+            Err(TypecheckError::Unproven(obs)) => {
+                assert!(obs.iter().any(|o| o.tag == "course"));
+            }
+            other => panic!("expected Unproven refusal, got {other:?}"),
+        }
+        // wrong root: structured mismatch
+        let wrong_root = Dtd::new("catalog");
+        match engine.prepare_typed(&tau1, &wrong_root).map(|_| ()) {
+            Err(TypecheckError::RootMismatch { expected, found }) => {
+                assert_eq!(expected, "catalog");
+                assert_eq!(found, "db");
+            }
+            other => panic!("expected RootMismatch, got {other:?}"),
+        }
+    }
+}

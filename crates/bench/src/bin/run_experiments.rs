@@ -3,8 +3,8 @@
 //! Usage: `cargo run --release -p pt-bench --bin run_experiments [section]
 //! [--full-baseline]` with `section` in `{fig1, table1, table2, table3,
 //! prop1, quick, all}`. The `quick` section times the engine's hot paths
-//! and writes a machine-readable `BENCH_8.json` extending the trajectory
-//! recorded by the committed `BENCH_1.json` through `BENCH_7.json`
+//! and writes a machine-readable `BENCH_9.json` extending the trajectory
+//! recorded by the committed `BENCH_1.json` through `BENCH_8.json`
 //! (earlier files are never overwritten). Each file carries a `"host"`
 //! header (core count and `uname`) identifying the machine the numbers
 //! were taken on. Slow forced-tree baselines are skipped by default
@@ -317,13 +317,15 @@ fn time_ms(mut f: impl FnMut() -> usize) -> (f64, usize) {
 /// chain), the Proposition 1(3) blowup family, and the join/fixpoint
 /// microworkloads (chain and dense-graph transitive closures on the
 /// dedicated closure operator), plus the intra-run parallel-scaling
-/// workloads (`run_parallel` on τ2, the pooled closure chain). Emits
-/// `BENCH_8.json` with a host-metadata header — on a 1-core host the
-/// parallel entries are self-identifying via `"cores": 1`.
+/// workloads (`run_parallel` on τ2, the pooled closure chain), and the
+/// static typechecker (`pt_analysis::typecheck` proving the τ1/τ2
+/// registrar views against their DTDs). Emits `BENCH_9.json` with a
+/// host-metadata header — on a 1-core host the parallel entries are
+/// self-identifying via `"cores": 1`.
 ///
 /// By default the slow in-run tree baselines (~30 s) are *not* re-measured:
 /// speedups are computed against the trajectory recorded in `BENCH_1.json`
-/// through `BENCH_7.json` (best value per entry). Pass `--full-baseline`
+/// through `BENCH_8.json` (best value per entry). Pass `--full-baseline`
 /// to re-run the forced-tree engine locally.
 fn quick(full_baseline: bool) {
     use pt_core::{EvalOptions, ExpansionMode};
@@ -341,6 +343,7 @@ fn quick(full_baseline: bool) {
         "BENCH_5.json",
         "BENCH_6.json",
         "BENCH_7.json",
+        "BENCH_8.json",
     ] {
         let parsed = std::fs::read_to_string(path)
             .map(|text| pt_bench::parse_bench_json(&text))
@@ -964,6 +967,57 @@ fn quick(full_baseline: bool) {
         note: format!("{fix_rows} rows, semi-naive"),
     });
 
+    // static typechecking: prove the registrar views against their DTDs.
+    // These are static analyses — no database is touched — so one call is
+    // microseconds; time a batch of 100 to get a stable ms figure, and
+    // assert the proof actually lands (a regression to Unknown would
+    // silently time the witness search instead)
+    {
+        use pt_analysis::typecheck::typecheck;
+        use pt_xmltree::Dtd;
+        let tau1 = registrar::tau1();
+        let tau1_dtd = Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "(cno, title, prereq)?")
+            .rule("prereq", "course*")
+            .rule("cno", "text")
+            .rule("title", "text");
+        let (tc1_ms, tc1_ok) = time_ms(|| {
+            (0..100)
+                .filter(|_| typecheck(&tau1, &tau1_dtd).conforms())
+                .count()
+        });
+        assert_eq!(tc1_ok, 100, "tau1 must prove against its lenient DTD");
+        println!("typecheck tau1 x100        : {tc1_ms:>10.1} ms  (Conforms)");
+        entries.push(BenchEntry {
+            name: "typecheck_tau1_registrar",
+            metric: "ms",
+            value: tc1_ms,
+            note: "100 static proofs of tau1 vs the lenient registrar DTD".to_string(),
+        });
+        let tau2 = registrar::tau2();
+        let tau2_dtd = Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "cno, title, prereq")
+            .rule("prereq", "cno*")
+            .rule("cno", "text")
+            .rule("title", "text");
+        let (tc2_ms, tc2_ok) = time_ms(|| {
+            (0..100)
+                .filter(|_| typecheck(&tau2, &tau2_dtd).conforms())
+                .count()
+        });
+        assert_eq!(tc2_ok, 100, "tau2 must prove against the enrollment DTD");
+        println!("typecheck tau2 x100        : {tc2_ms:>10.1} ms  (Conforms)");
+        entries.push(BenchEntry {
+            name: "typecheck_tau2_enrollment",
+            metric: "ms",
+            value: tc2_ms,
+            note: "100 static proofs of tau2 (virtual-tag splice) vs the enrollment DTD"
+                .to_string(),
+        });
+    }
+
     // recorded-trajectory comparison (the regression gate re-checks this
     // with a tolerance; here we just report)
     for e in &entries {
@@ -986,7 +1040,7 @@ fn quick(full_baseline: bool) {
         .map(|s| s.trim().replace(['"', '\\'], " "))
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string());
-    let mut json = String::from("{\n  \"bench\": 8,\n");
+    let mut json = String::from("{\n  \"bench\": 9,\n");
     json.push_str(&format!(
         "  \"host\": {{\"cores\": {cores}, \"uname\": \"{uname}\"}},\n  \"entries\": [\n"
     ));
@@ -998,8 +1052,8 @@ fn quick(full_baseline: bool) {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_8.json", &json).expect("writing BENCH_8.json");
-    println!("wrote BENCH_8.json");
+    std::fs::write("BENCH_9.json", &json).expect("writing BENCH_9.json");
+    println!("wrote BENCH_9.json");
 }
 
 fn main() {

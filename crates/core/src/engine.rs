@@ -116,7 +116,7 @@ use std::sync::{Arc, Mutex, RwLock, Weak};
 use pt_logic::par::{self, Pool, PoolHandle};
 use pt_logic::EvalContext;
 use pt_relational::{Delta, DeltaError, Instance, SymRegister};
-use pt_xmltree::XmlEventSink;
+use pt_xmltree::{Dtd, XmlEventSink};
 
 use crate::semantics::{
     expand_session, DagState, EvalOptions, MemoPolicy, MemoValidity, PairTable, RegisterIds,
@@ -157,6 +157,57 @@ impl fmt::Display for PrepareError {
 }
 
 impl std::error::Error for PrepareError {}
+
+/// Why [`Engine::prepare_typed`] refused to serve a transducer against an
+/// output schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypecheckError {
+    /// The database-side validation failed before the schema was even
+    /// considered.
+    Prepare(PrepareError),
+    /// The output root tag is not the DTD's root: every nonempty output
+    /// violates the schema.
+    RootMismatch {
+        /// The DTD's root tag.
+        expected: String,
+        /// The transducer's root tag.
+        found: String,
+    },
+    /// The static verifier could not discharge these `(state, tag)` pairs
+    /// ([`crate::typecheck::check_output_schema`] is conservative: this is
+    /// a refusal to certify, not a proof of violation).
+    Unproven(Vec<crate::typecheck::Obligation>),
+}
+
+impl fmt::Display for TypecheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypecheckError::Prepare(e) => e.fmt(f),
+            TypecheckError::RootMismatch { expected, found } => write!(
+                f,
+                "output root <{found}> does not match the schema root <{expected}>"
+            ),
+            TypecheckError::Unproven(obs) => {
+                write!(f, "output-schema conformance unproven for ")?;
+                for (i, o) in obs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypecheckError {}
+
+impl From<PrepareError> for TypecheckError {
+    fn from(e: PrepareError) -> TypecheckError {
+        TypecheckError::Prepare(e)
+    }
+}
 
 /// What one [`Engine::apply`] did: the version it produced and how much
 /// work the transition cost. A delta whose every change was already present
@@ -391,6 +442,26 @@ impl Engine {
         Ok(self.prepare_unvalidated(tau, policy))
     }
 
+    /// [`Engine::prepare`], but only when the static output-schema
+    /// verifier ([`crate::typecheck::check_output_schema`]) proves that
+    /// every output of `tau` — over *every* database, not just the bound
+    /// one — conforms to `dtd`. A prepared handle obtained this way keeps
+    /// its guarantee across every [`Engine::apply`].
+    ///
+    /// The verifier is conservative: [`TypecheckError::Unproven`] lists
+    /// the `(state, tag)` obligations it could not discharge, which is a
+    /// refusal to certify, not a proof of violation —
+    /// `pt_analysis::typecheck` searches for a concrete witness instance
+    /// when one exists.
+    pub fn prepare_typed<'e, 't>(
+        &'e self,
+        tau: &'t Transducer,
+        dtd: &Dtd,
+    ) -> Result<PreparedTransducer<'e, 't>, TypecheckError> {
+        verdict_to_result(crate::typecheck::check_output_schema(tau, dtd))?;
+        Ok(self.prepare(tau)?)
+    }
+
     /// [`Engine::prepare`] without the instance checks — the legacy
     /// `Transducer::run*` wrappers route here so their error behavior is
     /// byte-identical to the pre-engine API (a mismatched relation then
@@ -473,10 +544,29 @@ pub struct PreparedTransducer<'e, 't> {
     state: Arc<DagState>,
 }
 
+/// Lift the static verdict into the engine's error type.
+fn verdict_to_result(v: crate::typecheck::StaticVerdict) -> Result<(), TypecheckError> {
+    match v {
+        crate::typecheck::StaticVerdict::Proved => Ok(()),
+        crate::typecheck::StaticVerdict::RootMismatch { expected, found } => {
+            Err(TypecheckError::RootMismatch { expected, found })
+        }
+        crate::typecheck::StaticVerdict::Unproven(obs) => Err(TypecheckError::Unproven(obs)),
+    }
+}
+
 impl<'e, 't> PreparedTransducer<'e, 't> {
     /// The prepared transducer.
     pub fn transducer(&self) -> &'t Transducer {
         self.tau
+    }
+
+    /// Statically verify that every output of this prepared transducer —
+    /// over every database version this engine will ever hold — conforms
+    /// to `dtd`. See [`Engine::prepare_typed`] for the typecheck-first
+    /// variant.
+    pub fn typecheck(&self, dtd: &Dtd) -> Result<(), TypecheckError> {
+        verdict_to_result(crate::typecheck::check_output_schema(self.tau, dtd))
     }
 
     /// The owning engine.

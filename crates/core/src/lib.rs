@@ -38,15 +38,22 @@
 //!   (Examples 1.1, 3.1 and 3.2),
 //! * [`generate`] — seeded random transducers (virtual tags and IFP bodies
 //!   included) for the cross-engine fuzz harness
-//!   (`tests/fuzz_differential.rs`).
+//!   (`tests/fuzz_differential.rs`),
+//! * [`typecheck`] — the conservative static output-schema verifier
+//!   behind [`Engine::prepare_typed`] and `pt_analysis::typecheck`: child
+//!   languages over the dependency graph, checked for inclusion in the
+//!   DTD's content models.
 
 pub mod engine;
 pub mod examples;
 pub mod generate;
 pub mod semantics;
 pub mod transducer;
+pub mod typecheck;
 
-pub use engine::{ApplyReport, Engine, PrepareError, PreparedTransducer, RunOptions};
+pub use engine::{
+    ApplyReport, Engine, PrepareError, PreparedTransducer, RunOptions, TypecheckError,
+};
 pub use pt_relational::{Delta, DeltaError};
 pub use semantics::{
     EvalOptions, ExpansionMode, MemoPolicy, ResultNode, RunError, RunResult, StreamSummary,
@@ -55,3 +62,4 @@ pub use transducer::{
     DependencyGraph, Output, PathStep, PtClass, RuleItem, Store, Transducer, TransducerBuilder,
     ValidationError,
 };
+pub use typecheck::{check_output_schema, Obligation, StaticVerdict};

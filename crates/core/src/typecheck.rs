@@ -1,0 +1,575 @@
+//! Static output-schema typechecking (the "does every output conform to
+//! the DTD?" half of ROADMAP open item 2).
+//!
+//! The verifier is *conservative*: [`check_output_schema`] answers
+//! [`StaticVerdict::Proved`] only when every instance's output is
+//! guaranteed to conform, and otherwise reports exactly which reachable
+//! `(state, tag)` pairs it could not discharge, each with a counterexample
+//! child word drawn from the abstraction. Typechecking against a fixed
+//! output schema is the decidable variant of the problem (Martens &
+//! Neven); the general problem is undecidable for FO transducers, which is
+//! why an over-approximation — not a decision procedure — is the right
+//! interface here.
+//!
+//! The abstraction is a **child-language** analysis over the dependency
+//! graph `G_τ`: for each reachable pair `(q, a)` we build a regular
+//! over-approximation of the words of child tags an `(q, a)`-node can
+//! emit:
+//!
+//! * each rule item `(q', a', φ)` contributes one block — `a'` repeated as
+//!   many times as `φ` can produce distinct groups, bounded statically by
+//!   [`pt_logic::cardinality::query_cardinality`] (`Empty` drops the
+//!   block, `ExactlyOne` keeps it bare, `AtMostOne` wraps `?`,
+//!   `Unbounded` wraps `*`); what is known about the node's register
+//!   (tuple-register parents ⇒ exactly one row) feeds the analysis;
+//! * a *virtual* child is spliced out of the output, so its block is the
+//!   child language of the virtual pair itself, substituted in place;
+//!   cycles through virtual pairs fall back to `(t1 | … | tk)*` over the
+//!   real tags reachable through them;
+//! * a pair on a dependency cycle may be sealed by the stop condition
+//!   (Definition 3.1 — an ancestor with the same state, tag and register
+//!   turns the node into a bare leaf), so its language also admits ε.
+//!
+//! Inclusion of the child language in the DTD's content model is decided
+//! on the product of the two Brzozowski derivative automata, memoized on
+//! derivative pairs — the same [`ContentModel::derive`] machinery the
+//! conformance checker uses, run over languages instead of words.
+//!
+//! The driver [`pt_analysis::typecheck`] wraps this pass with a directed
+//! witness search to upgrade `Unproven` into a concrete violating
+//! database where one exists; [`crate::Engine::prepare_typed`] refuses to
+//! serve a transducer this pass cannot discharge.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pt_logic::cardinality::{query_cardinality, Cardinality, RegisterCard};
+use pt_xmltree::{ContentModel, Dtd};
+
+use crate::transducer::Transducer;
+
+/// One `(state, tag)` pair the verifier could not prove conforming.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Obligation {
+    /// The state of the unproven pair.
+    pub state: String,
+    /// The (real) tag of the unproven pair.
+    pub tag: String,
+    /// A child word in the abstraction but not in the content model —
+    /// empty both for an ε counterexample and when the check overflowed.
+    pub counterexample: Vec<String>,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for Obligation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}): {}", self.state, self.tag, self.reason)
+    }
+}
+
+/// The outcome of the static pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StaticVerdict {
+    /// Every output of every instance conforms to the DTD.
+    Proved,
+    /// The output root tag is not the DTD's root: every nonempty output
+    /// violates the schema.
+    RootMismatch {
+        /// The DTD's root tag.
+        expected: String,
+        /// The transducer's root tag.
+        found: String,
+    },
+    /// The listed pairs could not be discharged. The abstraction
+    /// over-approximates, so this is *not* a proof of violation.
+    Unproven(Vec<Obligation>),
+}
+
+/// Derivative-pair budget for one inclusion check; beyond it the pair is
+/// reported unproven rather than ground on.
+const INCLUSION_LIMIT: usize = 10_000;
+
+/// Conservatively verify that every output of `tau`, over every database
+/// instance, conforms to `dtd`.
+pub fn check_output_schema(tau: &Transducer, dtd: &Dtd) -> StaticVerdict {
+    if tau.root_tag() != dtd.root() {
+        return StaticVerdict::RootMismatch {
+            expected: dtd.root().to_string(),
+            found: tau.root_tag().to_string(),
+        };
+    }
+    let mut ctx = Ctx::new(tau);
+    let mut obligations = Vec::new();
+    for i in 0..ctx.nodes.len() {
+        let (state, tag) = ctx.nodes[i].clone();
+        if tau.is_virtual(&tag) {
+            continue; // spliced out of the output
+        }
+        let mut lang = ctx.child_language(i);
+        if ctx.on_cycle[i] {
+            // the stop condition can seal this node as a bare leaf
+            lang = opt(lang);
+        }
+        let model = dtd.content_model(&tag);
+        match check_inclusion(&lang, &model, INCLUSION_LIMIT) {
+            Inclusion::Holds => {}
+            Inclusion::Fails(word) => obligations.push(Obligation {
+                state,
+                tag: tag.clone(),
+                reason: format!(
+                    "children may form \"{}\", not accepted by \"{model}\" for <{tag}>",
+                    if word.is_empty() {
+                        "ε".to_string()
+                    } else {
+                        word.join(", ")
+                    },
+                ),
+                counterexample: word,
+            }),
+            Inclusion::Overflow => obligations.push(Obligation {
+                state,
+                tag,
+                counterexample: Vec::new(),
+                reason: format!("inclusion check exceeded {INCLUSION_LIMIT} derivative pairs"),
+            }),
+        }
+    }
+    if obligations.is_empty() {
+        StaticVerdict::Proved
+    } else {
+        StaticVerdict::Unproven(obligations)
+    }
+}
+
+struct Ctx<'t> {
+    tau: &'t Transducer,
+    nodes: Vec<(String, String)>,
+    /// node index of `(state, tag)`
+    index: std::collections::BTreeMap<(String, String), usize>,
+    /// what is known about each node's register
+    card: Vec<RegisterCard>,
+    /// whether the pair can repeat along a path (is on a cycle)
+    on_cycle: Vec<bool>,
+    /// adjacency (targets only)
+    succ: Vec<Vec<usize>>,
+    /// memoized expansions of virtual pairs
+    vmemo: std::collections::BTreeMap<usize, ContentModel>,
+}
+
+impl<'t> Ctx<'t> {
+    fn new(tau: &'t Transducer) -> Ctx<'t> {
+        let g = tau.dependency_graph();
+        let nodes = g.nodes().to_vec();
+        let mut index = std::collections::BTreeMap::new();
+        for (i, key) in nodes.iter().enumerate() {
+            index.insert(key.clone(), i);
+        }
+        let mut succ = vec![Vec::new(); nodes.len()];
+        let mut incoming_all_tuple = vec![true; nodes.len()];
+        let mut has_incoming = vec![false; nodes.len()];
+        for (from, to, item) in g.edges() {
+            if !succ[*from].contains(to) {
+                succ[*from].push(*to);
+            }
+            has_incoming[*to] = true;
+            if !item.query.is_tuple_register() {
+                incoming_all_tuple[*to] = false;
+            }
+        }
+        // Register knowledge: a node spawned only by tuple-register queries
+        // holds exactly the group tuple (one row). The root occurrence has
+        // the empty nullary register (zero rows), so node 0 is capped at
+        // "at most one row" even when all its other spawns are tuples.
+        let card = (0..nodes.len())
+            .map(|i| {
+                if !incoming_all_tuple[i] {
+                    RegisterCard::Unknown
+                } else if i == 0 {
+                    RegisterCard::AtMostOneRow
+                } else {
+                    debug_assert!(has_incoming[i]);
+                    RegisterCard::OneRow
+                }
+            })
+            .collect();
+        let on_cycle = (0..nodes.len())
+            .map(|i| reaches(&succ, &succ[i], i))
+            .collect();
+        Ctx {
+            tau,
+            nodes,
+            index,
+            card,
+            on_cycle,
+            succ,
+            vmemo: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The regular over-approximation of node `i`'s child-tag words (the
+    /// blocks of its rule items, in rule order), before the ε option for
+    /// stop-condition sealing.
+    fn child_language(&mut self, i: usize) -> ContentModel {
+        let (state, tag) = self.nodes[i].clone();
+        let mut parts = Vec::new();
+        for item in self.tau.rule(&state, &tag) {
+            let base = if self.tau.is_virtual(&item.tag) {
+                let j = self.index[&(item.state.clone(), item.tag.clone())];
+                self.virtual_language(j)
+            } else {
+                ContentModel::Tag(item.tag.clone())
+            };
+            match query_cardinality(&item.query, self.card[i]) {
+                Cardinality::Empty => {}
+                Cardinality::ExactlyOne => parts.push(base),
+                Cardinality::AtMostOne => parts.push(opt(base)),
+                Cardinality::Unbounded => parts.push(star(base)),
+            }
+        }
+        seq(parts)
+    }
+
+    /// The real-tag words a virtual pair contributes once spliced out.
+    fn virtual_language(&mut self, j: usize) -> ContentModel {
+        if let Some(cm) = self.vmemo.get(&j) {
+            return cm.clone();
+        }
+        let lang = if self.virtual_cyclic(j) {
+            // unbounded splicing: any interleaving of the real tags
+            // reachable through the virtual region (ε covers sealing)
+            self.reachable_star(j)
+        } else {
+            let inner = self.child_language(j);
+            // a sealed virtual node is spliced to nothing
+            if self.on_cycle[j] {
+                opt(inner)
+            } else {
+                inner
+            }
+        };
+        self.vmemo.insert(j, lang.clone());
+        lang
+    }
+
+    /// Can virtual node `j` reach itself through virtual nodes only?
+    fn virtual_cyclic(&self, j: usize) -> bool {
+        let virt: Vec<usize> = self.succ[j]
+            .iter()
+            .copied()
+            .filter(|&k| self.tau.is_virtual(&self.nodes[k].1))
+            .collect();
+        let mut stack = virt;
+        let mut seen = BTreeSet::new();
+        while let Some(k) = stack.pop() {
+            if k == j {
+                return true;
+            }
+            if !seen.insert(k) {
+                continue;
+            }
+            for &n in &self.succ[k] {
+                if self.tau.is_virtual(&self.nodes[n].1) {
+                    stack.push(n);
+                }
+            }
+        }
+        false
+    }
+
+    /// `(t1 | … | tk)*` over the real tags reachable from virtual node `j`
+    /// without leaving the virtual region.
+    fn reachable_star(&self, j: usize) -> ContentModel {
+        let mut tags = BTreeSet::new();
+        let mut seen = BTreeSet::from([j]);
+        let mut stack = vec![j];
+        while let Some(k) = stack.pop() {
+            for &n in &self.succ[k] {
+                let tag = &self.nodes[n].1;
+                if self.tau.is_virtual(tag) {
+                    if seen.insert(n) {
+                        stack.push(n);
+                    }
+                } else {
+                    tags.insert(tag.clone());
+                }
+            }
+        }
+        star(alt(tags.into_iter().map(ContentModel::Tag).collect()))
+    }
+}
+
+/// Is `target` reachable from any of `from`?
+fn reaches(succ: &[Vec<usize>], from: &[usize], target: usize) -> bool {
+    let mut stack: Vec<usize> = from.to_vec();
+    let mut seen = BTreeSet::new();
+    while let Some(k) = stack.pop() {
+        if k == target {
+            return true;
+        }
+        if seen.insert(k) {
+            stack.extend(succ[k].iter().copied());
+        }
+    }
+    false
+}
+
+enum Inclusion {
+    Holds,
+    /// A shortest word of `l` outside `r` (breadth-first order).
+    Fails(Vec<String>),
+    Overflow,
+}
+
+/// Decide `L(l) ⊆ L(r)` by breadth-first search over pairs of Brzozowski
+/// derivatives: a reachable pair where `l` accepts and `r` does not yields
+/// the counterexample word spelling the path.
+fn check_inclusion(l: &ContentModel, r: &ContentModel, limit: usize) -> Inclusion {
+    let alphabet = l.tags();
+    let mut visited: BTreeSet<(ContentModel, ContentModel)> = BTreeSet::new();
+    let mut queue = std::collections::VecDeque::new();
+    visited.insert((l.clone(), r.clone()));
+    queue.push_back((l.clone(), r.clone(), Vec::new()));
+    while let Some((dl, dr, word)) = queue.pop_front() {
+        if dl.nullable() && !dr.nullable() {
+            return Inclusion::Fails(word);
+        }
+        for a in &alphabet {
+            let nl = dl.derive(a);
+            if nl.is_void() {
+                continue;
+            }
+            let nr = dr.derive(a);
+            if visited.insert((nl.clone(), nr.clone())) {
+                if visited.len() > limit {
+                    return Inclusion::Overflow;
+                }
+                let mut w = word.clone();
+                w.push(a.clone());
+                queue.push_back((nl, nr, w));
+            }
+        }
+    }
+    Inclusion::Holds
+}
+
+/// `p1, …, pn` with ε and nesting flattened.
+fn seq(parts: Vec<ContentModel>) -> ContentModel {
+    let mut out = Vec::new();
+    for p in parts {
+        match p {
+            ContentModel::Epsilon => {}
+            ContentModel::Seq(inner) => out.extend(inner),
+            other => out.push(other),
+        }
+    }
+    match out.len() {
+        0 => ContentModel::Epsilon,
+        1 => out.pop().unwrap(),
+        _ => ContentModel::Seq(out),
+    }
+}
+
+/// `p1 | … | pn` with ∅ dropped, nesting flattened and duplicates removed.
+fn alt(parts: Vec<ContentModel>) -> ContentModel {
+    let mut out: Vec<ContentModel> = Vec::new();
+    for p in parts {
+        match p {
+            ContentModel::Void => {}
+            ContentModel::Alt(inner) => {
+                for q in inner {
+                    if !out.contains(&q) {
+                        out.push(q);
+                    }
+                }
+            }
+            other => {
+                if !out.contains(&other) {
+                    out.push(other);
+                }
+            }
+        }
+    }
+    match out.len() {
+        0 => ContentModel::Void,
+        1 => out.pop().unwrap(),
+        _ => ContentModel::Alt(out),
+    }
+}
+
+/// `p?`, absorbed when `p` is already nullable.
+fn opt(p: ContentModel) -> ContentModel {
+    if p.is_void() {
+        ContentModel::Epsilon
+    } else if p.nullable() {
+        p
+    } else {
+        ContentModel::Opt(Box::new(p))
+    }
+}
+
+/// `p*`, with `∅* = ε* = ε` and `p** = p*`.
+fn star(p: ContentModel) -> ContentModel {
+    match p {
+        ContentModel::Void | ContentModel::Epsilon => ContentModel::Epsilon,
+        ContentModel::Star(_) => p,
+        other => ContentModel::Star(Box::new(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::registrar;
+
+    /// Enumerate all words over `alphabet` up to `max_len`.
+    fn words(alphabet: &[&str], max_len: usize) -> Vec<Vec<String>> {
+        let mut out = vec![Vec::new()];
+        let mut layer = vec![Vec::<String>::new()];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &layer {
+                for a in alphabet {
+                    let mut ext = w.clone();
+                    ext.push(a.to_string());
+                    next.push(ext);
+                }
+            }
+            out.extend(next.iter().cloned());
+            layer = next;
+        }
+        out
+    }
+
+    #[test]
+    fn inclusion_agrees_with_matches_on_enumerated_words() {
+        let cases = [
+            ("a*", "(a | b)*", true),
+            ("a, b", "a, b?, b", true),
+            ("a, b?", "a, b", false),
+            ("(a, b)*", "a, (b, a)*, b | #eps", true),
+            ("a?", "a", false),
+            ("a | b", "(a | b)+", true),
+            ("a+", "a, a*", true),
+            ("a, a*", "a+", true),
+            ("(a | b), c", "a, c | b", false),
+        ];
+        for (ls, rs, expect) in cases {
+            let l = ContentModel::parse(ls).unwrap();
+            let r = ContentModel::parse(rs).unwrap();
+            let enumerated = words(&["a", "b", "c"], 4)
+                .iter()
+                .all(|w| !l.matches(w) || r.matches(w));
+            assert_eq!(enumerated, expect, "enumeration disagrees for {ls} ⊆ {rs}");
+            match check_inclusion(&l, &r, INCLUSION_LIMIT) {
+                Inclusion::Holds => assert!(expect, "{ls} ⊆ {rs} claimed, enumeration says no"),
+                Inclusion::Fails(w) => {
+                    assert!(!expect, "{ls} ⊆ {rs} refuted, enumeration says yes");
+                    assert!(l.matches(&w), "counterexample {w:?} not in {ls}");
+                    assert!(!r.matches(&w), "counterexample {w:?} in {rs}");
+                }
+                Inclusion::Overflow => panic!("tiny case overflowed"),
+            }
+        }
+    }
+
+    fn tau1_dtd() -> Dtd {
+        // (q, course) sits on the prereq cycle, so the stop condition can
+        // seal a course as a bare leaf: the content model must admit ε
+        Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "(cno, title, prereq)?")
+            .rule("prereq", "course*")
+            .rule("cno", "text")
+            .rule("title", "text")
+    }
+
+    #[test]
+    fn tau1_proved_against_fitting_schema() {
+        assert_eq!(
+            check_output_schema(&registrar::tau1(), &tau1_dtd()),
+            StaticVerdict::Proved
+        );
+    }
+
+    #[test]
+    fn tau2_proved_against_fitting_schema() {
+        // virtual `l` pairs splice to cno* under prereq; no course cycle
+        let dtd = Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "cno, title, prereq")
+            .rule("prereq", "cno*")
+            .rule("cno", "text")
+            .rule("title", "text");
+        assert_eq!(
+            check_output_schema(&registrar::tau2(), &dtd),
+            StaticVerdict::Proved
+        );
+    }
+
+    #[test]
+    fn tau3_proved_against_fitting_schema() {
+        let dtd = Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "cno, title")
+            .rule("cno", "text")
+            .rule("title", "text");
+        assert_eq!(
+            check_output_schema(&registrar::tau3(), &dtd),
+            StaticVerdict::Proved
+        );
+    }
+
+    #[test]
+    fn root_mismatch_detected() {
+        let dtd = Dtd::new("catalog").rule("catalog", "course*");
+        assert_eq!(
+            check_output_schema(&registrar::tau3(), &dtd),
+            StaticVerdict::RootMismatch {
+                expected: "catalog".to_string(),
+                found: "db".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn sealed_course_defeats_strict_schema() {
+        // tau1 against the *strict* registrar schema: a sealed course leaf
+        // emits no children, so ε escapes "cno, title, prereq"
+        let strict = Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "cno, title, prereq")
+            .rule("prereq", "course*")
+            .rule("cno", "text")
+            .rule("title", "text");
+        match check_output_schema(&registrar::tau1(), &strict) {
+            StaticVerdict::Unproven(obs) => {
+                assert!(
+                    obs.iter()
+                        .any(|o| o.tag == "course" && o.counterexample.is_empty()),
+                    "expected an ε obligation at (q, course), got {obs:?}"
+                );
+            }
+            other => panic!("expected Unproven, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_child_defeats_plus_schema() {
+        // db → course+ requires at least one course, but the db query can
+        // return no rows
+        let dtd = Dtd::new("db")
+            .rule("db", "course+")
+            .rule("course", "cno, title")
+            .rule("cno", "text")
+            .rule("title", "text");
+        match check_output_schema(&registrar::tau3(), &dtd) {
+            StaticVerdict::Unproven(obs) => {
+                assert_eq!(obs.len(), 1);
+                assert_eq!(obs[0].tag, "db");
+                assert!(obs[0].counterexample.is_empty());
+            }
+            other => panic!("expected Unproven, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Static cardinality analysis of head-split queries.
+//!
+//! The typechecker (PR 9) needs a sound upper bound on *how many children*
+//! a rule item `(q, a, φ(x̄; ȳ))` can spawn: one child per distinct
+//! `x̄`-group (Definition 3.1). This module derives such a bound from the
+//! query text alone — no instance in sight — so the result must hold for
+//! **every** database and register content:
+//!
+//! * [`Cardinality::Empty`] — the body is unsatisfiable, no child ever;
+//! * [`Cardinality::ExactlyOne`] — exactly one child on every instance
+//!   (only provable against a register known to hold exactly one row);
+//! * [`Cardinality::AtMostOne`] — at most one group key can exist;
+//! * [`Cardinality::Unbounded`] — no bound derivable (the sound default).
+//!
+//! What is known about the register is passed in as a [`RegisterCard`],
+//! because the query language cannot see it: the transducer's rule plan
+//! knows whether a node was spawned by a tuple-register query (register =
+//! exactly the group tuple, one row) while `Reg` inside the body is just a
+//! predicate. The three analyses the typechecker relies on:
+//!
+//! 1. **Unsatisfiable-comparison detection** — contradictory top-level
+//!    conjuncts (`x = 1 and x = 2`, `x != x`, constant mismatches) and,
+//!    for CQ bodies, the full PTIME satisfiability test of Theorem 1(1).
+//! 2. **Functional group-by determination** — every group variable pinned
+//!    to a single value, either by an equality chain ending in a constant
+//!    or by appearing in a positive `Reg` atom when the register holds at
+//!    most one row.
+//! 3. **Constant-only / register-projection queries** — a body that is one
+//!    positive `Reg` atom over pairwise-distinct variables projects the
+//!    single register row, hence exactly one child.
+
+use std::collections::BTreeMap;
+
+use pt_relational::Value;
+
+use crate::cq::ConjunctiveQuery;
+use crate::formula::Formula;
+use crate::query::Query;
+use crate::term::{Term, Var};
+
+/// What is statically known about the register relation a query's `Reg`
+/// atoms refer to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegisterCard {
+    /// Nothing — the register may hold any number of rows.
+    Unknown,
+    /// At most one row (e.g. the root's empty register).
+    AtMostOneRow,
+    /// Exactly one row (a node spawned by a tuple-register query: its
+    /// register is the group tuple itself, Definition 3.1).
+    OneRow,
+}
+
+impl RegisterCard {
+    fn at_most_one(self) -> bool {
+        matches!(self, RegisterCard::AtMostOneRow | RegisterCard::OneRow)
+    }
+}
+
+/// A sound upper bound on the number of children a rule item spawns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cardinality {
+    /// The body is unsatisfiable: no child, on any instance.
+    Empty,
+    /// Exactly one child on every instance.
+    ExactlyOne,
+    /// At most one child.
+    AtMostOne,
+    /// No bound derivable.
+    Unbounded,
+}
+
+/// A sound upper bound on how many children `(q, a, φ(x̄; ȳ))` spawns,
+/// given what is known about the node's register.
+pub fn query_cardinality(q: &Query, register: RegisterCard) -> Cardinality {
+    let (conjuncts, opaque) = top_conjuncts(q.body());
+
+    // 1. unsatisfiable comparisons / CQ satisfiability
+    if scan_contradiction(&conjuncts) {
+        return Cardinality::Empty;
+    }
+    if let Ok(cq) = ConjunctiveQuery::from_query(q) {
+        if !cq.is_satisfiable() {
+            return Cardinality::Empty;
+        }
+    }
+
+    // 2. a pure register projection over a one-row register returns that
+    //    row exactly once: exactly one group
+    if register == RegisterCard::OneRow && !opaque && conjuncts.len() == 1 {
+        if let Formula::Reg(terms) = conjuncts[0] {
+            if distinct_vars(terms) {
+                return Cardinality::ExactlyOne;
+            }
+        }
+    }
+
+    // 3. no group variables: the whole result is one group (Section 3)
+    if q.group_vars().is_empty() {
+        return Cardinality::AtMostOne;
+    }
+
+    // 4. functional group-by: every group variable pinned to at most one
+    //    value by the top-level conjunction
+    let forced = forced_vars(&conjuncts, register);
+    if q.group_vars().iter().all(|v| forced.contains_key(v)) {
+        return Cardinality::AtMostOne;
+    }
+
+    Cardinality::Unbounded
+}
+
+/// Peel top-level `∃` (auto-closure wraps every body in one) and flatten
+/// conjunctions. Non-conjunctive shapes are returned as a single opaque
+/// conjunct; the `bool` says whether the top was something other than a
+/// conjunction of literals (so callers can demand an exact shape).
+fn top_conjuncts(body: &Formula) -> (Vec<&Formula>, bool) {
+    let mut f = body;
+    while let Formula::Exists(_, inner) = f {
+        f = inner;
+    }
+    let mut out = Vec::new();
+    let mut opaque = false;
+    match f {
+        Formula::And(parts) => {
+            for p in parts {
+                // one more level: `exists x (...)` conjuncts stay opaque
+                out.push(p);
+                if matches!(
+                    p,
+                    Formula::And(_)
+                        | Formula::Or(_)
+                        | Formula::Exists(_, _)
+                        | Formula::Forall(_, _)
+                ) {
+                    opaque = true;
+                }
+            }
+        }
+        other => {
+            out.push(other);
+            opaque = !matches!(
+                other,
+                Formula::Rel(_, _)
+                    | Formula::Reg(_)
+                    | Formula::Eq(_, _)
+                    | Formula::Neq(_, _)
+                    | Formula::True
+                    | Formula::False
+            );
+        }
+    }
+    (out, opaque)
+}
+
+/// Are all terms pairwise-distinct variables?
+fn distinct_vars(terms: &[Term]) -> bool {
+    let mut seen: Vec<&Var> = Vec::new();
+    for t in terms {
+        match t.as_var() {
+            Some(v) if !seen.contains(&v) => seen.push(v),
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Obvious contradictions among top-level conjuncts: an explicit `false`,
+/// `t ≠ t`, mismatched constant comparisons, or one variable equated with
+/// two distinct constants.
+fn scan_contradiction(conjuncts: &[&Formula]) -> bool {
+    let mut pinned: BTreeMap<Var, Value> = BTreeMap::new();
+    for c in conjuncts {
+        match c {
+            Formula::False => return true,
+            Formula::Neq(a, b) if a == b => return true,
+            Formula::Neq(a, b) => {
+                if let (Some(ca), Some(cb)) = (a.as_const(), b.as_const()) {
+                    if ca == cb {
+                        return true;
+                    }
+                }
+            }
+            Formula::Eq(a, b) => match (a.as_var(), a.as_const(), b.as_var(), b.as_const()) {
+                (_, Some(ca), _, Some(cb)) if ca != cb => return true,
+                (_, Some(_), _, Some(_)) => {}
+                (Some(v), _, _, Some(c)) | (_, Some(c), Some(v), _) => {
+                    if let Some(prev) = pinned.insert(v.clone(), c.clone()) {
+                        if prev != *c {
+                            return true;
+                        }
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    false
+}
+
+/// The variables provably restricted to at most one value: equality chains
+/// ending in a constant, and (when the register holds ≤ 1 row) arguments of
+/// positive top-level `Reg` atoms. Iterated to a fixpoint so `x = y, y = 3`
+/// pins `x` too.
+fn forced_vars(conjuncts: &[&Formula], register: RegisterCard) -> BTreeMap<Var, ()> {
+    let mut forced: BTreeMap<Var, ()> = BTreeMap::new();
+    if register.at_most_one() {
+        for c in conjuncts {
+            if let Formula::Reg(terms) = c {
+                for t in terms {
+                    if let Some(v) = t.as_var() {
+                        forced.insert(v.clone(), ());
+                    }
+                }
+            }
+        }
+    }
+    for c in conjuncts {
+        if let Formula::Eq(a, b) = c {
+            match (a.as_var(), a.as_const(), b.as_var(), b.as_const()) {
+                (Some(v), _, _, Some(_)) | (_, Some(_), Some(v), _) => {
+                    forced.insert(v.clone(), ());
+                }
+                _ => {}
+            }
+        }
+    }
+    // propagate var = var equalities until stable
+    loop {
+        let mut changed = false;
+        for c in conjuncts {
+            if let Formula::Eq(a, b) = c {
+                if let (Some(va), Some(vb)) = (a.as_var(), b.as_var()) {
+                    if forced.contains_key(va) && forced.insert(vb.clone(), ()).is_none() {
+                        changed = true;
+                    }
+                    if forced.contains_key(vb) && forced.insert(va.clone(), ()).is_none() {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return forced;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn card(src: &str, reg: RegisterCard) -> Cardinality {
+        query_cardinality(&parse_query(src).unwrap(), reg)
+    }
+
+    #[test]
+    fn contradictory_comparisons_are_empty() {
+        for src in [
+            "(x) <- s(x) and x = 1 and x = 2",
+            "(x) <- s(x) and x != x",
+            "(x) <- s(x) and 1 = 2",
+            "(x) <- s(x) and 3 != 3",
+        ] {
+            assert_eq!(
+                card(src, RegisterCard::Unknown),
+                Cardinality::Empty,
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn cq_unsatisfiability_is_empty() {
+        // x pinned and excluded: the CQ test (Theorem 1(1)) catches it even
+        // though the literal scan alone would not
+        assert_eq!(
+            card("(x) <- s(x) and x = 1 and x != 1", RegisterCard::Unknown),
+            Cardinality::Empty
+        );
+    }
+
+    #[test]
+    fn register_projection_is_exactly_one() {
+        assert_eq!(
+            card("(c) <- Reg(c)", RegisterCard::OneRow),
+            Cardinality::ExactlyOne
+        );
+        assert_eq!(
+            card("(c) <- exists t (Reg(c, t))", RegisterCard::OneRow),
+            Cardinality::ExactlyOne
+        );
+        // with rest variables the projection still yields one group
+        assert_eq!(
+            card("(c; t) <- Reg(c, t)", RegisterCard::OneRow),
+            Cardinality::ExactlyOne
+        );
+    }
+
+    #[test]
+    fn register_projection_needs_the_one_row_guarantee() {
+        // the register may be empty → at most one
+        assert_eq!(
+            card("(c) <- Reg(c)", RegisterCard::AtMostOneRow),
+            Cardinality::AtMostOne
+        );
+        // the register may hold anything → unbounded
+        assert_eq!(
+            card("(c) <- Reg(c)", RegisterCard::Unknown),
+            Cardinality::Unbounded
+        );
+    }
+
+    #[test]
+    fn constants_in_register_atoms_break_exactness() {
+        // `Reg(c, '5')` can reject the single row: at most one, not exactly
+        assert_eq!(
+            card("(c) <- Reg(c, '5')", RegisterCard::OneRow),
+            Cardinality::AtMostOne
+        );
+        // a repeated variable can reject it too
+        assert_eq!(
+            card("(c) <- Reg(c, c)", RegisterCard::OneRow),
+            Cardinality::AtMostOne
+        );
+    }
+
+    #[test]
+    fn no_group_variables_is_at_most_one() {
+        assert_eq!(
+            card("(; y) <- s(y)", RegisterCard::Unknown),
+            Cardinality::AtMostOne
+        );
+    }
+
+    #[test]
+    fn constant_pinned_group_is_at_most_one() {
+        assert_eq!(
+            card("(x) <- exists y (r(x, y)) and x = 3", RegisterCard::Unknown),
+            Cardinality::AtMostOne
+        );
+        // through an equality chain
+        assert_eq!(
+            card(
+                "(x) <- exists y (r(x, y)) and x = z and z = 1 and r(z, x)",
+                RegisterCard::Unknown
+            ),
+            Cardinality::AtMostOne
+        );
+    }
+
+    #[test]
+    fn side_conditions_keep_register_forcing_sound() {
+        // extra conjuncts may *reject* the row but never add group keys, so
+        // Reg-coverage still bounds the count at one
+        assert_eq!(
+            card(
+                "(c) <- Reg(c) and exists t d (course(c, t, d))",
+                RegisterCard::OneRow
+            ),
+            Cardinality::AtMostOne
+        );
+    }
+
+    #[test]
+    fn unconstrained_queries_are_unbounded() {
+        assert_eq!(
+            card("(x) <- s(x)", RegisterCard::Unknown),
+            Cardinality::Unbounded
+        );
+        assert_eq!(
+            card("(x, y) <- r(x, y) and x = 1", RegisterCard::Unknown),
+            Cardinality::Unbounded
+        );
+    }
+
+    #[test]
+    fn disjunction_falls_through_to_unbounded() {
+        assert_eq!(
+            card("(x) <- s(x) or exists y (r(x, y))", RegisterCard::Unknown),
+            Cardinality::Unbounded
+        );
+    }
+}

@@ -17,11 +17,15 @@
 //!   algorithm of Theorem 1(1)), canonical databases, containment and
 //!   equivalence with `≠` (Klug's criterion, used by Theorem 2(4)),
 //!   reduction and c-equivalence (Claim 3),
+//! * [`cardinality`] — static per-query child-count bounds
+//!   (`Empty` / `ExactlyOne` / `AtMostOne` / `Unbounded`) feeding the
+//!   output-schema typechecker,
 //! * [`compose`] — the two query-composition operators (tuple-register and
 //!   relation-register) used throughout Sections 5 and 6,
 //! * [`par`] — a minimal scoped worker pool; the fixpoint loops partition
 //!   their per-round deltas over the ambient pool when one is installed.
 
+pub mod cardinality;
 mod closure;
 pub mod compose;
 pub mod cq;
@@ -32,6 +36,7 @@ mod parser;
 mod query;
 mod term;
 
+pub use cardinality::{query_cardinality, Cardinality, RegisterCard};
 pub use eval::{EvalContext, IndexedRegister, SharedInterner, SuccessorReport};
 pub use formula::{Formula, Fragment};
 pub use parser::{parse_formula, parse_query, ParseError};

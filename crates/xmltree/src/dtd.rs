@@ -34,10 +34,37 @@ pub enum ContentModel {
     Opt(Box<ContentModel>),
 }
 
+/// A malformed content-model expression: where the parser stopped and what
+/// it expected to see there.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DtdParseError {
+    /// Character offset into the input where parsing failed.
+    pub pos: usize,
+    /// What the parser expected at that position.
+    pub expected: &'static str,
+    /// The character actually found, if any (`None` at end of input).
+    pub found: Option<char>,
+}
+
+impl fmt::Display for DtdParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.found {
+            Some(c) => write!(f, "expected {} at {}, found {c:?}", self.expected, self.pos),
+            None => write!(
+                f,
+                "expected {} at {}, found end of input",
+                self.expected, self.pos
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DtdParseError {}
+
 impl ContentModel {
     /// Parse a content model: tags, `,` for sequence, `|` for alternation,
     /// postfix `*`, `+`, `?`, parentheses, and `#eps` for ε.
-    pub fn parse(input: &str) -> Result<ContentModel, String> {
+    pub fn parse(input: &str) -> Result<ContentModel, DtdParseError> {
         Parser {
             chars: input.chars().collect(),
             pos: 0,
@@ -227,11 +254,19 @@ struct Parser {
 }
 
 impl Parser {
-    fn parse_top(&mut self) -> Result<ContentModel, String> {
+    fn error(&self, expected: &'static str) -> DtdParseError {
+        DtdParseError {
+            pos: self.pos,
+            expected,
+            found: self.chars.get(self.pos).copied(),
+        }
+    }
+
+    fn parse_top(&mut self) -> Result<ContentModel, DtdParseError> {
         let cm = self.parse_alt()?;
         self.skip_ws();
         if self.pos != self.chars.len() {
-            return Err(format!("trailing input at {}", self.pos));
+            return Err(self.error("end of input"));
         }
         Ok(cm)
     }
@@ -242,7 +277,7 @@ impl Parser {
         }
     }
 
-    fn parse_alt(&mut self) -> Result<ContentModel, String> {
+    fn parse_alt(&mut self) -> Result<ContentModel, DtdParseError> {
         let mut parts = vec![self.parse_seq()?];
         loop {
             self.skip_ws();
@@ -260,7 +295,7 @@ impl Parser {
         })
     }
 
-    fn parse_seq(&mut self) -> Result<ContentModel, String> {
+    fn parse_seq(&mut self) -> Result<ContentModel, DtdParseError> {
         let mut parts = vec![self.parse_postfix()?];
         loop {
             self.skip_ws();
@@ -278,7 +313,7 @@ impl Parser {
         })
     }
 
-    fn parse_postfix(&mut self) -> Result<ContentModel, String> {
+    fn parse_postfix(&mut self) -> Result<ContentModel, DtdParseError> {
         let mut base = self.parse_atom()?;
         loop {
             self.skip_ws();
@@ -300,7 +335,7 @@ impl Parser {
         }
     }
 
-    fn parse_atom(&mut self) -> Result<ContentModel, String> {
+    fn parse_atom(&mut self) -> Result<ContentModel, DtdParseError> {
         self.skip_ws();
         match self.chars.get(self.pos) {
             Some('(') => {
@@ -308,7 +343,7 @@ impl Parser {
                 let inner = self.parse_alt()?;
                 self.skip_ws();
                 if self.chars.get(self.pos) != Some(&')') {
-                    return Err("expected )".to_string());
+                    return Err(self.error("')'"));
                 }
                 self.pos += 1;
                 Ok(inner)
@@ -319,7 +354,7 @@ impl Parser {
                     self.pos += 4;
                     Ok(ContentModel::Epsilon)
                 } else {
-                    Err("expected #eps".to_string())
+                    Err(self.error("'#eps'"))
                 }
             }
             Some(c) if c.is_alphanumeric() || *c == '_' => {
@@ -333,7 +368,7 @@ impl Parser {
                     self.chars[start..self.pos].iter().collect(),
                 ))
             }
-            other => Err(format!("unexpected {other:?} at {}", self.pos)),
+            _ => Err(self.error("a tag, '(' or '#eps'")),
         }
     }
 }
@@ -612,6 +647,29 @@ mod tests {
         assert!(ContentModel::parse("a,,b").is_err());
         assert!(ContentModel::parse("(a").is_err());
         assert!(ContentModel::parse("a)").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_position_and_expectation() {
+        let e = ContentModel::parse("a,,b").unwrap_err();
+        assert_eq!(e.pos, 2);
+        assert_eq!(e.expected, "a tag, '(' or '#eps'");
+        assert_eq!(e.found, Some(','));
+
+        let e = ContentModel::parse("(a").unwrap_err();
+        assert_eq!(e.pos, 2);
+        assert_eq!(e.expected, "')'");
+        assert_eq!(e.found, None);
+
+        let e = ContentModel::parse("a)").unwrap_err();
+        assert_eq!(e.pos, 1);
+        assert_eq!(e.expected, "end of input");
+        assert_eq!(e.found, Some(')'));
+
+        let e = ContentModel::parse("#ps").unwrap_err();
+        assert_eq!(e.expected, "'#eps'");
+        assert_eq!(e.found, Some('#'));
+        assert!(e.to_string().contains("at 0"));
     }
 
     #[test]

@@ -19,15 +19,20 @@
 //!   to `d`),
 //! * [`stream`] — SAX-style [`XmlEvent`] streams: the [`XmlEventSink`]
 //!   consumer trait, tree rebuilding ([`TreeBuilder`], the round-trip
-//!   oracle for event producers), streaming XML text ([`XmlWriter`]), and
-//!   depth/size truncation guards ([`Guarded`]).
+//!   oracle for event producers), streaming XML text ([`XmlWriter`]),
+//!   depth/size truncation guards ([`Guarded`]), and incremental DTD /
+//!   extended-DTD validation ([`DtdSink`], [`XdtdSink`]) — the runtime
+//!   oracle behind the static typechecker.
 
 mod dtd;
 pub mod stream;
 mod tree;
 mod xdtd;
 
-pub use dtd::{ContentModel, Dtd};
-pub use stream::{CountingSink, Guarded, TreeBuilder, XmlEvent, XmlEventSink, XmlWriter};
+pub use dtd::{ContentModel, Dtd, DtdParseError};
+pub use stream::{
+    CountingSink, DtdSink, DtdViolation, Guarded, TreeBuilder, XdtdSink, XmlEvent, XmlEventSink,
+    XmlWriter,
+};
 pub use tree::Tree;
 pub use xdtd::ExtendedDtd;

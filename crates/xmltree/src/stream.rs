@@ -18,7 +18,11 @@
 //! `TreeBuilder` is its inverse, which makes the pair a round-trip oracle
 //! for any event producer that claims to stream a given tree.
 
+use std::fmt;
+
+use crate::dtd::{ContentModel, Dtd};
 use crate::tree::escape;
+use crate::xdtd::ExtendedDtd;
 use crate::Tree;
 
 /// One SAX-style event of a Σ-tree stream.
@@ -290,6 +294,347 @@ impl<S: XmlEventSink> XmlEventSink for Guarded<S> {
     }
 }
 
+/// Why a [`DtdSink`] rejected a stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DtdViolation {
+    /// The first `Open` (or a root `Text`) did not carry the DTD's root tag.
+    RootMismatch {
+        /// The DTD's root tag.
+        expected: String,
+        /// The label actually seen.
+        found: String,
+    },
+    /// A child arrived that no continuation of the parent's content model
+    /// accepts at this position.
+    BadChild {
+        /// The open element whose content model rejected the child.
+        parent: String,
+        /// The offending child label (`text` for a pcdata leaf).
+        child: String,
+    },
+    /// An element closed before its content model was satisfied (more
+    /// children were required).
+    PrematureClose {
+        /// The element that closed too early.
+        tag: String,
+    },
+    /// The stream itself was ill formed: a mismatched close, events after
+    /// the root closed, or a close with nothing open.
+    Malformed,
+}
+
+impl fmt::Display for DtdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtdViolation::RootMismatch { expected, found } => {
+                write!(f, "root mismatch: expected <{expected}>, found <{found}>")
+            }
+            DtdViolation::BadChild { parent, child } => {
+                write!(f, "content model of <{parent}> rejects child <{child}>")
+            }
+            DtdViolation::PrematureClose { tag } => {
+                write!(f, "<{tag}> closed before its content model was satisfied")
+            }
+            DtdViolation::Malformed => write!(f, "malformed event stream"),
+        }
+    }
+}
+
+/// A sink that validates the stream against a [`Dtd`] incrementally, by
+/// running the Brzozowski derivative of each open element's content model
+/// as children arrive — the streaming counterpart of [`Dtd::conforms`],
+/// and the runtime oracle for the static typechecker
+/// (`pt_analysis::typecheck`).
+///
+/// The sink truncates the stream (returns `false`) at the **first**
+/// violating event, so producers stop work the moment the output is known
+/// bad; [`DtdSink::violation`] then reports why. On a complete well-formed
+/// stream, [`DtdSink::conforms`] agrees exactly with [`Dtd::conforms`] on
+/// the streamed tree. Composable with [`Guarded`] like any other sink.
+pub struct DtdSink {
+    dtd: Dtd,
+    /// Open elements with the derivative of their content model so far.
+    stack: Vec<(String, ContentModel)>,
+    violation: Option<DtdViolation>,
+    root_done: bool,
+}
+
+impl DtdSink {
+    /// A sink validating against `dtd`.
+    pub fn new(dtd: &Dtd) -> DtdSink {
+        DtdSink {
+            dtd: dtd.clone(),
+            stack: Vec::new(),
+            violation: None,
+            root_done: false,
+        }
+    }
+
+    /// The first violation, if any.
+    pub fn violation(&self) -> Option<&DtdViolation> {
+        self.violation.as_ref()
+    }
+
+    /// No violation so far (the stream may still be incomplete).
+    pub fn ok(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// Whether a complete, conforming document was streamed: the root
+    /// element opened and closed with every content model satisfied.
+    pub fn conforms(&self) -> bool {
+        self.violation.is_none() && self.root_done && self.stack.is_empty()
+    }
+
+    fn fail(&mut self, v: DtdViolation) -> bool {
+        self.violation = Some(v);
+        false
+    }
+
+    /// Consume one child label (a tag or `text`) in the innermost open
+    /// element's content model.
+    fn consume_child(&mut self, child: &str) -> bool {
+        let (parent, cm) = self.stack.last_mut().expect("an open element");
+        let next = cm.derive(child);
+        if next.is_void() {
+            let parent = parent.clone();
+            return self.fail(DtdViolation::BadChild {
+                parent,
+                child: child.to_string(),
+            });
+        }
+        *cm = next;
+        true
+    }
+}
+
+impl XmlEventSink for DtdSink {
+    fn event(&mut self, ev: XmlEvent<'_>) -> bool {
+        if self.violation.is_some() {
+            return false;
+        }
+        match ev {
+            XmlEvent::Open(tag) => {
+                if self.stack.is_empty() {
+                    if self.root_done {
+                        return self.fail(DtdViolation::Malformed);
+                    }
+                    if tag != self.dtd.root() {
+                        return self.fail(DtdViolation::RootMismatch {
+                            expected: self.dtd.root().to_string(),
+                            found: tag.to_string(),
+                        });
+                    }
+                } else if !self.consume_child(tag) {
+                    return false;
+                }
+                self.stack
+                    .push((tag.to_string(), self.dtd.content_model(tag)));
+                true
+            }
+            XmlEvent::Text(_) => {
+                if self.stack.is_empty() {
+                    // a bare pcdata root: the document is the `text` leaf
+                    if self.root_done {
+                        return self.fail(DtdViolation::Malformed);
+                    }
+                    if self.dtd.root() != "text" {
+                        return self.fail(DtdViolation::RootMismatch {
+                            expected: self.dtd.root().to_string(),
+                            found: "text".to_string(),
+                        });
+                    }
+                    if !self.dtd.content_model("text").nullable() {
+                        return self.fail(DtdViolation::PrematureClose {
+                            tag: "text".to_string(),
+                        });
+                    }
+                    self.root_done = true;
+                    return true;
+                }
+                self.consume_child("text")
+            }
+            XmlEvent::Close(tag) => {
+                let Some((open, cm)) = self.stack.pop() else {
+                    return self.fail(DtdViolation::Malformed);
+                };
+                if open != tag {
+                    return self.fail(DtdViolation::Malformed);
+                }
+                if !cm.nullable() {
+                    return self.fail(DtdViolation::PrematureClose {
+                        tag: tag.to_string(),
+                    });
+                }
+                if self.stack.is_empty() {
+                    self.root_done = true;
+                }
+                true
+            }
+        }
+    }
+}
+
+/// A sink that validates the stream against an [`ExtendedDtd`] — the
+/// streaming counterpart of [`ExtendedDtd::conforms`].
+///
+/// Each open element tracks its surviving Σ'-specializations paired with
+/// the set of derivative states its content model can be in, given any
+/// consistent specialization of the children seen so far (the same subset
+/// simulation the batch checker runs bottom-up, run left to right). When a
+/// child completes, its possible-label set is folded into the parent's
+/// candidates; the stream is truncated as soon as no candidate survives,
+/// since no Σ'-relabeling of any completion can then conform.
+pub struct XdtdSink {
+    xdtd: ExtendedDtd,
+    /// One frame per open element: its Σ-tag and the surviving
+    /// `(σ', derivative states)` candidates.
+    stack: Vec<XdtdFrame>,
+    /// Guaranteed nonconforming (dead candidates or ill-formed stream).
+    dead: bool,
+    /// Set once the root completed: did some root specialization survive?
+    result: Option<bool>,
+}
+
+struct XdtdFrame {
+    tag: String,
+    candidates: Vec<(String, Vec<ContentModel>)>,
+}
+
+impl XdtdSink {
+    /// A sink validating against `xdtd`.
+    pub fn new(xdtd: &ExtendedDtd) -> XdtdSink {
+        XdtdSink {
+            xdtd: xdtd.clone(),
+            stack: Vec::new(),
+            dead: false,
+            result: None,
+        }
+    }
+
+    /// Whether a complete document was streamed and some Σ'-relabeling of
+    /// it satisfies the underlying DTD.
+    pub fn conforms(&self) -> bool {
+        !self.dead && self.result == Some(true)
+    }
+
+    /// The possible Σ'-labels of a completed pcdata leaf.
+    fn text_labels(&self) -> Vec<String> {
+        self.xdtd
+            .preimage("text")
+            .into_iter()
+            .filter(|s| self.xdtd.dtd().content_model(s).nullable())
+            .collect()
+    }
+
+    /// Fold a completed child's possible-label set into the innermost open
+    /// frame; returns `false` when no candidate survives anywhere above.
+    fn feed(&mut self, labels: &[String]) -> bool {
+        let frame = self.stack.last_mut().expect("an open element");
+        for (_, states) in frame.candidates.iter_mut() {
+            let mut next: Vec<ContentModel> = Vec::new();
+            for st in states.iter() {
+                for letter in labels {
+                    let d = st.derive(letter);
+                    if !d.is_void() && !next.contains(&d) {
+                        next.push(d);
+                    }
+                }
+            }
+            *states = next;
+        }
+        frame.candidates.retain(|(_, states)| !states.is_empty());
+        if frame.candidates.is_empty() {
+            self.dead = true;
+            return false;
+        }
+        true
+    }
+
+    /// Complete the document with the given possible-label set for the
+    /// root node.
+    fn finish_root(&mut self, labels: &[String]) -> bool {
+        let conform = labels.iter().any(|s| s == self.xdtd.dtd().root());
+        self.result = Some(conform);
+        if !conform {
+            self.dead = true;
+        }
+        conform
+    }
+}
+
+impl XmlEventSink for XdtdSink {
+    fn event(&mut self, ev: XmlEvent<'_>) -> bool {
+        if self.dead {
+            return false;
+        }
+        match ev {
+            XmlEvent::Open(tag) => {
+                if self.stack.is_empty() && self.result.is_some() {
+                    self.dead = true;
+                    return false;
+                }
+                let candidates: Vec<(String, Vec<ContentModel>)> = self
+                    .xdtd
+                    .preimage(tag)
+                    .into_iter()
+                    .map(|s| {
+                        let cm = self.xdtd.dtd().content_model(&s);
+                        (s, vec![cm])
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    // tag outside Σ': no relabeling exists
+                    self.dead = true;
+                    return false;
+                }
+                self.stack.push(XdtdFrame {
+                    tag: tag.to_string(),
+                    candidates,
+                });
+                true
+            }
+            XmlEvent::Text(_) => {
+                let labels = self.text_labels();
+                if self.stack.is_empty() {
+                    if self.result.is_some() {
+                        self.dead = true;
+                        return false;
+                    }
+                    return self.finish_root(&labels);
+                }
+                self.feed(&labels)
+            }
+            XmlEvent::Close(tag) => {
+                let Some(frame) = self.stack.pop() else {
+                    self.dead = true;
+                    return false;
+                };
+                if frame.tag != tag {
+                    self.dead = true;
+                    return false;
+                }
+                // the labels this completed element can take: candidates
+                // whose derivative set accepts the children consumed
+                let labels: Vec<String> = frame
+                    .candidates
+                    .into_iter()
+                    .filter(|(_, states)| states.iter().any(ContentModel::nullable))
+                    .map(|(s, _)| s)
+                    .collect();
+                if self.stack.is_empty() {
+                    return self.finish_root(&labels);
+                }
+                if labels.is_empty() {
+                    self.dead = true;
+                    return false;
+                }
+                self.feed(&labels)
+            }
+        }
+    }
+}
+
 impl Tree {
     /// Emit this tree as an event stream, preorder: `Open`, the children's
     /// streams, `Close` (a `text` leaf is a single `Text` event). Returns
@@ -428,6 +773,186 @@ mod tests {
         // /course, /db
         assert_eq!(c.events(), 11);
         assert_eq!(c.max_depth(), 3);
+    }
+
+    fn registrar_dtd() -> Dtd {
+        Dtd::new("db")
+            .rule("db", "course*")
+            .rule("course", "cno, title, prereq")
+            .rule("prereq", "course*")
+            .rule("cno", "text")
+            .rule("title", "text")
+    }
+
+    fn course(cno: &str, prereqs: Vec<Tree>) -> Tree {
+        Tree::node(
+            "course",
+            vec![
+                Tree::node("cno", vec![Tree::text_node(cno)]),
+                Tree::node("title", vec![Tree::text_node("t")]),
+                Tree::node("prereq", prereqs),
+            ],
+        )
+    }
+
+    #[test]
+    fn dtd_sink_accepts_conforming_streams() {
+        let d = registrar_dtd();
+        let t = Tree::node("db", vec![course("c1", vec![course("c2", vec![])])]);
+        let mut sink = DtdSink::new(&d);
+        assert!(t.stream_to(&mut sink));
+        assert!(sink.conforms());
+        assert!(sink.violation().is_none());
+    }
+
+    #[test]
+    fn dtd_sink_rejects_at_first_bad_event() {
+        let d = registrar_dtd();
+        // root mismatch
+        let mut sink = DtdSink::new(&d);
+        assert!(!sink.event(XmlEvent::Open("catalog")));
+        assert_eq!(
+            sink.violation(),
+            Some(&DtdViolation::RootMismatch {
+                expected: "db".to_string(),
+                found: "catalog".to_string(),
+            })
+        );
+        // wrong child order: title before cno
+        let mut sink = DtdSink::new(&d);
+        assert!(sink.event(XmlEvent::Open("db")));
+        assert!(sink.event(XmlEvent::Open("course")));
+        assert!(!sink.event(XmlEvent::Open("title")));
+        assert_eq!(
+            sink.violation(),
+            Some(&DtdViolation::BadChild {
+                parent: "course".to_string(),
+                child: "title".to_string(),
+            })
+        );
+        // course sealed early: cno alone does not satisfy the model
+        let d2 = d.clone();
+        let mut sink = DtdSink::new(&d2);
+        for ev in [
+            XmlEvent::Open("db"),
+            XmlEvent::Open("course"),
+            XmlEvent::Open("cno"),
+            XmlEvent::Text("c1"),
+            XmlEvent::Close("cno"),
+        ] {
+            assert!(sink.event(ev));
+        }
+        assert!(!sink.event(XmlEvent::Close("course")));
+        assert_eq!(
+            sink.violation(),
+            Some(&DtdViolation::PrematureClose {
+                tag: "course".to_string()
+            })
+        );
+        // mismatched close is malformed, not a schema issue
+        let mut sink = DtdSink::new(&d);
+        assert!(sink.event(XmlEvent::Open("db")));
+        assert!(!sink.event(XmlEvent::Close("course")));
+        assert_eq!(sink.violation(), Some(&DtdViolation::Malformed));
+    }
+
+    #[test]
+    fn dtd_sink_incomplete_stream_does_not_conform() {
+        let d = registrar_dtd();
+        let mut sink = DtdSink::new(&d);
+        assert!(sink.event(XmlEvent::Open("db")));
+        assert!(sink.ok());
+        assert!(!sink.conforms());
+    }
+
+    #[test]
+    fn dtd_sink_agrees_with_batch_conformance() {
+        let d = registrar_dtd();
+        let trees = [
+            Tree::node("db", vec![]),
+            Tree::node("db", vec![course("c1", vec![])]),
+            Tree::node("db", vec![Tree::leaf("course")]),
+            Tree::node("course", vec![]),
+            Tree::node(
+                "db",
+                vec![Tree::node(
+                    "course",
+                    vec![
+                        Tree::node("cno", vec![Tree::text_node("c")]),
+                        Tree::node("title", vec![Tree::text_node("t")]),
+                    ],
+                )],
+            ),
+            Tree::text_node("just text"),
+        ];
+        for t in &trees {
+            let mut sink = DtdSink::new(&d);
+            t.stream_to(&mut sink);
+            assert_eq!(sink.conforms(), d.conforms(t), "tree: {t:?}");
+        }
+    }
+
+    #[test]
+    fn dtd_sink_composes_with_guarded() {
+        let d = registrar_dtd();
+        let t = Tree::node("db", vec![course("c1", vec![])]);
+        let mut g = Guarded::new(DtdSink::new(&d), usize::MAX, usize::MAX);
+        assert!(t.stream_to(&mut g));
+        assert!(!g.truncated());
+        assert!(g.into_inner().conforms());
+    }
+
+    fn specialized_xdtd() -> ExtendedDtd {
+        // last `a` must hold a `b`, earlier ones must be empty
+        let dtd = Dtd::new("r")
+            .rule("r", "a0*, a1")
+            .rule("a0", "#eps")
+            .rule("a1", "b");
+        ExtendedDtd::new(
+            dtd,
+            [
+                ("a0".to_string(), "a".to_string()),
+                ("a1".to_string(), "a".to_string()),
+            ],
+        )
+    }
+
+    #[test]
+    fn xdtd_sink_agrees_with_batch_conformance() {
+        let x = specialized_xdtd();
+        let trees = [
+            Tree::node(
+                "r",
+                vec![
+                    Tree::leaf("a"),
+                    Tree::leaf("a"),
+                    Tree::node("a", vec![Tree::leaf("b")]),
+                ],
+            ),
+            Tree::node(
+                "r",
+                vec![Tree::node("a", vec![Tree::leaf("b")]), Tree::leaf("a")],
+            ),
+            Tree::node("r", vec![Tree::leaf("a")]),
+            Tree::node("r", vec![Tree::node("a", vec![Tree::leaf("b")])]),
+            Tree::leaf("r"),
+            Tree::leaf("z"),
+        ];
+        for t in &trees {
+            let mut sink = XdtdSink::new(&x);
+            t.stream_to(&mut sink);
+            assert_eq!(sink.conforms(), x.conforms(t), "tree: {t:?}");
+        }
+    }
+
+    #[test]
+    fn xdtd_sink_fails_early_on_dead_candidates() {
+        let x = specialized_xdtd();
+        let mut sink = XdtdSink::new(&x);
+        assert!(sink.event(XmlEvent::Open("r")));
+        // `c` has no specialization: the stream is truncated immediately
+        assert!(!sink.event(XmlEvent::Open("c")));
+        assert!(!sink.conforms());
     }
 
     #[test]

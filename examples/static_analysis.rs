@@ -1,85 +1,112 @@
-//! Static analysis in action (Section 5): emptiness, membership and
-//! equivalence — including a 3SAT instance deciding emptiness of its gadget
-//! transducer (Theorem 1(1)) and a two-register machine whose halting run
-//! separates the Theorem 1(3) gadget pair.
+//! Static guarantees in action: output-schema typechecking.
+//!
+//! The registrar views of Figure 1 are checked against their DTDs *before
+//! any database is seen*: `Conforms` is a proof over all instances,
+//! `Violates` comes with a concrete database whose output breaks the
+//! schema, and `Unknown` lists exactly which `(state, tag)` pairs the
+//! conservative verifier could not discharge. The same schemas then gate
+//! the serving layer (`Engine::prepare_typed`) and validate event streams
+//! at runtime (`DtdSink`).
 //!
 //! Run with `cargo run --example static_analysis`.
 
-use publishing_transducers::analysis::emptiness::emptiness;
-use publishing_transducers::analysis::equivalence::{equivalence, randomized_equivalence};
-use publishing_transducers::analysis::membership::{member_boolean_domain, small_model_bound};
-use publishing_transducers::analysis::oracles::{Cnf, Instr, Lit, TwoRegisterMachine};
-use publishing_transducers::analysis::reductions::{qbf, three_sat, two_register};
+use publishing_transducers::analysis::typecheck::{typecheck, TypecheckReport};
+use publishing_transducers::core::examples::registrar;
 use publishing_transducers::prelude::*;
+use publishing_transducers::xmltree::{Dtd, DtdSink};
+
+fn report(what: &str, r: &TypecheckReport) {
+    match r {
+        TypecheckReport::Conforms => println!("{what}: Conforms (proved for every instance)"),
+        TypecheckReport::Violates { witness, path } => {
+            println!("{what}: Violates — witness database {witness:?}");
+            let steps: Vec<String> = path.iter().map(|(q, a)| format!("({q}, {a})")).collect();
+            println!("  suspect path: {}", steps.join(" → "));
+        }
+        TypecheckReport::Unknown { obligations } => {
+            println!("{what}: Unknown — unproven obligations:");
+            for o in obligations {
+                println!("  {o}");
+            }
+        }
+    }
+}
 
 fn main() {
-    // ---- emptiness via 3SAT (Theorem 1(1)) ----
-    let sat = Cnf {
-        num_vars: 3,
-        clauses: vec![
-            [Lit::pos(0), Lit::neg(1), Lit::pos(2)],
-            [Lit::neg(0), Lit::pos(1), Lit::pos(1)],
-        ],
-    };
-    let tau = three_sat::emptiness_gadget(&sat);
-    println!(
-        "3SAT gadget ({}): satisfiable = {}, emptiness = {:?}",
-        tau.class(),
-        sat.satisfiable(),
-        emptiness(&tau)
+    // ---- the three registrar views against schemas that fit ----
+    // tau1 is recursive: a course on a prerequisite cycle is sealed into a
+    // bare leaf by the stop condition, so its content model must admit ε
+    let tau1_dtd = Dtd::new("db")
+        .rule("db", "course*")
+        .rule("course", "(cno, title, prereq)?")
+        .rule("prereq", "course*")
+        .rule("cno", "text")
+        .rule("title", "text");
+    report(
+        "tau1 vs lenient registrar DTD",
+        &typecheck(&registrar::tau1(), &tau1_dtd),
     );
 
-    // ---- membership via ∃∀-3SAT (Theorem 1(2)) ----
-    let q = qbf::Sigma2 {
-        n_exists: 1,
-        n_forall: 1,
-        clauses: vec![
-            [Lit::pos(0), Lit::pos(1), Lit::pos(1)],
-            [Lit::pos(0), Lit::neg(1), Lit::neg(1)],
-        ],
-    };
-    let (tau, tree) = qbf::membership_gadget(&q);
-    println!(
-        "Σ₂ᵖ gadget: formula true = {}, small-model bound = {}, witness found = {}",
-        q.eval(),
-        small_model_bound(&tau, &tree),
-        member_boolean_domain(&tau, &tree).is_some()
+    // tau2 splices its virtual `l` spine into a flat cno* under prereq
+    let tau2_dtd = Dtd::new("db")
+        .rule("db", "course*")
+        .rule("course", "cno, title, prereq")
+        .rule("prereq", "cno*")
+        .rule("cno", "text")
+        .rule("title", "text");
+    report(
+        "tau2 vs enrollment DTD",
+        &typecheck(&registrar::tau2(), &tau2_dtd),
     );
 
-    // ---- equivalence: exact (Theorem 2(4)) and via the 2RM reduction ----
-    let schema = Schema::with(&[("s", 1)]);
-    let t1 = Transducer::builder(schema.clone(), "q0", "r")
-        .rule("q0", "r", &[("q", "a", "(x, k) <- s(x) and k = 1")])
-        .build()
-        .unwrap();
-    let t2 = Transducer::builder(schema, "q0", "r")
-        .rule("q0", "r", &[("q", "a", "(x) <- s(x)")])
-        .build()
-        .unwrap();
-    println!(
-        "exact PTnr(CQ, tuple) equivalence: {:?}",
-        equivalence(&t1, &t2)
+    // tau3 is nonrecursive: the exact model needs no ε escape hatch
+    let tau3_dtd = Dtd::new("db")
+        .rule("db", "course*")
+        .rule("course", "cno, title")
+        .rule("cno", "text")
+        .rule("title", "text");
+    report(
+        "tau3 vs flat DTD",
+        &typecheck(&registrar::tau3(), &tau3_dtd),
     );
 
-    let machine = TwoRegisterMachine {
-        instrs: vec![
-            Instr::Add { reg: 0, next: 1 },
-            Instr::Sub {
-                reg: 0,
-                if_zero: 2,
-                if_pos: 1,
-            },
-            Instr::Halt,
-        ],
-    };
-    let trace = machine.run_bounded(1000).expect("halts");
-    let witness = two_register::encode_run(&trace);
-    let (g1, g2) = two_register::equivalence_gadget(&machine);
-    println!(
-        "2RM gadget: machine halts in {} steps; run encoding separates τ1/τ2 = {}; \
-         random search finds a difference = {}",
-        trace.len() - 1,
-        g1.output(&witness).unwrap() != g2.output(&witness).unwrap(),
-        randomized_equivalence(&g1, &g2, 4, 4, 40, 7).is_some()
-    );
+    // ---- a deliberate violation, with its witness ----
+    // the strict schema demands every course carry children, but a
+    // self-prerequisite seals the inner course into a bare leaf
+    let strict = Dtd::new("db")
+        .rule("db", "course*")
+        .rule("course", "cno, title, prereq")
+        .rule("prereq", "course*")
+        .rule("cno", "text")
+        .rule("title", "text");
+    let verdict = typecheck(&registrar::tau1(), &strict);
+    report("tau1 vs strict registrar DTD", &verdict);
+    if let TypecheckReport::Violates { witness, .. } = &verdict {
+        let out = registrar::tau1().output(witness).unwrap();
+        let mut sink = DtdSink::new(&strict);
+        out.stream_to(&mut sink);
+        println!(
+            "  runtime oracle agrees: DtdSink rejects the witness output ({})",
+            sink.violation().expect("a violation")
+        );
+    }
+
+    // ---- the serving layer refuses what it cannot certify ----
+    let db = registrar::registrar_instance();
+    let engine = Engine::new(&db);
+    let tau1 = registrar::tau1();
+    match engine.prepare_typed(&tau1, &tau1_dtd) {
+        Ok(prepared) => {
+            let run = prepared.run().unwrap();
+            println!(
+                "prepare_typed(tau1, lenient): serving — {} output nodes, schema-valid by construction",
+                run.output_tree().size()
+            );
+        }
+        Err(e) => println!("prepare_typed(tau1, lenient): refused — {e}"),
+    }
+    match engine.prepare_typed(&tau1, &strict).map(|_| ()) {
+        Ok(()) => println!("prepare_typed(tau1, strict): serving"),
+        Err(e) => println!("prepare_typed(tau1, strict): refused — {e}"),
+    }
 }

@@ -94,6 +94,58 @@
 //! One-shot callers can keep using
 //! [`Transducer::run`](core::Transducer::run), which wraps a single-use
 //! engine session.
+//!
+//! ## Static guarantees
+//!
+//! A prepared transducer can be *typechecked* against an output schema
+//! before it ever serves: [`Engine::prepare_typed`](core::Engine::prepare_typed)
+//! runs a conservative child-language verifier ([`core::typecheck`]) that
+//! proves — for **every** database the engine could ever hold, not just the
+//! current one — that the output conforms to a [`Dtd`](xmltree::Dtd). The
+//! proof abstracts each reachable `(state, tag)` pair into a regular
+//! over-approximation of its child-tag words (rule-item cardinality
+//! analysis on the queries, virtual-tag substitution, stop-condition
+//! sealing) and checks inclusion in the DTD's content models by derivative
+//! product construction. When the proof fails, the richer analysis-side
+//! driver [`analysis::typecheck`] searches for a concrete witness database
+//! and reports three-valued: `Conforms`, `Violates { witness, path }`, or
+//! `Unknown { obligations }`. At runtime, [`DtdSink`](xmltree::DtdSink)
+//! validates any event stream against the same DTD without materializing
+//! the document.
+//!
+//! ```
+//! use publishing_transducers::prelude::*;
+//! use publishing_transducers::core::examples::registrar;
+//!
+//! let dtd = Dtd::new("db")
+//!     .rule("db", "course*")
+//!     .rule("course", "(cno, title, prereq)?") // sealing may yield a bare leaf
+//!     .rule("prereq", "course*")
+//!     .rule("cno", "text")
+//!     .rule("title", "text");
+//!
+//! let engine = Engine::new(registrar::registrar_instance());
+//! let tau1 = registrar::tau1();
+//! // statically certified: every run of this handle is schema-valid
+//! let prepared = engine.prepare_typed(&tau1, &dtd).unwrap();
+//!
+//! // the runtime oracle agrees on the actual event stream
+//! let mut sink = DtdSink::new(&dtd);
+//! prepared.stream(&mut sink).unwrap();
+//! assert!(sink.conforms());
+//!
+//! // a schema the transducer cannot promise is refused up front
+//! let strict = Dtd::new("db")
+//!     .rule("db", "course*")
+//!     .rule("course", "cno, title, prereq")
+//!     .rule("prereq", "course*")
+//!     .rule("cno", "text")
+//!     .rule("title", "text");
+//! assert!(matches!(
+//!     engine.prepare_typed(&tau1, &strict).map(|_| ()),
+//!     Err(TypecheckError::Unproven(_))
+//! ));
+//! ```
 
 pub use pt_analysis as analysis;
 pub use pt_core as core;
@@ -114,9 +166,12 @@ pub mod prelude {
     pub use crate::core::{
         ApplyReport, Delta, DeltaError, Engine, EvalOptions, ExpansionMode, MemoPolicy,
         PrepareError, PreparedTransducer, RunError, RunOptions, RunResult, StreamSummary,
-        Transducer, TransducerBuilder, ValidationError,
+        Transducer, TransducerBuilder, TypecheckError, ValidationError,
     };
     pub use crate::languages::CompileError;
     pub use crate::relational::{rel, Instance, Relation, Schema, Value};
-    pub use crate::xmltree::{CountingSink, Tree, TreeBuilder, XmlEvent, XmlEventSink, XmlWriter};
+    pub use crate::xmltree::{
+        CountingSink, Dtd, DtdSink, DtdViolation, Tree, TreeBuilder, XmlEvent, XmlEventSink,
+        XmlWriter,
+    };
 }

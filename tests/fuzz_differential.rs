@@ -11,20 +11,31 @@
 //! session and cold over a fresh one — to check the intra-run parallel
 //! expansion is observably identical too.
 //!
+//! A third corpus (`typecheck_soundness`) pits the static output-schema
+//! verifier against ground truth: random transducers × random DTDs, where
+//! a `Conforms` verdict must hold on every sampled instance's streamed
+//! output (via the incremental `DtdSink` oracle), a `Violates` witness
+//! must really violate, and the streaming sinks must agree with batch
+//! conformance on every output either way.
+//!
 //! The case count defaults to 200 and scales through the `FUZZ_CASES`
 //! environment variable (the weekly CI job runs 10×). Every case is
 //! reproducible from its seed alone; on a mismatch the failing seed is
 //! written to `fuzz-failure-seed.txt` (uploaded as a CI artifact) and
 //! printed in the panic message. To replay one case locally:
-//! `FUZZ_SEED=<seed> cargo test --test fuzz_differential`.
+//! `FUZZ_SEED=<seed> cargo test --test fuzz_differential` (or
+//! `FUZZ_DELTA_SEED=` / `FUZZ_TYPECHECK_SEED=` for the other corpora).
 
 use pt_bench::stream_round_trip;
+use publishing_transducers::analysis::membership::SearchBounds;
+use publishing_transducers::analysis::typecheck::{typecheck_with, TypecheckReport};
 use publishing_transducers::core::generate::{random_transducer, GenConfig};
 use publishing_transducers::core::{
     Delta, Engine, EvalOptions, ExpansionMode, RunError, RunOptions, RunResult, Transducer,
 };
 use publishing_transducers::relational::generate::{random_instance, random_schema};
 use publishing_transducers::relational::{Instance, Relation, Schema, Value};
+use publishing_transducers::xmltree::{ContentModel, Dtd, DtdSink, ExtendedDtd, XdtdSink};
 use rand::prelude::*;
 
 /// Everything observable about one run, in comparable form.
@@ -263,6 +274,175 @@ fn incremental_maintenance_matches_cold_rebuilds() {
         if let Err(msg) = run_delta_case(seed) {
             let _ = std::fs::write("fuzz-failure-seed.txt", format!("{seed}\n"));
             panic!("delta fuzz case {case} failed (replay with FUZZ_DELTA_SEED={seed}):\n{msg}");
+        }
+    }
+}
+
+/// A random content model over `tags`, biased toward small shapes. Never
+/// produces `Void` or `Plus` (so every model generates and admits finite
+/// words without unbounded recursion through the DTD).
+fn random_content_model(tags: &[String], depth: usize, rng: &mut StdRng) -> ContentModel {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return if rng.gen_bool(0.25) {
+            ContentModel::Epsilon
+        } else {
+            ContentModel::Tag(tags[rng.gen_range(0..tags.len())].clone())
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => ContentModel::Seq(
+            (0..rng.gen_range(1..4))
+                .map(|_| random_content_model(tags, depth - 1, rng))
+                .collect(),
+        ),
+        1 => ContentModel::Alt(
+            (0..rng.gen_range(1..4))
+                .map(|_| random_content_model(tags, depth - 1, rng))
+                .collect(),
+        ),
+        2 => ContentModel::Star(Box::new(random_content_model(tags, depth - 1, rng))),
+        _ => ContentModel::Opt(Box::new(random_content_model(tags, depth - 1, rng))),
+    }
+}
+
+/// A random DTD for `tau`'s (real) output alphabet. Half the rules are the
+/// generous `(t1 | … | tk)*`, so the static pass proves a healthy fraction
+/// of cases; the rest are adversarial random models.
+fn random_dtd(tau: &Transducer, rng: &mut StdRng) -> Dtd {
+    let mut tags: Vec<String> = tau
+        .alphabet()
+        .into_iter()
+        .filter(|t| !tau.is_virtual(t))
+        .collect();
+    if !tags.contains(&"text".to_string()) {
+        tags.push("text".to_string());
+    }
+    // occasionally a wrong root, to exercise the structural-mismatch path
+    let root = if rng.gen_bool(0.9) {
+        tau.root_tag().to_string()
+    } else {
+        "wrong_root".to_string()
+    };
+    let generous = ContentModel::Star(Box::new(ContentModel::Alt(
+        tags.iter().cloned().map(ContentModel::Tag).collect(),
+    )));
+    let mut dtd = Dtd::new(&root);
+    for tag in &tags {
+        if tag == "text" {
+            continue; // pcdata leaves keep the default ε model
+        }
+        let cm = if rng.gen_bool(0.5) {
+            generous.clone()
+        } else {
+            random_content_model(&tags, 2, rng)
+        };
+        // generator-vs-matcher self-check while the model is at hand
+        for _ in 0..3 {
+            let word = cm.generate(2, rng);
+            assert!(cm.matches(&word), "{cm} rejects its own word {word:?}");
+        }
+        dtd = dtd.rule_cm(tag, cm);
+    }
+    dtd
+}
+
+/// The typechecker soundness oracle for one seeded case: `Conforms` must
+/// hold on every sampled instance's streamed output, `Violates` must come
+/// with a witness that really violates, and on every sampled output the
+/// streaming sinks must agree with batch conformance.
+fn run_typecheck_case(seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = random_schema(3, 3, &mut rng);
+    let tau = random_transducer(&schema, &GenConfig::default(), &mut rng);
+    let dtd = random_dtd(&tau, &mut rng);
+    let mut domain = vec![Value::int(0), Value::int(1)];
+    for (_, items) in tau.rules() {
+        for item in items {
+            for c in item.query.body().constants() {
+                if domain.len() < 4 && !domain.contains(&c) {
+                    domain.push(c);
+                }
+            }
+        }
+    }
+    let bounds = SearchBounds {
+        domain,
+        max_tuples: 2,
+        max_nodes: 800,
+    };
+    let report = typecheck_with(&tau, &dtd, &bounds, 1_500);
+    if let TypecheckReport::Violates { witness, .. } = &report {
+        let run = tau
+            .run_with(witness, EvalOptions::with_max_nodes(4000))
+            .map_err(|e| format!("seed {seed}: witness run failed: {e}\non:\n{tau}"))?;
+        let out = run.output_tree();
+        if dtd.conforms(&out) {
+            return Err(format!(
+                "seed {seed}: Violates witness output conforms\nwitness: {witness:?}\n\
+                 output: {out:?}\ndtd: {dtd:?}\non transducer:\n{tau}"
+            ));
+        }
+    }
+    // sample instances; every output cross-checks the streaming sinks, and
+    // under a Conforms verdict must actually conform (soundness)
+    let xdtd = ExtendedDtd::from_dtd(dtd.clone());
+    for _ in 0..3 {
+        let inst = random_instance(&schema, 6, 8, &mut rng);
+        let Ok(run) = tau.run_with(&inst, EvalOptions::with_max_nodes(4000)) else {
+            continue; // node budget exceeded: no output to check
+        };
+        let out = run.output_tree();
+        let batch = dtd.conforms(&out);
+        let mut sink = DtdSink::new(&dtd);
+        out.stream_to(&mut sink);
+        if sink.conforms() != batch {
+            return Err(format!(
+                "seed {seed}: DtdSink {} but Dtd::conforms {batch}\noutput: {out:?}\n\
+                 dtd: {dtd:?}\nviolation: {:?}",
+                sink.conforms(),
+                sink.violation()
+            ));
+        }
+        let mut xsink = XdtdSink::new(&xdtd);
+        out.stream_to(&mut xsink);
+        if xsink.conforms() != batch {
+            return Err(format!(
+                "seed {seed}: XdtdSink {} but Dtd::conforms {batch} on the identity \
+                 extended DTD\noutput: {out:?}\ndtd: {dtd:?}",
+                xsink.conforms()
+            ));
+        }
+        if report.conforms() && !batch {
+            return Err(format!(
+                "seed {seed}: typecheck said Conforms but a sampled output violates\n\
+                 instance: {inst:?}\noutput: {out:?}\ndtd: {dtd:?}\non transducer:\n{tau}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Base offset for the typecheck corpus, disjoint from the others.
+const TYPECHECK_SEED_BASE: u64 = 0x5EED_0005_0000;
+
+#[test]
+fn typecheck_soundness() {
+    if let Ok(raw) = std::env::var("FUZZ_TYPECHECK_SEED") {
+        let seed: u64 = raw.trim().parse().unwrap_or_else(|e| {
+            panic!("FUZZ_TYPECHECK_SEED {raw:?} is not a decimal u64 seed: {e}")
+        });
+        if let Err(msg) = run_typecheck_case(seed) {
+            panic!("{msg}");
+        }
+        return;
+    }
+    for case in 0..case_count() {
+        let seed = TYPECHECK_SEED_BASE + case;
+        if let Err(msg) = run_typecheck_case(seed) {
+            let _ = std::fs::write("fuzz-failure-seed.txt", format!("{seed}\n"));
+            panic!(
+                "typecheck fuzz case {case} failed (replay with FUZZ_TYPECHECK_SEED={seed}):\n{msg}"
+            );
         }
     }
 }
