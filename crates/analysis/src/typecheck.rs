@@ -8,7 +8,7 @@
 //! * the static pass proves conformance → [`TypecheckReport::Conforms`],
 //!   a guarantee for **all** instances, not just sampled ones;
 //! * the static pass leaves obligations → a *directed witness search* over
-//!   the bounded certificate space ([`membership::for_each_instance`], the
+//!   the bounded certificate space ([`crate::membership::for_each_instance`], the
 //!   same enumeration the Σ₂ᵖ membership search walks) looks for a concrete
 //!   database whose output violates the DTD: found →
 //!   [`TypecheckReport::Violates`] with the instance and the

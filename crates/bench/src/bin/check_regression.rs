@@ -8,7 +8,7 @@
 //! against the *best* value recorded for it anywhere in the chain (lowest
 //! `ms`, highest `x` speedup) — so a number that improved in `BENCH_2.json`
 //! cannot quietly slide back to its `BENCH_1.json` level. Defaults:
-//! `BENCH_1.json` through `BENCH_9.json` (the last is the current
+//! `BENCH_1.json` through `BENCH_10.json` (the last is the current
 //! measurement), tolerance 3.0.
 //!
 //! The tolerance is deliberately generous — CI machines are noisy and the
@@ -51,6 +51,7 @@ fn main() -> ExitCode {
             "BENCH_7.json",
             "BENCH_8.json",
             "BENCH_9.json",
+            "BENCH_10.json",
         ];
     }
     if files.len() < 2 {

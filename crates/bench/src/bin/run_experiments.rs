@@ -3,8 +3,8 @@
 //! Usage: `cargo run --release -p pt-bench --bin run_experiments [section]
 //! [--full-baseline]` with `section` in `{fig1, table1, table2, table3,
 //! prop1, quick, all}`. The `quick` section times the engine's hot paths
-//! and writes a machine-readable `BENCH_9.json` extending the trajectory
-//! recorded by the committed `BENCH_1.json` through `BENCH_8.json`
+//! and writes a machine-readable `BENCH_10.json` extending the trajectory
+//! recorded by the committed `BENCH_1.json` through `BENCH_9.json`
 //! (earlier files are never overwritten). Each file carries a `"host"`
 //! header (core count and `uname`) identifying the machine the numbers
 //! were taken on. Slow forced-tree baselines are skipped by default
@@ -319,13 +319,15 @@ fn time_ms(mut f: impl FnMut() -> usize) -> (f64, usize) {
 /// dedicated closure operator), plus the intra-run parallel-scaling
 /// workloads (`run_parallel` on τ2, the pooled closure chain), and the
 /// static typechecker (`pt_analysis::typecheck` proving the τ1/τ2
-/// registrar views against their DTDs). Emits `BENCH_9.json` with a
-/// host-metadata header — on a 1-core host the parallel entries are
-/// self-identifying via `"cores": 1`.
+/// registrar views against their DTDs), and the serving layer (an
+/// in-process `pt-serve` instance measured over real TCP by the
+/// `pt_server::load` harness on a mixed read/write workload). Emits
+/// `BENCH_10.json` with a host-metadata header — on a 1-core host the
+/// parallel entries are self-identifying via `"cores": 1`.
 ///
 /// By default the slow in-run tree baselines (~30 s) are *not* re-measured:
 /// speedups are computed against the trajectory recorded in `BENCH_1.json`
-/// through `BENCH_8.json` (best value per entry). Pass `--full-baseline`
+/// through `BENCH_9.json` (best value per entry). Pass `--full-baseline`
 /// to re-run the forced-tree engine locally.
 fn quick(full_baseline: bool) {
     use pt_core::{EvalOptions, ExpansionMode};
@@ -344,6 +346,7 @@ fn quick(full_baseline: bool) {
         "BENCH_6.json",
         "BENCH_7.json",
         "BENCH_8.json",
+        "BENCH_9.json",
     ] {
         let parsed = std::fs::read_to_string(path)
             .map(|text| pt_bench::parse_bench_json(&text))
@@ -441,6 +444,7 @@ fn quick(full_baseline: bool) {
                 .run_opts(pt_core::RunOptions {
                     max_nodes: 1 << 26,
                     threads,
+                    ..pt_core::RunOptions::default()
                 })
                 .unwrap()
                 .size()
@@ -1018,6 +1022,72 @@ fn quick(full_baseline: bool) {
         });
     }
 
+    // the serving layer: an in-process pt-serve instance measured over
+    // real TCP — register the τ1 view and seed the registrar instance
+    // through the HTTP API, then drive a mixed read/write workload (every
+    // 10th request a delta, so plan-cache hits, memo invalidation, and
+    // streamed chunked responses are all on the measured path)
+    {
+        use pt_server::spec::samples;
+        let server = pt_server::Server::bind("127.0.0.1:0", pt_server::ServerConfig::default())
+            .expect("bind bench server");
+        let addr = server.local_addr();
+        let reg = pt_server::call_once(
+            addr,
+            "POST",
+            "/tenants/bench/views/tau1",
+            samples::tau1_spec(),
+        )
+        .expect("register tau1");
+        assert_eq!(reg.status, 201, "tau1 registers");
+        let seed = pt_server::call_once(
+            addr,
+            "POST",
+            "/tenants/bench/delta",
+            samples::registrar_delta(),
+        )
+        .expect("seed registrar");
+        assert_eq!(seed.status, 200, "registrar seeds");
+        let load = pt_server::LoadOptions {
+            clients: 4,
+            requests_per_client: 100,
+            write_every: 10,
+            write_bodies: samples::churn_deltas().map(str::to_string).to_vec(),
+            ..pt_server::LoadOptions::default()
+        };
+        // one warm-up pass (plan cache, memo, page cache), then measure
+        pt_server::run_load(addr, &load);
+        let report = pt_server::run_load(addr, &load);
+        server.shutdown();
+        assert_eq!(report.errors, 0, "serving load must not error");
+        println!(
+            "pt-serve tau1 mixed        : {:>10.1} req/s  (p50 {} us, p99 {} us, {} requests)",
+            report.req_per_s, report.p50_us, report.p99_us, report.requests
+        );
+        let workload_note = format!(
+            "{} clients x {} reqs, write every {}th; see host cores",
+            load.clients, load.requests_per_client, load.write_every
+        );
+        entries.push(BenchEntry {
+            name: "serve_tau1_mixed_p50",
+            metric: "ms",
+            value: report.p50_us as f64 / 1e3,
+            note: workload_note.clone(),
+        });
+        entries.push(BenchEntry {
+            name: "serve_tau1_mixed_p99",
+            metric: "ms",
+            value: report.p99_us as f64 / 1e3,
+            note: workload_note.clone(),
+        });
+        entries.push(BenchEntry {
+            name: "serve_tau1_mixed_rps",
+            metric: "x",
+            value: report.req_per_s,
+            note: format!("requests per second over TCP; {workload_note}"),
+        });
+    }
+
     // recorded-trajectory comparison (the regression gate re-checks this
     // with a tolerance; here we just report)
     for e in &entries {
@@ -1040,7 +1110,7 @@ fn quick(full_baseline: bool) {
         .map(|s| s.trim().replace(['"', '\\'], " "))
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string());
-    let mut json = String::from("{\n  \"bench\": 9,\n");
+    let mut json = String::from("{\n  \"bench\": 10,\n");
     json.push_str(&format!(
         "  \"host\": {{\"cores\": {cores}, \"uname\": \"{uname}\"}},\n  \"entries\": [\n"
     ));
@@ -1052,8 +1122,8 @@ fn quick(full_baseline: bool) {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_9.json", &json).expect("writing BENCH_9.json");
-    println!("wrote BENCH_9.json");
+    std::fs::write("BENCH_10.json", &json).expect("writing BENCH_10.json");
+    println!("wrote BENCH_10.json");
 }
 
 fn main() {

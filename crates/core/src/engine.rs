@@ -112,6 +112,7 @@ use std::borrow::Borrow;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Arc, Mutex, RwLock, Weak};
+use std::time::Duration;
 
 use pt_logic::par::{self, Pool, PoolHandle};
 use pt_logic::EvalContext;
@@ -120,7 +121,7 @@ use pt_xmltree::{Dtd, XmlEventSink};
 
 use crate::semantics::{
     expand_session, DagState, EvalOptions, MemoPolicy, MemoValidity, PairTable, RegisterIds,
-    RunError, RunResult, StreamSummary,
+    RunError, RunResult, StreamSummary, CLAIM_WAIT,
 };
 use crate::transducer::Transducer;
 
@@ -462,6 +463,45 @@ impl Engine {
         Ok(self.prepare(tau)?)
     }
 
+    /// [`Engine::prepare_with`] returning an *owning* [`PreparedPlan`]:
+    /// the plan holds the engine and the transducer by `Arc`, so it can
+    /// live in caches and registries, move across threads, and outlive the
+    /// stack frame that prepared it — the shape a server's plan cache
+    /// needs, where borrowing [`Engine::prepare`] cannot be stored.
+    pub fn prepare_plan(
+        self: &Arc<Engine>,
+        tau: Arc<Transducer>,
+        policy: MemoPolicy,
+    ) -> Result<PreparedPlan, PrepareError> {
+        let engine = Arc::clone(self);
+        let prepared = engine.prepare_with(&tau, policy)?;
+        // SAFETY: the borrows inside `prepared` point into the `Arc`
+        // heap allocations of `engine` and `tau`, which the plan keeps
+        // alive (and which never move); the plan drops the session before
+        // the Arcs, and `PreparedPlan::session` shrinks the lifetimes
+        // back to the plan borrow before anything escapes.
+        let inner: PreparedTransducer<'static, 'static> = unsafe {
+            std::mem::transmute::<PreparedTransducer<'_, '_>, PreparedTransducer<'static, 'static>>(
+                prepared,
+            )
+        };
+        Ok(PreparedPlan { inner, engine, tau })
+    }
+
+    /// [`Engine::prepare_plan`] gated through the static output-schema
+    /// verifier, like [`Engine::prepare_typed`]: the plan is built only
+    /// when every output of `tau` — over every database version — is
+    /// proved to conform to `dtd`.
+    pub fn prepare_plan_typed(
+        self: &Arc<Engine>,
+        tau: Arc<Transducer>,
+        dtd: &Dtd,
+        policy: MemoPolicy,
+    ) -> Result<PreparedPlan, TypecheckError> {
+        verdict_to_result(crate::typecheck::check_output_schema(&tau, dtd))?;
+        Ok(self.prepare_plan(tau, policy)?)
+    }
+
     /// [`Engine::prepare`] without the instance checks — the legacy
     /// `Transducer::run*` wrappers route here so their error behavior is
     /// byte-identical to the pre-engine API (a mismatched relation then
@@ -516,6 +556,14 @@ pub struct RunOptions {
     /// loops' per-round deltas — fan out over. Every observable matches
     /// the sequential run.
     pub threads: usize,
+    /// How long a thread that lost the race for a cold configuration parks
+    /// on the owner's claim before falling back to an inline (possibly
+    /// duplicate) expansion. The default (10 ms) backstops wait-for cycles
+    /// routed through a pool scope wait, which the claim table cannot see;
+    /// servers that prefer fewer duplicate expansions under load raise it
+    /// explicitly. Timeout-induced fallbacks are counted in
+    /// [`PreparedTransducer::memo_timeout_expansions`].
+    pub claim_wait: Duration,
 }
 
 impl Default for RunOptions {
@@ -523,6 +571,7 @@ impl Default for RunOptions {
         RunOptions {
             max_nodes: EvalOptions::default().max_nodes,
             threads: 1,
+            claim_wait: CLAIM_WAIT,
         }
     }
 }
@@ -610,7 +659,7 @@ impl<'e, 't> PreparedTransducer<'e, 't> {
     pub fn run_with(&self, max_nodes: usize) -> Result<RunResult, RunError> {
         self.run_opts(RunOptions {
             max_nodes,
-            threads: 1,
+            ..RunOptions::default()
         })
     }
 
@@ -639,6 +688,7 @@ impl<'e, 't> PreparedTransducer<'e, 't> {
                 db.version,
                 &self.engine.validity,
                 opts.max_nodes,
+                opts.claim_wait,
                 pool,
             )
         };
@@ -705,5 +755,57 @@ impl<'e, 't> PreparedTransducer<'e, 't> {
     /// duplicates). Stop-condition leaves are not counted.
     pub fn memo_expansions(&self) -> usize {
         self.state.expansions()
+    }
+
+    /// How many of [`PreparedTransducer::memo_expansions`] were
+    /// timeout-induced: a thread waited [`RunOptions::claim_wait`] on
+    /// another thread's claim, gave up, and expanded inline (the publish
+    /// deduplicates the entry, but the work was done twice). Servers export
+    /// this to see whether their `claim_wait` is long enough.
+    pub fn memo_timeout_expansions(&self) -> usize {
+        self.state.timeout_fallbacks()
+    }
+}
+
+/// An owning prepared plan: [`PreparedTransducer`] plus shared ownership
+/// of its [`Engine`] and [`Transducer`]. Obtained via
+/// [`Engine::prepare_plan`] / [`Engine::prepare_plan_typed`]; access the
+/// session through [`PreparedPlan::session`].
+///
+/// `PreparedTransducer` borrows the engine and the transducer, which is
+/// the right shape for scoped serving threads but cannot be *stored* — a
+/// server's plan cache needs a `'static` value. This type closes the gap:
+/// the `Arc`s pin both pointees on the heap for exactly as long as the
+/// session needs them. Like the session it wraps, the plan is
+/// `Send + Sync` and all methods take `&self`.
+pub struct PreparedPlan {
+    /// Declared first so the session drops before the `Arc`s it borrows.
+    inner: PreparedTransducer<'static, 'static>,
+    engine: Arc<Engine>,
+    tau: Arc<Transducer>,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PreparedPlan>();
+};
+
+impl PreparedPlan {
+    /// The prepared session, borrowed for as long as the plan is. The
+    /// lifetimes are shrunk from the internal `'static` to the plan
+    /// borrow (covariance), so nothing reachable from the session can
+    /// outlive the plan.
+    pub fn session<'p>(&'p self) -> &'p PreparedTransducer<'p, 'p> {
+        &self.inner
+    }
+
+    /// The owning engine handle.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The owned transducer handle.
+    pub fn transducer(&self) -> &Arc<Transducer> {
+        &self.tau
     }
 }

@@ -52,7 +52,7 @@ pub mod transducer;
 pub mod typecheck;
 
 pub use engine::{
-    ApplyReport, Engine, PrepareError, PreparedTransducer, RunOptions, TypecheckError,
+    ApplyReport, Engine, PrepareError, PreparedPlan, PreparedTransducer, RunOptions, TypecheckError,
 };
 pub use pt_relational::{Delta, DeltaError};
 pub use semantics::{

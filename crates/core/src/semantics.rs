@@ -813,6 +813,11 @@ pub(crate) struct DagState {
     /// Under publish-or-wait this stays equal to the number of distinct
     /// expansions the run set needed — racing threads no longer inflate it.
     expansions: AtomicUsize,
+    /// Claim waits that hit the timeout and fell back to an inline
+    /// expansion — the timeout-induced *potential duplicates* among
+    /// `expansions`. A nonzero count under a generous `claim_wait` means
+    /// owners were genuinely parked on pool batches, not merely slow.
+    timeout_fallbacks: AtomicUsize,
 }
 
 #[derive(Default)]
@@ -847,11 +852,12 @@ enum Claim {
 }
 
 /// How long a claim waiter parks before falling back to an inline
-/// expansion. Wait-for cycles *through the claim table* are detected
-/// immediately; the timeout only backstops cycles routed through a pool
-/// scope wait (parent parked on its children's batch), which the table
-/// cannot see. Expansions are typically far faster than this.
-const CLAIM_WAIT: Duration = Duration::from_millis(10);
+/// expansion, by default — configurable per run via
+/// `RunOptions::claim_wait`. Wait-for cycles *through the claim table* are
+/// detected immediately; the timeout only backstops cycles routed through
+/// a pool scope wait (parent parked on its children's batch), which the
+/// table cannot see. Expansions are typically far faster than this.
+pub(crate) const CLAIM_WAIT: Duration = Duration::from_millis(10);
 
 /// Expansion tokens: one per logical expansion thread (the root of a run,
 /// and each fanned-out child job). Claims and wait-for edges key on the
@@ -881,6 +887,7 @@ impl DagState {
             claims: Mutex::new(Claims::default()),
             claims_cv: Condvar::new(),
             expansions: AtomicUsize::new(0),
+            timeout_fallbacks: AtomicUsize::new(0),
         }
     }
 
@@ -1035,8 +1042,10 @@ impl DagState {
     /// the claim held (release via [`DagState::release`], including on
     /// error paths), [`Claim::Retry`] after the owner released (the caller
     /// re-checks the memo), or [`Claim::Fallback`] when waiting would risk
-    /// deadlock — the caller then expands inline without claiming.
-    fn claim(&self, cid: ConfigId, token: u64) -> Claim {
+    /// deadlock — the caller then expands inline without claiming. `wait`
+    /// bounds the park (`RunOptions::claim_wait`); hitting it counts as a
+    /// timeout fallback in the session stats.
+    fn claim(&self, cid: ConfigId, token: u64, wait: Duration) -> Claim {
         let mut claims = self.claims.lock().unwrap();
         if let std::collections::hash_map::Entry::Vacant(slot) = claims.owners.entry(cid) {
             slot.insert(token);
@@ -1050,7 +1059,7 @@ impl DagState {
             return Claim::Fallback;
         }
         claims.waiting.insert(token, cid);
-        let deadline = std::time::Instant::now() + CLAIM_WAIT;
+        let deadline = std::time::Instant::now() + wait;
         loop {
             if !claims.owners.contains_key(&cid) {
                 claims.waiting.remove(&token);
@@ -1059,6 +1068,7 @@ impl DagState {
             let now = std::time::Instant::now();
             if now >= deadline {
                 claims.waiting.remove(&token);
+                self.timeout_fallbacks.fetch_add(1, Ordering::Relaxed);
                 return Claim::Fallback;
             }
             let (guard, _timeout) = self.claims_cv.wait_timeout(claims, deadline - now).unwrap();
@@ -1158,6 +1168,13 @@ impl DagState {
         self.expansions.load(Ordering::Relaxed)
     }
 
+    /// Number of claim waits that hit their timeout and expanded inline —
+    /// the timeout-induced potential duplicates among
+    /// [`DagState::expansions`].
+    pub(crate) fn timeout_fallbacks(&self) -> usize {
+        self.timeout_fallbacks.load(Ordering::Relaxed)
+    }
+
     /// The memo policy this session was prepared with.
     pub(crate) fn policy(&self) -> MemoPolicy {
         self.policy
@@ -1184,6 +1201,7 @@ pub(crate) fn expand_session<R: RegisterRepr>(
     version: u64,
     validity: &MemoValidity,
     max_nodes: usize,
+    claim_wait: Duration,
     pool: Option<&PoolHandle>,
 ) -> Result<Arc<ResultNode>, RunError> {
     let count = AtomicUsize::new(0);
@@ -1195,6 +1213,7 @@ pub(crate) fn expand_session<R: RegisterRepr>(
         version,
         validity,
         max_nodes,
+        claim_wait,
         count: &count,
         pool,
     }
@@ -1217,6 +1236,9 @@ struct DagExpansion<'x, 't, R: RegisterRepr> {
     version: u64,
     validity: &'x MemoValidity,
     max_nodes: usize,
+    /// How long a claim wait parks before the inline-expansion fallback
+    /// (`RunOptions::claim_wait`).
+    claim_wait: Duration,
     count: &'x AtomicUsize,
     /// Worker pool for intra-run fan-out; `None` runs single-threaded.
     pool: Option<&'x PoolHandle>,
@@ -1333,7 +1355,7 @@ impl<'x, 't, R: RegisterRepr> DagExpansion<'x, 't, R> {
         // publish-or-wait: claim the cold slot or park until its owner
         // publishes, then replay the published entry
         loop {
-            match self.state.claim(cid, token) {
+            match self.state.claim(cid, token, self.claim_wait) {
                 Claim::Won => {
                     let _guard = ClaimGuard {
                         state: self.state,
@@ -1514,6 +1536,7 @@ impl Transducer {
                     0,
                     &validity,
                     opts.max_nodes,
+                    CLAIM_WAIT,
                     None,
                 )?;
                 Ok(RunResult::new(root, self.virtual_tags().clone()))

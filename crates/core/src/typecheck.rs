@@ -35,7 +35,7 @@
 //! derivative pairs — the same [`ContentModel::derive`] machinery the
 //! conformance checker uses, run over languages instead of words.
 //!
-//! The driver [`pt_analysis::typecheck`] wraps this pass with a directed
+//! The driver `pt_analysis::typecheck` wraps this pass with a directed
 //! witness search to upgrade `Unproven` into a concrete violating
 //! database where one exists; [`crate::Engine::prepare_typed`] refuses to
 //! serve a transducer this pass cannot discharge.

@@ -1,0 +1,154 @@
+//! `load-gen`: the throughput harness CLI. By default it self-hosts a
+//! `pt-serve` server over the registrar example — registering the τ1 view
+//! and seeding the instance through the HTTP API, exactly as a client
+//! would — then drives a mixed read/write workload and prints the
+//! p50/p99/req-per-s report as JSON.
+//!
+//! ```text
+//! load-gen --clients 8 --requests 200 --write-every 10
+//! load-gen --addr 127.0.0.1:8080 ...    # target an already-running server
+//! ```
+
+use std::net::SocketAddr;
+
+use pt_server::spec::samples;
+use pt_server::{call_once, run_load, LoadOptions, Server, ServerConfig};
+
+const USAGE: &str = "load-gen: measure a pt-serve server
+
+USAGE: load-gen [--addr HOST:PORT] [--clients N] [--requests N]
+                [--write-every N] [--threads N] [--out FILE]
+
+  --addr         target an existing server instead of self-hosting one
+  --clients      concurrent connections (default 4)
+  --requests     requests per client (default 50)
+  --write-every  every Nth request is a delta write, 0 = read-only (default 10)
+  --threads      ?threads= forwarded on reads (default 1)
+  --out          also write the JSON report to FILE
+";
+
+struct Args {
+    addr: Option<String>,
+    opts: LoadOptions,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        addr: None,
+        opts: LoadOptions {
+            write_bodies: samples::churn_deltas().map(str::to_string).to_vec(),
+            ..LoadOptions::default()
+        },
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => parsed.addr = Some(take("--addr")?),
+            "--clients" => parsed.opts.clients = num(&take("--clients")?)?,
+            "--requests" => parsed.opts.requests_per_client = num(&take("--requests")?)?,
+            "--write-every" => parsed.opts.write_every = num(&take("--write-every")?)?,
+            "--threads" => parsed.opts.read_threads = num(&take("--threads")?)?.max(1),
+            "--out" => parsed.out = Some(take("--out")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn num(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("expected a nonnegative integer, got {s:?}"))
+}
+
+/// Register the τ1 view and seed the registrar rows over HTTP, failing
+/// loudly on any non-2xx.
+fn seed(addr: SocketAddr, tenant: &str, view: &str) -> Result<(), String> {
+    let reg = call_once(
+        addr,
+        "POST",
+        &format!("/tenants/{tenant}/views/{view}"),
+        samples::tau1_spec(),
+    )
+    .map_err(|e| format!("register: {e}"))?;
+    if reg.status != 201 {
+        return Err(format!(
+            "register: status {} — {}",
+            reg.status,
+            String::from_utf8_lossy(&reg.body)
+        ));
+    }
+    let delta = call_once(
+        addr,
+        "POST",
+        &format!("/tenants/{tenant}/delta"),
+        samples::registrar_delta(),
+    )
+    .map_err(|e| format!("seed delta: {e}"))?;
+    if delta.status != 200 {
+        return Err(format!(
+            "seed delta: status {} — {}",
+            delta.status,
+            String::from_utf8_lossy(&delta.body)
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("load-gen: {msg}");
+            std::process::exit(2);
+        }
+    };
+    // self-host unless pointed at an existing server
+    let hosted = if args.addr.is_none() {
+        match Server::bind("127.0.0.1:0", ServerConfig::default()) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("load-gen: cannot self-host: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    let addr: SocketAddr = match &hosted {
+        Some(s) => s.local_addr(),
+        None => match args.addr.as_deref().unwrap().parse() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("load-gen: bad --addr: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    if let Err(msg) = seed(addr, &args.opts.tenant, &args.opts.view) {
+        eprintln!("load-gen: {msg}");
+        std::process::exit(1);
+    }
+    let report = run_load(addr, &args.opts);
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("load-gen: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(s) = hosted {
+        s.shutdown();
+    }
+    if report.errors > 0 {
+        eprintln!("load-gen: {} requests failed", report.errors);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,259 @@
+//! The throughput harness: N client threads over keep-alive connections
+//! driving a mixed read/write workload against a running server, with
+//! per-request latencies merged into p50/p99 and requests-per-second.
+//! Used by the `load-gen` binary and the bench runner's serving section.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use crate::http::{self, Response};
+
+/// The workload shape.
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Tenant the reads and writes target.
+    pub tenant: String,
+    /// View the reads stream.
+    pub view: String,
+    /// Every `write_every`-th request is a `POST /tenants/{t}/delta`
+    /// instead of a read (`0` = read-only workload).
+    pub write_every: usize,
+    /// Delta bodies cycled by the write requests (alternate an insert and
+    /// its retract to exercise memo invalidation on every write).
+    pub write_bodies: Vec<String>,
+    /// `?threads=` forwarded on each read.
+    pub read_threads: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            clients: 4,
+            requests_per_client: 50,
+            tenant: "bench".to_string(),
+            view: "tau1".to_string(),
+            write_every: 10,
+            write_bodies: Vec::new(),
+            read_threads: 1,
+        }
+    }
+}
+
+/// What the run measured.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadReport {
+    /// Requests that completed with a 2xx status.
+    pub requests: usize,
+    /// Requests that failed (I/O error or non-2xx status).
+    pub errors: usize,
+    /// Response body bytes received.
+    pub bytes: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed_ms: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Completed requests per second of wall-clock.
+    pub req_per_s: f64,
+}
+
+impl LoadReport {
+    /// Render as a JSON object (for `BENCH_10.json` and the CLI).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\": {}, \"errors\": {}, \"bytes\": {}, \"elapsed_ms\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"req_per_s\": {:.1}}}",
+            self.requests,
+            self.errors,
+            self.bytes,
+            self.elapsed_ms,
+            self.p50_us,
+            self.p99_us,
+            self.req_per_s
+        )
+    }
+}
+
+/// One request over an existing keep-alive connection.
+fn issue(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<Response> {
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: load-gen\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    http::read_response(reader).map_err(|e| match e {
+        http::RequestError::Io(e) => e,
+        other => std::io::Error::other(format!("{other:?}")),
+    })
+}
+
+/// One-shot request on a fresh connection — the convenience the
+/// integration tests and the binaries use for setup calls.
+pub fn call_once(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    issue(&mut stream, &mut reader, method, path, body)
+}
+
+/// Drive the workload and measure it.
+pub fn run_load(addr: SocketAddr, opts: &LoadOptions) -> LoadReport {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client in 0..opts.clients.max(1) {
+        let opts = opts.clone();
+        handles.push(std::thread::spawn(move || client_loop(addr, client, &opts)));
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut requests = 0usize;
+    let mut errors = 0usize;
+    let mut bytes = 0u64;
+    for h in handles {
+        let (lat, ok, err, b) = h.join().expect("load client panicked");
+        latencies.extend(lat);
+        requests += ok;
+        errors += err;
+        bytes += b;
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    let pct = |p: usize| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        latencies[(latencies.len() - 1) * p / 100]
+    };
+    LoadReport {
+        requests,
+        errors,
+        bytes,
+        elapsed_ms: elapsed.as_millis() as u64,
+        p50_us: pct(50),
+        p99_us: pct(99),
+        req_per_s: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+/// One client: a keep-alive connection issuing the mixed workload.
+/// Returns (latencies µs, ok count, error count, body bytes).
+fn client_loop(
+    addr: SocketAddr,
+    client: usize,
+    opts: &LoadOptions,
+) -> (Vec<u64>, usize, usize, u64) {
+    let mut latencies = Vec::with_capacity(opts.requests_per_client);
+    let mut ok = 0usize;
+    let mut errors = 0usize;
+    let mut bytes = 0u64;
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return (latencies, ok, opts.requests_per_client, bytes);
+    };
+    stream.set_nodelay(true).ok();
+    let Ok(clone) = stream.try_clone() else {
+        return (latencies, ok, opts.requests_per_client, bytes);
+    };
+    let mut reader = BufReader::new(clone);
+    let read_path = format!(
+        "/tenants/{}/views/{}?threads={}",
+        opts.tenant, opts.view, opts.read_threads
+    );
+    let write_path = format!("/tenants/{}/delta", opts.tenant);
+    let mut write_seq = client; // stagger which body each client starts on
+    for i in 0..opts.requests_per_client {
+        let is_write =
+            opts.write_every > 0 && !opts.write_bodies.is_empty() && i % opts.write_every == 1;
+        let (method, path, body): (&str, &str, &str) = if is_write {
+            let body = &opts.write_bodies[write_seq % opts.write_bodies.len()];
+            write_seq += 1;
+            ("POST", &write_path, body)
+        } else {
+            ("GET", &read_path, "")
+        };
+        let t0 = Instant::now();
+        match issue(&mut stream, &mut reader, method, path, body) {
+            Ok(resp) if (200..300).contains(&resp.status) => {
+                latencies.push(t0.elapsed().as_micros() as u64);
+                ok += 1;
+                bytes += resp.body.len() as u64;
+            }
+            Ok(_) => errors += 1,
+            Err(_) => {
+                errors += 1;
+                // the connection is gone; reconnect and carry on
+                let Ok(s) = TcpStream::connect(addr) else {
+                    errors += opts.requests_per_client - i - 1;
+                    break;
+                };
+                stream = s;
+                stream.set_nodelay(true).ok();
+                let Ok(clone) = stream.try_clone() else {
+                    errors += opts.requests_per_client - i - 1;
+                    break;
+                };
+                reader = BufReader::new(clone);
+            }
+        }
+    }
+    (latencies, ok, errors, bytes)
+}
+
+/// Read a streamed view but drop the connection after roughly
+/// `after_bytes` of body — the misbehaving client the server must shrug
+/// off. Returns the bytes actually read before hanging up.
+pub fn disconnect_mid_stream(
+    addr: SocketAddr,
+    path: &str,
+    after_bytes: usize,
+) -> std::io::Result<usize> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: load-gen\r\nContent-Length: 0\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    // read past the header section
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(0);
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut seen = 0usize;
+    while seen < after_bytes {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            break;
+        }
+        let n = buf.len();
+        reader.consume(n);
+        seen += n;
+    }
+    // abort, leaving the server mid-chunk
+    drop(reader);
+    drop(stream);
+    Ok(seen)
+}

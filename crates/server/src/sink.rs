@@ -1,0 +1,226 @@
+//! The socket sink: an [`XmlEventSink`] adapter that renders events with
+//! [`XmlWriter`] and forwards the text over a socket as HTTP/1.1 chunks —
+//! no tree, no intermediate document string. Memory is bounded by the
+//! writer's open-element stack plus one chunk buffer, never by the
+//! (possibly exponential) unfolding.
+//!
+//! A write failure means the client went away mid-stream: the sink
+//! refuses the event, which truncates the producer's walk immediately
+//! (the run's shared memo is untouched — only this response stops), and
+//! [`ChunkedXmlSink::stop`] reports the structured
+//! [`StreamStop::ClientDisconnect`] reason. Composed under
+//! [`pt_xmltree::Guarded`], the guard's own budget trips surface as
+//! [`StreamStop::Events`] / [`StreamStop::Depth`] instead.
+
+use std::io::Write;
+
+use pt_xmltree::{TruncationReason, XmlEvent, XmlEventSink, XmlWriter};
+
+/// Bytes buffered before a chunk goes out. Small enough to start the
+/// response promptly, large enough to keep syscalls off the hot path.
+pub const CHUNK_SIZE: usize = 8 * 1024;
+
+/// Why a streamed response stopped before the document completed — the
+/// server-side refinement of [`TruncationReason`] that distinguishes the
+/// client hanging up from a budget trip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamStop {
+    /// The event-count budget tripped.
+    Events,
+    /// The depth budget tripped.
+    Depth,
+    /// The peer closed (or broke) the connection mid-stream.
+    ClientDisconnect,
+    /// The writer saw a malformed event stream (a producer bug).
+    Malformed,
+}
+
+impl std::fmt::Display for StreamStop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamStop::Events => write!(f, "event limit"),
+            StreamStop::Depth => write!(f, "depth limit"),
+            StreamStop::ClientDisconnect => write!(f, "client disconnect"),
+            StreamStop::Malformed => write!(f, "malformed event stream"),
+        }
+    }
+}
+
+/// The adapter: events in, HTTP chunks out.
+pub struct ChunkedXmlSink<W: Write> {
+    writer: XmlWriter,
+    out: W,
+    buf: Vec<u8>,
+    stop: Option<StreamStop>,
+}
+
+impl<W: Write> ChunkedXmlSink<W> {
+    /// Stream chunks to `out` (the response head must already be written,
+    /// with `Transfer-Encoding: chunked`).
+    pub fn new(out: W) -> Self {
+        ChunkedXmlSink {
+            writer: XmlWriter::new(),
+            out,
+            buf: Vec::with_capacity(CHUNK_SIZE),
+            stop: None,
+        }
+    }
+
+    /// Why the stream stopped early, if it did.
+    pub fn stop(&self) -> Option<StreamStop> {
+        self.stop
+    }
+
+    /// Lift a [`Guarded`] wrapper's verdict over this sink into the
+    /// server-side reason: the guard's own trips win, an inner refusal is
+    /// whatever this sink recorded.
+    ///
+    /// [`Guarded`]: pt_xmltree::Guarded
+    pub fn stop_reason(&self, guard: Option<TruncationReason>) -> Option<StreamStop> {
+        match guard {
+            Some(TruncationReason::Events) => Some(StreamStop::Events),
+            Some(TruncationReason::Depth) => Some(StreamStop::Depth),
+            Some(TruncationReason::Inner) | None => self.stop,
+        }
+    }
+
+    fn flush_buf(&mut self) -> bool {
+        if self.buf.is_empty() {
+            return true;
+        }
+        let ok = crate::http::write_chunk(&mut self.out, &self.buf).is_ok();
+        self.buf.clear();
+        if !ok {
+            self.stop = Some(StreamStop::ClientDisconnect);
+        }
+        ok
+    }
+
+    /// Flush the remaining text and terminate the chunked body. Call once
+    /// the producer is done (not after a disconnect — framing is gone).
+    pub fn finish(mut self) -> std::io::Result<()> {
+        let tail = self.writer.take();
+        self.buf.extend_from_slice(tail.as_bytes());
+        if !self.flush_buf() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "client disconnected",
+            ));
+        }
+        crate::http::finish_chunks(&mut self.out)
+    }
+}
+
+impl<W: Write> XmlEventSink for ChunkedXmlSink<W> {
+    fn event(&mut self, ev: XmlEvent<'_>) -> bool {
+        if self.stop.is_some() {
+            return false;
+        }
+        if !self.writer.event(ev) {
+            self.stop = Some(StreamStop::Malformed);
+            return false;
+        }
+        let text = self.writer.take();
+        self.buf.extend_from_slice(text.as_bytes());
+        if self.buf.len() >= CHUNK_SIZE && !self.flush_buf() {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_xmltree::{Guarded, Tree};
+
+    fn sample() -> Tree {
+        Tree::node(
+            "db",
+            vec![Tree::node(
+                "course",
+                vec![Tree::node("cno", vec![Tree::text_node("c1")])],
+            )],
+        )
+    }
+
+    fn dechunk(raw: &[u8]) -> Vec<u8> {
+        let mut cursor = std::io::Cursor::new(raw);
+        let mut body = Vec::new();
+        use std::io::{BufRead, Read};
+        loop {
+            let mut line = String::new();
+            cursor.read_line(&mut line).unwrap();
+            let size = usize::from_str_radix(line.trim(), 16).unwrap();
+            if size == 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            cursor.read_exact(&mut chunk).unwrap();
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            cursor.read_exact(&mut crlf).unwrap();
+        }
+        body
+    }
+
+    #[test]
+    fn chunked_body_is_byte_identical_to_xml_writer() {
+        let t = sample();
+        let mut oracle = XmlWriter::new();
+        assert!(t.stream_to(&mut oracle));
+        let mut raw = Vec::new();
+        let mut sink = ChunkedXmlSink::new(&mut raw);
+        assert!(t.stream_to(&mut sink));
+        assert_eq!(sink.stop(), None);
+        sink.finish().unwrap();
+        assert_eq!(dechunk(&raw), oracle.into_string().into_bytes());
+    }
+
+    /// A writer that fails after `n` bytes — a client that hung up.
+    struct FlakyWriter {
+        remaining: usize,
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.len() > self.remaining {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "peer gone",
+                ));
+            }
+            self.remaining -= buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn disconnect_truncates_with_the_structured_reason() {
+        // a document large enough to cross the chunk threshold mid-stream
+        let wide = Tree::node(
+            "db",
+            (0..4000)
+                .map(|i| Tree::node("item", vec![Tree::text_node(format!("value-{i}"))]))
+                .collect(),
+        );
+        let mut sink = ChunkedXmlSink::new(FlakyWriter { remaining: 64 });
+        let mut guarded = Guarded::new(sink, usize::MAX, usize::MAX);
+        assert!(!wide.stream_to(&mut guarded));
+        assert_eq!(guarded.truncation_reason(), Some(TruncationReason::Inner));
+        sink = guarded.into_inner();
+        assert_eq!(
+            sink.stop_reason(Some(TruncationReason::Inner)),
+            Some(StreamStop::ClientDisconnect)
+        );
+        // the guard's own budget reads as an event trip instead
+        let mut g = Guarded::new(ChunkedXmlSink::new(Vec::new()), 3, usize::MAX);
+        assert!(!wide.stream_to(&mut g));
+        let reason = g.truncation_reason();
+        let inner = g.into_inner();
+        assert_eq!(inner.stop_reason(reason), Some(StreamStop::Events));
+    }
+}

@@ -1,0 +1,446 @@
+//! The wire formats `pt-serve` accepts: a line-oriented view spec that
+//! compiles to a [`Transducer`] (optionally with a [`Dtd`] to gate it),
+//! and a line-oriented delta format that parses to a [`Delta`].
+//!
+//! The repo has no text frontend for transducers (ROADMAP open item 2
+//! tracks a full surface language); this is the minimal registration
+//! format the server needs, reusing the concrete query syntax of
+//! `pt_logic::parse_query` verbatim for rule bodies. Errors surface as
+//! the structured [`CompileError`] every frontend uses, so the server
+//! maps them like any other compiler's.
+//!
+//! # View spec
+//!
+//! One directive per line; blank lines and `#` comments are skipped:
+//!
+//! ```text
+//! schema course/3 prereq/2      # relation/arity, repeatable
+//! start q0 db                   # start state and root tag (required)
+//! virtual l                     # mark a tag virtual, repeatable
+//! arity db 0                    # declare a register arity explicitly
+//! rule q0 db -> q course : (cno, title) <- exists d (course(cno, title, d))
+//! rule q course -> q cno : (c) <- exists t (Reg(c, t))
+//! dtd db                        # optional: gate through the typechecker
+//! elem db course*               # content model per tag (text for pcdata)
+//! elem course cno
+//! elem cno text
+//! ```
+//!
+//! Each `rule` line declares one rule item; consecutive items of the same
+//! `(state, tag)` pair append to that rule in order. The query is
+//! everything after the first `:`.
+//!
+//! # Delta
+//!
+//! ```text
+//! insert course CS500 'Advanced Topics' CS
+//! retract prereq CS140 CS100
+//! ```
+//!
+//! Values split on whitespace; single quotes group values with spaces; a
+//! bare token that parses as an `i64` becomes an integer value.
+
+use pt_core::Transducer;
+use pt_languages::CompileError;
+use pt_relational::{Delta, Schema, Value};
+use pt_xmltree::{ContentModel, Dtd};
+
+/// A parsed view registration: the compiled transducer and, when the spec
+/// carried a `dtd` section, the output schema to gate it through
+/// [`pt_core::Engine::prepare_typed`].
+#[derive(Clone, Debug)]
+pub struct ViewSpec {
+    pub transducer: Transducer,
+    pub dtd: Option<Dtd>,
+}
+
+fn parse_err(line_no: usize, msg: impl std::fmt::Display) -> CompileError {
+    CompileError::Parse(format!("line {line_no}: {msg}"))
+}
+
+/// Rule items grouped by `(state, tag)` in first-seen order; each item is
+/// `(child_tag, vars, query_text)`.
+type RuleGroups = Vec<((String, String), Vec<(String, String, String)>)>;
+
+/// Parse and compile a view spec. Parse-level problems come back as
+/// [`CompileError::Parse`] with the offending line number; rules the
+/// transducer builder rejects come back as [`CompileError::Validation`].
+pub fn parse_view_spec(text: &str) -> Result<ViewSpec, CompileError> {
+    let mut schema_pairs: Vec<(String, usize)> = Vec::new();
+    let mut start: Option<(String, String)> = None;
+    let mut virtuals: Vec<String> = Vec::new();
+    let mut arities: Vec<(String, usize)> = Vec::new();
+    // rule items grouped by (state, tag) in first-seen order
+    let mut rules: RuleGroups = Vec::new();
+    let mut dtd_root: Option<String> = None;
+    let mut elems: Vec<(String, ContentModel)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (directive, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match directive {
+            "schema" => {
+                for decl in rest.split_whitespace() {
+                    let Some((name, arity)) = decl.split_once('/') else {
+                        return Err(parse_err(line_no, format!("expected name/arity: {decl}")));
+                    };
+                    let arity: usize = arity
+                        .parse()
+                        .map_err(|_| parse_err(line_no, format!("bad arity: {decl}")))?;
+                    schema_pairs.push((name.to_string(), arity));
+                }
+            }
+            "start" => {
+                let mut it = rest.split_whitespace();
+                let (Some(state), Some(tag), None) = (it.next(), it.next(), it.next()) else {
+                    return Err(parse_err(line_no, "expected: start <state> <root-tag>"));
+                };
+                if start.is_some() {
+                    return Err(parse_err(line_no, "duplicate start directive"));
+                }
+                start = Some((state.to_string(), tag.to_string()));
+            }
+            "virtual" => {
+                if rest.is_empty() {
+                    return Err(parse_err(line_no, "expected: virtual <tag>"));
+                }
+                virtuals.extend(rest.split_whitespace().map(str::to_string));
+            }
+            "arity" => {
+                let mut it = rest.split_whitespace();
+                let (Some(tag), Some(n), None) = (it.next(), it.next(), it.next()) else {
+                    return Err(parse_err(line_no, "expected: arity <tag> <n>"));
+                };
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| parse_err(line_no, format!("bad arity: {n}")))?;
+                arities.push((tag.to_string(), n));
+            }
+            "rule" => {
+                let Some((head, query)) = rest.split_once(':') else {
+                    return Err(parse_err(
+                        line_no,
+                        "expected: rule <state> <tag> -> <state> <tag> : <query>",
+                    ));
+                };
+                let Some((parent, child)) = head.split_once("->") else {
+                    return Err(parse_err(line_no, "missing `->` in rule head"));
+                };
+                let mut pit = parent.split_whitespace();
+                let (Some(pstate), Some(ptag), None) = (pit.next(), pit.next(), pit.next()) else {
+                    return Err(parse_err(line_no, "rule head needs <state> <tag>"));
+                };
+                let mut cit = child.split_whitespace();
+                let (Some(cstate), Some(ctag), None) = (cit.next(), cit.next(), cit.next()) else {
+                    return Err(parse_err(line_no, "rule item needs <state> <tag>"));
+                };
+                let query = query.trim();
+                if query.is_empty() {
+                    return Err(parse_err(line_no, "empty rule query"));
+                }
+                let key = (pstate.to_string(), ptag.to_string());
+                let item = (cstate.to_string(), ctag.to_string(), query.to_string());
+                match rules.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, items)) => items.push(item),
+                    None => rules.push((key, vec![item])),
+                }
+            }
+            "dtd" => {
+                let mut it = rest.split_whitespace();
+                let (Some(root), None) = (it.next(), it.next()) else {
+                    return Err(parse_err(line_no, "expected: dtd <root-tag>"));
+                };
+                if dtd_root.is_some() {
+                    return Err(parse_err(line_no, "duplicate dtd directive"));
+                }
+                dtd_root = Some(root.to_string());
+            }
+            "elem" => {
+                let Some((tag, model)) = rest.split_once(char::is_whitespace) else {
+                    return Err(parse_err(line_no, "expected: elem <tag> <content-model>"));
+                };
+                let cm = ContentModel::parse(model.trim())
+                    .map_err(|e| parse_err(line_no, format!("bad content model: {e}")))?;
+                elems.push((tag.to_string(), cm));
+            }
+            other => {
+                return Err(parse_err(line_no, format!("unknown directive: {other}")));
+            }
+        }
+    }
+
+    let Some((start_state, root_tag)) = start else {
+        return Err(CompileError::Parse(
+            "missing `start <state> <root-tag>` directive".to_string(),
+        ));
+    };
+    if rules.is_empty() {
+        return Err(CompileError::Parse("no rules declared".to_string()));
+    }
+    let pairs: Vec<(&str, usize)> = schema_pairs.iter().map(|(n, a)| (n.as_str(), *a)).collect();
+    let mut builder = Transducer::builder(Schema::with(&pairs), &start_state, &root_tag);
+    for tag in &virtuals {
+        builder = builder.virtual_tag(tag);
+    }
+    for (tag, n) in &arities {
+        builder = builder.arity(tag, *n);
+    }
+    for ((state, tag), items) in &rules {
+        let slices: Vec<(&str, &str, &str)> = items
+            .iter()
+            .map(|(s, t, q)| (s.as_str(), t.as_str(), q.as_str()))
+            .collect();
+        builder = builder.rule(state, tag, &slices);
+    }
+    let transducer = builder.build().map_err(CompileError::Validation)?;
+    let dtd = dtd_root.map(|root| {
+        let mut dtd = Dtd::new(root);
+        for (tag, cm) in elems {
+            dtd = dtd.rule_cm(&tag, cm);
+        }
+        dtd
+    });
+    Ok(ViewSpec { transducer, dtd })
+}
+
+/// Why a delta body failed to parse (distinct from [`pt_relational::DeltaError`],
+/// which covers arity conflicts once the rows are built).
+#[derive(Debug)]
+pub struct DeltaParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for DeltaParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DeltaParseError {}
+
+/// Parse a delta body. Arity conflicts within the body itself surface as
+/// the structured [`pt_relational::DeltaError`] (wrapped into the message),
+/// matching what [`pt_core::Engine::apply`] would report.
+pub fn parse_delta(text: &str) -> Result<Delta, DeltaParseError> {
+    let mut delta = Delta::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (op, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let mut values = tokenize_values(rest).map_err(|message| DeltaParseError {
+            line: line_no,
+            message,
+        })?;
+        if values.is_empty() {
+            return Err(DeltaParseError {
+                line: line_no,
+                message: format!("expected: {op} <relation> <values...>"),
+            });
+        }
+        let relation = values.remove(0).render();
+        let result = match op {
+            "insert" => delta.insert(&relation, values),
+            "retract" => delta.retract(&relation, values),
+            other => {
+                return Err(DeltaParseError {
+                    line: line_no,
+                    message: format!("unknown operation: {other} (expected insert/retract)"),
+                })
+            }
+        };
+        if let Err(e) = result {
+            return Err(DeltaParseError {
+                line: line_no,
+                message: e.to_string(),
+            });
+        }
+    }
+    Ok(delta)
+}
+
+/// Whitespace-split with single-quote grouping: `a 'b c' 42` is the values
+/// `str(a)`, `str(b c)`, `int(42)`.
+fn tokenize_values(text: &str) -> Result<Vec<Value>, String> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        if c == '\'' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('\'') => break,
+                    Some(ch) => s.push(ch),
+                    None => return Err("unterminated quote".to_string()),
+                }
+            }
+            out.push(Value::str(s));
+        } else {
+            let mut s = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() {
+                    break;
+                }
+                s.push(ch);
+                chars.next();
+            }
+            match s.parse::<i64>() {
+                Ok(i) => out.push(Value::int(i)),
+                Err(_) => out.push(Value::str(s)),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Ready-made wire-format documents over the registrar example
+/// ([`pt_core::examples::registrar`]) — what `load-gen` self-hosts, the
+/// bench serving section drives, and the integration tests register.
+pub mod samples {
+    /// The τ1 registrar view (Example 3.1) in the wire format.
+    pub fn tau1_spec() -> &'static str {
+        "# tau1: CS courses with recursive prerequisite hierarchies\n\
+         schema course/3 prereq/2\n\
+         start q0 db\n\
+         rule q0 db -> q course : (cno, title) <- exists dept (course(cno, title, dept) and dept = 'CS')\n\
+         rule q course -> q cno : (c) <- exists t (Reg(c, t))\n\
+         rule q course -> q title : (t) <- exists c (Reg(c, t))\n\
+         rule q course -> q prereq : (c) <- exists t (Reg(c, t))\n\
+         rule q prereq -> q course : (c, t) <- exists c0 d (Reg(c0) and prereq(c0, c) and course(c, t, d))\n\
+         rule q cno -> q text : (c) <- Reg(c)\n\
+         rule q title -> q text : (t) <- Reg(t)\n"
+    }
+
+    /// The registrar instance `I0` as one insert-only delta — seeds an
+    /// empty tenant to the state [`registrar_instance`] builds in-process.
+    ///
+    /// [`registrar_instance`]: pt_core::examples::registrar::registrar_instance
+    pub fn registrar_delta() -> &'static str {
+        "insert course CS100 Programming CS\n\
+         insert course CS140 'Data Structures' CS\n\
+         insert course CS240 DB CS\n\
+         insert course CS340 'Distributed Systems' CS\n\
+         insert course CS666 Paradox CS\n\
+         insert course MA100 Calculus MATH\n\
+         insert prereq CS140 CS100\n\
+         insert prereq CS240 CS140\n\
+         insert prereq CS340 CS240\n\
+         insert prereq CS340 CS140\n\
+         insert prereq CS666 CS666\n"
+    }
+
+    /// A write pair for load generation: inserting and retracting one
+    /// marker course, so every write transitions the database version and
+    /// sweeps the memo.
+    pub fn churn_deltas() -> [&'static str; 2] {
+        [
+            "insert course CS999 'Load Test' CS\n",
+            "retract course CS999 'Load Test' CS\n",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::samples::tau1_spec;
+    use super::*;
+    use pt_core::examples::registrar;
+
+    #[test]
+    fn wire_tau1_matches_the_compiled_example() {
+        let spec = parse_view_spec(tau1_spec()).expect("spec compiles");
+        assert!(spec.dtd.is_none());
+        let i = registrar::registrar_instance();
+        let expect = registrar::tau1().output(&i).unwrap();
+        let got = spec.transducer.output(&i).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn registrar_delta_seeds_the_registrar_instance() {
+        let engine = pt_core::Engine::new(pt_relational::Instance::new());
+        let delta = parse_delta(samples::registrar_delta()).expect("delta parses");
+        let report = engine.apply(&delta).expect("delta applies");
+        assert_eq!(report.tuples_inserted, 11);
+        let tau = registrar::tau1();
+        let expect = tau.output(&registrar::registrar_instance()).unwrap();
+        let prepared = engine.prepare(&tau).unwrap();
+        assert_eq!(prepared.run().unwrap().output_tree(), expect);
+    }
+
+    #[test]
+    fn dtd_section_parses() {
+        let text = "schema r/1\nstart q0 db\n\
+                    rule q0 db -> q item : (x) <- r(x)\n\
+                    rule q item -> q text : (x) <- Reg(x)\n\
+                    dtd db\nelem db item*\nelem item text\n";
+        let spec = parse_view_spec(text).expect("spec compiles");
+        let dtd = spec.dtd.expect("dtd present");
+        assert_eq!(dtd.root(), "db");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "start q0 db\nfrobnicate all the things\n";
+        match parse_view_spec(bad) {
+            Err(CompileError::Parse(msg)) => assert!(msg.contains("line 2"), "got: {msg}"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // builder-level failure: a bad query surfaces as Validation
+        let bad_query = "schema r/1\nstart q0 db\nrule q0 db -> q x : this is not a query\n";
+        match parse_view_spec(bad_query) {
+            Err(CompileError::Validation(_)) => {}
+            other => panic!("expected validation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_round_trips_values() {
+        let delta = parse_delta(
+            "insert course CS500 'Advanced Topics' CS\n\
+             # a comment\n\
+             retract prereq CS140 CS100\n\
+             insert nums 42 -7\n",
+        )
+        .expect("delta parses");
+        let rels: Vec<&str> = delta.relations().map(|(n, _)| n).collect();
+        assert_eq!(rels.len(), 3);
+        let (_, nums) = delta.relations().find(|(n, _)| *n == "nums").unwrap();
+        assert_eq!(
+            nums.inserts().next().unwrap(),
+            &vec![Value::int(42), Value::int(-7)]
+        );
+        let (_, course) = delta.relations().find(|(n, _)| *n == "course").unwrap();
+        assert_eq!(
+            course.inserts().next().unwrap(),
+            &vec![
+                Value::str("CS500"),
+                Value::str("Advanced Topics"),
+                Value::str("CS")
+            ]
+        );
+    }
+
+    #[test]
+    fn delta_errors_name_the_line() {
+        let err = parse_delta("insert r 1\nupsert r 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        // arity conflict within the body: the structured DeltaError message
+        let err = parse_delta("insert r 1\ninsert r 1 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("width"), "got: {}", err.message);
+    }
+}

@@ -31,8 +31,8 @@ mod xdtd;
 
 pub use dtd::{ContentModel, Dtd, DtdParseError};
 pub use stream::{
-    CountingSink, DtdSink, DtdViolation, Guarded, TreeBuilder, XdtdSink, XmlEvent, XmlEventSink,
-    XmlWriter,
+    CountingSink, DtdSink, DtdViolation, Guarded, TreeBuilder, TruncationReason, XdtdSink,
+    XmlEvent, XmlEventSink, XmlWriter,
 };
 pub use tree::Tree;
 pub use xdtd::ExtendedDtd;

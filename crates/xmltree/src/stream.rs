@@ -142,6 +142,14 @@ impl XmlWriter {
         self.out
     }
 
+    /// Drain the text written so far, leaving the writer empty but with
+    /// its element stack intact — streaming continues seamlessly. This is
+    /// what lets adapters forward the document incrementally (e.g. over a
+    /// socket, chunk by chunk) without ever holding all of it.
+    pub fn take(&mut self) -> String {
+        std::mem::take(&mut self.out)
+    }
+
     fn flush_pending(&mut self) {
         if let Some(tag) = self.pending.take() {
             let pad = "  ".repeat(self.open.len());
@@ -227,9 +235,34 @@ impl XmlEventSink for CountingSink {
     }
 }
 
+/// Why a guarded stream stopped early — consumers log *which* budget
+/// tripped instead of a bare boolean.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// The event-count budget was exhausted.
+    Events,
+    /// The depth budget was exhausted.
+    Depth,
+    /// The wrapped sink itself refused an event (e.g. a downstream writer
+    /// lost its client mid-stream).
+    Inner,
+}
+
+impl fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TruncationReason::Events => write!(f, "event limit"),
+            TruncationReason::Depth => write!(f, "depth limit"),
+            TruncationReason::Inner => write!(f, "inner sink refused"),
+        }
+    }
+}
+
 /// Wraps another sink with event-count and depth guards: once either limit
 /// is exceeded the stream is truncated (the inner sink never sees the
-/// offending event) and [`Guarded::truncated`] reports it.
+/// offending event) and [`Guarded::truncated`] reports it, with
+/// [`Guarded::truncation_reason`] distinguishing which budget tripped (or
+/// whether the inner sink refused an event on its own).
 ///
 /// This is the consumer-side budget for unfoldings that are exponential in
 /// the database (Proposition 1(3,4)): the producer shares subtrees, but the
@@ -240,7 +273,7 @@ pub struct Guarded<S> {
     max_depth: usize,
     events: usize,
     depth: usize,
-    truncated: bool,
+    truncated: Option<TruncationReason>,
 }
 
 impl<S: XmlEventSink> Guarded<S> {
@@ -252,7 +285,7 @@ impl<S: XmlEventSink> Guarded<S> {
             max_depth,
             events: 0,
             depth: 0,
-            truncated: false,
+            truncated: None,
         }
     }
 
@@ -261,8 +294,13 @@ impl<S: XmlEventSink> Guarded<S> {
         self.events
     }
 
-    /// Whether a limit tripped.
+    /// Whether a limit tripped (or the inner sink refused an event).
     pub fn truncated(&self) -> bool {
+        self.truncated.is_some()
+    }
+
+    /// Why the stream stopped, if it did.
+    pub fn truncation_reason(&self) -> Option<TruncationReason> {
         self.truncated
     }
 
@@ -274,15 +312,19 @@ impl<S: XmlEventSink> Guarded<S> {
 
 impl<S: XmlEventSink> XmlEventSink for Guarded<S> {
     fn event(&mut self, ev: XmlEvent<'_>) -> bool {
-        if self.truncated {
+        if self.truncated.is_some() {
+            return false;
+        }
+        if self.events + 1 > self.max_events {
+            self.truncated = Some(TruncationReason::Events);
             return false;
         }
         let depth = match ev {
             XmlEvent::Open(_) => self.depth + 1,
             _ => self.depth,
         };
-        if self.events + 1 > self.max_events || depth > self.max_depth {
-            self.truncated = true;
+        if depth > self.max_depth {
+            self.truncated = Some(TruncationReason::Depth);
             return false;
         }
         self.events += 1;
@@ -290,7 +332,11 @@ impl<S: XmlEventSink> XmlEventSink for Guarded<S> {
         if let XmlEvent::Close(_) = ev {
             self.depth = self.depth.saturating_sub(1);
         }
-        self.inner.event(ev)
+        if !self.inner.event(ev) {
+            self.truncated = Some(TruncationReason::Inner);
+            return false;
+        }
+        true
     }
 }
 
@@ -962,15 +1008,32 @@ mod tests {
         let mut g = Guarded::new(CountingSink::new(), 3, usize::MAX);
         assert!(!t.stream_to(&mut g));
         assert!(g.truncated());
+        assert_eq!(g.truncation_reason(), Some(TruncationReason::Events));
         assert_eq!(g.events(), 3);
         // depth guard: the inner sink keeps only events above the cut
         let mut g = Guarded::new(TreeBuilder::new(), usize::MAX, 2);
         assert!(!t.stream_to(&mut g));
         assert!(g.truncated());
+        assert_eq!(g.truncation_reason(), Some(TruncationReason::Depth));
         // no guard tripped: passes through untouched
         let mut g = Guarded::new(TreeBuilder::new(), usize::MAX, usize::MAX);
         assert!(t.stream_to(&mut g));
         assert!(!g.truncated());
+        assert_eq!(g.truncation_reason(), None);
         assert_eq!(g.into_inner().finish().unwrap(), t);
+    }
+
+    #[test]
+    fn guard_reports_inner_refusal_and_latches() {
+        // the inner sink (a DTD validator) refuses the bad root itself:
+        // the guard distinguishes that from its own budgets
+        let d = registrar_dtd();
+        let mut g = Guarded::new(DtdSink::new(&d), usize::MAX, usize::MAX);
+        assert!(!g.event(XmlEvent::Open("catalog")));
+        assert!(g.truncated());
+        assert_eq!(g.truncation_reason(), Some(TruncationReason::Inner));
+        // latched: later events are refused without reaching the inner sink
+        assert!(!g.event(XmlEvent::Open("db")));
+        assert_eq!(g.truncation_reason(), Some(TruncationReason::Inner));
     }
 }

@@ -1,5 +1,14 @@
-//! Multi-threaded serving: one [`Engine`] and one prepared transducer,
-//! shared by a pool of worker threads answering concurrent requests.
+//! Multi-threaded serving *in process*: one [`Engine`] and one prepared
+//! transducer, shared by a pool of worker threads answering concurrent
+//! requests.
+//!
+//! This example shows the embedding shape — your own threads borrowing
+//! one prepared session. The production shape is the **`pt-serve`
+//! binary** (`cargo run --release --bin pt-serve`), which wraps exactly
+//! this engine in an HTTP/1.1 server: multi-tenant engines, a bounded
+//! prepared-plan cache, responses streamed to the socket as chunked XML,
+//! and a `load-gen` throughput harness. See the "Serving" section of the
+//! crate docs for the curl walkthrough.
 //!
 //! `Engine` and `PreparedTransducer` are `Send + Sync` and every session
 //! method takes `&self`, so [`std::thread::scope`] can hand the same
@@ -7,7 +16,10 @@
 //! configuration memo under the publish-or-wait protocol: whichever thread
 //! claims a cold configuration expands it exactly once and publishes it,
 //! and everyone else waits for — then replays — that entry, so concurrent
-//! traffic shares the work a cold run does once.
+//! traffic shares the work a cold run does once. (The wait has a
+//! deadlock-avoiding timeout, [`RunOptions::claim_wait`]; timeout-induced
+//! duplicate expansions are counted by
+//! [`PreparedTransducer::memo_timeout_expansions`].)
 //!
 //! The flip side of the same protocol is *intra-run* parallelism: the
 //! second half of the example publishes one large document with

@@ -146,6 +146,49 @@
 //!     Err(TypecheckError::Unproven(_))
 //! ));
 //! ```
+//!
+//! ## Serving
+//!
+//! The [`server`] crate wraps the whole lifecycle in a production HTTP
+//! binary: `pt-serve` hosts one [`Engine`](core::Engine) per tenant,
+//! shares prepared sessions across requests through a bounded plan cache,
+//! and streams every read as chunked XML straight from the event stream
+//! to the socket — no tree, no intermediate string. Start it and talk to
+//! it with nothing but curl:
+//!
+//! ```text
+//! $ cargo run --release --bin pt-serve -- --addr 127.0.0.1:8080
+//! pt-serve listening on http://127.0.0.1:8080
+//!
+//! # register a view for tenant `acme` (wire format: one directive per
+//! # line — schema, start state/root tag, rules; `dtd`/`elem` lines
+//! # additionally gate the registration through the static typechecker)
+//! $ curl -s -XPOST --data-binary @view.pt \
+//!     http://127.0.0.1:8080/tenants/acme/views/tau1
+//! {"tenant":"acme","view":"tau1","pairs":7,"typed":false}
+//!
+//! # feed the tenant's database through the delta endpoint
+//! $ printf 'insert course CS100 Programming CS\n' |
+//!     curl -s -XPOST --data-binary @- \
+//!       http://127.0.0.1:8080/tenants/acme/delta
+//! {"version":1,"tuples_inserted":1,"tuples_retracted":0,...}
+//!
+//! # stream the view (chunked XML; ?threads= fans the expansion out,
+//! # ?max_nodes= bounds it, ?claim_wait_ms= tunes the memo's
+//! # publish-or-wait timeout — duplicate expansions it induces are
+//! # reported in the X-Memo-Timeout-Expansions header)
+//! $ curl -s http://127.0.0.1:8080/tenants/acme/views/tau1?threads=4
+//! <db>
+//!   <course>...
+//! ```
+//!
+//! Every structured error maps to a status: compile errors are `400`,
+//! prepare/typecheck/delta refusals are `422`, an exhausted node budget
+//! is `413`, backpressure and drain are `503`. The
+//! `load-gen` binary (`cargo run --release --bin load-gen`) self-hosts a
+//! server over the registrar example and measures a mixed read/write
+//! workload (p50/p99 latency, requests/sec) — the same harness the
+//! `quick` bench section records into `BENCH_10.json`.
 
 pub use pt_analysis as analysis;
 pub use pt_core as core;
@@ -154,6 +197,7 @@ pub use pt_express as express;
 pub use pt_languages as languages;
 pub use pt_logic as logic;
 pub use pt_relational as relational;
+pub use pt_server as server;
 pub use pt_xmltree as xmltree;
 
 /// The session-era surface in one import: engine lifecycle (bind → prepare

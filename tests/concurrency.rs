@@ -396,6 +396,7 @@ fn parallel_budget_charges_once_per_occurrence() {
             .run_opts(RunOptions {
                 max_nodes: full - 1,
                 threads,
+                ..RunOptions::default()
             })
             .expect_err("budget one short of the unfolding must trip");
         assert_eq!(err, RunError::NodeLimit(full - 1));
@@ -403,6 +404,7 @@ fn parallel_budget_charges_once_per_occurrence() {
             .run_opts(RunOptions {
                 max_nodes: full,
                 threads,
+                ..RunOptions::default()
             })
             .expect("exact budget must fit");
         assert_eq!(run.size(), full);
@@ -411,6 +413,7 @@ fn parallel_budget_charges_once_per_occurrence() {
             .run_opts(RunOptions {
                 max_nodes: full - 1,
                 threads,
+                ..RunOptions::default()
             })
             .expect_err("warm budget must trip identically");
         assert_eq!(err, RunError::NodeLimit(full - 1));
@@ -469,7 +472,11 @@ fn run_parallel_matches_the_oracle() {
             // first iteration expands cold (fresh memo for threads == 1,
             // then warm for threads == 4 — both paths must agree)
             let run = prepared
-                .run_opts(RunOptions { max_nodes, threads })
+                .run_opts(RunOptions {
+                    max_nodes,
+                    threads,
+                    ..RunOptions::default()
+                })
                 .expect("parallel run");
             let got = Observation {
                 output: format!("{:?}", run.output_tree()),
@@ -498,6 +505,7 @@ fn run_parallel_matches_the_oracle() {
                 RunOptions {
                     max_nodes,
                     threads: 4,
+                    ..RunOptions::default()
                 },
                 &mut sink,
             )

@@ -140,6 +140,7 @@ fn run_case(seed: u64) -> Result<(), String> {
         let got = match session.run_opts(RunOptions {
             max_nodes,
             threads: 4,
+            ..RunOptions::default()
         }) {
             Ok(run) => {
                 check_stream(&run, &format!("run_parallel(4) {what}"))
